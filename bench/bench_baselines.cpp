@@ -1,0 +1,41 @@
+// Per-circuit comparison of every implemented hardening technique (the
+// expanded view behind Table 4 and the §2 discussion): secondary-path
+// CWSP (this work), in-path CWSP [15], per-gate CWSP [21], gate resizing
+// [13], spatial TMR and multi-strobe time-TMR [23].
+
+#include <iostream>
+
+#include "baselines/compare.hpp"
+#include "bencharness/generator.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace cwsp;
+  const CellLibrary library = make_default_library();
+
+  for (const char* name : {"alu2", "C880"}) {
+    const auto gen =
+        bench::generate_benchmark(bench::find_benchmark(name), library);
+
+    baselines::CompareOptions options;
+    options.resizing.samples = 200;
+    const auto reports = baselines::compare_all(gen.netlist, options);
+
+    TextTable table;
+    table.set_header({"Technique", "Area Ovh %", "Delay Ovh %",
+                      "Protection %", "Max glitch ps", "Feasible"});
+    for (const auto& r : reports) {
+      table.add_row({r.technique, TextTable::num(r.area_overhead_pct(), 2),
+                     TextTable::num(r.delay_overhead_pct(), 2),
+                     TextTable::num(r.protection_pct, 1),
+                     TextTable::num(r.max_glitch.value(), 0),
+                     r.feasible ? "yes" : "no"});
+    }
+    std::cout << "Hardening techniques on " << name << " (Dmax "
+              << TextTable::num(gen.measured_dmax.value(), 0) << " ps, area "
+              << TextTable::num(gen.measured_area.value(), 2) << " um^2)\n";
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

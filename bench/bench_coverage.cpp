@@ -1,0 +1,64 @@
+// Validates the paper's central claim (§3.2): 100% SET tolerance for
+// glitches within the protected width, across functional strikes and
+// every protection-circuit strike scenario — and shows the unprotected
+// design fails for the same strike population.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bencharness/generator.hpp"
+#include "common/table.hpp"
+#include "cwsp/coverage.hpp"
+#include "cwsp/timing.hpp"
+
+int main() {
+  using namespace cwsp;
+  const CellLibrary library = make_default_library();
+  const auto params = core::ProtectionParams::q100();
+
+  TextTable table;
+  table.set_header({"Circuit", "Strikes", "Protected cov %",
+                    "Unprotected fail %", "Bubbles", "Detected",
+                    "Spurious"});
+
+  for (const char* name : {"alu2", "C432"}) {
+    const auto gen =
+        bench::generate_benchmark(bench::find_benchmark(name), library);
+    const auto seq = bench::clone_with_output_flip_flops(gen.netlist);
+
+    const Picoseconds period = std::max(
+        core::hardened_clock_period(gen.measured_dmax, library),
+        core::min_clock_period_for_delta(params));
+
+    core::CampaignOptions options;
+    options.runs = 40;
+    options.cycles_per_run = 10;
+    options.glitch_width = Picoseconds(400.0);
+    options.seed = 2026;
+
+    const auto functional =
+        core::run_functional_campaign(seq, params, period, options);
+    const auto scenarios =
+        core::run_scenario_sweep(seq, params, period, options);
+
+    table.add_row(
+        {std::string(name) + " (functional)",
+         std::to_string(functional.strikes_injected),
+         TextTable::num(functional.protected_coverage_pct(), 1),
+         TextTable::num(functional.unprotected_failure_pct(), 1),
+         std::to_string(functional.bubbles),
+         std::to_string(functional.detected_errors),
+         std::to_string(functional.spurious_recomputes)});
+    table.add_row({std::string(name) + " (scenario sweep)",
+                   std::to_string(scenarios.strikes_injected),
+                   TextTable::num(scenarios.protected_coverage_pct(), 1),
+                   "-", std::to_string(scenarios.bubbles),
+                   std::to_string(scenarios.detected_errors),
+                   std::to_string(scenarios.spurious_recomputes)});
+  }
+
+  std::cout << "SET fault-injection coverage (paper claim: 100% protection; "
+               "glitch width 400 ps <= delta)\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Google-benchmark microbenchmarks of the library's hot paths: STA,
+// event-driven glitch propagation, MiniSpice strike transients and the
+// hardening transform. These guard against performance regressions in the
+// kernels the table benches run thousands of times.
+
+#include <benchmark/benchmark.h>
+
+#include "bencharness/generator.hpp"
+#include "cwsp/harden.hpp"
+#include "cwsp/protection_sim.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/logic_sim.hpp"
+#include "spice/subckt.hpp"
+#include "sta/sta.hpp"
+
+namespace {
+
+using namespace cwsp;
+
+const CellLibrary& library() {
+  static const CellLibrary lib = make_default_library();
+  return lib;
+}
+
+const Netlist& alu2() {
+  static const bench::GeneratedBenchmark gen =
+      bench::generate_benchmark(bench::find_benchmark("alu2"), library());
+  return gen.netlist;
+}
+
+void BM_Sta(benchmark::State& state) {
+  const Netlist& netlist = alu2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_sta(netlist).dmax.value());
+  }
+}
+BENCHMARK(BM_Sta);
+
+void BM_EventSimCycle(benchmark::State& state) {
+  const Netlist& netlist = alu2();
+  const sim::EventSim esim(netlist);
+  std::vector<bool> pis(netlist.primary_inputs().size(), true);
+  set::Strike strike;
+  strike.node = netlist.gate(GateId{0}).output;
+  strike.start = Picoseconds(800.0);
+  strike.width = Picoseconds(400.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        esim.simulate_cycle(pis, {}, Picoseconds(1800.0), strike)
+            .struck_po.size());
+  }
+}
+BENCHMARK(BM_EventSimCycle);
+
+void BM_SpiceStrike(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        spice::measure_strike_glitch_width(Femtocoulombs(100.0)).value());
+  }
+}
+BENCHMARK(BM_SpiceStrike);
+
+void BM_Harden(benchmark::State& state) {
+  const Netlist& netlist = alu2();
+  const auto params = core::ProtectionParams::q100();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::harden_assuming_balanced_paths(netlist, params)
+            .hardened_area.value());
+  }
+}
+BENCHMARK(BM_Harden);
+
+void BM_GenerateBenchmark(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bench::generate_benchmark(bench::find_benchmark("C432"), library())
+            .netlist.num_gates());
+  }
+}
+BENCHMARK(BM_GenerateBenchmark);
+
+void BM_LogicSimCycle(benchmark::State& state) {
+  const Netlist& netlist = alu2();
+  sim::LogicSim sim(netlist);
+  std::vector<bool> inputs(netlist.primary_inputs().size(), true);
+  for (auto _ : state) {
+    sim.step(inputs);
+    benchmark::DoNotOptimize(sim.output_values().size());
+    inputs[0] = !inputs[0];
+  }
+}
+BENCHMARK(BM_LogicSimCycle);
+
+void BM_ProtectionSimRun(benchmark::State& state) {
+  // Protocol execution incl. one detection/repair on a small FSM.
+  static const Netlist netlist = [] {
+    Netlist n(library(), "fsm");
+    const NetId a = n.add_primary_input("a");
+    const GateId g = n.add_gate(library().cell_for(CellKind::kXor2),
+                                {a, n.add_net("qf")}, "d");
+    n.add_flip_flop_onto(n.gate(g).output, *n.find_net("qf"));
+    n.mark_primary_output(*n.find_net("qf"));
+    n.validate();
+    return n;
+  }();
+  const auto params = core::ProtectionParams::q100();
+  core::ProtectionSim sim(netlist, params, Picoseconds(1600.0));
+  std::vector<std::vector<bool>> inputs(16, {true});
+  core::ScheduledStrike strike;
+  strike.cycle = 5;
+  strike.target = core::StrikeTarget::kFunctional;
+  strike.strike.node = *netlist.find_net("d");
+  strike.strike.start = Picoseconds(1400.0);
+  strike.strike.width = Picoseconds(350.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(inputs, {strike}).bubbles);
+  }
+}
+BENCHMARK(BM_ProtectionSimRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Technology-scaling study motivated by the paper's introduction: "with
+// the relentless shrinking of the minimum feature size ... a reduced
+// diffusion capacitance ... a large voltage spike may be generated". We
+// scale MiniSpice's device strength and node capacitance together (one
+// knob per generation) and measure the critical charge, the Q=100 fC
+// glitch width and the resulting soft-error exposure.
+
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "set/ser.hpp"
+#include "spice/subckt.hpp"
+
+int main() {
+  using namespace cwsp;
+  set::SerAnalyzer analyzer;
+
+  struct Row {
+    double scale;
+    double qcrit_fc;
+    double width_ps;
+    double exposure;
+  };
+  std::vector<Row> rows;
+  // scale > 1: older/larger node (stronger devices, bigger caps);
+  // scale < 1: scaled-down node.
+  for (double scale : {4.0, 2.0, 1.0, 0.5, 0.25}) {
+    spice::SpiceTech tech;
+    tech.kp_n_min *= scale;
+    tech.kp_p_min *= scale;
+    tech.c_node_ff *= scale;
+    const double qcrit = spice::measure_critical_charge(tech).value();
+    const double width =
+        spice::measure_strike_glitch_width(Femtocoulombs(100.0), tech)
+            .value();
+    rows.push_back({scale, qcrit, width,
+                    analyzer.fraction_charge_above(Femtocoulombs(qcrit))});
+  }
+
+  double baseline = 1.0;
+  for (const Row& r : rows) {
+    if (r.scale == 1.0) baseline = r.exposure;
+  }
+
+  TextTable table;
+  table.set_header({"tech scale", "Qcrit (fC)", "glitch @100fC (ps)",
+                    "P(Q > Qcrit)", "SER vs 65nm"});
+  for (const Row& r : rows) {
+    table.add_row({TextTable::num(r.scale, 2), TextTable::num(r.qcrit_fc, 1),
+                   TextTable::num(r.width_ps, 1),
+                   TextTable::num(r.exposure, 4),
+                   TextTable::num(r.exposure / baseline, 2) + "x"});
+  }
+
+  std::cout << "Technology scaling vs SET susceptibility (paper §1 "
+               "motivation: smaller nodes -> lower Qcrit -> higher SER)\n";
+  table.print(std::cout);
+  std::cout << "\nReading: shrinking the node (scale < 1) lowers the "
+               "critical charge, widens the glitch a given strike causes "
+               "and multiplies the fraction of environmental strikes that "
+               "defeat an unprotected node — the motivation for SET "
+               "hardening at 65 nm and below.\n";
+  return 0;
+}

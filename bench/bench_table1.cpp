@@ -1,0 +1,25 @@
+// Reproduces Table 1: area and delay overhead of the secondary-path CWSP
+// protection at Q = 150 fC (τα = 200 ps, τβ = 50 ps, δ = 600 ps,
+// CWSP sized 40/16, delay lines of 4 + 10 segments).
+
+#include <iostream>
+
+#include "support.hpp"
+
+int main() {
+  using namespace cwsp;
+  const CellLibrary library = make_default_library();
+
+  std::vector<bench::BenchmarkSpec> specs;
+  for (const auto& spec : bench::overhead_benchmarks()) {
+    if (spec.table1_q150.has_value()) specs.push_back(spec);
+  }
+
+  std::cout << "Table 1 — Area and Delay Overhead, Q = 0.15 pC "
+               "(paper: avg 39.31% area, 0.51% delay)\n";
+  const auto rows = benchtool::run_suite(
+      specs, library, core::ProtectionParams::q150(), /*custom_delta=*/false);
+  benchtool::print_overhead_table(
+      rows, &bench::BenchmarkSpec::table1_q150, std::cout);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Reproduces Table 2: area and delay overhead of the secondary-path CWSP
+// protection at Q = 100 fC (δ = 500 ps, CWSP sized 30/12, delay lines of
+// 4 + 8 segments).
+
+#include <iostream>
+
+#include "support.hpp"
+
+int main() {
+  using namespace cwsp;
+  const CellLibrary library = make_default_library();
+
+  std::vector<bench::BenchmarkSpec> specs;
+  for (const auto& spec : bench::overhead_benchmarks()) {
+    if (spec.table2_q100.has_value()) specs.push_back(spec);
+  }
+
+  std::cout << "Table 2 — Area and Delay Overhead, Q = 0.10 pC "
+               "(paper: avg 45.34% area, 0.56% delay)\n";
+  const auto rows = benchtool::run_suite(
+      specs, library, core::ProtectionParams::q100(), /*custom_delta=*/false);
+  benchtool::print_overhead_table(
+      rows, &bench::BenchmarkSpec::table2_q100, std::cout);
+  return 0;
+}

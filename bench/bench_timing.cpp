@@ -1,0 +1,73 @@
+// Ablation of the timing equations (§3.4): minimum D_max thresholds
+// (Eq. 4/5), protected glitch width vs D_max (Eqs. 2+5), Eq. 6's
+// period/δ trade-off, and the clock-skew derating.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "cwsp/timing.hpp"
+
+int main() {
+  using namespace cwsp;
+  const auto p100 = core::ProtectionParams::q100();
+  const auto p150 = core::ProtectionParams::q150();
+
+  std::cout << "Protection-path constants\n";
+  TextTable consts;
+  consts.set_header({"Config", "delta ps", "D_CWSP ps", "Delta ps",
+                     "CLK_DEL lag ps", "min Dmax ps (paper)"});
+  consts.add_row({"Q=100 fC", TextTable::num(p100.delta.value(), 0),
+                  TextTable::num(p100.d_cwsp.value(), 0),
+                  TextTable::num(p100.protection_path_delta().value(), 0),
+                  TextTable::num(p100.clk_del_delay().value(), 0),
+                  TextTable::num(p100.min_dmax().value(), 0) + " (1415)"});
+  consts.add_row({"Q=150 fC", TextTable::num(p150.delta.value(), 0),
+                  TextTable::num(p150.d_cwsp.value(), 0),
+                  TextTable::num(p150.protection_path_delta().value(), 0),
+                  TextTable::num(p150.clk_del_delay().value(), 0),
+                  TextTable::num(p150.min_dmax().value(), 0) + " (1605)"});
+  consts.print(std::cout);
+
+  std::cout << "\nProtected glitch width vs Dmax (Dmin = 0.8*Dmax, Eq. 2+5)\n";
+  TextTable sweep;
+  sweep.set_header({"Dmax ps", "delta_max ps", "binding", "full 500 ps?"});
+  for (double dmax = 600.0; dmax <= 2400.0; dmax += 200.0) {
+    const auto timing = core::timing_with_assumed_dmin(Picoseconds(dmax));
+    const auto delta = core::max_protected_glitch(timing, p100);
+    const double by_dmin = timing.dmin.value() / 2.0;
+    const double by_dmax =
+        (dmax - p100.protection_path_delta().value()) / 2.0;
+    sweep.add_row({TextTable::num(dmax, 0),
+                   TextTable::num(delta.value(), 1),
+                   by_dmax < by_dmin ? "Eq.5 (Dmax)" : "Eq.2 (Dmin)",
+                   core::supports_full_protection(timing, p100) ? "yes"
+                                                                : "no"});
+  }
+  sweep.print(std::cout);
+
+  std::cout << "\nEq. 6: max delta vs clock period (Q=100 fC circuit)\n";
+  TextTable eq6;
+  eq6.set_header({"Period ps", "delta_max ps"});
+  for (double period = 1400.0; period <= 2600.0; period += 200.0) {
+    eq6.add_row({TextTable::num(period, 0),
+                 TextTable::num(
+                     core::max_delta_for_period(Picoseconds(period), p100)
+                         .value(),
+                     1)});
+  }
+  eq6.print(std::cout);
+
+  std::cout << "\nClock-skew derating (Dmax = 2000 ps, Dmin = 1600 ps)\n";
+  TextTable skew;
+  skew.set_header({"Skew ps", "delta_max ps"});
+  const core::DesignTiming timing{Picoseconds(2000.0), Picoseconds(1600.0)};
+  for (double s = 0.0; s <= 400.0; s += 100.0) {
+    skew.add_row({TextTable::num(s, 0),
+                  TextTable::num(core::max_protected_glitch(
+                                     timing, p100, Picoseconds(s))
+                                     .value(),
+                                 1)});
+  }
+  skew.print(std::cout);
+  return 0;
+}

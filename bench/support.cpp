@@ -1,0 +1,89 @@
+#include "support.hpp"
+
+#include "cwsp/timing.hpp"
+
+namespace cwsp::benchtool {
+
+std::vector<SuiteRow> run_suite(const std::vector<bench::BenchmarkSpec>& specs,
+                                const CellLibrary& library,
+                                const core::ProtectionParams& params,
+                                bool custom_delta) {
+  std::vector<SuiteRow> rows;
+  rows.reserve(specs.size());
+  for (const auto& spec : specs) {
+    // Move the generated netlist into the row first: HardenedDesign keeps
+    // a pointer to it, and the reserve() above guarantees the row never
+    // relocates afterwards.
+    rows.push_back(SuiteRow{&spec, core::HardenedDesign{},
+                            bench::generate_benchmark(spec, library)});
+    SuiteRow& row = rows.back();
+
+    core::ProtectionParams circuit_params = params;
+    if (custom_delta) {
+      // Table 3 mode: δ = min{D_min/2, (D_max − Δ)/2} with the paper's
+      // balanced-path assumption and the Q=100 fC area envelope.
+      const auto timing =
+          core::timing_with_assumed_dmin(row.generated.measured_dmax);
+      const auto delta = core::max_protected_glitch(timing, params);
+      circuit_params = core::ProtectionParams::for_glitch_width(delta);
+    }
+    row.design = core::harden_assuming_balanced_paths(row.generated.netlist,
+                                                      circuit_params);
+  }
+  return rows;
+}
+
+void print_overhead_table(
+    const std::vector<SuiteRow>& rows,
+    const std::optional<bench::PaperHardened> bench::BenchmarkSpec::*paper_of,
+    std::ostream& os) {
+  TextTable table;
+  table.set_header({"Circuit", "Regular um^2", "Hardened um^2",
+                    "%Ovh (ours)", "%Ovh (paper)", "Dmax ps",
+                    "Regular ps", "Hardened ps", "%Dly (ours)",
+                    "%Dly (paper)"});
+
+  double sum_area_ours = 0.0;
+  double sum_area_paper = 0.0;
+  double sum_delay_ours = 0.0;
+  std::size_t paper_count = 0;
+
+  for (const auto& row : rows) {
+    const auto& d = row.design;
+    const auto& paper = row.spec->*paper_of;
+    const double paper_area_ovh =
+        paper.has_value() ? paper->area_overhead_pct : 0.0;
+    const double paper_delay_ovh =
+        11.5 / (row.spec->dmax_ps + 109.0) * 100.0;
+
+    sum_area_ours += d.area_overhead_pct();
+    sum_delay_ours += d.delay_overhead_pct();
+    if (paper.has_value()) {
+      sum_area_paper += paper_area_ovh;
+      ++paper_count;
+    }
+
+    table.add_row({row.spec->name, TextTable::num(d.regular_area.value(), 4),
+                   TextTable::num(d.hardened_area.value(), 4),
+                   TextTable::num(d.area_overhead_pct(), 2),
+                   paper.has_value() ? TextTable::num(paper_area_ovh, 2)
+                                     : "-",
+                   TextTable::num(d.timing.dmax.value(), 2),
+                   TextTable::num(d.regular_period.value(), 2),
+                   TextTable::num(d.hardened_period.value(), 2),
+                   TextTable::num(d.delay_overhead_pct(), 2),
+                   TextTable::num(paper_delay_ovh, 2)});
+  }
+
+  const double n = static_cast<double>(rows.size());
+  table.add_row({"Average", "", "", TextTable::num(sum_area_ours / n, 2),
+                 paper_count > 0
+                     ? TextTable::num(sum_area_paper /
+                                          static_cast<double>(paper_count),
+                                      2)
+                     : "-",
+                 "", "", "", TextTable::num(sum_delay_ours / n, 2), ""});
+  table.print(os);
+}
+
+}  // namespace cwsp::benchtool

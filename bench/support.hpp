@@ -1,0 +1,37 @@
+#pragma once
+// Shared support for the table-reproduction binaries: runs the calibrated
+// synthetic suite through the hardening flow and formats rows exactly as
+// the paper's tables do (ours vs paper side by side).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bencharness/benchmark_data.hpp"
+#include "bencharness/generator.hpp"
+#include "common/table.hpp"
+#include "cwsp/harden.hpp"
+
+namespace cwsp::benchtool {
+
+struct SuiteRow {
+  const bench::BenchmarkSpec* spec = nullptr;
+  core::HardenedDesign design;
+  bench::GeneratedBenchmark generated;
+};
+
+/// Generates each circuit and hardens it (paper's D_min = 0.8·D_max
+/// assumption), with per-circuit δ when `custom_delta` (Table 3 mode).
+std::vector<SuiteRow> run_suite(const std::vector<bench::BenchmarkSpec>& specs,
+                                const CellLibrary& library,
+                                const core::ProtectionParams& params,
+                                bool custom_delta);
+
+/// Prints an overhead table (Tables 1/2 layout) and the average row.
+/// `paper_of` selects the paper's hardened numbers per spec.
+void print_overhead_table(
+    const std::vector<SuiteRow>& rows,
+    const std::optional<bench::PaperHardened> bench::BenchmarkSpec::*paper_of,
+    std::ostream& os);
+
+}  // namespace cwsp::benchtool

@@ -1,0 +1,98 @@
+// Structural walkthrough: elaborate the complete hardened system (logic +
+// checker + repair MUXes) into one netlist, run it in the logic simulator
+// with an architectural replay harness, corrupt a flip-flop mid-run, and
+// watch EQGLB catch it. Writes the whole episode as a VCD waveform
+// (hardened_system.vcd — open with GTKWave) and prints ASCII waves.
+
+#include <fstream>
+#include <iostream>
+
+#include "cwsp/elaborate_system.hpp"
+#include "netlist/bench_parser.hpp"
+#include "netlist/verilog_writer.hpp"
+#include "sim/logic_sim.hpp"
+#include "sim/trace.hpp"
+
+int main() {
+  using namespace cwsp;
+  const CellLibrary library = make_default_library();
+
+  const Netlist source = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(q1)
+OUTPUT(y)
+t1 = NAND(a, q2)
+t2 = XOR(t1, b)
+d1 = NOT(t2)
+q1 = DFF(d1)
+q2 = DFF(t1)
+y  = AND(q1, q2)
+)",
+                                            library, "demo_fsm");
+
+  const auto sys = core::elaborate_hardened_system(source);
+  std::cout << "Elaborated hardened system: " << sys.netlist.num_gates()
+            << " gates, " << sys.netlist.num_flip_flops()
+            << " flip-flops (" << source.num_gates() << " gates / "
+            << source.num_flip_flops() << " FFs functional)\n\n";
+
+  sim::LogicSim golden(source);
+  sim::LogicSim hardened(sys.netlist);
+  sim::TraceRecorder trace(sys.netlist,
+                           {"a", "b", "q1", "q2", "y", "eqglb", "eqglbf"});
+
+  auto inputs_for = [](std::size_t i) {
+    return std::vector<bool>{(i % 2) == 0, (i % 3) == 0};
+  };
+
+  std::size_t pi = 0;
+  std::size_t mismatches = 0;
+  bool corrupted_this_run = false;
+  for (std::size_t cycle = 0; cycle < 16; ++cycle) {
+    // The architectural harness: replay the input while EQGLB is low.
+    hardened.set_inputs(inputs_for(pi));
+    hardened.evaluate();
+    trace.sample(hardened);
+    const bool squash = !hardened.value(sys.eqglb);
+
+    if (!squash) {
+      golden.set_inputs(inputs_for(pi));
+      golden.evaluate();
+      if (golden.output_values() !=
+          std::vector<bool>{hardened.value(*sys.netlist.find_net("q1")),
+                            hardened.value(*sys.netlist.find_net("y"))}) {
+        ++mismatches;
+      }
+      golden.clock();
+      ++pi;
+    } else {
+      std::cout << "cycle " << cycle
+                << ": EQGLB low -> squash + replay of input " << pi << "\n";
+    }
+    hardened.clock();
+
+    // Inject an SET at the start of cycle 6: flip system FF q1.
+    if (cycle == 5 && !corrupted_this_run) {
+      auto state = hardened.ff_state();
+      const std::size_t victim = sys.system_ffs[0].index();
+      state[victim] = !state[victim];
+      hardened.set_ff_state(state);
+      corrupted_this_run = true;
+      std::cout << "cycle 6: SET injected into system FF q1\n";
+    }
+  }
+
+  std::cout << "\ncommitted-output mismatches vs golden: " << mismatches
+            << " (must be 0)\n\n";
+  std::cout << trace.ascii_waves() << '\n';
+
+  std::ofstream vcd("hardened_system.vcd");
+  trace.write_vcd(vcd, "hardened_demo");
+  std::cout << "wrote hardened_system.vcd\n";
+
+  std::ofstream verilog("hardened_system.v");
+  write_verilog(sys.netlist, verilog);
+  std::cout << "wrote hardened_system.v (structural Verilog)\n";
+  return mismatches == 0 ? 0 : 1;
+}

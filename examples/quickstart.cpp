@@ -1,0 +1,50 @@
+// Quickstart: build a small sequential design with the netlist API,
+// harden it with the paper's secondary-path CWSP protection, and print
+// the resulting area/delay/protection report.
+
+#include <iostream>
+
+#include "cwsp/harden.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/sta.hpp"
+
+int main() {
+  using namespace cwsp;
+
+  // 1. A cell library calibrated to the paper's 65 nm setup.
+  const CellLibrary library = make_default_library();
+
+  // 2. A toy pipeline stage: two flip-flops with a bit of logic.
+  Netlist netlist(library, "quickstart");
+  const NetId a = netlist.add_primary_input("a");
+  const NetId b = netlist.add_primary_input("b");
+  const NetId en = netlist.add_primary_input("en");
+
+  const GateId g1 =
+      netlist.add_gate(library.cell_for(CellKind::kNand2), {a, b}, "nab");
+  const GateId g2 = netlist.add_gate(library.cell_for(CellKind::kXor2),
+                                     {netlist.gate(g1).output, en}, "mix");
+  const FlipFlopId ff1 =
+      netlist.add_flip_flop(netlist.gate(g2).output, "state");
+  const GateId g3 = netlist.add_gate(library.cell_for(CellKind::kAnd2),
+                                     {netlist.flip_flop(ff1).q, en}, "out_d");
+  const FlipFlopId ff2 =
+      netlist.add_flip_flop(netlist.gate(g3).output, "out_q");
+  netlist.mark_primary_output(netlist.flip_flop(ff2).q);
+  netlist.validate();
+
+  // 3. Static timing: Dmax/Dmin and the critical path.
+  const auto timing = run_sta(netlist);
+  std::cout << timing_report(netlist, timing) << '\n';
+
+  // 4. Harden against Q = 100 fC strikes (500 ps glitches).
+  const auto design =
+      core::harden(netlist, core::ProtectionParams::q100());
+  std::cout << core::describe(design);
+
+  // 5. The headline numbers.
+  std::cout << "\nArea overhead : " << design.area_overhead_pct() << " %\n";
+  std::cout << "Delay overhead: " << design.delay_overhead_pct()
+            << " %  (paper: < 1% on benchmark-scale designs)\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "baselines/anghel00.hpp"
+
+#include "cwsp/timing.hpp"
+#include "sta/sta.hpp"
+
+namespace cwsp::baselines {
+namespace {
+
+using core::protected_ff_count;
+
+/// Min-sized inverter-type CWSP element: 2 series PMOS + 2 series NMOS.
+constexpr double kCwspUnits = 4.0;
+/// One extra inversion so the combinational output keeps its polarity.
+constexpr double kInverterUnits = 2.0;
+/// δ delay line: 4 POLY2-resistor + min-inverter segments (paper §4).
+constexpr double kDelaySegments = 4.0;
+constexpr double kSegmentUnits = 2.0;
+
+/// Delay of the min-sized CWSP element into a flip-flop D load, and of
+/// the inverter it conceptually replaces.
+constexpr double kDCwspMinPs = 60.0;
+constexpr double kReplacedGatePs = 14.0;
+
+}  // namespace
+
+BaselineReport harden_anghel00(const Netlist& netlist,
+                               const Anghel00Options& options) {
+  CWSP_REQUIRE(options.delta.value() > 0.0);
+  const auto sta = run_sta(netlist);
+  const CellLibrary& lib = netlist.library();
+  const int num_ffs = protected_ff_count(netlist);
+
+  BaselineReport report;
+  report.technique = "Anghel00 CWSP-in-path [15]";
+  report.area_regular = netlist.total_area();
+  const double per_ff_units =
+      kCwspUnits + kInverterUnits + kDelaySegments * kSegmentUnits;
+  report.area_hardened =
+      report.area_regular +
+      cal::kUnitActiveArea * (per_ff_units * num_ffs);
+
+  report.period_regular = core::regular_clock_period(sta.dmax, lib);
+  // The CWSP element sits in the functional path: its output is only
+  // guaranteed 2δ after the un-delayed input settles, plus the element's
+  // own delay (minus the inverter it replaces).
+  report.period_hardened =
+      report.period_regular + options.delta * 2.0 +
+      Picoseconds(kDCwspMinPs - kReplacedGatePs);
+
+  report.protection_pct = 100.0;  // within its glitch envelope
+  report.max_glitch = options.delta;
+  return report;
+}
+
+}  // namespace cwsp::baselines

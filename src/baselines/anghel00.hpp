@@ -1,0 +1,27 @@
+#pragma once
+// Baseline [15] (Anghel/Alexandrescu/Nicolaidis, 2000): the inverter-type
+// CWSP element is inserted in the *functional* path in front of every
+// flip-flop, with a δ delay line feeding its second input. Correctness of
+// the latched value requires waiting out 2δ plus the CWSP element delay on
+// every register path, so the clock period grows by
+//   2δ + D_CWSP − D_g                                   (paper §3.1)
+// where D_g is the inverter the element replaces. Area cost is small (the
+// element is min-sized) — the paper quotes 17.6% area / 28.65% delay.
+
+#include "baselines/baseline.hpp"
+#include "cwsp/harden.hpp"
+#include "netlist/netlist.hpp"
+
+namespace cwsp::baselines {
+
+struct Anghel00Options {
+  /// Tolerated glitch width / delay-element value.
+  Picoseconds delta{450.0};  // [15] tolerates glitches up to 0.45 ns
+};
+
+/// Area/delay/protection of [15] applied to `netlist` (every protected FF
+/// gets an in-path CWSP element).
+[[nodiscard]] BaselineReport harden_anghel00(const Netlist& netlist,
+                                             const Anghel00Options& options = {});
+
+}  // namespace cwsp::baselines

@@ -1,0 +1,34 @@
+#pragma once
+// Common report for SET-hardening techniques compared in the paper's
+// Table 4 (and the surrounding discussion in §2).
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace cwsp::baselines {
+
+struct BaselineReport {
+  std::string technique;
+  SquareMicrons area_regular{0.0};
+  SquareMicrons area_hardened{0.0};
+  Picoseconds period_regular{0.0};
+  Picoseconds period_hardened{0.0};
+  /// Fraction of SET strikes (within the technique's glitch envelope)
+  /// that cannot corrupt committed outputs.
+  double protection_pct = 0.0;
+  /// Widest tolerated glitch.
+  Picoseconds max_glitch{0.0};
+  /// False where the technique is physically impractical for the design
+  /// (e.g. [21]'s 2k-series-device CWSP gates beyond 2 inputs).
+  bool feasible = true;
+
+  [[nodiscard]] double area_overhead_pct() const {
+    return (area_hardened / area_regular - 1.0) * 100.0;
+  }
+  [[nodiscard]] double delay_overhead_pct() const {
+    return (period_hardened / period_regular - 1.0) * 100.0;
+  }
+};
+
+}  // namespace cwsp::baselines

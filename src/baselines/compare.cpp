@@ -1,0 +1,33 @@
+#include "baselines/compare.hpp"
+
+namespace cwsp::baselines {
+
+BaselineReport our_approach_report(const Netlist& netlist,
+                                   const core::ProtectionParams& params) {
+  const auto design = core::harden_assuming_balanced_paths(netlist, params);
+  BaselineReport report;
+  report.technique = "This work: secondary-path CWSP";
+  report.area_regular = design.regular_area;
+  report.area_hardened = design.hardened_area;
+  report.period_regular = design.regular_period;
+  report.period_hardened = design.hardened_period;
+  report.protection_pct = 100.0;
+  report.max_glitch = design.max_glitch;
+  return report;
+}
+
+std::vector<BaselineReport> compare_all(const Netlist& netlist,
+                                        const CompareOptions& options) {
+  std::vector<BaselineReport> reports;
+  reports.push_back(our_approach_report(netlist, options.our_params));
+  reports.push_back(harden_anghel00(netlist, options.anghel));
+  reports.push_back(harden_nicolaidis99(netlist, options.nicolaidis));
+  if (options.include_resizing) {
+    reports.push_back(harden_gate_resizing(netlist, options.resizing).report);
+  }
+  reports.push_back(harden_spatial_tmr(netlist));
+  reports.push_back(harden_multistrobe(netlist, options.multistrobe));
+  return reports;
+}
+
+}  // namespace cwsp::baselines

@@ -1,0 +1,33 @@
+#pragma once
+// Side-by-side comparison harness: our CWSP secondary-path approach
+// against every implemented baseline on the same netlist (the code behind
+// the paper's Table 4).
+
+#include <vector>
+
+#include "baselines/anghel00.hpp"
+#include "baselines/gate_resizing.hpp"
+#include "baselines/nicolaidis99.hpp"
+#include "baselines/tmr.hpp"
+#include "cwsp/harden.hpp"
+
+namespace cwsp::baselines {
+
+struct CompareOptions {
+  core::ProtectionParams our_params = core::ProtectionParams::q100();
+  Anghel00Options anghel;
+  Nicolaidis99Options nicolaidis;
+  GateResizingOptions resizing;
+  MultiStrobeOptions multistrobe;
+  bool include_resizing = true;  // the costly one (fault-sim driven)
+};
+
+/// Report for the paper's approach in the common BaselineReport format.
+[[nodiscard]] BaselineReport our_approach_report(
+    const Netlist& netlist, const core::ProtectionParams& params);
+
+/// Runs every technique on the netlist; first entry is our approach.
+[[nodiscard]] std::vector<BaselineReport> compare_all(
+    const Netlist& netlist, const CompareOptions& options = {});
+
+}  // namespace cwsp::baselines

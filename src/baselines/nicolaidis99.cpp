@@ -1,0 +1,69 @@
+#include "baselines/nicolaidis99.hpp"
+
+#include <unordered_set>
+
+#include "cwsp/timing.hpp"
+#include "sta/sta.hpp"
+
+namespace cwsp::baselines {
+namespace {
+
+constexpr double kSegmentUnits = 2.0;
+constexpr double kDelaySegments = 4.0;
+/// Extra delay of a CWSP gate over the gate it replaces (doubled series
+/// stacks roughly double the resistance).
+constexpr double kCwspGatePenaltyPs = 20.0;
+
+/// Gates whose output feeds a flip-flop D pin or primary output.
+std::vector<GateId> frontier_gates(const Netlist& netlist) {
+  std::unordered_set<std::uint32_t> frontier_nets;
+  for (FlipFlopId f : netlist.flip_flop_ids()) {
+    frontier_nets.insert(netlist.flip_flop(f).d.value());
+  }
+  for (NetId po : netlist.primary_outputs()) frontier_nets.insert(po.value());
+
+  std::vector<GateId> gates;
+  for (GateId g : netlist.gate_ids()) {
+    if (frontier_nets.contains(netlist.gate(g).output.value())) {
+      gates.push_back(g);
+    }
+  }
+  return gates;
+}
+
+}  // namespace
+
+BaselineReport harden_nicolaidis99(const Netlist& netlist,
+                                   const Nicolaidis99Options& options) {
+  CWSP_REQUIRE(options.delta.value() > 0.0);
+  const auto sta = run_sta(netlist);
+  const CellLibrary& lib = netlist.library();
+  const auto frontier = frontier_gates(netlist);
+
+  BaselineReport report;
+  report.technique = "Nicolaidis99 per-gate CWSP [21]";
+  report.area_regular = netlist.total_area();
+
+  double extra_units = 0.0;
+  bool feasible = true;
+  for (GateId g : frontier) {
+    const Cell& cell = netlist.cell_of(g);
+    // A k-input gate becomes a 2k-input CWSP gate: the transistor count
+    // doubles, and each frontier *signal* needs a δ delay line.
+    extra_units += static_cast<double>(cell.devices().size());
+    extra_units += kDelaySegments * kSegmentUnits * cell.num_inputs();
+    if (cell.num_inputs() > 2) feasible = false;  // >4 series devices
+  }
+  report.area_hardened =
+      netlist.total_area() + cal::kUnitActiveArea * extra_units;
+
+  report.period_regular = core::regular_clock_period(sta.dmax, lib);
+  report.period_hardened = report.period_regular + options.delta * 2.0 +
+                           Picoseconds(kCwspGatePenaltyPs);
+  report.protection_pct = 100.0;
+  report.max_glitch = options.delta;
+  report.feasible = feasible;
+  return report;
+}
+
+}  // namespace cwsp::baselines

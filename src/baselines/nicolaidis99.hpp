@@ -1,0 +1,20 @@
+#pragma once
+// Baseline [21] (Nicolaidis, VTS 1999): every gate feeding a flip-flop is
+// replaced by its CWSP counterpart with 2k inputs (k original + k delayed
+// by δ), doubling that gate's transistor stack. Beyond 2-input gates the
+// series stacks exceed practical limits in bulk CMOS (paper §3.1), which
+// is what [15] fixed; the report flags such designs infeasible.
+
+#include "baselines/baseline.hpp"
+#include "netlist/netlist.hpp"
+
+namespace cwsp::baselines {
+
+struct Nicolaidis99Options {
+  Picoseconds delta{450.0};
+};
+
+[[nodiscard]] BaselineReport harden_nicolaidis99(
+    const Netlist& netlist, const Nicolaidis99Options& options = {});
+
+}  // namespace cwsp::baselines

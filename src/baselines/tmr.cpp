@@ -1,0 +1,65 @@
+#include "baselines/tmr.hpp"
+
+#include <algorithm>
+
+#include "cwsp/harden.hpp"
+#include "cwsp/timing.hpp"
+#include "sta/sta.hpp"
+
+namespace cwsp::baselines {
+namespace {
+
+/// Majority voter (AOI-based, ~12 transistors) per protected flip-flop.
+constexpr double kVoterUnits = 12.0;
+constexpr double kVoterDelayPs = 35.0;
+
+}  // namespace
+
+BaselineReport harden_spatial_tmr(const Netlist& netlist) {
+  const auto sta = run_sta(netlist);
+  const CellLibrary& lib = netlist.library();
+  const int num_ffs = core::protected_ff_count(netlist);
+
+  BaselineReport report;
+  report.technique = "Spatial TMR";
+  report.area_regular = netlist.total_area();
+  report.area_hardened =
+      netlist.combinational_area() * 3.0 +
+      lib.regular_ff().area * static_cast<double>(3 * num_ffs) +
+      cal::kUnitActiveArea * (kVoterUnits * num_ffs);
+  report.period_regular = core::regular_clock_period(sta.dmax, lib);
+  report.period_hardened =
+      report.period_regular + Picoseconds(kVoterDelayPs);
+  report.protection_pct = 100.0;
+  // Any single-module upset is out-voted regardless of width.
+  report.max_glitch = sta.dmax;
+  return report;
+}
+
+BaselineReport harden_multistrobe(const Netlist& netlist,
+                                  const MultiStrobeOptions& options) {
+  CWSP_REQUIRE(options.strobes >= 3 && options.strobes % 2 == 1);
+  const auto sta = run_sta(netlist);
+  const CellLibrary& lib = netlist.library();
+  const int num_ffs = core::protected_ff_count(netlist);
+
+  BaselineReport report;
+  report.technique = "Multi-strobe time TMR [23]";
+  report.area_regular = netlist.total_area();
+  const double extra_ffs = static_cast<double>(options.strobes - 1);
+  report.area_hardened =
+      report.area_regular +
+      lib.regular_ff().area * (extra_ffs * num_ffs) +
+      cal::kUnitActiveArea * (kVoterUnits * num_ffs);
+  report.period_regular = core::regular_clock_period(sta.dmax, lib);
+  // Strobing spans (strobes−1)·δ in the functional path + voting.
+  report.period_hardened = report.period_regular +
+                           options.delta * (options.strobes - 1.0) +
+                           Picoseconds(kVoterDelayPs);
+  report.protection_pct = 100.0;
+  // Tolerance is bounded by half the strobe span and by D_min/2 (§2).
+  report.max_glitch = std::min(options.delta, sta.dmin / 2.0);
+  return report;
+}
+
+}  // namespace cwsp::baselines

@@ -1,0 +1,29 @@
+#pragma once
+// Classic spatial triple modular redundancy and the time-redundancy
+// multi-strobe TMR of [23] (Nicolaidis, VTS 1999) — the two ends of the
+// redundancy spectrum the paper positions itself against.
+
+#include "baselines/baseline.hpp"
+#include "netlist/netlist.hpp"
+
+namespace cwsp::baselines {
+
+/// Spatial TMR: three copies of the combinational logic + a majority
+/// voter per protected flip-flop. Tolerates any single fault (any glitch
+/// width) at ~200% area.
+[[nodiscard]] BaselineReport harden_spatial_tmr(const Netlist& netlist);
+
+struct MultiStrobeOptions {
+  /// Inter-strobe spacing δ; the scheme tolerates glitches up to δ and at
+  /// most D_min/2 (paper §2).
+  Picoseconds delta{450.0};
+  int strobes = 3;
+};
+
+/// Time-redundancy TMR [23]: the output is strobed `strobes` times δ
+/// apart and majority-voted. Costs 2δ + voter delay in the functional
+/// path; area adds (strobes−1) FFs + one voter per protected FF.
+[[nodiscard]] BaselineReport harden_multistrobe(
+    const Netlist& netlist, const MultiStrobeOptions& options = {});
+
+}  // namespace cwsp::baselines

@@ -1,0 +1,109 @@
+#include "bencharness/benchmark_data.hpp"
+
+#include "common/error.hpp"
+
+namespace cwsp::bench {
+namespace {
+
+BenchmarkSpec spec(std::string name, std::string suite, int in, int out,
+                   bool inferred, double area, double dmax) {
+  BenchmarkSpec s;
+  s.name = std::move(name);
+  s.suite = std::move(suite);
+  s.num_inputs = in;
+  s.num_outputs = out;
+  s.ff_count_inferred = inferred;
+  s.regular_area_um2 = area;
+  s.dmax_ps = dmax;
+  return s;
+}
+
+std::vector<BenchmarkSpec> make_overhead_benchmarks() {
+  std::vector<BenchmarkSpec> v;
+
+  auto add = [&](BenchmarkSpec s, std::optional<PaperHardened> t150,
+                 std::optional<PaperHardened> t100) {
+    s.table1_q150 = t150;
+    s.table2_q100 = t100;
+    v.push_back(std::move(s));
+  };
+
+  // name, suite, inputs, outputs(=FFs), area, Dmax — paper Tables 1 & 2.
+  add(spec("alu2", "LGSynth93", 10, 6, false, 28.251025, 1624.53789),
+      PaperHardened{37.292225, 32.00}, PaperHardened{36.380825, 28.78});
+  add(spec("alu4", "LGSynth93", 14, 8, false, 53.87795, 1700.28379),
+      PaperHardened{65.87735, 22.27}, PaperHardened{64.66215, 20.02});
+  add(spec("apex2", "LGSynth93", 39, 3, false, 399.67155, 2069.548209),
+      PaperHardened{404.27545, 1.15}, PaperHardened{403.81975, 1.04});
+  add(spec("C1908", "ISCAS85", 33, 25, false, 43.660325, 1562.64811),
+      std::nullopt, PaperHardened{77.006925, 76.38});
+  add(spec("C3540", "ISCAS85", 50, 22, false, 97.8256, 1931.05049),
+      PaperHardened{130.5324, 33.43}, PaperHardened{127.1906, 30.02});
+  add(spec("C6288", "ISCAS85", 32, 32, false, 223.594225, 5141.05603),
+      PaperHardened{271.092025, 21.24}, PaperHardened{266.231225, 19.07});
+  add(spec("seq", "LGSynth93", 41, 35, false, 421.598, 2936.803),
+      PaperHardened{473.5331, 12.32}, PaperHardened{468.2166, 11.06});
+  add(spec("C7552", "ISCAS85", 207, 108, false, 187.676175, 2472.79124),
+      PaperHardened{347.624775, 85.23}, PaperHardened{331.219575, 76.48});
+  add(spec("C880", "ISCAS85", 60, 26, false, 36.15365, 1692.79889),
+      PaperHardened{74.77685, 106.83}, PaperHardened{70.82745, 95.91});
+  add(spec("C5315", "ISCAS85", 178, 123, false, 152.169625, 1475.91072),
+      std::nullopt, PaperHardened{315.630825, 107.42});
+  add(spec("dalu", "LGSynth93", 75, 16, false, 65.594625, 1489.08672),
+      std::nullopt, PaperHardened{86.996425, 32.63});
+  return v;
+}
+
+std::vector<BenchmarkSpec> make_fast_benchmarks() {
+  std::vector<BenchmarkSpec> v;
+  auto add = [&](BenchmarkSpec s, PaperHardened t3) {
+    s.table3_custom_delta = t3;
+    v.push_back(std::move(s));
+  };
+
+  add(spec("apex4", "LGSynth93", 9, 19, false, 200.0291, 1396.654),
+      PaperHardened{225.4125, 12.69});
+  add(spec("apex3", "LGSynth93", 54, 52, true, 139.1276, 1230.121789),
+      PaperHardened{208.5942, 49.93});
+  add(spec("b11_LoptLC", "ITC99", 38, 37, true, 55.428075, 1270.94562),
+      PaperHardened{104.701075, 88.90});
+  add(spec("C1355", "ISCAS85", 41, 32, false, 46.009025, 1012.19256),
+      PaperHardened{88.646025, 92.67});
+  add(spec("C432", "ISCAS85", 36, 7, false, 15.120875, 1385.38584),
+      PaperHardened{24.577875, 62.54});
+  add(spec("C499", "ISCAS85", 41, 32, false, 46.009025, 1012.19256),
+      PaperHardened{88.646025, 92.67});
+  add(spec("ex5p", "LGSynth93", 8, 65, true, 178.177325, 1195.07966),
+      PaperHardened{264.897525, 48.67});
+  add(spec("k2", "LGSynth93", 45, 47, true, 88.5317, 1170.34338),
+      PaperHardened{151.3623, 70.97});
+  add(spec("apex1", "LGSynth93", 45, 47, true, 111.4312, 982.903),
+      PaperHardened{174.2618, 56.39});
+  add(spec("ex4p", "LGSynth93", 128, 5, true, 17.594425, 630.381),
+      PaperHardened{24.397025, 38.66});
+  return v;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkSpec>& overhead_benchmarks() {
+  static const std::vector<BenchmarkSpec> v = make_overhead_benchmarks();
+  return v;
+}
+
+const std::vector<BenchmarkSpec>& fast_benchmarks() {
+  static const std::vector<BenchmarkSpec> v = make_fast_benchmarks();
+  return v;
+}
+
+const BenchmarkSpec& find_benchmark(const std::string& name) {
+  for (const auto& s : overhead_benchmarks()) {
+    if (s.name == name) return s;
+  }
+  for (const auto& s : fast_benchmarks()) {
+    if (s.name == name) return s;
+  }
+  throw Error("unknown benchmark circuit: " + name);
+}
+
+}  // namespace cwsp::bench

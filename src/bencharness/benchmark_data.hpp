@@ -1,0 +1,55 @@
+#pragma once
+// Published data for every benchmark circuit in the paper's Tables 1–3:
+// the regular active area and D_max the authors measured, plus the
+// protected-FF count.
+//
+// FF counts: for most circuits these are the public ISCAS85/LGSynth93
+// output counts, which reproduce the paper's per-circuit area overhead to
+// ≤1e-4 µm² (see DESIGN.md §5). For four LGSynth circuits (apex3, ex5p,
+// k2, apex1) the authors' mapped netlists evidently differ from the public
+// ones; their FF counts are inferred from the paper's own area data (best
+// integer fit) and flagged `ff_count_inferred`.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace cwsp::bench {
+
+/// Paper-reported hardened area for one protection level (µm²).
+struct PaperHardened {
+  double hardened_area_um2 = 0.0;
+  double area_overhead_pct = 0.0;
+};
+
+struct BenchmarkSpec {
+  std::string name;
+  std::string suite;  // "LGSynth93", "ISCAS85", "ITC"
+  int num_inputs = 0;
+  /// Protected flip-flop count (= primary outputs for these combinational
+  /// benchmarks).
+  int num_outputs = 0;
+  bool ff_count_inferred = false;
+
+  /// Paper-reported regular design figures.
+  double regular_area_um2 = 0.0;
+  double dmax_ps = 0.0;
+
+  /// Paper-reported hardened figures where the circuit appears.
+  std::optional<PaperHardened> table1_q150;
+  std::optional<PaperHardened> table2_q100;
+  std::optional<PaperHardened> table3_custom_delta;
+};
+
+/// All circuits of Tables 1 and 2 (Q = 150 fC / 100 fC experiments).
+[[nodiscard]] const std::vector<BenchmarkSpec>& overhead_benchmarks();
+
+/// The ten fast circuits of Table 3 (δ = min{Dmin/2, (Dmax−Δ)/2} mode).
+[[nodiscard]] const std::vector<BenchmarkSpec>& fast_benchmarks();
+
+/// Lookup across both sets; throws if unknown.
+[[nodiscard]] const BenchmarkSpec& find_benchmark(const std::string& name);
+
+}  // namespace cwsp::bench

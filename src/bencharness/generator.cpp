@@ -1,0 +1,440 @@
+#include "bencharness/generator.hpp"
+#include <optional>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sta/sta.hpp"
+
+namespace cwsp::bench {
+namespace {
+
+/// Vernier adjustment appended to the critical output: k INV stages plus
+/// optionally one BUF stage (+6.5 ps) for sub-stage resolution.
+struct BuildPlan {
+  int trunk_stages = 40;
+  int vernier_invs = 0;
+  int vernier_bufs = 0;
+  /// Multiplies the filler-capacity provisioning; the calibration loop
+  /// raises it if a build under-delivers area.
+  double width_boost = 1.0;
+};
+
+class Builder {
+ public:
+  Builder(const BenchmarkSpec& spec, const CellLibrary& lib,
+          std::uint64_t seed)
+      : spec_(spec), lib_(lib), seed_(seed) {
+    CWSP_REQUIRE(spec.num_inputs >= 1);
+    CWSP_REQUIRE(spec.num_outputs >= 1);
+  }
+
+  Netlist build(const BuildPlan& plan) {
+    Rng rng(seed_);
+    Netlist nl(lib_, spec_.name);
+    next_id_ = 0;
+
+    // ---- primary inputs, split across the two trunks -----------------
+    std::vector<NetId> pis;
+    pis.reserve(static_cast<std::size_t>(spec_.num_inputs));
+    for (int i = 0; i < spec_.num_inputs; ++i) {
+      pis.push_back(nl.add_primary_input("pi" + std::to_string(i)));
+    }
+    const int num_trunks = 2;
+    std::vector<std::vector<NetId>> trunk_pis(num_trunks);
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      trunk_pis[i % num_trunks].push_back(pis[i]);
+    }
+    // A trunk with no PIs of its own starts from the first PI.
+    for (auto& tp : trunk_pis) {
+      if (tp.empty()) tp.push_back(pis[0]);
+    }
+
+    // ---- PI-reduction tree + spine per trunk, built in lockstep ------
+    std::vector<std::vector<NetId>> spine(num_trunks);
+    for (int t = 0; t < num_trunks; ++t) {
+      spine[t].push_back(reduce_tree(nl, trunk_pis[t]));
+    }
+    const int len0 = plan.trunk_stages;
+    const std::vector<int> length{len0, std::max(4, len0 - 3)};
+    for (int s = 1; s <= len0; ++s) {
+      for (int t = 0; t < num_trunks; ++t) {
+        if (s > length[t]) continue;
+        const NetId prev = spine[t].back();
+        const int other = 1 - t;
+        NetId out;
+        if (s % 8 == 0 &&
+            static_cast<int>(spine[other].size()) > s - 1) {
+          out = add_gate(nl, CellKind::kNand2,
+                         {prev, spine[other][static_cast<std::size_t>(s - 1)]});
+        } else {
+          out = add_gate(nl, CellKind::kInv, {prev});
+        }
+        spine[t].push_back(out);
+      }
+    }
+
+    // ---- critical output: trunk 0 end + vernier ----------------------
+    NetId critical = spine[0].back();
+    if (spec_.num_outputs == 1) {
+      // Single-output designs must still consume trunk 1's terminal node.
+      critical = add_gate(nl, CellKind::kXor2, {critical, spine[1].back()});
+    }
+    for (int i = 0; i < plan.vernier_invs; ++i) {
+      critical = add_gate(nl, CellKind::kInv, {critical});
+    }
+    for (int i = 0; i < plan.vernier_bufs; ++i) {
+      critical = add_gate(nl, CellKind::kBuf, {critical});
+    }
+    nl.mark_primary_output(critical);
+
+    // ---- remaining outputs: trunk taps with filler-hosting tails -----
+    double filler_budget =
+        spec_.regular_area_um2 - nl.combinational_area().value() -
+        estimate_tail_area(len0);
+    const int num_tails = spec_.num_outputs - 1;
+    if (num_tails == 0) return finalize(nl);
+
+    // Provision join capacity: each tail hosts `joins_per_tail` filler
+    // bundles of `bundle_width` leaves (leaves ≈ 0.7·trunk inverter
+    // chains). Capacity is sized to ~1.4× the budget so the budget-driven
+    // filler loop always has room to land exactly on target.
+    const double inv_area =
+        lib_.cell(lib_.cell_for(CellKind::kInv)).active_area().value();
+    const double per_leaf_area = std::max(4.0, 0.7 * len0) * inv_area;
+    int bundle_width = 1;
+    int joins_per_tail = 2;
+    if (filler_budget > 0.0) {
+      const double need = 1.4 * filler_budget * plan.width_boost;
+      bundle_width = static_cast<int>(std::ceil(
+          need / (num_tails * joins_per_tail * per_leaf_area)));
+      bundle_width = std::clamp(bundle_width, 1, 64);
+      const double cap =
+          num_tails * joins_per_tail * bundle_width * per_leaf_area;
+      if (cap < need) {
+        joins_per_tail = static_cast<int>(std::ceil(
+            need / (num_tails * bundle_width * per_leaf_area)));
+        joins_per_tail =
+            std::clamp(joins_per_tail, 2, std::max(2, len0 / 5));
+      }
+    }
+
+    // Precompute every tail's tap/limit so the filler loop can budget
+    // against the exact inverter cost of finishing all remaining tails.
+    const int band = std::max(1, (3 * len0) / 10);
+    struct TailPlan {
+      int trunk = 0;
+      int tap = 0;
+      int limit = 0;
+      bool last = false;
+    };
+    std::vector<TailPlan> tails;
+    for (int k = 1; k < spec_.num_outputs; ++k) {
+      TailPlan tp;
+      tp.last = k == spec_.num_outputs - 1;
+      tp.trunk = k % num_trunks;
+      const int lt = length[tp.trunk];
+      const int tail_len = std::max(4 + ((k / num_trunks) % band),
+                                    2 * joins_per_tail + 2);
+      tp.tap = std::clamp(lt - tail_len, std::max(5, lt / 2), lt - 4);
+      tp.limit = lt - (tp.last ? 2 : 0);
+      tails.push_back(tp);
+    }
+    const double xor_area =
+        lib_.cell(lib_.cell_for(CellKind::kXor2)).active_area().value();
+    // Suffix sums of the INV-only completion cost of tails i.. end.
+    std::vector<double> completion_after(tails.size() + 1, 0.0);
+    for (std::size_t i = tails.size(); i-- > 0;) {
+      completion_after[i] =
+          completion_after[i + 1] +
+          (tails[i].limit - tails[i].tap) * inv_area +
+          (tails[i].last ? xor_area : 0.0);
+    }
+
+    for (std::size_t i = 0; i < tails.size(); ++i) {
+      const TailPlan& tp = tails[i];
+      NetId node = spine[tp.trunk][static_cast<std::size_t>(tp.tap)];
+      int effective = tp.tap;
+      while (effective < tp.limit) {
+        // Area left for fillers once every remaining tail stage (this
+        // tail and all later ones) is finished with plain inverters.
+        const double completion =
+            (tp.limit - effective) * inv_area +
+            (tp.last ? xor_area : 0.0) + completion_after[i + 1];
+        const double filler_room = spec_.regular_area_um2 -
+                                   nl.combinational_area().value() -
+                                   completion;
+        if (filler_room > 2.0 * inv_area + xor_area &&
+            effective + 2 <= tp.limit) {
+          const NetId mix = build_filler_bundle(
+              nl, pis, spine, rng, effective, bundle_width, filler_room);
+          node = add_gate(nl, CellKind::kXor2, {node, mix});
+          effective += 2;
+        } else {
+          node = add_gate(nl, CellKind::kInv, {node});
+          effective += 1;
+        }
+      }
+      if (tp.last) {
+        // Fold in trunk 1's terminal node so it never dangles (its path
+        // length len1 + 1 stays below the critical trunk).
+        node = add_gate(nl, CellKind::kXor2, {node, spine[1].back()});
+      }
+      nl.mark_primary_output(node);
+    }
+
+    return finalize(nl);
+  }
+
+ private:
+  NetId add_gate(Netlist& nl, CellKind kind,
+                 const std::vector<NetId>& inputs) {
+    const GateId g = nl.add_gate(lib_.cell_for(kind), inputs,
+                                 "n" + std::to_string(next_id_++));
+    return nl.gate(g).output;
+  }
+
+  /// Balanced NAND reduction of a PI group down to one net.
+  NetId reduce_tree(Netlist& nl, std::vector<NetId> level) {
+    while (level.size() > 1) {
+      std::vector<NetId> next;
+      for (std::size_t i = 0; i < level.size();) {
+        const std::size_t n = std::min<std::size_t>(4, level.size() - i);
+        if (n == 1) {
+          next.push_back(level[i]);
+          i += 1;
+          continue;
+        }
+        const CellKind kind = n == 2   ? CellKind::kNand2
+                              : n == 3 ? CellKind::kNand3
+                                       : CellKind::kNand4;
+        std::vector<NetId> group(level.begin() + static_cast<long>(i),
+                                 level.begin() + static_cast<long>(i + n));
+        next.push_back(add_gate(nl, kind, group));
+        i += n;
+      }
+      level = std::move(next);
+    }
+    return level[0];
+  }
+
+  /// A balanced XOR tree of inverter-chain leaves, depth-matched to join
+  /// at `depth_budget`. Each leaf starts from a spine node at exactly the
+  /// depth that makes its total path length match the trunk, so fillers
+  /// never create short (or long) paths regardless of leaf length.
+  /// Consumes at most `budget` µm².
+  NetId build_filler_bundle(Netlist& nl, const std::vector<NetId>& pis,
+                            const std::vector<std::vector<NetId>>& spine,
+                            Rng& rng, int depth_budget, int width,
+                            double budget) {
+    const double inv_area =
+        lib_.cell(lib_.cell_for(CellKind::kInv)).active_area().value();
+    const double xor_area =
+        lib_.cell(lib_.cell_for(CellKind::kXor2)).active_area().value();
+
+    // Balanced XOR reduction keeps the tree depth at 2·⌈log2 W⌉ stage
+    // equivalents, so leaves can be near trunk length.
+    int tree_depth = 0;
+    while ((1 << tree_depth) < width) ++tree_depth;
+    const int leaf_target = std::max(1, depth_budget - 2 * tree_depth - 2);
+
+    const double start_area = nl.combinational_area().value();
+    std::vector<NetId> ends;
+    for (int j = 0; j < width; ++j) {
+      const double spent = nl.combinational_area().value() - start_area;
+      // Reserve area for the reduction XORs still to come.
+      const double reserve =
+          (static_cast<double>(ends.size()) + 1.0) * xor_area;
+      const int affordable = static_cast<int>(
+          std::floor((budget - spent - reserve) / inv_area));
+      if (affordable < 1) break;
+      const int leaf_len = std::min(leaf_target, affordable);
+
+      // Full-length leaves start at primary inputs (which carry no driver,
+      // so their fanout load is timing-free); budget-trimmed leaves start
+      // on a spine node at depth (leaf path target − len) so their join
+      // stays depth-matched.
+      NetId leaf;
+      if (leaf_len == leaf_target) {
+        leaf = pis[rng.next_below(pis.size())];
+      } else {
+        const auto& trunk = spine[rng.next_below(spine.size())];
+        const int start_depth = std::clamp(
+            leaf_target - leaf_len, 0, static_cast<int>(trunk.size()) - 1);
+        leaf = trunk[static_cast<std::size_t>(start_depth)];
+      }
+      for (int s = 0; s < leaf_len; ++s) {
+        leaf = add_gate(nl, CellKind::kInv, {leaf});
+      }
+      ends.push_back(leaf);
+    }
+    if (ends.empty()) {
+      // Caller guarantees room for at least one inverter + one XOR.
+      const auto& trunk = spine[0];
+      const int start_depth = std::clamp(
+          leaf_target - 1, 0, static_cast<int>(trunk.size()) - 1);
+      ends.push_back(add_gate(
+          nl, CellKind::kInv,
+          {trunk[static_cast<std::size_t>(start_depth)]}));
+    }
+    while (ends.size() > 1) {
+      std::vector<NetId> next;
+      for (std::size_t i = 0; i + 1 < ends.size(); i += 2) {
+        next.push_back(add_gate(nl, CellKind::kXor2, {ends[i], ends[i + 1]}));
+      }
+      if (ends.size() % 2 == 1) next.push_back(ends.back());
+      ends = std::move(next);
+    }
+    return ends[0];
+  }
+
+  double estimate_tail_area(int len0) const {
+    const double inv_area =
+        lib_.cell(lib_.cell_for(CellKind::kInv)).active_area().value();
+    const double avg_tail = 4.0 + std::min(12.0, len0 * 0.05);
+    return (spec_.num_outputs - 1) * avg_tail * inv_area;
+  }
+
+  Netlist finalize(Netlist& nl) {
+    nl.validate();
+    return std::move(nl);
+  }
+
+  const BenchmarkSpec& spec_;
+  const CellLibrary& lib_;
+  std::uint64_t seed_;
+  int next_id_ = 0;
+};
+
+}  // namespace
+
+GeneratedBenchmark generate_benchmark(const BenchmarkSpec& spec,
+                                      const CellLibrary& library,
+                                      const GeneratorOptions& options) {
+  Builder builder(spec, library, options.seed);
+
+  BuildPlan plan;
+  plan.trunk_stages = std::max(16, static_cast<int>(std::lround(
+                                       spec.dmax_ps / 14.0)));
+
+  std::optional<GeneratedBenchmark> best;
+  double best_score = 1e18;
+  int rebuilds = 0;
+
+  for (int iter = 0; iter < options.max_rebuilds; ++iter) {
+    ++rebuilds;
+    Netlist netlist = builder.build(plan);
+    const auto sta = run_sta(netlist);
+    const double gap = spec.dmax_ps - sta.dmax.value();
+    const SquareMicrons area = netlist.combinational_area();
+    const double area_gap = spec.regular_area_um2 - area.value();
+
+    // Area misses dominate the score so an area-complete build is always
+    // preferred; within that, minimise the Dmax gap.
+    const double score =
+        std::fabs(gap) +
+        (std::fabs(area_gap) > options.area_tolerance_um2 ? 1e9 : 0.0);
+    if (score < best_score) {
+      best_score = score;
+      best.emplace(GeneratedBenchmark{std::move(netlist), sta.dmax, sta.dmin,
+                                      area, rebuilds});
+    }
+    if (std::fabs(area_gap) > options.area_tolerance_um2) {
+      // Under-delivered fillers: provision more capacity and rebuild.
+      plan.width_boost = std::min(16.0, plan.width_boost * 2.0);
+      continue;
+    }
+    if (best_score <= options.dmax_tolerance_ps) break;
+
+    if (std::fabs(gap) > 60.0) {
+      // Coarse phase: rescale the trunk length multiplicatively.
+      const double scale = spec.dmax_ps / sta.dmax.value();
+      int next = static_cast<int>(std::lround(plan.trunk_stages * scale));
+      if (next == plan.trunk_stages) next += (gap > 0 ? 1 : -1);
+      plan.trunk_stages = std::max(16, next);
+      plan.vernier_invs = 0;
+      plan.vernier_bufs = 0;
+    } else {
+      // Fine phase: search the vernier grid (INV ≈ +14 ps, BUF ≈ +6.5 ps)
+      // for the combination that best cancels the residual.
+      int best_dk = 0;
+      int best_b = plan.vernier_bufs;
+      double best_err = std::fabs(gap);
+      for (int dk = -3; dk <= 3; ++dk) {
+        for (int b = 0; b <= 1; ++b) {
+          const double predicted =
+              gap - 14.0 * dk - 6.5 * (b - plan.vernier_bufs);
+          if (std::fabs(predicted) < best_err) {
+            best_err = std::fabs(predicted);
+            best_dk = dk;
+            best_b = b;
+          }
+        }
+      }
+      int k = plan.vernier_invs + best_dk;
+      if (k < 0) {
+        plan.trunk_stages = std::max(16, plan.trunk_stages - 1);
+        k = 0;
+      }
+      plan.vernier_invs = k;
+      plan.vernier_bufs = best_b;
+    }
+  }
+
+  CWSP_REQUIRE_MSG(
+      best.has_value() && best_score <= options.dmax_tolerance_ps,
+      "generator failed to calibrate Dmax for "
+          << spec.name << ": best score " << best_score << " after "
+          << rebuilds << " rebuilds");
+  const double area_gap =
+      std::fabs(best->measured_area.value() - spec.regular_area_um2);
+  CWSP_REQUIRE_MSG(area_gap <= options.area_tolerance_um2,
+                   "generator failed to calibrate area for "
+                       << spec.name << ": gap " << area_gap << " um^2");
+  return std::move(*best);
+}
+
+Netlist clone_with_output_flip_flops(const Netlist& source) {
+  const CellLibrary& lib = source.library();
+  Netlist clone(lib, source.name() + "_ff");
+
+  std::vector<NetId> map(source.num_nets());
+  for (NetId pi : source.primary_inputs()) {
+    map[pi.index()] = clone.add_primary_input(source.net(pi).name);
+  }
+  for (std::size_t i = 0; i < source.num_nets(); ++i) {
+    const Net& net = source.net(NetId{i});
+    if (net.driver_kind == DriverKind::kConstant) {
+      map[i] = clone.add_constant(net.constant_value, net.name);
+    }
+  }
+  // Source FFs keep their boundary role: Q becomes a clone FF output.
+  // (Create D nets lazily below; gates drive them.)
+  for (GateId g : source.topological_order()) {
+    const Gate& gate = source.gate(g);
+    std::vector<NetId> ins;
+    ins.reserve(gate.inputs.size());
+    for (NetId in : gate.inputs) {
+      CWSP_REQUIRE_MSG(map[in.index()].valid(),
+                       "clone: input net not yet mapped (source FF "
+                       "netlists unsupported)");
+      ins.push_back(map[in.index()]);
+    }
+    const GateId ng =
+        clone.add_gate(gate.cell, ins, source.net(gate.output).name);
+    map[gate.output.index()] = clone.gate(ng).output;
+  }
+  CWSP_REQUIRE_MSG(source.num_flip_flops() == 0,
+                   "clone_with_output_flip_flops expects a combinational "
+                   "source netlist");
+  for (NetId po : source.primary_outputs()) {
+    const FlipFlopId ff = clone.add_flip_flop(
+        map[po.index()], source.net(po).name + "_q");
+    clone.mark_primary_output(clone.flip_flop(ff).q);
+  }
+  clone.validate();
+  return clone;
+}
+
+}  // namespace cwsp::bench

@@ -1,0 +1,55 @@
+#pragma once
+// Calibrated synthetic benchmark generator.
+//
+// The paper evaluates on the authors' technology-mapped LGSynth93 / ITC /
+// ISCAS85 netlists, which are not distributable. Its metrics depend on a
+// netlist only through (a) regular active area, (b) D_max (and the
+// D_min = 0.8·D_max assumption [33]), and (c) the protected-FF count, so
+// this generator synthesises a circuit that our own cell library + STA
+// measure to the published area/D_max within tight tolerance:
+//
+//   * two parallel trunk chains (PI-reduction tree + INV spine with NAND2
+//     cross-links every few stages) set D_max; trunk length is calibrated
+//     against STA in a rebuild loop;
+//   * each primary output taps a trunk near its end through a private
+//     INV tail, so all PI→PO paths have near-equal length;
+//   * XOR-joined filler bundles (inverter-chain leaves, depth-matched at
+//     their join point so they create no short or long paths) bring the
+//     active area to the published value.
+//
+// The result is deterministic for a given (spec, seed).
+
+#include "bencharness/benchmark_data.hpp"
+#include "netlist/netlist.hpp"
+
+namespace cwsp::bench {
+
+struct GeneratorOptions {
+  std::uint64_t seed = 1;
+  /// Accept |measured D_max − target| below this (ps).
+  double dmax_tolerance_ps = 8.0;
+  /// Accept |measured area − target| below this (µm²).
+  double area_tolerance_um2 = 0.05;
+  int max_rebuilds = 24;
+};
+
+struct GeneratedBenchmark {
+  Netlist netlist;
+  Picoseconds measured_dmax{0.0};
+  Picoseconds measured_dmin{0.0};
+  SquareMicrons measured_area{0.0};
+  int rebuilds = 0;
+};
+
+/// Builds the synthetic netlist for a benchmark spec. Throws cwsp::Error
+/// if the calibration loop cannot reach the tolerances.
+[[nodiscard]] GeneratedBenchmark generate_benchmark(
+    const BenchmarkSpec& spec, const CellLibrary& library,
+    const GeneratorOptions& options = {});
+
+/// Clones a combinational netlist, inserting a D flip-flop at every
+/// primary output (the system context the paper assumes); the FF Q nets
+/// become the primary outputs. Used by the fault-injection experiments.
+[[nodiscard]] Netlist clone_with_output_flip_flops(const Netlist& source);
+
+}  // namespace cwsp::bench

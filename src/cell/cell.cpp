@@ -1,0 +1,110 @@
+#include "cell/cell.hpp"
+
+namespace cwsp {
+
+const char* to_string(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInv: return "INV";
+    case CellKind::kBuf: return "BUF";
+    case CellKind::kNand2: return "NAND2";
+    case CellKind::kNand3: return "NAND3";
+    case CellKind::kNand4: return "NAND4";
+    case CellKind::kNor2: return "NOR2";
+    case CellKind::kNor3: return "NOR3";
+    case CellKind::kNor4: return "NOR4";
+    case CellKind::kAnd2: return "AND2";
+    case CellKind::kAnd3: return "AND3";
+    case CellKind::kAnd4: return "AND4";
+    case CellKind::kOr2: return "OR2";
+    case CellKind::kOr3: return "OR3";
+    case CellKind::kOr4: return "OR4";
+    case CellKind::kXor2: return "XOR2";
+    case CellKind::kXnor2: return "XNOR2";
+    case CellKind::kMux2: return "MUX2";
+    case CellKind::kAoi21: return "AOI21";
+    case CellKind::kOai21: return "OAI21";
+  }
+  return "?";
+}
+
+Cell::Cell(std::string name, CellKind kind, int num_inputs,
+           std::uint16_t truth, std::vector<Transistor> devices,
+           Picoseconds intrinsic_delay, Kiloohms drive_resistance,
+           Femtofarads input_capacitance, Picoseconds inertial_delay)
+    : name_(std::move(name)),
+      kind_(kind),
+      num_inputs_(num_inputs),
+      truth_(truth),
+      devices_(std::move(devices)),
+      area_(total_active_area(devices_)),
+      intrinsic_delay_(intrinsic_delay),
+      drive_resistance_(drive_resistance),
+      input_capacitance_(input_capacitance),
+      inertial_delay_(inertial_delay) {
+  CWSP_REQUIRE(num_inputs_ >= 1 && num_inputs_ <= 4);
+  CWSP_REQUIRE(intrinsic_delay_ >= Picoseconds(0.0));
+}
+
+int input_count_for(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInv:
+    case CellKind::kBuf:
+      return 1;
+    case CellKind::kNand2:
+    case CellKind::kNor2:
+    case CellKind::kAnd2:
+    case CellKind::kOr2:
+    case CellKind::kXor2:
+    case CellKind::kXnor2:
+      return 2;
+    case CellKind::kNand3:
+    case CellKind::kNor3:
+    case CellKind::kAnd3:
+    case CellKind::kOr3:
+    case CellKind::kMux2:
+    case CellKind::kAoi21:
+    case CellKind::kOai21:
+      return 3;
+    case CellKind::kNand4:
+    case CellKind::kNor4:
+    case CellKind::kAnd4:
+    case CellKind::kOr4:
+      return 4;
+  }
+  return 0;
+}
+
+std::uint16_t truth_table_for(CellKind kind, int num_inputs) {
+  CWSP_REQUIRE(num_inputs == input_count_for(kind));
+  const unsigned rows = 1u << num_inputs;
+  std::uint16_t table = 0;
+  for (unsigned row = 0; row < rows; ++row) {
+    const auto bit = [&](int i) { return (row >> i) & 1u; };
+    bool out = false;
+    switch (kind) {
+      case CellKind::kInv: out = !bit(0); break;
+      case CellKind::kBuf: out = bit(0); break;
+      case CellKind::kNand2: out = !(bit(0) && bit(1)); break;
+      case CellKind::kNand3: out = !(bit(0) && bit(1) && bit(2)); break;
+      case CellKind::kNand4: out = !(bit(0) && bit(1) && bit(2) && bit(3)); break;
+      case CellKind::kNor2: out = !(bit(0) || bit(1)); break;
+      case CellKind::kNor3: out = !(bit(0) || bit(1) || bit(2)); break;
+      case CellKind::kNor4: out = !(bit(0) || bit(1) || bit(2) || bit(3)); break;
+      case CellKind::kAnd2: out = bit(0) && bit(1); break;
+      case CellKind::kAnd3: out = bit(0) && bit(1) && bit(2); break;
+      case CellKind::kAnd4: out = bit(0) && bit(1) && bit(2) && bit(3); break;
+      case CellKind::kOr2: out = bit(0) || bit(1); break;
+      case CellKind::kOr3: out = bit(0) || bit(1) || bit(2); break;
+      case CellKind::kOr4: out = bit(0) || bit(1) || bit(2) || bit(3); break;
+      case CellKind::kXor2: out = bit(0) != bit(1); break;
+      case CellKind::kXnor2: out = bit(0) == bit(1); break;
+      case CellKind::kMux2: out = bit(2) ? bit(1) : bit(0); break;
+      case CellKind::kAoi21: out = !((bit(0) && bit(1)) || bit(2)); break;
+      case CellKind::kOai21: out = !((bit(0) || bit(1)) && bit(2)); break;
+    }
+    if (out) table |= static_cast<std::uint16_t>(1u << row);
+  }
+  return table;
+}
+
+}  // namespace cwsp

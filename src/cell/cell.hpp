@@ -1,0 +1,103 @@
+#pragma once
+// Standard-cell model: logic function (truth table), transistor
+// composition (for active area) and a linear RC timing model
+//   delay = intrinsic + R_drive · C_load.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cell/transistor.hpp"
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "common/units.hpp"
+
+namespace cwsp {
+
+enum class CellKind {
+  kInv,
+  kBuf,
+  kNand2,
+  kNand3,
+  kNand4,
+  kNor2,
+  kNor3,
+  kNor4,
+  kAnd2,
+  kAnd3,
+  kAnd4,
+  kOr2,
+  kOr3,
+  kOr4,
+  kXor2,
+  kXnor2,
+  kMux2,  // inputs: (d0, d1, sel); out = sel ? d1 : d0
+  kAoi21, // inputs: (a, b, c); out = !((a & b) | c)
+  kOai21, // inputs: (a, b, c); out = !((a | b) & c)
+};
+
+[[nodiscard]] const char* to_string(CellKind kind);
+
+/// A combinational standard cell. Sequential elements (flip-flops) are
+/// modelled separately (see FlipFlopModel in library.hpp) because their
+/// timing is characterised by setup/clk→Q rather than a propagation delay.
+class Cell {
+ public:
+  Cell(std::string name, CellKind kind, int num_inputs, std::uint16_t truth,
+       std::vector<Transistor> devices, Picoseconds intrinsic_delay,
+       Kiloohms drive_resistance, Femtofarads input_capacitance,
+       Picoseconds inertial_delay);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] CellKind kind() const { return kind_; }
+  [[nodiscard]] int num_inputs() const { return num_inputs_; }
+
+  /// Evaluates the cell on an input assignment packed LSB-first
+  /// (bit i = value of input pin i).
+  [[nodiscard]] bool evaluate(unsigned input_bits) const {
+    CWSP_ASSERT(input_bits < (1u << num_inputs_));
+    return (truth_ >> input_bits) & 1u;
+  }
+
+  /// Raw truth table, bit i = output for input assignment i.
+  [[nodiscard]] std::uint16_t truth_table() const { return truth_; }
+
+  [[nodiscard]] SquareMicrons active_area() const { return area_; }
+  [[nodiscard]] const std::vector<Transistor>& devices() const {
+    return devices_;
+  }
+
+  [[nodiscard]] Picoseconds intrinsic_delay() const { return intrinsic_delay_; }
+  [[nodiscard]] Kiloohms drive_resistance() const { return drive_resistance_; }
+  [[nodiscard]] Femtofarads input_capacitance() const {
+    return input_capacitance_;
+  }
+  /// Minimum input pulse width the gate propagates (inertial filtering):
+  /// SET glitches narrower than this die inside the gate.
+  [[nodiscard]] Picoseconds inertial_delay() const { return inertial_delay_; }
+
+  /// Propagation delay into a given load.
+  [[nodiscard]] Picoseconds delay(Femtofarads load) const {
+    return intrinsic_delay_ + rc_delay(drive_resistance_, load);
+  }
+
+ private:
+  std::string name_;
+  CellKind kind_;
+  int num_inputs_;
+  std::uint16_t truth_;
+  std::vector<Transistor> devices_;
+  SquareMicrons area_;
+  Picoseconds intrinsic_delay_;
+  Kiloohms drive_resistance_;
+  Femtofarads input_capacitance_;
+  Picoseconds inertial_delay_;
+};
+
+/// Computes the truth table of a basic function over n inputs.
+[[nodiscard]] std::uint16_t truth_table_for(CellKind kind, int num_inputs);
+
+/// Number of inputs implied by the cell kind.
+[[nodiscard]] int input_count_for(CellKind kind);
+
+}  // namespace cwsp

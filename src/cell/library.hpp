@@ -1,0 +1,74 @@
+#pragma once
+// The cell library: a registry of combinational cells plus the flip-flop
+// timing models. `make_default_library()` builds the 65 nm-calibrated
+// library used by every experiment in this repo.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cell/calibration.hpp"
+#include "cell/cell.hpp"
+#include "common/ids.hpp"
+
+namespace cwsp {
+
+/// Timing/area model of a D flip-flop. The paper characterises the
+/// regular system FF as setup 40 ps / clk→Q 69 ps and the CWSP-modified
+/// FF (MUX folded into the master latch) as setup 38 ps / clk→Q 76 ps.
+struct FlipFlopModel {
+  Picoseconds setup{0.0};
+  Picoseconds hold{0.0};
+  Picoseconds clk_to_q{0.0};
+  SquareMicrons area{0.0};
+  Femtofarads d_capacitance{0.0};
+  Kiloohms drive_resistance{0.0};
+};
+
+class CellLibrary {
+ public:
+  /// Registers a cell; names must be unique.
+  CellId add_cell(Cell cell);
+
+  [[nodiscard]] const Cell& cell(CellId id) const;
+  [[nodiscard]] std::optional<CellId> find(const std::string& name) const;
+  /// Looks up the canonical cell for a kind; throws if absent.
+  [[nodiscard]] CellId cell_for(CellKind kind) const;
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+
+  [[nodiscard]] const FlipFlopModel& regular_ff() const { return regular_ff_; }
+  [[nodiscard]] const FlipFlopModel& modified_ff() const {
+    return modified_ff_;
+  }
+  void set_regular_ff(FlipFlopModel m) { regular_ff_ = m; }
+  void set_modified_ff(FlipFlopModel m) { modified_ff_ = m; }
+
+  /// Estimated interconnect capacitance added per fanout connection.
+  [[nodiscard]] Femtofarads wire_capacitance_per_fanout() const {
+    return wire_cap_per_fanout_;
+  }
+  void set_wire_capacitance_per_fanout(Femtofarads c) {
+    wire_cap_per_fanout_ = c;
+  }
+
+ private:
+  std::vector<Cell> cells_;
+  std::unordered_map<std::string, CellId> by_name_;
+  std::unordered_map<CellKind, CellId> by_kind_;
+  FlipFlopModel regular_ff_;
+  FlipFlopModel modified_ff_;
+  Femtofarads wire_cap_per_fanout_{0.3};
+};
+
+/// Builds the 65 nm library calibrated to the paper (see calibration.hpp).
+[[nodiscard]] CellLibrary make_default_library();
+
+/// Canonical static-CMOS transistor composition for a cell kind (used by
+/// the default library and the liberty-lite loader).
+[[nodiscard]] std::vector<Transistor> canonical_devices_for(CellKind kind);
+
+/// Inverse of to_string(CellKind); throws on unknown names.
+[[nodiscard]] CellKind cell_kind_from_string(const std::string& name);
+
+}  // namespace cwsp

@@ -1,0 +1,208 @@
+#include "cell/library_io.hpp"
+
+#include <optional>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace cwsp {
+namespace {
+
+/// Whitespace tokenizer with '#' comments; braces are standalone tokens.
+std::vector<std::string> tokenize(std::istream& in) {
+  std::vector<std::string> tokens;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::string current;
+    auto flush = [&] {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+    };
+    for (char c : line) {
+      if (c == '{' || c == '}') {
+        flush();
+        tokens.push_back(std::string(1, c));
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        flush();
+      } else {
+        current.push_back(c);
+      }
+    }
+    flush();
+  }
+  return tokens;
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::vector<std::string> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= tokens_.size(); }
+  [[nodiscard]] const std::string& peek() const {
+    CWSP_REQUIRE_MSG(!done(), "library: unexpected end of input");
+    return tokens_[pos_];
+  }
+  std::string next() {
+    CWSP_REQUIRE_MSG(!done(), "library: unexpected end of input");
+    return tokens_[pos_++];
+  }
+  void expect(const std::string& token) {
+    const std::string got = next();
+    CWSP_REQUIRE_MSG(got == token,
+                     "library: expected '" << token << "', got '" << got
+                                           << "'");
+  }
+  double number() {
+    const std::string token = next();
+    try {
+      return std::stod(token);
+    } catch (const std::exception&) {
+      throw Error("library: expected a number, got '" + token + "'");
+    }
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::size_t pos_ = 0;
+};
+
+/// key → value block: `{ key num key num ... }`.
+std::map<std::string, double> parse_kv_block(Cursor& cursor) {
+  cursor.expect("{");
+  std::map<std::string, double> kv;
+  while (cursor.peek() != "}") {
+    const std::string key = cursor.next();
+    kv[key] = cursor.number();
+  }
+  cursor.expect("}");
+  return kv;
+}
+
+double require(const std::map<std::string, double>& kv,
+               const std::string& key, const std::string& context) {
+  const auto it = kv.find(key);
+  CWSP_REQUIRE_MSG(it != kv.end(),
+                   "library: " << context << " is missing '" << key << "'");
+  return it->second;
+}
+
+FlipFlopModel parse_ff(const std::map<std::string, double>& kv,
+                       const std::string& context) {
+  FlipFlopModel ff;
+  ff.setup = Picoseconds(require(kv, "setup", context));
+  ff.clk_to_q = Picoseconds(require(kv, "clkq", context));
+  ff.hold = Picoseconds(require(kv, "hold", context));
+  ff.area = cal::kUnitActiveArea * require(kv, "area_units", context);
+  ff.d_capacitance = Femtofarads(require(kv, "dcap", context));
+  ff.drive_resistance = Kiloohms(require(kv, "rdrive", context));
+  return ff;
+}
+
+}  // namespace
+
+CellLibrary parse_library(std::istream& in) {
+  Cursor cursor(tokenize(in));
+  cursor.expect("library");
+  cursor.next();  // library name (informational)
+  cursor.expect("{");
+
+  CellLibrary lib;
+  bool have_regular = false;
+  bool have_modified = false;
+
+  while (cursor.peek() != "}") {
+    const std::string entry = cursor.next();
+    if (entry == "wire_cap_per_fanout") {
+      lib.set_wire_capacitance_per_fanout(Femtofarads(cursor.number()));
+    } else if (entry == "ff") {
+      const std::string which = cursor.next();
+      const auto kv = parse_kv_block(cursor);
+      if (which == "regular") {
+        lib.set_regular_ff(parse_ff(kv, "ff regular"));
+        have_regular = true;
+      } else if (which == "modified") {
+        lib.set_modified_ff(parse_ff(kv, "ff modified"));
+        have_modified = true;
+      } else {
+        throw Error("library: unknown ff variant '" + which + "'");
+      }
+    } else if (entry == "cell") {
+      const std::string name = cursor.next();
+      cursor.expect("{");
+      std::optional<CellKind> kind;
+      std::map<std::string, double> nums;
+      while (cursor.peek() != "}") {
+        const std::string key = cursor.next();
+        if (key == "kind") {
+          kind = cell_kind_from_string(cursor.next());
+        } else {
+          nums[key] = cursor.number();
+        }
+      }
+      cursor.expect("}");
+      CWSP_REQUIRE_MSG(kind.has_value(),
+                       "library: cell " << name << " is missing 'kind'");
+      const int n = input_count_for(*kind);
+      const std::string ctx = "cell " + name;
+      lib.add_cell(Cell(name, *kind, n, truth_table_for(*kind, n),
+                        canonical_devices_for(*kind),
+                        Picoseconds(require(nums, "intrinsic", ctx)),
+                        Kiloohms(require(nums, "rdrive", ctx)),
+                        Femtofarads(require(nums, "cin", ctx)),
+                        Picoseconds(require(nums, "inertial", ctx))));
+    } else {
+      throw Error("library: unknown entry '" + entry + "'");
+    }
+  }
+  cursor.expect("}");
+
+  CWSP_REQUIRE_MSG(have_regular && have_modified,
+                   "library: both ff regular and ff modified are required");
+  return lib;
+}
+
+CellLibrary parse_library_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_library(in);
+}
+
+CellLibrary parse_library_file(const std::string& path) {
+  std::ifstream in(path);
+  CWSP_REQUIRE_MSG(in.good(), "cannot open library file " << path);
+  return parse_library(in);
+}
+
+void write_library(const CellLibrary& library, const std::string& name,
+                   std::ostream& os) {
+  os << "library " << name << " {\n";
+  os << "  wire_cap_per_fanout "
+     << library.wire_capacitance_per_fanout().value() << "\n";
+  auto emit_ff = [&](const char* which, const FlipFlopModel& ff) {
+    os << "  ff " << which << " { setup " << ff.setup.value() << " clkq "
+       << ff.clk_to_q.value() << " hold " << ff.hold.value()
+       << " area_units " << ff.area.value() / cal::kUnitActiveArea.value()
+       << " dcap " << ff.d_capacitance.value() << " rdrive "
+       << ff.drive_resistance.value() << " }\n";
+  };
+  emit_ff("regular", library.regular_ff());
+  emit_ff("modified", library.modified_ff());
+  for (std::size_t i = 0; i < library.size(); ++i) {
+    const Cell& cell = library.cell(CellId{i});
+    os << "  cell " << cell.name() << " { kind " << to_string(cell.kind())
+       << " intrinsic " << cell.intrinsic_delay().value() << " rdrive "
+       << cell.drive_resistance().value() << " cin "
+       << cell.input_capacitance().value() << " inertial "
+       << cell.inertial_delay().value() << " }\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace cwsp

@@ -1,0 +1,36 @@
+#pragma once
+// Plain-text cell-library format ("liberty-lite") so downstream users can
+// retarget the flow to their own technology without recompiling:
+//
+//   library my65nm {
+//     wire_cap_per_fanout 0.3
+//     ff regular  { setup 40 clkq 69 hold 5 area_units 24 dcap 1.4 rdrive 4.0 }
+//     ff modified { setup 38 clkq 76 hold 5 area_units 24 dcap 1.4 rdrive 4.0 }
+//     cell INV   { kind INV   intrinsic 8  rdrive 4.0 cin 1.2 inertial 10 }
+//     cell NAND2 { kind NAND2 intrinsic 12 rdrive 5.0 cin 1.4 inertial 14 }
+//     ...
+//   }
+//
+// Units follow the library convention: ps, kΩ, fF; areas in min-device
+// W·L units (multiplied by the calibrated a0). Transistor composition is
+// derived from the cell kind. `#` starts a comment.
+
+#include <iosfwd>
+#include <string>
+
+#include "cell/library.hpp"
+
+namespace cwsp {
+
+/// Parses a liberty-lite description. Throws cwsp::Error on syntax errors,
+/// unknown kinds or missing flip-flop models.
+[[nodiscard]] CellLibrary parse_library(std::istream& in);
+[[nodiscard]] CellLibrary parse_library_string(const std::string& text);
+[[nodiscard]] CellLibrary parse_library_file(const std::string& path);
+
+/// Writes a library in the same format (round-trips through
+/// parse_library).
+void write_library(const CellLibrary& library, const std::string& name,
+                   std::ostream& os);
+
+}  // namespace cwsp

@@ -1,0 +1,50 @@
+#pragma once
+// Transistor-level composition of standard cells. Active area is computed
+// the way the paper accounts it: the sum of W·L over all devices, measured
+// in units of the minimum device area a0 (see calibration.hpp).
+
+#include <vector>
+
+#include "cell/calibration.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace cwsp {
+
+enum class TransistorType { kNmos, kPmos };
+
+struct Transistor {
+  TransistorType type = TransistorType::kNmos;
+  /// Width as a multiple of the minimum width.
+  double width_mult = 1.0;
+  /// Length as a multiple of the minimum length (1.0 for logic).
+  double length_mult = 1.0;
+
+  [[nodiscard]] SquareMicrons active_area() const {
+    return cal::kUnitActiveArea * (width_mult * length_mult);
+  }
+};
+
+/// Area of a set of devices.
+[[nodiscard]] inline SquareMicrons total_active_area(
+    const std::vector<Transistor>& devices) {
+  SquareMicrons area{0.0};
+  for (const auto& t : devices) area += t.active_area();
+  return area;
+}
+
+/// Builds the device list of a static CMOS gate with `n` inputs where each
+/// input drives one NMOS and one PMOS device (NAND/NOR/INV topologies).
+[[nodiscard]] inline std::vector<Transistor> cmos_gate_devices(
+    int n_inputs, double nmos_mult = 1.0, double pmos_mult = 1.0) {
+  CWSP_REQUIRE(n_inputs >= 1);
+  std::vector<Transistor> devices;
+  devices.reserve(static_cast<std::size_t>(2 * n_inputs));
+  for (int i = 0; i < n_inputs; ++i) {
+    devices.push_back({TransistorType::kNmos, nmos_mult, 1.0});
+    devices.push_back({TransistorType::kPmos, pmos_mult, 1.0});
+  }
+  return devices;
+}
+
+}  // namespace cwsp

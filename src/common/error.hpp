@@ -1,0 +1,53 @@
+#pragma once
+// Error handling: a single exception type for recoverable library errors
+// (malformed netlists, unsatisfiable timing constraints, solver
+// non-convergence) plus precondition macros for programmer errors.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cwsp {
+
+/// Thrown for all recoverable errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace cwsp
+
+/// Validate a caller-supplied precondition; throws cwsp::Error on failure.
+#define CWSP_REQUIRE(cond)                                                   \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::cwsp::detail::raise("precondition", #cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define CWSP_REQUIRE_MSG(cond, msg)                                        \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream cwsp_require_os;                                  \
+      cwsp_require_os << msg;                                              \
+      ::cwsp::detail::raise("precondition", #cond, __FILE__, __LINE__,     \
+                            cwsp_require_os.str());                        \
+    }                                                                      \
+  } while (false)
+
+/// Internal invariant check; failure indicates a library bug.
+#define CWSP_ASSERT(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::cwsp::detail::raise("invariant", #cond, __FILE__, __LINE__, "");   \
+  } while (false)

@@ -1,0 +1,64 @@
+#pragma once
+// Strongly-typed index handles for netlist / circuit entities.
+//
+// All containers in the library are index-based (stable, cache-friendly,
+// trivially serialisable); a typed wrapper keeps a NetId from being used
+// where a GateId is expected.
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace cwsp {
+
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t v)
+      : value_(static_cast<underlying_type>(v)) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(Id a, Id b) = default;
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+struct NetTag {};
+struct GateTag {};
+struct FlipFlopTag {};
+struct CellTag {};
+struct SpiceNodeTag {};
+struct DeviceTag {};
+
+/// A wire in the gate-level netlist.
+using NetId = Id<NetTag>;
+/// A combinational gate instance.
+using GateId = Id<GateTag>;
+/// A sequential element (D flip-flop) instance.
+using FlipFlopId = Id<FlipFlopTag>;
+/// A cell (gate type) in the cell library.
+using CellId = Id<CellTag>;
+/// An electrical node in the MiniSpice simulator.
+using SpiceNodeId = Id<SpiceNodeTag>;
+/// A device instance in the MiniSpice simulator.
+using DeviceId = Id<DeviceTag>;
+
+}  // namespace cwsp
+
+template <typename Tag>
+struct std::hash<cwsp::Id<Tag>> {
+  std::size_t operator()(cwsp::Id<Tag> id) const noexcept {
+    return std::hash<typename cwsp::Id<Tag>::underlying_type>{}(id.value());
+  }
+};

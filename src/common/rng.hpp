@@ -1,0 +1,86 @@
+#pragma once
+// Deterministic pseudo-random generator (xoshiro256**) used by the
+// synthetic netlist generator and the fault-injection campaigns.
+//
+// A fixed, documented PRNG (rather than std::mt19937 with
+// implementation-defined distributions) keeps every experiment bit-exact
+// across platforms, which matters when EXPERIMENTS.md records numbers.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace cwsp {
+
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes via SplitMix64 as recommended by the
+  /// xoshiro authors.
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& lane : state_) lane = split_mix(x);
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    CWSP_REQUIRE(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi) {
+    CWSP_REQUIRE(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double_in(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+ private:
+  static std::uint64_t split_mix(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace cwsp

@@ -1,0 +1,64 @@
+#pragma once
+// Streaming statistics accumulator (Welford) used by fault campaigns and
+// the benchmark harness for reporting averages, as the paper's tables do.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cwsp {
+
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact percentile over a retained sample (used for glitch-width sweeps).
+class SampleSet {
+ public:
+  void add(double x) { values_.push_back(x); }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+
+  /// Nearest-rank percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const {
+    CWSP_REQUIRE(!values_.empty());
+    CWSP_REQUIRE(p >= 0.0 && p <= 100.0);
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    return sorted[rank == 0 ? 0 : rank - 1];
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace cwsp

@@ -1,0 +1,51 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace cwsp {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+  rows_.clear();
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << cell
+         << " |";
+    }
+    os << '\n';
+  };
+
+  print_row(header_);
+  os << '|';
+  for (std::size_t w : widths) os << std::string(w + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace cwsp

@@ -1,0 +1,33 @@
+#pragma once
+// Minimal fixed-width ASCII table printer used by the bench binaries to
+// print rows in the same layout as the paper's tables.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cwsp {
+
+class TextTable {
+ public:
+  /// Sets the header row; resets any accumulated rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row. Rows may be shorter than the header; missing
+  /// trailing cells render as blanks.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string num(double value, int precision = 2);
+
+  /// Renders the table with column separators and a header rule.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cwsp

@@ -1,0 +1,88 @@
+#include "cwsp/area_report.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace cwsp::core {
+
+AreaReport build_area_report(const HardenedDesign& design) {
+  const ProtectionParams& p = design.params;
+  const int n_ffs = protected_ff_count(*design.original);
+  const double a0 = cal::kUnitActiveArea.value();
+
+  AreaReport report;
+  report.functional = design.regular_area;
+  report.protection_total = design.protection_area;
+  report.per_ff_calibrated = p.per_ff_area;
+
+  auto add = [&](std::string name, double units_per_ff) {
+    AreaComponent c;
+    c.name = std::move(name);
+    c.units_per_ff = units_per_ff;
+    c.total = SquareMicrons(units_per_ff * a0 * n_ffs);
+    report.components.push_back(std::move(c));
+  };
+
+  // Itemised per-FF devices (W·L units; see docs/calibration.md).
+  add("D-tap inverter (min)", 2.0);
+  add("CWSP element (" + TextTable::num(p.cwsp_pmos_mult, 0) + "/" +
+          TextTable::num(p.cwsp_nmos_mult, 0) + ")",
+      2.0 * (p.cwsp_pmos_mult + p.cwsp_nmos_mult));
+  add("delta delay line (" + std::to_string(p.segments_delta) + " seg)",
+      2.0 * p.segments_delta);
+  add("CLK_DEL delay line (" + std::to_string(p.segments_clk_del) + " seg)",
+      2.0 * p.segments_clk_del);
+  add("equivalence XNOR", 10.0);
+  add("EQGLBF MUX", 6.0);
+  add("EQ flip-flop", 24.0);
+  add("DFF2 (CW* latch)", 24.0);
+  add("EQ inverter + NOR input share", 4.0);
+
+  double itemised_units = 0.0;
+  for (const auto& c : report.components) itemised_units += c.units_per_ff;
+  report.per_ff_unattributed =
+      p.per_ff_area - SquareMicrons(itemised_units * a0);
+
+  // Global components.
+  AreaComponent global;
+  global.name = "EQGLBF flip-flop + final EQGLB stage (global)";
+  global.total = cal::kGlobalProtectionArea;
+  report.components.push_back(global);
+  if (design.tree.extra_area.value() > 0.0) {
+    AreaComponent tree;
+    tree.name = "EQGLB second-level tree (" +
+                std::to_string(design.tree.first_level_gates) + " chunks)";
+    tree.total = design.tree.extra_area;
+    report.components.push_back(tree);
+  }
+  AreaComponent residual;
+  residual.name = "custom sizing residual (clock buffers, upsizing)";
+  residual.units_per_ff = report.per_ff_unattributed.value() / a0;
+  residual.total =
+      SquareMicrons(report.per_ff_unattributed.value() * n_ffs);
+  report.components.push_back(residual);
+
+  return report;
+}
+
+std::string format_area_report(const AreaReport& report) {
+  TextTable table;
+  table.set_header({"component", "units/FF", "total um^2"});
+  for (const auto& c : report.components) {
+    table.add_row({c.name,
+                   c.units_per_ff > 0.0 ? TextTable::num(c.units_per_ff, 1)
+                                        : std::string("-"),
+                   TextTable::num(c.total.value(), 4)});
+  }
+  std::ostringstream os;
+  table.print(os);
+  os << "functional area     : " << report.functional.value() << " um^2\n";
+  os << "protection total    : " << report.protection_total.value()
+     << " um^2\n";
+  os << "per-FF (calibrated) : " << report.per_ff_calibrated.value()
+     << " um^2\n";
+  return os.str();
+}
+
+}  // namespace cwsp::core

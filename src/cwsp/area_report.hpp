@@ -1,0 +1,40 @@
+#pragma once
+// Component-level area breakdown of the protection circuitry — the
+// transistor-budget view behind the calibrated per-FF area (DESIGN.md §5
+// / docs/calibration.md).
+
+#include <string>
+#include <vector>
+
+#include "cwsp/harden.hpp"
+
+namespace cwsp::core {
+
+struct AreaComponent {
+  std::string name;
+  /// W·L units per protected flip-flop (0 for global components).
+  double units_per_ff = 0.0;
+  /// Total contribution across the design, µm².
+  SquareMicrons total{0.0};
+};
+
+struct AreaReport {
+  std::vector<AreaComponent> components;
+  SquareMicrons functional{0.0};
+  SquareMicrons protection_total{0.0};
+  /// The calibrated per-FF figure the components must sum to (plus the
+  /// global terms).
+  SquareMicrons per_ff_calibrated{0.0};
+  /// Residual between the itemised devices and the calibrated figure —
+  /// the custom sizing the paper does not publish (clock buffering,
+  /// upsized checker devices).
+  SquareMicrons per_ff_unattributed{0.0};
+};
+
+/// Itemises the protection area of a hardened design.
+[[nodiscard]] AreaReport build_area_report(const HardenedDesign& design);
+
+/// Renders the report as an aligned text table.
+[[nodiscard]] std::string format_area_report(const AreaReport& report);
+
+}  // namespace cwsp::core

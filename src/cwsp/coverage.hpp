@@ -1,0 +1,64 @@
+#pragma once
+// Fault-injection campaigns validating the paper's 100%-SET-tolerance
+// claim: random strikes over sites/cycles/times against the protected
+// design (must never corrupt committed outputs) and against the
+// unprotected design (shows the harness has teeth).
+
+#include <cstdint>
+
+#include "cwsp/protection_sim.hpp"
+
+namespace cwsp::core {
+
+struct CoverageReport {
+  std::size_t runs = 0;
+  std::size_t strikes_injected = 0;
+  /// Runs whose protected execution committed a wrong output.
+  std::size_t protected_failures = 0;
+  /// Strikes that corrupted the unprotected design's execution.
+  std::size_t unprotected_failures = 0;
+  std::size_t bubbles = 0;
+  std::size_t detected_errors = 0;
+  std::size_t spurious_recomputes = 0;
+
+  [[nodiscard]] double protected_coverage_pct() const {
+    if (strikes_injected == 0) return 100.0;
+    return 100.0 * (1.0 - static_cast<double>(protected_failures) /
+                              static_cast<double>(strikes_injected));
+  }
+  [[nodiscard]] double unprotected_failure_pct() const {
+    if (strikes_injected == 0) return 0.0;
+    return 100.0 * static_cast<double>(unprotected_failures) /
+           static_cast<double>(strikes_injected);
+  }
+};
+
+struct CampaignOptions {
+  std::size_t runs = 50;
+  std::size_t cycles_per_run = 20;
+  /// Glitch width injected (≤ the design's protected width for the
+  /// coverage claim; larger for the ablation).
+  Picoseconds glitch_width{400.0};
+  std::uint64_t seed = 1;
+  /// At most one strike every `min_strike_gap` cycles (paper footnote 2:
+  /// two strikes in consecutive cycles are essentially impossible).
+  std::size_t min_strike_gap = 2;
+  /// Weight strike-site selection by driving-cell active area (the
+  /// physically correct distribution) instead of uniformly.
+  bool area_weighted_sites = false;
+};
+
+/// Random functional strikes (gate outputs and FF Q nets, random cycle and
+/// in-cycle time), protected vs unprotected.
+[[nodiscard]] CoverageReport run_functional_campaign(
+    const Netlist& netlist, const ProtectionParams& params,
+    Picoseconds clock_period, const CampaignOptions& options);
+
+/// One sub-campaign per §3.2 scenario class (equivalence checker, EQGLBF
+/// DFF, CW* DFF, CWSP output), each swept across cycles and strike times.
+[[nodiscard]] CoverageReport run_scenario_sweep(const Netlist& netlist,
+                                                const ProtectionParams& params,
+                                                Picoseconds clock_period,
+                                                const CampaignOptions& options);
+
+}  // namespace cwsp::core

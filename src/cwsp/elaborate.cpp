@@ -1,0 +1,85 @@
+#include "cwsp/elaborate.hpp"
+
+#include "netlist/decompose.hpp"
+
+namespace cwsp::core {
+
+ElaboratedProtection elaborate_protection(int num_ffs,
+                                          const CellLibrary& library) {
+  CWSP_REQUIRE(num_ffs >= 1);
+  ElaboratedProtection result{Netlist(library, "protection"), num_ffs,
+                              build_eqglb_tree(num_ffs), 0, 0, 0};
+  Netlist& nl = result.netlist;
+
+  const NetId one = nl.add_constant(true, "tie1");
+
+  // EQGLBF is defined before its driver exists (sequential feedback);
+  // declare the net first.
+  const NetId eqglbf = nl.add_net("eqglbf");
+
+  std::vector<NetId> eq_inverted;
+  eq_inverted.reserve(static_cast<std::size_t>(num_ffs));
+  for (int i = 0; i < num_ffs; ++i) {
+    const std::string n = std::to_string(i);
+    const NetId q = nl.add_primary_input("q" + n);
+    const NetId cw = nl.add_primary_input("cw" + n);
+
+    // Equivalence checker: XNOR compares Q with CW; the MUX forces EQ
+    // high while EQGLBF is low (select = EQGLBF; d0 = 1, d1 = XNOR out).
+    const GateId xnor =
+        nl.add_gate(library.cell_for(CellKind::kXnor2), {q, cw}, "xn" + n);
+    ++result.xnor_count;
+    const GateId mux = nl.add_gate(library.cell_for(CellKind::kMux2),
+                                   {one, nl.gate(xnor).output, eqglbf},
+                                   "eqmux" + n);
+    ++result.mux_count;
+    // EQ flip-flop (clocked by CLK_DEL in the real circuit).
+    const FlipFlopId eq_ff =
+        nl.add_flip_flop(nl.gate(mux).output, "eq" + n);
+    ++result.dff_count;
+
+    // Inverted EQ feeds the NOR-based reduction (paper §3.3: NOR of
+    // inverted EQ is the area-efficient AND).
+    const GateId inv = nl.add_gate(library.cell_for(CellKind::kInv),
+                                   {nl.flip_flop(eq_ff).q}, "neq" + n);
+    eq_inverted.push_back(nl.gate(inv).output);
+
+    // DFF2: latches CW into CW*.
+    const FlipFlopId dff2 = nl.add_flip_flop(cw, "cw_star" + n);
+    ++result.dff_count;
+    nl.mark_primary_output(nl.flip_flop(dff2).q);
+  }
+
+  // EQGLB reduction: single NOR up to the single-level limit, otherwise
+  // ≤30-wide NOR chunks ANDed at a second level.
+  const NetId eqglb = nl.add_net("eqglb");
+  if (num_ffs <= cal::kTreeSingleLevelMax) {
+    build_function(nl, GateFunction::kNor, eq_inverted, eqglb);
+  } else {
+    std::vector<NetId> chunk_outs;
+    for (std::size_t base = 0; base < eq_inverted.size();
+         base += cal::kTreeChunk) {
+      const std::size_t n =
+          std::min<std::size_t>(cal::kTreeChunk, eq_inverted.size() - base);
+      std::vector<NetId> chunk(
+          eq_inverted.begin() + static_cast<long>(base),
+          eq_inverted.begin() + static_cast<long>(base + n));
+      const NetId chunk_out =
+          nl.add_net("eqglb_chunk" + std::to_string(base / cal::kTreeChunk));
+      build_function(nl, GateFunction::kNor, chunk, chunk_out);
+      chunk_outs.push_back(chunk_out);
+    }
+    build_function(nl, GateFunction::kAnd, chunk_outs, eqglb);
+  }
+  nl.mark_primary_output(eqglb);
+
+  // DFF1: EQGLBF, sampled at the positive edge of CLK.
+  nl.add_flip_flop_onto(eqglb, eqglbf);
+  ++result.dff_count;
+  nl.mark_primary_output(eqglbf);
+
+  nl.validate();
+  return result;
+}
+
+}  // namespace cwsp::core

@@ -1,0 +1,36 @@
+#pragma once
+// Gate-level elaboration of the protection circuitry of Figure 5: per
+// protected flip-flop an equivalence checker (XNOR + EQGLBF-controlled
+// MUX + EQ flip-flop clocked by CLK_DEL) and the CW* repair latch (DFF2);
+// globally the EQGLB reduction (NOR of inverted EQ signals, chunked above
+// the single-level limit) and the EQGLBF suppression flip-flop (DFF1).
+//
+// The CWSP element and its POLY2 delay lines are analog structures; in
+// the elaborated netlist their outputs (the per-FF CW signals) appear as
+// primary inputs, mirroring how Figure 5 itself omits them. The two clock
+// domains (CLK, CLK_DEL) are not represented structurally — the netlist
+// is single-clock, with the CLK_DEL timing handled by ProtectionParams.
+
+#include "cwsp/eqglb_tree.hpp"
+#include "cwsp/protection_params.hpp"
+#include "netlist/netlist.hpp"
+
+namespace cwsp::core {
+
+struct ElaboratedProtection {
+  Netlist netlist;
+  int num_protected_ffs = 0;
+  EqglbTree tree;
+  /// Gate-count sanity figures.
+  std::size_t xnor_count = 0;
+  std::size_t mux_count = 0;
+  std::size_t dff_count = 0;  // EQ FFs + DFF2s + DFF1
+};
+
+/// Builds the standalone checker netlist for `num_ffs` protected
+/// flip-flops. Primary inputs: q<i> (system FF outputs) and cw<i> (CWSP
+/// outputs); primary outputs: eqglb, eqglbf and cw_star<i>.
+[[nodiscard]] ElaboratedProtection elaborate_protection(
+    int num_ffs, const CellLibrary& library);
+
+}  // namespace cwsp::core

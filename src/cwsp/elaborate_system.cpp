@@ -1,0 +1,111 @@
+#include "cwsp/elaborate_system.hpp"
+
+#include "netlist/decompose.hpp"
+
+namespace cwsp::core {
+
+ElaboratedSystem elaborate_hardened_system(const Netlist& source) {
+  CWSP_REQUIRE_MSG(source.num_flip_flops() > 0,
+                   "system elaboration needs flip-flops to protect");
+  const CellLibrary& lib = source.library();
+  ElaboratedSystem result{Netlist(lib, source.name() + "_hardened"),
+                          NetId{},
+                          {}};
+  Netlist& out = result.netlist;
+
+  std::vector<NetId> map(source.num_nets());
+  for (NetId pi : source.primary_inputs()) {
+    map[pi.index()] = out.add_primary_input(source.net(pi).name);
+  }
+  for (std::size_t i = 0; i < source.num_nets(); ++i) {
+    const Net& net = source.net(NetId{i});
+    if (net.driver_kind == DriverKind::kConstant) {
+      map[i] = out.add_constant(net.constant_value, net.name);
+    } else if (net.driver_kind != DriverKind::kPrimaryInput) {
+      map[i] = out.add_net(net.name);
+    }
+  }
+
+  // Functional gates, untouched (the paper's central property).
+  for (GateId g : source.topological_order()) {
+    const Gate& gate = source.gate(g);
+    std::vector<NetId> ins;
+    ins.reserve(gate.inputs.size());
+    for (NetId in : gate.inputs) ins.push_back(map[in.index()]);
+    out.add_gate_onto(gate.cell, ins, map[gate.output.index()]);
+  }
+
+  const NetId one = out.add_constant(true, "tie1__prot");
+  // EQGLBF feedback is declared before its driver.
+  const NetId eqglbf = out.add_net("eqglbf");
+  const NetId eqglb = out.add_net("eqglb");
+  // Repair select: take CW* when the previous check failed.
+  const GateId eqglb_low_gate =
+      out.add_gate(lib.cell_for(CellKind::kInv), {eqglb}, "eqglb_n");
+  const NetId eqglb_low = out.gate(eqglb_low_gate).output;
+
+  std::vector<NetId> eq_inverted;
+  for (FlipFlopId f : source.flip_flop_ids()) {
+    const std::string n = std::to_string(f.value());
+    const FlipFlop& ff = source.flip_flop(f);
+    const NetId d = map[ff.d.index()];
+    const NetId q = map[ff.q.index()];
+
+    // The CWSP/DFF2 pair digitally reduces to a shadow flip-flop of D:
+    // during cycle k it holds the settled D of cycle k-1 — exactly the
+    // value Q_k should have captured.
+    const FlipFlopId shadow = out.add_flip_flop(d, "cw" + n);
+    const NetId cw = out.flip_flop(shadow).q;
+
+    // Repair MUX folded into the master latch: on a pending
+    // recomputation the system FF takes CW instead of D.
+    const GateId mux = out.add_gate(lib.cell_for(CellKind::kMux2),
+                                    {d, cw, eqglb_low}, "din" + n);
+    const FlipFlopId system_ff =
+        out.add_flip_flop_onto(out.gate(mux).output, q);
+    result.system_ffs.push_back(system_ff);
+
+    // Equivalence check (the CLK_DEL phase folds away digitally: the
+    // comparison of Q against CW happens within the cycle).
+    const GateId xnor =
+        out.add_gate(lib.cell_for(CellKind::kXnor2), {q, cw}, "xn" + n);
+    const GateId eq_mux = out.add_gate(
+        lib.cell_for(CellKind::kMux2),
+        {one, out.gate(xnor).output, eqglbf}, "eq" + n);
+    const GateId inv = out.add_gate(lib.cell_for(CellKind::kInv),
+                                    {out.gate(eq_mux).output}, "neq" + n);
+    eq_inverted.push_back(out.gate(inv).output);
+  }
+
+  // EQGLB reduction and the EQGLBF suppression flip-flop.
+  if (static_cast<int>(eq_inverted.size()) <= cal::kTreeSingleLevelMax) {
+    build_function(out, GateFunction::kNor, eq_inverted, eqglb);
+  } else {
+    std::vector<NetId> chunk_outs;
+    for (std::size_t base = 0; base < eq_inverted.size();
+         base += cal::kTreeChunk) {
+      const std::size_t n =
+          std::min<std::size_t>(cal::kTreeChunk, eq_inverted.size() - base);
+      std::vector<NetId> chunk(
+          eq_inverted.begin() + static_cast<long>(base),
+          eq_inverted.begin() + static_cast<long>(base + n));
+      const NetId chunk_out = out.add_net(
+          "eqglb_chunk" + std::to_string(base / cal::kTreeChunk));
+      build_function(out, GateFunction::kNor, chunk, chunk_out);
+      chunk_outs.push_back(chunk_out);
+    }
+    build_function(out, GateFunction::kAnd, chunk_outs, eqglb);
+  }
+  out.add_flip_flop_onto(eqglb, eqglbf);
+
+  for (NetId po : source.primary_outputs()) {
+    out.mark_primary_output(map[po.index()]);
+  }
+  out.mark_primary_output(eqglb);
+  result.eqglb = eqglb;
+
+  out.validate();
+  return result;
+}
+
+}  // namespace cwsp::core

@@ -1,0 +1,39 @@
+#pragma once
+// Whole-system structural elaboration: the functional netlist fused with
+// its protection circuitry into one gate-level netlist (the complete
+// Figure 4, minus the analog CWSP/delay elements).
+//
+// Representation choices, mirroring the hardware:
+//   * The repair MUX folded into each master latch appears as an explicit
+//     MUX2 in front of the flip-flop (select = EQGLBF', choosing CW* on a
+//     pending recomputation).
+//   * The CWSP element reconstructs the settled D value; digitally that
+//     value *is* D (the element only matters electrically, for glitches),
+//     so CW is wired from the D net. Strike effects on the analog parts
+//     are covered by ProtectionSim and MiniSpice.
+//   * CLK_DEL is a phase of the same clock; the EQ check therefore sees
+//     the D of the *previous* cycle via a shadow flip-flop, matching the
+//     timing relationship CW has to Q.
+//
+// The result is a normal sequential netlist: LogicSim can execute it, and
+// its EQGLB output reproduces the detection behaviour of ProtectionSim.
+
+#include "cwsp/protection_params.hpp"
+#include "netlist/netlist.hpp"
+
+namespace cwsp::core {
+
+struct ElaboratedSystem {
+  Netlist netlist;
+  /// Index of the EQGLB primary output within the netlist's PO list.
+  NetId eqglb;
+  /// Per protected FF: the system flip-flop in the new netlist.
+  std::vector<FlipFlopId> system_ffs;
+};
+
+/// Fuses `source` (a sequential netlist) with its protection circuitry.
+/// Primary outputs are preserved; `eqglb` is added as an extra output.
+[[nodiscard]] ElaboratedSystem elaborate_hardened_system(
+    const Netlist& source);
+
+}  // namespace cwsp::core

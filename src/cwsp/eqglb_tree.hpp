@@ -1,0 +1,28 @@
+#pragma once
+// The EQGLB reduction: a logical AND of all per-FF EQ signals, realised
+// area-efficiently as a NOR of the inverted EQ signals (paper §3.3). A
+// single NOR serves up to kTreeSingleLevelMax inputs; wider designs use a
+// multilevel structure of 30-input chunks.
+
+#include "cell/calibration.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace cwsp::core {
+
+struct EqglbTree {
+  int num_inputs = 0;
+  int levels = 1;
+  /// First-level NOR gates (chunks of ≤ 30 EQ inputs).
+  int first_level_gates = 1;
+  /// Area beyond the per-input share already counted in the per-FF
+  /// protection area (second-level gate inputs).
+  SquareMicrons extra_area{0.0};
+  /// Delay through the reduction (the paper measured ~80 ps for a
+  /// 30-input NOR; extra levels add a buffered stage each).
+  Picoseconds delay{0.0};
+};
+
+[[nodiscard]] EqglbTree build_eqglb_tree(int num_ffs);
+
+}  // namespace cwsp::core

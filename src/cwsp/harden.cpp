@@ -1,0 +1,101 @@
+#include "cwsp/harden.hpp"
+
+#include <sstream>
+
+#include "sta/sta.hpp"
+
+namespace cwsp::core {
+namespace {
+
+HardenedDesign harden_with_timing(const Netlist& netlist,
+                                  const ProtectionParams& params,
+                                  const DesignTiming& timing) {
+  params.validate();
+  HardenedDesign design;
+  design.original = &netlist;
+  design.params = params;
+  design.timing = timing;
+
+  const int num_ffs = protected_ff_count(netlist);
+  design.tree = build_eqglb_tree(num_ffs);
+
+  design.regular_area = netlist.total_area();
+  design.protection_area = protection_area_for(num_ffs, params);
+  design.hardened_area = design.regular_area + design.protection_area;
+
+  const CellLibrary& lib = netlist.library();
+  design.regular_period = regular_clock_period(timing.dmax, lib);
+  design.hardened_period = hardened_clock_period(timing.dmax, lib);
+
+  design.max_glitch = max_protected_glitch(timing, params);
+  design.full_designed_protection =
+      supports_full_protection(timing, params);
+  return design;
+}
+
+}  // namespace
+
+int protected_ff_count(const Netlist& netlist) {
+  // The paper's benchmarks are combinational circuits whose outputs feed
+  // (protected) flip-flops; sequential designs protect their own FFs.
+  if (netlist.num_flip_flops() > 0) {
+    return static_cast<int>(netlist.num_flip_flops());
+  }
+  return static_cast<int>(netlist.primary_outputs().size());
+}
+
+SquareMicrons protection_area_for(int num_ffs, const ProtectionParams& params) {
+  CWSP_REQUIRE(num_ffs >= 1);
+  const EqglbTree tree = build_eqglb_tree(num_ffs);
+  return params.per_ff_area * static_cast<double>(num_ffs) +
+         cal::kGlobalProtectionArea + tree.extra_area;
+}
+
+HardenedDesign harden(const Netlist& netlist, const ProtectionParams& params) {
+  const auto sta = run_sta(netlist);
+  return harden_with_timing(netlist, params,
+                            DesignTiming{sta.dmax, sta.dmin});
+}
+
+HardenedDesign harden_assuming_balanced_paths(const Netlist& netlist,
+                                              const ProtectionParams& params) {
+  const auto sta = run_sta(netlist);
+  return harden_with_timing(netlist, params,
+                            timing_with_assumed_dmin(sta.dmax));
+}
+
+std::string describe(const HardenedDesign& design) {
+  const Netlist& nl = *design.original;
+  const int num_ffs = protected_ff_count(nl);
+  std::ostringstream os;
+  os << "Hardened design '" << nl.name() << "'\n";
+  os << "  protected flip-flops : " << num_ffs << "\n";
+  os << "  per-FF protection    : tap INV + CWSP("
+     << design.params.cwsp_pmos_mult << "/" << design.params.cwsp_nmos_mult
+     << ") + " << design.params.segments_delta << "-segment delta line + "
+     << design.params.segments_clk_del
+     << "-segment CLK_DEL line + XNOR/MUX/EQ-DFF + DFF2\n";
+  os << "  EQGLB tree           : " << design.tree.first_level_gates
+     << " first-level NOR(<=30) gate(s), " << design.tree.levels
+     << " level(s), delay " << design.tree.delay.value() << " ps\n";
+  os << "  delta (delay element): " << design.params.delta.value() << " ps\n";
+  os << "  CLK_DEL lag          : " << design.params.clk_del_delay().value()
+     << " ps\n";
+  os << "  Delta (Eq. 5)        : "
+     << design.params.protection_path_delta().value() << " ps\n";
+  os << "  Dmax / Dmin          : " << design.timing.dmax.value() << " / "
+     << design.timing.dmin.value() << " ps\n";
+  os << "  max protected glitch : " << design.max_glitch.value() << " ps"
+     << (design.full_designed_protection ? " (full designed protection)"
+                                         : " (below designed delta)")
+     << "\n";
+  os << "  area regular/hardened: " << design.regular_area.value() << " / "
+     << design.hardened_area.value() << " um^2  (+"
+     << design.area_overhead_pct() << "%)\n";
+  os << "  period regular/hard. : " << design.regular_period.value() << " / "
+     << design.hardened_period.value() << " ps  (+"
+     << design.delay_overhead_pct() << "%)\n";
+  return os.str();
+}
+
+}  // namespace cwsp::core

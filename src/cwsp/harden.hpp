@@ -1,0 +1,71 @@
+#pragma once
+// The hardening transform: attaches the paper's per-flip-flop SET
+// protection (CWSP watchdog + equivalence checker + recompute plumbing) to
+// a design and reports the resulting area/delay/protection figures.
+//
+// The functional netlist is left untouched (that is the paper's central
+// point — the protection sits on a secondary path); the protection
+// circuitry is represented by its calibrated area/timing model plus the
+// executable protocol semantics in ProtectionSim.
+
+#include <string>
+
+#include "cwsp/eqglb_tree.hpp"
+#include "cwsp/protection_params.hpp"
+#include "cwsp/timing.hpp"
+#include "netlist/netlist.hpp"
+
+namespace cwsp::core {
+
+struct HardenedDesign {
+  const Netlist* original = nullptr;
+  ProtectionParams params;
+  EqglbTree tree;
+  DesignTiming timing;
+
+  SquareMicrons regular_area{0.0};
+  SquareMicrons protection_area{0.0};
+  SquareMicrons hardened_area{0.0};
+
+  Picoseconds regular_period{0.0};
+  Picoseconds hardened_period{0.0};
+
+  /// min{D_min/2, (D_max − Δ)/2} for this design.
+  Picoseconds max_glitch{0.0};
+  /// True if max_glitch ≥ the params' designed δ.
+  bool full_designed_protection = false;
+
+  [[nodiscard]] double area_overhead_pct() const {
+    return (hardened_area / regular_area - 1.0) * 100.0;
+  }
+  [[nodiscard]] double delay_overhead_pct() const {
+    return (hardened_period / regular_period - 1.0) * 100.0;
+  }
+};
+
+/// Hardens `netlist` with the given protection parameters. D_max/D_min
+/// come from STA on the netlist; every primary output is assumed to feed a
+/// protected flip-flop of the enclosing system (as the paper's
+/// combinational benchmarks do), so the protected-FF count is
+/// num_flip_flops + num_primary_outputs when the netlist is combinational,
+/// and num_flip_flops otherwise.
+[[nodiscard]] HardenedDesign harden(const Netlist& netlist,
+                                    const ProtectionParams& params);
+
+/// As harden(), but D_min is assumed to be 0.8·D_max (the paper's
+/// assumption for mapped circuits [33]) instead of taken from STA.
+[[nodiscard]] HardenedDesign harden_assuming_balanced_paths(
+    const Netlist& netlist, const ProtectionParams& params);
+
+/// Number of flip-flops that receive protection circuitry.
+[[nodiscard]] int protected_ff_count(const Netlist& netlist);
+
+/// Protection area for a given protected-FF count (per-FF circuits +
+/// EQGLBF/global logic + EQGLB-tree second level).
+[[nodiscard]] SquareMicrons protection_area_for(int num_ffs,
+                                                const ProtectionParams& params);
+
+/// Human-readable structural summary of the protection instances.
+[[nodiscard]] std::string describe(const HardenedDesign& design);
+
+}  // namespace cwsp::core

@@ -1,0 +1,50 @@
+#include "cwsp/timing.hpp"
+
+#include <algorithm>
+
+namespace cwsp::core {
+
+Picoseconds max_protected_glitch(const DesignTiming& timing,
+                                 const ProtectionParams& params,
+                                 Picoseconds clock_skew) {
+  const Picoseconds effective_dmin = timing.dmin - clock_skew;  // §3.4
+  const Picoseconds by_dmin = effective_dmin / 2.0;             // Eq. 2
+  const Picoseconds by_dmax =
+      (timing.dmax - params.protection_path_delta()) / 2.0;     // Eq. 5
+  const Picoseconds glitch = std::min(by_dmin, by_dmax);
+  return std::max(glitch, Picoseconds(0.0));
+}
+
+bool supports_full_protection(const DesignTiming& timing,
+                              const ProtectionParams& params,
+                              Picoseconds clock_skew) {
+  return max_protected_glitch(timing, params, clock_skew) >= params.delta;
+}
+
+Picoseconds regular_clock_period(Picoseconds dmax,
+                                 const CellLibrary& library) {
+  return dmax + library.regular_ff().setup + library.regular_ff().clk_to_q;
+}
+
+Picoseconds hardened_clock_period(Picoseconds dmax,
+                                  const CellLibrary& library) {
+  return dmax + cal::kExtraDLoadDelay + library.modified_ff().setup +
+         library.modified_ff().clk_to_q;
+}
+
+Picoseconds min_clock_period_for_delta(const ProtectionParams& params) {
+  return params.delta * 2.0 + cal::kClkQEq + cal::kClkQDff2 +
+         cal::kDelayMux + cal::kSetupModified + params.d_cwsp +
+         cal::kSetupEq + cal::kDelayAnd1;
+}
+
+Picoseconds max_delta_for_period(Picoseconds period,
+                                 const ProtectionParams& params) {
+  const Picoseconds fixed = cal::kClkQEq + cal::kClkQDff2 + cal::kDelayMux +
+                            cal::kSetupModified + params.d_cwsp +
+                            cal::kSetupEq + cal::kDelayAnd1;
+  const Picoseconds delta = (period - fixed) / 2.0;
+  return std::max(delta, Picoseconds(0.0));
+}
+
+}  // namespace cwsp::core

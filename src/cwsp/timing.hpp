@@ -1,0 +1,51 @@
+#pragma once
+// Timing analysis of the protection scheme — Equations 2 through 6 of the
+// paper, plus the clock-skew derating of §3.4.
+
+#include "cell/library.hpp"
+#include "cwsp/protection_params.hpp"
+
+namespace cwsp::core {
+
+struct DesignTiming {
+  Picoseconds dmax{0.0};
+  Picoseconds dmin{0.0};
+};
+
+/// Assumes the technology-mapper balance Dmin = 0.8·Dmax (paper §4, [33]).
+[[nodiscard]] inline DesignTiming timing_with_assumed_dmin(Picoseconds dmax) {
+  return DesignTiming{dmax, dmax * cal::kDminToDmaxRatio};
+}
+
+/// Maximum protected glitch width: δ ≤ min{D_min/2, (D_max − Δ)/2}
+/// (Eqs. 2 and 5). Clock skew `s` reduces the effective D_min (§3.4).
+[[nodiscard]] Picoseconds max_protected_glitch(const DesignTiming& timing,
+                                               const ProtectionParams& params,
+                                               Picoseconds clock_skew = Picoseconds(0.0));
+
+/// True if the design's D_max and D_min admit the params' full designed δ.
+[[nodiscard]] bool supports_full_protection(const DesignTiming& timing,
+                                            const ProtectionParams& params,
+                                            Picoseconds clock_skew = Picoseconds(0.0));
+
+/// Clock period of the unhardened design: D_max + T_SETUP + T_CLK→Q
+/// (left-hand side of Eq. 4 with the regular flip-flop).
+[[nodiscard]] Picoseconds regular_clock_period(Picoseconds dmax,
+                                               const CellLibrary& library);
+
+/// Clock period of the hardened design: D_max + extra-D-load + T_SETUP' +
+/// T_CLK→Q' of the modified flip-flop (paper §4: +11.5 ps total).
+[[nodiscard]] Picoseconds hardened_clock_period(Picoseconds dmax,
+                                                const CellLibrary& library);
+
+/// Eq. 6 solved for the minimum clock period protecting glitches of width
+/// δ: T ≥ 2δ + T_CLKQ_EQ + T_CLKQ_DFF2 + D_MUX + T_SETUP_SYS + D_CWSP +
+/// T_SETUP_EQ + delay(AND1).
+[[nodiscard]] Picoseconds min_clock_period_for_delta(
+    const ProtectionParams& params);
+
+/// Eq. 6 as stated: the max δ protected at a given clock period T.
+[[nodiscard]] Picoseconds max_delta_for_period(Picoseconds period,
+                                               const ProtectionParams& params);
+
+}  // namespace cwsp::core

@@ -1,0 +1,114 @@
+#include "netlist/analysis.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace cwsp {
+
+DepthInfo compute_logic_depth(const Netlist& netlist) {
+  DepthInfo info;
+  info.depth.assign(netlist.num_nets(), -1);
+  for (std::size_t i = 0; i < netlist.num_nets(); ++i) {
+    const auto kind = netlist.net(NetId{i}).driver_kind;
+    if (kind == DriverKind::kPrimaryInput ||
+        kind == DriverKind::kFlipFlop) {
+      info.depth[i] = 0;
+    }
+  }
+  for (GateId g : netlist.topological_order()) {
+    const Gate& gate = netlist.gate(g);
+    int in_depth = -1;
+    for (NetId in : gate.inputs) {
+      in_depth = std::max(in_depth, info.depth[in.index()]);
+    }
+    if (in_depth < 0) continue;  // constant-only cone
+    info.depth[gate.output.index()] = in_depth + 1;
+    info.max_depth = std::max(info.max_depth, in_depth + 1);
+  }
+  return info;
+}
+
+FanoutStats compute_fanout_stats(const Netlist& netlist,
+                                 std::size_t max_bucket) {
+  FanoutStats stats;
+  stats.histogram.assign(max_bucket + 1, 0);
+  std::size_t total = 0;
+  std::size_t driven = 0;
+  for (std::size_t i = 0; i < netlist.num_nets(); ++i) {
+    const Net& net = netlist.net(NetId{i});
+    const std::size_t fanout =
+        net.fanout_gates.size() + net.fanout_ffs.size();
+    if (fanout == 0) continue;
+    ++driven;
+    total += fanout;
+    stats.max_fanout = std::max(stats.max_fanout, fanout);
+    ++stats.histogram[std::min(fanout, max_bucket)];
+  }
+  stats.mean_fanout =
+      driven > 0 ? static_cast<double>(total) / static_cast<double>(driven)
+                 : 0.0;
+  return stats;
+}
+
+std::vector<GateId> cone_of_influence(const Netlist& netlist, NetId net) {
+  std::vector<char> in_cone(netlist.num_nets(), 0);
+  in_cone[net.index()] = 1;
+  // Walk the topological order backwards, marking inputs of cone gates.
+  const auto order = netlist.topological_order();
+  std::vector<char> gate_in_cone(netlist.num_gates(), 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Gate& gate = netlist.gate(*it);
+    if (!in_cone[gate.output.index()]) continue;
+    gate_in_cone[it->index()] = 1;
+    for (NetId in : gate.inputs) in_cone[in.index()] = 1;
+  }
+  std::vector<GateId> cone;
+  for (GateId g : order) {
+    if (gate_in_cone[g.index()]) cone.push_back(g);
+  }
+  return cone;
+}
+
+std::vector<KindCount> kind_histogram(const Netlist& netlist) {
+  std::vector<KindCount> counts;
+  for (GateId g : netlist.gate_ids()) {
+    const std::string& name = netlist.cell_of(g).name();
+    bool found = false;
+    for (auto& kc : counts) {
+      if (kc.cell_name == name) {
+        ++kc.count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) counts.push_back({name, 1});
+  }
+  std::sort(counts.begin(), counts.end(),
+            [](const KindCount& a, const KindCount& b) {
+              return a.count > b.count;
+            });
+  return counts;
+}
+
+std::vector<NetId> transitive_fanout(const Netlist& netlist, NetId net) {
+  std::vector<char> reached(netlist.num_nets(), 0);
+  std::queue<NetId> frontier;
+  frontier.push(net);
+  reached[net.index()] = 1;
+  std::vector<NetId> result;
+  while (!frontier.empty()) {
+    const NetId current = frontier.front();
+    frontier.pop();
+    for (GateId g : netlist.net(current).fanout_gates) {
+      const NetId out = netlist.gate(g).output;
+      if (!reached[out.index()]) {
+        reached[out.index()] = 1;
+        result.push_back(out);
+        frontier.push(out);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cwsp

@@ -1,0 +1,52 @@
+#pragma once
+// Structural netlist analyses used by reports, the benchmark harness and
+// the resizing baseline: logic depth, fanout statistics and cones of
+// influence.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace cwsp {
+
+struct DepthInfo {
+  /// Per-net logic depth in gate levels (sources = 0; unreachable = -1).
+  std::vector<int> depth;
+  int max_depth = 0;
+
+  [[nodiscard]] int of(NetId net) const { return depth[net.index()]; }
+};
+
+/// Longest gate-level depth from any timing source to each net.
+[[nodiscard]] DepthInfo compute_logic_depth(const Netlist& netlist);
+
+struct FanoutStats {
+  std::size_t max_fanout = 0;
+  double mean_fanout = 0.0;
+  /// histogram[k] = number of driven nets with fanout k (capped at the
+  /// last bucket).
+  std::vector<std::size_t> histogram;
+};
+
+[[nodiscard]] FanoutStats compute_fanout_stats(const Netlist& netlist,
+                                               std::size_t max_bucket = 16);
+
+/// Gates in the transitive fan-in cone of `net` (the logic that computes
+/// it), in topological order.
+[[nodiscard]] std::vector<GateId> cone_of_influence(const Netlist& netlist,
+                                                    NetId net);
+
+/// Nets reachable (through gates) from the given net's output — the
+/// transitive fan-out, i.e. everything an SET on `net` could disturb.
+[[nodiscard]] std::vector<NetId> transitive_fanout(const Netlist& netlist,
+                                                   NetId net);
+
+struct KindCount {
+  std::string cell_name;
+  std::size_t count = 0;
+};
+
+/// Gate count per cell type, descending by count.
+[[nodiscard]] std::vector<KindCount> kind_histogram(const Netlist& netlist);
+
+}  // namespace cwsp

@@ -1,0 +1,206 @@
+#include "netlist/bench_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "netlist/decompose.hpp"
+
+namespace cwsp {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+struct Assignment {
+  std::string lhs;
+  std::string func;  // upper-cased
+  std::vector<std::string> args;
+  int line = 0;
+};
+
+std::vector<std::string> split_args(const std::string& s) {
+  std::vector<std::string> args;
+  std::string current;
+  for (char c : s) {
+    if (c == ',') {
+      args.push_back(trim(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  const std::string last = trim(current);
+  if (!last.empty()) args.push_back(last);
+  return args;
+}
+
+}  // namespace
+
+Netlist parse_bench(std::istream& in, const CellLibrary& library,
+                    const std::string& name) {
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<Assignment> assignments;
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::string upper_line = upper(line);
+    auto parse_decl = [&](const char* keyword) -> std::string {
+      const auto open = line.find('(');
+      const auto close = line.rfind(')');
+      CWSP_REQUIRE_MSG(open != std::string::npos && close != std::string::npos &&
+                           close > open,
+                       "bench line " << line_no << ": malformed " << keyword);
+      return trim(line.substr(open + 1, close - open - 1));
+    };
+
+    if (upper_line.rfind("INPUT", 0) == 0) {
+      inputs.push_back(parse_decl("INPUT"));
+      continue;
+    }
+    if (upper_line.rfind("OUTPUT", 0) == 0) {
+      outputs.push_back(parse_decl("OUTPUT"));
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    CWSP_REQUIRE_MSG(eq != std::string::npos,
+                     "bench line " << line_no << ": expected assignment: "
+                                   << line);
+    Assignment a;
+    a.lhs = trim(line.substr(0, eq));
+    a.line = line_no;
+    std::string rhs = trim(line.substr(eq + 1));
+    const auto open = rhs.find('(');
+    if (open == std::string::npos) {
+      // Constant alias form: `X = GND` / `X = VDD`.
+      a.func = upper(rhs);
+      CWSP_REQUIRE_MSG(a.func == "GND" || a.func == "VDD",
+                       "bench line " << line_no << ": malformed RHS: " << rhs);
+    } else {
+      const auto close = rhs.rfind(')');
+      CWSP_REQUIRE_MSG(close != std::string::npos && close > open,
+                       "bench line " << line_no << ": malformed RHS: " << rhs);
+      a.func = upper(trim(rhs.substr(0, open)));
+      a.args = split_args(rhs.substr(open + 1, close - open - 1));
+    }
+    assignments.push_back(std::move(a));
+  }
+
+  Netlist netlist(library, name);
+
+  // Pass 1: create every net. PIs first, then all assignment LHS nets.
+  std::unordered_set<std::string> defined;
+  for (const std::string& pi : inputs) {
+    netlist.add_primary_input(pi);
+    defined.insert(pi);
+  }
+  for (const Assignment& a : assignments) {
+    CWSP_REQUIRE_MSG(!defined.contains(a.lhs),
+                     "bench line " << a.line << ": " << a.lhs
+                                   << " defined twice");
+    if (a.func == "GND") {
+      netlist.add_constant(false, a.lhs);
+    } else if (a.func == "VDD") {
+      netlist.add_constant(true, a.lhs);
+    } else {
+      netlist.add_net(a.lhs);
+    }
+    defined.insert(a.lhs);
+  }
+
+  // Pass 2: wire gates and flip-flops.
+  auto net_of = [&](const std::string& n, int line_no2) {
+    const auto id = netlist.find_net(n);
+    CWSP_REQUIRE_MSG(id.has_value(),
+                     "bench line " << line_no2 << ": undefined net " << n);
+    return *id;
+  };
+
+  for (const Assignment& a : assignments) {
+    if (a.func == "GND" || a.func == "VDD") continue;
+    std::vector<NetId> args;
+    args.reserve(a.args.size());
+    for (const std::string& arg : a.args) args.push_back(net_of(arg, a.line));
+    const NetId out = *netlist.find_net(a.lhs);
+
+    if (a.func == "DFF") {
+      CWSP_REQUIRE_MSG(args.size() == 1,
+                       "bench line " << a.line << ": DFF takes 1 input");
+      netlist.add_flip_flop_onto(args[0], out);
+      continue;
+    }
+
+    GateFunction fn;
+    if (a.func == "NOT" || a.func == "INV") {
+      fn = GateFunction::kNot;
+    } else if (a.func == "BUF" || a.func == "BUFF") {
+      fn = GateFunction::kBuf;
+    } else if (a.func == "AND") {
+      fn = GateFunction::kAnd;
+    } else if (a.func == "OR") {
+      fn = GateFunction::kOr;
+    } else if (a.func == "NAND") {
+      fn = GateFunction::kNand;
+    } else if (a.func == "NOR") {
+      fn = GateFunction::kNor;
+    } else if (a.func == "XOR") {
+      fn = GateFunction::kXor;
+    } else if (a.func == "XNOR") {
+      fn = GateFunction::kXnor;
+    } else if (a.func == "MUX") {
+      fn = GateFunction::kMux;
+    } else {
+      throw Error("bench line " + std::to_string(a.line) +
+                  ": unknown function " + a.func);
+    }
+    build_function(netlist, fn, args, out);
+  }
+
+  for (const std::string& po : outputs) {
+    netlist.mark_primary_output(net_of(po, 0));
+  }
+
+  netlist.validate();
+  return netlist;
+}
+
+Netlist parse_bench_string(const std::string& text, const CellLibrary& library,
+                           const std::string& name) {
+  std::istringstream in(text);
+  return parse_bench(in, library, name);
+}
+
+Netlist parse_bench_file(const std::string& path, const CellLibrary& library) {
+  std::ifstream in(path);
+  CWSP_REQUIRE_MSG(in.good(), "cannot open bench file " << path);
+  // Derive the netlist name from the file name, sans directory/extension.
+  auto slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const auto dot = base.find_last_of('.');
+  if (dot != std::string::npos) base = base.substr(0, dot);
+  return parse_bench(in, library, base);
+}
+
+}  // namespace cwsp

@@ -1,0 +1,34 @@
+#pragma once
+// Parser for the ISCAS85/89 ".bench" netlist format, with two documented
+// extensions: MUX(d0, d1, sel) and constant assignments (`= GND` / `= VDD`).
+//
+//   # comment
+//   INPUT(G1)
+//   OUTPUT(G17)
+//   G17 = NAND(G1, G2)
+//   G8  = NOT(G1)
+//   G5  = DFF(G10)
+//
+// Gates wider than the library's 4-input cells are decomposed into
+// balanced trees. Definitions may appear in any order (two-pass parse).
+
+#include <istream>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace cwsp {
+
+/// Parses a .bench description. Throws cwsp::Error on syntax or structural
+/// errors. The returned netlist is validated.
+[[nodiscard]] Netlist parse_bench(std::istream& in, const CellLibrary& library,
+                                  const std::string& name = "bench");
+
+[[nodiscard]] Netlist parse_bench_string(const std::string& text,
+                                         const CellLibrary& library,
+                                         const std::string& name = "bench");
+
+[[nodiscard]] Netlist parse_bench_file(const std::string& path,
+                                       const CellLibrary& library);
+
+}  // namespace cwsp

@@ -1,0 +1,225 @@
+#include "netlist/blif_parser.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+namespace cwsp {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+struct LatchDecl {
+  std::string in;
+  std::string out;
+};
+
+struct GateDecl {
+  std::string cell;
+  std::vector<std::pair<std::string, std::string>> pins;  // pin -> net
+  int line = 0;
+};
+
+struct NamesDecl {
+  std::vector<std::string> signals;  // inputs..., output last
+  std::vector<std::string> cover;    // following cover lines
+  int line = 0;
+};
+
+}  // namespace
+
+Netlist parse_blif(std::istream& in, const CellLibrary& library) {
+  std::string model_name = "blif";
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<LatchDecl> latches;
+  std::vector<GateDecl> gates;
+  std::vector<NamesDecl> names;
+
+  // Read logical lines (handle '\' continuations and '#' comments).
+  std::vector<std::pair<std::string, int>> lines;
+  {
+    std::string raw;
+    std::string pending;
+    int line_no = 0;
+    int start_line = 0;
+    while (std::getline(in, raw)) {
+      ++line_no;
+      const auto hash = raw.find('#');
+      if (hash != std::string::npos) raw = raw.substr(0, hash);
+      const bool continues = !raw.empty() && raw.back() == '\\';
+      if (continues) raw.pop_back();
+      if (pending.empty()) start_line = line_no;
+      pending += raw + ' ';
+      if (continues) continue;
+      if (pending.find_first_not_of(" \t\r") != std::string::npos) {
+        lines.emplace_back(pending, start_line);
+      }
+      pending.clear();
+    }
+  }
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    auto tokens = tokenize(lines[i].first);
+    if (tokens.empty()) continue;
+    const std::string& head = tokens[0];
+    const int line_no = lines[i].second;
+
+    if (head == ".model") {
+      if (tokens.size() >= 2) model_name = tokens[1];
+    } else if (head == ".inputs") {
+      inputs.insert(inputs.end(), tokens.begin() + 1, tokens.end());
+    } else if (head == ".outputs") {
+      outputs.insert(outputs.end(), tokens.begin() + 1, tokens.end());
+    } else if (head == ".latch") {
+      CWSP_REQUIRE_MSG(tokens.size() >= 3,
+                       "blif line " << line_no << ": malformed .latch");
+      latches.push_back({tokens[1], tokens[2]});
+    } else if (head == ".gate") {
+      CWSP_REQUIRE_MSG(tokens.size() >= 3,
+                       "blif line " << line_no << ": malformed .gate");
+      GateDecl g;
+      g.cell = tokens[1];
+      g.line = line_no;
+      for (std::size_t t = 2; t < tokens.size(); ++t) {
+        const auto eq = tokens[t].find('=');
+        CWSP_REQUIRE_MSG(eq != std::string::npos,
+                         "blif line " << line_no
+                                      << ": expected pin=net, got "
+                                      << tokens[t]);
+        g.pins.emplace_back(tokens[t].substr(0, eq), tokens[t].substr(eq + 1));
+      }
+      gates.push_back(std::move(g));
+    } else if (head == ".names") {
+      NamesDecl nd;
+      nd.signals.assign(tokens.begin() + 1, tokens.end());
+      nd.line = line_no;
+      // Absorb following cover lines (until the next dot-directive).
+      while (i + 1 < lines.size()) {
+        auto next = tokenize(lines[i + 1].first);
+        if (!next.empty() && next[0][0] == '.') break;
+        ++i;
+        std::string joined;
+        for (const auto& t : next) joined += t + ' ';
+        nd.cover.push_back(joined);
+      }
+      names.push_back(std::move(nd));
+    } else if (head == ".end") {
+      break;
+    } else {
+      throw Error("blif line " + std::to_string(line_no) +
+                  ": unsupported construct " + head);
+    }
+  }
+
+  Netlist netlist(library, model_name);
+
+  // Pass 1: declare nets. PIs, latch outputs, gate outputs, names outputs.
+  for (const auto& pi : inputs) netlist.add_primary_input(pi);
+
+  auto declare = [&](const std::string& n) {
+    if (!netlist.find_net(n).has_value()) netlist.add_net(n);
+  };
+  for (const auto& latch : latches) declare(latch.out);
+  for (const auto& g : gates) {
+    CWSP_REQUIRE_MSG(!g.pins.empty(), "blif: .gate with no pins");
+    declare(g.pins.back().second);  // convention: output pin listed last
+  }
+
+  for (const auto& nd : names) {
+    CWSP_REQUIRE_MSG(!nd.signals.empty(), "blif: .names with no signals");
+    const std::string& out = nd.signals.back();
+    if (nd.signals.size() == 1) {
+      // Constant: value 1 iff the cover contains a bare "1".
+      bool value = false;
+      for (const auto& c : nd.cover) {
+        if (tokenize(c) == std::vector<std::string>{"1"}) value = true;
+      }
+      netlist.add_constant(value, out);
+    } else {
+      declare(out);
+    }
+  }
+
+  auto net_of = [&](const std::string& n, int line_no) {
+    const auto id = netlist.find_net(n);
+    CWSP_REQUIRE_MSG(id.has_value(),
+                     "blif line " << line_no << ": undefined net " << n);
+    return *id;
+  };
+
+  // Pass 2: wire everything.
+  for (const auto& latch : latches) {
+    netlist.add_flip_flop_onto(net_of(latch.in, 0), *netlist.find_net(latch.out));
+  }
+
+  for (const auto& g : gates) {
+    const auto cell_id = library.find(g.cell);
+    CWSP_REQUIRE_MSG(cell_id.has_value(),
+                     "blif line " << g.line << ": unknown cell " << g.cell);
+    const Cell& cell = library.cell(*cell_id);
+    CWSP_REQUIRE_MSG(
+        static_cast<int>(g.pins.size()) == cell.num_inputs() + 1,
+        "blif line " << g.line << ": cell " << g.cell << " expects "
+                     << cell.num_inputs() << " inputs + 1 output");
+    std::vector<NetId> ins;
+    for (std::size_t p = 0; p + 1 < g.pins.size(); ++p) {
+      ins.push_back(net_of(g.pins[p].second, g.line));
+    }
+    netlist.add_gate_onto(*cell_id, ins,
+                          net_of(g.pins.back().second, g.line));
+  }
+
+  for (const auto& nd : names) {
+    if (nd.signals.size() == 1) continue;  // constant, done in pass 1
+    CWSP_REQUIRE_MSG(nd.signals.size() == 2,
+                     "blif line " << nd.line
+                                  << ": only 1-input .names supported "
+                                     "(use .gate for logic)");
+    // "1 1" → buffer; "0 1" → inverter.
+    bool is_buffer = true;
+    bool matched = false;
+    for (const auto& c : nd.cover) {
+      const auto t = tokenize(c);
+      if (t == std::vector<std::string>{"1", "1"}) {
+        is_buffer = true;
+        matched = true;
+      } else if (t == std::vector<std::string>{"0", "1"}) {
+        is_buffer = false;
+        matched = true;
+      }
+    }
+    CWSP_REQUIRE_MSG(matched, "blif line " << nd.line
+                                           << ": unsupported .names cover");
+    const NetId in_net = net_of(nd.signals[0], nd.line);
+    const NetId out_net = net_of(nd.signals[1], nd.line);
+    netlist.add_gate_onto(
+        library.cell_for(is_buffer ? CellKind::kBuf : CellKind::kInv),
+        {in_net}, out_net);
+  }
+
+  for (const auto& po : outputs) netlist.mark_primary_output(net_of(po, 0));
+
+  netlist.validate();
+  return netlist;
+}
+
+Netlist parse_blif_string(const std::string& text,
+                          const CellLibrary& library) {
+  std::istringstream in(text);
+  return parse_blif(in, library);
+}
+
+Netlist parse_blif_file(const std::string& path, const CellLibrary& library) {
+  std::ifstream in(path);
+  CWSP_REQUIRE_MSG(in.good(), "cannot open blif file " << path);
+  return parse_blif(in, library);
+}
+
+}  // namespace cwsp

@@ -1,0 +1,32 @@
+#pragma once
+// Structural BLIF subset parser. Supported constructs:
+//
+//   .model <name>
+//   .inputs a b c         (continuation with trailing '\' supported)
+//   .outputs y z
+//   .latch <in> <out> [re <clk>] [<init>]
+//   .gate <CELL> <pin>=<net> ... <outpin>=<net>
+//   .names <out>                  (constant-0 net)
+//   .names <out> + "1" line       (constant-1 net)
+//   .names <in> <out> + "1 1"     (buffer)  / "0 1" (inverter)
+//   .end
+//
+// Logic-style multi-input .names covers are out of scope — this project
+// consumes technology-mapped netlists, as the paper's flow does.
+
+#include <istream>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace cwsp {
+
+[[nodiscard]] Netlist parse_blif(std::istream& in, const CellLibrary& library);
+
+[[nodiscard]] Netlist parse_blif_string(const std::string& text,
+                                        const CellLibrary& library);
+
+[[nodiscard]] Netlist parse_blif_file(const std::string& path,
+                                      const CellLibrary& library);
+
+}  // namespace cwsp

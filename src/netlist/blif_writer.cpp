@@ -1,0 +1,58 @@
+#include "netlist/blif_writer.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace cwsp {
+
+void write_blif(const Netlist& netlist, std::ostream& os) {
+  os << "# written by cwsp-rad-hard\n";
+  os << ".model " << netlist.name() << "\n";
+
+  os << ".inputs";
+  for (NetId pi : netlist.primary_inputs()) {
+    os << ' ' << netlist.net(pi).name;
+  }
+  os << "\n.outputs";
+  for (NetId po : netlist.primary_outputs()) {
+    os << ' ' << netlist.net(po).name;
+  }
+  os << '\n';
+
+  // Constants as 1/0-cover .names.
+  for (std::size_t i = 0; i < netlist.num_nets(); ++i) {
+    const Net& net = netlist.net(NetId{i});
+    if (net.driver_kind == DriverKind::kConstant) {
+      os << ".names " << net.name << '\n';
+      if (net.constant_value) os << "1\n";
+    }
+  }
+
+  for (FlipFlopId f : netlist.flip_flop_ids()) {
+    const FlipFlop& ff = netlist.flip_flop(f);
+    os << ".latch " << netlist.net(ff.d).name << ' '
+       << netlist.net(ff.q).name << " re clk 0\n";
+  }
+
+  for (GateId g : netlist.gate_ids()) {
+    const Gate& gate = netlist.gate(g);
+    const Cell& cell = netlist.cell_of(g);
+    os << ".gate " << cell.name();
+    // Pin naming convention mirrors parse_blif: inputs in order (the pin
+    // names are informational, output pin last).
+    static constexpr const char* kPins[] = {"a", "b", "c", "d"};
+    for (std::size_t i = 0; i < gate.inputs.size(); ++i) {
+      os << ' ' << kPins[i] << '=' << netlist.net(gate.inputs[i]).name;
+    }
+    os << " O=" << netlist.net(gate.output).name << '\n';
+  }
+  os << ".end\n";
+}
+
+std::string to_blif_string(const Netlist& netlist) {
+  std::ostringstream os;
+  write_blif(netlist, os);
+  return os.str();
+}
+
+}  // namespace cwsp

@@ -1,0 +1,15 @@
+#pragma once
+// Structural BLIF writer — inverse of parse_blif (round-trips through it).
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace cwsp {
+
+void write_blif(const Netlist& netlist, std::ostream& os);
+
+[[nodiscard]] std::string to_blif_string(const Netlist& netlist);
+
+}  // namespace cwsp

@@ -1,0 +1,127 @@
+#include "netlist/decompose.hpp"
+
+#include <string>
+
+namespace cwsp {
+namespace {
+
+CellKind narrow_kind(GateFunction fn, int n) {
+  switch (fn) {
+    case GateFunction::kAnd:
+      return n == 2 ? CellKind::kAnd2 : n == 3 ? CellKind::kAnd3
+                                               : CellKind::kAnd4;
+    case GateFunction::kOr:
+      return n == 2 ? CellKind::kOr2 : n == 3 ? CellKind::kOr3
+                                              : CellKind::kOr4;
+    case GateFunction::kNand:
+      return n == 2 ? CellKind::kNand2 : n == 3 ? CellKind::kNand3
+                                                : CellKind::kNand4;
+    case GateFunction::kNor:
+      return n == 2 ? CellKind::kNor2 : n == 3 ? CellKind::kNor3
+                                               : CellKind::kNor4;
+    default:
+      throw Error("narrow_kind: not an and/or family function");
+  }
+}
+
+std::string fresh_name(const Netlist& netlist, NetId out) {
+  return netlist.net(out).name + "__t" + std::to_string(netlist.num_nets());
+}
+
+/// Reduces args with an associative AND/OR tree down to ≤4 signals.
+std::vector<NetId> reduce_tree(Netlist& netlist, GateFunction assoc_fn,
+                               std::vector<NetId> args, NetId out) {
+  while (args.size() > 4) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i < args.size(); i += 4) {
+      const std::size_t n = std::min<std::size_t>(4, args.size() - i);
+      if (n == 1) {
+        next.push_back(args[i]);
+        continue;
+      }
+      std::vector<NetId> group(args.begin() + static_cast<long>(i),
+                               args.begin() + static_cast<long>(i + n));
+      const NetId t = netlist.add_net(fresh_name(netlist, out));
+      netlist.add_gate_onto(
+          netlist.library().cell_for(narrow_kind(assoc_fn, static_cast<int>(n))),
+          group, t);
+      next.push_back(t);
+    }
+    args = std::move(next);
+  }
+  return args;
+}
+
+}  // namespace
+
+GateId build_function(Netlist& netlist, GateFunction fn,
+                      const std::vector<NetId>& args, NetId out) {
+  const CellLibrary& lib = netlist.library();
+  const auto n = args.size();
+
+  switch (fn) {
+    case GateFunction::kNot:
+      CWSP_REQUIRE(n == 1);
+      return netlist.add_gate_onto(lib.cell_for(CellKind::kInv), args, out);
+    case GateFunction::kBuf:
+      CWSP_REQUIRE(n == 1);
+      return netlist.add_gate_onto(lib.cell_for(CellKind::kBuf), args, out);
+    case GateFunction::kMux:
+      CWSP_REQUIRE(n == 3);
+      return netlist.add_gate_onto(lib.cell_for(CellKind::kMux2), args, out);
+
+    case GateFunction::kAnd:
+    case GateFunction::kOr: {
+      CWSP_REQUIRE(n >= 1);
+      if (n == 1) {
+        return netlist.add_gate_onto(lib.cell_for(CellKind::kBuf), args, out);
+      }
+      auto reduced = reduce_tree(netlist, fn, args, out);
+      if (reduced.size() == 1) {
+        return netlist.add_gate_onto(lib.cell_for(CellKind::kBuf), reduced,
+                                     out);
+      }
+      return netlist.add_gate_onto(
+          lib.cell_for(narrow_kind(fn, static_cast<int>(reduced.size()))),
+          reduced, out);
+    }
+
+    case GateFunction::kNand:
+    case GateFunction::kNor: {
+      CWSP_REQUIRE(n >= 1);
+      if (n == 1) {
+        return netlist.add_gate_onto(lib.cell_for(CellKind::kInv), args, out);
+      }
+      const GateFunction assoc =
+          fn == GateFunction::kNand ? GateFunction::kAnd : GateFunction::kOr;
+      auto reduced = reduce_tree(netlist, assoc, args, out);
+      if (reduced.size() == 1) {
+        return netlist.add_gate_onto(lib.cell_for(CellKind::kInv), reduced,
+                                     out);
+      }
+      return netlist.add_gate_onto(
+          lib.cell_for(narrow_kind(fn, static_cast<int>(reduced.size()))),
+          reduced, out);
+    }
+
+    case GateFunction::kXor:
+    case GateFunction::kXnor: {
+      CWSP_REQUIRE(n >= 2);
+      // Left-to-right XOR chain; the final stage carries the polarity.
+      NetId acc = args[0];
+      for (std::size_t i = 1; i + 1 < n; ++i) {
+        const NetId t = netlist.add_net(fresh_name(netlist, out));
+        netlist.add_gate_onto(lib.cell_for(CellKind::kXor2), {acc, args[i]},
+                              t);
+        acc = t;
+      }
+      const CellKind last =
+          fn == GateFunction::kXor ? CellKind::kXor2 : CellKind::kXnor2;
+      return netlist.add_gate_onto(lib.cell_for(last), {acc, args[n - 1]},
+                                   out);
+    }
+  }
+  throw Error("build_function: unhandled function");
+}
+
+}  // namespace cwsp

@@ -1,0 +1,30 @@
+#pragma once
+// Maps n-ary boolean functions onto the (≤4-input) cell library, building
+// balanced trees for wide gates. Used by the parsers and the synthetic
+// benchmark generator.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace cwsp {
+
+enum class GateFunction {
+  kNot,
+  kBuf,
+  kAnd,
+  kOr,
+  kNand,
+  kNor,
+  kXor,
+  kXnor,
+  kMux,  // (d0, d1, sel)
+};
+
+/// Realises `fn(args)` driving the existing, so far undriven net `out`,
+/// adding intermediate gates/nets as required. Returns the gate driving
+/// `out`.
+GateId build_function(Netlist& netlist, GateFunction fn,
+                      const std::vector<NetId>& args, NetId out);
+
+}  // namespace cwsp

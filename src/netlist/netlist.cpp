@@ -1,0 +1,234 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace cwsp {
+
+Netlist::Netlist(const CellLibrary& library, std::string name)
+    : library_(&library), name_(std::move(name)) {}
+
+NetId Netlist::add_net_internal(const std::string& name) {
+  CWSP_REQUIRE_MSG(!net_by_name_.contains(name),
+                   "duplicate net name " << name);
+  const NetId id{nets_.size()};
+  Net net;
+  net.name = name;
+  nets_.push_back(std::move(net));
+  net_by_name_.emplace(name, id);
+  return id;
+}
+
+void Netlist::attach_driver(NetId net, DriverKind kind, std::uint32_t index) {
+  CWSP_REQUIRE(net.valid() && net.index() < nets_.size());
+  Net& n = nets_[net.index()];
+  CWSP_REQUIRE_MSG(n.driver_kind == DriverKind::kNone,
+                   "net " << n.name << " already driven");
+  n.driver_kind = kind;
+  n.driver_index = index;
+}
+
+NetId Netlist::add_primary_input(const std::string& name) {
+  const NetId id = add_net_internal(name);
+  attach_driver(id, DriverKind::kPrimaryInput,
+                static_cast<std::uint32_t>(primary_inputs_.size()));
+  primary_inputs_.push_back(id);
+  return id;
+}
+
+NetId Netlist::add_net(const std::string& name) {
+  return add_net_internal(name);
+}
+
+NetId Netlist::add_constant(bool value, const std::string& name) {
+  const NetId id = add_net_internal(name);
+  attach_driver(id, DriverKind::kConstant, 0);
+  nets_[id.index()].constant_value = value;
+  return id;
+}
+
+GateId Netlist::add_gate(CellId cell, const std::vector<NetId>& inputs,
+                         const std::string& output_name) {
+  const NetId out = add_net_internal(output_name);
+  return add_gate_onto(cell, inputs, out);
+}
+
+GateId Netlist::add_gate_onto(CellId cell, const std::vector<NetId>& inputs,
+                              NetId output) {
+  const Cell& c = library_->cell(cell);
+  CWSP_REQUIRE_MSG(
+      static_cast<int>(inputs.size()) == c.num_inputs(),
+      "gate of cell " << c.name() << " needs " << c.num_inputs()
+                      << " inputs, got " << inputs.size());
+  const GateId id{gates_.size()};
+  Gate gate;
+  gate.name = nets_[output.index()].name;
+  gate.cell = cell;
+  gate.inputs = inputs;
+  gate.output = output;
+  attach_driver(output, DriverKind::kGate, id.value());
+  for (NetId in : inputs) {
+    CWSP_REQUIRE(in.valid() && in.index() < nets_.size());
+    nets_[in.index()].fanout_gates.push_back(id);
+  }
+  gates_.push_back(std::move(gate));
+  return id;
+}
+
+FlipFlopId Netlist::add_flip_flop(NetId d, const std::string& q_name) {
+  const NetId q = add_net_internal(q_name);
+  return add_flip_flop_onto(d, q);
+}
+
+FlipFlopId Netlist::add_flip_flop_onto(NetId d, NetId q) {
+  CWSP_REQUIRE(d.valid() && d.index() < nets_.size());
+  CWSP_REQUIRE(q.valid() && q.index() < nets_.size());
+  const FlipFlopId id{ffs_.size()};
+  attach_driver(q, DriverKind::kFlipFlop, id.value());
+  nets_[d.index()].fanout_ffs.push_back(id);
+  ffs_.push_back(FlipFlop{nets_[q.index()].name, d, q});
+  return id;
+}
+
+void Netlist::mark_primary_output(NetId net) {
+  CWSP_REQUIRE(net.valid() && net.index() < nets_.size());
+  Net& n = nets_[net.index()];
+  if (!n.is_primary_output) {
+    n.is_primary_output = true;
+    primary_outputs_.push_back(net);
+  }
+}
+
+const Net& Netlist::net(NetId id) const {
+  CWSP_REQUIRE(id.valid() && id.index() < nets_.size());
+  return nets_[id.index()];
+}
+
+const Gate& Netlist::gate(GateId id) const {
+  CWSP_REQUIRE(id.valid() && id.index() < gates_.size());
+  return gates_[id.index()];
+}
+
+const FlipFlop& Netlist::flip_flop(FlipFlopId id) const {
+  CWSP_REQUIRE(id.valid() && id.index() < ffs_.size());
+  return ffs_[id.index()];
+}
+
+const Cell& Netlist::cell_of(GateId id) const {
+  return library_->cell(gate(id).cell);
+}
+
+std::optional<NetId> Netlist::find_net(const std::string& name) const {
+  const auto it = net_by_name_.find(name);
+  if (it == net_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<FlipFlopId> Netlist::flip_flop_ids() const {
+  std::vector<FlipFlopId> ids;
+  ids.reserve(ffs_.size());
+  for (std::size_t i = 0; i < ffs_.size(); ++i) ids.emplace_back(i);
+  return ids;
+}
+
+std::vector<GateId> Netlist::gate_ids() const {
+  std::vector<GateId> ids;
+  ids.reserve(gates_.size());
+  for (std::size_t i = 0; i < gates_.size(); ++i) ids.emplace_back(i);
+  return ids;
+}
+
+std::vector<GateId> Netlist::topological_order() const {
+  // Kahn's algorithm over gates only: a gate becomes ready once all of its
+  // gate-driven inputs are placed. PI/FF/constant-driven inputs are
+  // boundary sources.
+  std::vector<int> pending(gates_.size(), 0);
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    for (NetId in : gates_[g].inputs) {
+      if (nets_[in.index()].driver_kind == DriverKind::kGate) ++pending[g];
+    }
+  }
+  std::queue<GateId> ready;
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    if (pending[g] == 0) ready.emplace(g);
+  }
+  std::vector<GateId> order;
+  order.reserve(gates_.size());
+  while (!ready.empty()) {
+    const GateId g = ready.front();
+    ready.pop();
+    order.push_back(g);
+    const Net& out = nets_[gates_[g.index()].output.index()];
+    for (GateId succ : out.fanout_gates) {
+      if (--pending[succ.index()] == 0) ready.push(succ);
+    }
+  }
+  CWSP_REQUIRE_MSG(order.size() == gates_.size(),
+                   "combinational cycle detected in netlist " << name_);
+  return order;
+}
+
+Femtofarads Netlist::load_of(NetId id) const {
+  const Net& n = net(id);
+  Femtofarads load{0.0};
+  // Each fanout_gates entry corresponds to exactly one pin connection (a
+  // net feeding the same gate on two pins appears twice).
+  for (GateId g : n.fanout_gates) {
+    load += library_->cell(gates_[g.index()].cell).input_capacitance();
+  }
+  for (FlipFlopId f : n.fanout_ffs) {
+    (void)f;
+    load += library_->regular_ff().d_capacitance;
+  }
+  const std::size_t fanout_count = n.fanout_gates.size() + n.fanout_ffs.size();
+  load += library_->wire_capacitance_per_fanout() *
+          static_cast<double>(fanout_count);
+  return load;
+}
+
+void Netlist::validate() const {
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const Net& n = nets_[i];
+    CWSP_REQUIRE_MSG(n.driver_kind != DriverKind::kNone,
+                     "net " << n.name << " has no driver");
+    const bool used = !n.fanout_gates.empty() || !n.fanout_ffs.empty() ||
+                      n.is_primary_output;
+    // Unused primary inputs are legal (optimisation passes can strand
+    // them without changing the module interface); anything else dangling
+    // indicates a construction bug.
+    CWSP_REQUIRE_MSG(used || n.driver_kind == DriverKind::kPrimaryInput,
+                     "net " << n.name << " is dangling");
+  }
+  for (const Gate& g : gates_) {
+    const Cell& c = library_->cell(g.cell);
+    CWSP_REQUIRE(static_cast<int>(g.inputs.size()) == c.num_inputs());
+  }
+  (void)topological_order();  // throws on combinational cycles
+}
+
+SquareMicrons Netlist::combinational_area() const {
+  SquareMicrons area{0.0};
+  for (const Gate& g : gates_) area += library_->cell(g.cell).active_area();
+  return area;
+}
+
+SquareMicrons Netlist::total_area() const {
+  return combinational_area() +
+         library_->regular_ff().area * static_cast<double>(ffs_.size());
+}
+
+NetlistStats Netlist::stats() const {
+  NetlistStats s;
+  s.num_primary_inputs = primary_inputs_.size();
+  s.num_primary_outputs = primary_outputs_.size();
+  s.num_gates = gates_.size();
+  s.num_flip_flops = ffs_.size();
+  s.num_nets = nets_.size();
+  s.combinational_area = combinational_area();
+  s.sequential_area =
+      library_->regular_ff().area * static_cast<double>(ffs_.size());
+  s.total_area = s.combinational_area + s.sequential_area;
+  return s;
+}
+
+}  // namespace cwsp

@@ -1,0 +1,142 @@
+#pragma once
+// Gate-level netlist: combinational gates from a CellLibrary, D flip-flops,
+// primary inputs/outputs and constant nets. Index-based storage with typed
+// handles; the structure is append-only (gates are never removed — the
+// hardening transforms build new netlists instead).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "common/units.hpp"
+
+namespace cwsp {
+
+enum class DriverKind : std::uint8_t {
+  kNone,          // undriven (illegal in a validated netlist)
+  kPrimaryInput,  // driven from outside
+  kGate,          // driven by a combinational gate
+  kFlipFlop,      // driven by a flip-flop Q output
+  kConstant,      // tied to 0 or 1
+};
+
+struct Net {
+  std::string name;
+  DriverKind driver_kind = DriverKind::kNone;
+  /// Index of the driving gate/flip-flop (meaning depends on driver_kind).
+  std::uint32_t driver_index = 0;
+  bool constant_value = false;
+  bool is_primary_output = false;
+  std::vector<GateId> fanout_gates;
+  std::vector<FlipFlopId> fanout_ffs;
+};
+
+struct Gate {
+  std::string name;
+  CellId cell;
+  std::vector<NetId> inputs;
+  NetId output;
+};
+
+struct FlipFlop {
+  std::string name;
+  NetId d;
+  NetId q;
+};
+
+/// Summary statistics used by the benchmark harness and reports.
+struct NetlistStats {
+  std::size_t num_primary_inputs = 0;
+  std::size_t num_primary_outputs = 0;
+  std::size_t num_gates = 0;
+  std::size_t num_flip_flops = 0;
+  std::size_t num_nets = 0;
+  SquareMicrons combinational_area{0.0};
+  SquareMicrons sequential_area{0.0};
+  SquareMicrons total_area{0.0};
+};
+
+class Netlist {
+ public:
+  /// The library must outlive the netlist (non-owning reference).
+  explicit Netlist(const CellLibrary& library, std::string name = "top");
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  [[nodiscard]] const CellLibrary& library() const { return *library_; }
+
+  // ---------------------------------------------------------- building
+  NetId add_primary_input(const std::string& name);
+  /// Creates an undriven net; a driver must be attached before validate().
+  NetId add_net(const std::string& name);
+  NetId add_constant(bool value, const std::string& name);
+  /// Creates a gate and a fresh output net named `output_name`.
+  GateId add_gate(CellId cell, const std::vector<NetId>& inputs,
+                  const std::string& output_name);
+  /// Creates a gate driving an existing (so far undriven) net.
+  GateId add_gate_onto(CellId cell, const std::vector<NetId>& inputs,
+                       NetId output);
+  /// Creates a flip-flop with a fresh Q net named `q_name`.
+  FlipFlopId add_flip_flop(NetId d, const std::string& q_name);
+  /// Creates a flip-flop driving an existing (so far undriven) net.
+  FlipFlopId add_flip_flop_onto(NetId d, NetId q);
+  void mark_primary_output(NetId net);
+
+  // ---------------------------------------------------------- access
+  [[nodiscard]] const Net& net(NetId id) const;
+  [[nodiscard]] const Gate& gate(GateId id) const;
+  [[nodiscard]] const FlipFlop& flip_flop(FlipFlopId id) const;
+  [[nodiscard]] const Cell& cell_of(GateId id) const;
+
+  [[nodiscard]] std::size_t num_nets() const { return nets_.size(); }
+  [[nodiscard]] std::size_t num_gates() const { return gates_.size(); }
+  [[nodiscard]] std::size_t num_flip_flops() const { return ffs_.size(); }
+
+  [[nodiscard]] const std::vector<NetId>& primary_inputs() const {
+    return primary_inputs_;
+  }
+  [[nodiscard]] const std::vector<NetId>& primary_outputs() const {
+    return primary_outputs_;
+  }
+  [[nodiscard]] std::optional<NetId> find_net(const std::string& name) const;
+
+  /// All flip-flop ids, in creation order.
+  [[nodiscard]] std::vector<FlipFlopId> flip_flop_ids() const;
+  [[nodiscard]] std::vector<GateId> gate_ids() const;
+
+  // ---------------------------------------------------------- analysis
+  /// Gates in topological order (FF Q outputs and PIs are sources; FF D
+  /// inputs and POs are sinks). Throws if the combinational core is cyclic.
+  [[nodiscard]] std::vector<GateId> topological_order() const;
+
+  /// Capacitive load seen by the driver of `net` (pin caps + wire cap).
+  [[nodiscard]] Femtofarads load_of(NetId net) const;
+
+  /// Structural checks: every net driven exactly once, gate arity matches
+  /// cell, combinational core acyclic. Throws cwsp::Error on violation.
+  void validate() const;
+
+  [[nodiscard]] NetlistStats stats() const;
+  [[nodiscard]] SquareMicrons combinational_area() const;
+  [[nodiscard]] SquareMicrons total_area() const;
+
+ private:
+  NetId add_net_internal(const std::string& name);
+  void attach_driver(NetId net, DriverKind kind, std::uint32_t index);
+
+  const CellLibrary* library_;
+  std::string name_;
+  std::vector<Net> nets_;
+  std::vector<Gate> gates_;
+  std::vector<FlipFlop> ffs_;
+  std::vector<NetId> primary_inputs_;
+  std::vector<NetId> primary_outputs_;
+  std::unordered_map<std::string, NetId> net_by_name_;
+};
+
+}  // namespace cwsp

@@ -1,0 +1,246 @@
+#include "netlist/transform.hpp"
+
+#include <optional>
+
+namespace cwsp {
+namespace {
+
+/// Three-valued lattice for constant propagation.
+enum class Lattice : std::uint8_t { kZero, kOne, kUnknown };
+
+Lattice to_lattice(bool v) { return v ? Lattice::kOne : Lattice::kZero; }
+
+/// Per-gate folding result.
+struct Folded {
+  std::optional<bool> constant;
+  /// When the gate reduces to a function of exactly one live input:
+  /// that input plus the polarity (true = buffer, false = inverter).
+  std::optional<std::pair<NetId, bool>> single_input;
+};
+
+Folded fold_gate(const Netlist& netlist, GateId g,
+                 const std::vector<Lattice>& values) {
+  const Gate& gate = netlist.gate(g);
+  const Cell& cell = netlist.cell_of(g);
+  const int n = cell.num_inputs();
+
+  // Enumerate all assignments of the *unique* unknown nets (the same net
+  // on two pins must receive the same value).
+  std::vector<NetId> unknown_nets;
+  std::vector<int> net_of_pin(static_cast<std::size_t>(n), -1);
+  unsigned fixed_bits = 0;
+  for (int i = 0; i < n; ++i) {
+    const NetId in = gate.inputs[static_cast<std::size_t>(i)];
+    const Lattice v = values[in.index()];
+    if (v == Lattice::kUnknown) {
+      int idx = -1;
+      for (std::size_t k = 0; k < unknown_nets.size(); ++k) {
+        if (unknown_nets[k] == in) idx = static_cast<int>(k);
+      }
+      if (idx < 0) {
+        idx = static_cast<int>(unknown_nets.size());
+        unknown_nets.push_back(in);
+      }
+      net_of_pin[static_cast<std::size_t>(i)] = idx;
+    } else if (v == Lattice::kOne) {
+      fixed_bits |= 1u << i;
+    }
+  }
+
+  bool seen_zero = false;
+  bool seen_one = false;
+  const unsigned combos = 1u << unknown_nets.size();
+  std::vector<bool> outputs(combos);
+  for (unsigned c = 0; c < combos; ++c) {
+    unsigned bits = fixed_bits;
+    for (int i = 0; i < n; ++i) {
+      const int idx = net_of_pin[static_cast<std::size_t>(i)];
+      if (idx >= 0 && ((c >> idx) & 1u)) bits |= 1u << i;
+    }
+    outputs[c] = cell.evaluate(bits);
+    (outputs[c] ? seen_one : seen_zero) = true;
+  }
+
+  Folded folded;
+  if (!seen_zero || !seen_one) {
+    folded.constant = seen_one;
+    return folded;
+  }
+  // Dependence on exactly one unknown net ⇒ buffer or inverter of it.
+  for (std::size_t k = 0; k < unknown_nets.size(); ++k) {
+    bool depends_only_on_k = true;
+    for (unsigned c = 0; c < combos && depends_only_on_k; ++c) {
+      for (std::size_t j = 0; j < unknown_nets.size(); ++j) {
+        if (j == k) continue;
+        if (outputs[c] != outputs[c ^ (1u << j)]) {
+          depends_only_on_k = false;
+          break;
+        }
+      }
+    }
+    if (depends_only_on_k) {
+      folded.single_input = {unknown_nets[k], outputs[1u << k]};
+      return folded;
+    }
+  }
+  return folded;
+}
+
+/// Rebuilds `source` keeping only live logic; `values`/`folds` (optional)
+/// redirect folded nets to constants or buffers/inverters.
+Netlist rebuild(const Netlist& source, const std::vector<Lattice>* values,
+                const std::vector<Folded>* folds) {
+  const CellLibrary& lib = source.library();
+  Netlist out(lib, source.name());
+
+
+  std::vector<NetId> map(source.num_nets());
+  // Interface first: every PI is kept (even if now unused).
+  for (NetId pi : source.primary_inputs()) {
+    map[pi.index()] = out.add_primary_input(source.net(pi).name);
+  }
+
+  auto is_const = [&](NetId id) {
+    return values != nullptr &&
+           (*values)[id.index()] != Lattice::kUnknown &&
+           source.net(id).driver_kind != DriverKind::kPrimaryInput;
+  };
+
+  // Post-fold liveness fixpoint: a net is needed if a primary output, a
+  // needed flip-flop's D, or an emitted gate's (folded) input references
+  // it. Folding reroutes or removes references, so the pre-fold `live`
+  // set over-approximates.
+
+  std::vector<char> needed(source.num_nets(), 0);
+  for (NetId po : source.primary_outputs()) needed[po.index()] = 1;
+  const auto order = source.topological_order();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const Gate& gate = source.gate(*it);
+      if (!needed[gate.output.index()]) continue;
+      if (is_const(gate.output)) continue;  // replaced by a constant net
+      if (folds != nullptr &&
+          (*folds)[it->index()].single_input.has_value()) {
+        const NetId in = (*folds)[it->index()].single_input->first;
+        if (!needed[in.index()]) {
+          needed[in.index()] = 1;
+          changed = true;
+        }
+      } else {
+        for (NetId in : gate.inputs) {
+          if (!needed[in.index()]) {
+            needed[in.index()] = 1;
+            changed = true;
+          }
+        }
+      }
+    }
+    for (FlipFlopId f : source.flip_flop_ids()) {
+      const FlipFlop& ff = source.flip_flop(f);
+      if (needed[ff.q.index()] && !needed[ff.d.index()]) {
+        needed[ff.d.index()] = 1;
+        changed = true;
+      }
+    }
+  }
+
+  // Declare every needed non-PI net (constants with their value).
+  for (std::size_t i = 0; i < source.num_nets(); ++i) {
+    const Net& net = source.net(NetId{i});
+    if (net.driver_kind == DriverKind::kPrimaryInput) continue;
+    if (!needed[i]) continue;
+    if (is_const(NetId{i})) {
+      map[i] = out.add_constant((*values)[i] == Lattice::kOne, net.name);
+    } else if (net.driver_kind == DriverKind::kConstant) {
+      map[i] = out.add_constant(net.constant_value, net.name);
+    } else {
+      map[i] = out.add_net(net.name);
+    }
+  }
+
+  // Gates (topological order keeps inputs defined before use).
+  for (GateId g : source.topological_order()) {
+    const Gate& gate = source.gate(g);
+    if (!needed[gate.output.index()]) continue;
+    if (is_const(gate.output)) continue;  // folded to a constant net
+
+    if (folds != nullptr) {
+      const auto& folded = (*folds)[g.index()];
+      if (folded.single_input.has_value()) {
+        const auto [input, is_buffer] = *folded.single_input;
+        out.add_gate_onto(
+            lib.cell_for(is_buffer ? CellKind::kBuf : CellKind::kInv),
+            {map[input.index()]}, map[gate.output.index()]);
+        continue;
+      }
+    }
+    std::vector<NetId> ins;
+    ins.reserve(gate.inputs.size());
+    for (NetId in : gate.inputs) ins.push_back(map[in.index()]);
+    out.add_gate_onto(gate.cell, ins, map[gate.output.index()]);
+  }
+
+  for (FlipFlopId f : source.flip_flop_ids()) {
+    const FlipFlop& ff = source.flip_flop(f);
+    if (!needed[ff.q.index()]) continue;
+    out.add_flip_flop_onto(map[ff.d.index()], map[ff.q.index()]);
+  }
+
+  for (NetId po : source.primary_outputs()) {
+    out.mark_primary_output(map[po.index()]);
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace
+
+Netlist clone_netlist(const Netlist& source, const std::string& name) {
+  Netlist copy = rebuild(source, nullptr, nullptr);
+  if (!name.empty()) copy.set_name(name);
+  return copy;
+}
+
+Netlist sweep_constants(const Netlist& source) {
+  // Forward propagation over the combinational core; FF outputs are
+  // unknown (no propagation across clock edges).
+  std::vector<Lattice> values(source.num_nets(), Lattice::kUnknown);
+  for (std::size_t i = 0; i < source.num_nets(); ++i) {
+    const Net& net = source.net(NetId{i});
+    if (net.driver_kind == DriverKind::kConstant) {
+      values[i] = to_lattice(net.constant_value);
+    }
+  }
+  std::vector<Folded> folds(source.num_gates());
+  for (GateId g : source.topological_order()) {
+    folds[g.index()] = fold_gate(source, g, values);
+    if (folds[g.index()].constant.has_value()) {
+      values[source.gate(g).output.index()] =
+          to_lattice(*folds[g.index()].constant);
+    }
+  }
+  return rebuild(source, &values, &folds);
+}
+
+Netlist remove_dead_logic(const Netlist& source) {
+  return rebuild(source, nullptr, nullptr);
+}
+
+std::pair<Netlist, TransformStats> optimize(const Netlist& source) {
+  TransformStats stats;
+  stats.gates_before = source.num_gates();
+  Netlist result = sweep_constants(source);
+  // Folding can expose more constants (e.g. a buffer of a constant);
+  // iterate to a fixed point.
+  for (int iter = 0; iter < 8; ++iter) {
+    Netlist next = sweep_constants(result);
+    if (next.num_gates() == result.num_gates()) break;
+    result = std::move(next);
+  }
+  stats.gates_after = result.num_gates();
+  return {std::move(result), stats};
+}
+
+}  // namespace cwsp

@@ -1,0 +1,35 @@
+#pragma once
+// Netlist transformation passes. The netlist structure itself is
+// append-only, so every pass rebuilds into a fresh netlist (cheap at the
+// sizes this library handles, and it keeps intermediate states valid).
+
+#include "netlist/netlist.hpp"
+
+namespace cwsp {
+
+/// Structure-preserving deep copy.
+[[nodiscard]] Netlist clone_netlist(const Netlist& source,
+                                    const std::string& name = "");
+
+/// Constant propagation: gates whose value is fixed by constant inputs
+/// collapse into constant nets; gates reducible to a single live input
+/// become buffers/inverters. Iterates to a fixed point.
+[[nodiscard]] Netlist sweep_constants(const Netlist& source);
+
+/// Removes gates that reach no primary output and no flip-flop D pin.
+/// Unused primary inputs are retained (the interface is preserved).
+[[nodiscard]] Netlist remove_dead_logic(const Netlist& source);
+
+struct TransformStats {
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  [[nodiscard]] std::size_t removed() const {
+    return gates_before - gates_after;
+  }
+};
+
+/// sweep_constants followed by remove_dead_logic, with statistics.
+[[nodiscard]] std::pair<Netlist, TransformStats> optimize(
+    const Netlist& source);
+
+}  // namespace cwsp

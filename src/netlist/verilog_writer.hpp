@@ -1,0 +1,18 @@
+#pragma once
+// Structural Verilog export: gates map onto Verilog primitives
+// (not/buf/nand/nor/and/or/xor/xnor), MUX2/AOI21/OAI21 onto continuous
+// assigns, and flip-flops onto a positive-edge always block with a
+// single `clk` port.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace cwsp {
+
+void write_verilog(const Netlist& netlist, std::ostream& os);
+
+[[nodiscard]] std::string to_verilog_string(const Netlist& netlist);
+
+}  // namespace cwsp

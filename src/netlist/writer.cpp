@@ -1,0 +1,126 @@
+#include "netlist/writer.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace cwsp {
+namespace {
+
+const char* bench_function(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInv: return "NOT";
+    case CellKind::kBuf: return "BUFF";
+    case CellKind::kNand2:
+    case CellKind::kNand3:
+    case CellKind::kNand4: return "NAND";
+    case CellKind::kNor2:
+    case CellKind::kNor3:
+    case CellKind::kNor4: return "NOR";
+    case CellKind::kAnd2:
+    case CellKind::kAnd3:
+    case CellKind::kAnd4: return "AND";
+    case CellKind::kOr2:
+    case CellKind::kOr3:
+    case CellKind::kOr4: return "OR";
+    case CellKind::kXor2: return "XOR";
+    case CellKind::kXnor2: return "XNOR";
+    case CellKind::kMux2: return "MUX";
+    case CellKind::kAoi21:
+    case CellKind::kOai21: return nullptr;  // expanded by the writer
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void write_bench(const Netlist& netlist, std::ostream& os) {
+  os << "# " << netlist.name() << " — written by cwsp-rad-hard\n";
+  for (NetId pi : netlist.primary_inputs()) {
+    os << "INPUT(" << netlist.net(pi).name << ")\n";
+  }
+  for (NetId po : netlist.primary_outputs()) {
+    os << "OUTPUT(" << netlist.net(po).name << ")\n";
+  }
+
+  // Constants spelled in the extended dialect.
+  for (std::size_t i = 0; i < netlist.num_nets(); ++i) {
+    const Net& n = netlist.net(NetId{i});
+    if (n.driver_kind == DriverKind::kConstant) {
+      os << n.name << " = " << (n.constant_value ? "VDD" : "GND") << "\n";
+    }
+  }
+
+  for (FlipFlopId f : netlist.flip_flop_ids()) {
+    const FlipFlop& ff = netlist.flip_flop(f);
+    os << netlist.net(ff.q).name << " = DFF(" << netlist.net(ff.d).name
+       << ")\n";
+  }
+
+  for (GateId g : netlist.gate_ids()) {
+    const Gate& gate = netlist.gate(g);
+    const Cell& cell = netlist.cell_of(g);
+    const std::string out = netlist.net(gate.output).name;
+    auto in_name = [&](std::size_t i) {
+      return netlist.net(gate.inputs[i]).name;
+    };
+
+    if (const char* fn = bench_function(cell.kind())) {
+      os << out << " = " << fn << '(';
+      for (std::size_t i = 0; i < gate.inputs.size(); ++i) {
+        if (i) os << ", ";
+        os << in_name(i);
+      }
+      os << ")\n";
+      continue;
+    }
+
+    // AOI21(a,b,c) = NOT(OR(AND(a,b), c)); OAI21 dually.
+    const bool is_aoi = cell.kind() == CellKind::kAoi21;
+    const std::string t1 = out + "__x1";
+    const std::string t2 = out + "__x2";
+    os << t1 << " = " << (is_aoi ? "AND" : "OR") << '(' << in_name(0) << ", "
+       << in_name(1) << ")\n";
+    os << t2 << " = " << (is_aoi ? "OR" : "AND") << '(' << t1 << ", "
+       << in_name(2) << ")\n";
+    os << out << " = NOT(" << t2 << ")\n";
+  }
+}
+
+std::string to_bench_string(const Netlist& netlist) {
+  std::ostringstream os;
+  write_bench(netlist, os);
+  return os.str();
+}
+
+void write_dot(const Netlist& netlist, std::ostream& os) {
+  os << "digraph \"" << netlist.name() << "\" {\n  rankdir=LR;\n";
+  for (NetId pi : netlist.primary_inputs()) {
+    os << "  \"" << netlist.net(pi).name << "\" [shape=triangle];\n";
+  }
+  for (GateId g : netlist.gate_ids()) {
+    const Gate& gate = netlist.gate(g);
+    const std::string out = netlist.net(gate.output).name;
+    os << "  \"" << out << "\" [shape=box,label=\""
+       << netlist.cell_of(g).name() << "\\n" << out << "\"];\n";
+    for (NetId in : gate.inputs) {
+      os << "  \"" << netlist.net(in).name << "\" -> \"" << out << "\";\n";
+    }
+  }
+  for (FlipFlopId f : netlist.flip_flop_ids()) {
+    const FlipFlop& ff = netlist.flip_flop(f);
+    const std::string q = netlist.net(ff.q).name;
+    os << "  \"" << q << "\" [shape=box,peripheries=2,label=\"DFF\\n" << q
+       << "\"];\n";
+    os << "  \"" << netlist.net(ff.d).name << "\" -> \"" << q << "\";\n";
+  }
+  for (NetId po : netlist.primary_outputs()) {
+    os << "  \"po_" << netlist.net(po).name
+       << "\" [shape=doublecircle,label=\"" << netlist.net(po).name
+       << "\"];\n";
+    os << "  \"" << netlist.net(po).name << "\" -> \"po_"
+       << netlist.net(po).name << "\";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace cwsp

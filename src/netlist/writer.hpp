@@ -1,0 +1,23 @@
+#pragma once
+// Netlist writers: extended .bench (round-trips through parse_bench) and
+// Graphviz dot for visual inspection of small circuits.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace cwsp {
+
+/// Writes the netlist in the extended .bench dialect accepted by
+/// parse_bench. Cells without a .bench spelling (MUX2, AOI21, OAI21) are
+/// expanded into their NAND/NOT equivalents on the fly, so output is
+/// always re-parseable.
+void write_bench(const Netlist& netlist, std::ostream& os);
+
+[[nodiscard]] std::string to_bench_string(const Netlist& netlist);
+
+/// Graphviz rendering (gates as boxes, FFs as doubly-framed boxes).
+void write_dot(const Netlist& netlist, std::ostream& os);
+
+}  // namespace cwsp

@@ -1,0 +1,55 @@
+#include "set/glitch_model.hpp"
+
+#include <cmath>
+
+namespace cwsp::set {
+
+GlitchModel::GlitchModel(spice::SpiceTech tech) : tech_(tech) {}
+
+double GlitchModel::exact_width(double q_fc) const {
+  return spice::measure_strike_glitch_width(Femtocoulombs(q_fc), tech_)
+      .value();
+}
+
+double GlitchModel::cached_width(double q_fc) const {
+  const auto it = cache_.find(q_fc);
+  if (it != cache_.end()) return it->second;
+  const double width = exact_width(q_fc);
+  cache_.emplace(q_fc, width);
+  return width;
+}
+
+Picoseconds GlitchModel::glitch_width(Femtocoulombs q) const {
+  CWSP_REQUIRE(q.value() >= 0.0);
+  if (q.value() <= 0.0) return Picoseconds(0.0);
+  const double lo_grid = std::floor(q.value() / kGridFc) * kGridFc;
+  const double hi_grid = lo_grid + kGridFc;
+  const double w_lo = lo_grid > 0.0 ? cached_width(lo_grid) : 0.0;
+  const double w_hi = cached_width(hi_grid);
+  const double frac = (q.value() - lo_grid) / kGridFc;
+  return Picoseconds(w_lo + frac * (w_hi - w_lo));
+}
+
+Femtocoulombs GlitchModel::charge_for_width(Picoseconds width) const {
+  CWSP_REQUIRE(width.value() >= 0.0);
+  double lo = 0.0;
+  double hi = kMaxChargeFc;
+  CWSP_REQUIRE_MSG(glitch_width(Femtocoulombs(hi)) >= width,
+                   "target width " << width.value()
+                                   << " ps exceeds the modelled range");
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (glitch_width(Femtocoulombs(mid)) >= width) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return Femtocoulombs(hi);
+}
+
+Femtocoulombs GlitchModel::critical_charge() const {
+  return charge_for_width(Picoseconds(1.0));
+}
+
+}  // namespace cwsp::set

@@ -1,0 +1,44 @@
+#pragma once
+// Charge ↔ glitch-width mapping. Forward widths come from MiniSpice
+// strikes on a min-sized inverter (memoised on a charge grid with linear
+// interpolation); the inverse (critical charge for a target width) is a
+// bisection over the forward map.
+
+#include <map>
+
+#include "common/units.hpp"
+#include "spice/subckt.hpp"
+
+namespace cwsp::set {
+
+class GlitchModel {
+ public:
+  explicit GlitchModel(spice::SpiceTech tech = {});
+
+  /// Width of the voltage glitch (time above VDD/2) caused by a strike of
+  /// charge q on a min-sized inverter output. Exact MiniSpice runs at grid
+  /// points, linear interpolation between them.
+  [[nodiscard]] Picoseconds glitch_width(Femtocoulombs q) const;
+
+  /// Smallest charge producing a glitch at least `width` wide; nullopt is
+  /// never returned — charges are searched up to `max charge`.
+  [[nodiscard]] Femtocoulombs charge_for_width(Picoseconds width) const;
+
+  /// Charge below which no logic-level glitch appears at all (width < 1 ps).
+  [[nodiscard]] Femtocoulombs critical_charge() const;
+
+  [[nodiscard]] const spice::SpiceTech& tech() const { return tech_; }
+
+ private:
+  [[nodiscard]] double exact_width(double q_fc) const;
+  [[nodiscard]] double cached_width(double q_fc) const;
+
+  spice::SpiceTech tech_;
+  /// Memoised exact widths keyed by grid charge (fC).
+  mutable std::map<double, double> cache_;
+
+  static constexpr double kGridFc = 10.0;
+  static constexpr double kMaxChargeFc = 400.0;
+};
+
+}  // namespace cwsp::set

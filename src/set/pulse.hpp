@@ -1,0 +1,76 @@
+#pragma once
+// Radiation-strike current model (paper Eq. 1) and the LET → charge
+// relation from the introduction: Q = 0.01036 · L · t.
+
+#include <cmath>
+
+#include "cell/calibration.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace cwsp::set {
+
+/// I(t) = Q/(τα−τβ)·(e^{−t/τα} − e^{−t/τβ}). With Q in fC and τ in ps the
+/// current is in mA; the pulse integrates to exactly Q.
+class DoubleExponentialPulse {
+ public:
+  DoubleExponentialPulse(Femtocoulombs q, Picoseconds tau_alpha = cal::kTauAlpha,
+                         Picoseconds tau_beta = cal::kTauBeta)
+      : q_(q), tau_alpha_(tau_alpha), tau_beta_(tau_beta) {
+    CWSP_REQUIRE(q.value() >= 0.0);
+    CWSP_REQUIRE(tau_alpha.value() > tau_beta.value());
+    CWSP_REQUIRE(tau_beta.value() > 0.0);
+  }
+
+  [[nodiscard]] Femtocoulombs charge() const { return q_; }
+  [[nodiscard]] Picoseconds tau_alpha() const { return tau_alpha_; }
+  [[nodiscard]] Picoseconds tau_beta() const { return tau_beta_; }
+
+  /// Current in mA at time t after the strike (0 for t < 0).
+  [[nodiscard]] double current_ma(Picoseconds t) const {
+    const double tv = t.value();
+    if (tv <= 0.0) return 0.0;
+    return q_.value() / (tau_alpha_.value() - tau_beta_.value()) *
+           (std::exp(-tv / tau_alpha_.value()) -
+            std::exp(-tv / tau_beta_.value()));
+  }
+
+  /// Time of the current peak: t* = ln(τα/τβ)·τατβ/(τα−τβ).
+  [[nodiscard]] Picoseconds peak_time() const {
+    const double ta = tau_alpha_.value();
+    const double tb = tau_beta_.value();
+    return Picoseconds(std::log(ta / tb) * ta * tb / (ta - tb));
+  }
+
+  [[nodiscard]] double peak_current_ma() const {
+    return current_ma(peak_time());
+  }
+
+  /// Charge delivered in [0, t]: Q/(τα−τβ)·(τα(1−e^{−t/τα}) − τβ(1−e^{−t/τβ})).
+  [[nodiscard]] Femtocoulombs charge_delivered(Picoseconds t) const {
+    const double tv = t.value();
+    if (tv <= 0.0) return Femtocoulombs(0.0);
+    const double ta = tau_alpha_.value();
+    const double tb = tau_beta_.value();
+    return Femtocoulombs(q_.value() / (ta - tb) *
+                         (ta * (1.0 - std::exp(-tv / ta)) -
+                          tb * (1.0 - std::exp(-tv / tb))));
+  }
+
+ private:
+  Femtocoulombs q_;
+  Picoseconds tau_alpha_;
+  Picoseconds tau_beta_;
+};
+
+/// Q[pC] = 0.01036 · LET[MeV·cm²/mg] · depth[µm] (paper intro). Returned
+/// in fC (1 pC = 1000 fC).
+[[nodiscard]] inline Femtocoulombs charge_from_let(double let_mev_cm2_mg,
+                                                   double collection_depth_um) {
+  CWSP_REQUIRE(let_mev_cm2_mg >= 0.0);
+  CWSP_REQUIRE(collection_depth_um > 0.0);
+  return Femtocoulombs(0.01036 * let_mev_cm2_mg * collection_depth_um *
+                       1000.0);
+}
+
+}  // namespace cwsp::set

@@ -1,0 +1,94 @@
+#include "set/strike_plan.hpp"
+#include <algorithm>
+
+namespace cwsp::set {
+
+std::vector<NetId> strike_sites(const Netlist& netlist) {
+  std::vector<NetId> sites;
+  for (std::size_t i = 0; i < netlist.num_nets(); ++i) {
+    const NetId id{i};
+    const auto kind = netlist.net(id).driver_kind;
+    if (kind == DriverKind::kGate || kind == DriverKind::kFlipFlop) {
+      sites.push_back(id);
+    }
+  }
+  return sites;
+}
+
+std::vector<Strike> random_strikes(const Netlist& netlist, std::size_t count,
+                                   Picoseconds width, Picoseconds window_start,
+                                   Picoseconds window_end, Rng& rng) {
+  CWSP_REQUIRE(window_end > window_start);
+  const auto sites = strike_sites(netlist);
+  CWSP_REQUIRE_MSG(!sites.empty(), "netlist has no strikeable nodes");
+  std::vector<Strike> strikes;
+  strikes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Strike s;
+    s.node = sites[rng.next_below(sites.size())];
+    s.start = Picoseconds(
+        rng.next_double_in(window_start.value(), window_end.value()));
+    s.width = width;
+    strikes.push_back(s);
+  }
+  return strikes;
+}
+
+std::vector<Strike> area_weighted_strikes(const Netlist& netlist,
+                                          std::size_t count,
+                                          Picoseconds width,
+                                          Picoseconds window_start,
+                                          Picoseconds window_end, Rng& rng) {
+  CWSP_REQUIRE(window_end > window_start);
+  const auto sites = strike_sites(netlist);
+  CWSP_REQUIRE_MSG(!sites.empty(), "netlist has no strikeable nodes");
+
+  // Cumulative area distribution over the sites' driving cells.
+  std::vector<double> cumulative(sites.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const Net& net = netlist.net(sites[i]);
+    double area = 0.0;
+    if (net.driver_kind == DriverKind::kGate) {
+      area = netlist.cell_of(GateId{net.driver_index}).active_area().value();
+    } else {
+      area = netlist.library().regular_ff().area.value();
+    }
+    total += area;
+    cumulative[i] = total;
+  }
+  CWSP_REQUIRE(total > 0.0);
+
+  std::vector<Strike> strikes;
+  strikes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double pick = rng.next_double_in(0.0, total);
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), pick);
+    const std::size_t index =
+        static_cast<std::size_t>(it - cumulative.begin());
+    Strike s;
+    s.node = sites[std::min(index, sites.size() - 1)];
+    s.start = Picoseconds(
+        rng.next_double_in(window_start.value(), window_end.value()));
+    s.width = width;
+    strikes.push_back(s);
+  }
+  return strikes;
+}
+
+std::vector<Strike> exhaustive_strikes(
+    const Netlist& netlist, Picoseconds width,
+    const std::vector<Picoseconds>& time_points) {
+  const auto sites = strike_sites(netlist);
+  std::vector<Strike> strikes;
+  strikes.reserve(sites.size() * time_points.size());
+  for (NetId site : sites) {
+    for (Picoseconds t : time_points) {
+      strikes.push_back(Strike{site, t, width});
+    }
+  }
+  return strikes;
+}
+
+}  // namespace cwsp::set

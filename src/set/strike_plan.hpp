@@ -1,0 +1,47 @@
+#pragma once
+// Strike-site and strike-time planning for fault-injection campaigns over
+// gate-level netlists.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "netlist/netlist.hpp"
+
+namespace cwsp::set {
+
+/// One SET event at gate level: the logical value of `node` is inverted
+/// during [start, start + width).
+struct Strike {
+  NetId node;
+  Picoseconds start{0.0};
+  Picoseconds width{0.0};
+};
+
+/// Nets eligible for strikes: gate outputs and flip-flop Q nets (diffusion
+/// nodes exist there). Primary inputs are driven from outside the die.
+[[nodiscard]] std::vector<NetId> strike_sites(const Netlist& netlist);
+
+/// Uniformly random strikes across sites and a time window.
+[[nodiscard]] std::vector<Strike> random_strikes(const Netlist& netlist,
+                                                 std::size_t count,
+                                                 Picoseconds width,
+                                                 Picoseconds window_start,
+                                                 Picoseconds window_end,
+                                                 Rng& rng);
+
+/// One strike per site at each of `time_points` — the exhaustive sweep the
+/// paper's §3.2 case analysis calls for.
+[[nodiscard]] std::vector<Strike> exhaustive_strikes(
+    const Netlist& netlist, Picoseconds width,
+    const std::vector<Picoseconds>& time_points);
+
+/// Random strikes with per-site probability proportional to the driving
+/// cell's active (diffusion) area — the physically correct weighting: a
+/// particle is more likely to hit a larger device (paper §1, Q = f(LET,
+/// collection volume)).
+[[nodiscard]] std::vector<Strike> area_weighted_strikes(
+    const Netlist& netlist, std::size_t count, Picoseconds width,
+    Picoseconds window_start, Picoseconds window_end, Rng& rng);
+
+}  // namespace cwsp::set

@@ -1,0 +1,60 @@
+#include "sim/digital_waveform.hpp"
+
+#include <algorithm>
+
+namespace cwsp::sim {
+
+bool DigitalWaveform::value_at(double t_ps) const {
+  // Number of toggles at or before t.
+  const auto it =
+      std::upper_bound(transitions_.begin(), transitions_.end(), t_ps);
+  const auto toggles = static_cast<std::size_t>(it - transitions_.begin());
+  return (toggles % 2 == 0) ? initial_ : !initial_;
+}
+
+void DigitalWaveform::xor_pulse(double t0_ps, double t1_ps) {
+  CWSP_REQUIRE(t0_ps <= t1_ps);
+  if (t0_ps == t1_ps) return;
+  auto toggle_at = [&](double t) {
+    const auto it =
+        std::lower_bound(transitions_.begin(), transitions_.end(), t);
+    if (it != transitions_.end() && *it == t) {
+      transitions_.erase(it);  // coincident toggles cancel
+    } else {
+      transitions_.insert(it, t);
+    }
+  };
+  toggle_at(t0_ps);
+  toggle_at(t1_ps);
+}
+
+void DigitalWaveform::set_transitions(std::vector<double> transitions) {
+  CWSP_REQUIRE(std::is_sorted(transitions.begin(), transitions.end()));
+  transitions_ = std::move(transitions);
+}
+
+void DigitalWaveform::inertial_filter(double min_width_ps) {
+  CWSP_REQUIRE(min_width_ps >= 0.0);
+  if (min_width_ps == 0.0) return;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i + 1 < transitions_.size(); ++i) {
+      if (transitions_[i + 1] - transitions_[i] < min_width_ps) {
+        // The level between these two toggles is too short to propagate.
+        transitions_.erase(transitions_.begin() + static_cast<long>(i),
+                           transitions_.begin() + static_cast<long>(i + 2));
+        changed = true;
+        break;
+      }
+    }
+  }
+}
+
+bool DigitalWaveform::has_transition_in(double from_ps, double to_ps) const {
+  const auto lo =
+      std::lower_bound(transitions_.begin(), transitions_.end(), from_ps);
+  return lo != transitions_.end() && *lo <= to_ps;
+}
+
+}  // namespace cwsp::sim

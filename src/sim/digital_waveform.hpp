@@ -1,0 +1,52 @@
+#pragma once
+// Binary waveform over one clock cycle: an initial value plus a sorted
+// list of toggle times. This is the representation the event-driven
+// simulator uses to propagate SET glitches with electrical (inertial)
+// masking.
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace cwsp::sim {
+
+class DigitalWaveform {
+ public:
+  DigitalWaveform() = default;
+  explicit DigitalWaveform(bool initial) : initial_(initial) {}
+
+  [[nodiscard]] bool initial() const { return initial_; }
+  [[nodiscard]] const std::vector<double>& transitions() const {
+    return transitions_;
+  }
+  [[nodiscard]] bool is_constant() const { return transitions_.empty(); }
+
+  /// Value at time t (transitions take effect *at* their timestamp).
+  [[nodiscard]] bool value_at(double t_ps) const;
+
+  /// Final settled value.
+  [[nodiscard]] bool final_value() const {
+    return (transitions_.size() % 2 == 0) ? initial_ : !initial_;
+  }
+
+  /// Inverts the waveform during [t0, t1). Coincident toggles cancel.
+  void xor_pulse(double t0_ps, double t1_ps);
+
+  /// Replaces the transition list; must be sorted ascending.
+  void set_transitions(std::vector<double> transitions);
+
+  /// Removes pulses narrower than min_width (inertial / electrical
+  /// masking): repeatedly collapses adjacent toggle pairs closer than
+  /// min_width until stable.
+  void inertial_filter(double min_width_ps);
+
+  /// True if any transition falls inside [from, to].
+  [[nodiscard]] bool has_transition_in(double from_ps, double to_ps) const;
+
+ private:
+  bool initial_ = false;
+  std::vector<double> transitions_;
+};
+
+}  // namespace cwsp::sim

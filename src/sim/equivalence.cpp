@@ -1,0 +1,102 @@
+#include "sim/equivalence.hpp"
+
+#include "common/rng.hpp"
+#include "sim/logic_sim.hpp"
+
+namespace cwsp {
+namespace {
+
+/// a's FF index for each of b's FFs, matched by Q-net name. B's state
+/// must be a subset of A's (optimisation may drop dead flip-flops, whose
+/// state by construction cannot influence outputs).
+std::vector<std::size_t> match_ffs(const Netlist& a, const Netlist& b) {
+  std::vector<std::size_t> map(b.num_flip_flops());
+  for (std::size_t j = 0; j < b.num_flip_flops(); ++j) {
+    const std::string& name = b.net(b.flip_flop(FlipFlopId{j}).q).name;
+    bool found = false;
+    for (std::size_t i = 0; i < a.num_flip_flops(); ++i) {
+      if (a.net(a.flip_flop(FlipFlopId{i}).q).name == name) {
+        map[j] = i;
+        found = true;
+        break;
+      }
+    }
+    CWSP_REQUIRE_MSG(found, "equivalence: no matching flip-flop for " << name);
+  }
+  return map;
+}
+
+}  // namespace
+
+EquivalenceResult check_equivalence(const Netlist& a, const Netlist& b,
+                                    const EquivalenceOptions& options) {
+  CWSP_REQUIRE_MSG(a.primary_inputs().size() == b.primary_inputs().size(),
+                   "equivalence: input count mismatch");
+  CWSP_REQUIRE_MSG(a.primary_outputs().size() == b.primary_outputs().size(),
+                   "equivalence: output count mismatch");
+  CWSP_REQUIRE_MSG(b.num_flip_flops() <= a.num_flip_flops(),
+                   "equivalence: b has flip-flops a lacks");
+
+  const std::size_t n_in = a.primary_inputs().size();
+  const std::size_t n_ff = a.num_flip_flops();
+  const std::size_t space_bits = n_in + n_ff;
+  const auto ff_map = match_ffs(a, b);
+
+  sim::LogicSim sim_a(a);
+  sim::LogicSim sim_b(b);
+
+  EquivalenceResult result;
+  result.exhaustive =
+      space_bits < 63 && (1ull << space_bits) <= options.exhaustive_limit;
+
+  auto run_vector = [&](const std::vector<bool>& inputs,
+                        const std::vector<bool>& state) -> bool {
+    std::vector<bool> state_b(b.num_flip_flops());
+    for (std::size_t j = 0; j < state_b.size(); ++j) {
+      state_b[j] = state[ff_map[j]];
+    }
+    sim_a.set_ff_state(state);
+    sim_b.set_ff_state(state_b);
+    sim_a.set_inputs(inputs);
+    sim_b.set_inputs(inputs);
+    sim_a.evaluate();
+    sim_b.evaluate();
+    ++result.vectors_checked;
+    const auto out_a = sim_a.output_values();
+    const auto out_b = sim_b.output_values();
+    for (std::size_t k = 0; k < out_a.size(); ++k) {
+      if (out_a[k] != out_b[k]) {
+        result.counterexample =
+            Counterexample{inputs, state, k, out_a[k], out_b[k]};
+        return false;
+      }
+    }
+    return true;
+  };
+
+  if (result.exhaustive) {
+    const std::uint64_t combos = 1ull << space_bits;
+    for (std::uint64_t v = 0; v < combos; ++v) {
+      std::vector<bool> inputs(n_in);
+      std::vector<bool> state(n_ff);
+      for (std::size_t i = 0; i < n_in; ++i) inputs[i] = (v >> i) & 1u;
+      for (std::size_t i = 0; i < n_ff; ++i) {
+        state[i] = (v >> (n_in + i)) & 1u;
+      }
+      if (!run_vector(inputs, state)) return result;
+    }
+  } else {
+    Rng rng(options.seed);
+    for (std::size_t v = 0; v < options.random_vectors; ++v) {
+      std::vector<bool> inputs(n_in);
+      std::vector<bool> state(n_ff);
+      for (auto&& bit : inputs) bit = rng.next_bool();
+      for (auto&& bit : state) bit = rng.next_bool();
+      if (!run_vector(inputs, state)) return result;
+    }
+  }
+  result.equivalent = true;
+  return result;
+}
+
+}  // namespace cwsp

@@ -1,0 +1,46 @@
+#pragma once
+// Simulation-based equivalence checking between two netlists with
+// matching interfaces: exhaustive for small input/state spaces, seeded
+// random vectors otherwise. Used to validate optimisation passes and
+// round-trips; not a formal prover — a pass result is "no mismatch
+// found", a fail result carries a concrete counterexample.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace cwsp {
+
+struct EquivalenceOptions {
+  /// Exhaustive when 2^(PIs + FFs) is at most this; random otherwise.
+  std::size_t exhaustive_limit = 1u << 16;
+  std::size_t random_vectors = 1024;
+  std::uint64_t seed = 1;
+};
+
+struct Counterexample {
+  std::vector<bool> inputs;
+  std::vector<bool> state_a;  // FF state applied to both designs
+  std::size_t output_index = 0;
+  bool value_a = false;
+  bool value_b = false;
+};
+
+struct EquivalenceResult {
+  bool equivalent = false;
+  bool exhaustive = false;
+  std::size_t vectors_checked = 0;
+  std::optional<Counterexample> counterexample;
+};
+
+/// Compares combinational behaviour per (input, FF-state) vector: both
+/// netlists must have the same PI/PO counts; b's flip-flops must be a
+/// (name-matched) subset of a's — optimisation may legitimately drop dead
+/// state, which cannot influence outputs. Throws cwsp::Error on interface
+/// mismatch.
+[[nodiscard]] EquivalenceResult check_equivalence(
+    const Netlist& a, const Netlist& b, const EquivalenceOptions& options = {});
+
+}  // namespace cwsp

@@ -1,0 +1,82 @@
+#pragma once
+// Event-driven glitch-propagation simulator for a single clock cycle.
+//
+// Model: at cycle start all sources (PIs, FF Q outputs, constants) hold
+// static values; an optional SET strike inverts one net for a window.
+// The resulting pulse propagates through the combinational logic with
+// per-gate propagation delays (from STA loads) subject to:
+//   * logical masking  — a glitch dies at a gate whose side inputs are
+//     controlling,
+//   * electrical masking — pulses narrower than a gate's inertial delay
+//     are filtered,
+//   * latching-window masking — a flip-flop is only corrupted if the
+//     pulse is present at (or toggling across) the capture aperture.
+
+#include <optional>
+#include <vector>
+
+#include "set/strike_plan.hpp"
+#include "sim/digital_waveform.hpp"
+#include "sta/sta.hpp"
+
+namespace cwsp::sim {
+
+struct CycleResult {
+  /// Per-FF D value with no strike (golden) and with the strike, sampled
+  /// at the capture edge.
+  std::vector<bool> golden_d;
+  std::vector<bool> latched_d;
+  /// True where the glitch toggles inside the setup/hold aperture (the
+  /// latch may capture either value; pessimistically treated as corrupt
+  /// by unprotected-design analyses).
+  std::vector<bool> aperture_violation;
+
+  /// Primary-output values at the capture edge (golden / struck).
+  std::vector<bool> golden_po;
+  std::vector<bool> struck_po;
+
+  /// True if the strike's pulse reached any timing endpoint (FF D pin or
+  /// primary output) at all — the pessimistic criterion gate-resizing
+  /// approaches use, ignoring latching-window masking.
+  bool glitch_reached_endpoint = false;
+
+  [[nodiscard]] bool any_ff_corrupted() const {
+    for (std::size_t i = 0; i < latched_d.size(); ++i) {
+      if (latched_d[i] != golden_d[i] || aperture_violation[i]) return true;
+    }
+    return false;
+  }
+};
+
+class EventSim {
+ public:
+  /// Precomputes topological order and per-gate delays.
+  explicit EventSim(const Netlist& netlist);
+
+  /// Simulates one cycle: sources take `pi_values` / `ff_q_values` at t=0,
+  /// flip-flops capture at `capture_time`. The optional strike inverts its
+  /// net during [start, start+width).
+  [[nodiscard]] CycleResult simulate_cycle(
+      const std::vector<bool>& pi_values, const std::vector<bool>& ff_q_values,
+      Picoseconds capture_time,
+      const std::optional<set::Strike>& strike) const;
+
+  /// The waveform on a given net for the same scenario (for inspection
+  /// and tests).
+  [[nodiscard]] DigitalWaveform net_waveform(
+      const std::vector<bool>& pi_values, const std::vector<bool>& ff_q_values,
+      const std::optional<set::Strike>& strike, NetId net) const;
+
+  [[nodiscard]] const Netlist& netlist() const { return *netlist_; }
+
+ private:
+  [[nodiscard]] std::vector<DigitalWaveform> propagate(
+      const std::vector<bool>& pi_values, const std::vector<bool>& ff_q_values,
+      const std::optional<set::Strike>& strike) const;
+
+  const Netlist* netlist_;
+  std::vector<GateId> topo_order_;
+  std::vector<double> gate_delay_ps_;
+};
+
+}  // namespace cwsp::sim

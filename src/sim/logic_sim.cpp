@@ -1,0 +1,86 @@
+#include "sim/logic_sim.hpp"
+
+namespace cwsp::sim {
+
+LogicSim::LogicSim(const Netlist& netlist)
+    : netlist_(&netlist),
+      topo_order_(netlist.topological_order()),
+      net_values_(netlist.num_nets(), 0),
+      ff_q_(netlist.num_flip_flops(), 0),
+      pi_values_(netlist.primary_inputs().size(), 0) {}
+
+void LogicSim::set_inputs(const std::vector<bool>& values) {
+  CWSP_REQUIRE_MSG(values.size() == pi_values_.size(),
+                   "expected " << pi_values_.size() << " inputs, got "
+                               << values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) pi_values_[i] = values[i];
+}
+
+void LogicSim::evaluate() {
+  const Netlist& nl = *netlist_;
+  // Seed source nets.
+  for (std::size_t i = 0; i < nl.num_nets(); ++i) {
+    const Net& net = nl.net(NetId{i});
+    switch (net.driver_kind) {
+      case DriverKind::kPrimaryInput:
+        net_values_[i] = pi_values_[net.driver_index];
+        break;
+      case DriverKind::kFlipFlop:
+        net_values_[i] = ff_q_[net.driver_index];
+        break;
+      case DriverKind::kConstant:
+        net_values_[i] = net.constant_value;
+        break;
+      default:
+        break;
+    }
+  }
+  // Propagate.
+  for (GateId g : topo_order_) {
+    const Gate& gate = nl.gate(g);
+    const Cell& cell = nl.cell_of(g);
+    unsigned bits = 0;
+    for (std::size_t i = 0; i < gate.inputs.size(); ++i) {
+      if (net_values_[gate.inputs[i].index()]) bits |= 1u << i;
+    }
+    net_values_[gate.output.index()] = cell.evaluate(bits);
+  }
+}
+
+void LogicSim::clock() {
+  const Netlist& nl = *netlist_;
+  for (std::size_t f = 0; f < nl.num_flip_flops(); ++f) {
+    ff_q_[f] = net_values_[nl.flip_flop(FlipFlopId{f}).d.index()];
+  }
+}
+
+void LogicSim::step(const std::vector<bool>& inputs) {
+  set_inputs(inputs);
+  evaluate();
+  clock();
+}
+
+bool LogicSim::value(NetId net) const {
+  CWSP_REQUIRE(net.valid() && net.index() < net_values_.size());
+  return net_values_[net.index()] != 0;
+}
+
+std::vector<bool> LogicSim::output_values() const {
+  std::vector<bool> out;
+  out.reserve(netlist_->primary_outputs().size());
+  for (NetId po : netlist_->primary_outputs()) {
+    out.push_back(net_values_[po.index()] != 0);
+  }
+  return out;
+}
+
+std::vector<bool> LogicSim::ff_state() const {
+  return {ff_q_.begin(), ff_q_.end()};
+}
+
+void LogicSim::set_ff_state(const std::vector<bool>& state) {
+  CWSP_REQUIRE(state.size() == ff_q_.size());
+  for (std::size_t i = 0; i < state.size(); ++i) ff_q_[i] = state[i];
+}
+
+}  // namespace cwsp::sim

@@ -1,0 +1,42 @@
+#pragma once
+// Cycle-accurate zero-delay logic simulator: the golden reference for all
+// fault-injection experiments.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace cwsp::sim {
+
+class LogicSim {
+ public:
+  explicit LogicSim(const Netlist& netlist);
+
+  /// Sets primary-input values in PI declaration order.
+  void set_inputs(const std::vector<bool>& values);
+
+  /// Settles combinational logic from the current PI values and FF state.
+  void evaluate();
+
+  /// Latches every flip-flop (Q ← D). Call evaluate() first.
+  void clock();
+
+  /// Convenience: set_inputs + evaluate + clock.
+  void step(const std::vector<bool>& inputs);
+
+  [[nodiscard]] bool value(NetId net) const;
+  [[nodiscard]] std::vector<bool> output_values() const;
+  [[nodiscard]] std::vector<bool> ff_state() const;
+  void set_ff_state(const std::vector<bool>& state);
+
+  [[nodiscard]] const Netlist& netlist() const { return *netlist_; }
+
+ private:
+  const Netlist* netlist_;
+  std::vector<GateId> topo_order_;
+  std::vector<char> net_values_;
+  std::vector<char> ff_q_;
+  std::vector<char> pi_values_;
+};
+
+}  // namespace cwsp::sim

@@ -1,0 +1,60 @@
+#include "spice/circuit.hpp"
+
+namespace cwsp::spice {
+
+Circuit::Circuit() {
+  node_names_.push_back("0");
+  node_by_name_.emplace("0", kGround);
+  node_by_name_.emplace("gnd", kGround);
+  node_by_name_.emplace("GND", kGround);
+}
+
+int Circuit::node(const std::string& name) {
+  const auto it = node_by_name_.find(name);
+  if (it != node_by_name_.end()) return it->second;
+  const int index = static_cast<int>(node_names_.size());
+  node_names_.push_back(name);
+  node_by_name_.emplace(name, index);
+  return index;
+}
+
+const std::string& Circuit::node_name(int index) const {
+  CWSP_REQUIRE(index >= 0 &&
+               index < static_cast<int>(node_names_.size()));
+  return node_names_[static_cast<std::size_t>(index)];
+}
+
+void Circuit::add_resistor(const std::string& name, int a, int b, Kiloohms r) {
+  devices_.push_back(std::make_unique<Resistor>(name, a, b, r));
+}
+
+void Circuit::add_capacitor(const std::string& name, int a, int b,
+                            Femtofarads c) {
+  devices_.push_back(std::make_unique<Capacitor>(name, a, b, c));
+}
+
+void Circuit::add_voltage_source(const std::string& name, int p, int n,
+                                 SourceFunction fn) {
+  devices_.push_back(
+      std::make_unique<VoltageSource>(name, p, n, fn, num_branches_));
+  ++num_branches_;
+}
+
+void Circuit::add_current_source(const std::string& name, int from, int into,
+                                 SourceFunction fn) {
+  devices_.push_back(std::make_unique<CurrentSource>(name, from, into, fn));
+}
+
+void Circuit::add_diode(const std::string& name, int anode, int cathode,
+                        DiodeParams params) {
+  devices_.push_back(std::make_unique<Diode>(name, anode, cathode, params));
+  ++nonlinear_count_;
+}
+
+void Circuit::add_mosfet(const std::string& name, int drain, int gate,
+                         int source, MosParams params) {
+  devices_.push_back(std::make_unique<Mosfet>(name, drain, gate, source, params));
+  ++nonlinear_count_;
+}
+
+}  // namespace cwsp::spice

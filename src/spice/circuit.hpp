@@ -1,0 +1,54 @@
+#pragma once
+// MiniSpice circuit container: named nodes (ground = "0"), owned devices,
+// and helpers for the common device types.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/devices.hpp"
+
+namespace cwsp::spice {
+
+class Circuit {
+ public:
+  Circuit();
+
+  /// Returns the node's index, creating it on first use. "0", "gnd" and
+  /// "GND" all alias ground (index 0).
+  int node(const std::string& name);
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(node_names_.size()); }
+  [[nodiscard]] int num_branches() const { return num_branches_; }
+  [[nodiscard]] const std::string& node_name(int index) const;
+  /// MNA dimension: (nodes − ground) + voltage-source branches.
+  [[nodiscard]] std::size_t dimension() const {
+    return static_cast<std::size_t>(num_nodes() - 1 + num_branches_);
+  }
+
+  // ------------------------------------------------------- add devices
+  void add_resistor(const std::string& name, int a, int b, Kiloohms r);
+  void add_capacitor(const std::string& name, int a, int b, Femtofarads c);
+  void add_voltage_source(const std::string& name, int p, int n,
+                          SourceFunction fn);
+  void add_current_source(const std::string& name, int from, int into,
+                          SourceFunction fn);
+  void add_diode(const std::string& name, int anode, int cathode,
+                 DiodeParams params = {});
+  void add_mosfet(const std::string& name, int drain, int gate, int source,
+                  MosParams params);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+  [[nodiscard]] bool has_nonlinear_devices() const { return nonlinear_count_ > 0; }
+
+ private:
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, int> node_by_name_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  int num_branches_ = 0;
+  int nonlinear_count_ = 0;
+};
+
+}  // namespace cwsp::spice

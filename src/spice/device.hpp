@@ -1,0 +1,131 @@
+#pragma once
+// Device interface for MiniSpice.
+//
+// Unit system (self-consistent, no conversion factors in stamps):
+//   voltage V, resistance kΩ, capacitance fF, time ps
+//   ⇒ conductance mS, current mA, charge fC (mA·ps = fC, mS·V = mA,
+//     fF/ps = mS).
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/ids.hpp"
+
+namespace cwsp::spice {
+
+/// Ground is node index 0; matrix rows cover nodes 1..n-1 plus one row per
+/// voltage-source branch current.
+inline constexpr int kGround = 0;
+
+class StampContext {
+ public:
+  StampContext(std::vector<double>& matrix, std::vector<double>& rhs,
+               const std::vector<double>& v_iter,
+               const std::vector<double>& v_prev, std::size_t dim,
+               int num_nodes, double time_ps, double dt_ps, bool transient)
+      : matrix_(matrix),
+        rhs_(rhs),
+        v_iter_(v_iter),
+        v_prev_(v_prev),
+        dim_(dim),
+        num_nodes_(num_nodes),
+        time_ps_(time_ps),
+        dt_ps_(dt_ps),
+        transient_(transient) {}
+
+  /// Candidate node voltages for this Newton iteration (index = node).
+  [[nodiscard]] double v(int node) const {
+    return node == kGround ? 0.0 : v_iter_[static_cast<std::size_t>(node)];
+  }
+  /// Converged node voltages of the previous timestep.
+  [[nodiscard]] double v_prev(int node) const {
+    return node == kGround ? 0.0 : v_prev_[static_cast<std::size_t>(node)];
+  }
+
+  [[nodiscard]] double time_ps() const { return time_ps_; }
+  [[nodiscard]] double dt_ps() const { return dt_ps_; }
+  /// False during the DC operating-point solve (capacitors open).
+  [[nodiscard]] bool transient() const { return transient_; }
+
+  /// Adds conductance g between matrix rows of nodes i and j (ground rows
+  /// are dropped).
+  void stamp_conductance(int node_a, int node_b, double g_ms) {
+    add_matrix(row(node_a), row(node_a), g_ms);
+    add_matrix(row(node_b), row(node_b), g_ms);
+    add_matrix(row(node_a), row(node_b), -g_ms);
+    add_matrix(row(node_b), row(node_a), -g_ms);
+  }
+
+  /// Adds a current i_ma flowing *into* node `into` and out of node `from`.
+  void stamp_current(int from, int into, double i_ma) {
+    add_rhs(row(into), i_ma);
+    add_rhs(row(from), -i_ma);
+  }
+
+  /// Adds a voltage-controlled current source: current g·(v(cp)−v(cn))
+  /// flows from node `from` into node `into`.
+  void stamp_vccs(int from, int into, int cp, int cn, double g_ms) {
+    add_matrix(row(into), row(cp), -g_ms);
+    add_matrix(row(into), row(cn), g_ms);
+    add_matrix(row(from), row(cp), g_ms);
+    add_matrix(row(from), row(cn), -g_ms);
+  }
+
+  // Raw access for voltage-source branch stamping.
+  void add_matrix(int row_idx, int col_idx, double value) {
+    if (row_idx < 0 || col_idx < 0) return;
+    matrix_[static_cast<std::size_t>(row_idx) * dim_ +
+            static_cast<std::size_t>(col_idx)] += value;
+  }
+  void add_rhs(int row_idx, double value) {
+    if (row_idx < 0) return;
+    rhs_[static_cast<std::size_t>(row_idx)] += value;
+  }
+
+  /// Matrix row of a node (-1 for ground).
+  [[nodiscard]] static int row(int node) { return node - 1; }
+  /// Matrix row of voltage-source branch `branch_index`. Uses the final
+  /// node count of the circuit, so sources may be added in any order.
+  [[nodiscard]] int branch_row(int branch_index) const {
+    return num_nodes_ - 1 + branch_index;
+  }
+  /// Branch current of a voltage source (read back from the solution).
+  [[nodiscard]] double branch_current(int branch_index) const {
+    return v_iter_[static_cast<std::size_t>(num_nodes_ - 1 + branch_index)];
+  }
+
+ private:
+  std::vector<double>& matrix_;
+  std::vector<double>& rhs_;
+  const std::vector<double>& v_iter_;
+  const std::vector<double>& v_prev_;
+  std::size_t dim_;
+  int num_nodes_;
+  double time_ps_;
+  double dt_ps_;
+  bool transient_;
+};
+
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Contributes the device's linearised companion model to the MNA
+  /// system for the current Newton iteration.
+  virtual void stamp(StampContext& ctx) const = 0;
+
+  /// Nonlinear devices force Newton iteration to continue until
+  /// convergence of their terminal voltages.
+  [[nodiscard]] virtual bool nonlinear() const { return false; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace cwsp::spice

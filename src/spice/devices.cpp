@@ -1,0 +1,91 @@
+#include "spice/devices.hpp"
+
+#include <algorithm>
+
+namespace cwsp::spice {
+
+// --------------------------------------------------------------- Diode
+
+double Diode::current(double v) const {
+  if (v <= p_.v_linear) {
+    return p_.is_ma * (std::exp(v / p_.n_vt) - 1.0);
+  }
+  // Linear extension: continue with the tangent at v_linear.
+  const double i_lim = p_.is_ma * (std::exp(p_.v_linear / p_.n_vt) - 1.0);
+  const double g_lim = p_.is_ma / p_.n_vt * std::exp(p_.v_linear / p_.n_vt);
+  return i_lim + g_lim * (v - p_.v_linear);
+}
+
+double Diode::conductance(double v) const {
+  const double ve = std::min(v, p_.v_linear);
+  return p_.is_ma / p_.n_vt * std::exp(ve / p_.n_vt);
+}
+
+void Diode::stamp(StampContext& ctx) const {
+  const double v = ctx.v(a_) - ctx.v(c_);
+  const double i0 = current(v);
+  const double g = std::max(conductance(v), 1e-12);
+  // Companion: i(v) ≈ i0 + g·(v − v0)  ⇒  residual source i0 − g·v0.
+  ctx.stamp_conductance(a_, c_, g);
+  ctx.stamp_current(a_, c_, i0 - g * v);
+}
+
+// -------------------------------------------------------------- Mosfet
+
+Mosfet::OperatingPoint Mosfet::evaluate(double vd, double vg, double vs) const {
+  const double polarity = p_.type == MosType::kNmos ? 1.0 : -1.0;
+  double ud = polarity * vd;
+  double ug = polarity * vg;
+  double us = polarity * vs;
+  OperatingPoint op;
+  op.d_eff = d_;
+  op.s_eff = s_;
+  if (ud < us) {
+    std::swap(ud, us);
+    std::swap(op.d_eff, op.s_eff);
+  }
+  op.ugs = ug - us;
+  op.uds = ud - us;
+
+  const double vov = op.ugs - p_.vt;
+  if (vov <= 0.0) {
+    op.ids = 0.0;
+    op.gm = 0.0;
+    op.gds = 0.0;
+    return op;
+  }
+  const double clm = 1.0 + p_.lambda * op.uds;
+  if (op.uds < vov) {
+    // Triode region.
+    op.ids = p_.kp_ma * (vov * op.uds - 0.5 * op.uds * op.uds) * clm;
+    op.gm = p_.kp_ma * op.uds * clm;
+    op.gds = p_.kp_ma * (vov - op.uds) * clm +
+             p_.kp_ma * (vov * op.uds - 0.5 * op.uds * op.uds) * p_.lambda;
+  } else {
+    // Saturation.
+    op.ids = 0.5 * p_.kp_ma * vov * vov * clm;
+    op.gm = p_.kp_ma * vov * clm;
+    op.gds = 0.5 * p_.kp_ma * vov * vov * p_.lambda;
+  }
+  return op;
+}
+
+void Mosfet::stamp(StampContext& ctx) const {
+  const auto op = evaluate(ctx.v(d_), ctx.v(g_), ctx.v(s_));
+  const double polarity = p_.type == MosType::kNmos ? 1.0 : -1.0;
+
+  // dI_real/dv equals the u-space derivatives (polarity cancels), so the
+  // conductance stamps are polarity-independent; only the residual current
+  // carries the sign. Current I_real = polarity · I_u flows d_eff → s_eff.
+  constexpr double kGmin = 1e-9;
+  ctx.stamp_conductance(op.d_eff, op.s_eff, op.gds + kGmin);
+  ctx.stamp_vccs(op.d_eff, op.s_eff, g_, op.s_eff, op.gm);
+
+  const double vgs_real = ctx.v(g_) - ctx.v(op.s_eff);
+  const double vds_real = ctx.v(op.d_eff) - ctx.v(op.s_eff);
+  const double i_residual =
+      polarity * op.ids - op.gm * vgs_real - op.gds * vds_real;
+  ctx.stamp_current(op.d_eff, op.s_eff, i_residual);
+}
+
+}  // namespace cwsp::spice

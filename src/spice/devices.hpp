@@ -1,0 +1,237 @@
+#pragma once
+// MiniSpice device models: linear R/C, independent sources (DC, pulse,
+// double-exponential radiation strike), junction diode and a level-1
+// (Shichman–Hodges) MOSFET. All values use the V/kΩ/fF/ps/mA unit system.
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "spice/device.hpp"
+
+namespace cwsp::spice {
+
+class Resistor final : public Device {
+ public:
+  Resistor(std::string name, int a, int b, Kiloohms r)
+      : Device(std::move(name)), a_(a), b_(b), g_ms_(1.0 / r.value()) {
+    CWSP_REQUIRE(r.value() > 0.0);
+  }
+  void stamp(StampContext& ctx) const override {
+    ctx.stamp_conductance(a_, b_, g_ms_);
+  }
+
+ private:
+  int a_, b_;
+  double g_ms_;
+};
+
+class Capacitor final : public Device {
+ public:
+  Capacitor(std::string name, int a, int b, Femtofarads c)
+      : Device(std::move(name)), a_(a), b_(b), c_ff_(c.value()) {
+    CWSP_REQUIRE(c_ff_ > 0.0);
+  }
+  void stamp(StampContext& ctx) const override {
+    if (!ctx.transient()) return;  // open during the DC solve
+    // Backward-Euler companion: i = C/dt·(v − v_prev).
+    const double g = c_ff_ / ctx.dt_ps();
+    ctx.stamp_conductance(a_, b_, g);
+    const double i_hist = g * (ctx.v_prev(a_) - ctx.v_prev(b_));
+    // Companion current source paralleling the conductance.
+    ctx.stamp_current(b_, a_, i_hist);
+  }
+
+ private:
+  int a_, b_;
+  double c_ff_;
+};
+
+/// Time-dependent source value: DC, single pulse, or the paper's
+/// double-exponential strike profile (Eq. 1).
+class SourceFunction {
+ public:
+  static SourceFunction dc(double value) {
+    SourceFunction f;
+    f.kind_ = Kind::kDc;
+    f.value_ = value;
+    return f;
+  }
+  /// Single pulse from `low` to `high`, linear edges.
+  static SourceFunction pulse(double low, double high, double delay_ps,
+                              double rise_ps, double width_ps,
+                              double fall_ps) {
+    SourceFunction f;
+    f.kind_ = Kind::kPulse;
+    f.value_ = low;
+    f.high_ = high;
+    f.delay_ = delay_ps;
+    f.rise_ = rise_ps;
+    f.width_ = width_ps;
+    f.fall_ = fall_ps;
+    return f;
+  }
+  /// I(t) = Q/(τα−τβ)·(e^{−t'/τα} − e^{−t'/τβ}), t' = t − t0 (paper Eq. 1).
+  /// With Q in fC and τ in ps the result is in mA.
+  static SourceFunction double_exponential(Femtocoulombs q, Picoseconds tau_alpha,
+                                           Picoseconds tau_beta,
+                                           Picoseconds t0) {
+    CWSP_REQUIRE(tau_alpha.value() > tau_beta.value());
+    SourceFunction f;
+    f.kind_ = Kind::kDoubleExp;
+    f.value_ = q.value();
+    f.tau_alpha_ = tau_alpha.value();
+    f.tau_beta_ = tau_beta.value();
+    f.delay_ = t0.value();
+    return f;
+  }
+
+  [[nodiscard]] double at(double t_ps) const {
+    switch (kind_) {
+      case Kind::kDc:
+        return value_;
+      case Kind::kPulse: {
+        const double t = t_ps - delay_;
+        if (t <= 0.0) return value_;
+        if (t < rise_) return value_ + (high_ - value_) * (t / rise_);
+        if (t < rise_ + width_) return high_;
+        if (t < rise_ + width_ + fall_) {
+          return high_ - (high_ - value_) * ((t - rise_ - width_) / fall_);
+        }
+        return value_;
+      }
+      case Kind::kDoubleExp: {
+        const double t = t_ps - delay_;
+        if (t <= 0.0) return 0.0;
+        return value_ / (tau_alpha_ - tau_beta_) *
+               (std::exp(-t / tau_alpha_) - std::exp(-t / tau_beta_));
+      }
+    }
+    return 0.0;
+  }
+
+ private:
+  enum class Kind { kDc, kPulse, kDoubleExp };
+  Kind kind_ = Kind::kDc;
+  double value_ = 0.0;  // DC level / pulse low / charge Q
+  double high_ = 0.0;
+  double delay_ = 0.0;
+  double rise_ = 0.0;
+  double width_ = 0.0;
+  double fall_ = 0.0;
+  double tau_alpha_ = 0.0;
+  double tau_beta_ = 0.0;
+};
+
+class VoltageSource final : public Device {
+ public:
+  VoltageSource(std::string name, int p, int n, SourceFunction fn,
+                int branch_index)
+      : Device(std::move(name)),
+        p_(p),
+        n_(n),
+        fn_(fn),
+        branch_index_(branch_index) {}
+
+  void stamp(StampContext& ctx) const override {
+    const int brow = ctx.branch_row(branch_index_);
+    // Branch equation: v_p − v_n = E(t).
+    ctx.add_matrix(brow, StampContext::row(p_), 1.0);
+    ctx.add_matrix(brow, StampContext::row(n_), -1.0);
+    ctx.add_rhs(brow, fn_.at(ctx.time_ps()));
+    // KCL: branch current i flows p → n inside the external circuit view.
+    ctx.add_matrix(StampContext::row(p_), brow, 1.0);
+    ctx.add_matrix(StampContext::row(n_), brow, -1.0);
+  }
+
+  [[nodiscard]] int branch_index() const { return branch_index_; }
+  [[nodiscard]] double value_at(double t_ps) const { return fn_.at(t_ps); }
+
+ private:
+  int p_, n_;
+  SourceFunction fn_;
+  int branch_index_;
+};
+
+/// Independent current source injecting fn(t) mA into node `into`.
+class CurrentSource final : public Device {
+ public:
+  CurrentSource(std::string name, int from, int into, SourceFunction fn)
+      : Device(std::move(name)), from_(from), into_(into), fn_(fn) {}
+
+  void stamp(StampContext& ctx) const override {
+    ctx.stamp_current(from_, into_, fn_.at(ctx.time_ps()));
+  }
+
+ private:
+  int from_, into_;
+  SourceFunction fn_;
+};
+
+struct DiodeParams {
+  /// Saturation current, mA.
+  double is_ma = 1e-12;
+  /// Emission coefficient × thermal voltage, V.
+  double n_vt = 0.026;
+  /// Voltage beyond which the exponential is linearly extended (both for
+  /// numerical robustness and as a crude high-injection model).
+  double v_linear = 0.8;
+};
+
+class Diode final : public Device {
+ public:
+  Diode(std::string name, int anode, int cathode, DiodeParams params = {})
+      : Device(std::move(name)), a_(anode), c_(cathode), p_(params) {}
+
+  void stamp(StampContext& ctx) const override;
+  [[nodiscard]] bool nonlinear() const override { return true; }
+
+  /// I(V) with linear extension above v_linear; exposed for tests.
+  [[nodiscard]] double current(double v) const;
+  [[nodiscard]] double conductance(double v) const;
+
+ private:
+  int a_, c_;
+  DiodeParams p_;
+};
+
+enum class MosType { kNmos, kPmos };
+
+struct MosParams {
+  MosType type = MosType::kNmos;
+  /// Transconductance KP·W/L in mA/V² for this instance.
+  double kp_ma = 0.1;
+  /// Threshold magnitude, V.
+  double vt = 0.22;
+  /// Channel-length modulation, 1/V.
+  double lambda = 0.05;
+};
+
+/// Level-1 MOSFET (square law) with symmetric source/drain swap, suitable
+/// for series stacks (CWSP elements) and inverters.
+class Mosfet final : public Device {
+ public:
+  Mosfet(std::string name, int drain, int gate, int source, MosParams params)
+      : Device(std::move(name)), d_(drain), g_(gate), s_(source), p_(params) {}
+
+  void stamp(StampContext& ctx) const override;
+  [[nodiscard]] bool nonlinear() const override { return true; }
+
+  struct OperatingPoint {
+    double ids = 0.0;  // u-space channel current, d_eff → s_eff
+    double gm = 0.0;
+    double gds = 0.0;
+    double ugs = 0.0;
+    double uds = 0.0;
+    int d_eff = 0;
+    int s_eff = 0;
+  };
+  /// Evaluates the square-law model at the given terminal voltages;
+  /// exposed for tests.
+  [[nodiscard]] OperatingPoint evaluate(double vd, double vg, double vs) const;
+
+ private:
+  int d_, g_, s_;
+  MosParams p_;
+};
+
+}  // namespace cwsp::spice

@@ -1,0 +1,138 @@
+#include "spice/netlist_bridge.hpp"
+
+namespace cwsp::spice {
+namespace {
+
+MosParams nmos(const SpiceTech& tech, double mult = 1.0) {
+  MosParams p;
+  p.type = MosType::kNmos;
+  p.kp_ma = tech.kp_n_min * mult;
+  p.vt = tech.vt;
+  p.lambda = tech.lambda;
+  return p;
+}
+
+MosParams pmos(const SpiceTech& tech, double mult = 1.0) {
+  MosParams p;
+  p.type = MosType::kPmos;
+  p.kp_ma = tech.kp_p_min * mult;
+  p.vt = tech.vt;
+  p.lambda = tech.lambda;
+  return p;
+}
+
+/// Two-input NAND: parallel PMOS pull-up, series NMOS pull-down.
+void add_nand2(Circuit& c, const std::string& prefix, int a, int b, int out,
+               int vdd, const SpiceTech& tech) {
+  c.add_mosfet(prefix + ".mpa", out, a, vdd, pmos(tech));
+  c.add_mosfet(prefix + ".mpb", out, b, vdd, pmos(tech));
+  const int mid = c.node(prefix + ".n1");
+  // Series stack sized 2x to balance drive.
+  c.add_mosfet(prefix + ".mna", out, a, mid, nmos(tech, 2.0));
+  c.add_mosfet(prefix + ".mnb", mid, b, kGround, nmos(tech, 2.0));
+  c.add_capacitor(prefix + ".cout", out, kGround,
+                  Femtofarads(tech.c_node_ff));
+}
+
+/// Two-input NOR: series PMOS pull-up, parallel NMOS pull-down.
+void add_nor2(Circuit& c, const std::string& prefix, int a, int b, int out,
+              int vdd, const SpiceTech& tech) {
+  const int mid = c.node(prefix + ".p1");
+  c.add_mosfet(prefix + ".mpa", mid, a, vdd, pmos(tech, 2.0));
+  c.add_mosfet(prefix + ".mpb", out, b, mid, pmos(tech, 2.0));
+  c.add_mosfet(prefix + ".mna", out, a, kGround, nmos(tech));
+  c.add_mosfet(prefix + ".mnb", out, b, kGround, nmos(tech));
+  c.add_capacitor(prefix + ".cout", out, kGround,
+                  Femtofarads(tech.c_node_ff));
+}
+
+}  // namespace
+
+SpiceElaboration elaborate_to_spice(
+    const Netlist& netlist,
+    const std::map<std::string, SourceFunction>& pi_drives,
+    const SpiceTech& tech) {
+  CWSP_REQUIRE_MSG(netlist.num_flip_flops() == 0,
+                   "electrical elaboration supports combinational cones");
+  SpiceElaboration result;
+  Circuit& c = result.circuit;
+  result.vdd = add_vdd(c, tech);
+
+  auto node_for = [&](NetId id) {
+    const auto it = result.node_of_net.find(id.value());
+    if (it != result.node_of_net.end()) return it->second;
+    const int node = c.node("n_" + netlist.net(id).name);
+    result.node_of_net.emplace(id.value(), node);
+    return node;
+  };
+
+  // Primary inputs and constants become voltage sources.
+  for (NetId pi : netlist.primary_inputs()) {
+    const int node = node_for(pi);
+    const auto drive = pi_drives.find(netlist.net(pi).name);
+    const SourceFunction fn = drive != pi_drives.end()
+                                  ? drive->second
+                                  : SourceFunction::dc(0.0);
+    c.add_voltage_source("V_" + netlist.net(pi).name, node, kGround, fn);
+  }
+  for (std::size_t i = 0; i < netlist.num_nets(); ++i) {
+    const Net& net = netlist.net(NetId{i});
+    if (net.driver_kind == DriverKind::kConstant) {
+      const int node = node_for(NetId{i});
+      c.add_voltage_source("V_" + net.name, node, kGround,
+                           SourceFunction::dc(net.constant_value ? tech.vdd
+                                                                 : 0.0));
+    }
+  }
+
+  for (GateId g : netlist.topological_order()) {
+    const Gate& gate = netlist.gate(g);
+    const Cell& cell = netlist.cell_of(g);
+    const std::string prefix = "x_" + netlist.net(gate.output).name;
+    const int out = node_for(gate.output);
+    switch (cell.kind()) {
+      case CellKind::kInv:
+        add_inverter(c, prefix, node_for(gate.inputs[0]), out, result.vdd,
+                     1.0, 1.0, tech);
+        break;
+      case CellKind::kBuf: {
+        const int mid = c.node(prefix + ".b");
+        add_inverter(c, prefix + ".i0", node_for(gate.inputs[0]), mid,
+                     result.vdd, 1.0, 1.0, tech);
+        add_inverter(c, prefix + ".i1", mid, out, result.vdd, 1.0, 1.0,
+                     tech);
+        break;
+      }
+      case CellKind::kNand2:
+        add_nand2(c, prefix, node_for(gate.inputs[0]),
+                  node_for(gate.inputs[1]), out, result.vdd, tech);
+        break;
+      case CellKind::kNor2:
+        add_nor2(c, prefix, node_for(gate.inputs[0]),
+                 node_for(gate.inputs[1]), out, result.vdd, tech);
+        break;
+      case CellKind::kAnd2: {
+        const int mid = c.node(prefix + ".nand");
+        add_nand2(c, prefix + ".g0", node_for(gate.inputs[0]),
+                  node_for(gate.inputs[1]), mid, result.vdd, tech);
+        add_inverter(c, prefix + ".g1", mid, out, result.vdd, 1.0, 1.0,
+                     tech);
+        break;
+      }
+      case CellKind::kOr2: {
+        const int mid = c.node(prefix + ".nor");
+        add_nor2(c, prefix + ".g0", node_for(gate.inputs[0]),
+                 node_for(gate.inputs[1]), mid, result.vdd, tech);
+        add_inverter(c, prefix + ".g1", mid, out, result.vdd, 1.0, 1.0,
+                     tech);
+        break;
+      }
+      default:
+        throw Error(std::string("electrical elaboration: unsupported cell ") +
+                    cell.name());
+    }
+  }
+  return result;
+}
+
+}  // namespace cwsp::spice

@@ -1,0 +1,40 @@
+#pragma once
+// Cross-layer bridge: elaborates a (small) gate-level netlist into a
+// transistor-level MiniSpice circuit, so the event-driven simulator's
+// glitch propagation can be validated against the electrical ground
+// truth on the same structure.
+//
+// Supported cells: INV, BUF, NAND2, NOR2, AND2, OR2 (static CMOS
+// topologies). Sequential elements are out of scope — validate
+// combinational cones.
+
+#include <map>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "spice/circuit.hpp"
+#include "spice/subckt.hpp"
+
+namespace cwsp::spice {
+
+struct SpiceElaboration {
+  Circuit circuit;
+  int vdd = 0;
+  /// Gate-level net → electrical node.
+  std::map<std::uint32_t, int> node_of_net;
+
+  [[nodiscard]] int node(NetId net) const {
+    const auto it = node_of_net.find(net.value());
+    CWSP_REQUIRE_MSG(it != node_of_net.end(), "net not elaborated");
+    return it->second;
+  }
+};
+
+/// Elaborates `netlist`. Each primary input must have a drive waveform in
+/// `pi_drives` (keyed by PI net name); missing PIs default to DC 0.
+[[nodiscard]] SpiceElaboration elaborate_to_spice(
+    const Netlist& netlist,
+    const std::map<std::string, SourceFunction>& pi_drives,
+    const SpiceTech& tech = {});
+
+}  // namespace cwsp::spice

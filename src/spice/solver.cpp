@@ -1,0 +1,86 @@
+#include "spice/solver.hpp"
+
+#include <cmath>
+
+namespace cwsp::spice {
+
+std::vector<double> solve_linear_system(DenseMatrix a, std::vector<double> b) {
+  const std::size_t n = a.size();
+  CWSP_REQUIRE(b.size() == n);
+  constexpr double kPivotTol = 1e-16;
+  // Threshold partial pivoting with diagonal preference — the standard
+  // choice for MNA systems. Node rows carry their gmin on the diagonal;
+  // preferring the diagonal keeps weakly-driven nodes (e.g. the drain of
+  // a saturated transistor into an open load) anchored to their own row
+  // instead of letting a large gm off-diagonal orphan the column.
+  constexpr double kDiagThreshold = 1e-3;
+
+  // Equilibrate first: MNA entries span ~1e-9 (gmin) to 1 (source
+  // incidence), which defeats magnitude-based pivot heuristics. Row and
+  // column scaling brings every row/column max to ~1.
+  std::vector<double> row_scale(n, 1.0);
+  std::vector<double> col_scale(n, 1.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    double mx = 0.0;
+    for (std::size_t c = 0; c < n; ++c) mx = std::max(mx, std::fabs(a.at(r, c)));
+    row_scale[r] = mx > 0.0 ? 1.0 / mx : 1.0;
+    for (std::size_t c = 0; c < n; ++c) a.at(r, c) *= row_scale[r];
+    b[r] *= row_scale[r];
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    double mx = 0.0;
+    for (std::size_t r = 0; r < n; ++r) mx = std::max(mx, std::fabs(a.at(r, c)));
+    col_scale[c] = mx > 0.0 ? 1.0 / mx : 1.0;
+    for (std::size_t r = 0; r < n; ++r) a.at(r, c) *= col_scale[c];
+  }
+
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::fabs(a.at(col, col));
+    double col_max = best;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double mag = std::fabs(a.at(row, col));
+      if (mag > col_max) {
+        col_max = mag;
+        pivot = row;
+      }
+    }
+    // Keep the diagonal whenever it is within the threshold of the
+    // column maximum (branch columns have a zero diagonal and always
+    // take the incidence entry).
+    if (best >= kDiagThreshold * col_max) pivot = col;
+
+    CWSP_REQUIRE_MSG(col_max > kPivotTol,
+                     "singular MNA matrix at column " << col
+                         << " (floating node or redundant source?)");
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) {
+        std::swap(a.at(col, k), a.at(pivot, k));
+      }
+      std::swap(b[col], b[pivot]);
+    }
+
+    const double inv_pivot = 1.0 / a.at(col, col);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a.at(row, col) * inv_pivot;
+      if (factor == 0.0) continue;
+      a.at(row, col) = 0.0;
+      for (std::size_t k = col + 1; k < n; ++k) {
+        a.at(row, k) -= factor * a.at(col, k);
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= a.at(i, k) * x[k];
+    x[i] = acc / a.at(i, i);
+  }
+  // Undo the column scaling (row scaling only rescaled the equations).
+  for (std::size_t i = 0; i < n; ++i) x[i] *= col_scale[i];
+  return x;
+}
+
+}  // namespace cwsp::spice

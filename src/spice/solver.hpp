@@ -1,0 +1,42 @@
+#pragma once
+// Dense linear algebra for the MiniSpice MNA system. Circuits here are
+// tiny (tens of nodes), so dense LU with partial pivoting is both simplest
+// and fastest.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cwsp::spice {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  explicit DenseMatrix(std::size_t n) : n_(n), data_(n * n, 0.0) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  [[nodiscard]] double& at(std::size_t row, std::size_t col) {
+    CWSP_ASSERT(row < n_ && col < n_);
+    return data_[row * n_ + col];
+  }
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const {
+    CWSP_ASSERT(row < n_ && col < n_);
+    return data_[row * n_ + col];
+  }
+
+  void clear() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A·x = b in place via LU with partial pivoting. Throws
+/// cwsp::Error if A is singular (pivot below tolerance). A and b are
+/// destroyed; the solution is returned.
+[[nodiscard]] std::vector<double> solve_linear_system(DenseMatrix a,
+                                                      std::vector<double> b);
+
+}  // namespace cwsp::spice

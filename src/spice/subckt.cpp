@@ -1,0 +1,208 @@
+#include "spice/subckt.hpp"
+
+namespace cwsp::spice {
+
+int add_vdd(Circuit& circuit, const SpiceTech& tech) {
+  const int vdd = circuit.node("vdd");
+  circuit.add_voltage_source("Vdd", vdd, kGround,
+                             SourceFunction::dc(tech.vdd));
+  return vdd;
+}
+
+void add_inverter(Circuit& circuit, const std::string& prefix, int in,
+                  int out, int vdd, double wp_mult, double wn_mult,
+                  const SpiceTech& tech) {
+  MosParams pmos;
+  pmos.type = MosType::kPmos;
+  pmos.kp_ma = tech.kp_p_min * wp_mult;
+  pmos.vt = tech.vt;
+  pmos.lambda = tech.lambda;
+  circuit.add_mosfet(prefix + ".mp", out, in, vdd, pmos);
+
+  MosParams nmos;
+  nmos.type = MosType::kNmos;
+  nmos.kp_ma = tech.kp_n_min * wn_mult;
+  nmos.vt = tech.vt;
+  nmos.lambda = tech.lambda;
+  circuit.add_mosfet(prefix + ".mn", out, in, kGround, nmos);
+
+  circuit.add_capacitor(prefix + ".cout", out, kGround,
+                        Femtofarads(tech.c_node_ff * 0.5 * (wp_mult + wn_mult)));
+}
+
+void add_node_clamps(Circuit& circuit, const std::string& prefix, int node,
+                     int vdd, const SpiceTech& tech) {
+  circuit.add_diode(prefix + ".dclamp_hi", node, vdd, tech.clamp);
+  circuit.add_diode(prefix + ".dclamp_lo", kGround, node, tech.clamp);
+}
+
+void add_cwsp_element(Circuit& circuit, const std::string& prefix, int a,
+                      int a_star, int out, int vdd, double wp_mult,
+                      double wn_mult, const SpiceTech& tech) {
+  const int mid_p = circuit.node(prefix + ".midp");
+  const int mid_n = circuit.node(prefix + ".midn");
+
+  MosParams pmos;
+  pmos.type = MosType::kPmos;
+  pmos.kp_ma = tech.kp_p_min * wp_mult;
+  pmos.vt = tech.vt;
+  pmos.lambda = tech.lambda;
+  circuit.add_mosfet(prefix + ".mp1", mid_p, a, vdd, pmos);
+  circuit.add_mosfet(prefix + ".mp2", out, a_star, mid_p, pmos);
+
+  MosParams nmos;
+  nmos.type = MosType::kNmos;
+  nmos.kp_ma = tech.kp_n_min * wn_mult;
+  nmos.vt = tech.vt;
+  nmos.lambda = tech.lambda;
+  circuit.add_mosfet(prefix + ".mn1", out, a, mid_n, nmos);
+  circuit.add_mosfet(prefix + ".mn2", mid_n, a_star, kGround, nmos);
+
+  // The upsized devices give the output node the capacitance that lets it
+  // hold state through an input glitch (paper §3.1 last paragraph).
+  circuit.add_capacitor(prefix + ".cout", out, kGround,
+                        Femtofarads(tech.c_node_ff * 0.5 * (wp_mult + wn_mult)));
+  circuit.add_capacitor(prefix + ".cmidp", mid_p, kGround,
+                        Femtofarads(tech.c_node_ff * 0.25 * wp_mult));
+  circuit.add_capacitor(prefix + ".cmidn", mid_n, kGround,
+                        Femtofarads(tech.c_node_ff * 0.25 * wn_mult));
+}
+
+StrikeHarness make_struck_inverter(Femtocoulombs q, Picoseconds tau_alpha,
+                                   Picoseconds tau_beta, Picoseconds t0,
+                                   const SpiceTech& tech) {
+  StrikeHarness harness;
+  Circuit& c = harness.circuit;
+  harness.vdd = add_vdd(c, tech);
+
+  const int in = c.node("in");
+  harness.out = c.node("out");
+  // Input held at VDD → NMOS on, output nominally 0 V. The strike then
+  // deposits positive charge (PMOS-drain hit), lifting the output.
+  c.add_voltage_source("Vin", in, kGround, SourceFunction::dc(tech.vdd));
+  add_inverter(c, "x0", in, harness.out, harness.vdd, 1.0, 1.0, tech);
+  add_node_clamps(c, "x0", harness.out, harness.vdd, tech);
+  c.add_current_source(
+      "Istrike", kGround, harness.out,
+      SourceFunction::double_exponential(q, tau_alpha, tau_beta, t0));
+  return harness;
+}
+
+Picoseconds measure_strike_glitch_width(Femtocoulombs q,
+                                        const SpiceTech& tech,
+                                        Picoseconds tau_alpha,
+                                        Picoseconds tau_beta) {
+  auto harness =
+      make_struck_inverter(q, tau_alpha, tau_beta, Picoseconds(100.0), tech);
+  TransientOptions options;
+  options.t_stop_ps = 2000.0;
+  options.dt_ps = 1.0;
+  const auto result =
+      run_transient(harness.circuit, options, {harness.out});
+  const auto width =
+      result.probe(harness.out).pulse_width_above(tech.vdd / 2.0);
+  return Picoseconds(width.value_or(0.0));
+}
+
+Picoseconds measure_cwsp_delay(double wp_mult, double wn_mult,
+                               Femtofarads load_ff, const SpiceTech& tech) {
+  Circuit c;
+  const int vdd = add_vdd(c, tech);
+  const int a = c.node("a");
+  const int out = c.node("cw");
+  // Both inputs step together (a = a*, normal operation) — the element
+  // behaves as an inverter with doubled series stacks.
+  c.add_voltage_source(
+      "Va", a, kGround,
+      SourceFunction::pulse(0.0, tech.vdd, 200.0, 5.0, 1e6, 5.0));
+  add_cwsp_element(c, "cwsp", a, a, out, vdd, wp_mult, wn_mult, tech);
+  c.add_capacitor("Cload", out, kGround, load_ff);
+
+  TransientOptions options;
+  options.t_stop_ps = 1500.0;
+  const auto result = run_transient(c, options, {a, out});
+  const auto t_in =
+      result.probe(a).first_crossing(tech.vdd / 2.0, /*rising=*/true);
+  const auto t_out = result.probe(out).first_crossing(
+      tech.vdd / 2.0, /*rising=*/false, t_in.value_or(0.0));
+  CWSP_REQUIRE(t_in.has_value() && t_out.has_value());
+  return Picoseconds(*t_out - *t_in);
+}
+
+Femtocoulombs measure_critical_charge(const SpiceTech& tech) {
+  double lo = 0.0;
+  double hi = 200.0;
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const auto harness =
+        make_struck_inverter(Femtocoulombs(mid), cal::kTauAlpha,
+                             cal::kTauBeta, Picoseconds(100.0), tech);
+    TransientOptions options;
+    options.t_stop_ps = 1500.0;
+    const auto result =
+        run_transient(harness.circuit, options, {harness.out});
+    if (result.probe(harness.out).peak() >= tech.vdd / 2.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return Femtocoulombs(0.5 * (lo + hi));
+}
+
+NoiseMargins measure_noise_margins(double wp_mult, double wn_mult,
+                                   const SpiceTech& tech) {
+  // DC sweep of the VTC; NM_L = V_IL − 0, NM_H = VDD − V_IH where
+  // V_IL/V_IH are the unity-gain (|dVout/dVin| = 1) points.
+  auto vtc = [&](double vin) {
+    Circuit c;
+    const int vdd = add_vdd(c, tech);
+    const int in = c.node("in");
+    const int out = c.node("out");
+    c.add_voltage_source("Vin", in, kGround, SourceFunction::dc(vin));
+    add_inverter(c, "x", in, out, vdd, wp_mult, wn_mult, tech);
+    return solve_dc(c)[static_cast<std::size_t>(out)];
+  };
+
+  const double step = 0.002;
+  NoiseMargins nm;
+  double v_il = 0.0;
+  double v_ih = tech.vdd;
+  bool have_il = false;
+  bool have_ih = false;
+  bool have_sp = false;
+  double prev_out = vtc(0.0);
+  for (double vin = step; vin <= tech.vdd + 1e-9; vin += step) {
+    const double out = vtc(vin);
+    const double gain = (out - prev_out) / step;
+    if (!have_il && gain <= -1.0) {
+      v_il = vin - step;  // last point before the high-gain region
+      have_il = true;
+    } else if (have_il && !have_ih && gain > -1.0) {
+      v_ih = vin;
+      have_ih = true;
+    }
+    if (!have_sp && out <= vin) {
+      nm.switch_point = Volts(vin);
+      have_sp = true;
+    }
+    prev_out = out;
+  }
+  nm.nm_low = Volts(v_il);
+  nm.nm_high = Volts(tech.vdd - v_ih);
+  return nm;
+}
+
+Waveform strike_waveform(Femtocoulombs q, const SpiceTech& tech,
+                         double t_stop_ps) {
+  auto harness = make_struck_inverter(q, cal::kTauAlpha, cal::kTauBeta,
+                                      Picoseconds(100.0), tech);
+  TransientOptions options;
+  options.t_stop_ps = t_stop_ps;
+  options.dt_ps = 1.0;
+  const auto result =
+      run_transient(harness.circuit, options, {harness.out});
+  return result.probe(harness.out);
+}
+
+}  // namespace cwsp::spice

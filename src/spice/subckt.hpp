@@ -1,0 +1,106 @@
+#pragma once
+// Subcircuit builders for the structures the paper simulates in SPICE:
+// static CMOS inverters, the inverter-type CWSP element of [15] (two
+// series PMOS / two series NMOS gated by a and a*), and the Figure-6
+// strike harness (radiation strike on the output of a min-sized inverter,
+// with junction clamp diodes).
+
+#include <string>
+
+#include "cell/calibration.hpp"
+#include "spice/circuit.hpp"
+#include "spice/transient.hpp"
+
+namespace cwsp::spice {
+
+/// 65 nm device parameters calibrated so that a Q=100 fC / 150 fC strike
+/// (τα=200 ps, τβ=50 ps) on a min-sized inverter output produces 500 /
+/// 600 ps glitches, as the paper measures (§4, Fig. 6).
+struct SpiceTech {
+  double vdd = 1.0;
+  double vt = 0.22;
+  /// KP·W/L of a minimum NMOS / PMOS, mA/V².
+  double kp_n_min = 0.225;
+  double kp_p_min = 0.1125;
+  double lambda = 0.05;
+  /// Lumped diffusion + wire capacitance at a min inverter output, fF.
+  double c_node_ff = 0.8;
+  /// Junction clamp diode (drain-bulk); clamps strikes ~0.6 V past the
+  /// rails, reproducing the 1.6 V plateau of Fig. 6.
+  DiodeParams clamp{/*is_ma=*/1e-8, /*n_vt=*/0.033, /*v_linear=*/0.8};
+};
+
+/// Adds a VDD rail voltage source if not present and returns its node.
+int add_vdd(Circuit& circuit, const SpiceTech& tech);
+
+/// Static CMOS inverter. Width multipliers scale the min-device KP.
+void add_inverter(Circuit& circuit, const std::string& prefix, int in,
+                  int out, int vdd, double wp_mult, double wn_mult,
+                  const SpiceTech& tech);
+
+/// Junction clamp diodes on a node: to VDD (conducts when v > vdd + ~0.6)
+/// and from ground (conducts when v < −0.6).
+void add_node_clamps(Circuit& circuit, const std::string& prefix, int node,
+                     int vdd, const SpiceTech& tech);
+
+/// Inverter-type CWSP element (paper Fig. 2 / [15]): pull-up of two series
+/// PMOS gated by a and a*, pull-down of two series NMOS gated by a and a*.
+/// When a == a* it inverts; when a != a* both networks are off and the
+/// output holds its last value on its node capacitance.
+void add_cwsp_element(Circuit& circuit, const std::string& prefix, int a,
+                      int a_star, int out, int vdd, double wp_mult,
+                      double wn_mult, const SpiceTech& tech);
+
+/// Figure-6 harness: a min-sized inverter with input held high (output
+/// low, NMOS on); a double-exponential strike of charge q injects into the
+/// output at t0. Clamp diodes bound the excursion near vdd + 0.6 V.
+struct StrikeHarness {
+  Circuit circuit;
+  int out = 0;
+  int vdd = 0;
+};
+[[nodiscard]] StrikeHarness make_struck_inverter(Femtocoulombs q,
+                                                 Picoseconds tau_alpha,
+                                                 Picoseconds tau_beta,
+                                                 Picoseconds t0,
+                                                 const SpiceTech& tech = {});
+
+/// Runs the Fig-6 experiment and returns the glitch width: the time the
+/// struck output (nominal 0 V) spends above VDD/2.
+[[nodiscard]] Picoseconds measure_strike_glitch_width(
+    Femtocoulombs q, const SpiceTech& tech = {},
+    Picoseconds tau_alpha = cal::kTauAlpha,
+    Picoseconds tau_beta = cal::kTauBeta);
+
+/// Full waveform of the Fig-6 experiment (for the bench binary).
+[[nodiscard]] Waveform strike_waveform(Femtocoulombs q,
+                                       const SpiceTech& tech = {},
+                                       double t_stop_ps = 1500.0);
+
+/// Propagation delay of a CWSP element (both inputs stepping together,
+/// 50%→50%) at the given device sizing, driving `load_ff`. Used to
+/// cross-check the calibrated D_CWSP constants.
+[[nodiscard]] Picoseconds measure_cwsp_delay(double wp_mult, double wn_mult,
+                                             Femtofarads load_ff,
+                                             const SpiceTech& tech = {});
+
+/// Critical charge of a min-sized inverter output: the smallest Q whose
+/// strike crosses VDD/2 (bisection against the strike harness).
+[[nodiscard]] Femtocoulombs measure_critical_charge(const SpiceTech& tech = {});
+
+struct NoiseMargins {
+  /// Input-low / input-high noise margins from the VTC unity-gain points.
+  Volts nm_low{0.0};
+  Volts nm_high{0.0};
+  /// Switching threshold (Vout = Vin crossing).
+  Volts switch_point{0.0};
+};
+
+/// Static noise margins of an inverter at the given P/N width multipliers
+/// (DC sweep of the voltage transfer curve). The paper notes a 66 mV NM
+/// reduction from the protection logic's equal-width sizing (§3.3).
+[[nodiscard]] NoiseMargins measure_noise_margins(double wp_mult,
+                                                 double wn_mult,
+                                                 const SpiceTech& tech = {});
+
+}  // namespace cwsp::spice

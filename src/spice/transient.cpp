@@ -1,0 +1,157 @@
+#include "spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spice/solver.hpp"
+
+namespace cwsp::spice {
+namespace {
+
+/// One Newton solve of the (possibly nonlinear) system at a given time.
+/// `v` holds the initial guess on entry and the solution on exit (node
+/// voltages followed by branch currents). Returns iterations used.
+std::size_t newton_solve(const Circuit& circuit, std::vector<double>& v,
+                         const std::vector<double>& v_prev_step,
+                         double time_ps, double dt_ps, bool transient,
+                         const TransientOptions& options) {
+  const std::size_t dim = circuit.dimension();
+  const int num_nodes = circuit.num_nodes();
+  std::vector<double> matrix(dim * dim, 0.0);
+  std::vector<double> rhs(dim, 0.0);
+
+  // Newton unknown vector indexed like the MNA system (node k → k-1).
+  // `v` is indexed by node for the first num_nodes entries for caller
+  // convenience; translate here.
+  auto to_unknowns = [&](const std::vector<double>& by_node) {
+    std::vector<double> x(dim, 0.0);
+    for (int n = 1; n < num_nodes; ++n) {
+      x[static_cast<std::size_t>(n - 1)] = by_node[static_cast<std::size_t>(n)];
+    }
+    for (int b = 0; b < circuit.num_branches(); ++b) {
+      x[static_cast<std::size_t>(num_nodes - 1 + b)] =
+          by_node[static_cast<std::size_t>(num_nodes + b)];
+    }
+    return x;
+  };
+  auto to_by_node = [&](const std::vector<double>& x) {
+    std::vector<double> by_node(static_cast<std::size_t>(num_nodes) +
+                                    static_cast<std::size_t>(circuit.num_branches()),
+                                0.0);
+    for (int n = 1; n < num_nodes; ++n) {
+      by_node[static_cast<std::size_t>(n)] = x[static_cast<std::size_t>(n - 1)];
+    }
+    for (int b = 0; b < circuit.num_branches(); ++b) {
+      by_node[static_cast<std::size_t>(num_nodes + b)] =
+          x[static_cast<std::size_t>(num_nodes - 1 + b)];
+    }
+    return by_node;
+  };
+
+  std::vector<double> x = to_unknowns(v);
+  const int max_iter = circuit.has_nonlinear_devices()
+                           ? options.max_newton_iterations
+                           : 2;  // linear circuits converge in one solve
+
+  std::size_t iterations = 0;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    ++iterations;
+    std::fill(matrix.begin(), matrix.end(), 0.0);
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+
+    // Devices read candidate voltages via a by-node view.
+    const std::vector<double> v_candidate = to_by_node(x);
+    StampContext ctx(matrix, rhs, v_candidate, v_prev_step, dim, num_nodes,
+                     time_ps, dt_ps, transient);
+    for (const auto& device : circuit.devices()) device->stamp(ctx);
+
+    // gmin from every node to ground keeps held nodes well-posed.
+    for (int n = 1; n < num_nodes; ++n) {
+      matrix[static_cast<std::size_t>(n - 1) * dim +
+             static_cast<std::size_t>(n - 1)] += options.gmin;
+    }
+
+    DenseMatrix a(dim);
+    for (std::size_t r = 0; r < dim; ++r) {
+      for (std::size_t c = 0; c < dim; ++c) a.at(r, c) = matrix[r * dim + c];
+    }
+    std::vector<double> x_new = solve_linear_system(std::move(a), rhs);
+
+    // Damped update on node voltages; branch currents move freely.
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      double delta = x_new[i] - x[i];
+      if (i < static_cast<std::size_t>(num_nodes - 1)) {
+        delta = std::clamp(delta, -options.v_step_limit, options.v_step_limit);
+        max_dv = std::max(max_dv, std::fabs(delta));
+      }
+      x[i] += delta;
+    }
+
+    if (!circuit.has_nonlinear_devices()) {
+      // One exact solve suffices; take the full solution.
+      x = std::move(x_new);
+      break;
+    }
+    if (max_dv < options.v_tolerance) break;
+    CWSP_REQUIRE_MSG(iter + 1 < max_iter,
+                     "Newton failed to converge at t=" << time_ps
+                         << " ps (max dV=" << max_dv << ")");
+  }
+
+  v = to_by_node(x);
+  return iterations;
+}
+
+std::vector<double> initial_vector(const Circuit& circuit) {
+  return std::vector<double>(
+      static_cast<std::size_t>(circuit.num_nodes() + circuit.num_branches()),
+      0.0);
+}
+
+}  // namespace
+
+std::vector<double> solve_dc(const Circuit& circuit,
+                             const TransientOptions& options) {
+  std::vector<double> v = initial_vector(circuit);
+  const std::vector<double> v_prev = v;
+  newton_solve(circuit, v, v_prev, /*time_ps=*/0.0, /*dt_ps=*/1.0,
+               /*transient=*/false, options);
+  return v;
+}
+
+TransientResult run_transient(const Circuit& circuit,
+                              const TransientOptions& options,
+                              const std::vector<int>& probe_nodes) {
+  CWSP_REQUIRE(options.dt_ps > 0.0);
+  CWSP_REQUIRE(options.t_stop_ps > 0.0);
+
+  TransientResult result;
+  for (int node : probe_nodes) result.probes.emplace(node, Waveform{});
+
+  // DC operating point seeds the transient.
+  std::vector<double> v = solve_dc(circuit, options);
+
+  auto record = [&](double t) {
+    for (auto& [node, wave] : result.probes) {
+      wave.append(t, v[static_cast<std::size_t>(node)]);
+    }
+  };
+  record(0.0);
+
+  double t = 0.0;
+  while (t < options.t_stop_ps - 1e-12) {
+    const double dt = std::min(options.dt_ps, options.t_stop_ps - t);
+    t += dt;
+    const std::vector<double> v_prev = v;
+    result.total_newton_iterations +=
+        newton_solve(circuit, v, v_prev, t, dt, /*transient=*/true, options);
+    ++result.steps;
+    record(t);
+  }
+
+  result.final_voltages = v;
+  return result;
+}
+
+}  // namespace cwsp::spice

@@ -1,0 +1,52 @@
+#pragma once
+// Transient analysis: DC operating point followed by fixed-step
+// backward-Euler integration with Newton–Raphson per step.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/waveform.hpp"
+
+namespace cwsp::spice {
+
+struct TransientOptions {
+  double t_stop_ps = 1000.0;
+  double dt_ps = 1.0;
+  int max_newton_iterations = 200;
+  /// Convergence: max |Δv| below this (V).
+  double v_tolerance = 1e-6;
+  /// Per-iteration voltage step clamp (V) for Newton damping.
+  double v_step_limit = 0.4;
+  /// Leak conductance from every node to ground (mS); keeps otherwise
+  /// floating nodes (e.g. a CWSP output in its hold state) well-posed.
+  double gmin = 1e-7;
+};
+
+struct TransientResult {
+  /// Probed node waveforms keyed by node index.
+  std::map<int, Waveform> probes;
+  /// Final converged node voltages (index = node).
+  std::vector<double> final_voltages;
+  std::size_t total_newton_iterations = 0;
+  std::size_t steps = 0;
+
+  [[nodiscard]] const Waveform& probe(int node) const {
+    const auto it = probes.find(node);
+    CWSP_REQUIRE_MSG(it != probes.end(), "node " << node << " not probed");
+    return it->second;
+  }
+};
+
+/// Runs the transient analysis recording the given nodes. Throws
+/// cwsp::Error if Newton fails to converge or the MNA matrix is singular.
+[[nodiscard]] TransientResult run_transient(const Circuit& circuit,
+                                            const TransientOptions& options,
+                                            const std::vector<int>& probe_nodes);
+
+/// DC operating point only (capacitors open, t = 0).
+[[nodiscard]] std::vector<double> solve_dc(const Circuit& circuit,
+                                           const TransientOptions& options = {});
+
+}  // namespace cwsp::spice

@@ -1,0 +1,99 @@
+#include "spice/waveform.hpp"
+
+#include <algorithm>
+
+namespace cwsp::spice {
+namespace {
+
+/// Interpolated crossing time between two samples.
+double interp_cross(const Sample& a, const Sample& b, double level) {
+  if (b.v == a.v) return a.t_ps;
+  const double frac = (level - a.v) / (b.v - a.v);
+  return a.t_ps + frac * (b.t_ps - a.t_ps);
+}
+
+}  // namespace
+
+double Waveform::value_at(double t_ps) const {
+  CWSP_REQUIRE(!samples_.empty());
+  if (t_ps <= samples_.front().t_ps) return samples_.front().v;
+  if (t_ps >= samples_.back().t_ps) return samples_.back().v;
+  const auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), t_ps,
+      [](const Sample& s, double t) { return s.t_ps < t; });
+  const Sample& hi = *it;
+  const Sample& lo = *(it - 1);
+  if (hi.t_ps == lo.t_ps) return hi.v;
+  const double frac = (t_ps - lo.t_ps) / (hi.t_ps - lo.t_ps);
+  return lo.v + frac * (hi.v - lo.v);
+}
+
+double Waveform::peak() const {
+  CWSP_REQUIRE(!samples_.empty());
+  return std::max_element(samples_.begin(), samples_.end(),
+                          [](const Sample& a, const Sample& b) {
+                            return a.v < b.v;
+                          })
+      ->v;
+}
+
+double Waveform::trough() const {
+  CWSP_REQUIRE(!samples_.empty());
+  return std::min_element(samples_.begin(), samples_.end(),
+                          [](const Sample& a, const Sample& b) {
+                            return a.v < b.v;
+                          })
+      ->v;
+}
+
+std::optional<double> Waveform::first_crossing(double level, bool rising,
+                                               double after_ps) const {
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const Sample& a = samples_[i - 1];
+    const Sample& b = samples_[i];
+    if (b.t_ps < after_ps) continue;
+    const bool crossed = rising ? (a.v < level && b.v >= level)
+                                : (a.v > level && b.v <= level);
+    if (!crossed) continue;
+    const double t = interp_cross(a, b, level);
+    if (t >= after_ps) return t;
+  }
+  return std::nullopt;
+}
+
+double Waveform::time_above(double level) const {
+  double total = 0.0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const Sample& a = samples_[i - 1];
+    const Sample& b = samples_[i];
+    const bool a_above = a.v > level;
+    const bool b_above = b.v > level;
+    if (a_above && b_above) {
+      total += b.t_ps - a.t_ps;
+    } else if (a_above != b_above) {
+      const double t = interp_cross(a, b, level);
+      total += a_above ? (t - a.t_ps) : (b.t_ps - t);
+    }
+  }
+  return total;
+}
+
+std::optional<double> Waveform::pulse_width_above(double level,
+                                                  double after_ps) const {
+  const auto rise = first_crossing(level, /*rising=*/true, after_ps);
+  if (!rise.has_value()) return std::nullopt;
+  const auto fall = first_crossing(level, /*rising=*/false, *rise);
+  const double end = fall.value_or(samples_.back().t_ps);
+  return end - *rise;
+}
+
+std::optional<double> Waveform::pulse_width_below(double level,
+                                                  double after_ps) const {
+  const auto fall = first_crossing(level, /*rising=*/false, after_ps);
+  if (!fall.has_value()) return std::nullopt;
+  const auto rise = first_crossing(level, /*rising=*/true, *fall);
+  const double end = rise.value_or(samples_.back().t_ps);
+  return end - *fall;
+}
+
+}  // namespace cwsp::spice

@@ -1,0 +1,59 @@
+#pragma once
+// Sampled waveform with the measurement helpers the experiments need:
+// threshold crossings, pulse widths, peak values — the MiniSpice analogue
+// of SPICE .MEASURE.
+
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace cwsp::spice {
+
+struct Sample {
+  double t_ps = 0.0;
+  double v = 0.0;
+};
+
+class Waveform {
+ public:
+  void append(double t_ps, double v) {
+    CWSP_REQUIRE_MSG(samples_.empty() || t_ps >= samples_.back().t_ps,
+                     "waveform samples must be time-ordered");
+    samples_.push_back({t_ps, v});
+  }
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+
+  /// Linear interpolation; clamps outside the sampled range.
+  [[nodiscard]] double value_at(double t_ps) const;
+
+  [[nodiscard]] double peak() const;
+  [[nodiscard]] double trough() const;
+
+  /// First time the waveform crosses `level` going up (rising=true) or
+  /// down, at or after `after_ps`.
+  [[nodiscard]] std::optional<double> first_crossing(double level, bool rising,
+                                                     double after_ps = 0.0) const;
+
+  /// Total time the waveform spends above `level`.
+  [[nodiscard]] double time_above(double level) const;
+
+  /// Width of the first contiguous excursion above `level` after
+  /// `after_ps` (rise crossing to the matching fall crossing). Returns
+  /// nullopt if the waveform never rises above the level.
+  [[nodiscard]] std::optional<double> pulse_width_above(
+      double level, double after_ps = 0.0) const;
+
+  /// As above but for an excursion below `level`.
+  [[nodiscard]] std::optional<double> pulse_width_below(
+      double level, double after_ps = 0.0) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace cwsp::spice

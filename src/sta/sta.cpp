@@ -1,0 +1,183 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cwsp {
+namespace {
+
+bool is_timing_source(const Net& net) {
+  return net.driver_kind == DriverKind::kPrimaryInput ||
+         net.driver_kind == DriverKind::kFlipFlop;
+}
+
+}  // namespace
+
+TimingResult run_sta(const Netlist& netlist) {
+  TimingResult result;
+  result.arrivals.resize(netlist.num_nets());
+  result.gate_delay_ps.resize(netlist.num_gates(), 0.0);
+
+  // Sources arrive at t = 0.
+  for (std::size_t i = 0; i < netlist.num_nets(); ++i) {
+    const Net& net = netlist.net(NetId{i});
+    if (is_timing_source(net)) {
+      result.arrivals[i].min_ps = 0.0;
+      result.arrivals[i].max_ps = 0.0;
+    }
+  }
+
+  // Propagate in topological order.
+  for (GateId g : netlist.topological_order()) {
+    const Gate& gate = netlist.gate(g);
+    const Cell& cell = netlist.cell_of(g);
+    const double delay =
+        cell.delay(netlist.load_of(gate.output)).value();
+    result.gate_delay_ps[g.index()] = delay;
+
+    ArrivalWindow in;
+    for (NetId net_id : gate.inputs) {
+      const ArrivalWindow& w = result.arrivals[net_id.index()];
+      if (!w.reachable()) continue;  // constant or dead input
+      in.min_ps = std::min(in.min_ps, w.min_ps);
+      in.max_ps = std::max(in.max_ps, w.max_ps);
+    }
+    if (!in.reachable()) continue;  // gate fed by constants only
+
+    ArrivalWindow& out = result.arrivals[gate.output.index()];
+    out.min_ps = std::min(out.min_ps, in.min_ps + delay);
+    out.max_ps = std::max(out.max_ps, in.max_ps + delay);
+  }
+
+  // Endpoints: FF D nets and primary outputs.
+  double dmax = 0.0;
+  double dmin = std::numeric_limits<double>::infinity();
+  auto consider_endpoint = [&](NetId net_id) {
+    // A primary output driven directly by a flip-flop is a register
+    // output, not a combinational endpoint (its path is zero-length).
+    if (netlist.net(net_id).driver_kind == DriverKind::kFlipFlop) return;
+    const ArrivalWindow& w = result.arrivals[net_id.index()];
+    if (!w.reachable()) return;
+    if (w.max_ps > dmax) {
+      dmax = w.max_ps;
+      result.dmax_endpoint = net_id;
+    }
+    if (w.min_ps < dmin) {
+      dmin = w.min_ps;
+      result.dmin_endpoint = net_id;
+    }
+  };
+  for (FlipFlopId f : netlist.flip_flop_ids()) {
+    consider_endpoint(netlist.flip_flop(f).d);
+  }
+  for (NetId po : netlist.primary_outputs()) consider_endpoint(po);
+
+  result.dmax = Picoseconds(dmax);
+  result.dmin =
+      Picoseconds(dmin == std::numeric_limits<double>::infinity() ? 0.0
+                                                                  : dmin);
+
+  // Critical path: walk back from the D_max endpoint picking, at each gate,
+  // the input whose max-arrival explains the output arrival.
+  if (result.dmax_endpoint.valid()) {
+    result.critical_path =
+        detail_trace_path(netlist, result, result.dmax_endpoint);
+  }
+
+  return result;
+}
+
+std::vector<NetId> detail_trace_path(const Netlist& netlist,
+                                     const TimingResult& result,
+                                     NetId endpoint) {
+  std::vector<NetId> reverse_path;
+  NetId current = endpoint;
+  reverse_path.push_back(current);
+  while (true) {
+    const Net& net = netlist.net(current);
+    if (net.driver_kind != DriverKind::kGate) break;
+    const Gate& gate = netlist.gate(GateId{net.driver_index});
+    const double delay = result.gate_delay_ps[net.driver_index];
+    const double needed = result.arrivals[current.index()].max_ps - delay;
+    NetId best;
+    double best_err = std::numeric_limits<double>::infinity();
+    for (NetId in : gate.inputs) {
+      const ArrivalWindow& w = result.arrivals[in.index()];
+      if (!w.reachable()) continue;
+      const double err = std::abs(w.max_ps - needed);
+      if (err < best_err) {
+        best_err = err;
+        best = in;
+      }
+    }
+    if (!best.valid()) break;
+    current = best;
+    reverse_path.push_back(current);
+  }
+  return {reverse_path.rbegin(), reverse_path.rend()};
+}
+
+std::vector<TimingPath> worst_paths(const Netlist& netlist,
+                                    const TimingResult& result,
+                                    std::size_t k) {
+  // Collect endpoints (FF D pins and gate-driven primary outputs).
+  std::vector<NetId> endpoints;
+  for (FlipFlopId f : netlist.flip_flop_ids()) {
+    endpoints.push_back(netlist.flip_flop(f).d);
+  }
+  for (NetId po : netlist.primary_outputs()) {
+    if (netlist.net(po).driver_kind != DriverKind::kFlipFlop) {
+      endpoints.push_back(po);
+    }
+  }
+  // Deduplicate (a net can be both PO and FF D).
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+  // Rank by arrival, worst first.
+  std::sort(endpoints.begin(), endpoints.end(), [&](NetId a, NetId b) {
+    return result.arrivals[a.index()].max_ps >
+           result.arrivals[b.index()].max_ps;
+  });
+
+  std::vector<TimingPath> paths;
+  for (NetId endpoint : endpoints) {
+    if (paths.size() >= k) break;
+    const ArrivalWindow& w = result.arrivals[endpoint.index()];
+    if (!w.reachable()) continue;
+    TimingPath path;
+    path.endpoint = endpoint;
+    path.arrival = Picoseconds(w.max_ps);
+    path.nets = detail_trace_path(netlist, result, endpoint);
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+Picoseconds compute_dmax(const Netlist& netlist) {
+  return run_sta(netlist).dmax;
+}
+
+std::string timing_report(const Netlist& netlist, const TimingResult& result) {
+  std::ostringstream os;
+  os << "Timing report for '" << netlist.name() << "'\n";
+  os << "  Dmax = " << result.dmax.value() << " ps  (endpoint "
+     << (result.dmax_endpoint.valid()
+             ? netlist.net(result.dmax_endpoint).name
+             : "<none>")
+     << ")\n";
+  os << "  Dmin = " << result.dmin.value() << " ps  (endpoint "
+     << (result.dmin_endpoint.valid()
+             ? netlist.net(result.dmin_endpoint).name
+             : "<none>")
+     << ")\n";
+  os << "  Critical path (" << result.critical_path.size() << " nets):";
+  for (NetId n : result.critical_path) {
+    os << ' ' << netlist.net(n).name << " @"
+       << result.arrivals[n.index()].max_ps;
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace cwsp

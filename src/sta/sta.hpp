@@ -1,0 +1,72 @@
+#pragma once
+// Static timing analysis over the gate-level netlist.
+//
+// Delay semantics follow the paper: D_max/D_min are the longest/shortest
+// *combinational* path delays between timing sources (primary inputs and
+// flip-flop Q pins, at time 0) and timing endpoints (flip-flop D pins and
+// primary outputs). Flip-flop clk→Q and setup are added separately when a
+// full register-to-register period is needed (as the paper's Tables do:
+// "Regular delay" = D_max + T_SETUP_SYS + T_CLK_OUT_SYS).
+
+#include <limits>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace cwsp {
+
+struct ArrivalWindow {
+  /// Earliest possible transition at this net, ps. +inf if unreachable.
+  double min_ps = std::numeric_limits<double>::infinity();
+  /// Latest possible transition at this net, ps. -inf if unreachable.
+  double max_ps = -std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] bool reachable() const {
+    return max_ps != -std::numeric_limits<double>::infinity();
+  }
+};
+
+struct TimingResult {
+  /// Per-net arrival windows, indexed by NetId.
+  std::vector<ArrivalWindow> arrivals;
+  /// Per-gate propagation delay (intrinsic + R·C_load), indexed by GateId.
+  std::vector<double> gate_delay_ps;
+
+  Picoseconds dmax{0.0};
+  Picoseconds dmin{0.0};
+  NetId dmax_endpoint;
+  NetId dmin_endpoint;
+
+  /// Nets of the critical (longest) path, source first.
+  std::vector<NetId> critical_path;
+};
+
+/// Runs STA. The netlist must be valid (acyclic combinational core).
+[[nodiscard]] TimingResult run_sta(const Netlist& netlist);
+
+/// Longest-path delay only (convenience).
+[[nodiscard]] Picoseconds compute_dmax(const Netlist& netlist);
+
+/// Produces a short human-readable timing report.
+[[nodiscard]] std::string timing_report(const Netlist& netlist,
+                                        const TimingResult& result);
+
+struct TimingPath {
+  NetId endpoint;
+  Picoseconds arrival{0.0};
+  /// Nets along the path, source first.
+  std::vector<NetId> nets;
+};
+
+/// The K worst paths, one per endpoint, sorted by decreasing arrival —
+/// the slack-ranked view a timing signoff flow starts from.
+[[nodiscard]] std::vector<TimingPath> worst_paths(const Netlist& netlist,
+                                                  const TimingResult& result,
+                                                  std::size_t k);
+
+/// Backtracks the max-arrival path into `endpoint` (source first).
+[[nodiscard]] std::vector<NetId> detail_trace_path(const Netlist& netlist,
+                                                   const TimingResult& result,
+                                                   NetId endpoint);
+
+}  // namespace cwsp

@@ -1,0 +1,86 @@
+#pragma once
+// Random netlist generation for property-based cross-checks between the
+// simulators. Produces valid, acyclic, fully-connected netlists with a
+// mix of cell kinds, optional flip-flops and reconvergent fanout.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netlist/netlist.hpp"
+
+namespace cwsp::testing {
+
+struct FuzzOptions {
+  int num_inputs = 4;
+  int num_gates = 30;
+  int num_flip_flops = 2;
+  int num_outputs = 3;
+};
+
+inline Netlist make_random_netlist(const CellLibrary& library,
+                                   std::uint64_t seed,
+                                   const FuzzOptions& options = {}) {
+  Rng rng(seed);
+  Netlist netlist(library, "fuzz" + std::to_string(seed));
+
+  std::vector<NetId> pool;
+  for (int i = 0; i < options.num_inputs; ++i) {
+    pool.push_back(netlist.add_primary_input("pi" + std::to_string(i)));
+  }
+
+  // Flip-flop Q nets join the pool as sources; D nets are wired at the
+  // end from the final pool.
+  std::vector<NetId> ff_q;
+  for (int i = 0; i < options.num_flip_flops; ++i) {
+    const NetId d = netlist.add_net("ffd" + std::to_string(i));
+    const FlipFlopId ff =
+        netlist.add_flip_flop_onto(d, netlist.add_net("ffq" + std::to_string(i)));
+    ff_q.push_back(netlist.flip_flop(ff).q);
+    pool.push_back(netlist.flip_flop(ff).q);
+  }
+
+  const CellKind kinds[] = {CellKind::kInv,   CellKind::kNand2,
+                            CellKind::kNor2,  CellKind::kAnd2,
+                            CellKind::kOr2,   CellKind::kXor2,
+                            CellKind::kXnor2, CellKind::kNand3,
+                            CellKind::kMux2,  CellKind::kAoi21};
+  for (int g = 0; g < options.num_gates; ++g) {
+    const CellKind kind = kinds[rng.next_below(std::size(kinds))];
+    const int arity = input_count_for(kind);
+    std::vector<NetId> inputs;
+    for (int i = 0; i < arity; ++i) {
+      inputs.push_back(pool[rng.next_below(pool.size())]);
+    }
+    const GateId gate = netlist.add_gate(library.cell_for(kind), inputs,
+                                         "g" + std::to_string(g));
+    pool.push_back(netlist.gate(gate).output);
+  }
+
+  // Wire flip-flop D inputs from late pool entries (acyclic by
+  // construction: gates only consume earlier nets, and D nets are sinks).
+  for (int i = 0; i < options.num_flip_flops; ++i) {
+    const NetId d = *netlist.find_net("ffd" + std::to_string(i));
+    const NetId src = pool[pool.size() - 1 - rng.next_below(
+                                                 std::min<std::size_t>(
+                                                     8, pool.size()))];
+    netlist.add_gate_onto(library.cell_for(CellKind::kBuf), {src}, d);
+  }
+
+  // Primary outputs from the tail of the pool; then mark any dangling
+  // nets as outputs too so the netlist validates.
+  for (int i = 0; i < options.num_outputs && i < static_cast<int>(pool.size());
+       ++i) {
+    netlist.mark_primary_output(pool[pool.size() - 1 - i]);
+  }
+  for (std::size_t i = 0; i < netlist.num_nets(); ++i) {
+    const Net& net = netlist.net(NetId{i});
+    if (net.fanout_gates.empty() && net.fanout_ffs.empty() &&
+        !net.is_primary_output) {
+      netlist.mark_primary_output(NetId{i});
+    }
+  }
+  netlist.validate();
+  return netlist;
+}
+
+}  // namespace cwsp::testing

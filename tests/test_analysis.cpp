@@ -1,0 +1,123 @@
+#include "netlist/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+
+namespace cwsp {
+namespace {
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+  Netlist diamond_ = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+l = NOT(a)
+r = BUFF(a)
+m = AND(l, r)
+y = NOT(m)
+)",
+                                        lib_, "diamond");
+};
+
+TEST_F(AnalysisTest, LogicDepth) {
+  const auto info = compute_logic_depth(diamond_);
+  EXPECT_EQ(info.of(*diamond_.find_net("a")), 0);
+  EXPECT_EQ(info.of(*diamond_.find_net("l")), 1);
+  EXPECT_EQ(info.of(*diamond_.find_net("m")), 2);
+  EXPECT_EQ(info.of(*diamond_.find_net("y")), 3);
+  EXPECT_EQ(info.max_depth, 3);
+}
+
+TEST_F(AnalysisTest, DepthWithFlipFlopBoundary) {
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+d = NOT(a)
+q = DFF(d)
+y = NOT(q)
+)",
+                                    lib_);
+  const auto info = compute_logic_depth(n);
+  EXPECT_EQ(info.of(*n.find_net("q")), 0);  // FF Q restarts at depth 0
+  EXPECT_EQ(info.of(*n.find_net("y")), 1);
+}
+
+TEST_F(AnalysisTest, ConstantConeDepthUnreachable) {
+  Netlist n(lib_, "c");
+  const NetId one = n.add_constant(true, "one");
+  const NetId zero = n.add_constant(false, "zero");
+  const GateId g = n.add_gate(lib_.cell_for(CellKind::kAnd2), {one, zero},
+                              "dead");
+  n.mark_primary_output(n.gate(g).output);
+  const auto info = compute_logic_depth(n);
+  EXPECT_EQ(info.of(n.gate(g).output), -1);
+}
+
+TEST_F(AnalysisTest, FanoutStats) {
+  const auto stats = compute_fanout_stats(diamond_);
+  // `a` drives 2 pins; l, r, m drive 1 each; y drives 0 (PO only).
+  EXPECT_EQ(stats.max_fanout, 2u);
+  EXPECT_EQ(stats.histogram[1], 3u);
+  EXPECT_EQ(stats.histogram[2], 1u);
+  EXPECT_NEAR(stats.mean_fanout, 5.0 / 4.0, 1e-12);
+}
+
+TEST_F(AnalysisTest, ConeOfInfluence) {
+  const auto cone = cone_of_influence(diamond_, *diamond_.find_net("m"));
+  // m's cone: l, r, m — not y.
+  EXPECT_EQ(cone.size(), 3u);
+  for (GateId g : cone) {
+    EXPECT_NE(diamond_.net(diamond_.gate(g).output).name, "y");
+  }
+}
+
+TEST_F(AnalysisTest, ConeIsTopologicallyOrdered) {
+  const auto cone = cone_of_influence(diamond_, *diamond_.find_net("y"));
+  EXPECT_EQ(cone.size(), 4u);
+  // AND gate (m) must come after its inputs l and r.
+  std::size_t pos_m = 0;
+  std::size_t pos_l = 0;
+  for (std::size_t i = 0; i < cone.size(); ++i) {
+    const auto& name = diamond_.net(diamond_.gate(cone[i]).output).name;
+    if (name == "m") pos_m = i;
+    if (name == "l") pos_l = i;
+  }
+  EXPECT_GT(pos_m, pos_l);
+}
+
+TEST_F(AnalysisTest, TransitiveFanout) {
+  const auto fanout = transitive_fanout(diamond_, *diamond_.find_net("a"));
+  EXPECT_EQ(fanout.size(), 4u);  // l, r, m, y
+  const auto from_m = transitive_fanout(diamond_, *diamond_.find_net("m"));
+  EXPECT_EQ(from_m.size(), 1u);  // just y
+}
+
+TEST_F(AnalysisTest, KindHistogram) {
+  const auto hist = kind_histogram(diamond_);
+  // diamond: 2x INV (l, y), 1x BUF, 1x AND2 — INV first (descending).
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0].cell_name, "INV");
+  EXPECT_EQ(hist[0].count, 2u);
+  std::size_t total = 0;
+  for (const auto& kc : hist) total += kc.count;
+  EXPECT_EQ(total, diamond_.num_gates());
+}
+
+TEST_F(AnalysisTest, FanoutStopsAtFlipFlops) {
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+d = NOT(a)
+q = DFF(d)
+y = NOT(q)
+)",
+                                    lib_);
+  // Transitive fanout follows gates only; the FF boundary ends the cone.
+  const auto fanout = transitive_fanout(n, *n.find_net("a"));
+  EXPECT_EQ(fanout.size(), 1u);  // d only
+}
+
+}  // namespace
+}  // namespace cwsp

@@ -1,0 +1,83 @@
+#include "cwsp/area_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+
+namespace cwsp::core {
+namespace {
+
+class AreaReportTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+  Netlist netlist_ = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(q1)
+OUTPUT(q2)
+t1 = NAND(a, b)
+t2 = XOR(t1, a)
+q1 = DFF(t1)
+q2 = DFF(t2)
+)",
+                                        lib_);
+};
+
+TEST_F(AreaReportTest, ComponentsSumToProtectionTotal) {
+  const auto design = harden(netlist_, ProtectionParams::q100());
+  const auto report = build_area_report(design);
+  double sum = 0.0;
+  for (const auto& c : report.components) sum += c.total.value();
+  EXPECT_NEAR(sum, report.protection_total.value(), 1e-9);
+}
+
+TEST_F(AreaReportTest, PerFfComponentsSumToCalibrated) {
+  const auto design = harden(netlist_, ProtectionParams::q100());
+  const auto report = build_area_report(design);
+  double units = 0.0;
+  for (const auto& c : report.components) units += c.units_per_ff;
+  EXPECT_NEAR(units * cal::kUnitActiveArea.value(),
+              report.per_ff_calibrated.value(), 1e-9);
+}
+
+TEST_F(AreaReportTest, ResidualIsPositiveButMinority) {
+  // The itemised devices must account for most of the calibrated per-FF
+  // area; the unattributed custom-sizing share is positive and < 50%.
+  const auto design = harden(netlist_, ProtectionParams::q100());
+  const auto report = build_area_report(design);
+  EXPECT_GT(report.per_ff_unattributed.value(), 0.0);
+  EXPECT_LT(report.per_ff_unattributed.value(),
+            0.5 * report.per_ff_calibrated.value());
+}
+
+TEST_F(AreaReportTest, Q150GrowsCwspAndDelayLineOnly) {
+  const auto d100 = harden(netlist_, ProtectionParams::q100());
+  const auto d150 = harden(netlist_, ProtectionParams::q150());
+  const auto r100 = build_area_report(d100);
+  const auto r150 = build_area_report(d150);
+  for (std::size_t i = 0; i < r100.components.size(); ++i) {
+    const auto& a = r100.components[i];
+    const auto& b = r150.components[i];
+    // Small epsilon: the residual differs only by fp noise between the
+    // two charge levels (the calibrated delta is exactly the CWSP +
+    // delay-line growth).
+    const bool q_dependent = b.units_per_ff > a.units_per_ff + 1e-6;
+    if (q_dependent) {
+      EXPECT_TRUE(b.name.find("CWSP") != std::string::npos ||
+                  b.name.find("CLK_DEL") != std::string::npos)
+          << b.name;
+    }
+  }
+}
+
+TEST_F(AreaReportTest, FormatMentionsKeyComponents) {
+  const auto design = harden(netlist_, ProtectionParams::q100());
+  const auto text = format_area_report(build_area_report(design));
+  EXPECT_NE(text.find("CWSP element (30/12)"), std::string::npos);
+  EXPECT_NE(text.find("CLK_DEL delay line (8 seg)"), std::string::npos);
+  EXPECT_NE(text.find("EQGLBF"), std::string::npos);
+  EXPECT_NE(text.find("per-FF (calibrated)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cwsp::core

@@ -1,0 +1,178 @@
+#include "netlist/bench_parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cwsp {
+namespace {
+
+class BenchParserTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+};
+
+TEST_F(BenchParserTest, ParsesMinimalCombinational) {
+  const auto n = parse_bench_string(R"(
+# tiny circuit
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)
+)",
+                                    lib_);
+  EXPECT_EQ(n.primary_inputs().size(), 2u);
+  EXPECT_EQ(n.primary_outputs().size(), 1u);
+  EXPECT_EQ(n.num_gates(), 1u);
+  EXPECT_EQ(n.cell_of(GateId{0}).kind(), CellKind::kNand2);
+}
+
+TEST_F(BenchParserTest, ParsesAllBasicFunctions) {
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+n1 = NOT(a)
+n2 = BUFF(b)
+n3 = AND(a, b)
+n4 = OR(a, c)
+n5 = NOR(n1, n2)
+n6 = XOR(n3, n4)
+n7 = XNOR(n5, c)
+n8 = MUX(n6, n7, a)
+y  = NAND(n8, b)
+)",
+                                    lib_);
+  EXPECT_EQ(n.num_gates(), 9u);
+}
+
+TEST_F(BenchParserTest, OutOfOrderDefinitionsAccepted) {
+  const auto n = parse_bench_string(R"(
+OUTPUT(y)
+y = AND(m, a)
+m = NOT(a)
+INPUT(a)
+)",
+                                    lib_);
+  EXPECT_EQ(n.num_gates(), 2u);
+}
+
+TEST_F(BenchParserTest, DffCreatesFlipFlop) {
+  const auto n = parse_bench_string(R"(
+INPUT(d_in)
+OUTPUT(q)
+q = DFF(d_in)
+)",
+                                    lib_);
+  EXPECT_EQ(n.num_flip_flops(), 1u);
+  EXPECT_EQ(n.num_gates(), 0u);
+}
+
+TEST_F(BenchParserTest, WideGateDecomposed) {
+  // A 9-input AND requires a tree of ≤4-input cells.
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+INPUT(f)
+INPUT(g)
+INPUT(h)
+INPUT(i)
+OUTPUT(y)
+y = AND(a, b, c, d, e, f, g, h, i)
+)",
+                                    lib_);
+  EXPECT_GE(n.num_gates(), 3u);
+  for (GateId g : n.gate_ids()) {
+    EXPECT_LE(n.cell_of(g).num_inputs(), 4);
+  }
+}
+
+TEST_F(BenchParserTest, WideNandKeepsPolarity) {
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+OUTPUT(y)
+y = NAND(a, b, c, d, e)
+)",
+                                    lib_);
+  n.validate();
+  // The gate driving y must be inverting (NANDx or INV).
+  const Net& y = n.net(*n.find_net("y"));
+  ASSERT_EQ(y.driver_kind, DriverKind::kGate);
+  const CellKind kind = n.cell_of(GateId{y.driver_index}).kind();
+  const bool inverting = kind == CellKind::kNand2 || kind == CellKind::kNand3 ||
+                         kind == CellKind::kNand4 || kind == CellKind::kInv;
+  EXPECT_TRUE(inverting);
+}
+
+TEST_F(BenchParserTest, ConstantsExtension) {
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+zero = GND
+y = OR(a, zero)
+)",
+                                    lib_);
+  const Net& zero = n.net(*n.find_net("zero"));
+  EXPECT_EQ(zero.driver_kind, DriverKind::kConstant);
+  EXPECT_FALSE(zero.constant_value);
+}
+
+TEST_F(BenchParserTest, UndefinedNetRejected) {
+  EXPECT_THROW(parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+y = AND(a, phantom)
+)",
+                                  lib_),
+               Error);
+}
+
+TEST_F(BenchParserTest, DoubleDefinitionRejected) {
+  EXPECT_THROW(parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+y = NOT(a)
+y = BUFF(a)
+)",
+                                  lib_),
+               Error);
+}
+
+TEST_F(BenchParserTest, UnknownFunctionRejected) {
+  EXPECT_THROW(parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+y = FROB(a)
+)",
+                                  lib_),
+               Error);
+}
+
+TEST_F(BenchParserTest, MalformedLineRejected) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(y)\ngarbage here\n", lib_),
+               Error);
+}
+
+TEST_F(BenchParserTest, SequentialCircuitParses) {
+  // 2-bit shift register with feedback through an inverter.
+  const auto n = parse_bench_string(R"(
+INPUT(en)
+OUTPUT(q1)
+d0 = AND(en, fb)
+q0 = DFF(d0)
+q1 = DFF(q0)
+fb = NOT(q1)
+)",
+                                    lib_);
+  EXPECT_EQ(n.num_flip_flops(), 2u);
+  EXPECT_EQ(n.num_gates(), 2u);
+}
+
+}  // namespace
+}  // namespace cwsp

@@ -1,0 +1,91 @@
+#include "bencharness/benchmark_data.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cell/calibration.hpp"
+#include "common/error.hpp"
+
+namespace cwsp::bench {
+namespace {
+
+TEST(BenchmarkData, TableMembershipCounts) {
+  // Table 1 has 8 rows, Table 2 has 11, Table 3 has 10 (paper).
+  std::size_t t1 = 0;
+  std::size_t t2 = 0;
+  for (const auto& s : overhead_benchmarks()) {
+    if (s.table1_q150.has_value()) ++t1;
+    if (s.table2_q100.has_value()) ++t2;
+  }
+  EXPECT_EQ(t1, 8u);
+  EXPECT_EQ(t2, 11u);
+  EXPECT_EQ(fast_benchmarks().size(), 10u);
+}
+
+TEST(BenchmarkData, FindByName) {
+  EXPECT_EQ(find_benchmark("alu2").num_outputs, 6);
+  EXPECT_EQ(find_benchmark("C7552").num_outputs, 108);
+  EXPECT_EQ(find_benchmark("apex4").num_outputs, 19);
+  EXPECT_THROW((void)(find_benchmark("nonesuch")), cwsp::Error);
+}
+
+TEST(BenchmarkData, PaperAreaOverheadsConsistentWithCalibration) {
+  // For every published row, regular + n·p_Q + c + tree-extra must match
+  // the published hardened area within 0.05 µm².
+  auto tree_extra = [](int n) {
+    if (n <= cal::kTreeSingleLevelMax) return 0.0;
+    const int chunks = (n + cal::kTreeChunk - 1) / cal::kTreeChunk;
+    return cal::kTreeSecondLevelPerInput.value() * chunks;
+  };
+  for (const auto& s : overhead_benchmarks()) {
+    if (s.table1_q150.has_value()) {
+      const double predicted =
+          s.regular_area_um2 +
+          s.num_outputs * cal::kPerFfProtectionAreaQHigh.value() +
+          cal::kGlobalProtectionArea.value() + tree_extra(s.num_outputs);
+      EXPECT_NEAR(predicted, s.table1_q150->hardened_area_um2, 0.05)
+          << s.name << " (Q=150)";
+    }
+    if (s.table2_q100.has_value()) {
+      const double predicted =
+          s.regular_area_um2 +
+          s.num_outputs * cal::kPerFfProtectionAreaQLow.value() +
+          cal::kGlobalProtectionArea.value() + tree_extra(s.num_outputs);
+      EXPECT_NEAR(predicted, s.table2_q100->hardened_area_um2, 0.05)
+          << s.name << " (Q=100)";
+    }
+  }
+}
+
+TEST(BenchmarkData, PaperOverheadPercentagesConsistent) {
+  for (const auto& s : overhead_benchmarks()) {
+    if (s.table1_q150.has_value()) {
+      const double pct = (s.table1_q150->hardened_area_um2 /
+                              s.regular_area_um2 -
+                          1.0) *
+                         100.0;
+      EXPECT_NEAR(pct, s.table1_q150->area_overhead_pct, 0.05) << s.name;
+    }
+  }
+}
+
+TEST(BenchmarkData, Table3RowsHaveDmaxBelow1415) {
+  // Table 3 exists because these circuits cannot host δ = 500 ps.
+  for (const auto& s : fast_benchmarks()) {
+    EXPECT_LT(s.dmax_ps, 1415.0) << s.name;
+    ASSERT_TRUE(s.table3_custom_delta.has_value()) << s.name;
+  }
+}
+
+TEST(BenchmarkData, InferredFlagsLimitedToLgsynthMismatches) {
+  for (const auto& s : overhead_benchmarks()) {
+    EXPECT_FALSE(s.ff_count_inferred) << s.name;
+  }
+  std::size_t inferred = 0;
+  for (const auto& s : fast_benchmarks()) {
+    if (s.ff_count_inferred) ++inferred;
+  }
+  EXPECT_EQ(inferred, 6u);  // apex3, b11_LoptLC, ex5p, k2, apex1, ex4p
+}
+
+}  // namespace
+}  // namespace cwsp::bench

@@ -1,0 +1,140 @@
+#include "netlist/blif_parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cwsp {
+namespace {
+
+class BlifParserTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+};
+
+TEST_F(BlifParserTest, ParsesGatesAndLatches) {
+  const auto n = parse_blif_string(R"(
+.model counter_bit
+.inputs en
+.outputs q
+.gate XOR2 a=en b=q O=d
+.latch d q re clk 0
+.end
+)",
+                                   lib_);
+  EXPECT_EQ(n.name(), "counter_bit");
+  EXPECT_EQ(n.num_gates(), 1u);
+  EXPECT_EQ(n.num_flip_flops(), 1u);
+  EXPECT_EQ(n.primary_outputs().size(), 1u);
+}
+
+TEST_F(BlifParserTest, LineContinuation) {
+  const auto n = parse_blif_string(".model c\n.inputs a \\\nb\n.outputs y\n"
+                                   ".gate NAND2 a=a b=b O=y\n.end\n",
+                                   lib_);
+  EXPECT_EQ(n.primary_inputs().size(), 2u);
+}
+
+TEST_F(BlifParserTest, NamesConstants) {
+  const auto n = parse_blif_string(R"(
+.model consts
+.inputs a
+.outputs y
+.names one
+1
+.gate AND2 a=a b=one O=y
+.end
+)",
+                                   lib_);
+  const Net& one = n.net(*n.find_net("one"));
+  EXPECT_EQ(one.driver_kind, DriverKind::kConstant);
+  EXPECT_TRUE(one.constant_value);
+}
+
+TEST_F(BlifParserTest, NamesConstantZero) {
+  const auto n = parse_blif_string(R"(
+.model consts0
+.inputs a
+.outputs y
+.names zero
+.gate OR2 a=a b=zero O=y
+.end
+)",
+                                   lib_);
+  EXPECT_FALSE(n.net(*n.find_net("zero")).constant_value);
+}
+
+TEST_F(BlifParserTest, NamesBufferAndInverter) {
+  const auto n = parse_blif_string(R"(
+.model bufinv
+.inputs a
+.outputs y z
+.names a y
+1 1
+.names a z
+0 1
+.end
+)",
+                                   lib_);
+  EXPECT_EQ(n.num_gates(), 2u);
+  const Net& y = n.net(*n.find_net("y"));
+  const Net& z = n.net(*n.find_net("z"));
+  EXPECT_EQ(n.cell_of(GateId{y.driver_index}).kind(), CellKind::kBuf);
+  EXPECT_EQ(n.cell_of(GateId{z.driver_index}).kind(), CellKind::kInv);
+}
+
+TEST_F(BlifParserTest, UnknownCellRejected) {
+  EXPECT_THROW(parse_blif_string(R"(
+.model bad
+.inputs a
+.outputs y
+.gate MYSTERY a=a O=y
+.end
+)",
+                                 lib_),
+               Error);
+}
+
+TEST_F(BlifParserTest, PinCountMismatchRejected) {
+  EXPECT_THROW(parse_blif_string(R"(
+.model bad
+.inputs a
+.outputs y
+.gate NAND2 a=a O=y
+.end
+)",
+                                 lib_),
+               Error);
+}
+
+TEST_F(BlifParserTest, WideNamesCoverRejected) {
+  EXPECT_THROW(parse_blif_string(R"(
+.model bad
+.inputs a b
+.outputs y
+.names a b y
+11 1
+.end
+)",
+                                 lib_),
+               Error);
+}
+
+TEST_F(BlifParserTest, UnsupportedDirectiveRejected) {
+  EXPECT_THROW(
+      parse_blif_string(".model x\n.subckt foo a=a\n.end\n", lib_), Error);
+}
+
+TEST_F(BlifParserTest, CommentsIgnored) {
+  const auto n = parse_blif_string(R"(
+# full-line comment
+.model c
+.inputs a  # trailing comment
+.outputs y
+.gate INV a=a O=y
+.end
+)",
+                                   lib_);
+  EXPECT_EQ(n.num_gates(), 1u);
+}
+
+}  // namespace
+}  // namespace cwsp

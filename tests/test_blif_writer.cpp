@@ -1,0 +1,74 @@
+#include "netlist/blif_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/blif_parser.hpp"
+#include "netlist_fuzz.hpp"
+#include "sim/equivalence.hpp"
+
+namespace cwsp {
+namespace {
+
+class BlifWriterTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+};
+
+TEST_F(BlifWriterTest, RoundTripPreservesStructure) {
+  const auto original = testing::make_random_netlist(lib_, 5);
+  const auto text = to_blif_string(original);
+  const auto reparsed = parse_blif_string(text, lib_);
+  EXPECT_EQ(reparsed.num_gates(), original.num_gates());
+  EXPECT_EQ(reparsed.num_flip_flops(), original.num_flip_flops());
+  EXPECT_EQ(reparsed.primary_inputs().size(),
+            original.primary_inputs().size());
+  EXPECT_EQ(reparsed.primary_outputs().size(),
+            original.primary_outputs().size());
+}
+
+TEST_F(BlifWriterTest, RoundTripPreservesBehaviour) {
+  for (std::uint64_t seed : {11u, 29u, 47u}) {
+    const auto original = testing::make_random_netlist(lib_, seed);
+    const auto reparsed =
+        parse_blif_string(to_blif_string(original), lib_);
+    EquivalenceOptions options;
+    options.random_vectors = 256;
+    const auto r = check_equivalence(original, reparsed, options);
+    EXPECT_TRUE(r.equivalent) << "seed " << seed;
+  }
+}
+
+TEST_F(BlifWriterTest, ConstantsRoundTrip) {
+  Netlist n(lib_, "consts");
+  const NetId a = n.add_primary_input("a");
+  const NetId one = n.add_constant(true, "hi");
+  const NetId zero = n.add_constant(false, "lo");
+  const GateId g1 = n.add_gate(lib_.cell_for(CellKind::kAnd2), {a, one}, "x");
+  const GateId g2 = n.add_gate(lib_.cell_for(CellKind::kOr2),
+                               {n.gate(g1).output, zero}, "y");
+  n.mark_primary_output(n.gate(g2).output);
+  n.validate();
+
+  const auto reparsed = parse_blif_string(to_blif_string(n), lib_);
+  EXPECT_TRUE(reparsed.net(*reparsed.find_net("hi")).constant_value);
+  EXPECT_FALSE(reparsed.net(*reparsed.find_net("lo")).constant_value);
+}
+
+TEST_F(BlifWriterTest, LatchesRoundTrip) {
+  Netlist n(lib_, "seq");
+  const NetId a = n.add_primary_input("a");
+  const GateId g = n.add_gate(lib_.cell_for(CellKind::kInv), {a}, "d");
+  const FlipFlopId ff = n.add_flip_flop(n.gate(g).output, "state");
+  const GateId o = n.add_gate(lib_.cell_for(CellKind::kBuf),
+                              {n.flip_flop(ff).q}, "y");
+  n.mark_primary_output(n.gate(o).output);
+  n.validate();
+
+  const auto text = to_blif_string(n);
+  EXPECT_NE(text.find(".latch d state re clk 0"), std::string::npos);
+  const auto reparsed = parse_blif_string(text, lib_);
+  EXPECT_EQ(reparsed.num_flip_flops(), 1u);
+}
+
+}  // namespace
+}  // namespace cwsp

@@ -1,0 +1,106 @@
+// Re-derives every reverse-engineered calibration constant from the
+// paper's published numbers, so a change that breaks table reproduction
+// fails here first with a clear message.
+
+#include "cell/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cwsp {
+namespace {
+
+TEST(Calibration, DelayPenaltyMatchesFlipFlopRetiming) {
+  // Hardened period = Dmax + extra-D-load + setup' + clk→Q'
+  // Regular period  = Dmax + setup + clk→Q
+  const double regular = cal::kSetupRegular.value() + cal::kClkQRegular.value();
+  const double hardened = cal::kExtraDLoadDelay.value() +
+                          cal::kSetupModified.value() +
+                          cal::kClkQModified.value();
+  EXPECT_DOUBLE_EQ(regular, 109.0);
+  EXPECT_DOUBLE_EQ(hardened, 120.5);
+  EXPECT_DOUBLE_EQ(hardened - regular, cal::kHardeningDelayPenalty.value());
+}
+
+TEST(Calibration, DelayRowsOfTable1Reproduce) {
+  // Table 1: alu2 Dmax=1624.53789 → regular 1733.53789, hardened 1745.03789.
+  const double dmax = 1624.53789;
+  EXPECT_NEAR(dmax + 109.0, 1733.53789, 1e-9);
+  EXPECT_NEAR(dmax + 120.5, 1745.03789, 1e-9);
+}
+
+TEST(Calibration, DeltaConstantsMatchMinDmax) {
+  // Paper §4: min Dmax = 1415 ps (δ=500 ps) and 1605 ps (δ=600 ps), i.e.
+  // Δ = minDmax − 2δ.
+  const double delta_q_low = cal::kMinDmaxQLow.value() - 2.0 * 500.0;
+  const double delta_q_high = cal::kMinDmaxQHigh.value() - 2.0 * 600.0;
+  EXPECT_DOUBLE_EQ(delta_q_low, 415.0);
+  EXPECT_DOUBLE_EQ(delta_q_high, 405.0);
+
+  // Δ decomposition (Eq. 5) must be internally consistent.
+  auto delta_from_parts = [](double d_cwsp) {
+    return cal::kClkQEq.value() + cal::kClkQDff2.value() + d_cwsp -
+           cal::kClkQModified.value() + cal::kDelayMux.value() +
+           cal::kSetupEq.value() + cal::kDelayAnd1.value();
+  };
+  EXPECT_DOUBLE_EQ(delta_from_parts(cal::kDCwspQLow.value()), 415.0);
+  EXPECT_DOUBLE_EQ(delta_from_parts(cal::kDCwspQHigh.value()), 405.0);
+}
+
+TEST(Calibration, UnitAreaFromCwspUpsizing) {
+  // p150 − p100 = CWSP upsizing (84 → 112 W·L units) + 2 extra CLK_DEL
+  // segments (2 min inverters = 4 units) ⇒ 32 units = 0.1519 µm².
+  const double cwsp_low =
+      2.0 * (cal::kCwspPmosMultQLow + cal::kCwspNmosMultQLow);
+  const double cwsp_high =
+      2.0 * (cal::kCwspPmosMultQHigh + cal::kCwspNmosMultQHigh);
+  const double extra_segments =
+      2.0 * (cal::kSegmentsClkDelQHigh - cal::kSegmentsClkDelQLow);
+  const double units = (cwsp_high - cwsp_low) + extra_segments;
+  EXPECT_DOUBLE_EQ(units, 32.0);
+  EXPECT_NEAR(units * cal::kUnitActiveArea.value(),
+              cal::kPerFfProtectionAreaQHigh.value() -
+                  cal::kPerFfProtectionAreaQLow.value(),
+              1e-12);
+}
+
+TEST(Calibration, PerFfAreaReproducesTable1Rows) {
+  // Table 1 (Q=150 fC): overhead = n_ff · p150 + c.
+  auto overhead = [](int n_ff) {
+    return n_ff * cal::kPerFfProtectionAreaQHigh.value() +
+           cal::kGlobalProtectionArea.value();
+  };
+  EXPECT_NEAR(overhead(6), 37.292225 - 28.251025, 5e-4);    // alu2
+  EXPECT_NEAR(overhead(8), 65.87735 - 53.87795, 5e-4);      // alu4
+  EXPECT_NEAR(overhead(3), 404.27545 - 399.67155, 5e-4);    // apex2
+  EXPECT_NEAR(overhead(22), 130.5324 - 97.8256, 5e-4);      // C3540
+  EXPECT_NEAR(overhead(32), 271.092025 - 223.594225, 5e-4); // C6288
+  EXPECT_NEAR(overhead(35), 473.5331 - 421.598, 5e-4);      // seq
+  EXPECT_NEAR(overhead(26), 74.77685 - 36.15365, 5e-4);     // C880
+}
+
+TEST(Calibration, PerFfAreaReproducesTable2Rows) {
+  auto overhead = [](int n_ff) {
+    return n_ff * cal::kPerFfProtectionAreaQLow.value() +
+           cal::kGlobalProtectionArea.value();
+  };
+  EXPECT_NEAR(overhead(6), 36.380825 - 28.251025, 5e-4);    // alu2
+  EXPECT_NEAR(overhead(25), 77.006925 - 43.660325, 5e-4);   // C1908
+  EXPECT_NEAR(overhead(16), 86.996425 - 65.594625, 5e-4);   // dalu
+  EXPECT_NEAR(overhead(32), 266.231225 - 223.594225, 5e-4); // C6288
+}
+
+TEST(Calibration, GlitchWidthsMatchPaper) {
+  EXPECT_DOUBLE_EQ(cal::kGlitchWidthQLow.value(), 500.0);
+  EXPECT_DOUBLE_EQ(cal::kGlitchWidthQHigh.value(), 600.0);
+  EXPECT_DOUBLE_EQ(cal::kTauAlpha.value(), 200.0);
+  EXPECT_DOUBLE_EQ(cal::kTauBeta.value(), 50.0);
+}
+
+TEST(Calibration, TreeStructureConstants) {
+  EXPECT_EQ(cal::kTreeSingleLevelMax, 35);
+  EXPECT_EQ(cal::kTreeChunk, 30);
+  EXPECT_GT(cal::kTreeSecondLevelPerInput.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace cwsp

@@ -1,0 +1,121 @@
+#include "cell/cell.hpp"
+#include "cell/library.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cwsp {
+namespace {
+
+using namespace cwsp::literals;
+
+TEST(Cell, TruthTablesOfBasicGates) {
+  // INV
+  EXPECT_EQ(truth_table_for(CellKind::kInv, 1), 0b01u);
+  // BUF
+  EXPECT_EQ(truth_table_for(CellKind::kBuf, 1), 0b10u);
+  // NAND2: output 0 only for input 11.
+  EXPECT_EQ(truth_table_for(CellKind::kNand2, 2), 0b0111u);
+  // NOR2: output 1 only for input 00.
+  EXPECT_EQ(truth_table_for(CellKind::kNor2, 2), 0b0001u);
+  // AND2 / OR2 / XOR2 / XNOR2
+  EXPECT_EQ(truth_table_for(CellKind::kAnd2, 2), 0b1000u);
+  EXPECT_EQ(truth_table_for(CellKind::kOr2, 2), 0b1110u);
+  EXPECT_EQ(truth_table_for(CellKind::kXor2, 2), 0b0110u);
+  EXPECT_EQ(truth_table_for(CellKind::kXnor2, 2), 0b1001u);
+}
+
+TEST(Cell, MuxTruthTable) {
+  const auto tt = truth_table_for(CellKind::kMux2, 3);
+  // Inputs packed (d0, d1, sel) LSB-first: row = d0 | d1<<1 | sel<<2.
+  for (unsigned d0 = 0; d0 <= 1; ++d0) {
+    for (unsigned d1 = 0; d1 <= 1; ++d1) {
+      for (unsigned sel = 0; sel <= 1; ++sel) {
+        const unsigned row = d0 | (d1 << 1) | (sel << 2);
+        const bool expected = sel ? d1 : d0;
+        EXPECT_EQ(((tt >> row) & 1u) != 0, expected);
+      }
+    }
+  }
+}
+
+TEST(Cell, AoiOaiTruthTables) {
+  const auto aoi = truth_table_for(CellKind::kAoi21, 3);
+  const auto oai = truth_table_for(CellKind::kOai21, 3);
+  for (unsigned row = 0; row < 8; ++row) {
+    const bool a = row & 1, b = (row >> 1) & 1, c = (row >> 2) & 1;
+    EXPECT_EQ(((aoi >> row) & 1u) != 0, !((a && b) || c)) << row;
+    EXPECT_EQ(((oai >> row) & 1u) != 0, !((a || b) && c)) << row;
+  }
+}
+
+TEST(Cell, EvaluateMatchesTruthTable) {
+  const CellLibrary lib = make_default_library();
+  const Cell& nand2 = lib.cell(lib.cell_for(CellKind::kNand2));
+  EXPECT_TRUE(nand2.evaluate(0b00));
+  EXPECT_TRUE(nand2.evaluate(0b01));
+  EXPECT_TRUE(nand2.evaluate(0b10));
+  EXPECT_FALSE(nand2.evaluate(0b11));
+}
+
+TEST(Cell, DelayIsLinearInLoad) {
+  const CellLibrary lib = make_default_library();
+  const Cell& inv = lib.cell(lib.cell_for(CellKind::kInv));
+  const auto d1 = inv.delay(1.0_fF);
+  const auto d2 = inv.delay(2.0_fF);
+  EXPECT_GT(d2, d1);
+  EXPECT_NEAR((d2 - d1).value(), inv.drive_resistance().value(), 1e-12);
+}
+
+TEST(Cell, AreaFollowsTransistorComposition) {
+  const CellLibrary lib = make_default_library();
+  const Cell& inv = lib.cell(lib.cell_for(CellKind::kInv));
+  const Cell& nand2 = lib.cell(lib.cell_for(CellKind::kNand2));
+  const Cell& and2 = lib.cell(lib.cell_for(CellKind::kAnd2));
+  // INV = 2 devices, NAND2 = 4, AND2 = NAND2 + INV = 6.
+  EXPECT_DOUBLE_EQ(inv.active_area().value(),
+                   (cal::kUnitActiveArea * 2.0).value());
+  EXPECT_DOUBLE_EQ(nand2.active_area().value(),
+                   (cal::kUnitActiveArea * 4.0).value());
+  EXPECT_DOUBLE_EQ(and2.active_area().value(),
+                   (cal::kUnitActiveArea * 6.0).value());
+}
+
+TEST(CellLibrary, LookupByNameAndKind) {
+  const CellLibrary lib = make_default_library();
+  ASSERT_TRUE(lib.find("NAND2").has_value());
+  EXPECT_EQ(lib.cell(*lib.find("NAND2")).kind(), CellKind::kNand2);
+  EXPECT_FALSE(lib.find("NAND17").has_value());
+  for (CellKind kind :
+       {CellKind::kInv, CellKind::kBuf, CellKind::kNand4, CellKind::kMux2,
+        CellKind::kXor2, CellKind::kAoi21}) {
+    EXPECT_EQ(lib.cell(lib.cell_for(kind)).kind(), kind);
+  }
+}
+
+TEST(CellLibrary, FlipFlopModelsMatchPaper) {
+  const CellLibrary lib = make_default_library();
+  EXPECT_DOUBLE_EQ(lib.regular_ff().setup.value(), 40.0);
+  EXPECT_DOUBLE_EQ(lib.regular_ff().clk_to_q.value(), 69.0);
+  EXPECT_DOUBLE_EQ(lib.modified_ff().setup.value(), 38.0);
+  EXPECT_DOUBLE_EQ(lib.modified_ff().clk_to_q.value(), 76.0);
+}
+
+TEST(CellLibrary, DuplicateCellNameRejected) {
+  CellLibrary lib = make_default_library();
+  EXPECT_THROW(
+      lib.add_cell(Cell("INV", CellKind::kInv, 1,
+                        truth_table_for(CellKind::kInv, 1),
+                        cmos_gate_devices(1), Picoseconds(1), Kiloohms(1),
+                        Femtofarads(1), Picoseconds(1))),
+      Error);
+}
+
+TEST(Cell, InertialDelayPositiveForAllCells) {
+  const CellLibrary lib = make_default_library();
+  for (std::size_t i = 0; i < lib.size(); ++i) {
+    EXPECT_GT(lib.cell(CellId{i}).inertial_delay().value(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cwsp

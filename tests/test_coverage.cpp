@@ -1,0 +1,107 @@
+#include "cwsp/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+
+namespace cwsp::core {
+namespace {
+
+class CoverageTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+  Netlist netlist_ = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(q1)
+OUTPUT(y)
+t1 = NAND(a, q2)
+t2 = XOR(t1, b)
+t3 = OR(t2, c)
+d1 = NOT(t3)
+q1 = DFF(d1)
+q2 = DFF(t1)
+y  = AND(q1, q2)
+)",
+                                        lib_);
+  ProtectionParams params_ = ProtectionParams::q100();
+  Picoseconds period_{2000.0};
+};
+
+TEST_F(CoverageTest, FunctionalCampaignFullyProtected) {
+  CampaignOptions options;
+  options.runs = 60;
+  options.cycles_per_run = 12;
+  options.glitch_width = Picoseconds(400.0);
+  options.seed = 42;
+  const auto report =
+      run_functional_campaign(netlist_, params_, period_, options);
+  EXPECT_EQ(report.runs, 60u);
+  EXPECT_EQ(report.protected_failures, 0u);
+  EXPECT_DOUBLE_EQ(report.protected_coverage_pct(), 100.0);
+  // The harness has teeth: the unprotected design must fail for at least
+  // some of the same strikes.
+  EXPECT_GT(report.unprotected_failures, 0u);
+}
+
+TEST_F(CoverageTest, ScenarioSweepFullyProtected) {
+  CampaignOptions options;
+  options.runs = 25;
+  options.cycles_per_run = 10;
+  options.glitch_width = Picoseconds(400.0);
+  options.seed = 7;
+  const auto report = run_scenario_sweep(netlist_, params_, period_, options);
+  EXPECT_EQ(report.runs, 4u * 25u);
+  EXPECT_EQ(report.protected_failures, 0u);
+}
+
+TEST_F(CoverageTest, DetectionsAndBubblesAccounted) {
+  CampaignOptions options;
+  options.runs = 60;
+  options.glitch_width = Picoseconds(400.0);
+  options.seed = 3;
+  const auto report =
+      run_functional_campaign(netlist_, params_, period_, options);
+  // Some strikes land on capture edges → bubbles appear; every detection
+  // costs exactly one bubble.
+  EXPECT_GT(report.bubbles, 0u);
+  EXPECT_EQ(report.bubbles,
+            report.detected_errors + report.spurious_recomputes);
+}
+
+TEST_F(CoverageTest, OverwideGlitchesReduceCoverage) {
+  CampaignOptions options;
+  options.runs = 80;
+  options.glitch_width = Picoseconds(900.0);  // > δ: guarantee void
+  options.seed = 11;
+  const auto report =
+      run_functional_campaign(netlist_, params_, period_, options);
+  EXPECT_GT(report.protected_failures, 0u);
+  EXPECT_LT(report.protected_coverage_pct(), 100.0);
+}
+
+TEST_F(CoverageTest, AreaWeightedCampaignAlsoFullyProtected) {
+  CampaignOptions options;
+  options.runs = 40;
+  options.glitch_width = Picoseconds(400.0);
+  options.seed = 21;
+  options.area_weighted_sites = true;
+  const auto report =
+      run_functional_campaign(netlist_, params_, period_, options);
+  EXPECT_EQ(report.protected_failures, 0u);
+  EXPECT_GT(report.unprotected_failures, 0u);
+}
+
+TEST_F(CoverageTest, DeterministicForSeed) {
+  CampaignOptions options;
+  options.runs = 20;
+  options.seed = 5;
+  const auto a = run_functional_campaign(netlist_, params_, period_, options);
+  const auto b = run_functional_campaign(netlist_, params_, period_, options);
+  EXPECT_EQ(a.bubbles, b.bubbles);
+  EXPECT_EQ(a.unprotected_failures, b.unprotected_failures);
+}
+
+}  // namespace
+}  // namespace cwsp::core

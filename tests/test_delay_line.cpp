@@ -1,0 +1,63 @@
+#include "spice/delay_line.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cwsp::spice {
+namespace {
+
+TEST(DelayLine, DelayGrowsWithResistance) {
+  const double d_small = measure_delay_line(4, Kiloohms(1.0)).value();
+  const double d_large = measure_delay_line(4, Kiloohms(50.0)).value();
+  EXPECT_GT(d_large, d_small);
+  EXPECT_GT(d_small, 0.0);
+}
+
+TEST(DelayLine, DelayGrowsWithSegments) {
+  const double d4 = measure_delay_line(4, Kiloohms(20.0)).value();
+  const double d8 = measure_delay_line(8, Kiloohms(20.0)).value();
+  EXPECT_GT(d8, 1.7 * d4);
+  EXPECT_LT(d8, 2.3 * d4);
+}
+
+TEST(DelayLine, CalibratesFourSegmentsToDelta500) {
+  // Paper §4: 4 segments realise δ = 500 ps for Q = 100 fC.
+  const auto design = calibrate_delay_line(4, Picoseconds(500.0));
+  EXPECT_EQ(design.segments, 4);
+  EXPECT_NEAR(design.achieved.value(), 500.0, 10.0);
+  EXPECT_GT(design.r_poly.value(), 0.0);
+}
+
+TEST(DelayLine, EightSegmentsReachTheSameDelayWithLowerR) {
+  // More segments need less POLY2 resistance per stage for the same
+  // total delay (this is how the paper retunes between Q levels).
+  const auto four = calibrate_delay_line(4, Picoseconds(500.0));
+  const auto eight = calibrate_delay_line(8, Picoseconds(500.0));
+  EXPECT_LT(eight.r_poly.value(), four.r_poly.value());
+  EXPECT_NEAR(eight.achieved.value(), 500.0, 10.0);
+}
+
+TEST(DelayLine, ClkDelLineCalibrates) {
+  // CLK_DEL needs 2δ + D_CWSP + D_MUX + T_SETUP_EQ = 1259 ps with 8
+  // segments (paper: 8 segments for Q = 100 fC).
+  const auto design = calibrate_delay_line(8, Picoseconds(1259.0));
+  EXPECT_NEAR(design.achieved.value(), 1259.0, 20.0);
+}
+
+TEST(DelayLine, UnreachableTargetRejected) {
+  EXPECT_THROW((void)(calibrate_delay_line(1, Picoseconds(50000.0))), Error);
+}
+
+TEST(DelayLine, InvalidArgumentsRejected) {
+  Circuit c;
+  SpiceTech tech;
+  const int vdd = add_vdd(c, tech);
+  EXPECT_THROW(add_delay_line(c, "dl", c.node("a"), c.node("b"), vdd, 0,
+                              Kiloohms(10.0), tech),
+               Error);
+  EXPECT_THROW(add_delay_line(c, "dl", c.node("a"), c.node("b"), vdd, 4,
+                              Kiloohms(0.0), tech),
+               Error);
+}
+
+}  // namespace
+}  // namespace cwsp::spice

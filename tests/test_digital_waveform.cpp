@@ -1,0 +1,100 @@
+#include "sim/digital_waveform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cwsp::sim {
+namespace {
+
+TEST(DigitalWaveform, ConstantValue) {
+  const DigitalWaveform w(true);
+  EXPECT_TRUE(w.value_at(0.0));
+  EXPECT_TRUE(w.value_at(1000.0));
+  EXPECT_TRUE(w.final_value());
+  EXPECT_TRUE(w.is_constant());
+}
+
+TEST(DigitalWaveform, XorPulseInvertsWindow) {
+  DigitalWaveform w(false);
+  w.xor_pulse(100.0, 200.0);
+  EXPECT_FALSE(w.value_at(50.0));
+  EXPECT_TRUE(w.value_at(100.0));
+  EXPECT_TRUE(w.value_at(150.0));
+  EXPECT_FALSE(w.value_at(200.0));
+  EXPECT_FALSE(w.final_value());
+}
+
+TEST(DigitalWaveform, OverlappingPulsesCancel) {
+  DigitalWaveform w(false);
+  w.xor_pulse(100.0, 200.0);
+  w.xor_pulse(100.0, 200.0);  // identical pulse cancels
+  EXPECT_TRUE(w.is_constant());
+}
+
+TEST(DigitalWaveform, AdjacentPulsesMerge) {
+  DigitalWaveform w(false);
+  w.xor_pulse(100.0, 200.0);
+  w.xor_pulse(200.0, 300.0);  // toggles at 200 cancel
+  EXPECT_EQ(w.transitions().size(), 2u);
+  EXPECT_TRUE(w.value_at(150.0));
+  EXPECT_TRUE(w.value_at(250.0));
+  EXPECT_FALSE(w.value_at(350.0));
+}
+
+TEST(DigitalWaveform, ZeroWidthPulseIsNoop) {
+  DigitalWaveform w(true);
+  w.xor_pulse(50.0, 50.0);
+  EXPECT_TRUE(w.is_constant());
+}
+
+TEST(DigitalWaveform, InertialFilterKillsNarrowPulse) {
+  DigitalWaveform w(false);
+  w.xor_pulse(100.0, 108.0);  // 8 ps pulse
+  w.inertial_filter(10.0);
+  EXPECT_TRUE(w.is_constant());
+}
+
+TEST(DigitalWaveform, InertialFilterKeepsWidePulse) {
+  DigitalWaveform w(false);
+  w.xor_pulse(100.0, 150.0);
+  w.inertial_filter(10.0);
+  EXPECT_EQ(w.transitions().size(), 2u);
+}
+
+TEST(DigitalWaveform, InertialFilterCascades) {
+  // Two wide pulses separated by a narrow gap: the gap is filtered, the
+  // merged pulse survives.
+  DigitalWaveform w(false);
+  w.xor_pulse(100.0, 150.0);
+  w.xor_pulse(155.0, 210.0);  // 5 ps gap at level 0
+  w.inertial_filter(10.0);
+  EXPECT_EQ(w.transitions().size(), 2u);
+  EXPECT_TRUE(w.value_at(152.0));  // gap removed
+  EXPECT_FALSE(w.value_at(250.0));
+}
+
+TEST(DigitalWaveform, HasTransitionIn) {
+  DigitalWaveform w(false);
+  w.xor_pulse(100.0, 200.0);
+  EXPECT_TRUE(w.has_transition_in(90.0, 110.0));
+  EXPECT_TRUE(w.has_transition_in(200.0, 200.0));
+  EXPECT_FALSE(w.has_transition_in(110.0, 190.0));
+  EXPECT_FALSE(w.has_transition_in(210.0, 300.0));
+}
+
+TEST(DigitalWaveform, FinalValueWithOddToggles) {
+  DigitalWaveform w(false);
+  w.set_transitions({10.0, 20.0, 30.0});
+  EXPECT_TRUE(w.final_value());
+  EXPECT_FALSE(w.value_at(5.0));
+  EXPECT_TRUE(w.value_at(15.0));
+  EXPECT_FALSE(w.value_at(25.0));
+  EXPECT_TRUE(w.value_at(35.0));
+}
+
+TEST(DigitalWaveform, UnsortedTransitionsRejected) {
+  DigitalWaveform w(false);
+  EXPECT_THROW(w.set_transitions({20.0, 10.0}), Error);
+}
+
+}  // namespace
+}  // namespace cwsp::sim

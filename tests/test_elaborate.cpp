@@ -1,0 +1,98 @@
+#include "cwsp/elaborate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/logic_sim.hpp"
+
+namespace cwsp::core {
+namespace {
+
+class ElaborateTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+
+  /// Clocks the checker until EQGLBF is armed (high), with q == cw == 0.
+  static void arm(sim::LogicSim& sim, int num_ffs) {
+    std::vector<bool> inputs(static_cast<std::size_t>(2 * num_ffs), false);
+    for (int i = 0; i < 3; ++i) sim.step(inputs);
+    sim.set_inputs(inputs);
+    sim.evaluate();
+  }
+};
+
+TEST_F(ElaborateTest, StructuralCounts) {
+  const auto p = elaborate_protection(4, lib_);
+  EXPECT_EQ(p.xnor_count, 4u);
+  EXPECT_EQ(p.mux_count, 4u);
+  // 4 EQ FFs + 4 DFF2 + DFF1.
+  EXPECT_EQ(p.dff_count, 9u);
+  EXPECT_EQ(p.netlist.num_flip_flops(), 9u);
+  // PIs: q<i> + cw<i>; POs: cw_star<i> + eqglb + eqglbf.
+  EXPECT_EQ(p.netlist.primary_inputs().size(), 8u);
+  EXPECT_EQ(p.netlist.primary_outputs().size(), 6u);
+}
+
+TEST_F(ElaborateTest, MatchingInputsKeepEqglbHigh) {
+  const auto p = elaborate_protection(3, lib_);
+  sim::LogicSim sim(p.netlist);
+  arm(sim, 3);
+  EXPECT_TRUE(sim.value(*p.netlist.find_net("eqglb")));
+}
+
+TEST_F(ElaborateTest, MismatchPullsEqglbLow) {
+  const auto p = elaborate_protection(3, lib_);
+  sim::LogicSim sim(p.netlist);
+  arm(sim, 3);
+  // q1 = 1 while cw1 = 0: mismatch on FF 1.
+  std::vector<bool> inputs(6, false);
+  inputs[2] = true;  // q1 (inputs ordered q0, cw0, q1, cw1, q2, cw2)
+  sim.step(inputs);  // EQ FFs capture the mismatch
+  sim.set_inputs(inputs);
+  sim.evaluate();
+  EXPECT_FALSE(sim.value(*p.netlist.find_net("eqglb")));
+}
+
+TEST_F(ElaborateTest, EqglbfSuppressionForcesEqHigh) {
+  const auto p = elaborate_protection(2, lib_);
+  sim::LogicSim sim(p.netlist);
+  // Do NOT arm: EQGLBF starts low, so even a mismatch must be ignored.
+  std::vector<bool> inputs{true, false, false, false};  // q0 != cw0
+  sim.step(inputs);
+  sim.set_inputs(inputs);
+  sim.evaluate();
+  EXPECT_TRUE(sim.value(*p.netlist.find_net("eqglb")));
+}
+
+TEST_F(ElaborateTest, CwStarTracksCw) {
+  const auto p = elaborate_protection(2, lib_);
+  sim::LogicSim sim(p.netlist);
+  // cw0 = 1, cw1 = 0 (inputs: q0, cw0, q1, cw1).
+  sim.step({false, true, false, false});
+  sim.evaluate();
+  EXPECT_TRUE(sim.value(*p.netlist.find_net("cw_star0")));
+  EXPECT_FALSE(sim.value(*p.netlist.find_net("cw_star1")));
+}
+
+TEST_F(ElaborateTest, WideDesignsUseChunkedTree) {
+  const auto p = elaborate_protection(70, lib_);
+  EXPECT_EQ(p.tree.levels, 2);
+  EXPECT_EQ(p.tree.first_level_gates, 3);  // ceil(70/30)
+  p.netlist.validate();
+
+  // Semantics unchanged: a single mismatch among 70 pulls EQGLB low.
+  sim::LogicSim sim(p.netlist);
+  std::vector<bool> inputs(140, false);
+  for (int i = 0; i < 3; ++i) sim.step(inputs);
+  inputs[2 * 50] = true;  // q50 mismatch
+  sim.step(inputs);
+  sim.set_inputs(inputs);
+  sim.evaluate();
+  EXPECT_FALSE(sim.value(*p.netlist.find_net("eqglb")));
+}
+
+TEST_F(ElaborateTest, RejectsNonPositiveCount) {
+  EXPECT_THROW(elaborate_protection(0, lib_), Error);
+}
+
+}  // namespace
+}  // namespace cwsp::core

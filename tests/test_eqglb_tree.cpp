@@ -1,0 +1,52 @@
+#include "cwsp/eqglb_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cwsp::core {
+namespace {
+
+TEST(EqglbTree, SingleLevelUpTo35) {
+  for (int n : {1, 6, 30, 32, 35}) {
+    const auto t = build_eqglb_tree(n);
+    EXPECT_EQ(t.levels, 1) << n;
+    EXPECT_EQ(t.first_level_gates, 1) << n;
+    EXPECT_DOUBLE_EQ(t.extra_area.value(), 0.0) << n;
+    EXPECT_DOUBLE_EQ(t.delay.value(), cal::kDelayAnd1.value()) << n;
+  }
+}
+
+TEST(EqglbTree, MultilevelAbove35) {
+  const auto t36 = build_eqglb_tree(36);
+  EXPECT_EQ(t36.levels, 2);
+  EXPECT_EQ(t36.first_level_gates, 2);
+  EXPECT_GT(t36.delay.value(), cal::kDelayAnd1.value());
+}
+
+TEST(EqglbTree, ChunkCountsMatchPaperCircuits) {
+  // C7552: 108 FFs → 4 chunks; C5315: 123 FFs → 5 chunks.
+  EXPECT_EQ(build_eqglb_tree(108).first_level_gates, 4);
+  EXPECT_EQ(build_eqglb_tree(123).first_level_gates, 5);
+}
+
+TEST(EqglbTree, ExtraAreaMatchesTableResiduals) {
+  // Fitted from Tables 1/2: +0.0392 µm² at 108 FFs, +0.0490 at 123.
+  EXPECT_NEAR(build_eqglb_tree(108).extra_area.value(), 0.0392, 1e-4);
+  EXPECT_NEAR(build_eqglb_tree(123).extra_area.value(), 0.0490, 1e-4);
+}
+
+TEST(EqglbTree, ExtraAreaMonotone) {
+  double prev = -1.0;
+  for (int n = 1; n <= 300; n += 7) {
+    const double a = build_eqglb_tree(n).extra_area.value();
+    EXPECT_GE(a, prev);
+    prev = a;
+  }
+}
+
+TEST(EqglbTree, RejectsNonPositive) {
+  EXPECT_THROW((void)(build_eqglb_tree(0)), Error);
+  EXPECT_THROW((void)(build_eqglb_tree(-3)), Error);
+}
+
+}  // namespace
+}  // namespace cwsp::core

@@ -1,0 +1,118 @@
+#include "sim/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+#include "netlist/transform.hpp"
+#include "netlist_fuzz.hpp"
+
+namespace cwsp {
+namespace {
+
+class EquivalenceTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+};
+
+TEST_F(EquivalenceTest, DeMorganPairExhaustive) {
+  const auto a = parse_bench_string(R"(
+INPUT(x)
+INPUT(y)
+OUTPUT(o)
+o = NAND(x, y)
+)",
+                                    lib_);
+  const auto b = parse_bench_string(R"(
+INPUT(x)
+INPUT(y)
+OUTPUT(o)
+nx = NOT(x)
+ny = NOT(y)
+o  = OR(nx, ny)
+)",
+                                    lib_);
+  const auto r = check_equivalence(a, b);
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_TRUE(r.exhaustive);
+  EXPECT_EQ(r.vectors_checked, 4u);
+}
+
+TEST_F(EquivalenceTest, FindsCounterexample) {
+  const auto a = parse_bench_string(R"(
+INPUT(x)
+INPUT(y)
+OUTPUT(o)
+o = AND(x, y)
+)",
+                                    lib_);
+  const auto b = parse_bench_string(R"(
+INPUT(x)
+INPUT(y)
+OUTPUT(o)
+o = OR(x, y)
+)",
+                                    lib_);
+  const auto r = check_equivalence(a, b);
+  EXPECT_FALSE(r.equivalent);
+  ASSERT_TRUE(r.counterexample.has_value());
+  const auto& cex = *r.counterexample;
+  // AND and OR differ exactly where inputs differ.
+  EXPECT_NE(cex.inputs[0], cex.inputs[1]);
+  EXPECT_NE(cex.value_a, cex.value_b);
+}
+
+TEST_F(EquivalenceTest, SequentialStateMatchedByName) {
+  const auto a = parse_bench_string(R"(
+INPUT(en)
+OUTPUT(o)
+d = XOR(en, q)
+q = DFF(d)
+o = BUFF(q)
+)",
+                                    lib_);
+  // Same design with gates declared in a different order.
+  const auto b = parse_bench_string(R"(
+INPUT(en)
+OUTPUT(o)
+o = BUFF(q)
+q = DFF(d)
+d = XOR(en, q)
+)",
+                                    lib_);
+  const auto r = check_equivalence(a, b);
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_TRUE(r.exhaustive);
+  EXPECT_EQ(r.vectors_checked, 4u);  // 1 PI + 1 FF
+}
+
+TEST_F(EquivalenceTest, OptimizedNetlistsEquivalent) {
+  for (std::uint64_t seed : {41u, 42u, 43u, 44u}) {
+    const auto original = testing::make_random_netlist(lib_, seed);
+    const auto [optimized, stats] = optimize(original);
+    (void)stats;
+    EquivalenceOptions options;
+    options.random_vectors = 512;
+    options.seed = seed;
+    const auto r = check_equivalence(original, optimized, options);
+    EXPECT_TRUE(r.equivalent) << "seed " << seed;
+  }
+}
+
+TEST_F(EquivalenceTest, InterfaceMismatchRejected) {
+  const auto a = parse_bench_string("INPUT(x)\nOUTPUT(o)\no = NOT(x)\n",
+                                    lib_);
+  const auto b = parse_bench_string(
+      "INPUT(x)\nINPUT(y)\nOUTPUT(o)\no = AND(x, y)\n", lib_);
+  EXPECT_THROW(check_equivalence(a, b), Error);
+}
+
+TEST_F(EquivalenceTest, FfNameMismatchRejected) {
+  const auto a = parse_bench_string(
+      "INPUT(x)\nOUTPUT(qa)\nqa = DFF(x)\n", lib_);
+  const auto b = parse_bench_string(
+      "INPUT(x)\nOUTPUT(qb)\nqb = DFF(x)\n", lib_);
+  EXPECT_THROW(check_equivalence(a, b), Error);
+}
+
+}  // namespace
+}  // namespace cwsp

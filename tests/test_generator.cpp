@@ -1,0 +1,86 @@
+#include "bencharness/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sta/sta.hpp"
+
+namespace cwsp::bench {
+namespace {
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+};
+
+TEST_F(GeneratorTest, CalibratesSmallCircuit) {
+  const auto& spec = find_benchmark("alu2");
+  const auto g = generate_benchmark(spec, lib_);
+  EXPECT_NEAR(g.measured_dmax.value(), spec.dmax_ps, 8.0);
+  EXPECT_NEAR(g.measured_area.value(), spec.regular_area_um2, 0.05);
+  EXPECT_EQ(g.netlist.primary_inputs().size(),
+            static_cast<std::size_t>(spec.num_inputs));
+  EXPECT_EQ(g.netlist.primary_outputs().size(),
+            static_cast<std::size_t>(spec.num_outputs));
+}
+
+TEST_F(GeneratorTest, CalibratesFastCircuit) {
+  const auto& spec = find_benchmark("ex4p");  // smallest Dmax (630 ps)
+  const auto g = generate_benchmark(spec, lib_);
+  EXPECT_NEAR(g.measured_dmax.value(), spec.dmax_ps, 8.0);
+  EXPECT_NEAR(g.measured_area.value(), spec.regular_area_um2, 0.05);
+}
+
+TEST_F(GeneratorTest, CalibratesHighAreaLowOutputCircuit) {
+  // apex2: 400 µm² on only 3 outputs — stresses the filler bundles.
+  const auto& spec = find_benchmark("apex2");
+  const auto g = generate_benchmark(spec, lib_);
+  EXPECT_NEAR(g.measured_dmax.value(), spec.dmax_ps, 8.0);
+  EXPECT_NEAR(g.measured_area.value(), spec.regular_area_um2, 0.05);
+}
+
+TEST_F(GeneratorTest, CalibratesManyOutputCircuit) {
+  // C5315: 123 outputs with modest area — stresses tap/tail sharing.
+  const auto& spec = find_benchmark("C5315");
+  const auto g = generate_benchmark(spec, lib_);
+  EXPECT_NEAR(g.measured_dmax.value(), spec.dmax_ps, 8.0);
+  EXPECT_NEAR(g.measured_area.value(), spec.regular_area_um2, 0.05);
+}
+
+TEST_F(GeneratorTest, PathsReasonablyBalanced) {
+  const auto g = generate_benchmark(find_benchmark("alu2"), lib_);
+  // Synthetic circuits should be roughly balanced; the tables additionally
+  // apply the paper's Dmin = 0.8·Dmax assumption.
+  EXPECT_GT(g.measured_dmin.value(), 0.5 * g.measured_dmax.value());
+  EXPECT_LE(g.measured_dmin.value(), g.measured_dmax.value());
+}
+
+TEST_F(GeneratorTest, DeterministicForSeed) {
+  const auto& spec = find_benchmark("C880");
+  const auto a = generate_benchmark(spec, lib_);
+  const auto b = generate_benchmark(spec, lib_);
+  EXPECT_EQ(a.netlist.num_gates(), b.netlist.num_gates());
+  EXPECT_DOUBLE_EQ(a.measured_dmax.value(), b.measured_dmax.value());
+  EXPECT_DOUBLE_EQ(a.measured_area.value(), b.measured_area.value());
+}
+
+TEST_F(GeneratorTest, ValidNetlistProduced) {
+  const auto g = generate_benchmark(find_benchmark("C432"), lib_);
+  EXPECT_NO_THROW(g.netlist.validate());
+  EXPECT_GT(g.netlist.num_gates(), 100u);
+}
+
+TEST_F(GeneratorTest, CloneWithOutputFfs) {
+  const auto g = generate_benchmark(find_benchmark("alu2"), lib_);
+  const auto seq = clone_with_output_flip_flops(g.netlist);
+  EXPECT_EQ(seq.num_flip_flops(), g.netlist.primary_outputs().size());
+  EXPECT_EQ(seq.num_gates(), g.netlist.num_gates());
+  EXPECT_EQ(seq.primary_outputs().size(), g.netlist.primary_outputs().size());
+  // Combinational timing unchanged up to FF boundary.
+  const auto sta_comb = run_sta(g.netlist);
+  const auto sta_seq = run_sta(seq);
+  // The FF D pin adds ~7 ps of load delay on the final stage.
+  EXPECT_NEAR(sta_seq.dmax.value(), sta_comb.dmax.value(), 12.0);
+}
+
+}  // namespace
+}  // namespace cwsp::bench

@@ -1,0 +1,60 @@
+#include "set/glitch_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cwsp::set {
+namespace {
+
+using namespace cwsp::literals;
+
+class GlitchModelTest : public ::testing::Test {
+ protected:
+  GlitchModel model_;
+};
+
+TEST_F(GlitchModelTest, PaperCalibrationPoints) {
+  EXPECT_NEAR(model_.glitch_width(100.0_fC).value(), 500.0, 25.0);
+  EXPECT_NEAR(model_.glitch_width(150.0_fC).value(), 600.0, 30.0);
+}
+
+TEST_F(GlitchModelTest, ZeroChargeZeroWidth) {
+  EXPECT_DOUBLE_EQ(model_.glitch_width(Femtocoulombs(0.0)).value(), 0.0);
+}
+
+TEST_F(GlitchModelTest, WidthMonotoneInCharge) {
+  double prev = -1.0;
+  for (double q = 20.0; q <= 200.0; q += 20.0) {
+    const double w = model_.glitch_width(Femtocoulombs(q)).value();
+    EXPECT_GE(w, prev - 1e-9) << "Q=" << q;
+    prev = w;
+  }
+}
+
+TEST_F(GlitchModelTest, InterpolationBetweenGridPoints) {
+  // Width at 105 fC must lie between widths at 100 and 110 fC.
+  const double w100 = model_.glitch_width(100.0_fC).value();
+  const double w105 = model_.glitch_width(105.0_fC).value();
+  const double w110 = model_.glitch_width(110.0_fC).value();
+  EXPECT_GE(w105, w100 - 1e-9);
+  EXPECT_LE(w105, w110 + 1e-9);
+}
+
+TEST_F(GlitchModelTest, InverseRoundTrips) {
+  const auto q = model_.charge_for_width(500.0_ps);
+  EXPECT_NEAR(model_.glitch_width(q).value(), 500.0, 5.0);
+  // And the inverse of the paper's calibration is near 100 fC.
+  EXPECT_NEAR(q.value(), 100.0, 15.0);
+}
+
+TEST_F(GlitchModelTest, CriticalChargePositive) {
+  const auto qc = model_.critical_charge();
+  EXPECT_GT(qc.value(), 1.0);
+  EXPECT_LT(qc.value(), 100.0);
+}
+
+TEST_F(GlitchModelTest, WidthBeyondRangeRejected) {
+  EXPECT_THROW((void)(model_.charge_for_width(Picoseconds(5000.0))), Error);
+}
+
+}  // namespace
+}  // namespace cwsp::set

@@ -1,0 +1,105 @@
+#include "cwsp/harden.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+
+namespace cwsp::core {
+namespace {
+
+class HardenTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+
+  Netlist sequential_ = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(q1)
+OUTPUT(q2)
+t1 = NAND(a, b)
+t2 = XOR(t1, a)
+q1 = DFF(t1)
+q2 = DFF(t2)
+)",
+                                           lib_);
+
+  Netlist combinational_ = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y1)
+OUTPUT(y2)
+OUTPUT(y3)
+y1 = NAND(a, b)
+y2 = NOR(a, b)
+y3 = XOR(a, b)
+)",
+                                              lib_);
+};
+
+TEST_F(HardenTest, ProtectedFfCountSequential) {
+  EXPECT_EQ(protected_ff_count(sequential_), 2);
+}
+
+TEST_F(HardenTest, ProtectedFfCountCombinationalUsesOutputs) {
+  // Combinational benchmarks: each PO feeds a protected system FF.
+  EXPECT_EQ(protected_ff_count(combinational_), 3);
+}
+
+TEST_F(HardenTest, ProtectionAreaMatchesCalibration) {
+  const auto p100 = ProtectionParams::q100();
+  // apex2 has 3 FFs: overhead = 3·1.3272 + 0.1666 = 4.1482 µm² (Table 2).
+  EXPECT_NEAR(protection_area_for(3, p100).value(), 4.1482, 1e-9);
+  const auto p150 = ProtectionParams::q150();
+  // alu2, 6 FFs, Q=150: 6·1.4791 + 0.1666 = 9.0412 µm² (Table 1).
+  EXPECT_NEAR(protection_area_for(6, p150).value(), 9.0412, 1e-9);
+}
+
+TEST_F(HardenTest, HardenedAreaIsRegularPlusProtection) {
+  const auto design = harden(sequential_, ProtectionParams::q100());
+  EXPECT_NEAR(design.hardened_area.value(),
+              design.regular_area.value() + design.protection_area.value(),
+              1e-12);
+  EXPECT_GT(design.area_overhead_pct(), 0.0);
+}
+
+TEST_F(HardenTest, DelayPenaltyIs11p5ps) {
+  const auto design = harden(sequential_, ProtectionParams::q100());
+  EXPECT_NEAR(design.hardened_period.value() - design.regular_period.value(),
+              11.5, 1e-9);
+}
+
+TEST_F(HardenTest, SmallCircuitHasPartialProtection) {
+  // A tiny design has Dmax ≪ 1415 ps: glitch protection below designed δ.
+  const auto design = harden(sequential_, ProtectionParams::q100());
+  EXPECT_FALSE(design.full_designed_protection);
+  EXPECT_LT(design.max_glitch.value(), 500.0);
+}
+
+TEST_F(HardenTest, BalancedPathAssumptionRaisesDmin) {
+  const auto exact = harden(sequential_, ProtectionParams::q100());
+  const auto balanced =
+      harden_assuming_balanced_paths(sequential_, ProtectionParams::q100());
+  EXPECT_DOUBLE_EQ(balanced.timing.dmin.value(),
+                   0.8 * balanced.timing.dmax.value());
+  EXPECT_DOUBLE_EQ(balanced.timing.dmax.value(), exact.timing.dmax.value());
+}
+
+TEST_F(HardenTest, Q150CostsMoreAreaThanQ100) {
+  const auto d100 = harden(sequential_, ProtectionParams::q100());
+  const auto d150 = harden(sequential_, ProtectionParams::q150());
+  EXPECT_GT(d150.protection_area.value(), d100.protection_area.value());
+  // Delay penalty identical (paper §4: "the delay penalty in both the
+  // cases is same").
+  EXPECT_DOUBLE_EQ(d150.hardened_period.value(), d100.hardened_period.value());
+}
+
+TEST_F(HardenTest, DescribeMentionsKeyFigures) {
+  const auto design = harden(sequential_, ProtectionParams::q100());
+  const auto text = describe(design);
+  EXPECT_NE(text.find("protected flip-flops : 2"), std::string::npos);
+  EXPECT_NE(text.find("CWSP(30/12)"), std::string::npos);
+  EXPECT_NE(text.find("Delta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cwsp::core

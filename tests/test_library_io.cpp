@@ -1,0 +1,113 @@
+#include "cell/library_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cwsp {
+namespace {
+
+constexpr const char* kMiniLib = R"(
+# two-cell technology for testing
+library testtech {
+  wire_cap_per_fanout 0.5
+  ff regular  { setup 50 clkq 80 hold 6 area_units 24 dcap 1.5 rdrive 5.0 }
+  ff modified { setup 45 clkq 90 hold 6 area_units 24 dcap 1.5 rdrive 5.0 }
+  cell INV   { kind INV   intrinsic 10 rdrive 5.0 cin 1.0 inertial 12 }
+  cell NAND2 { kind NAND2 intrinsic 15 rdrive 6.0 cin 1.2 inertial 16 }
+}
+)";
+
+TEST(LibraryIo, ParsesMiniLibrary) {
+  const auto lib = parse_library_string(kMiniLib);
+  EXPECT_EQ(lib.size(), 2u);
+  EXPECT_DOUBLE_EQ(lib.wire_capacitance_per_fanout().value(), 0.5);
+  EXPECT_DOUBLE_EQ(lib.regular_ff().setup.value(), 50.0);
+  EXPECT_DOUBLE_EQ(lib.modified_ff().clk_to_q.value(), 90.0);
+
+  const Cell& inv = lib.cell(*lib.find("INV"));
+  EXPECT_EQ(inv.kind(), CellKind::kInv);
+  EXPECT_DOUBLE_EQ(inv.intrinsic_delay().value(), 10.0);
+  EXPECT_TRUE(inv.evaluate(0));
+  EXPECT_FALSE(inv.evaluate(1));
+  // Transistor composition inferred from the kind.
+  EXPECT_EQ(inv.devices().size(), 2u);
+  EXPECT_EQ(lib.cell(*lib.find("NAND2")).devices().size(), 4u);
+}
+
+TEST(LibraryIo, DefaultLibraryRoundTrips) {
+  const auto original = make_default_library();
+  std::ostringstream os;
+  write_library(original, "default65", os);
+  const auto reparsed = parse_library_string(os.str());
+
+  ASSERT_EQ(reparsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const Cell& a = original.cell(CellId{i});
+    const auto id = reparsed.find(a.name());
+    ASSERT_TRUE(id.has_value()) << a.name();
+    const Cell& b = reparsed.cell(*id);
+    EXPECT_EQ(b.kind(), a.kind());
+    EXPECT_DOUBLE_EQ(b.intrinsic_delay().value(), a.intrinsic_delay().value());
+    EXPECT_DOUBLE_EQ(b.drive_resistance().value(),
+                     a.drive_resistance().value());
+    EXPECT_DOUBLE_EQ(b.input_capacitance().value(),
+                     a.input_capacitance().value());
+    EXPECT_DOUBLE_EQ(b.inertial_delay().value(), a.inertial_delay().value());
+    EXPECT_DOUBLE_EQ(b.active_area().value(), a.active_area().value());
+    EXPECT_EQ(b.truth_table(), a.truth_table());
+  }
+  EXPECT_NEAR(reparsed.regular_ff().area.value(),
+              original.regular_ff().area.value(), 1e-12);
+}
+
+TEST(LibraryIo, MissingFfRejected) {
+  EXPECT_THROW(parse_library_string(R"(
+library broken {
+  cell INV { kind INV intrinsic 10 rdrive 5.0 cin 1.0 inertial 12 }
+}
+)"),
+               Error);
+}
+
+TEST(LibraryIo, UnknownKindRejected) {
+  EXPECT_THROW(parse_library_string(R"(
+library broken {
+  ff regular  { setup 50 clkq 80 hold 6 area_units 24 dcap 1.5 rdrive 5.0 }
+  ff modified { setup 45 clkq 90 hold 6 area_units 24 dcap 1.5 rdrive 5.0 }
+  cell FROB { kind FROB17 intrinsic 10 rdrive 5.0 cin 1.0 inertial 12 }
+}
+)"),
+               Error);
+}
+
+TEST(LibraryIo, MissingCellFieldRejected) {
+  EXPECT_THROW(parse_library_string(R"(
+library broken {
+  ff regular  { setup 50 clkq 80 hold 6 area_units 24 dcap 1.5 rdrive 5.0 }
+  ff modified { setup 45 clkq 90 hold 6 area_units 24 dcap 1.5 rdrive 5.0 }
+  cell INV { kind INV rdrive 5.0 cin 1.0 inertial 12 }
+}
+)"),
+               Error);
+}
+
+TEST(LibraryIo, MalformedNumberRejected) {
+  EXPECT_THROW(parse_library_string(R"(
+library broken {
+  wire_cap_per_fanout lots
+  ff regular  { setup 50 clkq 80 hold 6 area_units 24 dcap 1.5 rdrive 5.0 }
+  ff modified { setup 45 clkq 90 hold 6 area_units 24 dcap 1.5 rdrive 5.0 }
+}
+)"),
+               Error);
+}
+
+TEST(LibraryIo, KindNameRoundTrip) {
+  EXPECT_EQ(cell_kind_from_string("NAND3"), CellKind::kNand3);
+  EXPECT_EQ(cell_kind_from_string("MUX2"), CellKind::kMux2);
+  EXPECT_THROW((void)(cell_kind_from_string("NAND17")), Error);
+}
+
+}  // namespace
+}  // namespace cwsp

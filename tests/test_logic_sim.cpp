@@ -1,0 +1,130 @@
+#include "sim/logic_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+
+namespace cwsp::sim {
+namespace {
+
+class LogicSimTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+};
+
+TEST_F(LogicSimTest, CombinationalTruth) {
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(s)
+OUTPUT(c)
+s = XOR(a, b)
+c = AND(a, b)
+)",
+                                    lib_);
+  LogicSim sim(n);
+  const bool cases[4][4] = {
+      // a, b, s, c
+      {false, false, false, false},
+      {true, false, true, false},
+      {false, true, true, false},
+      {true, true, false, true},
+  };
+  for (const auto& tc : cases) {
+    sim.set_inputs({tc[0], tc[1]});
+    sim.evaluate();
+    const auto out = sim.output_values();
+    EXPECT_EQ(out[0], tc[2]);
+    EXPECT_EQ(out[1], tc[3]);
+  }
+}
+
+TEST_F(LogicSimTest, ToggleFlipFlop) {
+  const auto n = parse_bench_string(R"(
+INPUT(en)
+OUTPUT(q)
+d = XOR(en, q)
+q = DFF(d)
+)",
+                                    lib_);
+  LogicSim sim(n);
+  bool expected = false;
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    sim.step({true});
+    expected = !expected;
+    EXPECT_EQ(sim.ff_state()[0], expected) << "cycle " << cycle;
+  }
+  // With enable low the state holds.
+  const bool held = sim.ff_state()[0];
+  sim.step({false});
+  EXPECT_EQ(sim.ff_state()[0], held);
+}
+
+TEST_F(LogicSimTest, ShiftRegister) {
+  const auto n = parse_bench_string(R"(
+INPUT(d_in)
+OUTPUT(q2)
+q0 = DFF(d_in)
+q1 = DFF(q0)
+q2 = DFF(q1)
+)",
+                                    lib_);
+  LogicSim sim(n);
+  const std::vector<bool> pattern{true, false, true, true, false};
+  std::vector<bool> seen;
+  for (bool bit : pattern) {
+    sim.set_inputs({bit});
+    sim.evaluate();
+    seen.push_back(sim.output_values()[0]);
+    sim.clock();
+  }
+  // q2 lags d_in by 3 cycles (output observed before clocking).
+  EXPECT_EQ(seen[3], pattern[0]);
+  EXPECT_EQ(seen[4], pattern[1]);
+}
+
+TEST_F(LogicSimTest, ConstantsPropagate) {
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+one = VDD
+y = AND(a, one)
+)",
+                                    lib_);
+  LogicSim sim(n);
+  sim.set_inputs({true});
+  sim.evaluate();
+  EXPECT_TRUE(sim.output_values()[0]);
+  sim.set_inputs({false});
+  sim.evaluate();
+  EXPECT_FALSE(sim.output_values()[0]);
+}
+
+TEST_F(LogicSimTest, SetFfStateOverrides) {
+  const auto n = parse_bench_string(R"(
+INPUT(x)
+OUTPUT(y)
+y = AND(x, q)
+q = DFF(x)
+)",
+                                    lib_);
+  LogicSim sim(n);
+  sim.set_ff_state({true});
+  sim.set_inputs({true});
+  sim.evaluate();
+  EXPECT_TRUE(sim.output_values()[0]);
+}
+
+TEST_F(LogicSimTest, WrongInputCountRejected) {
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+y = NOT(a)
+)",
+                                    lib_);
+  LogicSim sim(n);
+  EXPECT_THROW(sim.set_inputs({true, false}), Error);
+}
+
+}  // namespace
+}  // namespace cwsp::sim

@@ -1,0 +1,175 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cwsp {
+namespace {
+
+class NetlistTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+};
+
+TEST_F(NetlistTest, BuildSmallCombinationalBlock) {
+  Netlist n(lib_, "half_adder");
+  const NetId a = n.add_primary_input("a");
+  const NetId b = n.add_primary_input("b");
+  n.add_gate(lib_.cell_for(CellKind::kXor2), {a, b}, "sum");
+  n.add_gate(lib_.cell_for(CellKind::kAnd2), {a, b}, "carry");
+  n.mark_primary_output(*n.find_net("sum"));
+  n.mark_primary_output(*n.find_net("carry"));
+  n.validate();
+
+  EXPECT_EQ(n.num_gates(), 2u);
+  EXPECT_EQ(n.primary_inputs().size(), 2u);
+  EXPECT_EQ(n.primary_outputs().size(), 2u);
+  EXPECT_EQ(n.stats().num_nets, 4u);
+}
+
+TEST_F(NetlistTest, SequentialLoopIsLegal) {
+  // A 1-bit toggle: q -> INV -> d -> DFF -> q. Legal because the FF breaks
+  // the cycle.
+  Netlist n(lib_, "toggle");
+  const NetId d = n.add_net("d");
+  const FlipFlopId ff = n.add_flip_flop_onto(d, n.add_net("q"));
+  n.add_gate_onto(lib_.cell_for(CellKind::kInv), {n.flip_flop(ff).q}, d);
+  n.mark_primary_output(n.flip_flop(ff).q);
+  EXPECT_NO_THROW(n.validate());
+}
+
+TEST_F(NetlistTest, CombinationalCycleRejected) {
+  Netlist n(lib_, "cyclic");
+  const NetId x = n.add_net("x");
+  const NetId y = n.add_net("y");
+  n.add_gate_onto(lib_.cell_for(CellKind::kInv), {x}, y);
+  n.add_gate_onto(lib_.cell_for(CellKind::kInv), {y}, x);
+  n.mark_primary_output(x);
+  EXPECT_THROW(n.validate(), Error);
+}
+
+TEST_F(NetlistTest, UndrivenNetRejected) {
+  Netlist n(lib_, "undriven");
+  const NetId a = n.add_primary_input("a");
+  const NetId ghost = n.add_net("ghost");
+  n.add_gate(lib_.cell_for(CellKind::kAnd2), {a, ghost}, "y");
+  n.mark_primary_output(*n.find_net("y"));
+  EXPECT_THROW(n.validate(), Error);
+}
+
+TEST_F(NetlistTest, DanglingGateOutputRejected) {
+  Netlist n(lib_, "dangling");
+  const NetId a = n.add_primary_input("a");
+  n.add_gate(lib_.cell_for(CellKind::kInv), {a}, "unused");
+  EXPECT_THROW(n.validate(), Error);
+}
+
+TEST_F(NetlistTest, UnusedPrimaryInputAllowed) {
+  // Optimisation passes can strand inputs; the interface is preserved.
+  Netlist n(lib_, "unused_pi");
+  n.add_primary_input("spare");
+  const NetId a = n.add_primary_input("a");
+  const GateId g = n.add_gate(lib_.cell_for(CellKind::kInv), {a}, "y");
+  n.mark_primary_output(n.gate(g).output);
+  EXPECT_NO_THROW(n.validate());
+}
+
+TEST_F(NetlistTest, DoubleDriverRejected) {
+  Netlist n(lib_, "contention");
+  const NetId a = n.add_primary_input("a");
+  const NetId y = n.add_net("y");
+  n.add_gate_onto(lib_.cell_for(CellKind::kInv), {a}, y);
+  EXPECT_THROW(n.add_gate_onto(lib_.cell_for(CellKind::kBuf), {a}, y), Error);
+}
+
+TEST_F(NetlistTest, ArityMismatchRejected) {
+  Netlist n(lib_, "arity");
+  const NetId a = n.add_primary_input("a");
+  EXPECT_THROW(n.add_gate(lib_.cell_for(CellKind::kNand2), {a}, "y"), Error);
+}
+
+TEST_F(NetlistTest, DuplicateNetNameRejected) {
+  Netlist n(lib_, "dup");
+  n.add_primary_input("a");
+  EXPECT_THROW(n.add_primary_input("a"), Error);
+  EXPECT_THROW(n.add_net("a"), Error);
+}
+
+TEST_F(NetlistTest, TopologicalOrderRespectsDependencies) {
+  Netlist n(lib_, "chain");
+  NetId prev = n.add_primary_input("in");
+  for (int i = 0; i < 10; ++i) {
+    const GateId g = n.add_gate(lib_.cell_for(CellKind::kInv), {prev},
+                                "n" + std::to_string(i));
+    prev = n.gate(g).output;
+  }
+  n.mark_primary_output(prev);
+  const auto order = n.topological_order();
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    EXPECT_LT(order[i].value(), order[i + 1].value());
+  }
+}
+
+TEST_F(NetlistTest, LoadAccountsPinsAndWire) {
+  Netlist n(lib_, "load");
+  const NetId a = n.add_primary_input("a");
+  n.add_gate(lib_.cell_for(CellKind::kInv), {a}, "y1");
+  n.add_gate(lib_.cell_for(CellKind::kInv), {a}, "y2");
+  n.mark_primary_output(*n.find_net("y1"));
+  n.mark_primary_output(*n.find_net("y2"));
+  const Cell& inv = lib_.cell(lib_.cell_for(CellKind::kInv));
+  const double expected = 2.0 * inv.input_capacitance().value() +
+                          2.0 * lib_.wire_capacitance_per_fanout().value();
+  EXPECT_DOUBLE_EQ(n.load_of(a).value(), expected);
+}
+
+TEST_F(NetlistTest, SameNetOnTwoPinsCountsTwice) {
+  Netlist n(lib_, "two_pins");
+  const NetId a = n.add_primary_input("a");
+  n.add_gate(lib_.cell_for(CellKind::kAnd2), {a, a}, "y");
+  n.mark_primary_output(*n.find_net("y"));
+  const Cell& and2 = lib_.cell(lib_.cell_for(CellKind::kAnd2));
+  // The gate appears once per connected pin in the fanout list, so the net
+  // sees two pin caps and two wire segments.
+  const double expected = 2.0 * and2.input_capacitance().value() +
+                          2.0 * lib_.wire_capacitance_per_fanout().value();
+  EXPECT_DOUBLE_EQ(n.load_of(a).value(), expected);
+}
+
+TEST_F(NetlistTest, ConstantNets) {
+  Netlist n(lib_, "consts");
+  const NetId one = n.add_constant(true, "vdd");
+  const NetId a = n.add_primary_input("a");
+  n.add_gate(lib_.cell_for(CellKind::kAnd2), {a, one}, "y");
+  n.mark_primary_output(*n.find_net("y"));
+  n.validate();
+  EXPECT_EQ(n.net(one).driver_kind, DriverKind::kConstant);
+  EXPECT_TRUE(n.net(one).constant_value);
+}
+
+TEST_F(NetlistTest, StatsAndArea) {
+  Netlist n(lib_, "stats");
+  const NetId a = n.add_primary_input("a");
+  const GateId g = n.add_gate(lib_.cell_for(CellKind::kInv), {a}, "y");
+  const FlipFlopId ff = n.add_flip_flop(n.gate(g).output, "q");
+  n.mark_primary_output(n.flip_flop(ff).q);
+  n.validate();
+  const auto s = n.stats();
+  EXPECT_EQ(s.num_gates, 1u);
+  EXPECT_EQ(s.num_flip_flops, 1u);
+  EXPECT_GT(s.sequential_area.value(), 0.0);
+  EXPECT_DOUBLE_EQ(s.total_area.value(),
+                   s.combinational_area.value() + s.sequential_area.value());
+  EXPECT_DOUBLE_EQ(n.total_area().value(), s.total_area.value());
+}
+
+TEST_F(NetlistTest, MarkPrimaryOutputIsIdempotent) {
+  Netlist n(lib_, "po");
+  const NetId a = n.add_primary_input("a");
+  n.mark_primary_output(a);
+  n.mark_primary_output(a);
+  EXPECT_EQ(n.primary_outputs().size(), 1u);
+}
+
+}  // namespace
+}  // namespace cwsp

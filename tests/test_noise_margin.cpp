@@ -1,0 +1,50 @@
+// §3.3 remark reproduction: the protection logic's equal P/N width sizing
+// ("PMOS gate widths are made the same as NMOS gate widths") shifts the
+// inverter threshold and costs noise margin — the paper measured a 66 mV
+// reduction and argues it is harmless because the skewed sizing is only
+// used on the (SET-immune) secondary path.
+
+#include <gtest/gtest.h>
+
+#include "spice/subckt.hpp"
+
+namespace cwsp::spice {
+namespace {
+
+TEST(NoiseMargin, BalancedInverterIsNearSymmetric) {
+  // Wp = 2·Wn compensates the mobility ratio → threshold near VDD/2.
+  const auto nm = measure_noise_margins(2.0, 1.0);
+  EXPECT_NEAR(nm.switch_point.value(), 0.5, 0.05);
+  EXPECT_GT(nm.nm_low.value(), 0.2);
+  EXPECT_GT(nm.nm_high.value(), 0.2);
+  EXPECT_NEAR(nm.nm_low.value(), nm.nm_high.value(), 0.1);
+}
+
+TEST(NoiseMargin, EqualWidthSizingShiftsThresholdDown) {
+  const auto balanced = measure_noise_margins(2.0, 1.0);
+  const auto equal = measure_noise_margins(1.0, 1.0);
+  // Weaker pull-up → lower switching threshold.
+  EXPECT_LT(equal.switch_point.value(), balanced.switch_point.value());
+}
+
+TEST(NoiseMargin, EqualWidthSizingCostsTensOfMillivolts) {
+  // The paper reports a 66 mV reduction; our first-order devices land in
+  // the same few-tens-of-mV regime on the degraded side.
+  const auto balanced = measure_noise_margins(2.0, 1.0);
+  const auto equal = measure_noise_margins(1.0, 1.0);
+  const double loss = balanced.nm_low.value() - equal.nm_low.value();
+  EXPECT_GT(loss, 0.02);
+  EXPECT_LT(loss, 0.15);
+}
+
+TEST(NoiseMargin, MarginsWithinSupply) {
+  for (double wp : {1.0, 2.0, 4.0}) {
+    const auto nm = measure_noise_margins(wp, 1.0);
+    EXPECT_GE(nm.nm_low.value(), 0.0);
+    EXPECT_GE(nm.nm_high.value(), 0.0);
+    EXPECT_LT(nm.nm_low.value() + nm.nm_high.value(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace cwsp::spice

@@ -1,0 +1,91 @@
+// Table-driven robustness sweep: every malformed input must produce a
+// cwsp::Error (never a crash, hang or silently wrong netlist).
+
+#include <gtest/gtest.h>
+
+#include "cell/library_io.hpp"
+#include "netlist/bench_parser.hpp"
+#include "netlist/blif_parser.hpp"
+
+namespace cwsp {
+namespace {
+
+class BenchRejects : public ::testing::TestWithParam<const char*> {
+ protected:
+  CellLibrary lib_ = make_default_library();
+};
+
+TEST_P(BenchRejects, ThrowsError) {
+  EXPECT_THROW(parse_bench_string(GetParam(), lib_), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, BenchRejects,
+    ::testing::Values(
+        // Unclosed INPUT declaration.
+        "INPUT(a\nOUTPUT(y)\ny = NOT(a)\n",
+        // Assignment without '='.
+        "INPUT(a)\nOUTPUT(y)\ny NOT(a)\n",
+        // Missing closing paren on the RHS.
+        "INPUT(a)\nOUTPUT(y)\ny = NOT(a\n",
+        // Zero-argument gate.
+        "INPUT(a)\nOUTPUT(y)\ny = AND()\n",
+        // DFF with two inputs.
+        "INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = DFF(a, b)\n",
+        // MUX with wrong arity.
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = MUX(a, b)\n",
+        // Output never defined.
+        "INPUT(a)\nOUTPUT(ghost)\nx = NOT(a)\n",
+        // Self-referential combinational definition.
+        "INPUT(a)\nOUTPUT(y)\ny = AND(a, y)\n",
+        // Combinational loop through two gates.
+        "INPUT(a)\nOUTPUT(y)\nx = NOT(y)\ny = NOT(x)\n",
+        // Redefinition of a primary input.
+        "INPUT(a)\nOUTPUT(y)\na = NOT(a)\ny = BUFF(a)\n",
+        // Unknown constant alias.
+        "INPUT(a)\nOUTPUT(y)\nz = VCC\ny = OR(a, z)\n"));
+
+class BlifRejects : public ::testing::TestWithParam<const char*> {
+ protected:
+  CellLibrary lib_ = make_default_library();
+};
+
+TEST_P(BlifRejects, ThrowsError) {
+  EXPECT_THROW(parse_blif_string(GetParam(), lib_), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, BlifRejects,
+    ::testing::Values(
+        // .gate without pin assignments.
+        ".model m\n.inputs a\n.outputs y\n.gate INV a y\n.end\n",
+        // .latch with one operand.
+        ".model m\n.inputs a\n.outputs q\n.latch a\n.end\n",
+        // Undefined net in output list.
+        ".model m\n.inputs a\n.outputs ghost\n.gate INV a=a O=y\n.end\n",
+        // Unsupported directive.
+        ".model m\n.subckt adder a=a\n.end\n",
+        // Pin/arity mismatch.
+        ".model m\n.inputs a\n.outputs y\n.gate NAND2 a=a O=y\n.end\n"));
+
+class LibraryRejects : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LibraryRejects, ThrowsError) {
+  EXPECT_THROW(parse_library_string(GetParam()), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, LibraryRejects,
+    ::testing::Values(
+        // Not a library at all.
+        "circuit foo { }",
+        // Unbalanced braces.
+        "library l { ff regular { setup 1 clkq 1 hold 1 area_units 1 "
+        "dcap 1 rdrive 1 }",
+        // Unknown top-level entry.
+        "library l { frobnicate 3 }",
+        // Empty input.
+        ""));
+
+}  // namespace
+}  // namespace cwsp

@@ -1,0 +1,92 @@
+// Property sweep over every cell kind in the default library.
+
+#include <gtest/gtest.h>
+
+#include "cell/library.hpp"
+
+namespace cwsp {
+namespace {
+
+class CellProperties : public ::testing::TestWithParam<CellKind> {
+ protected:
+  CellLibrary lib_ = make_default_library();
+};
+
+TEST_P(CellProperties, EvaluateMatchesTruthTable) {
+  const Cell& cell = lib_.cell(lib_.cell_for(GetParam()));
+  const auto table = truth_table_for(GetParam(), cell.num_inputs());
+  EXPECT_EQ(cell.truth_table(), table);
+  for (unsigned bits = 0; bits < (1u << cell.num_inputs()); ++bits) {
+    EXPECT_EQ(cell.evaluate(bits), ((table >> bits) & 1u) != 0) << bits;
+  }
+}
+
+TEST_P(CellProperties, FunctionDependsOnEveryInput) {
+  // No cell in the library has a redundant pin.
+  const Cell& cell = lib_.cell(lib_.cell_for(GetParam()));
+  for (int pin = 0; pin < cell.num_inputs(); ++pin) {
+    bool sensitive = false;
+    for (unsigned bits = 0; bits < (1u << cell.num_inputs()); ++bits) {
+      if (cell.evaluate(bits) != cell.evaluate(bits ^ (1u << pin))) {
+        sensitive = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(sensitive) << cell.name() << " pin " << pin;
+  }
+}
+
+TEST_P(CellProperties, PhysicalParametersSane) {
+  const Cell& cell = lib_.cell(lib_.cell_for(GetParam()));
+  EXPECT_GE(cell.devices().size(), 2u);
+  EXPECT_GT(cell.active_area().value(), 0.0);
+  EXPECT_GT(cell.intrinsic_delay().value(), 0.0);
+  EXPECT_GT(cell.drive_resistance().value(), 0.0);
+  EXPECT_GT(cell.input_capacitance().value(), 0.0);
+  EXPECT_GT(cell.inertial_delay().value(), 0.0);
+}
+
+TEST_P(CellProperties, DelayMonotoneInLoad) {
+  const Cell& cell = lib_.cell(lib_.cell_for(GetParam()));
+  double prev = 0.0;
+  for (double load = 0.0; load <= 20.0; load += 2.5) {
+    const double d = cell.delay(Femtofarads(load)).value();
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST_P(CellProperties, InvertingCellsInvertAllOnes) {
+  // NAND/NOR/INV/XNOR(odd): output at the all-ones input equals the
+  // complement of the AND-family value; spot-check the inverting cells.
+  const Cell& cell = lib_.cell(lib_.cell_for(GetParam()));
+  const unsigned all_ones = (1u << cell.num_inputs()) - 1;
+  switch (cell.kind()) {
+    case CellKind::kInv:
+    case CellKind::kNand2:
+    case CellKind::kNand3:
+    case CellKind::kNand4:
+    case CellKind::kNor2:
+    case CellKind::kNor3:
+    case CellKind::kNor4:
+    case CellKind::kAoi21:
+    case CellKind::kOai21:
+      EXPECT_FALSE(cell.evaluate(all_ones)) << cell.name();
+      break;
+    default:
+      break;  // non-inverting or parity cells
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, CellProperties,
+    ::testing::Values(CellKind::kInv, CellKind::kBuf, CellKind::kNand2,
+                      CellKind::kNand3, CellKind::kNand4, CellKind::kNor2,
+                      CellKind::kNor3, CellKind::kNor4, CellKind::kAnd2,
+                      CellKind::kAnd3, CellKind::kAnd4, CellKind::kOr2,
+                      CellKind::kOr3, CellKind::kOr4, CellKind::kXor2,
+                      CellKind::kXnor2, CellKind::kMux2, CellKind::kAoi21,
+                      CellKind::kOai21));
+
+}  // namespace
+}  // namespace cwsp

@@ -1,0 +1,76 @@
+// Electrical property sweep: the CWSP element must hold its output
+// through an input-disagreement window across glitch widths, delays and
+// both polarities — the foundation of the paper's SET guarantee.
+
+#include <gtest/gtest.h>
+
+#include "spice/subckt.hpp"
+
+namespace cwsp::spice {
+namespace {
+
+struct HoldCase {
+  double glitch_width_ps;
+  double delta_ps;
+  bool input_high;
+  double wp;
+  double wn;
+};
+
+class CwspHoldSweep : public ::testing::TestWithParam<HoldCase> {};
+
+TEST_P(CwspHoldSweep, OutputNeverCrossesThreshold) {
+  const auto& tc = GetParam();
+  SpiceTech tech;
+  Circuit c;
+  const int vdd = add_vdd(c, tech);
+  const int a = c.node("a");
+  const int a_star = c.node("a_star");
+  const int out = c.node("cw");
+
+  const double base = tc.input_high ? tech.vdd : 0.0;
+  const double peak = tc.input_high ? 0.0 : tech.vdd;
+  c.add_voltage_source("Va", a, kGround,
+                       SourceFunction::pulse(base, peak, 200.0, 5.0,
+                                             tc.glitch_width_ps, 5.0));
+  c.add_voltage_source(
+      "Vastar", a_star, kGround,
+      SourceFunction::pulse(base, peak, 200.0 + tc.delta_ps, 5.0,
+                            tc.glitch_width_ps, 5.0));
+  add_cwsp_element(c, "cwsp", a, a_star, out, vdd, tc.wp, tc.wn, tech);
+
+  TransientOptions options;
+  options.t_stop_ps = 200.0 + tc.glitch_width_ps + tc.delta_ps + 500.0;
+  const auto result = run_transient(c, options, {out});
+  const auto& w = result.probe(out);
+
+  if (tc.input_high) {
+    // Output nominally low; must stay below the switch point throughout.
+    EXPECT_LT(w.peak(), 0.5) << "width " << tc.glitch_width_ps << " delta "
+                             << tc.delta_ps;
+    EXPECT_NEAR(w.samples().back().v, 0.0, 0.05);
+  } else {
+    EXPECT_GT(w.trough(), 0.5);
+    EXPECT_NEAR(w.samples().back().v, tech.vdd, 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CwspHoldSweep,
+    ::testing::Values(
+        // Q=100 fC sizing (30/12) across widths and polarities.
+        HoldCase{200.0, 250.0, true, 30.0, 12.0},
+        HoldCase{200.0, 250.0, false, 30.0, 12.0},
+        HoldCase{400.0, 450.0, true, 30.0, 12.0},
+        HoldCase{400.0, 450.0, false, 30.0, 12.0},
+        HoldCase{500.0, 520.0, true, 30.0, 12.0},
+        HoldCase{500.0, 520.0, false, 30.0, 12.0},
+        // Q=150 fC sizing (40/16) at the wider design point.
+        HoldCase{600.0, 620.0, true, 40.0, 16.0},
+        HoldCase{600.0, 620.0, false, 40.0, 16.0},
+        // Short glitches with long hold windows.
+        HoldCase{100.0, 600.0, true, 30.0, 12.0},
+        HoldCase{100.0, 600.0, false, 40.0, 16.0}));
+
+}  // namespace
+}  // namespace cwsp::spice

@@ -1,0 +1,128 @@
+// Property sweeps over the recovery protocol: for any strike scenario
+// within the protection envelope, committed outputs must equal golden and
+// the cycle accounting must balance.
+
+#include <gtest/gtest.h>
+
+#include "cwsp/protection_sim.hpp"
+#include "netlist/bench_parser.hpp"
+
+namespace cwsp::core {
+namespace {
+
+struct ProtocolCase {
+  std::uint64_t seed;
+  double width_ps;
+  StrikeTarget target;
+};
+
+class ProtocolProperties : public ::testing::TestWithParam<ProtocolCase> {
+ protected:
+  CellLibrary lib_ = make_default_library();
+  Netlist netlist_ = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(q1)
+OUTPUT(y)
+t1 = NAND(a, q2)
+t2 = XOR(t1, b)
+t3 = MUX(t2, c, q1)
+d1 = NOT(t3)
+q1 = DFF(d1)
+q2 = DFF(t1)
+y  = OR(q1, q2)
+)",
+                                        lib_);
+};
+
+TEST_P(ProtocolProperties, InEnvelopeStrikesAlwaysRecover) {
+  const auto& tc = GetParam();
+  const auto params = ProtectionParams::q100();
+  ASSERT_LE(tc.width_ps, params.delta.value());
+  ProtectionSim sim(netlist_, params, Picoseconds(2000.0));
+  Rng rng(tc.seed);
+  const auto sites = set::strike_sites(netlist_);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 6 + rng.next_below(8);
+    std::vector<std::vector<bool>> inputs(n);
+    for (auto& v : inputs) {
+      v = {rng.next_bool(), rng.next_bool(), rng.next_bool()};
+    }
+    ScheduledStrike strike;
+    strike.cycle = rng.next_below(n);
+    strike.target = tc.target;
+    strike.ff_index = rng.next_below(2);
+    strike.strike.node = sites[rng.next_below(sites.size())];
+    strike.strike.start =
+        Picoseconds(rng.next_double_in(0.0, 1999.0));
+    strike.strike.width = Picoseconds(tc.width_ps);
+
+    const auto r = sim.run(inputs, {strike});
+    // Core invariants.
+    EXPECT_TRUE(r.recovered()) << "seed " << tc.seed << " trial " << trial;
+    EXPECT_EQ(r.committed_outputs, r.golden_outputs);
+    EXPECT_EQ(r.committed_outputs.size(), inputs.size());
+    EXPECT_EQ(r.total_cycles, inputs.size() + r.bubbles);
+    EXPECT_EQ(r.bubbles, r.detected_errors + r.spurious_recomputes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FunctionalSweep, ProtocolProperties,
+    ::testing::Values(
+        ProtocolCase{11, 100.0, StrikeTarget::kFunctional},
+        ProtocolCase{12, 250.0, StrikeTarget::kFunctional},
+        ProtocolCase{13, 400.0, StrikeTarget::kFunctional},
+        ProtocolCase{14, 500.0, StrikeTarget::kFunctional},
+        ProtocolCase{15, 499.0, StrikeTarget::kEqChecker},
+        ProtocolCase{16, 300.0, StrikeTarget::kEqChecker},
+        ProtocolCase{17, 400.0, StrikeTarget::kEqglbfDff},
+        ProtocolCase{18, 400.0, StrikeTarget::kCwStarDff},
+        ProtocolCase{19, 500.0, StrikeTarget::kCwspOutput},
+        ProtocolCase{20, 50.0, StrikeTarget::kFunctional}));
+
+class BubbleAccounting : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  CellLibrary lib_ = make_default_library();
+};
+
+TEST_P(BubbleAccounting, MultiStrikeRunsBalance) {
+  const auto netlist = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(q)
+d = XOR(a, q)
+q = DFF(d)
+)",
+                                          lib_, "toggle");
+  const auto params = ProtectionParams::q100();
+  ProtectionSim sim(netlist, params, Picoseconds(1600.0));
+  Rng rng(GetParam());
+
+  std::vector<std::vector<bool>> inputs(24);
+  for (auto& v : inputs) v = {rng.next_bool()};
+
+  // One strike every 4th cycle (respecting the one-per-two-cycles
+  // assumption even after bubbles shift cycles).
+  std::vector<ScheduledStrike> strikes;
+  for (std::size_t c = 1; c < 40; c += 4) {
+    ScheduledStrike s;
+    s.cycle = c;
+    s.target = StrikeTarget::kFunctional;
+    s.strike.node = *netlist.find_net("d");
+    s.strike.start = Picoseconds(rng.next_double_in(1200.0, 1590.0));
+    s.strike.width = Picoseconds(350.0);
+    strikes.push_back(s);
+  }
+  const auto r = sim.run(inputs, strikes);
+  EXPECT_TRUE(r.recovered()) << "seed " << GetParam();
+  EXPECT_EQ(r.committed_outputs, r.golden_outputs);
+  EXPECT_EQ(r.total_cycles, inputs.size() + r.bubbles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BubbleAccounting,
+                         ::testing::Values(101, 102, 103, 104, 105, 106));
+
+}  // namespace
+}  // namespace cwsp::core

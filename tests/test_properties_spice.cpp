@@ -1,0 +1,103 @@
+// Property sweeps over the MiniSpice engine: charge conservation of the
+// strike profile, RC integration convergence, and strike-response
+// monotonicity across the charge range.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "set/pulse.hpp"
+#include "spice/subckt.hpp"
+
+namespace cwsp {
+namespace {
+
+using namespace cwsp::literals;
+
+struct PulseCase {
+  double q_fc;
+  double tau_alpha;
+  double tau_beta;
+};
+
+class PulseProperties : public ::testing::TestWithParam<PulseCase> {};
+
+TEST_P(PulseProperties, IntegratesToQ) {
+  const auto& tc = GetParam();
+  const set::DoubleExponentialPulse pulse(Femtocoulombs(tc.q_fc),
+                                          Picoseconds(tc.tau_alpha),
+                                          Picoseconds(tc.tau_beta));
+  EXPECT_NEAR(pulse.charge_delivered(Picoseconds(50.0 * tc.tau_alpha)).value(),
+              tc.q_fc, tc.q_fc * 1e-6);
+}
+
+TEST_P(PulseProperties, CurrentNonNegativeAndSinglePeaked) {
+  const auto& tc = GetParam();
+  const set::DoubleExponentialPulse pulse(Femtocoulombs(tc.q_fc),
+                                          Picoseconds(tc.tau_alpha),
+                                          Picoseconds(tc.tau_beta));
+  const double t_peak = pulse.peak_time().value();
+  double prev = 0.0;
+  bool rising = true;
+  for (double t = 1.0; t < 10.0 * tc.tau_alpha; t += tc.tau_beta / 4.0) {
+    const double i = pulse.current_ma(Picoseconds(t));
+    EXPECT_GE(i, 0.0);
+    if (rising && t > t_peak + tc.tau_beta) rising = false;
+    if (!rising) {
+      EXPECT_LE(i, prev + 1e-12) << "t=" << t;
+    }
+    prev = i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PulseProperties,
+    ::testing::Values(PulseCase{50.0, 200.0, 50.0},
+                      PulseCase{100.0, 200.0, 50.0},
+                      PulseCase{150.0, 200.0, 50.0},
+                      PulseCase{100.0, 300.0, 20.0},
+                      PulseCase{250.0, 150.0, 75.0},
+                      PulseCase{10.0, 400.0, 10.0}));
+
+class RcConvergence : public ::testing::TestWithParam<double> {};
+
+TEST_P(RcConvergence, BackwardEulerApproachesAnalytic) {
+  // RC step response; the BE error shrinks with dt.
+  const double dt = GetParam();
+  spice::Circuit c;
+  const int in = c.node("in");
+  const int out = c.node("out");
+  c.add_voltage_source(
+      "V1", in, spice::kGround,
+      spice::SourceFunction::pulse(0.0, 1.0, 0.0, dt / 10.0, 1e6, 1.0));
+  c.add_resistor("R1", in, out, 2.0_kohm);
+  c.add_capacitor("C1", out, spice::kGround, 10.0_fF);  // tau = 20 ps
+
+  spice::TransientOptions options;
+  options.t_stop_ps = 120.0;
+  options.dt_ps = dt;
+  const auto result = spice::run_transient(c, options, {out});
+  const double analytic = 1.0 - std::exp(-100.0 / 20.0);
+  // First-order method: error bounded by ~dt/tau.
+  EXPECT_NEAR(result.probe(out).value_at(100.0), analytic,
+              0.6 * dt / 20.0 + 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, RcConvergence,
+                         ::testing::Values(2.0, 1.0, 0.5, 0.25, 0.1));
+
+class StrikeMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(StrikeMonotonicity, PeakAndWidthGrowWithCharge) {
+  const double q = GetParam();
+  const auto narrow = spice::strike_waveform(Femtocoulombs(q));
+  const auto wide = spice::strike_waveform(Femtocoulombs(q + 30.0));
+  EXPECT_GE(wide.peak(), narrow.peak() - 1e-6);
+  EXPECT_GE(wide.time_above(0.5), narrow.time_above(0.5) - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Charges, StrikeMonotonicity,
+                         ::testing::Values(30.0, 60.0, 90.0, 120.0, 150.0));
+
+}  // namespace
+}  // namespace cwsp

@@ -1,0 +1,93 @@
+// Property sweeps over the paper's timing equations (Eqs. 2–6).
+
+#include <gtest/gtest.h>
+
+#include "cwsp/timing.hpp"
+
+namespace cwsp::core {
+namespace {
+
+struct TimingCase {
+  double dmax_ps;
+  double ratio;    // dmin = ratio · dmax
+  double skew_ps;
+};
+
+class TimingProperties : public ::testing::TestWithParam<TimingCase> {};
+
+TEST_P(TimingProperties, GlitchWidthInvariants) {
+  const auto& tc = GetParam();
+  const DesignTiming timing{Picoseconds(tc.dmax_ps),
+                            Picoseconds(tc.dmax_ps * tc.ratio)};
+  for (const auto& params :
+       {ProtectionParams::q100(), ProtectionParams::q150()}) {
+    const auto glitch =
+        max_protected_glitch(timing, params, Picoseconds(tc.skew_ps));
+
+    // Non-negative, and bounded by both constraints.
+    EXPECT_GE(glitch.value(), 0.0);
+    EXPECT_LE(glitch.value(),
+              std::max(0.0, (timing.dmin.value() - tc.skew_ps) / 2.0) + 1e-9);
+    EXPECT_LE(glitch.value(),
+              std::max(0.0, (timing.dmax.value() -
+                             params.protection_path_delta().value()) /
+                                2.0) +
+                  1e-9);
+
+    // Skew can only reduce the protected width.
+    const auto no_skew = max_protected_glitch(timing, params);
+    EXPECT_LE(glitch.value(), no_skew.value() + 1e-9);
+
+    // Monotone in Dmax (fixed Dmin).
+    const DesignTiming larger{Picoseconds(tc.dmax_ps + 100.0), timing.dmin};
+    EXPECT_GE(max_protected_glitch(larger, params).value(),
+              no_skew.value() - 1e-9);
+
+    // Consistency of the full-protection predicate.
+    EXPECT_EQ(supports_full_protection(timing, params,
+                                       Picoseconds(tc.skew_ps)),
+              glitch >= params.delta);
+  }
+}
+
+TEST_P(TimingProperties, Eq6RoundTrip) {
+  const auto& tc = GetParam();
+  for (const auto& params :
+       {ProtectionParams::q100(), ProtectionParams::q150()}) {
+    // For any clock period, re-deriving the period from the returned δ
+    // must reproduce it (when δ > 0).
+    const Picoseconds period{tc.dmax_ps + 200.0};
+    const auto delta = max_delta_for_period(period, params);
+    if (delta.value() > 0.0) {
+      ProtectionParams custom = params;
+      custom.delta = delta;
+      EXPECT_NEAR(min_clock_period_for_delta(custom).value(), period.value(),
+                  1e-9);
+    }
+  }
+}
+
+TEST_P(TimingProperties, HardenedPeriodExceedsRegularByConstant) {
+  const auto& tc = GetParam();
+  const CellLibrary lib = make_default_library();
+  const Picoseconds dmax{tc.dmax_ps};
+  EXPECT_NEAR(hardened_clock_period(dmax, lib).value() -
+                  regular_clock_period(dmax, lib).value(),
+              cal::kHardeningDelayPenalty.value(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TimingProperties,
+    ::testing::Values(TimingCase{600.0, 0.8, 0.0},
+                      TimingCase{1000.0, 0.8, 0.0},
+                      TimingCase{1415.0, 0.8, 0.0},
+                      TimingCase{1624.5, 0.8, 0.0},
+                      TimingCase{2069.5, 0.8, 50.0},
+                      TimingCase{2900.0, 0.5, 0.0},
+                      TimingCase{5141.1, 0.8, 200.0},
+                      TimingCase{800.0, 1.0, 0.0},
+                      TimingCase{1200.0, 0.3, 0.0},
+                      TimingCase{3000.0, 0.9, 400.0}));
+
+}  // namespace
+}  // namespace cwsp::core

@@ -1,0 +1,91 @@
+// Algebraic properties of the digital waveform representation under
+// random pulse sequences.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/digital_waveform.hpp"
+
+namespace cwsp::sim {
+namespace {
+
+class WaveformProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+DigitalWaveform random_waveform(Rng& rng, int pulses) {
+  DigitalWaveform w(rng.next_bool());
+  for (int i = 0; i < pulses; ++i) {
+    const double t0 = rng.next_double_in(0.0, 900.0);
+    const double t1 = t0 + rng.next_double_in(1.0, 100.0);
+    w.xor_pulse(t0, t1);
+  }
+  return w;
+}
+
+TEST_P(WaveformProperties, XorPulseIsInvolution) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    auto w = random_waveform(rng, 5);
+    const auto before = w.transitions();
+    const double t0 = rng.next_double_in(0.0, 500.0);
+    const double t1 = t0 + rng.next_double_in(1.0, 200.0);
+    w.xor_pulse(t0, t1);
+    w.xor_pulse(t0, t1);
+    EXPECT_EQ(w.transitions(), before);
+  }
+}
+
+TEST_P(WaveformProperties, TransitionsStaySortedAndUnique) {
+  Rng rng(GetParam());
+  const auto w = random_waveform(rng, 12);
+  const auto& t = w.transitions();
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_LT(t[i - 1], t[i]);
+  }
+}
+
+TEST_P(WaveformProperties, InertialFilterPreservesFinalValue) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    auto w = random_waveform(rng, 8);
+    const bool final_before = w.final_value();
+    w.inertial_filter(rng.next_double_in(0.0, 60.0));
+    EXPECT_EQ(w.final_value(), final_before);
+    EXPECT_EQ(w.initial(), w.value_at(-1.0));
+  }
+}
+
+TEST_P(WaveformProperties, InertialFilterOnlyRemovesTransitions) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    auto w = random_waveform(rng, 8);
+    const auto count_before = w.transitions().size();
+    w.inertial_filter(30.0);
+    EXPECT_LE(w.transitions().size(), count_before);
+    // And what remains respects the minimum width between consecutive
+    // toggles.
+    const auto& t = w.transitions();
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      EXPECT_GE(t[i] - t[i - 1], 30.0 - 1e-9);
+    }
+  }
+}
+
+TEST_P(WaveformProperties, ValueAtConsistentWithToggleParity) {
+  Rng rng(GetParam());
+  const auto w = random_waveform(rng, 10);
+  for (int probe = 0; probe < 50; ++probe) {
+    const double t = rng.next_double_in(-10.0, 1100.0);
+    std::size_t toggles = 0;
+    for (double tr : w.transitions()) {
+      if (tr <= t) ++toggles;
+    }
+    const bool expected = (toggles % 2 == 0) ? w.initial() : !w.initial();
+    EXPECT_EQ(w.value_at(t), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaveformProperties,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace cwsp::sim

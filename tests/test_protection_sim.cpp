@@ -1,0 +1,219 @@
+// Executable check of the paper's §3.2 case analysis: every strike
+// scenario must leave the committed output stream identical to golden.
+
+#include "cwsp/protection_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+
+namespace cwsp::core {
+namespace {
+
+using namespace cwsp::literals;
+
+class ProtectionSimTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+
+  // A small state machine: two FFs, feedback, visible outputs.
+  Netlist netlist_ = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(q1)
+OUTPUT(y)
+t1 = NAND(a, q2)
+t2 = XOR(t1, b)
+d1 = NOT(t2)
+q1 = DFF(d1)
+q2 = DFF(t1)
+y  = AND(q1, q2)
+)",
+                                        lib_);
+
+  ProtectionParams params_ = ProtectionParams::q100();
+  Picoseconds period_{2000.0};
+
+  std::vector<std::vector<bool>> inputs(std::size_t n) const {
+    // Deterministic varied input stream.
+    std::vector<std::vector<bool>> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = {(i % 2) == 0, (i % 3) == 0};
+    }
+    return v;
+  }
+
+  ScheduledStrike capture_corrupting_strike(std::size_t cycle) const {
+    // A 400 ps glitch on d1 spanning the capture edge at 2000 ps.
+    ScheduledStrike s;
+    s.cycle = cycle;
+    s.target = StrikeTarget::kFunctional;
+    s.strike.node = *netlist_.find_net("d1");
+    s.strike.start = 1800.0_ps;
+    s.strike.width = 400.0_ps;
+    return s;
+  }
+};
+
+TEST_F(ProtectionSimTest, CleanRunMatchesGolden) {
+  ProtectionSim sim(netlist_, params_, period_);
+  const auto r = sim.run(inputs(10), {});
+  EXPECT_EQ(r.committed_outputs, r.golden_outputs);
+  EXPECT_EQ(r.bubbles, 0u);
+  EXPECT_EQ(r.total_cycles, 10u);
+  EXPECT_TRUE(r.recovered());
+}
+
+TEST_F(ProtectionSimTest, CaptureCorruptionDetectedAndRepaired) {
+  ProtectionSim sim(netlist_, params_, period_);
+  const auto r = sim.run(inputs(10), {capture_corrupting_strike(3)});
+  EXPECT_TRUE(r.recovered());
+  EXPECT_EQ(r.committed_outputs, r.golden_outputs);
+  EXPECT_EQ(r.detected_errors, 1u);
+  EXPECT_EQ(r.bubbles, 1u);
+  EXPECT_EQ(r.total_cycles, 11u);  // one squashed cycle
+}
+
+TEST_F(ProtectionSimTest, SameStrikeCorruptsUnprotectedDesign) {
+  ProtectionSim sim(netlist_, params_, period_);
+  const auto r = sim.run_unprotected(inputs(10), {capture_corrupting_strike(3)});
+  EXPECT_GT(r.corrupted_cycles, 0u);
+}
+
+TEST_F(ProtectionSimTest, MaskedGlitchCausesNoBubble) {
+  ProtectionSim sim(netlist_, params_, period_);
+  ScheduledStrike s = capture_corrupting_strike(3);
+  s.strike.start = 200.0_ps;  // dies long before capture
+  const auto r = sim.run(inputs(10), {s});
+  EXPECT_TRUE(r.recovered());
+  EXPECT_EQ(r.bubbles, 0u);
+  EXPECT_EQ(r.total_cycles, 10u);
+}
+
+TEST_F(ProtectionSimTest, EqCheckerGlitchAtEdgeCausesNeedlessRecompute) {
+  ProtectionSim sim(netlist_, params_, period_);
+  ScheduledStrike s;
+  s.cycle = 4;
+  s.target = StrikeTarget::kEqChecker;
+  s.strike.start = 1900.0_ps;
+  s.strike.width = 300.0_ps;  // spans the edge at 2000 ps
+  const auto r = sim.run(inputs(10), {s});
+  EXPECT_TRUE(r.recovered());
+  EXPECT_EQ(r.spurious_recomputes, 1u);
+  EXPECT_EQ(r.committed_outputs, r.golden_outputs);
+}
+
+TEST_F(ProtectionSimTest, EqCheckerGlitchMidCycleIgnored) {
+  ProtectionSim sim(netlist_, params_, period_);
+  ScheduledStrike s;
+  s.cycle = 4;
+  s.target = StrikeTarget::kEqChecker;
+  s.strike.start = 500.0_ps;
+  s.strike.width = 300.0_ps;  // gone well before the edge
+  const auto r = sim.run(inputs(10), {s});
+  EXPECT_TRUE(r.recovered());
+  EXPECT_EQ(r.bubbles, 0u);
+}
+
+TEST_F(ProtectionSimTest, EqglbfStrikeBenign) {
+  ProtectionSim sim(netlist_, params_, period_);
+  ScheduledStrike s;
+  s.cycle = 2;
+  s.target = StrikeTarget::kEqglbfDff;
+  s.strike.width = 300.0_ps;
+  const auto r = sim.run(inputs(10), {s});
+  EXPECT_TRUE(r.recovered());
+  EXPECT_EQ(r.committed_outputs, r.golden_outputs);
+}
+
+TEST_F(ProtectionSimTest, CwStarStrikeBenign) {
+  ProtectionSim sim(netlist_, params_, period_);
+  for (std::size_t ff = 0; ff < 2; ++ff) {
+    ScheduledStrike s;
+    s.cycle = 5;
+    s.target = StrikeTarget::kCwStarDff;
+    s.ff_index = ff;
+    s.strike.width = 300.0_ps;
+    const auto r = sim.run(inputs(10), {s});
+    EXPECT_TRUE(r.recovered()) << "ff=" << ff;
+  }
+}
+
+TEST_F(ProtectionSimTest, CwspOutputStrikeBenign) {
+  ProtectionSim sim(netlist_, params_, period_);
+  ScheduledStrike s;
+  s.cycle = 5;
+  s.target = StrikeTarget::kCwspOutput;
+  s.strike.width = 500.0_ps;
+  const auto r = sim.run(inputs(10), {s});
+  EXPECT_TRUE(r.recovered());
+  EXPECT_EQ(r.bubbles, 0u);
+}
+
+TEST_F(ProtectionSimTest, QNetGlitchAtClkDelCausesSpuriousRecompute) {
+  ProtectionSim sim(netlist_, params_, period_);
+  ScheduledStrike s;
+  s.cycle = 4;
+  s.target = StrikeTarget::kFunctional;
+  s.strike.node = *netlist_.find_net("q1");
+  // Span the CLK_DEL sampling moment (1259 ps for Q=100 fC params).
+  s.strike.start = 1200.0_ps;
+  s.strike.width = 200.0_ps;
+  const auto r = sim.run(inputs(10), {s});
+  EXPECT_TRUE(r.recovered());
+  EXPECT_EQ(r.committed_outputs, r.golden_outputs);
+  EXPECT_GE(r.bubbles, 1u);
+}
+
+TEST_F(ProtectionSimTest, MultipleSpacedStrikesAllRecovered) {
+  ProtectionSim sim(netlist_, params_, period_);
+  std::vector<ScheduledStrike> strikes;
+  for (std::size_t c : {2u, 6u, 10u, 14u}) {
+    strikes.push_back(capture_corrupting_strike(c));
+  }
+  const auto r = sim.run(inputs(20), strikes);
+  EXPECT_TRUE(r.recovered());
+  EXPECT_EQ(r.committed_outputs, r.golden_outputs);
+}
+
+TEST_F(ProtectionSimTest, OverwideGlitchBreaksGuarantee) {
+  // Ablation: a glitch wider than δ voids the CWSP guarantee; with the
+  // capture corrupted and CW equally wrong, the error commits silently.
+  ProtectionSim sim(netlist_, params_, period_);
+  ScheduledStrike s = capture_corrupting_strike(3);
+  s.strike.start = 1400.0_ps;
+  s.strike.width = 700.0_ps;  // > δ = 500 ps, spans capture at 2000 ps
+  const auto r = sim.run(inputs(10), {s});
+  EXPECT_FALSE(r.recovered());
+}
+
+TEST_F(ProtectionSimTest, WithoutEqglbfTheProtocolFails) {
+  // Ablation of the paper's §3.2 argument: without the EQGLBF suppression
+  // flip-flop, the post-repair equivalence check compares the repaired Q
+  // against the squashed cycle's stale D and recomputes indefinitely.
+  ProtectionSimOptions options;
+  options.eqglbf_suppression = false;
+  ProtectionSim sim(netlist_, params_, period_, options);
+  const auto r = sim.run(inputs(10), {capture_corrupting_strike(3)});
+  EXPECT_FALSE(r.recovered());
+  EXPECT_TRUE(r.livelocked || r.silent_corruptions > 0);
+}
+
+TEST_F(ProtectionSimTest, PeriodBelowEq6Rejected) {
+  // Eq. 6 minimum for Q=100 fC params is 1529 ps.
+  EXPECT_THROW(ProtectionSim(netlist_, params_, Picoseconds(1500.0)), Error);
+  EXPECT_NO_THROW(ProtectionSim(netlist_, params_, Picoseconds(1529.0)));
+}
+
+TEST_F(ProtectionSimTest, CombinationalNetlistRejected) {
+  const auto comb = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+y = NOT(a)
+)",
+                                       lib_);
+  EXPECT_THROW(ProtectionSim(comb, params_, period_), Error);
+}
+
+}  // namespace
+}  // namespace cwsp::core

@@ -1,0 +1,65 @@
+// The continuous tuning knob (ProtectionParams::for_charge) must pass
+// through both published design points exactly and behave monotonically
+// between/beyond them.
+
+#include <gtest/gtest.h>
+
+#include "cwsp/protection_params.hpp"
+#include "cwsp/timing.hpp"
+
+namespace cwsp::core {
+namespace {
+
+using namespace cwsp::literals;
+
+TEST(ProtectionTuning, ReproducesQ100DesignPoint) {
+  const auto p = ProtectionParams::for_charge(100.0_fC, 500.0_ps);
+  const auto ref = ProtectionParams::q100();
+  EXPECT_DOUBLE_EQ(p.cwsp_pmos_mult, ref.cwsp_pmos_mult);
+  EXPECT_DOUBLE_EQ(p.cwsp_nmos_mult, ref.cwsp_nmos_mult);
+  EXPECT_EQ(p.segments_clk_del, ref.segments_clk_del);
+  EXPECT_DOUBLE_EQ(p.d_cwsp.value(), ref.d_cwsp.value());
+  EXPECT_NEAR(p.per_ff_area.value(), ref.per_ff_area.value(), 1e-12);
+}
+
+TEST(ProtectionTuning, ReproducesQ150DesignPoint) {
+  const auto p = ProtectionParams::for_charge(150.0_fC, 600.0_ps);
+  const auto ref = ProtectionParams::q150();
+  EXPECT_DOUBLE_EQ(p.cwsp_pmos_mult, ref.cwsp_pmos_mult);
+  EXPECT_DOUBLE_EQ(p.cwsp_nmos_mult, ref.cwsp_nmos_mult);
+  EXPECT_EQ(p.segments_clk_del, ref.segments_clk_del);
+  EXPECT_NEAR(p.per_ff_area.value(), ref.per_ff_area.value(), 1e-12);
+}
+
+TEST(ProtectionTuning, AreaMonotoneInCharge) {
+  double prev = 0.0;
+  for (double q = 50.0; q <= 250.0; q += 10.0) {
+    const auto p =
+        ProtectionParams::for_charge(Femtocoulombs(q), 400.0_ps);
+    EXPECT_GT(p.per_ff_area.value(), prev) << "Q=" << q;
+    prev = p.per_ff_area.value();
+  }
+}
+
+TEST(ProtectionTuning, DeltaDecomposition) {
+  // Δ varies only through D_CWSP; at Q=125 fC it sits halfway between
+  // 415 and 405 ps.
+  const auto p = ProtectionParams::for_charge(125.0_fC, 550.0_ps);
+  EXPECT_NEAR(p.protection_path_delta().value(), 410.0, 1e-9);
+}
+
+TEST(ProtectionTuning, SegmentsNeverBelowDeltaLine) {
+  for (double q = 50.0; q <= 250.0; q += 25.0) {
+    const auto p =
+        ProtectionParams::for_charge(Femtocoulombs(q), 300.0_ps);
+    EXPECT_GE(p.segments_clk_del, p.segments_delta) << "Q=" << q;
+  }
+}
+
+TEST(ProtectionTuning, OutOfRangeRejected) {
+  EXPECT_THROW((void)(ProtectionParams::for_charge(20.0_fC, 100.0_ps)), Error);
+  EXPECT_THROW((void)(ProtectionParams::for_charge(400.0_fC, 800.0_ps)), Error);
+}
+
+}  // namespace
+}  // namespace cwsp::core

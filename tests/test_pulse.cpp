@@ -1,0 +1,71 @@
+#include "set/pulse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cwsp::set {
+namespace {
+
+using namespace cwsp::literals;
+
+TEST(DoubleExponentialPulse, ZeroBeforeStrike) {
+  const DoubleExponentialPulse p(100.0_fC);
+  EXPECT_DOUBLE_EQ(p.current_ma(Picoseconds(-5.0)), 0.0);
+  EXPECT_DOUBLE_EQ(p.current_ma(Picoseconds(0.0)), 0.0);
+}
+
+TEST(DoubleExponentialPulse, PeakTimeAnalytic) {
+  const DoubleExponentialPulse p(100.0_fC, 200.0_ps, 50.0_ps);
+  // t* = ln(τα/τβ)·τατβ/(τα−τβ) = ln(4)·10000/150 ≈ 92.42 ps.
+  EXPECT_NEAR(p.peak_time().value(), 92.42, 0.01);
+  // Numerically verify it is a maximum.
+  const double peak = p.peak_current_ma();
+  EXPECT_GE(peak, p.current_ma(Picoseconds(80.0)));
+  EXPECT_GE(peak, p.current_ma(Picoseconds(105.0)));
+}
+
+TEST(DoubleExponentialPulse, TotalChargeEqualsQ) {
+  for (double q : {50.0, 100.0, 150.0}) {
+    const DoubleExponentialPulse p{Femtocoulombs(q)};
+    EXPECT_NEAR(p.charge_delivered(Picoseconds(1e5)).value(), q, 1e-6)
+        << "Q=" << q;
+  }
+}
+
+TEST(DoubleExponentialPulse, ChargeDeliveredMonotone) {
+  const DoubleExponentialPulse p(100.0_fC);
+  double prev = -1.0;
+  for (double t = 0.0; t <= 1000.0; t += 50.0) {
+    const double c = p.charge_delivered(Picoseconds(t)).value();
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(DoubleExponentialPulse, ScalesLinearlyWithQ) {
+  const DoubleExponentialPulse p1(100.0_fC);
+  const DoubleExponentialPulse p2(150.0_fC);
+  const Picoseconds t{80.0};
+  EXPECT_NEAR(p2.current_ma(t) / p1.current_ma(t), 1.5, 1e-12);
+}
+
+TEST(DoubleExponentialPulse, InvalidTausRejected) {
+  EXPECT_THROW(DoubleExponentialPulse(100.0_fC, 50.0_ps, 200.0_ps), Error);
+  EXPECT_THROW(DoubleExponentialPulse(100.0_fC, 200.0_ps, Picoseconds(0.0)),
+               Error);
+}
+
+TEST(ChargeFromLet, PaperFormula) {
+  // Q[pC] = 0.01036 · LET · depth; LET=20 MeV·cm²/mg, t=2 µm →
+  // 0.4144 pC = 414.4 fC.
+  EXPECT_NEAR(charge_from_let(20.0, 2.0).value(), 414.4, 0.01);
+  // The paper's reference alpha particle: LET = 1.
+  EXPECT_NEAR(charge_from_let(1.0, 1.0).value(), 10.36, 0.01);
+}
+
+TEST(ChargeFromLet, RejectsNonPositiveDepth) {
+  EXPECT_THROW((void)(charge_from_let(10.0, 0.0)), Error);
+  EXPECT_THROW((void)(charge_from_let(-1.0, 1.0)), Error);
+}
+
+}  // namespace
+}  // namespace cwsp::set

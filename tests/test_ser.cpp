@@ -1,0 +1,96 @@
+#include "set/ser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cwsp::set {
+namespace {
+
+using namespace cwsp::literals;
+
+class SerTest : public ::testing::Test {
+ protected:
+  SerAnalyzer analyzer_;
+};
+
+TEST_F(SerTest, Footnote2DoubleStrikeProbability) {
+  // Paper footnote 2: area 473.4e-8 cm² (= 473.4 µm²... the paper's value
+  // in cm² corresponds to 4.734e-6 cm²? No: 473.4e-8 cm² = 4.734e-6 cm² =
+  // 473.4 µm²·1e-2... We work directly in µm²: 473.4e-8 cm² / 1e-8 = 473.4
+  // µm²), period 5.5 ns → double-strike probability 4.78e-10.
+  const SquareMicrons area{473.4};
+  const Picoseconds period{5500.0};
+  EXPECT_NEAR(analyzer_.consecutive_cycle_strike_probability(area, period),
+              4.78e-10, 0.1e-10);
+}
+
+TEST_F(SerTest, StrikesPerYearScalesWithArea) {
+  const double one = analyzer_.strikes_per_year(SquareMicrons(100.0));
+  const double two = analyzer_.strikes_per_year(SquareMicrons(200.0));
+  EXPECT_NEAR(two, 2.0 * one, 1e-9);
+  // 100 µm² = 1e-6 cm² → 2.91e5 strikes/year.
+  EXPECT_NEAR(one, 2.91e5, 1e0);
+}
+
+TEST_F(SerTest, PerCycleProbabilityConsistent) {
+  const SquareMicrons area{473.4};
+  const Picoseconds period{5500.0};
+  const double per_cycle =
+      analyzer_.strike_probability_per_cycle(area, period);
+  EXPECT_NEAR(analyzer_.consecutive_cycle_strike_probability(area, period),
+              2.0 * per_cycle, 1e-18);
+}
+
+TEST_F(SerTest, LetSpectrumMatchesPaperStatements) {
+  // "largest population ≤ 20": the bulk of particles is below 20.
+  EXPECT_LT(analyzer_.fraction_let_above(20.0), 1e-3);
+  // ">30 exceedingly rare".
+  EXPECT_LT(analyzer_.fraction_let_above(30.0), 1e-5);
+  EXPECT_DOUBLE_EQ(analyzer_.fraction_let_above(0.0), 1.0);
+  // Monotone decreasing.
+  EXPECT_GT(analyzer_.fraction_let_above(5.0),
+            analyzer_.fraction_let_above(10.0));
+}
+
+TEST_F(SerTest, ChargeFractionUsesPaperRelation) {
+  // Q = 207.2 fC corresponds to LET 10 at t = 2 µm (0.01036·10·2 pC).
+  const double direct = analyzer_.fraction_let_above(10.0);
+  EXPECT_NEAR(analyzer_.fraction_charge_above(Femtocoulombs(207.2)), direct,
+              1e-12);
+}
+
+TEST_F(SerTest, GlitchEscapeFractionMonotone) {
+  const double wide = analyzer_.fraction_glitch_wider_than(600.0_ps);
+  const double narrow = analyzer_.fraction_glitch_wider_than(300.0_ps);
+  EXPECT_LT(wide, narrow);
+  EXPECT_DOUBLE_EQ(analyzer_.fraction_glitch_wider_than(Picoseconds(0.0)),
+                   1.0);
+}
+
+TEST_F(SerTest, HardenedSerFarBelowUnprotected) {
+  const auto report =
+      analyzer_.analyze(SquareMicrons(473.4), 500.0_ps, 0.2);
+  EXPECT_GT(report.strikes_per_year, 0.0);
+  EXPECT_GT(report.unprotected_errors_per_year,
+            report.hardened_errors_per_year);
+  EXPECT_GT(report.improvement_factor, 10.0);
+  EXPECT_GT(report.hardened_mtbf_years, report.unprotected_mtbf_years);
+}
+
+TEST_F(SerTest, ZeroFailureFractionGivesInfiniteMtbf) {
+  const auto report =
+      analyzer_.analyze(SquareMicrons(100.0), 500.0_ps, 0.0);
+  EXPECT_EQ(report.unprotected_errors_per_year, 0.0);
+  EXPECT_TRUE(std::isinf(report.unprotected_mtbf_years));
+}
+
+TEST_F(SerTest, InvalidInputsRejected) {
+  EXPECT_THROW(
+      (void)(analyzer_.analyze(SquareMicrons(100.0), 500.0_ps, 1.5)), Error);
+  EXPECT_THROW((void)(analyzer_.fraction_let_above(-1.0)), Error);
+  RadiationEnvironment bad;
+  bad.let_scale = 0.0;
+  EXPECT_THROW(SerAnalyzer{bad}, Error);
+}
+
+}  // namespace
+}  // namespace cwsp::set

@@ -1,0 +1,134 @@
+#include "spice/devices.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spice/circuit.hpp"
+#include "spice/transient.hpp"
+
+namespace cwsp::spice {
+namespace {
+
+using namespace cwsp::literals;
+
+TEST(SourceFunction, Dc) {
+  const auto f = SourceFunction::dc(1.5);
+  EXPECT_DOUBLE_EQ(f.at(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(f.at(1e6), 1.5);
+}
+
+TEST(SourceFunction, PulseShape) {
+  const auto f = SourceFunction::pulse(0.0, 1.0, /*delay=*/10.0, /*rise=*/4.0,
+                                       /*width=*/20.0, /*fall=*/4.0);
+  EXPECT_DOUBLE_EQ(f.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.at(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.at(12.0), 0.5);  // mid-rise
+  EXPECT_DOUBLE_EQ(f.at(14.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.at(30.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.at(36.0), 0.5);  // mid-fall
+  EXPECT_DOUBLE_EQ(f.at(100.0), 0.0);
+}
+
+TEST(SourceFunction, DoubleExponentialIntegratesToQ) {
+  // ∫ I dt = Q exactly for the double-exponential profile (Eq. 1):
+  // Q/(τα−τβ)·(τα − τβ) = Q. Numerically integrate in mA·ps = fC.
+  const auto f =
+      SourceFunction::double_exponential(100.0_fC, 200.0_ps, 50.0_ps, 0.0_ps);
+  double total_fc = 0.0;
+  const double dt = 0.1;
+  for (double t = 0.0; t < 5000.0; t += dt) {
+    total_fc += 0.5 * (f.at(t) + f.at(t + dt)) * dt;
+  }
+  EXPECT_NEAR(total_fc, 100.0, 0.1);
+}
+
+TEST(SourceFunction, DoubleExponentialPeak) {
+  // Peak at t* = ln(τα/τβ)·τατβ/(τα−τβ) ≈ 92.4 ps for (200, 50).
+  const auto f =
+      SourceFunction::double_exponential(100.0_fC, 200.0_ps, 50.0_ps, 0.0_ps);
+  const double t_star = std::log(4.0) * (200.0 * 50.0) / 150.0;
+  const double peak = f.at(t_star);
+  EXPECT_GT(peak, f.at(t_star - 20.0));
+  EXPECT_GT(peak, f.at(t_star + 20.0));
+  EXPECT_NEAR(peak, 0.315, 0.01);  // mA
+}
+
+TEST(Diode, ForwardAndReverse) {
+  const Diode d("d", 1, 0, DiodeParams{});
+  EXPECT_NEAR(d.current(0.0), 0.0, 1e-15);
+  EXPECT_LT(d.current(-0.5), 0.0);
+  EXPECT_GT(d.current(0.7), 1e-3);  // conducts strongly
+  // Monotone increasing.
+  EXPECT_LT(d.current(0.5), d.current(0.6));
+  // Linear extension keeps conductance finite at high bias.
+  EXPECT_DOUBLE_EQ(d.conductance(2.0), d.conductance(0.8));
+}
+
+TEST(Mosfet, CutoffBelowThreshold) {
+  MosParams p;
+  p.kp_ma = 0.2;
+  const Mosfet m("m", 1, 2, 0, p);
+  const auto op = m.evaluate(/*vd=*/1.0, /*vg=*/0.1, /*vs=*/0.0);
+  EXPECT_DOUBLE_EQ(op.ids, 0.0);
+  EXPECT_DOUBLE_EQ(op.gm, 0.0);
+}
+
+TEST(Mosfet, SaturationCurrentMatchesSquareLaw) {
+  MosParams p;
+  p.kp_ma = 0.2;
+  p.vt = 0.22;
+  p.lambda = 0.0;
+  const Mosfet m("m", 1, 2, 0, p);
+  const auto op = m.evaluate(1.0, 1.0, 0.0);
+  const double vov = 1.0 - 0.22;
+  EXPECT_NEAR(op.ids, 0.5 * 0.2 * vov * vov, 1e-12);
+  EXPECT_NEAR(op.gm, 0.2 * vov, 1e-12);
+}
+
+TEST(Mosfet, TriodeRegion) {
+  MosParams p;
+  p.kp_ma = 0.2;
+  p.vt = 0.22;
+  p.lambda = 0.0;
+  const Mosfet m("m", 1, 2, 0, p);
+  const auto op = m.evaluate(0.1, 1.0, 0.0);  // vds < vov
+  const double vov = 0.78;
+  EXPECT_NEAR(op.ids, 0.2 * (vov * 0.1 - 0.5 * 0.01), 1e-12);
+  EXPECT_GT(op.gds, 0.0);
+}
+
+TEST(Mosfet, SourceDrainSwapSymmetric) {
+  MosParams p;
+  p.kp_ma = 0.2;
+  p.lambda = 0.0;
+  const Mosfet m("m", 1, 2, 3, p);
+  const auto fwd = m.evaluate(1.0, 1.0, 0.0);
+  const auto rev = m.evaluate(0.0, 1.0, 1.0);  // terminals swapped
+  EXPECT_NEAR(fwd.ids, rev.ids, 1e-12);
+  EXPECT_EQ(fwd.d_eff, rev.s_eff);
+  EXPECT_EQ(fwd.s_eff, rev.d_eff);
+}
+
+TEST(Mosfet, PmosConductsWithLowGate) {
+  MosParams p;
+  p.type = MosType::kPmos;
+  p.kp_ma = 0.1;
+  p.vt = 0.22;
+  p.lambda = 0.0;
+  // Source at VDD=1, drain at 0, gate at 0 → |vgs|=1 > vt: on, saturated.
+  const Mosfet m("m", /*d=*/1, /*g=*/2, /*s=*/3, p);
+  const auto op = m.evaluate(/*vd=*/0.0, /*vg=*/0.0, /*vs=*/1.0);
+  const double vov = 1.0 - 0.22;
+  EXPECT_NEAR(op.ids, 0.5 * 0.1 * vov * vov, 1e-12);
+}
+
+TEST(Mosfet, PmosOffWithHighGate) {
+  MosParams p;
+  p.type = MosType::kPmos;
+  p.kp_ma = 0.1;
+  const Mosfet m("m", 1, 2, 3, p);
+  const auto op = m.evaluate(0.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(op.ids, 0.0);
+}
+
+}  // namespace
+}  // namespace cwsp::spice

@@ -1,0 +1,75 @@
+#include "spice/solver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cwsp::spice {
+namespace {
+
+TEST(Solver, SolvesIdentity) {
+  DenseMatrix a(3);
+  a.at(0, 0) = a.at(1, 1) = a.at(2, 2) = 1.0;
+  const auto x = solve_linear_system(std::move(a), {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(Solver, Solves2x2) {
+  DenseMatrix a(2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  const auto x = solve_linear_system(std::move(a), {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Solver, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  DenseMatrix a(2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  const auto x = solve_linear_system(std::move(a), {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Solver, SingularRejected) {
+  DenseMatrix a(2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  EXPECT_THROW(solve_linear_system(std::move(a), {1.0, 2.0}), Error);
+}
+
+TEST(Solver, LargerRandomSystemRoundTrips) {
+  // Build a diagonally dominant 10x10 system with a known solution.
+  const std::size_t n = 10;
+  DenseMatrix a(n);
+  std::vector<double> x_true(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x_true[i] = static_cast<double>(i) - 4.5;
+    for (std::size_t j = 0; j < n; ++j) {
+      a.at(i, j) = (i == j) ? 20.0 : 1.0 / (1.0 + static_cast<double>(i + j));
+    }
+  }
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += a.at(i, j) * x_true[j];
+  }
+  const auto x = solve_linear_system(std::move(a), std::move(b));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(Solver, SizeMismatchRejected) {
+  DenseMatrix a(2);
+  a.at(0, 0) = a.at(1, 1) = 1.0;
+  EXPECT_THROW(solve_linear_system(std::move(a), {1.0}), Error);
+}
+
+}  // namespace
+}  // namespace cwsp::spice

@@ -1,0 +1,156 @@
+#include "spice/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/subckt.hpp"
+
+namespace cwsp::spice {
+namespace {
+
+using namespace cwsp::literals;
+
+TEST(Transient, ResistorDividerDc) {
+  Circuit c;
+  const int a = c.node("a");
+  const int mid = c.node("mid");
+  c.add_voltage_source("V1", a, kGround, SourceFunction::dc(2.0));
+  c.add_resistor("R1", a, mid, 1.0_kohm);
+  c.add_resistor("R2", mid, kGround, 1.0_kohm);
+  const auto v = solve_dc(c);
+  EXPECT_NEAR(v[static_cast<std::size_t>(mid)], 1.0, 1e-6);  // gmin leak
+  EXPECT_NEAR(v[static_cast<std::size_t>(a)], 2.0, 1e-6);
+}
+
+TEST(Transient, RcChargingMatchesAnalytic) {
+  // 1 kΩ into 10 fF: τ = 10 ps. Step from 0 to 1 V at t=0 via pulse.
+  Circuit c;
+  const int in = c.node("in");
+  const int out = c.node("out");
+  c.add_voltage_source("V1", in, kGround,
+                       SourceFunction::pulse(0.0, 1.0, 0.0, 0.01, 1e6, 1.0));
+  c.add_resistor("R1", in, out, 1.0_kohm);
+  c.add_capacitor("C1", out, kGround, 10.0_fF);
+
+  TransientOptions options;
+  options.t_stop_ps = 100.0;
+  options.dt_ps = 0.05;
+  const auto result = run_transient(c, options, {out});
+  const auto& w = result.probe(out);
+
+  // v(t) = 1 − e^{−t/τ}; backward Euler with dt ≪ τ tracks within ~1%.
+  for (double t : {10.0, 20.0, 50.0}) {
+    const double expected = 1.0 - std::exp(-t / 10.0);
+    EXPECT_NEAR(w.value_at(t), expected, 0.01) << "at t=" << t;
+  }
+  // Fully settled.
+  EXPECT_NEAR(w.value_at(95.0), 1.0, 1e-3);
+}
+
+TEST(Transient, CurrentSourceIntoCapacitorIntegrates) {
+  // I = 0.1 mA into 100 fF for 100 ps → ΔV = I·t/C = 0.1·100/100 = 0.1 V/ps·…
+  // (mA·ps = fC; fC/fF = V): ΔV = 10 fC / 100 fF… = 0.1 V per 100 ps.
+  Circuit c;
+  const int n = c.node("n");
+  // Pulse starting at t=0 (zero at the DC operating point; a DC current
+  // source into a floating capacitor has no finite operating point).
+  c.add_current_source("I1", kGround, n,
+                       SourceFunction::pulse(0.0, 0.1, 0.0, 0.01, 1e6, 1.0));
+  c.add_capacitor("C1", n, kGround, 100.0_fF);
+  TransientOptions options;
+  options.t_stop_ps = 100.0;
+  options.dt_ps = 0.5;
+  const auto result = run_transient(c, options, {n});
+  EXPECT_NEAR(result.probe(n).value_at(100.0), 0.1, 1e-3);
+}
+
+TEST(Transient, InverterStaticLevels) {
+  SpiceTech tech;
+  Circuit c;
+  const int vdd = add_vdd(c, tech);
+  const int in = c.node("in");
+  const int out = c.node("out");
+  c.add_voltage_source("Vin", in, kGround, SourceFunction::dc(0.0));
+  add_inverter(c, "x0", in, out, vdd, 1.0, 1.0, tech);
+  const auto v = solve_dc(c);
+  // Input low → output pulled to VDD.
+  EXPECT_NEAR(v[static_cast<std::size_t>(out)], tech.vdd, 0.01);
+}
+
+TEST(Transient, InverterSwitches) {
+  SpiceTech tech;
+  Circuit c;
+  const int vdd = add_vdd(c, tech);
+  const int in = c.node("in");
+  const int out = c.node("out");
+  c.add_voltage_source(
+      "Vin", in, kGround,
+      SourceFunction::pulse(0.0, tech.vdd, 100.0, 10.0, 400.0, 10.0));
+  add_inverter(c, "x0", in, out, vdd, 1.0, 1.0, tech);
+
+  TransientOptions options;
+  options.t_stop_ps = 800.0;
+  const auto result = run_transient(c, options, {out});
+  const auto& w = result.probe(out);
+  EXPECT_NEAR(w.value_at(50.0), tech.vdd, 0.02);   // input low
+  EXPECT_NEAR(w.value_at(400.0), 0.0, 0.02);       // input high
+  EXPECT_NEAR(w.value_at(750.0), tech.vdd, 0.02);  // input low again
+}
+
+TEST(Transient, DiodeClampLimitsExcursion) {
+  SpiceTech tech;
+  Circuit c;
+  const int vdd = add_vdd(c, tech);
+  const int n = c.node("n");
+  c.add_capacitor("C1", n, kGround, 1.0_fF);
+  add_node_clamps(c, "x", n, vdd, tech);
+  // Strong constant current shoved into the node; clamp must hold it near
+  // vdd + ~0.6-0.7 V instead of integrating without bound.
+  c.add_current_source("I1", kGround, n, SourceFunction::dc(0.3));
+  TransientOptions options;
+  options.t_stop_ps = 500.0;
+  const auto result = run_transient(c, options, {n});
+  EXPECT_LT(result.probe(n).peak(), 1.85);
+  EXPECT_GT(result.probe(n).peak(), 1.4);
+}
+
+TEST(Transient, NewtonConvergesOnNonlinearCircuits) {
+  SpiceTech tech;
+  Circuit c;
+  const int vdd = add_vdd(c, tech);
+  // Three chained inverters.
+  const int in = c.node("in");
+  c.add_voltage_source(
+      "Vin", in, kGround,
+      SourceFunction::pulse(0.0, tech.vdd, 50.0, 5.0, 200.0, 5.0));
+  int prev = in;
+  for (int i = 0; i < 3; ++i) {
+    const int out = c.node("n" + std::to_string(i));
+    add_inverter(c, "x" + std::to_string(i), prev, out, vdd, 1.0, 1.0, tech);
+    prev = out;
+  }
+  TransientOptions options;
+  options.t_stop_ps = 500.0;
+  const auto result = run_transient(c, options, {prev});
+  // Odd chain → final output inverted w.r.t. input.
+  EXPECT_NEAR(result.probe(prev).value_at(40.0), tech.vdd, 0.05);
+  EXPECT_NEAR(result.probe(prev).value_at(200.0), 0.0, 0.05);
+  EXPECT_GT(result.steps, 0u);
+}
+
+TEST(Transient, SingularFloatingNodeHandledByGmin) {
+  // A node connected only through a capacitor would be singular without
+  // gmin; with it, the solve succeeds and the node floats at 0.
+  Circuit c;
+  const int a = c.node("a");
+  const int b = c.node("b");
+  c.add_voltage_source("V1", a, kGround, SourceFunction::dc(1.0));
+  c.add_capacitor("C1", a, b, 1.0_fF);
+  TransientOptions options;
+  options.t_stop_ps = 10.0;
+  EXPECT_NO_THROW(run_transient(c, options, {b}));
+}
+
+}  // namespace
+}  // namespace cwsp::spice

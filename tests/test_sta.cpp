@@ -1,0 +1,186 @@
+#include "sta/sta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+
+namespace cwsp {
+namespace {
+
+class StaTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+};
+
+TEST_F(StaTest, SingleInverterChainDelayAccumulates) {
+  Netlist n(lib_, "chain");
+  NetId prev = n.add_primary_input("in");
+  const int kStages = 5;
+  for (int i = 0; i < kStages; ++i) {
+    const GateId g = n.add_gate(lib_.cell_for(CellKind::kInv), {prev},
+                                "n" + std::to_string(i));
+    prev = n.gate(g).output;
+  }
+  n.mark_primary_output(prev);
+
+  const auto r = run_sta(n);
+  // Every stage drives exactly the same load (one INV pin + wire) except
+  // the last (PO only, zero load); delays must therefore be equal for the
+  // first kStages-1 and smaller for the last.
+  const Cell& inv = lib_.cell(lib_.cell_for(CellKind::kInv));
+  const double inner_load = inv.input_capacitance().value() +
+                            lib_.wire_capacitance_per_fanout().value();
+  const double inner_delay =
+      inv.intrinsic_delay().value() +
+      inv.drive_resistance().value() * inner_load;
+  const double last_delay = inv.intrinsic_delay().value();
+  EXPECT_NEAR(r.dmax.value(), (kStages - 1) * inner_delay + last_delay,
+              1e-9);
+  EXPECT_NEAR(r.dmin.value(), r.dmax.value(), 1e-9);  // single path
+}
+
+TEST_F(StaTest, DmaxAndDminDiverge) {
+  // in ---INV---------------------> y1 (short path)
+  // in ---INV-INV-INV-INV-INV-----> y2 (long path)
+  Netlist n(lib_, "diverge");
+  const NetId in = n.add_primary_input("in");
+  const GateId s = n.add_gate(lib_.cell_for(CellKind::kInv), {in}, "short");
+  n.mark_primary_output(n.gate(s).output);
+  NetId prev = in;
+  for (int i = 0; i < 5; ++i) {
+    const GateId g = n.add_gate(lib_.cell_for(CellKind::kInv), {prev},
+                                "l" + std::to_string(i));
+    prev = n.gate(g).output;
+  }
+  n.mark_primary_output(prev);
+
+  const auto r = run_sta(n);
+  EXPECT_LT(r.dmin.value(), r.dmax.value());
+  EXPECT_EQ(r.dmax_endpoint, prev);
+  EXPECT_EQ(r.dmin_endpoint, n.gate(s).output);
+}
+
+TEST_F(StaTest, FlipFlopBoundariesAreTimingSources) {
+  // PI -> INV -> DFF -> INV -> PO: two separate combinational paths.
+  Netlist n(lib_, "regs");
+  const NetId in = n.add_primary_input("in");
+  const GateId g1 = n.add_gate(lib_.cell_for(CellKind::kInv), {in}, "d");
+  const FlipFlopId ff = n.add_flip_flop(n.gate(g1).output, "q");
+  const GateId g2 =
+      n.add_gate(lib_.cell_for(CellKind::kInv), {n.flip_flop(ff).q}, "y");
+  n.mark_primary_output(n.gate(g2).output);
+
+  const auto r = run_sta(n);
+  // Dmax is a single-gate delay, not the sum across the FF.
+  const Cell& inv = lib_.cell(lib_.cell_for(CellKind::kInv));
+  EXPECT_LT(r.dmax.value(), 2.0 * inv.delay(Femtofarads(5.0)).value());
+  // The Q net starts at t=0.
+  EXPECT_DOUBLE_EQ(r.arrivals[n.flip_flop(ff).q.index()].max_ps, 0.0);
+}
+
+TEST_F(StaTest, ReconvergentFanout) {
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+t1 = NOT(a)
+t2 = AND(a, t1)
+t3 = OR(t2, t1)
+y  = XOR(t3, t2)
+)",
+                                    lib_);
+  const auto r = run_sta(n);
+  EXPECT_GT(r.dmax.value(), 0.0);
+  EXPECT_GT(r.dmax.value(), r.dmin.value());
+  // Critical path must start at a source and end at the endpoint.
+  ASSERT_FALSE(r.critical_path.empty());
+  EXPECT_EQ(r.critical_path.back(), r.dmax_endpoint);
+  const Net& head = n.net(r.critical_path.front());
+  EXPECT_EQ(head.driver_kind, DriverKind::kPrimaryInput);
+}
+
+TEST_F(StaTest, CriticalPathArrivalsMonotone) {
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+t1 = NAND(a, b)
+t2 = NOR(t1, a)
+t3 = XOR(t2, t1)
+y  = AND(t3, b)
+)",
+                                    lib_);
+  const auto r = run_sta(n);
+  for (std::size_t i = 0; i + 1 < r.critical_path.size(); ++i) {
+    EXPECT_LE(r.arrivals[r.critical_path[i].index()].max_ps,
+              r.arrivals[r.critical_path[i + 1].index()].max_ps);
+  }
+}
+
+TEST_F(StaTest, ConstantsDoNotCreatePaths) {
+  Netlist n(lib_, "const_path");
+  const NetId one = n.add_constant(true, "one");
+  const NetId a = n.add_primary_input("a");
+  const GateId g = n.add_gate(lib_.cell_for(CellKind::kAnd2), {a, one}, "y");
+  n.mark_primary_output(n.gate(g).output);
+  const auto r = run_sta(n);
+  // Path exists from `a` only; constant must not produce a 0-delay path.
+  EXPECT_GT(r.dmin.value(), 0.0);
+}
+
+TEST_F(StaTest, GateFedOnlyByConstantsIsUnreachable) {
+  Netlist n(lib_, "const_only");
+  const NetId one = n.add_constant(true, "one");
+  const NetId zero = n.add_constant(false, "zero");
+  const NetId a = n.add_primary_input("a");
+  const GateId g =
+      n.add_gate(lib_.cell_for(CellKind::kAnd2), {one, zero}, "dead");
+  const GateId g2 = n.add_gate(lib_.cell_for(CellKind::kOr2),
+                               {n.gate(g).output, a}, "y");
+  n.mark_primary_output(n.gate(g2).output);
+  const auto r = run_sta(n);
+  EXPECT_FALSE(r.arrivals[n.gate(g).output.index()].reachable());
+  EXPECT_TRUE(r.arrivals[n.gate(g2).output.index()].reachable());
+}
+
+TEST_F(StaTest, RegisterOutputsAreNotEndpoints) {
+  // A PO tied straight to a FF Q must not create a zero-length path.
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(q)
+t1 = NOT(a)
+t2 = NOT(t1)
+q  = DFF(t2)
+)",
+                                    lib_);
+  const auto r = run_sta(n);
+  EXPECT_GT(r.dmin.value(), 0.0);
+  EXPECT_EQ(r.dmax_endpoint, *n.find_net("t2"));
+}
+
+TEST_F(StaTest, ComputeDmaxConvenienceMatches) {
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+t = NOT(a)
+y = NOT(t)
+)",
+                                    lib_);
+  EXPECT_DOUBLE_EQ(compute_dmax(n).value(), run_sta(n).dmax.value());
+}
+
+TEST_F(StaTest, TimingReportMentionsEndpoints) {
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+y = NOT(a)
+)",
+                                    lib_);
+  const auto r = run_sta(n);
+  const auto report = timing_report(n, r);
+  EXPECT_NE(report.find("Dmax"), std::string::npos);
+  EXPECT_NE(report.find("Dmin"), std::string::npos);
+  EXPECT_NE(report.find('y'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cwsp

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+#include "sta/sta.hpp"
+
+namespace cwsp {
+namespace {
+
+class WorstPathsTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+  // Three endpoints with clearly ordered depths: y3 > y2 > y1.
+  Netlist netlist_ = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y1)
+OUTPUT(y2)
+OUTPUT(y3)
+t1 = NOT(a)
+t2 = NOT(t1)
+t3 = NOT(t2)
+y1 = BUFF(t1)
+y2 = BUFF(t2)
+y3 = BUFF(t3)
+)",
+                                        lib_);
+};
+
+TEST_F(WorstPathsTest, SortedByArrivalDescending) {
+  const auto r = run_sta(netlist_);
+  const auto paths = worst_paths(netlist_, r, 3);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(netlist_.net(paths[0].endpoint).name, "y3");
+  EXPECT_EQ(netlist_.net(paths[1].endpoint).name, "y2");
+  EXPECT_EQ(netlist_.net(paths[2].endpoint).name, "y1");
+  EXPECT_GT(paths[0].arrival.value(), paths[1].arrival.value());
+  EXPECT_GT(paths[1].arrival.value(), paths[2].arrival.value());
+}
+
+TEST_F(WorstPathsTest, FirstPathMatchesCriticalPath) {
+  const auto r = run_sta(netlist_);
+  const auto paths = worst_paths(netlist_, r, 1);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].nets, r.critical_path);
+  EXPECT_DOUBLE_EQ(paths[0].arrival.value(), r.dmax.value());
+}
+
+TEST_F(WorstPathsTest, PathsStartAtSources) {
+  const auto r = run_sta(netlist_);
+  for (const auto& path : worst_paths(netlist_, r, 3)) {
+    ASSERT_FALSE(path.nets.empty());
+    EXPECT_EQ(netlist_.net(path.nets.front()).driver_kind,
+              DriverKind::kPrimaryInput);
+    EXPECT_EQ(path.nets.back(), path.endpoint);
+  }
+}
+
+TEST_F(WorstPathsTest, KLargerThanEndpointsClamps) {
+  const auto r = run_sta(netlist_);
+  EXPECT_EQ(worst_paths(netlist_, r, 100).size(), 3u);
+}
+
+TEST_F(WorstPathsTest, FfDEndpointsIncludedOnce) {
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(d)
+OUTPUT(q)
+d = NOT(a)
+q = DFF(d)
+)",
+                                    lib_);
+  const auto r = run_sta(n);
+  // d is both a PO and the FF D pin — it must appear exactly once; q (a
+  // register output) is not a combinational endpoint.
+  const auto paths = worst_paths(n, r, 10);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(n.net(paths[0].endpoint).name, "d");
+}
+
+}  // namespace
+}  // namespace cwsp

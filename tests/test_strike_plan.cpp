@@ -1,0 +1,75 @@
+#include "set/strike_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+
+namespace cwsp::set {
+namespace {
+
+class StrikePlanTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+  Netlist netlist_ = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(q)
+t1 = NAND(a, b)
+t2 = NOT(t1)
+q  = DFF(t2)
+)",
+                                        lib_);
+};
+
+TEST_F(StrikePlanTest, SitesAreGateOutputsAndFfQ) {
+  const auto sites = strike_sites(netlist_);
+  // t1, t2 (gate outputs) + q (FF output) = 3; PIs excluded.
+  EXPECT_EQ(sites.size(), 3u);
+  for (NetId site : sites) {
+    const auto kind = netlist_.net(site).driver_kind;
+    EXPECT_TRUE(kind == DriverKind::kGate || kind == DriverKind::kFlipFlop);
+  }
+}
+
+TEST_F(StrikePlanTest, RandomStrikesRespectWindow) {
+  Rng rng(5);
+  const auto strikes =
+      random_strikes(netlist_, 100, Picoseconds(300.0), Picoseconds(100.0),
+                     Picoseconds(900.0), rng);
+  EXPECT_EQ(strikes.size(), 100u);
+  for (const auto& s : strikes) {
+    EXPECT_GE(s.start.value(), 100.0);
+    EXPECT_LT(s.start.value(), 900.0);
+    EXPECT_DOUBLE_EQ(s.width.value(), 300.0);
+    EXPECT_TRUE(s.node.valid());
+  }
+}
+
+TEST_F(StrikePlanTest, RandomStrikesDeterministicPerSeed) {
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const auto a = random_strikes(netlist_, 20, Picoseconds(100.0),
+                                Picoseconds(0.0), Picoseconds(500.0), rng_a);
+  const auto b = random_strikes(netlist_, 20, Picoseconds(100.0),
+                                Picoseconds(0.0), Picoseconds(500.0), rng_b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_DOUBLE_EQ(a[i].start.value(), b[i].start.value());
+  }
+}
+
+TEST_F(StrikePlanTest, ExhaustiveCoversEverySiteAndTime) {
+  const std::vector<Picoseconds> times{Picoseconds(10.0), Picoseconds(20.0)};
+  const auto strikes = exhaustive_strikes(netlist_, Picoseconds(50.0), times);
+  EXPECT_EQ(strikes.size(), 3u * 2u);
+}
+
+TEST_F(StrikePlanTest, EmptyWindowRejected) {
+  Rng rng(1);
+  EXPECT_THROW(random_strikes(netlist_, 1, Picoseconds(10.0),
+                              Picoseconds(100.0), Picoseconds(100.0), rng),
+               Error);
+}
+
+}  // namespace
+}  // namespace cwsp::set

@@ -1,0 +1,79 @@
+#include "set/strike_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "netlist/netlist.hpp"
+
+namespace cwsp::set {
+namespace {
+
+TEST(AreaWeightedStrikes, LargerCellsHitMoreOften) {
+  const CellLibrary lib = make_default_library();
+  Netlist n(lib, "weighted");
+  const NetId a = n.add_primary_input("a");
+  const NetId b = n.add_primary_input("b");
+  // INV (2 W·L units) vs XOR2 (10 units): the XOR output should attract
+  // roughly 5x the strikes.
+  const GateId small = n.add_gate(lib.cell_for(CellKind::kInv), {a}, "s");
+  const GateId large = n.add_gate(lib.cell_for(CellKind::kXor2), {a, b}, "l");
+  n.mark_primary_output(n.gate(small).output);
+  n.mark_primary_output(n.gate(large).output);
+  n.validate();
+
+  Rng rng(99);
+  const auto strikes = area_weighted_strikes(
+      n, 6000, Picoseconds(100.0), Picoseconds(0.0), Picoseconds(1000.0),
+      rng);
+
+  std::map<std::uint32_t, std::size_t> hits;
+  for (const auto& s : strikes) ++hits[s.node.value()];
+  const double ratio =
+      static_cast<double>(hits[n.gate(large).output.value()]) /
+      static_cast<double>(hits[n.gate(small).output.value()]);
+  EXPECT_NEAR(ratio, 5.0, 0.6);
+}
+
+TEST(AreaWeightedStrikes, FlipFlopsUseFfArea) {
+  const CellLibrary lib = make_default_library();
+  Netlist n(lib, "ff_weight");
+  const NetId a = n.add_primary_input("a");
+  const GateId inv = n.add_gate(lib.cell_for(CellKind::kInv), {a}, "d");
+  const FlipFlopId ff = n.add_flip_flop(n.gate(inv).output, "q");
+  const GateId sink = n.add_gate(lib.cell_for(CellKind::kBuf),
+                                 {n.flip_flop(ff).q}, "y");
+  n.mark_primary_output(n.gate(sink).output);
+  n.validate();
+
+  Rng rng(7);
+  const auto strikes = area_weighted_strikes(
+      n, 4000, Picoseconds(100.0), Picoseconds(0.0), Picoseconds(500.0),
+      rng);
+  std::size_t ff_hits = 0;
+  for (const auto& s : strikes) {
+    if (s.node == n.flip_flop(ff).q) ++ff_hits;
+  }
+  // FF area (24 units) vs INV (2) + BUF (4): expect ~80% of strikes on Q.
+  EXPECT_NEAR(static_cast<double>(ff_hits) / 4000.0, 24.0 / 30.0, 0.05);
+}
+
+TEST(AreaWeightedStrikes, TimesWithinWindow) {
+  const CellLibrary lib = make_default_library();
+  Netlist n(lib, "w");
+  const NetId a = n.add_primary_input("a");
+  const GateId g = n.add_gate(lib.cell_for(CellKind::kInv), {a}, "y");
+  n.mark_primary_output(n.gate(g).output);
+
+  Rng rng(3);
+  const auto strikes = area_weighted_strikes(
+      n, 200, Picoseconds(50.0), Picoseconds(100.0), Picoseconds(300.0),
+      rng);
+  for (const auto& s : strikes) {
+    EXPECT_GE(s.start.value(), 100.0);
+    EXPECT_LT(s.start.value(), 300.0);
+  }
+}
+
+}  // namespace
+}  // namespace cwsp::set

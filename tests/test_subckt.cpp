@@ -1,0 +1,130 @@
+// Electrical validation of the paper's circuit structures: the Fig-6
+// strike experiment and the CWSP element's state-holding behaviour.
+
+#include "spice/subckt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cwsp::spice {
+namespace {
+
+using namespace cwsp::literals;
+
+TEST(StrikeHarness, GlitchWidth100fCMatchesPaper) {
+  // Paper §4 / Fig. 6: Q=100 fC on a min inverter → 500 ps glitch.
+  const auto width = measure_strike_glitch_width(100.0_fC);
+  EXPECT_NEAR(width.value(), 500.0, 25.0);
+}
+
+TEST(StrikeHarness, GlitchWidth150fCMatchesPaper) {
+  // Q=150 fC → 600 ps glitch.
+  const auto width = measure_strike_glitch_width(150.0_fC);
+  EXPECT_NEAR(width.value(), 600.0, 30.0);
+}
+
+TEST(StrikeHarness, WaveformClampsNear1p6V) {
+  // Fig. 6: the struck node saturates around 1.6 V (junction clamp).
+  const auto w = strike_waveform(150.0_fC);
+  EXPECT_GT(w.peak(), 1.45);
+  EXPECT_LT(w.peak(), 1.75);
+}
+
+TEST(StrikeHarness, GlitchWidthMonotoneInCharge) {
+  double prev = 0.0;
+  for (double q : {40.0, 80.0, 120.0, 160.0}) {
+    const double width = measure_strike_glitch_width(Femtocoulombs(q)).value();
+    EXPECT_GE(width, prev) << "Q=" << q;
+    prev = width;
+  }
+}
+
+TEST(StrikeHarness, SmallChargeCausesNoGlitch) {
+  // A few fC cannot lift the node past VDD/2 against the on NMOS.
+  const auto width = measure_strike_glitch_width(2.0_fC);
+  EXPECT_LT(width.value(), 30.0);
+}
+
+TEST(StrikeHarness, NodeReturnsToCorrectValue) {
+  const auto w = strike_waveform(100.0_fC, SpiceTech{}, 2000.0);
+  EXPECT_NEAR(w.value_at(1990.0), 0.0, 0.02);
+}
+
+class CwspElementTest : public ::testing::Test {
+ protected:
+  // Builds: a (pulsed), a* (same pulse delayed by δ) → CWSP element.
+  // Returns the waveform of the CWSP output.
+  Waveform run(double glitch_start_ps, double glitch_width_ps,
+               double delta_ps, bool initial_high_input) {
+    SpiceTech tech;
+    Circuit c;
+    const int vdd = add_vdd(c, tech);
+    const int a = c.node("a");
+    const int a_star = c.node("a_star");
+    const int out = c.node("cw");
+
+    const double base = initial_high_input ? tech.vdd : 0.0;
+    const double peak = initial_high_input ? 0.0 : tech.vdd;
+    // The SET glitch appears on a, and δ later on a*.
+    c.add_voltage_source("Va", a, kGround,
+                         SourceFunction::pulse(base, peak, glitch_start_ps,
+                                               5.0, glitch_width_ps, 5.0));
+    c.add_voltage_source(
+        "Vastar", a_star, kGround,
+        SourceFunction::pulse(base, peak, glitch_start_ps + delta_ps, 5.0,
+                              glitch_width_ps, 5.0));
+    add_cwsp_element(c, "cwsp", a, a_star, out, vdd,
+                     cal::kCwspPmosMultQLow, cal::kCwspNmosMultQLow, tech);
+
+    TransientOptions options;
+    options.t_stop_ps = glitch_start_ps + glitch_width_ps + delta_ps + 400.0;
+    const auto result = run_transient(c, options, {out});
+    return result.probe(out);
+  }
+};
+
+TEST_F(CwspElementTest, InvertsInSteadyState) {
+  // No glitch: a = a* = 1 constantly → out = 0.
+  SpiceTech tech;
+  Circuit c;
+  const int vdd = add_vdd(c, tech);
+  const int a = c.node("a");
+  const int out = c.node("cw");
+  c.add_voltage_source("Va", a, kGround, SourceFunction::dc(tech.vdd));
+  add_cwsp_element(c, "cwsp", a, a, out, vdd, 30.0, 12.0, tech);
+  const auto v = solve_dc(c);
+  EXPECT_NEAR(v[static_cast<std::size_t>(out)], 0.0, 0.02);
+
+  Circuit c2;
+  const int vdd2 = add_vdd(c2, tech);
+  const int a2 = c2.node("a");
+  const int out2 = c2.node("cw");
+  c2.add_voltage_source("Va", a2, kGround, SourceFunction::dc(0.0));
+  add_cwsp_element(c2, "cwsp", a2, a2, out2, vdd2, 30.0, 12.0, tech);
+  const auto v2 = solve_dc(c2);
+  EXPECT_NEAR(v2[static_cast<std::size_t>(out2)], tech.vdd, 0.02);
+}
+
+TEST_F(CwspElementTest, HoldsStateThroughGlitchHighInput) {
+  // Input nominally 1 → output nominally 0. A 300 ps glitch hits a, then
+  // a* 350 ps later. While a != a*, both networks are off; the output must
+  // stay below the switching threshold throughout.
+  const auto w = run(/*glitch_start=*/200.0, /*width=*/300.0,
+                     /*delta=*/350.0, /*initial_high_input=*/true);
+  EXPECT_LT(w.peak(), 0.45);
+}
+
+TEST_F(CwspElementTest, HoldsStateThroughGlitchLowInput) {
+  // Input nominally 0 → output nominally 1; glitch pulls a up.
+  const auto w = run(200.0, 300.0, 350.0, /*initial_high_input=*/false);
+  EXPECT_GT(w.trough(), 0.55);
+}
+
+TEST_F(CwspElementTest, RecoversAfterGlitch) {
+  const auto w = run(200.0, 300.0, 350.0, true);
+  // Long after the glitch (a = a* = 1 again) output must be solidly low.
+  const auto& last = w.samples().back();
+  EXPECT_NEAR(last.v, 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace cwsp::spice

@@ -1,0 +1,58 @@
+// Electrical measurement utilities layered on MiniSpice: CWSP element
+// delay and critical charge.
+
+#include <gtest/gtest.h>
+
+#include "spice/subckt.hpp"
+
+namespace cwsp::spice {
+namespace {
+
+using namespace cwsp::literals;
+
+TEST(CwspDelay, UpsizedElementDrivesFasterIntoFixedLoad) {
+  const auto small = measure_cwsp_delay(1.0, 1.0, 10.0_fF);
+  const auto sized_100 = measure_cwsp_delay(cal::kCwspPmosMultQLow,
+                                            cal::kCwspNmosMultQLow, 10.0_fF);
+  EXPECT_GT(small.value(), sized_100.value());
+  EXPECT_GT(sized_100.value(), 0.0);
+}
+
+TEST(CwspDelay, Q150SizingFasterThanQ100IntoSameLoad) {
+  // The paper's Δ drops from 415 ps to 405 ps at Q=150 fC because the
+  // 40/16 element is faster than the 30/12 one (DESIGN.md §5).
+  const auto d100 = measure_cwsp_delay(cal::kCwspPmosMultQLow,
+                                       cal::kCwspNmosMultQLow, 20.0_fF);
+  const auto d150 = measure_cwsp_delay(cal::kCwspPmosMultQHigh,
+                                       cal::kCwspNmosMultQHigh, 20.0_fF);
+  EXPECT_LT(d150.value(), d100.value());
+}
+
+TEST(CwspDelay, GrowsWithLoad) {
+  const auto light = measure_cwsp_delay(30.0, 12.0, 5.0_fF);
+  const auto heavy = measure_cwsp_delay(30.0, 12.0, 50.0_fF);
+  EXPECT_GT(heavy.value(), light.value());
+}
+
+TEST(CriticalCharge, MatchesGlitchOnset) {
+  const auto qcrit = measure_critical_charge();
+  // Just below: no logic-level glitch. Just above: one appears.
+  const auto below = measure_strike_glitch_width(
+      Femtocoulombs(qcrit.value() * 0.9));
+  const auto above = measure_strike_glitch_width(
+      Femtocoulombs(qcrit.value() * 1.2));
+  EXPECT_DOUBLE_EQ(below.value(), 0.0);
+  EXPECT_GT(above.value(), 0.0);
+}
+
+TEST(CriticalCharge, ScalesWithDeviceStrength) {
+  SpiceTech strong;
+  strong.kp_n_min *= 2.0;
+  strong.kp_p_min *= 2.0;
+  strong.c_node_ff *= 2.0;
+  EXPECT_GT(measure_critical_charge(strong).value(),
+            measure_critical_charge().value());
+}
+
+}  // namespace
+}  // namespace cwsp::spice

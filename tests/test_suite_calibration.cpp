@@ -1,0 +1,70 @@
+// Integration sweep: every benchmark circuit of Tables 1–3 must
+// generate, calibrate and reproduce the paper's published overheads.
+
+#include <gtest/gtest.h>
+
+#include "bencharness/generator.hpp"
+#include "cwsp/harden.hpp"
+#include "cwsp/timing.hpp"
+
+namespace cwsp::bench {
+namespace {
+
+class SuiteCalibration : public ::testing::TestWithParam<const char*> {
+ protected:
+  CellLibrary lib_ = make_default_library();
+};
+
+TEST_P(SuiteCalibration, GeneratesWithinTolerance) {
+  const auto& spec = find_benchmark(GetParam());
+  const auto g = generate_benchmark(spec, lib_);
+  EXPECT_NEAR(g.measured_dmax.value(), spec.dmax_ps, 8.0) << spec.name;
+  EXPECT_NEAR(g.measured_area.value(), spec.regular_area_um2, 0.05)
+      << spec.name;
+  EXPECT_EQ(g.netlist.primary_outputs().size(),
+            static_cast<std::size_t>(spec.num_outputs));
+  EXPECT_EQ(g.netlist.primary_inputs().size(),
+            static_cast<std::size_t>(spec.num_inputs));
+}
+
+TEST_P(SuiteCalibration, ReproducesPaperOverheads) {
+  const auto& spec = find_benchmark(GetParam());
+  const auto g = generate_benchmark(spec, lib_);
+
+  auto check = [&](const core::ProtectionParams& params,
+                   const std::optional<PaperHardened>& paper,
+                   bool custom_delta) {
+    if (!paper.has_value()) return;
+    core::ProtectionParams effective = params;
+    if (custom_delta) {
+      const auto timing = core::timing_with_assumed_dmin(g.measured_dmax);
+      effective = core::ProtectionParams::for_glitch_width(
+          core::max_protected_glitch(timing, params));
+    }
+    const auto design =
+        core::harden_assuming_balanced_paths(g.netlist, effective);
+    // Area overhead within 0.5 percentage points of the published value
+    // (the four inferred-FF-count LGSynth rows dominate the residual).
+    EXPECT_NEAR(design.area_overhead_pct(), paper->area_overhead_pct, 0.5)
+        << spec.name;
+    // Delay overhead within 0.05 points (11.5 ps penalty is exact; only
+    // the generated Dmax differs slightly).
+    EXPECT_NEAR(design.delay_overhead_pct(),
+                11.5 / (spec.dmax_ps + 109.0) * 100.0, 0.05)
+        << spec.name;
+  };
+
+  check(core::ProtectionParams::q150(), spec.table1_q150, false);
+  check(core::ProtectionParams::q100(), spec.table2_q100, false);
+  check(core::ProtectionParams::q100(), spec.table3_custom_delta, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCircuits, SuiteCalibration,
+    ::testing::Values("alu2", "alu4", "apex2", "C1908", "C3540", "C6288",
+                      "seq", "C7552", "C880", "C5315", "dalu", "apex4",
+                      "apex3", "b11_LoptLC", "C1355", "C432", "C499",
+                      "ex5p", "k2", "apex1", "ex4p"));
+
+}  // namespace
+}  // namespace cwsp::bench

@@ -1,0 +1,50 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cwsp {
+namespace {
+
+TEST(TextTable, FormatsNumbers) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(1624.53789, 5), "1624.53789");
+  EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+}
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t;
+  t.set_header({"Circuit", "Area"});
+  t.add_row({"alu2", "28.25"});
+  t.add_row({"C880", "36.15"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Circuit"), std::string::npos);
+  EXPECT_NE(out.find("alu2"), std::string::npos);
+  EXPECT_NE(out.find("C880"), std::string::npos);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t;
+  t.set_header({"A", "B", "C"});
+  t.add_row({"x"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find('x'), std::string::npos);
+}
+
+TEST(TextTable, SetHeaderResetsRows) {
+  TextTable t;
+  t.set_header({"A"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.row_count(), 1u);
+  t.set_header({"B"});
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+}  // namespace
+}  // namespace cwsp

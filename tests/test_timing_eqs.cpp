@@ -1,0 +1,114 @@
+// Equations 2–6 of the paper, checked against its published numbers.
+
+#include "cwsp/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cwsp::core {
+namespace {
+
+using namespace cwsp::literals;
+
+TEST(ProtectionParams, DeltaMatchesPaper) {
+  // Δ = 415 ps at Q=100 fC, 405 ps at 150 fC (from min-Dmax 1415/1605).
+  EXPECT_DOUBLE_EQ(ProtectionParams::q100().protection_path_delta().value(),
+                   415.0);
+  EXPECT_DOUBLE_EQ(ProtectionParams::q150().protection_path_delta().value(),
+                   405.0);
+}
+
+TEST(ProtectionParams, MinDmaxMatchesPaper) {
+  EXPECT_DOUBLE_EQ(ProtectionParams::q100().min_dmax().value(), 1415.0);
+  EXPECT_DOUBLE_EQ(ProtectionParams::q150().min_dmax().value(), 1605.0);
+}
+
+TEST(ProtectionParams, SegmentCountsMatchPaper) {
+  const auto p100 = ProtectionParams::q100();
+  EXPECT_EQ(p100.segments_delta, 4);
+  EXPECT_EQ(p100.segments_clk_del, 8);
+  const auto p150 = ProtectionParams::q150();
+  EXPECT_EQ(p150.segments_delta, 4);
+  EXPECT_EQ(p150.segments_clk_del, 10);
+}
+
+TEST(ProtectionParams, ClkDelDelayEq3) {
+  const auto p = ProtectionParams::q100();
+  // Eq. 3: 2δ + D_CWSP + D_MUX + T_SETUP_EQ = 1000 + 186 + 35 + 38.
+  EXPECT_DOUBLE_EQ(p.clk_del_delay().value(), 1259.0);
+}
+
+TEST(ProtectionParams, CustomGlitchWidthKeepsQ100Envelope) {
+  const auto p = ProtectionParams::for_glitch_width(300.0_ps);
+  EXPECT_DOUBLE_EQ(p.delta.value(), 300.0);
+  EXPECT_DOUBLE_EQ(p.per_ff_area.value(),
+                   ProtectionParams::q100().per_ff_area.value());
+  EXPECT_DOUBLE_EQ(p.protection_path_delta().value(), 415.0);
+}
+
+TEST(TimingEqs, MaxGlitchLimitedByDmin) {
+  // Dmin/2 < (Dmax − Δ)/2 ⇒ Eq. 2 binds.
+  const DesignTiming t{Picoseconds(3000.0), Picoseconds(800.0)};
+  const auto p = ProtectionParams::q100();
+  EXPECT_DOUBLE_EQ(max_protected_glitch(t, p).value(), 400.0);
+}
+
+TEST(TimingEqs, MaxGlitchLimitedByDmax) {
+  // (Dmax − Δ)/2 < Dmin/2 ⇒ Eq. 5 binds.
+  const DesignTiming t{Picoseconds(1215.0), Picoseconds(1100.0)};
+  const auto p = ProtectionParams::q100();
+  EXPECT_DOUBLE_EQ(max_protected_glitch(t, p).value(), 400.0);
+}
+
+TEST(TimingEqs, SkewReducesDminTerm) {
+  const DesignTiming t{Picoseconds(3000.0), Picoseconds(800.0)};
+  const auto p = ProtectionParams::q100();
+  EXPECT_DOUBLE_EQ(max_protected_glitch(t, p, 100.0_ps).value(), 350.0);
+  // Skew does not touch the Dmax-bound case.
+  const DesignTiming t2{Picoseconds(1215.0), Picoseconds(2000.0)};
+  EXPECT_DOUBLE_EQ(max_protected_glitch(t2, p, 100.0_ps).value(), 400.0);
+}
+
+TEST(TimingEqs, NeverNegative) {
+  const auto p = ProtectionParams::q100();
+  // Tiny Dmin with ample Dmax: the Dmin bound gives a small positive δ.
+  const DesignTiming t{Picoseconds(1000.0), Picoseconds(50.0)};
+  EXPECT_DOUBLE_EQ(max_protected_glitch(t, p).value(), 25.0);
+  // Dmax below Δ would make Eq. 5 negative: clamp to zero.
+  const DesignTiming t2{Picoseconds(300.0), Picoseconds(240.0)};
+  EXPECT_DOUBLE_EQ(max_protected_glitch(t2, p).value(), 0.0);
+}
+
+TEST(TimingEqs, FullProtectionThresholds) {
+  const auto p = ProtectionParams::q100();
+  // Exactly at the paper's boundary: Dmax = 1415, Dmin = 0.8·Dmax = 1132.
+  EXPECT_TRUE(supports_full_protection(
+      timing_with_assumed_dmin(Picoseconds(1415.0)), p));
+  EXPECT_FALSE(supports_full_protection(
+      timing_with_assumed_dmin(Picoseconds(1414.0)), p));
+}
+
+TEST(TimingEqs, PeriodsReproducePaperTables) {
+  const CellLibrary lib = make_default_library();
+  // alu2 row of Tables 1/2.
+  const Picoseconds dmax{1624.53789};
+  EXPECT_NEAR(regular_clock_period(dmax, lib).value(), 1733.53789, 1e-9);
+  EXPECT_NEAR(hardened_clock_period(dmax, lib).value(), 1745.03789, 1e-9);
+}
+
+TEST(TimingEqs, MinClockPeriodEq6RoundTrips) {
+  const auto p = ProtectionParams::q100();
+  const auto t_min = min_clock_period_for_delta(p);
+  // Eq. 6 inverted at the minimum period returns the designed δ.
+  EXPECT_NEAR(max_delta_for_period(t_min, p).value(), p.delta.value(), 1e-9);
+  // A longer period tolerates a wider glitch.
+  EXPECT_GT(max_delta_for_period(t_min + 200.0_ps, p).value(),
+            p.delta.value());
+}
+
+TEST(TimingEqs, AssumedDminRatio) {
+  const auto t = timing_with_assumed_dmin(Picoseconds(1000.0));
+  EXPECT_DOUBLE_EQ(t.dmin.value(), 800.0);
+}
+
+}  // namespace
+}  // namespace cwsp::core

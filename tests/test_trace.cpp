@@ -1,0 +1,113 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/bench_parser.hpp"
+
+namespace cwsp::sim {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+  Netlist toggle_ = parse_bench_string(R"(
+INPUT(en)
+OUTPUT(q)
+d = XOR(en, q)
+q = DFF(d)
+)",
+                                       lib_);
+};
+
+TEST_F(TraceTest, RecordsCycleValues) {
+  LogicSim sim(toggle_);
+  TraceRecorder trace(toggle_, {"en", "d", "q"});
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    sim.set_inputs({true});
+    sim.evaluate();
+    trace.sample(sim);
+    sim.clock();
+  }
+  EXPECT_EQ(trace.num_cycles(), 6u);
+  // q toggles 0,1,0,1,...
+  EXPECT_FALSE(trace.value(2, 0));
+  EXPECT_TRUE(trace.value(2, 1));
+  EXPECT_FALSE(trace.value(2, 2));
+  // d = XOR(1, q) = !q.
+  for (std::size_t c = 0; c < 6; ++c) {
+    EXPECT_EQ(trace.value(1, c), !trace.value(2, c));
+  }
+}
+
+TEST_F(TraceTest, VcdContainsHeaderAndChanges) {
+  LogicSim sim(toggle_);
+  TraceRecorder trace(toggle_, {"q"});
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    sim.set_inputs({true});
+    sim.evaluate();
+    trace.sample(sim);
+    sim.clock();
+  }
+  std::ostringstream os;
+  trace.write_vcd(os, "toggle");
+  const std::string vcd = os.str();
+  EXPECT_NE(vcd.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 ! q $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions"), std::string::npos);
+  // q changes every cycle → a change record at every timestamp.
+  EXPECT_NE(vcd.find("#0\n0!"), std::string::npos);
+  EXPECT_NE(vcd.find("#1\n1!"), std::string::npos);
+  EXPECT_NE(vcd.find("#2\n0!"), std::string::npos);
+}
+
+TEST_F(TraceTest, VcdOmitsUnchangedTimestamps) {
+  LogicSim sim(toggle_);
+  TraceRecorder trace(toggle_, {"en"});
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    sim.set_inputs({true});  // constant signal
+    sim.evaluate();
+    trace.sample(sim);
+    sim.clock();
+  }
+  std::ostringstream os;
+  trace.write_vcd(os, "t");
+  const std::string vcd = os.str();
+  EXPECT_NE(vcd.find("#0\n1!"), std::string::npos);
+  EXPECT_EQ(vcd.find("#1\n"), std::string::npos);  // no further changes
+}
+
+TEST_F(TraceTest, AsciiWavesRender) {
+  LogicSim sim(toggle_);
+  TraceRecorder trace(toggle_, {"q", "en"});
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    sim.set_inputs({true});
+    sim.evaluate();
+    trace.sample(sim);
+    sim.clock();
+  }
+  const std::string waves = trace.ascii_waves();
+  EXPECT_NE(waves.find("q  : _#_#"), std::string::npos);
+  EXPECT_NE(waves.find("en : ####"), std::string::npos);
+}
+
+TEST_F(TraceTest, UnknownNetRejected) {
+  EXPECT_THROW(TraceRecorder(toggle_, {"phantom"}), Error);
+}
+
+TEST_F(TraceTest, GlitchWaveformVcd) {
+  DigitalWaveform w(false);
+  w.xor_pulse(100.0, 400.0);
+  std::ostringstream os;
+  write_waveform_vcd(w, "set_pulse", 1000.0, os);
+  const std::string vcd = os.str();
+  EXPECT_NE(vcd.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(vcd.find("#0\n0!"), std::string::npos);
+  EXPECT_NE(vcd.find("#100\n1!"), std::string::npos);
+  EXPECT_NE(vcd.find("#400\n0!"), std::string::npos);
+  EXPECT_NE(vcd.find("#1000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cwsp::sim

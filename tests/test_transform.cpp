@@ -1,0 +1,161 @@
+#include "netlist/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+#include "netlist_fuzz.hpp"
+#include "sim/logic_sim.hpp"
+
+namespace cwsp {
+namespace {
+
+class TransformTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+};
+
+TEST_F(TransformTest, CloneIsStructurallyIdentical) {
+  const auto n = testing::make_random_netlist(lib_, 7);
+  const auto copy = clone_netlist(n, "copy");
+  EXPECT_EQ(copy.name(), "copy");
+  EXPECT_EQ(copy.num_gates(), n.num_gates());
+  EXPECT_EQ(copy.num_flip_flops(), n.num_flip_flops());
+  EXPECT_EQ(copy.primary_inputs().size(), n.primary_inputs().size());
+  EXPECT_DOUBLE_EQ(copy.total_area().value(), n.total_area().value());
+}
+
+TEST_F(TransformTest, SweepFoldsConstantCone) {
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+one = VDD
+zero = GND
+t1 = AND(one, zero)
+t2 = OR(t1, a)
+y  = BUFF(t2)
+)",
+                                    lib_);
+  const auto swept = sweep_constants(n);
+  // t1 = 0; t2 = OR(0, a) = a → buffer; y = buffer.
+  EXPECT_LT(swept.num_gates(), n.num_gates());
+  for (GateId g : swept.gate_ids()) {
+    const CellKind kind = swept.cell_of(g).kind();
+    EXPECT_TRUE(kind == CellKind::kBuf || kind == CellKind::kInv)
+        << swept.cell_of(g).name();
+  }
+}
+
+TEST_F(TransformTest, SweepProducesConstantOutput) {
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+zero = GND
+y = AND(a, zero)
+)",
+                                    lib_);
+  const auto swept = sweep_constants(n);
+  EXPECT_EQ(swept.num_gates(), 0u);
+  const Net& y = swept.net(*swept.find_net("y"));
+  EXPECT_EQ(y.driver_kind, DriverKind::kConstant);
+  EXPECT_FALSE(y.constant_value);
+}
+
+TEST_F(TransformTest, SingleDependenceReduction) {
+  // MUX with equal data inputs ignores the select.
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+INPUT(s)
+OUTPUT(y)
+y = MUX(a, a, s)
+)",
+                                    lib_);
+  const auto swept = sweep_constants(n);
+  ASSERT_EQ(swept.num_gates(), 1u);
+  EXPECT_EQ(swept.cell_of(GateId{0}).kind(), CellKind::kBuf);
+}
+
+TEST_F(TransformTest, DeadLogicRemoved) {
+  // A cone that never reaches a PO is dropped (the input netlist need not
+  // validate; the cleaned one must).
+  Netlist m(lib_, "dead");
+  const NetId b = m.add_primary_input("b");
+  const GateId keep = m.add_gate(lib_.cell_for(CellKind::kInv), {b}, "y");
+  const GateId waste1 = m.add_gate(lib_.cell_for(CellKind::kBuf), {b}, "w1");
+  m.add_gate(lib_.cell_for(CellKind::kInv), {m.gate(waste1).output}, "w2");
+  m.mark_primary_output(m.gate(keep).output);
+
+  const auto cleaned = remove_dead_logic(m);
+  EXPECT_EQ(cleaned.num_gates(), 1u);
+  EXPECT_NO_THROW(cleaned.validate());
+  // Idempotent on already-clean netlists.
+  EXPECT_EQ(remove_dead_logic(cleaned).num_gates(), 1u);
+}
+
+TEST_F(TransformTest, DeadFlipFlopRemoved) {
+  // An FF whose Q reaches no output is dropped along with its cone.
+  Netlist m(lib_, "deadff");
+  const NetId a = m.add_primary_input("a");
+  const GateId g = m.add_gate(lib_.cell_for(CellKind::kInv), {a}, "d");
+  const FlipFlopId ff = m.add_flip_flop(m.gate(g).output, "q");
+  m.add_gate(lib_.cell_for(CellKind::kInv), {m.flip_flop(ff).q}, "qs");
+  const GateId y = m.add_gate(lib_.cell_for(CellKind::kBuf), {a}, "y");
+  m.mark_primary_output(m.gate(y).output);
+
+  const auto cleaned = remove_dead_logic(m);
+  EXPECT_EQ(cleaned.num_flip_flops(), 0u);
+  EXPECT_EQ(cleaned.num_gates(), 1u);
+}
+
+TEST_F(TransformTest, OptimizePreservesBehaviour) {
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    const auto original = testing::make_random_netlist(lib_, seed);
+    const auto [optimized, stats] = optimize(original);
+    EXPECT_EQ(stats.gates_before, original.num_gates());
+    EXPECT_LE(stats.gates_after, stats.gates_before);
+
+    sim::LogicSim sim_a(original);
+    sim::LogicSim sim_b(optimized);
+    Rng rng(seed * 31);
+    for (int cycle = 0; cycle < 16; ++cycle) {
+      std::vector<bool> inputs(original.primary_inputs().size());
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        inputs[i] = rng.next_bool();
+      }
+      sim_a.set_inputs(inputs);
+      sim_b.set_inputs(inputs);
+      sim_a.evaluate();
+      sim_b.evaluate();
+      EXPECT_EQ(sim_a.output_values(), sim_b.output_values())
+          << "seed " << seed << " cycle " << cycle;
+      sim_a.clock();
+      sim_b.clock();
+    }
+  }
+}
+
+TEST_F(TransformTest, OptimizeWithConstantsShrinks) {
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+one = VDD
+t1 = AND(a, one)
+t2 = XOR(t1, b)
+t3 = OR(t2, one)
+y  = AND(t3, t2)
+)",
+                                    lib_);
+  const auto [optimized, stats] = optimize(n);
+  // t3 = 1, so y = t2 = XOR(a, b) modulo buffers.
+  EXPECT_LT(stats.gates_after, stats.gates_before);
+  sim::LogicSim sim(optimized);
+  sim.set_inputs({true, false});
+  sim.evaluate();
+  EXPECT_TRUE(sim.output_values()[0]);
+  sim.set_inputs({true, true});
+  sim.evaluate();
+  EXPECT_FALSE(sim.output_values()[0]);
+}
+
+}  // namespace
+}  // namespace cwsp

@@ -1,0 +1,64 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cwsp {
+namespace {
+
+using namespace cwsp::literals;
+
+TEST(Units, ArithmeticOnLikeQuantities) {
+  const Picoseconds a{100.0};
+  const Picoseconds b{50.0};
+  EXPECT_DOUBLE_EQ((a + b).value(), 150.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 50.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 200.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value(), 200.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value(), 25.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+  EXPECT_DOUBLE_EQ((-b).value(), -50.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  Picoseconds t{10.0};
+  t += Picoseconds{5.0};
+  EXPECT_DOUBLE_EQ(t.value(), 15.0);
+  t -= Picoseconds{3.0};
+  EXPECT_DOUBLE_EQ(t.value(), 12.0);
+  t *= 2.0;
+  EXPECT_DOUBLE_EQ(t.value(), 24.0);
+  t /= 4.0;
+  EXPECT_DOUBLE_EQ(t.value(), 6.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Picoseconds{1.0}, Picoseconds{2.0});
+  EXPECT_EQ(Picoseconds{3.0}, Picoseconds{3.0});
+  EXPECT_GE(Femtocoulombs{150.0}, Femtocoulombs{100.0});
+}
+
+TEST(Units, Literals) {
+  EXPECT_DOUBLE_EQ((500_ps).value(), 500.0);
+  EXPECT_DOUBLE_EQ((1.5_fC).value(), 1.5);
+  EXPECT_DOUBLE_EQ((2_um2).value(), 2.0);
+  EXPECT_DOUBLE_EQ((0.22_V).value(), 0.22);
+  EXPECT_DOUBLE_EQ((1.2_fF).value(), 1.2);
+  EXPECT_DOUBLE_EQ((4_kohm).value(), 4.0);
+}
+
+TEST(Units, RcDelayIsConsistent) {
+  // 1 kΩ · 1 fF = 1 ps.
+  EXPECT_DOUBLE_EQ(rc_delay(1_kohm, 1_fF).value(), 1.0);
+  EXPECT_DOUBLE_EQ(rc_delay(4_kohm, 2.5_fF).value(), 10.0);
+}
+
+TEST(Units, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(Picoseconds{100.0}, Picoseconds{100.0}));
+  EXPECT_TRUE(
+      approx_equal(Picoseconds{100.0}, Picoseconds{100.0 + 1e-8}, 1e-9));
+  EXPECT_FALSE(approx_equal(Picoseconds{100.0}, Picoseconds{101.0}, 1e-6));
+  EXPECT_TRUE(approx_equal(Picoseconds{0.0}, Picoseconds{0.0}));
+}
+
+}  // namespace
+}  // namespace cwsp

@@ -1,0 +1,87 @@
+#include "netlist/verilog_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+
+namespace cwsp {
+namespace {
+
+class VerilogWriterTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+};
+
+TEST_F(VerilogWriterTest, CombinationalModule) {
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+t1 = NAND(a, b)
+y  = XOR(t1, a)
+)",
+                                    lib_, "comb");
+  const auto v = to_verilog_string(n);
+  EXPECT_NE(v.find("module comb"), std::string::npos);
+  EXPECT_NE(v.find("input a"), std::string::npos);
+  EXPECT_NE(v.find("output y"), std::string::npos);
+  EXPECT_NE(v.find("nand"), std::string::npos);
+  EXPECT_NE(v.find("xor"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // No FFs → no always block.
+  EXPECT_EQ(v.find("always"), std::string::npos);
+}
+
+TEST_F(VerilogWriterTest, SequentialModule) {
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(q)
+d = NOT(a)
+q = DFF(d)
+)",
+                                    lib_, "seq");
+  const auto v = to_verilog_string(n);
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(v.find("q_r <= d;"), std::string::npos);
+  EXPECT_NE(v.find("assign q = q_r;"), std::string::npos);
+}
+
+TEST_F(VerilogWriterTest, ExpressionCells) {
+  Netlist n(lib_, "expr");
+  const NetId a = n.add_primary_input("a");
+  const NetId b = n.add_primary_input("b");
+  const NetId s = n.add_primary_input("s");
+  n.add_gate(lib_.cell_for(CellKind::kMux2), {a, b, s}, "m");
+  n.add_gate(lib_.cell_for(CellKind::kAoi21), {a, b, s}, "x");
+  n.mark_primary_output(*n.find_net("m"));
+  n.mark_primary_output(*n.find_net("x"));
+  const auto v = to_verilog_string(n);
+  EXPECT_NE(v.find("assign m = s ? b : a;"), std::string::npos);
+  EXPECT_NE(v.find("assign x = ~((a & b) | s);"), std::string::npos);
+}
+
+TEST_F(VerilogWriterTest, SanitizesAwkwardNames) {
+  Netlist n(lib_, "weird-name");
+  const NetId a = n.add_primary_input("sig.with-dots");
+  const GateId g = n.add_gate(lib_.cell_for(CellKind::kInv), {a}, "3bad");
+  n.mark_primary_output(n.gate(g).output);
+  const auto v = to_verilog_string(n);
+  EXPECT_NE(v.find("module weird_name"), std::string::npos);
+  EXPECT_NE(v.find("sig_with_dots"), std::string::npos);
+  EXPECT_NE(v.find("n3bad"), std::string::npos);
+  EXPECT_EQ(v.find("sig.with-dots"), std::string::npos);
+}
+
+TEST_F(VerilogWriterTest, ConstantsAssigned) {
+  Netlist n(lib_, "consts");
+  const NetId a = n.add_primary_input("a");
+  const NetId one = n.add_constant(true, "tie_hi");
+  const GateId g =
+      n.add_gate(lib_.cell_for(CellKind::kAnd2), {a, one}, "y");
+  n.mark_primary_output(n.gate(g).output);
+  const auto v = to_verilog_string(n);
+  EXPECT_NE(v.find("assign tie_hi = 1'b1;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cwsp

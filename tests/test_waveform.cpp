@@ -1,0 +1,103 @@
+#include "spice/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cwsp::spice {
+namespace {
+
+Waveform triangle() {
+  // 0 at t=0, 1 at t=10, 0 at t=20.
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(10.0, 1.0);
+  w.append(20.0, 0.0);
+  return w;
+}
+
+TEST(Waveform, ValueAtInterpolates) {
+  const auto w = triangle();
+  EXPECT_DOUBLE_EQ(w.value_at(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(w.value_at(15.0), 0.5);
+  EXPECT_DOUBLE_EQ(w.value_at(-1.0), 0.0);  // clamped
+  EXPECT_DOUBLE_EQ(w.value_at(25.0), 0.0);  // clamped
+}
+
+TEST(Waveform, PeakAndTrough) {
+  const auto w = triangle();
+  EXPECT_DOUBLE_EQ(w.peak(), 1.0);
+  EXPECT_DOUBLE_EQ(w.trough(), 0.0);
+}
+
+TEST(Waveform, FirstCrossing) {
+  const auto w = triangle();
+  const auto rise = w.first_crossing(0.5, true);
+  ASSERT_TRUE(rise.has_value());
+  EXPECT_DOUBLE_EQ(*rise, 5.0);
+  const auto fall = w.first_crossing(0.5, false);
+  ASSERT_TRUE(fall.has_value());
+  EXPECT_DOUBLE_EQ(*fall, 15.0);
+  EXPECT_FALSE(w.first_crossing(2.0, true).has_value());
+}
+
+TEST(Waveform, FirstCrossingAfter) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(10.0, 1.0);
+  w.append(20.0, 0.0);
+  w.append(30.0, 1.0);
+  const auto second = w.first_crossing(0.5, true, 12.0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_DOUBLE_EQ(*second, 25.0);
+}
+
+TEST(Waveform, PulseWidthAbove) {
+  const auto w = triangle();
+  const auto width = w.pulse_width_above(0.5);
+  ASSERT_TRUE(width.has_value());
+  EXPECT_DOUBLE_EQ(*width, 10.0);
+}
+
+TEST(Waveform, PulseWidthBelow) {
+  // Inverted triangle: 1 → 0 → 1.
+  Waveform w;
+  w.append(0.0, 1.0);
+  w.append(10.0, 0.0);
+  w.append(20.0, 1.0);
+  const auto width = w.pulse_width_below(0.5);
+  ASSERT_TRUE(width.has_value());
+  EXPECT_DOUBLE_EQ(*width, 10.0);
+}
+
+TEST(Waveform, PulseNeverEndingUsesLastSample) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(10.0, 1.0);  // never comes back down
+  const auto width = w.pulse_width_above(0.5);
+  ASSERT_TRUE(width.has_value());
+  EXPECT_DOUBLE_EQ(*width, 5.0);  // crossing at t=5, last sample t=10
+}
+
+TEST(Waveform, TimeAboveAccumulatesMultiplePulses) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(10.0, 1.0);
+  w.append(20.0, 0.0);
+  w.append(30.0, 1.0);
+  w.append(40.0, 0.0);
+  EXPECT_DOUBLE_EQ(w.time_above(0.5), 20.0);
+}
+
+TEST(Waveform, RejectsOutOfOrderSamples) {
+  Waveform w;
+  w.append(10.0, 0.0);
+  EXPECT_THROW(w.append(5.0, 1.0), Error);
+}
+
+TEST(Waveform, EmptyMeasurementsThrow) {
+  const Waveform w;
+  EXPECT_THROW((void)(w.peak()), Error);
+  EXPECT_THROW((void)(w.value_at(1.0)), Error);
+}
+
+}  // namespace
+}  // namespace cwsp::spice

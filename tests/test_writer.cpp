@@ -1,0 +1,85 @@
+#include "netlist/writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/bench_parser.hpp"
+#include "netlist/decompose.hpp"
+
+namespace cwsp {
+namespace {
+
+class WriterTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+};
+
+TEST_F(WriterTest, BenchRoundTripPreservesStructure) {
+  const std::string src = R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+OUTPUT(q)
+t1 = NAND(a, b)
+t2 = XOR(t1, c)
+y  = MUX(t1, t2, a)
+q  = DFF(t2)
+)";
+  const auto original = parse_bench_string(src, lib_, "roundtrip");
+  const auto reparsed =
+      parse_bench_string(to_bench_string(original), lib_, "roundtrip2");
+
+  EXPECT_EQ(reparsed.primary_inputs().size(),
+            original.primary_inputs().size());
+  EXPECT_EQ(reparsed.primary_outputs().size(),
+            original.primary_outputs().size());
+  EXPECT_EQ(reparsed.num_gates(), original.num_gates());
+  EXPECT_EQ(reparsed.num_flip_flops(), original.num_flip_flops());
+}
+
+TEST_F(WriterTest, AoiExpandedOnWrite) {
+  Netlist n(lib_, "aoi");
+  const NetId a = n.add_primary_input("a");
+  const NetId b = n.add_primary_input("b");
+  const NetId c = n.add_primary_input("c");
+  n.add_gate(lib_.cell_for(CellKind::kAoi21), {a, b, c}, "y");
+  n.mark_primary_output(*n.find_net("y"));
+  n.validate();
+
+  const auto reparsed = parse_bench_string(to_bench_string(n), lib_, "r");
+  reparsed.validate();
+  // AOI21 expands to AND + OR + NOT.
+  EXPECT_EQ(reparsed.num_gates(), 3u);
+}
+
+TEST_F(WriterTest, ConstantsRoundTrip) {
+  Netlist n(lib_, "consts");
+  const NetId a = n.add_primary_input("a");
+  const NetId one = n.add_constant(true, "tie1");
+  n.add_gate(lib_.cell_for(CellKind::kAnd2), {a, one}, "y");
+  n.mark_primary_output(*n.find_net("y"));
+  n.validate();
+
+  const auto reparsed = parse_bench_string(to_bench_string(n), lib_, "r");
+  EXPECT_TRUE(reparsed.net(*reparsed.find_net("tie1")).constant_value);
+}
+
+TEST_F(WriterTest, DotOutputMentionsEveryGate) {
+  Netlist n(lib_, "dot");
+  const NetId a = n.add_primary_input("a");
+  const GateId g = n.add_gate(lib_.cell_for(CellKind::kInv), {a}, "y");
+  const FlipFlopId ff = n.add_flip_flop(n.gate(g).output, "q");
+  n.mark_primary_output(n.flip_flop(ff).q);
+
+  std::ostringstream os;
+  write_dot(n, os);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("INV"), std::string::npos);
+  EXPECT_NE(dot.find("DFF"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cwsp

@@ -1,0 +1,267 @@
+// cwsp_tool — command-line front end to the library.
+//
+//   cwsp_tool sta <design.bench>               static timing report
+//   cwsp_tool harden <design.bench> [options]  hardening report
+//       --q150            use the Q=150 fC envelope (default Q=100 fC)
+//       --delta <ps>      custom glitch width (Table-3 mode)
+//       --skew <ps>       clock skew derating
+//       --areas           itemised protection-area breakdown
+//   cwsp_tool campaign <design.bench> [options] fault-injection campaign
+//       --runs <n> --cycles <n> --width <ps> --seed <n>
+//   cwsp_tool glitch [--q <fC>]                struck-inverter waveform
+//   cwsp_tool elaborate <n_ffs> [--dot]        checker netlist (.bench/.dot)
+//   cwsp_tool ser <design.bench> [--fail <frac>] soft-error-rate estimate
+//   cwsp_tool suite <table1|table2|table3>     reproduce a paper table row set
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "cwsp/area_report.hpp"
+#include "cwsp/coverage.hpp"
+#include "cwsp/elaborate.hpp"
+#include "cwsp/harden.hpp"
+#include "cwsp/timing.hpp"
+#include "netlist/analysis.hpp"
+#include "netlist/bench_parser.hpp"
+#include "netlist/transform.hpp"
+#include "netlist/verilog_writer.hpp"
+#include "netlist/writer.hpp"
+#include "set/ser.hpp"
+#include "spice/subckt.hpp"
+#include "sta/sta.hpp"
+
+namespace {
+
+using namespace cwsp;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  bool has(const std::string& key) const { return options.contains(key); }
+  double number(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "1";
+      }
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::cerr << "usage: cwsp_tool <sta|harden|campaign|glitch|elaborate|ser|"
+               "verilog|optimize|stats> ...\n"
+               "see the header of tools/cwsp_tool.cpp for option details\n";
+  return 2;
+}
+
+int cmd_sta(const Args& args, const CellLibrary& lib) {
+  if (args.positional.empty()) return usage();
+  const auto netlist = parse_bench_file(args.positional[0], lib);
+  const auto result = run_sta(netlist);
+  std::cout << timing_report(netlist, result);
+  const auto stats = netlist.stats();
+  std::cout << "gates " << stats.num_gates << ", flip-flops "
+            << stats.num_flip_flops << ", area "
+            << stats.total_area.value() << " um^2\n";
+  return 0;
+}
+
+int cmd_harden(const Args& args, const CellLibrary& lib) {
+  if (args.positional.empty()) return usage();
+  const auto netlist = parse_bench_file(args.positional[0], lib);
+
+  core::ProtectionParams params = args.has("q150")
+                                      ? core::ProtectionParams::q150()
+                                      : core::ProtectionParams::q100();
+  if (args.has("delta")) {
+    params = core::ProtectionParams::for_glitch_width(
+        Picoseconds(args.number("delta", 500.0)));
+  }
+  const auto design = core::harden(netlist, params);
+  std::cout << core::describe(design);
+  if (args.has("areas")) {
+    std::cout << '\n'
+              << core::format_area_report(core::build_area_report(design));
+  }
+  if (args.has("skew")) {
+    const Picoseconds skew{args.number("skew", 0.0)};
+    std::cout << "with " << skew.value() << " ps clock skew, max glitch = "
+              << core::max_protected_glitch(design.timing, params, skew)
+                     .value()
+              << " ps\n";
+  }
+  return 0;
+}
+
+int cmd_campaign(const Args& args, const CellLibrary& lib) {
+  if (args.positional.empty()) return usage();
+  const auto netlist = parse_bench_file(args.positional[0], lib);
+  if (netlist.num_flip_flops() == 0) {
+    std::cerr << "campaign requires a sequential design\n";
+    return 1;
+  }
+  const auto params = core::ProtectionParams::q100();
+  const auto sta = run_sta(netlist);
+  const Picoseconds period =
+      std::max(core::hardened_clock_period(sta.dmax, lib),
+               core::min_clock_period_for_delta(params));
+
+  core::CampaignOptions options;
+  options.runs = static_cast<std::size_t>(args.number("runs", 50));
+  options.cycles_per_run =
+      static_cast<std::size_t>(args.number("cycles", 16));
+  options.glitch_width = Picoseconds(args.number("width", 400.0));
+  options.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+
+  const auto report =
+      core::run_functional_campaign(netlist, params, period, options);
+  std::cout << "runs                 : " << report.runs << "\n";
+  std::cout << "protected coverage   : " << report.protected_coverage_pct()
+            << " %\n";
+  std::cout << "unprotected failures : " << report.unprotected_failure_pct()
+            << " %\n";
+  std::cout << "bubbles (detected/spurious): " << report.bubbles << " ("
+            << report.detected_errors << "/" << report.spurious_recomputes
+            << ")\n";
+  return report.protected_failures == 0 ? 0 : 1;
+}
+
+int cmd_glitch(const Args& args, const CellLibrary&) {
+  const Femtocoulombs q{args.number("q", 100.0)};
+  const auto wave = spice::strike_waveform(q);
+  std::cout << "Q = " << q.value() << " fC: peak "
+            << TextTable::num(wave.peak(), 3) << " V, width above VDD/2 = "
+            << TextTable::num(wave.pulse_width_above(0.5).value_or(0.0), 1)
+            << " ps\n";
+  TextTable t;
+  t.set_header({"t (ps)", "V(out)"});
+  for (double ts = 0.0; ts <= 1200.0; ts += 100.0) {
+    t.add_row({TextTable::num(ts, 0), TextTable::num(wave.value_at(ts), 4)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_elaborate(const Args& args, const CellLibrary& lib) {
+  if (args.positional.empty()) return usage();
+  const int n = std::stoi(args.positional[0]);
+  const auto p = core::elaborate_protection(n, lib);
+  if (args.has("dot")) {
+    write_dot(p.netlist, std::cout);
+  } else {
+    write_bench(p.netlist, std::cout);
+  }
+  std::cerr << "elaborated checker for " << n << " FFs: "
+            << p.netlist.num_gates() << " gates, "
+            << p.netlist.num_flip_flops() << " flip-flops, EQGLB tree "
+            << p.tree.levels << " level(s)\n";
+  return 0;
+}
+
+int cmd_verilog(const Args& args, const CellLibrary& lib) {
+  if (args.positional.empty()) return usage();
+  const auto netlist = parse_bench_file(args.positional[0], lib);
+  write_verilog(netlist, std::cout);
+  return 0;
+}
+
+int cmd_optimize(const Args& args, const CellLibrary& lib) {
+  if (args.positional.empty()) return usage();
+  const auto netlist = parse_bench_file(args.positional[0], lib);
+  const auto [optimized, stats] = optimize(netlist);
+  std::cerr << "removed " << stats.removed() << " of " << stats.gates_before
+            << " gates\n";
+  write_bench(optimized, std::cout);
+  return 0;
+}
+
+int cmd_stats(const Args& args, const CellLibrary& lib) {
+  if (args.positional.empty()) return usage();
+  const auto netlist = parse_bench_file(args.positional[0], lib);
+  const auto s = netlist.stats();
+  const auto depth = compute_logic_depth(netlist);
+  const auto fanout = compute_fanout_stats(netlist);
+  std::cout << "gates        : " << s.num_gates << "\n";
+  std::cout << "flip-flops   : " << s.num_flip_flops << "\n";
+  std::cout << "inputs/outputs: " << s.num_primary_inputs << " / "
+            << s.num_primary_outputs << "\n";
+  std::cout << "area         : " << s.total_area.value() << " um^2\n";
+  std::cout << "logic depth  : " << depth.max_depth << " levels\n";
+  std::cout << "max/mean fanout: " << fanout.max_fanout << " / "
+            << fanout.mean_fanout << "\n";
+  std::cout << "cell mix     :";
+  for (const auto& kc : kind_histogram(netlist)) {
+    std::cout << ' ' << kc.cell_name << 'x' << kc.count;
+  }
+  std::cout << '\n';
+  return 0;
+}
+
+int cmd_ser(const Args& args, const CellLibrary& lib) {
+  if (args.positional.empty()) return usage();
+  const auto netlist = parse_bench_file(args.positional[0], lib);
+  const auto params = core::ProtectionParams::q100();
+  const auto design = core::harden(netlist, params);
+
+  set::SerAnalyzer analyzer;
+  const double fail_fraction = args.number("fail", 0.2);
+  const auto report = analyzer.analyze(design.hardened_area,
+                                       design.max_glitch, fail_fraction);
+  std::cout << "strikes/year            : " << report.strikes_per_year
+            << "\n";
+  std::cout << "unprotected errors/year : "
+            << report.unprotected_errors_per_year << "\n";
+  std::cout << "hardened errors/year    : "
+            << report.hardened_errors_per_year << "\n";
+  std::cout << "MTBF improvement        : " << report.improvement_factor
+            << "x\n";
+  std::cout << "double-strike prob/cycle: "
+            << analyzer.consecutive_cycle_strike_probability(
+                   design.hardened_area, design.hardened_period)
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = parse_args(argc, argv);
+  const CellLibrary lib = make_default_library();
+
+  try {
+    if (command == "sta") return cmd_sta(args, lib);
+    if (command == "harden") return cmd_harden(args, lib);
+    if (command == "campaign") return cmd_campaign(args, lib);
+    if (command == "glitch") return cmd_glitch(args, lib);
+    if (command == "elaborate") return cmd_elaborate(args, lib);
+    if (command == "ser") return cmd_ser(args, lib);
+    if (command == "verilog") return cmd_verilog(args, lib);
+    if (command == "optimize") return cmd_optimize(args, lib);
+    if (command == "stats") return cmd_stats(args, lib);
+  } catch (const cwsp::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}
