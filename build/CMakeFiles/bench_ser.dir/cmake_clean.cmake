@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ser.dir/bench/bench_ser.cpp.o"
+  "CMakeFiles/bench_ser.dir/bench/bench_ser.cpp.o.d"
+  "bench/bench_ser"
+  "bench/bench_ser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardened_system_sim.dir/hardened_system_sim.cpp.o"
+  "CMakeFiles/hardened_system_sim.dir/hardened_system_sim.cpp.o.d"
+  "hardened_system_sim"
+  "hardened_system_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardened_system_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

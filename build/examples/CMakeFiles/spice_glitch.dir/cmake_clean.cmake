@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_glitch.dir/spice_glitch.cpp.o"
+  "CMakeFiles/spice_glitch.dir/spice_glitch.cpp.o.d"
+  "spice_glitch"
+  "spice_glitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_glitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

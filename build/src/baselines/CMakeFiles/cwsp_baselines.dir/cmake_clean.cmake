@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsp_baselines.dir/anghel00.cpp.o"
+  "CMakeFiles/cwsp_baselines.dir/anghel00.cpp.o.d"
+  "CMakeFiles/cwsp_baselines.dir/compare.cpp.o"
+  "CMakeFiles/cwsp_baselines.dir/compare.cpp.o.d"
+  "CMakeFiles/cwsp_baselines.dir/gate_resizing.cpp.o"
+  "CMakeFiles/cwsp_baselines.dir/gate_resizing.cpp.o.d"
+  "CMakeFiles/cwsp_baselines.dir/nicolaidis99.cpp.o"
+  "CMakeFiles/cwsp_baselines.dir/nicolaidis99.cpp.o.d"
+  "CMakeFiles/cwsp_baselines.dir/tmr.cpp.o"
+  "CMakeFiles/cwsp_baselines.dir/tmr.cpp.o.d"
+  "libcwsp_baselines.a"
+  "libcwsp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

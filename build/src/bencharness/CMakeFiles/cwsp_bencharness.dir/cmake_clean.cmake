@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsp_bencharness.dir/benchmark_data.cpp.o"
+  "CMakeFiles/cwsp_bencharness.dir/benchmark_data.cpp.o.d"
+  "CMakeFiles/cwsp_bencharness.dir/generator.cpp.o"
+  "CMakeFiles/cwsp_bencharness.dir/generator.cpp.o.d"
+  "libcwsp_bencharness.a"
+  "libcwsp_bencharness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsp_bencharness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cell/cell.cpp" "src/cell/CMakeFiles/cwsp_cell.dir/cell.cpp.o" "gcc" "src/cell/CMakeFiles/cwsp_cell.dir/cell.cpp.o.d"
+  "/root/repo/src/cell/library.cpp" "src/cell/CMakeFiles/cwsp_cell.dir/library.cpp.o" "gcc" "src/cell/CMakeFiles/cwsp_cell.dir/library.cpp.o.d"
+  "/root/repo/src/cell/library_io.cpp" "src/cell/CMakeFiles/cwsp_cell.dir/library_io.cpp.o" "gcc" "src/cell/CMakeFiles/cwsp_cell.dir/library_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cwsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

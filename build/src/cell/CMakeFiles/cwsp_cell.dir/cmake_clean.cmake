@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsp_cell.dir/cell.cpp.o"
+  "CMakeFiles/cwsp_cell.dir/cell.cpp.o.d"
+  "CMakeFiles/cwsp_cell.dir/library.cpp.o"
+  "CMakeFiles/cwsp_cell.dir/library.cpp.o.d"
+  "CMakeFiles/cwsp_cell.dir/library_io.cpp.o"
+  "CMakeFiles/cwsp_cell.dir/library_io.cpp.o.d"
+  "libcwsp_cell.a"
+  "libcwsp_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsp_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcwsp_cell.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsp_common.dir/table.cpp.o"
+  "CMakeFiles/cwsp_common.dir/table.cpp.o.d"
+  "libcwsp_common.a"
+  "libcwsp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

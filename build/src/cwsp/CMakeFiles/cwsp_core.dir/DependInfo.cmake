@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cwsp/area_report.cpp" "src/cwsp/CMakeFiles/cwsp_core.dir/area_report.cpp.o" "gcc" "src/cwsp/CMakeFiles/cwsp_core.dir/area_report.cpp.o.d"
+  "/root/repo/src/cwsp/coverage.cpp" "src/cwsp/CMakeFiles/cwsp_core.dir/coverage.cpp.o" "gcc" "src/cwsp/CMakeFiles/cwsp_core.dir/coverage.cpp.o.d"
+  "/root/repo/src/cwsp/elaborate.cpp" "src/cwsp/CMakeFiles/cwsp_core.dir/elaborate.cpp.o" "gcc" "src/cwsp/CMakeFiles/cwsp_core.dir/elaborate.cpp.o.d"
+  "/root/repo/src/cwsp/elaborate_system.cpp" "src/cwsp/CMakeFiles/cwsp_core.dir/elaborate_system.cpp.o" "gcc" "src/cwsp/CMakeFiles/cwsp_core.dir/elaborate_system.cpp.o.d"
+  "/root/repo/src/cwsp/eqglb_tree.cpp" "src/cwsp/CMakeFiles/cwsp_core.dir/eqglb_tree.cpp.o" "gcc" "src/cwsp/CMakeFiles/cwsp_core.dir/eqglb_tree.cpp.o.d"
+  "/root/repo/src/cwsp/harden.cpp" "src/cwsp/CMakeFiles/cwsp_core.dir/harden.cpp.o" "gcc" "src/cwsp/CMakeFiles/cwsp_core.dir/harden.cpp.o.d"
+  "/root/repo/src/cwsp/protection_params.cpp" "src/cwsp/CMakeFiles/cwsp_core.dir/protection_params.cpp.o" "gcc" "src/cwsp/CMakeFiles/cwsp_core.dir/protection_params.cpp.o.d"
+  "/root/repo/src/cwsp/protection_sim.cpp" "src/cwsp/CMakeFiles/cwsp_core.dir/protection_sim.cpp.o" "gcc" "src/cwsp/CMakeFiles/cwsp_core.dir/protection_sim.cpp.o.d"
+  "/root/repo/src/cwsp/timing.cpp" "src/cwsp/CMakeFiles/cwsp_core.dir/timing.cpp.o" "gcc" "src/cwsp/CMakeFiles/cwsp_core.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sta/CMakeFiles/cwsp_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cwsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/set/CMakeFiles/cwsp_set.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/cwsp_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/cwsp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/cwsp_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cwsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

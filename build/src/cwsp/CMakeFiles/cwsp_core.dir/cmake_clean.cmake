@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsp_core.dir/area_report.cpp.o"
+  "CMakeFiles/cwsp_core.dir/area_report.cpp.o.d"
+  "CMakeFiles/cwsp_core.dir/coverage.cpp.o"
+  "CMakeFiles/cwsp_core.dir/coverage.cpp.o.d"
+  "CMakeFiles/cwsp_core.dir/elaborate.cpp.o"
+  "CMakeFiles/cwsp_core.dir/elaborate.cpp.o.d"
+  "CMakeFiles/cwsp_core.dir/elaborate_system.cpp.o"
+  "CMakeFiles/cwsp_core.dir/elaborate_system.cpp.o.d"
+  "CMakeFiles/cwsp_core.dir/eqglb_tree.cpp.o"
+  "CMakeFiles/cwsp_core.dir/eqglb_tree.cpp.o.d"
+  "CMakeFiles/cwsp_core.dir/harden.cpp.o"
+  "CMakeFiles/cwsp_core.dir/harden.cpp.o.d"
+  "CMakeFiles/cwsp_core.dir/protection_params.cpp.o"
+  "CMakeFiles/cwsp_core.dir/protection_params.cpp.o.d"
+  "CMakeFiles/cwsp_core.dir/protection_sim.cpp.o"
+  "CMakeFiles/cwsp_core.dir/protection_sim.cpp.o.d"
+  "CMakeFiles/cwsp_core.dir/timing.cpp.o"
+  "CMakeFiles/cwsp_core.dir/timing.cpp.o.d"
+  "libcwsp_core.a"
+  "libcwsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

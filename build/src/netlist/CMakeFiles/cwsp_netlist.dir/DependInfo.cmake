@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/analysis.cpp" "src/netlist/CMakeFiles/cwsp_netlist.dir/analysis.cpp.o" "gcc" "src/netlist/CMakeFiles/cwsp_netlist.dir/analysis.cpp.o.d"
+  "/root/repo/src/netlist/bench_parser.cpp" "src/netlist/CMakeFiles/cwsp_netlist.dir/bench_parser.cpp.o" "gcc" "src/netlist/CMakeFiles/cwsp_netlist.dir/bench_parser.cpp.o.d"
+  "/root/repo/src/netlist/blif_parser.cpp" "src/netlist/CMakeFiles/cwsp_netlist.dir/blif_parser.cpp.o" "gcc" "src/netlist/CMakeFiles/cwsp_netlist.dir/blif_parser.cpp.o.d"
+  "/root/repo/src/netlist/blif_writer.cpp" "src/netlist/CMakeFiles/cwsp_netlist.dir/blif_writer.cpp.o" "gcc" "src/netlist/CMakeFiles/cwsp_netlist.dir/blif_writer.cpp.o.d"
+  "/root/repo/src/netlist/decompose.cpp" "src/netlist/CMakeFiles/cwsp_netlist.dir/decompose.cpp.o" "gcc" "src/netlist/CMakeFiles/cwsp_netlist.dir/decompose.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/cwsp_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/cwsp_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/transform.cpp" "src/netlist/CMakeFiles/cwsp_netlist.dir/transform.cpp.o" "gcc" "src/netlist/CMakeFiles/cwsp_netlist.dir/transform.cpp.o.d"
+  "/root/repo/src/netlist/verilog_writer.cpp" "src/netlist/CMakeFiles/cwsp_netlist.dir/verilog_writer.cpp.o" "gcc" "src/netlist/CMakeFiles/cwsp_netlist.dir/verilog_writer.cpp.o.d"
+  "/root/repo/src/netlist/writer.cpp" "src/netlist/CMakeFiles/cwsp_netlist.dir/writer.cpp.o" "gcc" "src/netlist/CMakeFiles/cwsp_netlist.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cell/CMakeFiles/cwsp_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cwsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsp_netlist.dir/analysis.cpp.o"
+  "CMakeFiles/cwsp_netlist.dir/analysis.cpp.o.d"
+  "CMakeFiles/cwsp_netlist.dir/bench_parser.cpp.o"
+  "CMakeFiles/cwsp_netlist.dir/bench_parser.cpp.o.d"
+  "CMakeFiles/cwsp_netlist.dir/blif_parser.cpp.o"
+  "CMakeFiles/cwsp_netlist.dir/blif_parser.cpp.o.d"
+  "CMakeFiles/cwsp_netlist.dir/blif_writer.cpp.o"
+  "CMakeFiles/cwsp_netlist.dir/blif_writer.cpp.o.d"
+  "CMakeFiles/cwsp_netlist.dir/decompose.cpp.o"
+  "CMakeFiles/cwsp_netlist.dir/decompose.cpp.o.d"
+  "CMakeFiles/cwsp_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/cwsp_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/cwsp_netlist.dir/transform.cpp.o"
+  "CMakeFiles/cwsp_netlist.dir/transform.cpp.o.d"
+  "CMakeFiles/cwsp_netlist.dir/verilog_writer.cpp.o"
+  "CMakeFiles/cwsp_netlist.dir/verilog_writer.cpp.o.d"
+  "CMakeFiles/cwsp_netlist.dir/writer.cpp.o"
+  "CMakeFiles/cwsp_netlist.dir/writer.cpp.o.d"
+  "libcwsp_netlist.a"
+  "libcwsp_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsp_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsp_set.dir/glitch_model.cpp.o"
+  "CMakeFiles/cwsp_set.dir/glitch_model.cpp.o.d"
+  "CMakeFiles/cwsp_set.dir/ser.cpp.o"
+  "CMakeFiles/cwsp_set.dir/ser.cpp.o.d"
+  "CMakeFiles/cwsp_set.dir/strike_plan.cpp.o"
+  "CMakeFiles/cwsp_set.dir/strike_plan.cpp.o.d"
+  "libcwsp_set.a"
+  "libcwsp_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsp_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsp_sim.dir/digital_waveform.cpp.o"
+  "CMakeFiles/cwsp_sim.dir/digital_waveform.cpp.o.d"
+  "CMakeFiles/cwsp_sim.dir/equivalence.cpp.o"
+  "CMakeFiles/cwsp_sim.dir/equivalence.cpp.o.d"
+  "CMakeFiles/cwsp_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/cwsp_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/cwsp_sim.dir/logic_sim.cpp.o"
+  "CMakeFiles/cwsp_sim.dir/logic_sim.cpp.o.d"
+  "CMakeFiles/cwsp_sim.dir/trace.cpp.o"
+  "CMakeFiles/cwsp_sim.dir/trace.cpp.o.d"
+  "libcwsp_sim.a"
+  "libcwsp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

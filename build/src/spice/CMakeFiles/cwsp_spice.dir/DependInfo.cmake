@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/circuit.cpp" "src/spice/CMakeFiles/cwsp_spice.dir/circuit.cpp.o" "gcc" "src/spice/CMakeFiles/cwsp_spice.dir/circuit.cpp.o.d"
+  "/root/repo/src/spice/delay_line.cpp" "src/spice/CMakeFiles/cwsp_spice.dir/delay_line.cpp.o" "gcc" "src/spice/CMakeFiles/cwsp_spice.dir/delay_line.cpp.o.d"
+  "/root/repo/src/spice/devices.cpp" "src/spice/CMakeFiles/cwsp_spice.dir/devices.cpp.o" "gcc" "src/spice/CMakeFiles/cwsp_spice.dir/devices.cpp.o.d"
+  "/root/repo/src/spice/netlist_bridge.cpp" "src/spice/CMakeFiles/cwsp_spice.dir/netlist_bridge.cpp.o" "gcc" "src/spice/CMakeFiles/cwsp_spice.dir/netlist_bridge.cpp.o.d"
+  "/root/repo/src/spice/solver.cpp" "src/spice/CMakeFiles/cwsp_spice.dir/solver.cpp.o" "gcc" "src/spice/CMakeFiles/cwsp_spice.dir/solver.cpp.o.d"
+  "/root/repo/src/spice/subckt.cpp" "src/spice/CMakeFiles/cwsp_spice.dir/subckt.cpp.o" "gcc" "src/spice/CMakeFiles/cwsp_spice.dir/subckt.cpp.o.d"
+  "/root/repo/src/spice/transient.cpp" "src/spice/CMakeFiles/cwsp_spice.dir/transient.cpp.o" "gcc" "src/spice/CMakeFiles/cwsp_spice.dir/transient.cpp.o.d"
+  "/root/repo/src/spice/waveform.cpp" "src/spice/CMakeFiles/cwsp_spice.dir/waveform.cpp.o" "gcc" "src/spice/CMakeFiles/cwsp_spice.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cell/CMakeFiles/cwsp_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/cwsp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cwsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

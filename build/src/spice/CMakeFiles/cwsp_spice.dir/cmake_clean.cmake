@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsp_spice.dir/circuit.cpp.o"
+  "CMakeFiles/cwsp_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/cwsp_spice.dir/delay_line.cpp.o"
+  "CMakeFiles/cwsp_spice.dir/delay_line.cpp.o.d"
+  "CMakeFiles/cwsp_spice.dir/devices.cpp.o"
+  "CMakeFiles/cwsp_spice.dir/devices.cpp.o.d"
+  "CMakeFiles/cwsp_spice.dir/netlist_bridge.cpp.o"
+  "CMakeFiles/cwsp_spice.dir/netlist_bridge.cpp.o.d"
+  "CMakeFiles/cwsp_spice.dir/solver.cpp.o"
+  "CMakeFiles/cwsp_spice.dir/solver.cpp.o.d"
+  "CMakeFiles/cwsp_spice.dir/subckt.cpp.o"
+  "CMakeFiles/cwsp_spice.dir/subckt.cpp.o.d"
+  "CMakeFiles/cwsp_spice.dir/transient.cpp.o"
+  "CMakeFiles/cwsp_spice.dir/transient.cpp.o.d"
+  "CMakeFiles/cwsp_spice.dir/waveform.cpp.o"
+  "CMakeFiles/cwsp_spice.dir/waveform.cpp.o.d"
+  "libcwsp_spice.a"
+  "libcwsp_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsp_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsp_sta.dir/sta.cpp.o"
+  "CMakeFiles/cwsp_sta.dir/sta.cpp.o.d"
+  "libcwsp_sta.a"
+  "libcwsp_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsp_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_area_report.dir/test_area_report.cpp.o"
+  "CMakeFiles/test_area_report.dir/test_area_report.cpp.o.d"
+  "test_area_report"
+  "test_area_report.pdb"
+  "test_area_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_area_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchmark_data.dir/test_benchmark_data.cpp.o"
+  "CMakeFiles/test_benchmark_data.dir/test_benchmark_data.cpp.o.d"
+  "test_benchmark_data"
+  "test_benchmark_data.pdb"
+  "test_benchmark_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchmark_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blif_parser.dir/test_blif_parser.cpp.o"
+  "CMakeFiles/test_blif_parser.dir/test_blif_parser.cpp.o.d"
+  "test_blif_parser"
+  "test_blif_parser.pdb"
+  "test_blif_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blif_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_digital_waveform.dir/test_digital_waveform.cpp.o"
+  "CMakeFiles/test_digital_waveform.dir/test_digital_waveform.cpp.o.d"
+  "test_digital_waveform"
+  "test_digital_waveform.pdb"
+  "test_digital_waveform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_digital_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

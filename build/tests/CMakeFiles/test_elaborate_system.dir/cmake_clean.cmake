@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elaborate_system.dir/test_elaborate_system.cpp.o"
+  "CMakeFiles/test_elaborate_system.dir/test_elaborate_system.cpp.o.d"
+  "test_elaborate_system"
+  "test_elaborate_system.pdb"
+  "test_elaborate_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elaborate_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

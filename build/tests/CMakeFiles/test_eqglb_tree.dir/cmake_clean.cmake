@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eqglb_tree.dir/test_eqglb_tree.cpp.o"
+  "CMakeFiles/test_eqglb_tree.dir/test_eqglb_tree.cpp.o.d"
+  "test_eqglb_tree"
+  "test_eqglb_tree.pdb"
+  "test_eqglb_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eqglb_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

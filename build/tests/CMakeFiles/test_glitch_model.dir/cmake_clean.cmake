@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_glitch_model.dir/test_glitch_model.cpp.o"
+  "CMakeFiles/test_glitch_model.dir/test_glitch_model.cpp.o.d"
+  "test_glitch_model"
+  "test_glitch_model.pdb"
+  "test_glitch_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_glitch_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

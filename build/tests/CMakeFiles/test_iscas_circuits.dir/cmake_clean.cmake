@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iscas_circuits.dir/test_iscas_circuits.cpp.o"
+  "CMakeFiles/test_iscas_circuits.dir/test_iscas_circuits.cpp.o.d"
+  "test_iscas_circuits"
+  "test_iscas_circuits.pdb"
+  "test_iscas_circuits[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iscas_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

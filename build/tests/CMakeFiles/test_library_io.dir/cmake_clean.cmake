@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_library_io.dir/test_library_io.cpp.o"
+  "CMakeFiles/test_library_io.dir/test_library_io.cpp.o.d"
+  "test_library_io"
+  "test_library_io.pdb"
+  "test_library_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_library_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

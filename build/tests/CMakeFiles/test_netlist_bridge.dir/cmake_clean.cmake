@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netlist_bridge.dir/test_netlist_bridge.cpp.o"
+  "CMakeFiles/test_netlist_bridge.dir/test_netlist_bridge.cpp.o.d"
+  "test_netlist_bridge"
+  "test_netlist_bridge.pdb"
+  "test_netlist_bridge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netlist_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noise_margin.dir/test_noise_margin.cpp.o"
+  "CMakeFiles/test_noise_margin.dir/test_noise_margin.cpp.o.d"
+  "test_noise_margin"
+  "test_noise_margin.pdb"
+  "test_noise_margin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noise_margin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_cells.dir/test_properties_cells.cpp.o"
+  "CMakeFiles/test_properties_cells.dir/test_properties_cells.cpp.o.d"
+  "test_properties_cells"
+  "test_properties_cells.pdb"
+  "test_properties_cells[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_cwsp_hold.dir/test_properties_cwsp_hold.cpp.o"
+  "CMakeFiles/test_properties_cwsp_hold.dir/test_properties_cwsp_hold.cpp.o.d"
+  "test_properties_cwsp_hold"
+  "test_properties_cwsp_hold.pdb"
+  "test_properties_cwsp_hold[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_cwsp_hold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_properties_decompose.cpp" "tests/CMakeFiles/test_properties_decompose.dir/test_properties_decompose.cpp.o" "gcc" "tests/CMakeFiles/test_properties_decompose.dir/test_properties_decompose.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/cwsp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cwsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/cwsp_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/set/CMakeFiles/cwsp_set.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/cwsp_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/cwsp_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cwsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

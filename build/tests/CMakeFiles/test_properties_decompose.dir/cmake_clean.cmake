@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_decompose.dir/test_properties_decompose.cpp.o"
+  "CMakeFiles/test_properties_decompose.dir/test_properties_decompose.cpp.o.d"
+  "test_properties_decompose"
+  "test_properties_decompose.pdb"
+  "test_properties_decompose[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

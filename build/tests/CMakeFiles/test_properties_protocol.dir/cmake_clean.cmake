@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_protocol.dir/test_properties_protocol.cpp.o"
+  "CMakeFiles/test_properties_protocol.dir/test_properties_protocol.cpp.o.d"
+  "test_properties_protocol"
+  "test_properties_protocol.pdb"
+  "test_properties_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_roundtrip.dir/test_properties_roundtrip.cpp.o"
+  "CMakeFiles/test_properties_roundtrip.dir/test_properties_roundtrip.cpp.o.d"
+  "test_properties_roundtrip"
+  "test_properties_roundtrip.pdb"
+  "test_properties_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_sim.dir/test_properties_sim.cpp.o"
+  "CMakeFiles/test_properties_sim.dir/test_properties_sim.cpp.o.d"
+  "test_properties_sim"
+  "test_properties_sim.pdb"
+  "test_properties_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_spice.dir/test_properties_spice.cpp.o"
+  "CMakeFiles/test_properties_spice.dir/test_properties_spice.cpp.o.d"
+  "test_properties_spice"
+  "test_properties_spice.pdb"
+  "test_properties_spice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

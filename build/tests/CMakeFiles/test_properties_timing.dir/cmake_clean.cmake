@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_timing.dir/test_properties_timing.cpp.o"
+  "CMakeFiles/test_properties_timing.dir/test_properties_timing.cpp.o.d"
+  "test_properties_timing"
+  "test_properties_timing.pdb"
+  "test_properties_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

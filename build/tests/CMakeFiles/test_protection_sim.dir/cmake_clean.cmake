@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protection_sim.dir/test_protection_sim.cpp.o"
+  "CMakeFiles/test_protection_sim.dir/test_protection_sim.cpp.o.d"
+  "test_protection_sim"
+  "test_protection_sim.pdb"
+  "test_protection_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protection_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protection_tuning.dir/test_protection_tuning.cpp.o"
+  "CMakeFiles/test_protection_tuning.dir/test_protection_tuning.cpp.o.d"
+  "test_protection_tuning"
+  "test_protection_tuning.pdb"
+  "test_protection_tuning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protection_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_devices.dir/test_spice_devices.cpp.o"
+  "CMakeFiles/test_spice_devices.dir/test_spice_devices.cpp.o.d"
+  "test_spice_devices"
+  "test_spice_devices.pdb"
+  "test_spice_devices[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strike_plan.dir/test_strike_plan.cpp.o"
+  "CMakeFiles/test_strike_plan.dir/test_strike_plan.cpp.o.d"
+  "test_strike_plan"
+  "test_strike_plan.pdb"
+  "test_strike_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strike_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

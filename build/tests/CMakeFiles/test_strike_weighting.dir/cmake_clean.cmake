@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strike_weighting.dir/test_strike_weighting.cpp.o"
+  "CMakeFiles/test_strike_weighting.dir/test_strike_weighting.cpp.o.d"
+  "test_strike_weighting"
+  "test_strike_weighting.pdb"
+  "test_strike_weighting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strike_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_strike_weighting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subckt.dir/test_subckt.cpp.o"
+  "CMakeFiles/test_subckt.dir/test_subckt.cpp.o.d"
+  "test_subckt"
+  "test_subckt.pdb"
+  "test_subckt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subckt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

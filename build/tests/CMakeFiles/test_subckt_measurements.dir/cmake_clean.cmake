@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subckt_measurements.dir/test_subckt_measurements.cpp.o"
+  "CMakeFiles/test_subckt_measurements.dir/test_subckt_measurements.cpp.o.d"
+  "test_subckt_measurements"
+  "test_subckt_measurements.pdb"
+  "test_subckt_measurements[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subckt_measurements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_eqs.dir/test_timing_eqs.cpp.o"
+  "CMakeFiles/test_timing_eqs.dir/test_timing_eqs.cpp.o.d"
+  "test_timing_eqs"
+  "test_timing_eqs.pdb"
+  "test_timing_eqs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_eqs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verilog_writer.dir/test_verilog_writer.cpp.o"
+  "CMakeFiles/test_verilog_writer.dir/test_verilog_writer.cpp.o.d"
+  "test_verilog_writer"
+  "test_verilog_writer.pdb"
+  "test_verilog_writer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verilog_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

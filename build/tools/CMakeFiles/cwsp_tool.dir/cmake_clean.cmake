@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cwsp_tool.dir/cwsp_tool.cpp.o"
+  "CMakeFiles/cwsp_tool.dir/cwsp_tool.cpp.o.d"
+  "cwsp_tool"
+  "cwsp_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cwsp_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
