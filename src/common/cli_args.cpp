@@ -1,0 +1,54 @@
+#include "common/cli_args.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace cwsp {
+
+double CliArgs::number(const std::string& key, double fallback) const {
+  const auto it = options.find(key);
+  if (it == options.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  CWSP_REQUIRE_MSG(end != it->second.c_str() && *end == '\0',
+                   "option --" << key << " expects a number, got '"
+                               << it->second << "'");
+  return value;
+}
+
+std::string CliArgs::text(const std::string& key,
+                          const std::string& fallback) const {
+  const auto it = options.find(key);
+  return it == options.end() ? fallback : it->second;
+}
+
+bool is_negative_number(const std::string& token) {
+  if (token.size() < 2 || token[0] != '-') return false;
+  char* end = nullptr;
+  (void)std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+CliArgs parse_cli_args(int argc, const char* const* argv, int first) {
+  CliArgs args;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0 && arg.size() > 2) {
+      const std::string key = arg.substr(2);
+      if (i + 1 < argc) {
+        const std::string next = argv[i + 1];
+        if (next.empty() || next[0] != '-' || is_negative_number(next)) {
+          args.options[key] = argv[++i];
+          continue;
+        }
+      }
+      args.options[key] = "1";
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+}  // namespace cwsp

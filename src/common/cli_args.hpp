@@ -1,0 +1,38 @@
+#pragma once
+// Minimal command-line argument parser shared by the CLI front ends:
+// positionals plus `--key [value]` options. A token following an option is
+// consumed as its value when it does not itself look like an option —
+// including negative numbers (`--skew -5`), which must not be mistaken
+// for flags.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cwsp {
+
+struct CliArgs {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return options.contains(key);
+  }
+  /// Numeric option value, or `fallback` when absent. Throws cwsp::Error
+  /// when present but not a number.
+  [[nodiscard]] double number(const std::string& key, double fallback) const;
+  [[nodiscard]] std::string text(const std::string& key,
+                                 const std::string& fallback) const;
+};
+
+/// True for tokens like "-5", "-0.25" or "-1e3" (an option *value*, not a
+/// flag, despite the leading dash).
+[[nodiscard]] bool is_negative_number(const std::string& token);
+
+/// Parses argv[first..argc). Options are `--key`; the next token becomes
+/// the value when it does not start with '-' or is a negative number,
+/// otherwise the option is a flag with value "1".
+[[nodiscard]] CliArgs parse_cli_args(int argc, const char* const* argv,
+                                     int first = 2);
+
+}  // namespace cwsp

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "lint/rules.hpp"
 #include "sta/sta.hpp"
 
 namespace cwsp::core {
@@ -52,6 +53,9 @@ SquareMicrons protection_area_for(int num_ffs, const ProtectionParams& params) {
 }
 
 HardenedDesign harden(const Netlist& netlist, const ProtectionParams& params) {
+  // Reject malformed inputs with per-net/per-gate diagnostics up front;
+  // STA and the protection model both assume a well-formed netlist.
+  lint::require_clean_structure(netlist);
   const auto sta = run_sta(netlist);
   return harden_with_timing(netlist, params,
                             DesignTiming{sta.dmax, sta.dmin});
@@ -59,6 +63,7 @@ HardenedDesign harden(const Netlist& netlist, const ProtectionParams& params) {
 
 HardenedDesign harden_assuming_balanced_paths(const Netlist& netlist,
                                               const ProtectionParams& params) {
+  lint::require_clean_structure(netlist);
   const auto sta = run_sta(netlist);
   return harden_with_timing(netlist, params,
                             timing_with_assumed_dmin(sta.dmax));

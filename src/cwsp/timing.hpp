@@ -1,6 +1,13 @@
 #pragma once
 // Timing analysis of the protection scheme — Equations 2 through 6 of the
 // paper, plus the clock-skew derating of §3.4.
+//
+// Everything here is a small pure function of calibration constants, so
+// the implementations live inline in this header; that lets the lint
+// design-rule checker evaluate the same equations without linking the
+// core library (which itself depends on lint for structural prechecks).
+
+#include <algorithm>
 
 #include "cell/library.hpp"
 #include "cwsp/protection_params.hpp"
@@ -19,33 +26,57 @@ struct DesignTiming {
 
 /// Maximum protected glitch width: δ ≤ min{D_min/2, (D_max − Δ)/2}
 /// (Eqs. 2 and 5). Clock skew `s` reduces the effective D_min (§3.4).
-[[nodiscard]] Picoseconds max_protected_glitch(const DesignTiming& timing,
-                                               const ProtectionParams& params,
-                                               Picoseconds clock_skew = Picoseconds(0.0));
+[[nodiscard]] inline Picoseconds max_protected_glitch(
+    const DesignTiming& timing, const ProtectionParams& params,
+    Picoseconds clock_skew = Picoseconds(0.0)) {
+  const Picoseconds effective_dmin = timing.dmin - clock_skew;  // §3.4
+  const Picoseconds by_dmin = effective_dmin / 2.0;             // Eq. 2
+  const Picoseconds by_dmax =
+      (timing.dmax - params.protection_path_delta()) / 2.0;     // Eq. 5
+  const Picoseconds glitch = std::min(by_dmin, by_dmax);
+  return std::max(glitch, Picoseconds(0.0));
+}
 
 /// True if the design's D_max and D_min admit the params' full designed δ.
-[[nodiscard]] bool supports_full_protection(const DesignTiming& timing,
-                                            const ProtectionParams& params,
-                                            Picoseconds clock_skew = Picoseconds(0.0));
+[[nodiscard]] inline bool supports_full_protection(
+    const DesignTiming& timing, const ProtectionParams& params,
+    Picoseconds clock_skew = Picoseconds(0.0)) {
+  return max_protected_glitch(timing, params, clock_skew) >= params.delta;
+}
 
 /// Clock period of the unhardened design: D_max + T_SETUP + T_CLK→Q
 /// (left-hand side of Eq. 4 with the regular flip-flop).
-[[nodiscard]] Picoseconds regular_clock_period(Picoseconds dmax,
-                                               const CellLibrary& library);
+[[nodiscard]] inline Picoseconds regular_clock_period(
+    Picoseconds dmax, const CellLibrary& library) {
+  return dmax + library.regular_ff().setup + library.regular_ff().clk_to_q;
+}
 
 /// Clock period of the hardened design: D_max + extra-D-load + T_SETUP' +
 /// T_CLK→Q' of the modified flip-flop (paper §4: +11.5 ps total).
-[[nodiscard]] Picoseconds hardened_clock_period(Picoseconds dmax,
-                                                const CellLibrary& library);
+[[nodiscard]] inline Picoseconds hardened_clock_period(
+    Picoseconds dmax, const CellLibrary& library) {
+  return dmax + cal::kExtraDLoadDelay + library.modified_ff().setup +
+         library.modified_ff().clk_to_q;
+}
 
 /// Eq. 6 solved for the minimum clock period protecting glitches of width
 /// δ: T ≥ 2δ + T_CLKQ_EQ + T_CLKQ_DFF2 + D_MUX + T_SETUP_SYS + D_CWSP +
 /// T_SETUP_EQ + delay(AND1).
-[[nodiscard]] Picoseconds min_clock_period_for_delta(
-    const ProtectionParams& params);
+[[nodiscard]] inline Picoseconds min_clock_period_for_delta(
+    const ProtectionParams& params) {
+  return params.delta * 2.0 + cal::kClkQEq + cal::kClkQDff2 +
+         cal::kDelayMux + cal::kSetupModified + params.d_cwsp +
+         cal::kSetupEq + cal::kDelayAnd1;
+}
 
 /// Eq. 6 as stated: the max δ protected at a given clock period T.
-[[nodiscard]] Picoseconds max_delta_for_period(Picoseconds period,
-                                               const ProtectionParams& params);
+[[nodiscard]] inline Picoseconds max_delta_for_period(
+    Picoseconds period, const ProtectionParams& params) {
+  const Picoseconds fixed = cal::kClkQEq + cal::kClkQDff2 + cal::kDelayMux +
+                            cal::kSetupModified + params.d_cwsp +
+                            cal::kSetupEq + cal::kDelayAnd1;
+  const Picoseconds delta = (period - fixed) / 2.0;
+  return std::max(delta, Picoseconds(0.0));
+}
 
 }  // namespace cwsp::core

@@ -1,0 +1,51 @@
+#include "lint/diagnostic.hpp"
+
+#include <algorithm>
+
+namespace cwsp::lint {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::size_t LintReport::count(Severity severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [&](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+bool LintReport::fails_at(Severity threshold) const {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [&](const Diagnostic& d) {
+                       return static_cast<int>(d.severity) >=
+                              static_cast<int>(threshold);
+                     });
+}
+
+std::vector<Diagnostic> LintReport::by_rule(const std::string& rule_id) const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.rule_id == rule_id) out.push_back(d);
+  }
+  return out;
+}
+
+bool LintReport::has_rule(const std::string& rule_id) const {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.rule_id == rule_id; });
+}
+
+void LintReport::merge(const LintReport& other) {
+  diagnostics.insert(diagnostics.end(), other.diagnostics.begin(),
+                     other.diagnostics.end());
+}
+
+}  // namespace cwsp::lint

@@ -1,0 +1,58 @@
+#pragma once
+// Diagnostics emitted by the netlist/hardening design-rule checker: a
+// stable rule id, a severity, the netlist entities involved and a
+// human-readable message. A LintReport aggregates one lint run.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace cwsp::lint {
+
+enum class Severity : std::uint8_t { kInfo = 0, kWarning = 1, kError = 2 };
+
+[[nodiscard]] const char* to_string(Severity severity);
+
+struct Diagnostic {
+  std::string rule_id;
+  Severity severity = Severity::kError;
+  std::string message;
+  /// Entities the diagnostic anchors to (any subset may be empty).
+  std::vector<NetId> nets;
+  std::vector<GateId> gates;
+  std::vector<FlipFlopId> ffs;
+  /// Entity names, resolved by run_lint so reports stay self-contained
+  /// once merged across netlists (same order as the id vectors).
+  std::vector<std::string> net_names;
+  std::vector<std::string> gate_names;
+  std::vector<std::string> ff_names;
+};
+
+struct LintReport {
+  /// Name of the linted design (netlist name or file stem).
+  std::string design;
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] std::size_t count(Severity severity) const;
+  [[nodiscard]] std::size_t errors() const { return count(Severity::kError); }
+  [[nodiscard]] std::size_t warnings() const {
+    return count(Severity::kWarning);
+  }
+  [[nodiscard]] bool clean() const { return diagnostics.empty(); }
+  /// True when any diagnostic is at or above `threshold`.
+  [[nodiscard]] bool fails_at(Severity threshold) const;
+  /// All diagnostics produced by one rule (tests use this heavily).
+  [[nodiscard]] std::vector<Diagnostic> by_rule(
+      const std::string& rule_id) const;
+  [[nodiscard]] bool has_rule(const std::string& rule_id) const;
+
+  void add(Diagnostic diagnostic) {
+    diagnostics.push_back(std::move(diagnostic));
+  }
+  /// Appends another report's diagnostics (multi-netlist lint runs).
+  void merge(const LintReport& other);
+};
+
+}  // namespace cwsp::lint

@@ -1,0 +1,62 @@
+#include "lint/lint.hpp"
+
+namespace cwsp::lint {
+namespace {
+
+template <typename ParseFn>
+LintReport lint_parsed(const std::string& design_name,
+                       const LintOptions& options, ParseFn&& parse) {
+  std::vector<BenchParseIssue> issues;
+  BenchParseOptions parse_options;
+  parse_options.lenient = true;
+  parse_options.issues = &issues;
+  LintReport report;
+  try {
+    const Netlist netlist = parse(parse_options);
+    report = run_lint(netlist, options);
+  } catch (const Error& e) {
+    report.design = design_name;
+    Diagnostic d;
+    d.rule_id = "parse-error";
+    d.severity = Severity::kError;
+    d.message = e.what();
+    report.add(std::move(d));
+    return report;
+  }
+  add_parse_issue_diagnostics(issues, report);
+  return report;
+}
+
+}  // namespace
+
+void add_parse_issue_diagnostics(const std::vector<BenchParseIssue>& issues,
+                                 LintReport& report) {
+  for (const BenchParseIssue& issue : issues) {
+    if (!issue.redefinition) continue;  // undefined signals surface as
+                                        // undriven nets via the rules
+    Diagnostic d;
+    d.rule_id = "multiply-driven-net";
+    d.severity = Severity::kError;
+    d.message = "line " + std::to_string(issue.line) + ": " + issue.message;
+    report.add(std::move(d));
+  }
+}
+
+LintReport lint_bench_file(const std::string& path,
+                           const CellLibrary& library,
+                           const LintOptions& options) {
+  return lint_parsed(path, options, [&](const BenchParseOptions& po) {
+    return parse_bench_file(path, library, po);
+  });
+}
+
+LintReport lint_bench_string(const std::string& text,
+                             const CellLibrary& library,
+                             const std::string& name,
+                             const LintOptions& options) {
+  return lint_parsed(name, options, [&](const BenchParseOptions& po) {
+    return parse_bench_string(text, library, name, po);
+  });
+}
+
+}  // namespace cwsp::lint

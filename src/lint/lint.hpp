@@ -1,0 +1,36 @@
+#pragma once
+// Umbrella entry points of the design-rule checker: lint an in-memory
+// netlist (rules.hpp) or a .bench design straight from disk, where a
+// lenient parse lets source-level problems (multiply-driven signals,
+// references to undefined nets) surface as diagnostics instead of
+// exceptions.
+
+#include <string>
+#include <vector>
+
+#include "lint/report.hpp"
+#include "lint/rules.hpp"
+#include "netlist/bench_parser.hpp"
+
+namespace cwsp::lint {
+
+/// Converts lenient-parse issues into diagnostics: signal redefinitions
+/// become multiply-driven-net errors (the in-memory netlist keeps only
+/// the first driver, so the structural rule alone cannot see them).
+void add_parse_issue_diagnostics(const std::vector<BenchParseIssue>& issues,
+                                 LintReport& report);
+
+/// Parses `path` leniently and runs the applicable rules. A syntax-level
+/// failure (unreadable file, malformed line, unknown function) produces a
+/// single error diagnostic with the pseudo rule id `parse-error`.
+[[nodiscard]] LintReport lint_bench_file(const std::string& path,
+                                         const CellLibrary& library,
+                                         const LintOptions& options = {});
+
+/// As lint_bench_file, over an in-memory .bench description (tests).
+[[nodiscard]] LintReport lint_bench_string(const std::string& text,
+                                           const CellLibrary& library,
+                                           const std::string& name = "bench",
+                                           const LintOptions& options = {});
+
+}  // namespace cwsp::lint

@@ -1,0 +1,103 @@
+#include <algorithm>
+#include <sstream>
+
+#include "lint/rules.hpp"
+
+namespace cwsp::lint {
+
+const char* to_string(RuleCategory category) {
+  switch (category) {
+    case RuleCategory::kStructure:
+      return "structure";
+    case RuleCategory::kTiming:
+      return "timing";
+    case RuleCategory::kHardening:
+      return "hardening";
+  }
+  return "unknown";
+}
+
+void RuleRegistry::add(Rule rule) {
+  CWSP_REQUIRE_MSG(find(rule.id) == nullptr,
+                   "duplicate lint rule id " << rule.id);
+  rules_.push_back(std::move(rule));
+}
+
+const Rule* RuleRegistry::find(const std::string& id) const {
+  const auto it = std::find_if(rules_.begin(), rules_.end(),
+                               [&](const Rule& r) { return r.id == id; });
+  return it == rules_.end() ? nullptr : &*it;
+}
+
+const RuleRegistry& default_registry() {
+  static const RuleRegistry registry = [] {
+    RuleRegistry r;
+    register_structure_rules(r);
+    register_timing_rules(r);
+    register_hardening_rules(r);
+    return r;
+  }();
+  return registry;
+}
+
+LintReport run_lint(const Netlist& netlist, const LintOptions& options,
+                    const RuleRegistry& registry) {
+  LintContext ctx;
+  ctx.netlist = &netlist;
+  ctx.options = options;
+
+  LintReport report;
+  report.design = netlist.name();
+
+  auto run_category = [&](RuleCategory category) {
+    for (const Rule& rule : registry.rules()) {
+      if (rule.category == category) rule.run(ctx, report);
+    }
+  };
+
+  run_category(RuleCategory::kStructure);
+
+  // The STA-backed rules need a well-formed netlist with combinational
+  // logic: skip them (rather than crash in STA) when the structure pass
+  // already found errors.
+  TimingResult sta;
+  if (options.params.has_value() && netlist.num_gates() > 0 &&
+      !report.fails_at(Severity::kError)) {
+    options.params->validate();
+    sta = run_sta(netlist);
+    ctx.sta = &sta;
+    run_category(RuleCategory::kTiming);
+    ctx.sta = nullptr;
+  }
+
+  if (options.hardened_structure || options.tree.has_value()) {
+    run_category(RuleCategory::kHardening);
+  }
+
+  for (Diagnostic& d : report.diagnostics) {
+    for (NetId id : d.nets) d.net_names.push_back(netlist.net(id).name);
+    for (GateId id : d.gates) d.gate_names.push_back(netlist.gate(id).name);
+    for (FlipFlopId id : d.ffs) d.ff_names.push_back(netlist.flip_flop(id).name);
+  }
+  return report;
+}
+
+void require_clean_structure(const Netlist& netlist) {
+  static const RuleRegistry structure_only = [] {
+    RuleRegistry r;
+    register_structure_rules(r);
+    return r;
+  }();
+  const LintReport report = run_lint(netlist, {}, structure_only);
+  if (!report.fails_at(Severity::kError)) return;
+
+  std::ostringstream os;
+  os << "netlist '" << netlist.name() << "' fails structural design rules:";
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.severity != Severity::kError) continue;
+    os << "\n  [" << d.rule_id << "] " << d.message;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace cwsp::lint

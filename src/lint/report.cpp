@@ -1,0 +1,95 @@
+#include "lint/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace cwsp::lint {
+namespace {
+
+void append_name_array(std::ostringstream& os, const char* key,
+                       const std::vector<std::string>& names) {
+  os << '"' << key << "\": [";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << '"' << json_escape(names[i]) << '"';
+  }
+  os << ']';
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_text(const LintReport& report) {
+  std::ostringstream os;
+  for (const Diagnostic& d : report.diagnostics) {
+    os << to_string(d.severity) << " [" << d.rule_id << "] " << d.message
+       << '\n';
+  }
+  os << "lint '" << report.design << "': ";
+  if (report.clean()) {
+    os << "clean\n";
+  } else {
+    os << report.errors() << " error(s), " << report.warnings()
+       << " warning(s), " << report.count(Severity::kInfo) << " info\n";
+  }
+  return os.str();
+}
+
+std::string format_json(const LintReport& report) {
+  std::ostringstream os;
+  os << "{\n  \"design\": \"" << json_escape(report.design) << "\",\n";
+  os << "  \"clean\": " << (report.clean() ? "true" : "false") << ",\n";
+  os << "  \"counts\": {\"error\": " << report.errors()
+     << ", \"warning\": " << report.warnings()
+     << ", \"info\": " << report.count(Severity::kInfo) << "},\n";
+  os << "  \"diagnostics\": [";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"rule\": \""
+       << json_escape(d.rule_id) << "\", \"severity\": \""
+       << to_string(d.severity) << "\", \"message\": \""
+       << json_escape(d.message) << "\", ";
+    append_name_array(os, "nets", d.net_names);
+    os << ", ";
+    append_name_array(os, "gates", d.gate_names);
+    os << ", ";
+    append_name_array(os, "flip_flops", d.ff_names);
+    os << '}';
+  }
+  os << (report.diagnostics.empty() ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+}  // namespace cwsp::lint

@@ -1,0 +1,105 @@
+#pragma once
+// The rule registry of the design-rule checker. Rules are small pure
+// functions over a LintContext; the registry carries their metadata
+// (stable id, category, default severity, one-line description) so the
+// CLI and docs can enumerate them.
+//
+// Categories:
+//   * structure — netlist well-formedness (always run)
+//   * timing    — STA-backed protection-envelope checks (Eqs. 2–6); run
+//                 when the context carries ProtectionParams
+//   * hardening — structural invariants of an elaborated hardened system
+//                 and EQGLB-tree model consistency; run on request
+//
+// The checker lives below cwsp::core on purpose: core's harden() calls
+// the structure rules as a precondition, so this library must not link
+// against core (the protection equations it needs are header-inline).
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cwsp/eqglb_tree.hpp"
+#include "cwsp/protection_params.hpp"
+#include "cwsp/timing.hpp"
+#include "lint/diagnostic.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/sta.hpp"
+
+namespace cwsp::lint {
+
+enum class RuleCategory : std::uint8_t { kStructure, kTiming, kHardening };
+
+[[nodiscard]] const char* to_string(RuleCategory category);
+
+struct LintOptions {
+  /// Protection configuration to check the design against. Setting this
+  /// enables the timing rules.
+  std::optional<core::ProtectionParams> params;
+  /// Explicit clock period to verify Eq. 6 against; when absent the
+  /// period rules use the design's own hardened period (which satisfies
+  /// Eq. 6 by construction, so they can only fire with an explicit
+  /// period).
+  std::optional<Picoseconds> clock_period;
+  Picoseconds clock_skew{0.0};
+  /// Run the hardening *netlist* rules: the linted netlist claims to be
+  /// an elaborated hardened system (shadow FFs named cw<i>, suppression
+  /// FF eqglbf — the naming convention of elaborate_hardened_system).
+  bool hardened_structure = false;
+  /// Claimed EQGLB reduction model to cross-check against the protected
+  /// flip-flop count.
+  std::optional<core::EqglbTree> tree;
+};
+
+struct LintContext {
+  const Netlist* netlist = nullptr;
+  LintOptions options;
+  /// Filled by run_lint before the timing rules execute (null when the
+  /// structure rules found errors — STA needs a well-formed netlist).
+  const TimingResult* sta = nullptr;
+};
+
+struct Rule {
+  std::string id;
+  RuleCategory category = RuleCategory::kStructure;
+  Severity severity = Severity::kError;
+  std::string description;
+  std::function<void(const LintContext&, LintReport&)> run;
+};
+
+class RuleRegistry {
+ public:
+  /// Registers a rule; ids must be unique.
+  void add(Rule rule);
+  [[nodiscard]] const std::vector<Rule>& rules() const { return rules_; }
+  [[nodiscard]] const Rule* find(const std::string& id) const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+/// The built-in rule set (see docs/lint.md for the catalogue).
+[[nodiscard]] const RuleRegistry& default_registry();
+
+/// Registration helpers, one per category (used by default_registry and
+/// by tests that want a narrower registry).
+void register_structure_rules(RuleRegistry& registry);
+void register_timing_rules(RuleRegistry& registry);
+void register_hardening_rules(RuleRegistry& registry);
+
+/// Runs every applicable rule of `registry` over the netlist. Structure
+/// rules always run; timing rules run when options.params is set and the
+/// structure pass found no errors; hardening rules run when
+/// options.hardened_structure or options.tree ask for them.
+[[nodiscard]] LintReport run_lint(const Netlist& netlist,
+                                  const LintOptions& options = {},
+                                  const RuleRegistry& registry =
+                                      default_registry());
+
+/// Structure-rules-only convenience used as a precondition check by the
+/// hardening flow: throws cwsp::Error listing every error-severity
+/// diagnostic when the netlist is malformed.
+void require_clean_structure(const Netlist& netlist);
+
+}  // namespace cwsp::lint

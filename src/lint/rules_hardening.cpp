@@ -1,0 +1,211 @@
+// Hardening rules: structural invariants of an elaborated hardened
+// system (every system flip-flop carries its CWSP shadow latch, repair
+// MUX and equivalence checker; the EQGLB/EQGLBF suppression pair exists)
+// plus model-level consistency of a claimed EQGLB reduction tree.
+//
+// Protection instances are identified by the naming convention of
+// elaborate_hardened_system: shadow (CWSP/DFF2) flip-flops are named
+// cw<i> and the suppression flip-flop eqglbf; every other flip-flop is a
+// system state bit that must be protected.
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "cell/cell.hpp"
+#include "lint/rules.hpp"
+
+namespace cwsp::lint {
+namespace {
+
+bool is_shadow_ff_name(const std::string& name) {
+  if (name.size() < 3 || name.rfind("cw", 0) != 0) return false;
+  return std::all_of(name.begin() + 2, name.end(),
+                     [](unsigned char c) { return std::isdigit(c); });
+}
+
+bool is_protection_ff(const Netlist& nl, FlipFlopId id) {
+  const std::string& name = nl.flip_flop(id).name;
+  return name == "eqglbf" || is_shadow_ff_name(name);
+}
+
+void rule_hardening_repair_mux(const LintContext& ctx, LintReport& report) {
+  if (!ctx.options.hardened_structure) return;
+  const Netlist& nl = *ctx.netlist;
+  for (FlipFlopId f : nl.flip_flop_ids()) {
+    if (is_protection_ff(nl, f)) continue;
+    const FlipFlop& ff = nl.flip_flop(f);
+    const Net& d = nl.net(ff.d);
+
+    const bool has_mux =
+        d.driver_kind == DriverKind::kGate &&
+        nl.cell_of(GateId{d.driver_index}).kind() == CellKind::kMux2;
+    if (has_mux) {
+      // The MUX's recompute leg (d1) must come from the CWSP shadow
+      // latch, i.e. be flip-flop-driven.
+      const Gate& mux = nl.gate(GateId{d.driver_index});
+      if (nl.net(mux.inputs[1]).driver_kind == DriverKind::kFlipFlop) {
+        continue;
+      }
+      Diagnostic d2;
+      d2.rule_id = "hardening-shadow-ff";
+      d2.severity = Severity::kError;
+      d2.ffs.push_back(f);
+      d2.nets.push_back(mux.inputs[1]);
+      d2.message = "repair MUX of flip-flop '" + ff.name +
+                   "' does not recompute from a CWSP shadow latch (net '" +
+                   nl.net(mux.inputs[1]).name + "' is not flip-flop-driven)";
+      report.add(std::move(d2));
+      continue;
+    }
+    Diagnostic diag;
+    diag.rule_id = "hardening-repair-mux";
+    diag.severity = Severity::kError;
+    diag.ffs.push_back(f);
+    diag.nets.push_back(ff.d);
+    diag.message = "flip-flop '" + ff.name +
+                   "' has no repair MUX in front of its D pin (net '" +
+                   nl.net(ff.d).name + "')";
+    report.add(std::move(diag));
+  }
+}
+
+void rule_hardening_eq_checker(const LintContext& ctx, LintReport& report) {
+  if (!ctx.options.hardened_structure) return;
+  const Netlist& nl = *ctx.netlist;
+  for (FlipFlopId f : nl.flip_flop_ids()) {
+    if (is_protection_ff(nl, f)) continue;
+    const FlipFlop& ff = nl.flip_flop(f);
+    const Net& q = nl.net(ff.q);
+    const bool checked = std::any_of(
+        q.fanout_gates.begin(), q.fanout_gates.end(), [&](GateId g) {
+          return nl.cell_of(g).kind() == CellKind::kXnor2;
+        });
+    if (checked) continue;
+    Diagnostic d;
+    d.rule_id = "hardening-eq-checker";
+    d.severity = Severity::kError;
+    d.ffs.push_back(f);
+    d.nets.push_back(ff.q);
+    d.message = "flip-flop '" + ff.name +
+                "' is never compared against its CWSP value (no XNOR on Q)";
+    report.add(std::move(d));
+  }
+}
+
+void rule_hardening_suppression_ff(const LintContext& ctx,
+                                   LintReport& report) {
+  if (!ctx.options.hardened_structure) return;
+  const Netlist& nl = *ctx.netlist;
+  auto fail = [&](const std::string& message) {
+    Diagnostic d;
+    d.rule_id = "hardening-suppression-ff";
+    d.severity = Severity::kError;
+    d.message = message;
+    report.add(std::move(d));
+  };
+
+  const auto eqglb = nl.find_net("eqglb");
+  if (!eqglb.has_value()) {
+    fail("no 'eqglb' net: the EQ signals are never reduced");
+    return;
+  }
+  if (nl.net(*eqglb).driver_kind != DriverKind::kGate) {
+    fail("'eqglb' must be driven by the reduction logic");
+  }
+  const auto eqglbf = nl.find_net("eqglbf");
+  if (!eqglbf.has_value()) {
+    fail("no 'eqglbf' net: detections cannot suppress the next check");
+    return;
+  }
+  const Net& suppress = nl.net(*eqglbf);
+  if (suppress.driver_kind != DriverKind::kFlipFlop) {
+    fail("'eqglbf' must be a flip-flop output (DFF1 of Fig. 5)");
+    return;
+  }
+  const FlipFlop& dff1 = nl.flip_flop(FlipFlopId{suppress.driver_index});
+  if (dff1.d != *eqglb) {
+    fail("suppression flip-flop must sample 'eqglb', samples '" +
+         nl.net(dff1.d).name + "'");
+  }
+}
+
+void rule_eqglb_tree_bounds(const LintContext& ctx, LintReport& report) {
+  if (!ctx.options.tree.has_value()) return;
+  const core::EqglbTree& tree = *ctx.options.tree;
+  auto fail = [&](const std::string& message) {
+    Diagnostic d;
+    d.rule_id = "eqglb-tree-bounds";
+    d.severity = Severity::kError;
+    d.message = "EQGLB tree: " + message;
+    report.add(std::move(d));
+  };
+
+  if (tree.num_inputs < 1) {
+    fail("needs at least one EQ input, has " +
+         std::to_string(tree.num_inputs));
+    return;
+  }
+  // Protected-FF count of the linted design (its own FFs, or one per
+  // primary output for the paper's combinational benchmarks).
+  const Netlist& nl = *ctx.netlist;
+  const int expected_inputs =
+      nl.num_flip_flops() > 0
+          ? static_cast<int>(nl.num_flip_flops())
+          : static_cast<int>(nl.primary_outputs().size());
+  if (tree.num_inputs != expected_inputs) {
+    fail("has " + std::to_string(tree.num_inputs) + " EQ inputs but '" +
+         nl.name() + "' protects " + std::to_string(expected_inputs) +
+         " flip-flop(s)");
+  }
+  const core::EqglbTree reference = core::build_eqglb_tree(tree.num_inputs);
+  if (tree.num_inputs > cal::kTreeSingleLevelMax && tree.levels < 2) {
+    fail("a single NOR level only serves up to " +
+         std::to_string(cal::kTreeSingleLevelMax) + " inputs; " +
+         std::to_string(tree.num_inputs) + " need a multilevel reduction");
+  } else if (tree.levels != reference.levels) {
+    fail("has " + std::to_string(tree.levels) + " level(s), expected " +
+         std::to_string(reference.levels));
+  }
+  if (tree.first_level_gates != reference.first_level_gates) {
+    fail("has " + std::to_string(tree.first_level_gates) +
+         " first-level gate(s), expected " +
+         std::to_string(reference.first_level_gates));
+  } else if (tree.levels >= 2 &&
+             static_cast<long>(tree.first_level_gates) * cal::kTreeChunk <
+                 tree.num_inputs) {
+    fail(std::to_string(tree.first_level_gates) + " chunks of <= " +
+         std::to_string(cal::kTreeChunk) + " inputs cannot cover " +
+         std::to_string(tree.num_inputs) + " EQ signals");
+  }
+}
+
+}  // namespace
+
+void register_hardening_rules(RuleRegistry& registry) {
+  registry.add(Rule{"hardening-repair-mux", RuleCategory::kHardening,
+                    Severity::kError,
+                    "every system flip-flop needs a repair MUX on D",
+                    rule_hardening_repair_mux});
+  registry.add(Rule{"hardening-shadow-ff", RuleCategory::kHardening,
+                    Severity::kError,
+                    "the repair MUX must recompute from the CWSP latch",
+                    [](const LintContext&, LintReport&) {
+                      // Emitted by hardening-repair-mux's traversal; the
+                      // registry entry documents the id.
+                    }});
+  registry.add(Rule{"hardening-eq-checker", RuleCategory::kHardening,
+                    Severity::kError,
+                    "every system flip-flop needs an XNOR equivalence check",
+                    rule_hardening_eq_checker});
+  registry.add(Rule{"hardening-suppression-ff", RuleCategory::kHardening,
+                    Severity::kError,
+                    "the EQGLB/EQGLBF suppression pair must exist",
+                    rule_hardening_suppression_ff});
+  registry.add(Rule{"eqglb-tree-bounds", RuleCategory::kHardening,
+                    Severity::kError,
+                    "the EQGLB reduction must match the protected-FF count",
+                    rule_eqglb_tree_bounds});
+}
+
+}  // namespace cwsp::lint

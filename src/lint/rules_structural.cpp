@@ -1,0 +1,250 @@
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace cwsp::lint {
+namespace {
+
+std::string net_ref(const Netlist& nl, NetId id) {
+  return "net '" + nl.net(id).name + "'";
+}
+
+// ---------------------------------------------------------------- drivers
+
+void rule_undriven_net(const LintContext& ctx, LintReport& report) {
+  const Netlist& nl = *ctx.netlist;
+  for (std::size_t i = 0; i < nl.num_nets(); ++i) {
+    const NetId id{i};
+    const Net& net = nl.net(id);
+    if (net.driver_kind != DriverKind::kNone || net.is_primary_output) {
+      continue;  // undriven primary outputs belong to dangling-output
+    }
+    const std::size_t fanout =
+        net.fanout_gates.size() + net.fanout_ffs.size();
+    Diagnostic d;
+    d.rule_id = "undriven-net";
+    d.severity = Severity::kError;
+    d.nets.push_back(id);
+    d.message = net_ref(nl, id) + " has no driver but feeds " +
+                std::to_string(fanout) + " sink(s)";
+    report.add(std::move(d));
+  }
+}
+
+void rule_dangling_output(const LintContext& ctx, LintReport& report) {
+  const Netlist& nl = *ctx.netlist;
+  for (NetId id : nl.primary_outputs()) {
+    if (nl.net(id).driver_kind != DriverKind::kNone) continue;
+    Diagnostic d;
+    d.rule_id = "dangling-output";
+    d.severity = Severity::kError;
+    d.nets.push_back(id);
+    d.message = "primary output " + net_ref(nl, id) + " is never driven";
+    report.add(std::move(d));
+  }
+}
+
+void rule_multiply_driven_net(const LintContext& ctx, LintReport& report) {
+  // The in-memory Netlist enforces single drivers at construction, so
+  // this recount is defensive; the .bench front end reports source-level
+  // redefinitions under the same rule id (lint_parse_issues below).
+  const Netlist& nl = *ctx.netlist;
+  std::vector<int> drivers(nl.num_nets(), 0);
+  for (std::size_t i = 0; i < nl.num_nets(); ++i) {
+    const DriverKind kind = nl.net(NetId{i}).driver_kind;
+    if (kind == DriverKind::kPrimaryInput || kind == DriverKind::kConstant) {
+      ++drivers[i];
+    }
+  }
+  for (GateId g : nl.gate_ids()) ++drivers[nl.gate(g).output.index()];
+  for (FlipFlopId f : nl.flip_flop_ids()) ++drivers[nl.flip_flop(f).q.index()];
+  for (std::size_t i = 0; i < nl.num_nets(); ++i) {
+    if (drivers[i] <= 1) continue;
+    Diagnostic d;
+    d.rule_id = "multiply-driven-net";
+    d.severity = Severity::kError;
+    d.nets.push_back(NetId{i});
+    d.message = net_ref(nl, NetId{i}) + " has " + std::to_string(drivers[i]) +
+                " drivers";
+    report.add(std::move(d));
+  }
+}
+
+// ----------------------------------------------------------- dead logic
+
+void rule_floating_gate_output(const LintContext& ctx, LintReport& report) {
+  const Netlist& nl = *ctx.netlist;
+  for (GateId g : nl.gate_ids()) {
+    const NetId out = nl.gate(g).output;
+    const Net& net = nl.net(out);
+    if (net.is_primary_output || !net.fanout_gates.empty() ||
+        !net.fanout_ffs.empty()) {
+      continue;
+    }
+    Diagnostic d;
+    d.rule_id = "floating-gate-output";
+    d.severity = Severity::kWarning;
+    d.gates.push_back(g);
+    d.nets.push_back(out);
+    d.message = "output " + net_ref(nl, out) + " of gate '" +
+                nl.gate(g).name + "' drives nothing";
+    report.add(std::move(d));
+  }
+}
+
+void rule_unused_input(const LintContext& ctx, LintReport& report) {
+  const Netlist& nl = *ctx.netlist;
+  for (NetId id : nl.primary_inputs()) {
+    const Net& net = nl.net(id);
+    if (net.is_primary_output || !net.fanout_gates.empty() ||
+        !net.fanout_ffs.empty()) {
+      continue;
+    }
+    Diagnostic d;
+    d.rule_id = "unused-input";
+    d.severity = Severity::kInfo;
+    d.nets.push_back(id);
+    d.message = "primary input " + net_ref(nl, id) + " is unused";
+    report.add(std::move(d));
+  }
+}
+
+void rule_unreachable_gate(const LintContext& ctx, LintReport& report) {
+  // Reverse reachability from the observation points (primary outputs and
+  // flip-flop D pins). Gates whose output drives nothing at all are
+  // covered by floating-gate-output; this rule flags logic that feeds
+  // only other dead logic.
+  const Netlist& nl = *ctx.netlist;
+  std::vector<bool> net_live(nl.num_nets(), false);
+  std::vector<NetId> worklist;
+  auto mark = [&](NetId id) {
+    if (!net_live[id.index()]) {
+      net_live[id.index()] = true;
+      worklist.push_back(id);
+    }
+  };
+  for (NetId po : nl.primary_outputs()) mark(po);
+  for (FlipFlopId f : nl.flip_flop_ids()) mark(nl.flip_flop(f).d);
+
+  std::vector<bool> gate_live(nl.num_gates(), false);
+  while (!worklist.empty()) {
+    const NetId id = worklist.back();
+    worklist.pop_back();
+    const Net& net = nl.net(id);
+    if (net.driver_kind != DriverKind::kGate) continue;
+    const GateId g{net.driver_index};
+    if (gate_live[g.index()]) continue;
+    gate_live[g.index()] = true;
+    for (NetId in : nl.gate(g).inputs) mark(in);
+  }
+
+  for (GateId g : nl.gate_ids()) {
+    if (gate_live[g.index()]) continue;
+    const Net& out = nl.net(nl.gate(g).output);
+    if (out.fanout_gates.empty() && out.fanout_ffs.empty()) continue;
+    Diagnostic d;
+    d.rule_id = "unreachable-gate";
+    d.severity = Severity::kWarning;
+    d.gates.push_back(g);
+    d.nets.push_back(nl.gate(g).output);
+    d.message = "gate '" + nl.gate(g).name +
+                "' cannot reach any primary output or flip-flop";
+    report.add(std::move(d));
+  }
+}
+
+// ----------------------------------------------------------------- loops
+
+void rule_combinational_loop(const LintContext& ctx, LintReport& report) {
+  // Iterative DFS over the gate graph; a gray-edge hit reconstructs the
+  // cycle from the explicit stack. Each gate is reported in at most one
+  // cycle.
+  const Netlist& nl = *ctx.netlist;
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(nl.num_gates(), kWhite);
+  std::vector<bool> reported(nl.num_gates(), false);
+
+  struct Frame {
+    GateId gate;
+    std::size_t next_succ = 0;
+  };
+  auto successors = [&](GateId g) -> const std::vector<GateId>& {
+    return nl.net(nl.gate(g).output).fanout_gates;
+  };
+
+  for (GateId root : nl.gate_ids()) {
+    if (color[root.index()] != kWhite) continue;
+    std::vector<Frame> stack{Frame{root}};
+    color[root.index()] = kGray;
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      const auto& succ = successors(top.gate);
+      if (top.next_succ >= succ.size()) {
+        color[top.gate.index()] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const GateId next = succ[top.next_succ++];
+      if (color[next.index()] == kWhite) {
+        color[next.index()] = kGray;
+        stack.push_back(Frame{next});
+        continue;
+      }
+      if (color[next.index()] != kGray || reported[next.index()]) continue;
+
+      // Back edge: the cycle is `next … stack.back()` on the DFS stack.
+      std::size_t start = 0;
+      while (stack[start].gate != next) ++start;
+      Diagnostic d;
+      d.rule_id = "combinational-loop";
+      d.severity = Severity::kError;
+      std::string path;
+      for (std::size_t i = start; i < stack.size(); ++i) {
+        const GateId g = stack[i].gate;
+        reported[g.index()] = true;
+        d.gates.push_back(g);
+        d.nets.push_back(nl.gate(g).output);
+        if (!path.empty()) path += " -> ";
+        path += nl.net(nl.gate(g).output).name;
+      }
+      path += " -> " + nl.net(nl.gate(next).output).name;
+      d.message = "combinational loop: " + path;
+      report.add(std::move(d));
+    }
+  }
+}
+
+}  // namespace
+
+void register_structure_rules(RuleRegistry& registry) {
+  registry.add(Rule{"undriven-net", RuleCategory::kStructure,
+                    Severity::kError,
+                    "every non-output net must have exactly one driver",
+                    rule_undriven_net});
+  registry.add(Rule{"multiply-driven-net", RuleCategory::kStructure,
+                    Severity::kError,
+                    "no net may be driven by more than one source",
+                    rule_multiply_driven_net});
+  registry.add(Rule{"dangling-output", RuleCategory::kStructure,
+                    Severity::kError,
+                    "every declared primary output must be driven",
+                    rule_dangling_output});
+  registry.add(Rule{"floating-gate-output", RuleCategory::kStructure,
+                    Severity::kWarning,
+                    "gate outputs must feed a gate, flip-flop or output",
+                    rule_floating_gate_output});
+  registry.add(Rule{"unreachable-gate", RuleCategory::kStructure,
+                    Severity::kWarning,
+                    "logic must be observable at an output or flip-flop",
+                    rule_unreachable_gate});
+  registry.add(Rule{"combinational-loop", RuleCategory::kStructure,
+                    Severity::kError,
+                    "the combinational core must be acyclic",
+                    rule_combinational_loop});
+  registry.add(Rule{"unused-input", RuleCategory::kStructure,
+                    Severity::kInfo, "primary inputs should be used",
+                    rule_unused_input});
+}
+
+}  // namespace cwsp::lint

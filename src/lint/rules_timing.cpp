@@ -1,0 +1,128 @@
+#include <algorithm>
+#include <sstream>
+
+#include "lint/rules.hpp"
+
+namespace cwsp::lint {
+namespace {
+
+using core::DesignTiming;
+using core::ProtectionParams;
+
+std::string ps(Picoseconds value) {
+  std::ostringstream os;
+  os << value.value() << " ps";
+  return os.str();
+}
+
+DesignTiming timing_of(const LintContext& ctx) {
+  return DesignTiming{ctx.sta->dmax, ctx.sta->dmin};
+}
+
+/// The clock period the rules check against: the explicit one when given,
+/// otherwise the design's own hardened period floored at Eq. 6's minimum
+/// (what the campaign driver uses).
+Picoseconds effective_period(const LintContext& ctx) {
+  if (ctx.options.clock_period.has_value()) return *ctx.options.clock_period;
+  const ProtectionParams& params = *ctx.options.params;
+  return std::max(
+      core::hardened_clock_period(ctx.sta->dmax, ctx.netlist->library()),
+      core::min_clock_period_for_delta(params));
+}
+
+// δ must satisfy Eq. 5: δ ≤ min{D_min/2, (D_max − Δ)/2}. A positive but
+// reduced envelope is a warning (Table-3 designs run in exactly this
+// regime); a vanished envelope means the protection hardware cannot
+// tolerate any glitch — an error.
+
+void rule_delta_envelope(const LintContext& ctx, LintReport& report) {
+  const ProtectionParams& params = *ctx.options.params;
+  const DesignTiming timing = timing_of(ctx);
+  const Picoseconds max_glitch =
+      core::max_protected_glitch(timing, params, ctx.options.clock_skew);
+  if (max_glitch.value() <= 0.0 ||
+      core::supports_full_protection(timing, params, ctx.options.clock_skew)) {
+    return;
+  }
+  Diagnostic d;
+  d.rule_id = "delta-envelope";
+  d.severity = Severity::kWarning;
+  d.nets.push_back(ctx.sta->dmax_endpoint);
+  d.message = "designed delta " + ps(params.delta) +
+              " exceeds the protected envelope " + ps(max_glitch) +
+              " (Eq. 5: Dmax " + ps(timing.dmax) + ", Dmin " +
+              ps(timing.dmin) + ", Delta " +
+              ps(params.protection_path_delta()) + ")";
+  report.add(std::move(d));
+}
+
+void rule_delta_unprotectable(const LintContext& ctx, LintReport& report) {
+  const ProtectionParams& params = *ctx.options.params;
+  const DesignTiming timing = timing_of(ctx);
+  const Picoseconds max_glitch =
+      core::max_protected_glitch(timing, params, ctx.options.clock_skew);
+  if (max_glitch.value() > 0.0) return;
+  Diagnostic d;
+  d.rule_id = "delta-unprotectable";
+  d.severity = Severity::kError;
+  d.nets.push_back(ctx.sta->dmax_endpoint);
+  d.message =
+      "protection envelope is empty: min{Dmin/2, (Dmax - Delta)/2} <= 0"
+      " (Dmax " +
+      ps(timing.dmax) + ", Dmin " + ps(timing.dmin) + ", Delta " +
+      ps(params.protection_path_delta()) + ", skew " +
+      ps(ctx.options.clock_skew) + ")";
+  report.add(std::move(d));
+}
+
+void rule_clk_del_period(const LintContext& ctx, LintReport& report) {
+  const ProtectionParams& params = *ctx.options.params;
+  const Picoseconds period = effective_period(ctx);
+  const Picoseconds clk_del = params.clk_del_delay();
+  if (clk_del.value() < period.value()) return;
+  Diagnostic d;
+  d.rule_id = "clk-del-period";
+  d.severity = Severity::kError;
+  d.message = "CLK_DEL lag " + ps(clk_del) +
+              " (Eq. 3) does not fit within the clock period " + ps(period);
+  report.add(std::move(d));
+}
+
+void rule_period_too_short(const LintContext& ctx, LintReport& report) {
+  if (!ctx.options.clock_period.has_value()) return;
+  const ProtectionParams& params = *ctx.options.params;
+  const Picoseconds period = *ctx.options.clock_period;
+  const Picoseconds admissible = core::max_delta_for_period(period, params);
+  if (admissible.value() >= params.delta.value()) return;
+  Diagnostic d;
+  d.rule_id = "period-too-short";
+  d.severity = Severity::kError;
+  d.message = "clock period " + ps(period) + " admits delta <= " +
+              ps(admissible) + " (Eq. 6), below the designed " +
+              ps(params.delta) + "; need at least " +
+              ps(core::min_clock_period_for_delta(params));
+  report.add(std::move(d));
+}
+
+}  // namespace
+
+void register_timing_rules(RuleRegistry& registry) {
+  registry.add(Rule{"delta-envelope", RuleCategory::kTiming,
+                    Severity::kWarning,
+                    "the designed delta must satisfy Eq. 5's envelope",
+                    rule_delta_envelope});
+  registry.add(Rule{"delta-unprotectable", RuleCategory::kTiming,
+                    Severity::kError,
+                    "the protection envelope must be non-empty",
+                    rule_delta_unprotectable});
+  registry.add(Rule{"clk-del-period", RuleCategory::kTiming,
+                    Severity::kError,
+                    "CLK_DEL's lag (Eq. 3) must fit in the clock period",
+                    rule_clk_del_period});
+  registry.add(Rule{"period-too-short", RuleCategory::kTiming,
+                    Severity::kError,
+                    "the clock period must admit the designed delta (Eq. 6)",
+                    rule_period_too_short});
+}
+
+}  // namespace cwsp::lint

@@ -50,7 +50,8 @@ std::vector<std::string> split_args(const std::string& s) {
 }  // namespace
 
 Netlist parse_bench(std::istream& in, const CellLibrary& library,
-                    const std::string& name) {
+                    const std::string& name,
+                    const BenchParseOptions& options) {
   std::vector<std::string> inputs;
   std::vector<std::string> outputs;
   std::vector<Assignment> assignments;
@@ -108,17 +109,36 @@ Netlist parse_bench(std::istream& in, const CellLibrary& library,
   }
 
   Netlist netlist(library, name);
+  auto record_issue = [&](int issue_line, const std::string& symbol,
+                          const std::string& message, bool redefinition) {
+    if (options.issues != nullptr) {
+      options.issues->push_back(
+          BenchParseIssue{issue_line, symbol, message, redefinition});
+    }
+  };
 
   // Pass 1: create every net. PIs first, then all assignment LHS nets.
+  // Lenient mode drops redefined assignments (keeping the first driver)
+  // instead of aborting.
   std::unordered_set<std::string> defined;
+  std::vector<bool> dropped(assignments.size(), false);
   for (const std::string& pi : inputs) {
     netlist.add_primary_input(pi);
     defined.insert(pi);
   }
-  for (const Assignment& a : assignments) {
-    CWSP_REQUIRE_MSG(!defined.contains(a.lhs),
-                     "bench line " << a.line << ": " << a.lhs
-                                   << " defined twice");
+  for (std::size_t k = 0; k < assignments.size(); ++k) {
+    const Assignment& a = assignments[k];
+    if (defined.contains(a.lhs)) {
+      CWSP_REQUIRE_MSG(options.lenient, "bench line " << a.line << ": "
+                                                      << a.lhs
+                                                      << " defined twice");
+      record_issue(a.line, a.lhs,
+                   a.lhs + " is driven more than once (redefined at line " +
+                       std::to_string(a.line) + ")",
+                   /*redefinition=*/true);
+      dropped[k] = true;
+      continue;
+    }
     if (a.func == "GND") {
       netlist.add_constant(false, a.lhs);
     } else if (a.func == "VDD") {
@@ -129,16 +149,23 @@ Netlist parse_bench(std::istream& in, const CellLibrary& library,
     defined.insert(a.lhs);
   }
 
-  // Pass 2: wire gates and flip-flops.
+  // Pass 2: wire gates and flip-flops. Lenient mode materialises
+  // references to undefined signals as (undriven) nets so the lint rules
+  // can report them with full connectivity context.
   auto net_of = [&](const std::string& n, int line_no2) {
     const auto id = netlist.find_net(n);
+    if (!id.has_value() && options.lenient) {
+      record_issue(line_no2, n, "undefined signal " + n, false);
+      return netlist.add_net(n);
+    }
     CWSP_REQUIRE_MSG(id.has_value(),
                      "bench line " << line_no2 << ": undefined net " << n);
     return *id;
   };
 
-  for (const Assignment& a : assignments) {
-    if (a.func == "GND" || a.func == "VDD") continue;
+  for (std::size_t k = 0; k < assignments.size(); ++k) {
+    const Assignment& a = assignments[k];
+    if (dropped[k] || a.func == "GND" || a.func == "VDD") continue;
     std::vector<NetId> args;
     args.reserve(a.args.size());
     for (const std::string& arg : a.args) args.push_back(net_of(arg, a.line));
@@ -181,17 +208,19 @@ Netlist parse_bench(std::istream& in, const CellLibrary& library,
     netlist.mark_primary_output(net_of(po, 0));
   }
 
-  netlist.validate();
+  if (!options.lenient) netlist.validate();
   return netlist;
 }
 
 Netlist parse_bench_string(const std::string& text, const CellLibrary& library,
-                           const std::string& name) {
+                           const std::string& name,
+                           const BenchParseOptions& options) {
   std::istringstream in(text);
-  return parse_bench(in, library, name);
+  return parse_bench(in, library, name, options);
 }
 
-Netlist parse_bench_file(const std::string& path, const CellLibrary& library) {
+Netlist parse_bench_file(const std::string& path, const CellLibrary& library,
+                         const BenchParseOptions& options) {
   std::ifstream in(path);
   CWSP_REQUIRE_MSG(in.good(), "cannot open bench file " << path);
   // Derive the netlist name from the file name, sans directory/extension.
@@ -200,7 +229,7 @@ Netlist parse_bench_file(const std::string& path, const CellLibrary& library) {
       slash == std::string::npos ? path : path.substr(slash + 1);
   const auto dot = base.find_last_of('.');
   if (dot != std::string::npos) base = base.substr(0, dot);
-  return parse_bench(in, library, base);
+  return parse_bench(in, library, base, options);
 }
 
 }  // namespace cwsp

@@ -14,21 +14,48 @@
 
 #include <istream>
 #include <string>
+#include <vector>
 
 #include "netlist/netlist.hpp"
 
 namespace cwsp {
 
+/// A structural problem tolerated by a lenient parse (see
+/// BenchParseOptions): the source line, the offending signal name and a
+/// human-readable description.
+struct BenchParseIssue {
+  int line = 0;
+  std::string symbol;
+  std::string message;
+  /// True when `symbol` was assigned more than once (a multiply-driven
+  /// net in the source; only the first driver is kept in the netlist).
+  bool redefinition = false;
+};
+
+struct BenchParseOptions {
+  /// Lenient mode, used by the lint front end: signals assigned twice and
+  /// references to undefined signals are recorded in `issues` instead of
+  /// aborting the parse, and the returned netlist is *not* validate()d so
+  /// undriven/dangling nets survive for the design-rule checker to
+  /// report. Syntax errors (malformed lines, unknown functions, wrong
+  /// arity) still throw in either mode.
+  bool lenient = false;
+  std::vector<BenchParseIssue>* issues = nullptr;
+};
+
 /// Parses a .bench description. Throws cwsp::Error on syntax or structural
-/// errors. The returned netlist is validated.
+/// errors. The returned netlist is validated (unless options.lenient).
 [[nodiscard]] Netlist parse_bench(std::istream& in, const CellLibrary& library,
-                                  const std::string& name = "bench");
+                                  const std::string& name = "bench",
+                                  const BenchParseOptions& options = {});
 
 [[nodiscard]] Netlist parse_bench_string(const std::string& text,
                                          const CellLibrary& library,
-                                         const std::string& name = "bench");
+                                         const std::string& name = "bench",
+                                         const BenchParseOptions& options = {});
 
 [[nodiscard]] Netlist parse_bench_file(const std::string& path,
-                                       const CellLibrary& library);
+                                       const CellLibrary& library,
+                                       const BenchParseOptions& options = {});
 
 }  // namespace cwsp

@@ -1,0 +1,82 @@
+#include "common/cli_args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace cwsp {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> tokens, int first = 0) {
+  std::vector<const char*> argv(tokens);
+  return parse_cli_args(static_cast<int>(argv.size()), argv.data(), first);
+}
+
+TEST(CliArgsTest, SplitsPositionalsAndOptions) {
+  const auto args = parse({"design.bench", "--runs", "10", "--json"});
+  ASSERT_EQ(args.positional.size(), 1u);
+  EXPECT_EQ(args.positional[0], "design.bench");
+  EXPECT_TRUE(args.has("runs"));
+  EXPECT_EQ(args.number("runs", 0.0), 10.0);
+  EXPECT_TRUE(args.has("json"));
+  EXPECT_EQ(args.options.at("json"), "1");
+}
+
+TEST(CliArgsTest, BareWordAfterOptionBecomesItsValue) {
+  // Documented ambiguity: a non-dash token after `--key` is the value.
+  const auto args = parse({"--json", "more"});
+  EXPECT_EQ(args.options.at("json"), "more");
+  EXPECT_TRUE(args.positional.empty());
+}
+
+TEST(CliArgsTest, NegativeNumberIsConsumedAsValue) {
+  // The regression this parser exists for: `--skew -5` must parse as
+  // skew = -5, not as two valueless flags.
+  const auto args = parse({"--skew", "-5"});
+  ASSERT_TRUE(args.has("skew"));
+  EXPECT_EQ(args.number("skew", 0.0), -5.0);
+  EXPECT_TRUE(args.positional.empty());
+}
+
+TEST(CliArgsTest, NegativeFloatsAndExponents) {
+  const auto args = parse({"--a", "-0.25", "--b", "-1e3", "--c", "-.5"});
+  EXPECT_EQ(args.number("a", 0.0), -0.25);
+  EXPECT_EQ(args.number("b", 0.0), -1000.0);
+  EXPECT_EQ(args.number("c", 0.0), -0.5);
+}
+
+TEST(CliArgsTest, FollowingOptionIsNotAValue) {
+  const auto args = parse({"--json", "--runs", "3"});
+  EXPECT_EQ(args.options.at("json"), "1");
+  EXPECT_EQ(args.number("runs", 0.0), 3.0);
+}
+
+TEST(CliArgsTest, IsNegativeNumberRejectsFlagsAndJunk) {
+  EXPECT_TRUE(is_negative_number("-5"));
+  EXPECT_TRUE(is_negative_number("-0.25"));
+  EXPECT_TRUE(is_negative_number("-1e3"));
+  EXPECT_FALSE(is_negative_number("-"));
+  EXPECT_FALSE(is_negative_number("--skew"));
+  EXPECT_FALSE(is_negative_number("-x"));
+  EXPECT_FALSE(is_negative_number("-5x"));
+  EXPECT_FALSE(is_negative_number("5"));
+  EXPECT_FALSE(is_negative_number(""));
+}
+
+TEST(CliArgsTest, NumberFallbackAndErrors) {
+  const auto args = parse({"--mode", "fast"});
+  EXPECT_EQ(args.number("missing", 7.5), 7.5);
+  EXPECT_EQ(args.text("mode", "slow"), "fast");
+  EXPECT_EQ(args.text("missing", "slow"), "slow");
+  EXPECT_THROW((void)args.number("mode", 0.0), Error);
+}
+
+TEST(CliArgsTest, FirstIndexSkipsProgramAndSubcommand) {
+  const auto args = parse({"cwsp_tool", "lint", "d.bench", "--json"}, 2);
+  ASSERT_EQ(args.positional.size(), 1u);
+  EXPECT_EQ(args.positional[0], "d.bench");
+  EXPECT_TRUE(args.has("json"));
+}
+
+}  // namespace
+}  // namespace cwsp

@@ -1,0 +1,454 @@
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cwsp/elaborate_system.hpp"
+#include "cwsp/eqglb_tree.hpp"
+#include "cwsp/protection_params.hpp"
+#include "lint/report.hpp"
+#include "netlist/bench_parser.hpp"
+#include "netlist_fuzz.hpp"
+
+namespace cwsp::lint {
+namespace {
+
+class LintTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+
+  LintReport lint_text(const std::string& text,
+                       const LintOptions& options = {}) {
+    return lint_bench_string(text, lib_, "bench", options);
+  }
+};
+
+// ---------------------------------------------------------------- structure
+
+TEST_F(LintTest, CleanDesignHasNoDiagnostics) {
+  const auto report = lint_text(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(q)
+t1 = NAND(a, b)
+t2 = XOR(t1, q)
+q = DFF(t2)
+)");
+  EXPECT_TRUE(report.clean()) << format_text(report);
+  EXPECT_FALSE(report.fails_at(Severity::kInfo));
+}
+
+TEST_F(LintTest, RandomValidNetlistsAreClean) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto netlist = testing::make_random_netlist(lib_, seed);
+    const auto report = run_lint(netlist);
+    EXPECT_EQ(report.errors(), 0u)
+        << "seed " << seed << ":\n" << format_text(report);
+    EXPECT_FALSE(report.has_rule("combinational-loop")) << "seed " << seed;
+  }
+}
+
+TEST_F(LintTest, UndrivenNetFires) {
+  const auto report = lint_text(R"(
+INPUT(a)
+OUTPUT(y)
+y = AND(a, phantom)
+)");
+  ASSERT_TRUE(report.has_rule("undriven-net")) << format_text(report);
+  const auto diags = report.by_rule("undriven-net");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  ASSERT_EQ(diags[0].net_names.size(), 1u);
+  EXPECT_EQ(diags[0].net_names[0], "phantom");
+}
+
+TEST_F(LintTest, DanglingOutputFires) {
+  const auto report = lint_text(R"(
+INPUT(a)
+OUTPUT(y)
+OUTPUT(nowhere)
+y = INV(a)
+)");
+  ASSERT_TRUE(report.has_rule("dangling-output")) << format_text(report);
+  EXPECT_EQ(report.by_rule("dangling-output")[0].severity, Severity::kError);
+}
+
+TEST_F(LintTest, MultiplyDrivenNetFiresFromSource) {
+  // The in-memory netlist keeps only the first driver, so redefinitions
+  // surface through the lenient parse's issue list.
+  const auto report = lint_text(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)
+y = NOR(a, b)
+)");
+  ASSERT_TRUE(report.has_rule("multiply-driven-net")) << format_text(report);
+  const auto diags = report.by_rule("multiply-driven-net");
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_NE(diags[0].message.find("line"), std::string::npos);
+}
+
+TEST_F(LintTest, FloatingGateOutputFires) {
+  const auto report = lint_text(R"(
+INPUT(a)
+OUTPUT(y)
+y = INV(a)
+orphan = BUF(a)
+)");
+  ASSERT_TRUE(report.has_rule("floating-gate-output")) << format_text(report);
+  EXPECT_EQ(report.by_rule("floating-gate-output")[0].severity,
+            Severity::kWarning);
+}
+
+TEST_F(LintTest, UnusedInputFires) {
+  const auto report = lint_text(R"(
+INPUT(a)
+INPUT(spare)
+OUTPUT(y)
+y = INV(a)
+)");
+  ASSERT_TRUE(report.has_rule("unused-input")) << format_text(report);
+  EXPECT_EQ(report.by_rule("unused-input")[0].severity, Severity::kInfo);
+  EXPECT_EQ(report.errors(), 0u);
+}
+
+TEST_F(LintTest, UnreachableGateFires) {
+  // island1/island2 feed each other's cone but never reach y.
+  const auto report = lint_text(R"(
+INPUT(a)
+OUTPUT(y)
+y = INV(a)
+island1 = INV(a)
+island2 = INV(island1)
+)");
+  ASSERT_TRUE(report.has_rule("unreachable-gate")) << format_text(report);
+  // island1 has fanout (island2) but cannot reach an endpoint.
+  const auto diags = report.by_rule("unreachable-gate");
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].severity, Severity::kWarning);
+}
+
+TEST_F(LintTest, CombinationalLoopFires) {
+  const auto report = lint_text(R"(
+INPUT(a)
+OUTPUT(y)
+u = AND(a, v)
+v = INV(u)
+y = BUF(u)
+)");
+  ASSERT_TRUE(report.has_rule("combinational-loop")) << format_text(report);
+  const auto diags = report.by_rule("combinational-loop");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_NE(diags[0].message.find("->"), std::string::npos);
+}
+
+TEST_F(LintTest, LoopThroughFlipFlopIsNotCombinational) {
+  const auto report = lint_text(R"(
+INPUT(a)
+OUTPUT(q)
+t = XOR(a, q)
+q = DFF(t)
+)");
+  EXPECT_FALSE(report.has_rule("combinational-loop")) << format_text(report);
+}
+
+TEST_F(LintTest, ParseErrorPseudoRule) {
+  const auto report = lint_text("y = FROB(a, b)\n");
+  ASSERT_TRUE(report.has_rule("parse-error")) << format_text(report);
+  EXPECT_TRUE(report.fails_at(Severity::kError));
+}
+
+TEST_F(LintTest, RequireCleanStructureThrowsWithRuleIds) {
+  Netlist nl(lib_, "broken");
+  const NetId a = nl.add_primary_input("a");
+  const NetId phantom = nl.add_net("phantom");
+  const GateId g =
+      nl.add_gate(lib_.cell_for(CellKind::kAnd2), {a, phantom}, "y");
+  nl.mark_primary_output(nl.gate(g).output);
+  try {
+    require_clean_structure(nl);
+    FAIL() << "expected cwsp::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("undriven-net"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ------------------------------------------------------------------ timing
+
+TEST_F(LintTest, DeltaUnprotectableOnShallowDesign) {
+  LintOptions options;
+  options.params = core::ProtectionParams::q100();
+  const auto report = lint_text(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)
+)",
+                                options);
+  ASSERT_TRUE(report.has_rule("delta-unprotectable")) << format_text(report);
+  EXPECT_EQ(report.by_rule("delta-unprotectable")[0].severity,
+            Severity::kError);
+  EXPECT_FALSE(report.has_rule("delta-envelope"));
+}
+
+TEST_F(LintTest, DeltaEnvelopeWarnsOnReducedEnvelope) {
+  // ~40 INV deep: Dmax clears Delta so some glitch is tolerated, but the
+  // envelope stays below the designed 500 ps delta -> warning, not error.
+  std::string text = "INPUT(a)\nOUTPUT(y)\n";
+  std::string prev = "a";
+  for (int i = 0; i < 40; ++i) {
+    const std::string cur = "n" + std::to_string(i);
+    text += cur + " = INV(" + prev + ")\n";
+    prev = cur;
+  }
+  text += "y = BUF(" + prev + ")\n";
+  LintOptions options;
+  options.params = core::ProtectionParams::q100();
+  const auto report = lint_text(text, options);
+  ASSERT_TRUE(report.has_rule("delta-envelope")) << format_text(report);
+  EXPECT_EQ(report.by_rule("delta-envelope")[0].severity, Severity::kWarning);
+  EXPECT_FALSE(report.has_rule("delta-unprotectable"));
+  EXPECT_EQ(report.errors(), 0u);
+}
+
+TEST_F(LintTest, PeriodRulesFireWithExplicitShortPeriod) {
+  std::string text = "INPUT(a)\nOUTPUT(y)\n";
+  std::string prev = "a";
+  for (int i = 0; i < 105; ++i) {
+    const std::string cur = "n" + std::to_string(i);
+    text += cur + " = INV(" + prev + ")\n";
+    prev = cur;
+  }
+  text += "y = BUF(" + prev + ")\n";
+  LintOptions options;
+  options.params = core::ProtectionParams::q100();
+
+  // Without an explicit period the design's own hardened period is used,
+  // which satisfies Eqs. 3 and 6 by construction.
+  EXPECT_EQ(lint_text(text, options).errors(), 0u);
+
+  options.clock_period = Picoseconds(800.0);
+  const auto report = lint_text(text, options);
+  ASSERT_TRUE(report.has_rule("period-too-short")) << format_text(report);
+  ASSERT_TRUE(report.has_rule("clk-del-period")) << format_text(report);
+  EXPECT_TRUE(report.fails_at(Severity::kError));
+}
+
+TEST_F(LintTest, TimingRulesSkippedWhenStructureBroken) {
+  LintOptions options;
+  options.params = core::ProtectionParams::q100();
+  const auto report = lint_text(R"(
+INPUT(a)
+OUTPUT(y)
+u = AND(a, v)
+v = INV(u)
+y = BUF(u)
+)",
+                                options);
+  EXPECT_TRUE(report.has_rule("combinational-loop"));
+  EXPECT_FALSE(report.has_rule("delta-unprotectable"));
+  EXPECT_FALSE(report.has_rule("delta-envelope"));
+}
+
+// --------------------------------------------------------------- hardening
+
+TEST_F(LintTest, ElaboratedHardenedSystemIsClean) {
+  const auto source = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(q1)
+OUTPUT(q2)
+t1 = NAND(a, b)
+t2 = XOR(t1, q1)
+q1 = DFF(t1)
+q2 = DFF(t2)
+)",
+                                         lib_);
+  const auto system = core::elaborate_hardened_system(source);
+  LintOptions options;
+  options.hardened_structure = true;
+  const auto report = run_lint(system.netlist, options);
+  EXPECT_EQ(report.errors(), 0u) << format_text(report);
+}
+
+TEST_F(LintTest, HardeningRepairMuxFires) {
+  // A "hardened" netlist whose system FF samples plain logic: no MUX.
+  Netlist nl(lib_, "fake");
+  const NetId a = nl.add_primary_input("a");
+  const GateId buf = nl.add_gate(lib_.cell_for(CellKind::kBuf), {a}, "d");
+  nl.add_flip_flop(nl.gate(buf).output, "state");
+  nl.mark_primary_output(*nl.find_net("state"));
+
+  LintOptions options;
+  options.hardened_structure = true;
+  const auto report = run_lint(nl, options);
+  ASSERT_TRUE(report.has_rule("hardening-repair-mux")) << format_text(report);
+  const auto diags = report.by_rule("hardening-repair-mux");
+  ASSERT_EQ(diags[0].ff_names.size(), 1u);
+  EXPECT_EQ(diags[0].ff_names[0], "state");
+}
+
+TEST_F(LintTest, HardeningShadowFfFires) {
+  // The repair MUX exists but its recompute leg is gate-driven, not a
+  // CWSP shadow latch.
+  Netlist nl(lib_, "fake");
+  const NetId a = nl.add_primary_input("a");
+  const NetId sel = nl.add_primary_input("sel");
+  const GateId fakecw = nl.add_gate(lib_.cell_for(CellKind::kInv), {a}, "fk");
+  const GateId mux = nl.add_gate(lib_.cell_for(CellKind::kMux2),
+                                 {a, nl.gate(fakecw).output, sel}, "d");
+  nl.add_flip_flop(nl.gate(mux).output, "state");
+  nl.mark_primary_output(*nl.find_net("state"));
+
+  LintOptions options;
+  options.hardened_structure = true;
+  const auto report = run_lint(nl, options);
+  ASSERT_TRUE(report.has_rule("hardening-shadow-ff")) << format_text(report);
+  EXPECT_FALSE(report.has_rule("hardening-repair-mux"));
+}
+
+TEST_F(LintTest, HardeningEqCheckerFires) {
+  Netlist nl(lib_, "fake");
+  const NetId a = nl.add_primary_input("a");
+  const NetId sel = nl.add_primary_input("sel");
+  // Proper shadow latch feeding the MUX leg, but no XNOR compare on Q.
+  const GateId tap = nl.add_gate(lib_.cell_for(CellKind::kBuf), {a}, "tap");
+  nl.add_flip_flop(nl.gate(tap).output, "cw0");
+  const GateId mux =
+      nl.add_gate(lib_.cell_for(CellKind::kMux2),
+                  {a, *nl.find_net("cw0"), sel}, "d");
+  nl.add_flip_flop(nl.gate(mux).output, "state");
+  nl.mark_primary_output(*nl.find_net("state"));
+
+  LintOptions options;
+  options.hardened_structure = true;
+  const auto report = run_lint(nl, options);
+  EXPECT_FALSE(report.has_rule("hardening-repair-mux"))
+      << format_text(report);
+  ASSERT_TRUE(report.has_rule("hardening-eq-checker")) << format_text(report);
+  EXPECT_EQ(report.by_rule("hardening-eq-checker")[0].ff_names[0], "state");
+}
+
+TEST_F(LintTest, HardeningSuppressionFfFires) {
+  Netlist nl(lib_, "fake");
+  const NetId a = nl.add_primary_input("a");
+  nl.add_flip_flop(a, "state");
+  nl.mark_primary_output(*nl.find_net("state"));
+  LintOptions options;
+  options.hardened_structure = true;
+  const auto report = run_lint(nl, options);
+  ASSERT_TRUE(report.has_rule("hardening-suppression-ff"))
+      << format_text(report);
+  EXPECT_NE(report.by_rule("hardening-suppression-ff")[0].message.find(
+                "eqglb"),
+            std::string::npos);
+}
+
+TEST_F(LintTest, EqglbTreeBoundsFires) {
+  const auto nl = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(q1)
+OUTPUT(q2)
+t = INV(a)
+q1 = DFF(t)
+q2 = DFF(a)
+)",
+                                     lib_);
+  LintOptions options;
+  options.tree = core::build_eqglb_tree(5);  // netlist protects 2 FFs
+  const auto report = run_lint(nl, options);
+  ASSERT_TRUE(report.has_rule("eqglb-tree-bounds")) << format_text(report);
+  EXPECT_TRUE(report.fails_at(Severity::kError));
+}
+
+TEST_F(LintTest, EqglbTreeSingleLevelOverflowFires) {
+  Netlist nl(lib_, "many_ffs");
+  const NetId a = nl.add_primary_input("a");
+  for (int i = 0; i < 40; ++i) {
+    nl.add_flip_flop(a, "q" + std::to_string(i));
+    nl.mark_primary_output(*nl.find_net("q" + std::to_string(i)));
+  }
+  core::EqglbTree tree = core::build_eqglb_tree(40);
+  tree.levels = 1;  // claim a flat NOR over 40 inputs
+  LintOptions options;
+  options.tree = tree;
+  const auto report = run_lint(nl, options);
+  ASSERT_TRUE(report.has_rule("eqglb-tree-bounds")) << format_text(report);
+  EXPECT_NE(report.by_rule("eqglb-tree-bounds")[0].message.find("multilevel"),
+            std::string::npos);
+}
+
+TEST_F(LintTest, MatchingTreePassesBounds) {
+  const auto nl = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(q1)
+OUTPUT(q2)
+t = INV(a)
+q1 = DFF(t)
+q2 = DFF(a)
+)",
+                                     lib_);
+  LintOptions options;
+  options.tree = core::build_eqglb_tree(2);
+  const auto report = run_lint(nl, options);
+  EXPECT_FALSE(report.has_rule("eqglb-tree-bounds")) << format_text(report);
+}
+
+// --------------------------------------------------------------- reporting
+
+TEST_F(LintTest, TextReportListsRuleIdsAndSummary) {
+  const auto report = lint_text(R"(
+INPUT(a)
+OUTPUT(y)
+y = AND(a, phantom)
+)");
+  const std::string text = format_text(report);
+  EXPECT_NE(text.find("[undriven-net]"), std::string::npos) << text;
+  EXPECT_NE(text.find("error"), std::string::npos) << text;
+}
+
+TEST_F(LintTest, JsonReportIsWellFormed) {
+  const auto report = lint_text(R"(
+INPUT(a)
+OUTPUT(y)
+y = AND(a, phantom)
+)");
+  const std::string json = format_json(report);
+  EXPECT_NE(json.find("\"rule\": \"undriven-net\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"clean\": false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"nets\": [\"phantom\"]"), std::string::npos) << json;
+}
+
+TEST_F(LintTest, JsonEscapesSpecialCharacters) {
+  LintReport report;
+  report.design = "d";
+  Diagnostic d;
+  d.rule_id = "parse-error";
+  d.severity = Severity::kError;
+  d.message = "quote \" backslash \\ newline \n tab \t";
+  report.add(std::move(d));
+  const std::string json = format_json(report);
+  EXPECT_NE(json.find("\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\\\\"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\n"), std::string::npos) << json;
+  // The raw control characters must not survive into the JSON string.
+  EXPECT_EQ(json.find("newline \n"), std::string::npos) << json;
+  EXPECT_EQ(json.find('\t'), std::string::npos) << json;
+}
+
+TEST_F(LintTest, DefaultRegistryHasUniqueDocumentedRules) {
+  const RuleRegistry& registry = default_registry();
+  EXPECT_GE(registry.rules().size(), 15u);
+  for (const Rule& rule : registry.rules()) {
+    EXPECT_FALSE(rule.description.empty()) << rule.id;
+    EXPECT_EQ(registry.find(rule.id), &rule);
+  }
+  EXPECT_EQ(registry.find("no-such-rule"), nullptr);
+}
+
+}  // namespace
+}  // namespace cwsp::lint

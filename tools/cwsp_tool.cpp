@@ -6,6 +6,15 @@
 //       --delta <ps>      custom glitch width (Table-3 mode)
 //       --skew <ps>       clock skew derating
 //       --areas           itemised protection-area breakdown
+//   cwsp_tool lint <design.bench> [options]    design-rule check
+//       --hardened        also check the protection invariants: Eq. 5
+//                         envelope, CLK_DEL fit, EQGLB-tree bounds, and
+//                         (for sequential designs) the elaborated
+//                         hardened system's per-FF structure
+//       --json            machine-readable report (docs/lint.md schema)
+//       --fail-on <warn|error>  exit-1 threshold (default error)
+//       --q150 / --delta <ps> / --skew <ps> / --period <ps>
+//                         protection configuration under --hardened
 //   cwsp_tool campaign <design.bench> [options] fault-injection campaign
 //       --runs <n> --cycles <n> --width <ps> --seed <n>
 //   cwsp_tool glitch [--q <fC>]                struck-inverter waveform
@@ -15,16 +24,18 @@
 
 #include <cstring>
 #include <iostream>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "common/cli_args.hpp"
 #include "common/table.hpp"
 #include "cwsp/area_report.hpp"
 #include "cwsp/coverage.hpp"
 #include "cwsp/elaborate.hpp"
+#include "cwsp/elaborate_system.hpp"
 #include "cwsp/harden.hpp"
 #include "cwsp/timing.hpp"
+#include "lint/lint.hpp"
 #include "netlist/analysis.hpp"
 #include "netlist/bench_parser.hpp"
 #include "netlist/transform.hpp"
@@ -37,40 +48,84 @@
 namespace {
 
 using namespace cwsp;
-
-struct Args {
-  std::vector<std::string> positional;
-  std::map<std::string, std::string> options;
-  bool has(const std::string& key) const { return options.contains(key); }
-  double number(const std::string& key, double fallback) const {
-    const auto it = options.find(key);
-    return it == options.end() ? fallback : std::stod(it->second);
-  }
-};
-
-Args parse_args(int argc, char** argv) {
-  Args args;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--", 0) == 0) {
-      const std::string key = arg.substr(2);
-      if (i + 1 < argc && argv[i + 1][0] != '-') {
-        args.options[key] = argv[++i];
-      } else {
-        args.options[key] = "1";
-      }
-    } else {
-      args.positional.push_back(arg);
-    }
-  }
-  return args;
-}
+using Args = cwsp::CliArgs;
 
 int usage() {
-  std::cerr << "usage: cwsp_tool <sta|harden|campaign|glitch|elaborate|ser|"
-               "verilog|optimize|stats> ...\n"
+  std::cerr << "usage: cwsp_tool <sta|harden|lint|campaign|glitch|elaborate|"
+               "ser|verilog|optimize|stats> ...\n"
                "see the header of tools/cwsp_tool.cpp for option details\n";
   return 2;
+}
+
+core::ProtectionParams params_from(const Args& args) {
+  if (args.has("delta")) {
+    return core::ProtectionParams::for_glitch_width(
+        Picoseconds(args.number("delta", 500.0)));
+  }
+  return args.has("q150") ? core::ProtectionParams::q150()
+                          : core::ProtectionParams::q100();
+}
+
+int cmd_lint(const Args& args, const CellLibrary& lib) {
+  if (args.positional.empty()) return usage();
+  const std::string& path = args.positional[0];
+
+  lint::LintOptions options;
+  if (args.has("hardened")) {
+    options.params = params_from(args);
+    options.clock_skew = Picoseconds(args.number("skew", 0.0));
+    if (args.has("period")) {
+      options.clock_period = Picoseconds(args.number("period", 0.0));
+    }
+  }
+
+  lint::LintReport report;
+  std::vector<BenchParseIssue> issues;
+  BenchParseOptions parse_options;
+  parse_options.lenient = true;
+  parse_options.issues = &issues;
+  try {
+    const Netlist netlist = parse_bench_file(path, lib, parse_options);
+    if (options.params.has_value()) {
+      const int protected_ffs = core::protected_ff_count(netlist);
+      if (protected_ffs >= 1) {
+        options.tree = core::build_eqglb_tree(protected_ffs);
+      }
+    }
+    report = lint::run_lint(netlist, options);
+    lint::add_parse_issue_diagnostics(issues, report);
+
+    // Under --hardened, additionally elaborate the full protected system
+    // and check its per-FF protection structure (self-check of the
+    // hardening transform's output).
+    if (args.has("hardened") && netlist.num_flip_flops() > 0 &&
+        !report.fails_at(lint::Severity::kError)) {
+      const auto system = core::elaborate_hardened_system(netlist);
+      lint::LintOptions system_options;
+      system_options.hardened_structure = true;
+      report.merge(lint::run_lint(system.netlist, system_options));
+    }
+  } catch (const Error& e) {
+    report.design = path;
+    lint::Diagnostic d;
+    d.rule_id = "parse-error";
+    d.severity = lint::Severity::kError;
+    d.message = e.what();
+    report.add(std::move(d));
+  }
+
+  std::cout << (args.has("json") ? lint::format_json(report)
+                                 : lint::format_text(report));
+
+  const std::string fail_on = args.text("fail-on", "error");
+  if (fail_on != "error" && fail_on != "warn") {
+    std::cerr << "lint: --fail-on expects 'warn' or 'error'\n";
+    return 2;
+  }
+  const lint::Severity threshold = fail_on == "warn"
+                                       ? lint::Severity::kWarning
+                                       : lint::Severity::kError;
+  return report.fails_at(threshold) ? 1 : 0;
 }
 
 int cmd_sta(const Args& args, const CellLibrary& lib) {
@@ -89,13 +144,7 @@ int cmd_harden(const Args& args, const CellLibrary& lib) {
   if (args.positional.empty()) return usage();
   const auto netlist = parse_bench_file(args.positional[0], lib);
 
-  core::ProtectionParams params = args.has("q150")
-                                      ? core::ProtectionParams::q150()
-                                      : core::ProtectionParams::q100();
-  if (args.has("delta")) {
-    params = core::ProtectionParams::for_glitch_width(
-        Picoseconds(args.number("delta", 500.0)));
-  }
+  const core::ProtectionParams params = params_from(args);
   const auto design = core::harden(netlist, params);
   std::cout << core::describe(design);
   if (args.has("areas")) {
@@ -246,12 +295,13 @@ int cmd_ser(const Args& args, const CellLibrary& lib) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  const Args args = parse_args(argc, argv);
+  const Args args = parse_cli_args(argc, argv);
   const CellLibrary lib = make_default_library();
 
   try {
     if (command == "sta") return cmd_sta(args, lib);
     if (command == "harden") return cmd_harden(args, lib);
+    if (command == "lint") return cmd_lint(args, lib);
     if (command == "campaign") return cmd_campaign(args, lib);
     if (command == "glitch") return cmd_glitch(args, lib);
     if (command == "elaborate") return cmd_elaborate(args, lib);
