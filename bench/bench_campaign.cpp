@@ -1,0 +1,76 @@
+// Campaign-engine throughput and determinism check: runs the same
+// adversarial strike plan at increasing worker counts, reports
+// strikes/second, and verifies the JSON report stays byte-identical —
+// the engine's core guarantee (parallelism must never change results).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bencharness/generator.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/report.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "cwsp/timing.hpp"
+
+int main() {
+  using namespace cwsp;
+  const CellLibrary library = make_default_library();
+  const auto params = core::ProtectionParams::q100();
+
+  const auto gen =
+      bench::generate_benchmark(bench::find_benchmark("alu2"), library);
+  const auto seq = bench::clone_with_output_flip_flops(gen.netlist);
+  const Picoseconds period =
+      std::max(core::hardened_clock_period(gen.measured_dmax, library),
+               core::min_clock_period_for_delta(params));
+
+  set::StrikePlanOptions plan_options;
+  plan_options.functional_strikes = 48;
+  plan_options.protection_path_strikes = 8;
+  plan_options.clock_edge_strikes = 8;
+  plan_options.out_of_envelope_strikes = 8;
+  plan_options.cycles_per_run = 10;
+  plan_options.clock_period = period;
+  plan_options.out_of_envelope_width = params.delta + Picoseconds(400.0);
+  const auto plan = set::build_strike_plan(seq, plan_options, 2026);
+
+  const campaign::CampaignEngine engine(seq, params, period);
+
+  TextTable table;
+  table.set_header({"Jobs", "Strikes", "Wall s", "Strikes/s", "Coverage %",
+                    "Report"});
+
+  std::string baseline;
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                           std::size_t{8}}) {
+    campaign::EngineOptions options;
+    options.seed = 2026;
+    options.cycles_per_run = 10;
+    options.jobs = jobs;
+    Stopwatch watch;
+    const auto result = engine.run(plan, options);
+    const double seconds = watch.elapsed_ms() / 1000.0;
+    const std::string json =
+        campaign::format_campaign_json(result, plan, seq, options, period);
+    if (baseline.empty()) baseline = json;
+    table.add_row({std::to_string(jobs), std::to_string(plan.size()),
+                   TextTable::num(seconds, 2),
+                   TextTable::num(static_cast<double>(plan.size()) / seconds,
+                                  1),
+                   TextTable::num(result.report.protected_coverage_pct(), 1),
+                   json == baseline ? "identical" : "DIVERGED"});
+    if (json != baseline) {
+      std::cerr << "FATAL: report changed with jobs=" << jobs << "\n";
+      return 1;
+    }
+  }
+
+  std::cout << "Campaign engine scaling on alu2 (plan: 48 functional + 8 "
+               "protection-path + 8 clock-edge + 8 out-of-envelope):\n\n";
+  table.print(std::cout);
+  std::cout << "\nReports are byte-identical across job counts; wall-clock "
+               "never feeds the report.\n";
+  return 0;
+}

@@ -1,0 +1,319 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "campaign/journal.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+
+namespace cwsp::campaign {
+namespace {
+
+core::ScheduledStrike to_scheduled(const set::PlannedStrike& p) {
+  core::ScheduledStrike s;
+  s.cycle = p.cycle;
+  s.ff_index = p.ff_index;
+  s.strike = p.strike;
+  if (p.klass == set::StrikeClass::kProtectionPath) {
+    switch (p.site) {
+      case set::ProtectionSite::kEqChecker:
+        s.target = core::StrikeTarget::kEqChecker;
+        break;
+      case set::ProtectionSite::kEqglbfDff:
+        s.target = core::StrikeTarget::kEqglbfDff;
+        break;
+      case set::ProtectionSite::kCwStarDff:
+        s.target = core::StrikeTarget::kCwStarDff;
+        break;
+      case set::ProtectionSite::kCwspOutput:
+        s.target = core::StrikeTarget::kCwspOutput;
+        break;
+    }
+  } else {
+    s.target = core::StrikeTarget::kFunctional;
+  }
+  return s;
+}
+
+// Flips cancel tokens of in-flight strikes whose deadline passed. One
+// slot per worker; polling granularity ~1 ms, far below any useful
+// per-strike budget.
+class Watchdog {
+ public:
+  explicit Watchdog(std::size_t workers) : slots_(workers) {
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  void arm(std::size_t worker, sim::CancelToken* token, double timeout_ms) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_[worker] = {token, Stopwatch::deadline_after(timeout_ms)};
+  }
+
+  void disarm(std::size_t worker) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_[worker].token = nullptr;
+  }
+
+ private:
+  struct Slot {
+    sim::CancelToken* token = nullptr;
+    Stopwatch::Clock::time_point deadline;
+  };
+
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(1));
+      const auto now = Stopwatch::Clock::now();
+      for (Slot& slot : slots_) {
+        if (slot.token != nullptr && now >= slot.deadline) {
+          slot.token->cancel();
+          slot.token = nullptr;
+        }
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;
+  std::thread thread_;
+  bool stop_ = false;
+};
+
+std::string escape_diagnostic(const core::ProtectionRunResult& r) {
+  if (r.livelocked) return "protocol livelocked";
+  std::ostringstream os;
+  os << r.silent_corruptions << " corrupted commit(s)";
+  return os.str();
+}
+
+}  // namespace
+
+const char* to_string(StrikeStatus status) {
+  switch (status) {
+    case StrikeStatus::kCovered:
+      return "covered";
+    case StrikeStatus::kEscape:
+      return "escape";
+    case StrikeStatus::kTimeout:
+      return "timeout";
+    case StrikeStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+CampaignEngine::CampaignEngine(const Netlist& netlist,
+                               const core::ProtectionParams& params,
+                               Picoseconds clock_period)
+    : netlist_(&netlist), params_(params), clock_period_(clock_period) {}
+
+std::vector<std::vector<bool>> CampaignEngine::strike_inputs(
+    const Netlist& netlist, std::size_t cycles, std::uint64_t seed,
+    std::size_t strike_index) {
+  Rng rng = Rng::stream(seed, strike_index);
+  std::vector<std::vector<bool>> inputs(cycles);
+  for (auto& vec : inputs) {
+    vec.resize(netlist.primary_inputs().size());
+    for (std::size_t i = 0; i < vec.size(); ++i) vec[i] = rng.next_bool();
+  }
+  return inputs;
+}
+
+CampaignResult CampaignEngine::run(const set::StrikePlan& plan,
+                                   const EngineOptions& options) const {
+  CWSP_REQUIRE(options.jobs > 0);
+  CWSP_REQUIRE(options.cycles_per_run > 0);
+  const std::uint64_t fingerprint = campaign_fingerprint(
+      plan, options.seed, options.cycles_per_run, clock_period_);
+
+  CampaignResult result;
+  result.strikes.assign(plan.size(), StrikeResult{});
+  std::vector<char> done(plan.size(), 0);
+
+  std::optional<JournalWriter> writer;
+  if (!options.journal_path.empty()) {
+    if (options.resume) {
+      const Journal journal = read_journal(options.journal_path);
+      CWSP_REQUIRE_MSG(journal.fingerprint == fingerprint,
+                       "journal '" << options.journal_path
+                                   << "' does not match this campaign "
+                                      "(plan/seed/cycles/period differ)");
+      for (const StrikeResult& r : journal.results) {
+        if (r.index < plan.size() && done[r.index] == 0) {
+          result.strikes[r.index] = r;
+          done[r.index] = 1;
+          ++result.resumed;
+        }
+      }
+    }
+    writer.emplace(options.journal_path, fingerprint, plan.size(),
+                   options.resume);
+  }
+
+  // ---- worker pool ---------------------------------------------------
+  // Workers claim strike indices from an atomic cursor; each result lands
+  // in its own pre-sized slot, so aggregation (below, sequential and in
+  // index order) is independent of scheduling.
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> fresh_started{0};
+  const std::size_t jobs =
+      std::max<std::size_t>(1, std::min(options.jobs, plan.size()));
+  Watchdog watchdog(jobs);
+
+  auto worker = [&](std::size_t worker_id) {
+    core::ProtectionSim sim(*netlist_, params_, clock_period_);
+    sim::CancelToken token;
+    sim.set_cancel_token(&token);
+
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1);
+      if (i >= plan.size()) break;
+      if (done[i] != 0) continue;
+      if (options.stop_after != 0 &&
+          fresh_started.fetch_add(1) >= options.stop_after) {
+        break;
+      }
+
+      const set::PlannedStrike& planned = plan.strikes[i];
+      StrikeResult r;
+      r.index = i;
+      token.reset();
+      if (options.timeout_ms > 0.0) {
+        watchdog.arm(worker_id, &token, options.timeout_ms);
+      }
+      try {
+        if (options.test_hook) options.test_hook(i, token);
+        const auto inputs = strike_inputs(*netlist_, options.cycles_per_run,
+                                          options.seed, i);
+        const core::ScheduledStrike scheduled = to_scheduled(planned);
+        const auto protected_r = sim.run(inputs, {scheduled});
+        r.bubbles = protected_r.bubbles;
+        r.detected_errors = protected_r.detected_errors;
+        r.spurious_recomputes = protected_r.spurious_recomputes;
+        if (protected_r.recovered()) {
+          r.status = StrikeStatus::kCovered;
+        } else {
+          r.status = StrikeStatus::kEscape;
+          r.diagnostic = escape_diagnostic(protected_r);
+        }
+        if (scheduled.target == core::StrikeTarget::kFunctional) {
+          const auto unprotected_r = sim.run_unprotected(inputs, {scheduled});
+          r.unprotected_failed = unprotected_r.corrupted_cycles > 0;
+        }
+      } catch (const sim::CancelledError&) {
+        r = StrikeResult{};
+        r.index = i;
+        r.status = StrikeStatus::kTimeout;
+        std::ostringstream os;
+        os << "per-strike budget of " << options.timeout_ms
+           << " ms exhausted";
+        r.diagnostic = os.str();
+      } catch (const std::exception& e) {
+        r = StrikeResult{};
+        r.index = i;
+        r.status = StrikeStatus::kError;
+        r.diagnostic = e.what();
+      }
+      watchdog.disarm(worker_id);
+      if (writer.has_value()) writer->append(r);
+      result.strikes[i] = r;
+    }
+  };
+
+  if (jobs <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    for (std::size_t w = 0; w < jobs; ++w) {
+      threads.emplace_back(worker, w);
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  // ---- aggregation (sequential, index order → deterministic) ---------
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const StrikeResult& r = result.strikes[i];
+    if (!r.completed()) {
+      result.interrupted = true;
+      continue;
+    }
+    const set::PlannedStrike& planned = plan.strikes[i];
+    core::CoverageReport& report = result.report;
+    core::ScenarioStats& slice =
+        report.scenario(set::to_string(planned.klass));
+    ++report.runs;
+    ++report.strikes_injected;
+    ++slice.strikes;
+    switch (r.status) {
+      case StrikeStatus::kCovered:
+        break;
+      case StrikeStatus::kEscape:
+        ++report.protected_failures;
+        ++slice.escapes;
+        if (planned.klass != set::StrikeClass::kOutOfEnvelope) {
+          ++result.unexpected_escapes;
+        }
+        break;
+      case StrikeStatus::kTimeout:
+        ++report.timeouts;
+        ++slice.timeouts;
+        [[fallthrough]];
+      case StrikeStatus::kError:
+        ++report.inconclusive;
+        ++slice.inconclusive;
+        break;
+    }
+    if (r.conclusive()) {
+      report.bubbles += r.bubbles;
+      report.detected_errors += r.detected_errors;
+      report.spurious_recomputes += r.spurious_recomputes;
+      if (r.unprotected_failed) {
+        ++report.unprotected_failures;
+        ++slice.unprotected_failures;
+      }
+    }
+  }
+  result.executed = result.report.runs > result.resumed
+                        ? result.report.runs - result.resumed
+                        : 0;
+
+  // ---- escape minimization ------------------------------------------
+  if (options.minimize_escapes) {
+    core::ProtectionSim sim(*netlist_, params_, clock_period_);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      const StrikeResult& r = result.strikes[i];
+      if (!r.completed() || r.status != StrikeStatus::kEscape) continue;
+      const set::PlannedStrike& planned = plan.strikes[i];
+      // Protection-path strikes have no functional net to shrink.
+      if (planned.klass == set::StrikeClass::kProtectionPath) continue;
+      EscapeRepro repro = minimize_escape(
+          sim, planned,
+          strike_inputs(*netlist_, options.cycles_per_run, options.seed, i));
+      if (!options.artifact_dir.empty()) {
+        write_repro(repro, *netlist_, options.artifact_dir);
+      }
+      result.repros.push_back(std::move(repro));
+    }
+  }
+  return result;
+}
+
+}  // namespace cwsp::campaign

@@ -1,0 +1,148 @@
+#pragma once
+// Resilient parallel fault-injection campaign engine.
+//
+// Wraps the strike planner (set::StrikePlan) and the protection simulator
+// (core::ProtectionSim) in a worker pool built for campaigns that must
+// survive crashes, hangs and interruption at scale:
+//
+//   * deterministic parallelism — every strike draws its stimulus from a
+//     splittable RNG stream keyed by its plan index, so reports are
+//     byte-identical for any `jobs` value;
+//   * checkpoint/resume — each finished strike is flushed to a journal
+//     file; a resumed campaign re-runs only the unfinished strikes and
+//     aggregates to the same totals as an uninterrupted run;
+//   * per-strike timeouts and exception isolation — a hung or throwing
+//     simulation degrades that one strike to `inconclusive` (with a
+//     captured diagnostic) instead of aborting the campaign;
+//   * escape minimization — every coverage escape can be shrunk to a
+//     minimal standalone repro artifact (.bench + strike spec).
+//
+// See docs/campaign.md for the architecture, journal format and report
+// schema.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/minimize.hpp"
+#include "cwsp/coverage.hpp"
+#include "set/strike_plan.hpp"
+#include "sim/cancel.hpp"
+
+namespace cwsp::campaign {
+
+enum class StrikeStatus : std::uint8_t {
+  /// Protected design recovered (no corrupted commit, no livelock).
+  kCovered,
+  /// Protected design committed a wrong output or livelocked.
+  kEscape,
+  /// Strike exceeded its wall-clock budget; verdict unknown.
+  kTimeout,
+  /// Simulator raised an exception; verdict unknown.
+  kError,
+};
+
+[[nodiscard]] const char* to_string(StrikeStatus status);
+
+struct StrikeResult {
+  static constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+  std::size_t index = kNoIndex;
+  StrikeStatus status = StrikeStatus::kCovered;
+  /// Whether the same strike corrupted the unprotected reference design
+  /// (functional-class strikes only).
+  bool unprotected_failed = false;
+  std::uint64_t bubbles = 0;
+  std::uint64_t detected_errors = 0;
+  std::uint64_t spurious_recomputes = 0;
+  /// Human-readable cause for escapes and inconclusive strikes. Always
+  /// deterministic (never contains wall-clock measurements).
+  std::string diagnostic;
+
+  [[nodiscard]] bool completed() const { return index != kNoIndex; }
+  [[nodiscard]] bool conclusive() const {
+    return status == StrikeStatus::kCovered ||
+           status == StrikeStatus::kEscape;
+  }
+};
+
+struct EngineOptions {
+  /// Seed of the per-strike stimulus streams (Rng::stream(seed, index)).
+  std::uint64_t seed = 1;
+  /// Length of the input sequence each strike is injected into.
+  std::size_t cycles_per_run = 20;
+  /// Worker threads. Results are identical for any value ≥ 1.
+  std::size_t jobs = 1;
+  /// Per-strike wall-clock budget; 0 disables timeouts.
+  double timeout_ms = 0.0;
+  /// Journal file for checkpoint/resume; empty disables journaling.
+  std::string journal_path;
+  /// Resume from an existing journal (journal_path must name it); its
+  /// fingerprint must match this plan + options.
+  bool resume = false;
+  /// Shrink every escape to a minimal repro.
+  bool minimize_escapes = false;
+  /// Directory for repro artifacts (written only when non-empty and
+  /// minimize_escapes is set).
+  std::string artifact_dir;
+  /// Execute at most this many *fresh* strikes, then stop (0 = no limit).
+  /// Simulates an interruption deterministically; the journal keeps the
+  /// finished work, so `resume` completes the campaign.
+  std::size_t stop_after = 0;
+  /// Test hook run before each strike's simulation on the worker thread
+  /// (e.g. to inject a hang that only the watchdog can break). Must throw
+  /// sim::CancelledError to emulate a cancelled hang.
+  std::function<void(std::size_t, const sim::CancelToken&)> test_hook;
+};
+
+struct CampaignResult {
+  /// Aggregate over completed strikes, in plan-index order.
+  core::CoverageReport report;
+  /// One slot per planned strike; slots never executed (interruption)
+  /// have completed() == false.
+  std::vector<StrikeResult> strikes;
+  /// Minimized escapes (when minimize_escapes is set), index order.
+  std::vector<EscapeRepro> repros;
+  /// Escapes outside the expected (out-of-envelope) class — the ones that
+  /// would falsify the paper's coverage claim.
+  std::size_t unexpected_escapes = 0;
+  /// Strikes loaded from the journal instead of executed.
+  std::size_t resumed = 0;
+  /// Strikes executed by this invocation.
+  std::size_t executed = 0;
+  /// True when the campaign stopped before completing every strike.
+  bool interrupted = false;
+};
+
+class CampaignEngine {
+ public:
+  /// The netlist and library must outlive the engine.
+  CampaignEngine(const Netlist& netlist, const core::ProtectionParams& params,
+                 Picoseconds clock_period);
+
+  /// Executes `plan`. Throws cwsp::Error for configuration errors
+  /// (mismatched resume journal, zero jobs); per-strike failures never
+  /// propagate — they degrade to inconclusive results.
+  [[nodiscard]] CampaignResult run(const set::StrikePlan& plan,
+                                   const EngineOptions& options) const;
+
+  [[nodiscard]] const Netlist& netlist() const { return *netlist_; }
+  [[nodiscard]] Picoseconds clock_period() const { return clock_period_; }
+  [[nodiscard]] const core::ProtectionParams& params() const {
+    return params_;
+  }
+
+  /// The deterministic stimulus for one strike: the engine's workers, the
+  /// minimizer and tests all derive inputs through this single function.
+  [[nodiscard]] static std::vector<std::vector<bool>> strike_inputs(
+      const Netlist& netlist, std::size_t cycles, std::uint64_t seed,
+      std::size_t strike_index);
+
+ private:
+  const Netlist* netlist_;
+  core::ProtectionParams params_;
+  Picoseconds clock_period_;
+};
+
+}  // namespace cwsp::campaign

@@ -1,0 +1,199 @@
+#include "campaign/journal.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace cwsp::campaign {
+namespace {
+
+constexpr char kHeaderLine[] = "# cwsp-campaign-journal v1";
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (8 * byte)) & 0xffULL;
+    h *= 1099511628211ULL;
+  }
+}
+
+std::string escape_text(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_text(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 == text.size()) {
+      out += text[i];
+      continue;
+    }
+    ++i;
+    switch (text[i]) {
+      case 'n':
+        out += '\n';
+        break;
+      default:
+        out += text[i];
+    }
+  }
+  return out;
+}
+
+/// Extracts the value of `key=` from a whitespace-separated line; returns
+/// false when absent.
+bool field(const std::string& line, const std::string& key,
+           std::string& value) {
+  const std::string needle = key + "=";
+  std::size_t pos = 0;
+  while ((pos = line.find(needle, pos)) != std::string::npos) {
+    if (pos != 0 && line[pos - 1] != ' ') {
+      pos += needle.size();
+      continue;
+    }
+    const std::size_t begin = pos + needle.size();
+    const std::size_t end = line.find(' ', begin);
+    value = line.substr(begin, end == std::string::npos ? end : end - begin);
+    return true;
+  }
+  return false;
+}
+
+bool parse_status(const std::string& text, StrikeStatus& status) {
+  if (text == "covered") status = StrikeStatus::kCovered;
+  else if (text == "escape") status = StrikeStatus::kEscape;
+  else if (text == "timeout") status = StrikeStatus::kTimeout;
+  else if (text == "error") status = StrikeStatus::kError;
+  else return false;
+  return true;
+}
+
+/// Parses one `strike ...` line; returns false for malformed (e.g.
+/// truncated by a crash) lines, which the reader skips.
+bool parse_strike_line(const std::string& line, StrikeResult& result) {
+  // diag="..." runs to the closing quote at end of line; a line truncated
+  // inside the quotes is rejected. Fixed fields are only extracted from
+  // the prefix, so diagnostic text can never shadow them.
+  const std::size_t diag = line.find(" diag=\"");
+  if (diag == std::string::npos) return false;
+  const std::size_t begin = diag + 7;
+  if (line.size() < begin + 1 || line.back() != '"') return false;
+  result.diagnostic =
+      unescape_text(line.substr(begin, line.size() - begin - 1));
+
+  const std::string prefix = line.substr(0, diag);
+  std::string value;
+  try {
+    if (!field(prefix, "idx", value)) return false;
+    result.index = std::stoull(value);
+    if (!field(prefix, "status", value) ||
+        !parse_status(value, result.status))
+      return false;
+    if (!field(prefix, "uf", value)) return false;
+    result.unprotected_failed = value == "1";
+    if (!field(prefix, "bub", value)) return false;
+    result.bubbles = std::stoull(value);
+    if (!field(prefix, "det", value)) return false;
+    result.detected_errors = std::stoull(value);
+    if (!field(prefix, "spur", value)) return false;
+    result.spurious_recomputes = std::stoull(value);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t campaign_fingerprint(const set::StrikePlan& plan,
+                                   std::uint64_t seed,
+                                   std::size_t cycles_per_run,
+                                   Picoseconds clock_period) {
+  std::uint64_t h = 1469598103934665603ULL;
+  fnv_mix(h, seed);
+  fnv_mix(h, cycles_per_run);
+  fnv_mix(h, std::bit_cast<std::uint64_t>(clock_period.value()));
+  fnv_mix(h, plan.size());
+  for (const set::PlannedStrike& p : plan.strikes) {
+    fnv_mix(h, p.index);
+    fnv_mix(h, static_cast<std::uint64_t>(p.klass));
+    fnv_mix(h, static_cast<std::uint64_t>(p.site));
+    fnv_mix(h, p.cycle);
+    fnv_mix(h, p.ff_index);
+    fnv_mix(h, p.strike.node.valid() ? p.strike.node.index()
+                                     : static_cast<std::size_t>(-1));
+    fnv_mix(h, std::bit_cast<std::uint64_t>(p.strike.start.value()));
+    fnv_mix(h, std::bit_cast<std::uint64_t>(p.strike.width.value()));
+  }
+  return h;
+}
+
+Journal read_journal(const std::string& path) {
+  std::ifstream in(path);
+  CWSP_REQUIRE_MSG(in.good(), "cannot read journal '" << path << "'");
+  Journal journal;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("plan ", 0) == 0) {
+      std::string value;
+      if (field(line, "fp", value)) {
+        journal.fingerprint = std::stoull(value, nullptr, 16);
+      }
+      if (field(line, "strikes", value)) {
+        journal.total_strikes = std::stoull(value);
+      }
+      continue;
+    }
+    if (line.rfind("strike ", 0) != 0) continue;
+    StrikeResult result;
+    if (parse_strike_line(line, result)) {
+      journal.results.push_back(std::move(result));
+    }
+  }
+  return journal;
+}
+
+JournalWriter::JournalWriter(const std::string& path,
+                             std::uint64_t fingerprint,
+                             std::size_t total_strikes, bool append) {
+  out_.open(path, append ? std::ios::app : std::ios::trunc);
+  CWSP_REQUIRE_MSG(out_.good(), "cannot open journal '" << path << "'");
+  if (!append) {
+    std::ostringstream os;
+    os << kHeaderLine << "\nplan fp=" << std::hex << fingerprint << std::dec
+       << " strikes=" << total_strikes << "\n";
+    out_ << os.str();
+    out_.flush();
+  }
+}
+
+void JournalWriter::append(const StrikeResult& result) {
+  std::ostringstream os;
+  os << "strike idx=" << result.index << " status="
+     << to_string(result.status) << " uf=" << (result.unprotected_failed ? 1 : 0)
+     << " bub=" << result.bubbles << " det=" << result.detected_errors
+     << " spur=" << result.spurious_recomputes << " diag=\""
+     << escape_text(result.diagnostic) << "\"\n";
+  const std::string line = os.str();
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line;
+  out_.flush();
+}
+
+}  // namespace cwsp::campaign

@@ -1,0 +1,64 @@
+#pragma once
+// Campaign journal: an append-only, line-oriented checkpoint file.
+//
+// The engine flushes one line per finished strike, so a campaign killed
+// at any point loses at most the strikes in flight. A resumed campaign
+// validates the journal's fingerprint (plan + stimulus configuration)
+// and re-runs only the strikes with no journal line. The reader is
+// tolerant of a truncated final line — the crash case the journal exists
+// for.
+//
+// Format (docs/campaign.md has the full specification):
+//   # cwsp-campaign-journal v1
+//   plan fp=<16-hex-digit fingerprint> strikes=<total>
+//   strike idx=<n> status=<covered|escape|timeout|error> uf=<0|1>
+//          bub=<n> det=<n> spur=<n> diag="<escaped>"
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "common/units.hpp"
+#include "set/strike_plan.hpp"
+
+namespace cwsp::campaign {
+
+/// Stable digest of everything that determines per-strike outcomes: the
+/// materialised plan, the stimulus seed, run length and clock period.
+/// Resume refuses a journal whose fingerprint differs.
+[[nodiscard]] std::uint64_t campaign_fingerprint(const set::StrikePlan& plan,
+                                                 std::uint64_t seed,
+                                                 std::size_t cycles_per_run,
+                                                 Picoseconds clock_period);
+
+struct Journal {
+  std::uint64_t fingerprint = 0;
+  std::size_t total_strikes = 0;
+  /// Completed strikes, in file order (not necessarily index order).
+  std::vector<StrikeResult> results;
+};
+
+/// Parses a journal file. Unknown and truncated lines are skipped; a
+/// missing or unreadable file throws cwsp::Error.
+[[nodiscard]] Journal read_journal(const std::string& path);
+
+class JournalWriter {
+ public:
+  /// Creates (append == false) or appends to (append == true) `path`.
+  /// The header is written only for fresh journals. Throws cwsp::Error
+  /// when the file cannot be opened.
+  JournalWriter(const std::string& path, std::uint64_t fingerprint,
+                std::size_t total_strikes, bool append);
+
+  /// Appends one strike line and flushes. Thread-safe.
+  void append(const StrikeResult& result);
+
+ private:
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+}  // namespace cwsp::campaign

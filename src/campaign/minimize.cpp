@@ -1,0 +1,237 @@
+#include "campaign/minimize.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "netlist/bench_parser.hpp"
+#include "netlist/writer.hpp"
+
+namespace cwsp::campaign {
+namespace {
+
+core::ScheduledStrike functional_strike(const set::PlannedStrike& p) {
+  core::ScheduledStrike s;
+  s.cycle = p.cycle;
+  s.target = core::StrikeTarget::kFunctional;
+  s.strike = p.strike;
+  return s;
+}
+
+bool escapes(const core::ProtectionSim& sim,
+             const std::vector<std::vector<bool>>& inputs,
+             const set::PlannedStrike& candidate) {
+  return !sim.run(inputs, {functional_strike(candidate)}).recovered();
+}
+
+/// Round-trippable double formatting for spec files.
+std::string full_precision(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+}  // namespace
+
+EscapeRepro minimize_escape(const core::ProtectionSim& sim,
+                            const set::PlannedStrike& strike,
+                            std::vector<std::vector<bool>> inputs) {
+  CWSP_REQUIRE_MSG(strike.strike.node.valid(),
+                   "only functional-class strikes can be minimized");
+  EscapeRepro repro;
+  repro.strike_index = strike.index;
+  repro.minimized = strike;
+  repro.original_width = strike.strike.width;
+  repro.original_start = strike.strike.start;
+  repro.inputs = std::move(inputs);
+  repro.params = sim.params();
+  repro.clock_period = sim.clock_period();
+
+  // The caller hands us a confirmed escape, but re-verify: a repro that
+  // does not reproduce is worse than none.
+  if (!escapes(sim, repro.inputs, repro.minimized)) return repro;
+
+  // Smallest escaping width, to 1 ps. `hi` always escapes.
+  double lo = 0.0;
+  double hi = repro.minimized.strike.width.value();
+  while (hi - lo > 1.0) {
+    const double mid = 0.5 * (lo + hi);
+    set::PlannedStrike candidate = repro.minimized;
+    candidate.strike.width = Picoseconds(mid);
+    if (escapes(sim, repro.inputs, candidate)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  repro.minimized.strike.width = Picoseconds(hi);
+
+  // Earliest escaping strike time: probe evenly spaced candidates from
+  // t=0 towards the original start and keep the first that still escapes.
+  const double original_start = repro.minimized.strike.start.value();
+  constexpr int kStartProbes = 16;
+  for (int p = 0; p < kStartProbes; ++p) {
+    const double t = original_start * p / kStartProbes;
+    set::PlannedStrike candidate = repro.minimized;
+    candidate.strike.start = Picoseconds(t);
+    if (escapes(sim, repro.inputs, candidate)) {
+      repro.minimized.strike.start = Picoseconds(t);
+      break;
+    }
+  }
+
+  // Shortest escaping input prefix: corruption is committed within two
+  // cycles of the strike, so try truncating there first, then give up.
+  const std::size_t shortest = repro.minimized.cycle + 2;
+  if (shortest < repro.inputs.size()) {
+    std::vector<std::vector<bool>> truncated(
+        repro.inputs.begin(),
+        repro.inputs.begin() + static_cast<std::ptrdiff_t>(shortest));
+    if (escapes(sim, truncated, repro.minimized)) {
+      repro.inputs = std::move(truncated);
+    }
+  }
+  return repro;
+}
+
+void write_repro(EscapeRepro& repro, const Netlist& netlist,
+                 const std::string& dir) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  std::ostringstream stem;
+  stem << "repro_strike" << repro.strike_index;
+  const fs::path bench_path = fs::path(dir) / (stem.str() + ".bench");
+  const fs::path spec_path = fs::path(dir) / (stem.str() + ".strike");
+
+  {
+    std::ofstream bench(bench_path);
+    CWSP_REQUIRE_MSG(bench.good(),
+                     "cannot write repro '" << bench_path.string() << "'");
+    write_bench(netlist, bench);
+  }
+
+  // Spec files must be standalone: the replayer reconstructs the sim from
+  // these lines alone, so every protection parameter is spelled out.
+  std::ofstream spec(spec_path);
+  CWSP_REQUIRE_MSG(spec.good(),
+                   "cannot write repro '" << spec_path.string() << "'");
+  spec << "# cwsp-escape-repro v1\n";
+  spec << "design " << bench_path.filename().string() << "\n";
+  spec << "strike_index " << repro.strike_index << "\n";
+  spec << "clock_period_ps " << full_precision(repro.clock_period.value())
+       << "\n";
+  const core::ProtectionParams& pp = repro.params;
+  spec << "param delta_ps " << full_precision(pp.delta.value()) << "\n";
+  spec << "param d_cwsp_ps " << full_precision(pp.d_cwsp.value()) << "\n";
+  spec << "param cwsp_pmos_mult " << full_precision(pp.cwsp_pmos_mult)
+       << "\n";
+  spec << "param cwsp_nmos_mult " << full_precision(pp.cwsp_nmos_mult)
+       << "\n";
+  spec << "param segments_delta " << pp.segments_delta << "\n";
+  spec << "param segments_clk_del " << pp.segments_clk_del << "\n";
+  spec << "param per_ff_area_um2 " << full_precision(pp.per_ff_area.value())
+       << "\n";
+  spec << "node " << netlist.net(repro.minimized.strike.node).name << "\n";
+  spec << "cycle " << repro.minimized.cycle << "\n";
+  spec << "start_ps " << full_precision(repro.minimized.strike.start.value())
+       << "\n";
+  spec << "width_ps " << full_precision(repro.minimized.strike.width.value())
+       << "\n";
+  spec << "original_width_ps " << full_precision(repro.original_width.value())
+       << "\n";
+  spec << "inputs " << repro.inputs.size() << "\n";
+  for (const auto& vec : repro.inputs) {
+    spec << "vec ";
+    for (bool b : vec) spec << (b ? '1' : '0');
+    spec << "\n";
+  }
+  spec << "expect escape\n";
+
+  repro.bench_path = bench_path.string();
+  repro.spec_path = spec_path.string();
+}
+
+bool replay_repro(const std::string& spec_path, const CellLibrary& library) {
+  namespace fs = std::filesystem;
+  std::ifstream spec(spec_path);
+  CWSP_REQUIRE_MSG(spec.good(), "cannot read repro '" << spec_path << "'");
+
+  std::string design;
+  std::string node;
+  double clock_period = 0.0;
+  core::ProtectionParams params;
+  std::size_t cycle = 0;
+  double start = 0.0;
+  double width = 0.0;
+  std::vector<std::vector<bool>> inputs;
+
+  std::string line;
+  while (std::getline(spec, line)) {
+    std::istringstream is(line);
+    std::string key;
+    is >> key;
+    if (key == "design") {
+      is >> design;
+    } else if (key == "clock_period_ps") {
+      is >> clock_period;
+    } else if (key == "param") {
+      std::string name;
+      is >> name;
+      if (name == "delta_ps") {
+        double v = 0.0;
+        is >> v;
+        params.delta = Picoseconds(v);
+      } else if (name == "d_cwsp_ps") {
+        double v = 0.0;
+        is >> v;
+        params.d_cwsp = Picoseconds(v);
+      } else if (name == "cwsp_pmos_mult") {
+        is >> params.cwsp_pmos_mult;
+      } else if (name == "cwsp_nmos_mult") {
+        is >> params.cwsp_nmos_mult;
+      } else if (name == "segments_delta") {
+        is >> params.segments_delta;
+      } else if (name == "segments_clk_del") {
+        is >> params.segments_clk_del;
+      } else if (name == "per_ff_area_um2") {
+        double v = 0.0;
+        is >> v;
+        params.per_ff_area = SquareMicrons(v);
+      }
+    } else if (key == "node") {
+      is >> node;
+    } else if (key == "cycle") {
+      is >> cycle;
+    } else if (key == "start_ps") {
+      is >> start;
+    } else if (key == "width_ps") {
+      is >> width;
+    } else if (key == "vec") {
+      std::string bits;
+      is >> bits;
+      std::vector<bool> vec(bits.size());
+      for (std::size_t i = 0; i < bits.size(); ++i) vec[i] = bits[i] == '1';
+      inputs.push_back(std::move(vec));
+    }
+  }
+  CWSP_REQUIRE_MSG(!design.empty() && !node.empty() && !inputs.empty(),
+                   "repro spec '" << spec_path << "' is incomplete");
+
+  const fs::path bench_path = fs::path(spec_path).parent_path() / design;
+  const Netlist netlist = parse_bench_file(bench_path.string(), library);
+  const auto struck_net = netlist.find_net(node);
+  CWSP_REQUIRE_MSG(struck_net.has_value(),
+                   "repro node '" << node << "' not found in " << design);
+
+  const core::ProtectionSim sim(netlist, params, Picoseconds(clock_period));
+  core::ScheduledStrike strike;
+  strike.cycle = cycle;
+  strike.target = core::StrikeTarget::kFunctional;
+  strike.strike.node = *struck_net;
+  strike.strike.start = Picoseconds(start);
+  strike.strike.width = Picoseconds(width);
+  return !sim.run(inputs, {strike}).recovered();
+}
+
+}  // namespace cwsp::campaign

@@ -1,0 +1,53 @@
+#pragma once
+// Escape minimization: shrink a coverage escape to the smallest repro
+// that still escapes, and persist it as a standalone artifact — the
+// design as .bench plus a strike-spec file with the exact stimulus and
+// protection parameters, replayable without the original campaign.
+
+#include <string>
+#include <vector>
+
+#include "cwsp/protection_sim.hpp"
+#include "set/strike_plan.hpp"
+
+namespace cwsp::campaign {
+
+struct EscapeRepro {
+  /// Plan index of the original escape.
+  std::size_t strike_index = 0;
+  /// The shrunk strike (smallest width, earliest start that still
+  /// escapes; single site by construction).
+  set::PlannedStrike minimized;
+  /// Width/start of the campaign strike before shrinking.
+  Picoseconds original_width{0.0};
+  Picoseconds original_start{0.0};
+  /// Input vectors, possibly truncated to the shortest escaping prefix.
+  std::vector<std::vector<bool>> inputs;
+  /// Simulation context captured so the artifact is standalone.
+  core::ProtectionParams params;
+  Picoseconds clock_period{0.0};
+  /// Paths filled in by write_repro().
+  std::string bench_path;
+  std::string spec_path;
+};
+
+/// Greedily shrinks an escaping functional-class strike: binary-searches
+/// the smallest escaping glitch width, then the earliest escaping strike
+/// time, then the shortest escaping input prefix. Every candidate is
+/// re-simulated; the returned repro is guaranteed to still escape under
+/// `sim`. Deterministic.
+[[nodiscard]] EscapeRepro minimize_escape(
+    const core::ProtectionSim& sim, const set::PlannedStrike& strike,
+    std::vector<std::vector<bool>> inputs);
+
+/// Writes `repro_strike<index>.bench` and `repro_strike<index>.strike`
+/// into `dir` (created if absent) and records the paths in `repro`.
+void write_repro(EscapeRepro& repro, const Netlist& netlist,
+                 const std::string& dir);
+
+/// Replays a spec written by write_repro() from scratch (fresh parse,
+/// fresh simulator). Returns true when the escape reproduces.
+[[nodiscard]] bool replay_repro(const std::string& spec_path,
+                                const CellLibrary& library);
+
+}  // namespace cwsp::campaign

@@ -1,0 +1,34 @@
+#pragma once
+// Campaign report formatters: human-readable text and a deterministic
+// JSON document (docs/campaign.md schema). The JSON deliberately omits
+// anything execution-dependent (thread count, wall-clock times), so runs
+// with different `--jobs` values produce byte-identical reports.
+
+#include <string>
+
+#include "campaign/campaign.hpp"
+
+namespace cwsp::campaign {
+
+/// Overall campaign verdict, also the CLI exit-status driver.
+enum class CampaignStatus : std::uint8_t {
+  kOk,           // complete, no unexpected escapes
+  kEscapes,      // at least one escape outside the out-of-envelope class
+  kInterrupted,  // stopped before every strike completed
+  kInvalid,      // zero strikes injected — proves nothing
+};
+
+[[nodiscard]] const char* to_string(CampaignStatus status);
+[[nodiscard]] CampaignStatus campaign_status(const CampaignResult& result);
+
+[[nodiscard]] std::string format_campaign_text(const CampaignResult& result,
+                                               const set::StrikePlan& plan,
+                                               const Netlist& netlist);
+
+[[nodiscard]] std::string format_campaign_json(const CampaignResult& result,
+                                               const set::StrikePlan& plan,
+                                               const Netlist& netlist,
+                                               const EngineOptions& options,
+                                               Picoseconds clock_period);
+
+}  // namespace cwsp::campaign

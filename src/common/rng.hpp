@@ -23,6 +23,23 @@ class Rng {
     for (auto& lane : state_) lane = split_mix(x);
   }
 
+  /// Splittable sub-stream: the generator for a given (seed, stream_id)
+  /// pair is a pure function of that pair — independent of how many other
+  /// streams exist or in which order they are drawn. Campaign workers use
+  /// one stream per strike index, which is what makes parallel campaigns
+  /// produce results identical to single-threaded ones.
+  [[nodiscard]] static Rng stream(std::uint64_t seed,
+                                  std::uint64_t stream_id) {
+    Rng r(0);
+    std::uint64_t x = seed;
+    // Decorrelate the stream chain from the seed chain with an arbitrary
+    // odd constant so stream(s, 0) differs from Rng(s).
+    std::uint64_t y = stream_id * 0x9e3779b97f4a7c15ULL +
+                      0x2545f4914f6cdd1dULL;
+    for (auto& lane : r.state_) lane = split_mix(x) ^ split_mix(y);
+    return r;
+  }
+
   /// Uniform 64-bit value.
   std::uint64_t next_u64() {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;

@@ -1,0 +1,38 @@
+#pragma once
+// Monotonic wall-clock measurement for timeouts and progress reporting.
+//
+// Built on std::chrono::steady_clock (never jumps backwards on NTP
+// adjustments), so per-strike campaign deadlines cannot misfire when the
+// system clock is corrected mid-run. Timing never feeds experiment
+// results — reports stay bit-deterministic — only control decisions.
+
+#include <chrono>
+
+namespace cwsp {
+
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Deadline `timeout_ms` from now; never expires when timeout_ms <= 0.
+  [[nodiscard]] static Clock::time_point deadline_after(double timeout_ms) {
+    if (timeout_ms <= 0.0) return Clock::time_point::max();
+    return Clock::now() +
+           std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double, std::milli>(timeout_ms));
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace cwsp

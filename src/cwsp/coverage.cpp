@@ -17,8 +17,8 @@ std::vector<std::vector<bool>> random_inputs(const Netlist& netlist,
 }
 
 void accumulate(CoverageReport& report, const ProtectionRunResult& protected_r,
-                const UnprotectedRunResult& unprotected_r,
-                std::size_t strikes) {
+                const UnprotectedRunResult& unprotected_r, std::size_t strikes,
+                const std::string& scenario) {
   ++report.runs;
   report.strikes_injected += strikes;
   if (!protected_r.recovered()) ++report.protected_failures;
@@ -26,6 +26,11 @@ void accumulate(CoverageReport& report, const ProtectionRunResult& protected_r,
   report.bubbles += protected_r.bubbles;
   report.detected_errors += protected_r.detected_errors;
   report.spurious_recomputes += protected_r.spurious_recomputes;
+
+  ScenarioStats& slice = report.scenario(scenario);
+  slice.strikes += strikes;
+  if (!protected_r.recovered()) ++slice.escapes;
+  if (unprotected_r.corrupted_cycles > 0) ++slice.unprotected_failures;
 }
 
 }  // namespace
@@ -61,7 +66,7 @@ CoverageReport run_functional_campaign(const Netlist& netlist,
 
     const auto protected_r = sim.run(inputs, {strike});
     const auto unprotected_r = sim.run_unprotected(inputs, {strike});
-    accumulate(report, protected_r, unprotected_r, 1);
+    accumulate(report, protected_r, unprotected_r, 1, "functional");
   }
   return report;
 }
@@ -74,14 +79,18 @@ CoverageReport run_scenario_sweep(const Netlist& netlist,
   Rng rng(options.seed);
   ProtectionSim sim(netlist, params, clock_period);
 
-  const StrikeTarget scenarios[] = {
-      StrikeTarget::kEqChecker,
-      StrikeTarget::kEqglbfDff,
-      StrikeTarget::kCwStarDff,
-      StrikeTarget::kCwspOutput,
+  struct Scenario {
+    StrikeTarget target;
+    const char* name;
+  };
+  const Scenario scenarios[] = {
+      {StrikeTarget::kEqChecker, "eq-checker"},
+      {StrikeTarget::kEqglbfDff, "eqglbf-dff"},
+      {StrikeTarget::kCwStarDff, "cwstar-dff"},
+      {StrikeTarget::kCwspOutput, "cwsp-output"},
   };
 
-  for (StrikeTarget target : scenarios) {
+  for (const auto& [target, name] : scenarios) {
     for (std::size_t run = 0; run < options.runs; ++run) {
       const auto inputs = random_inputs(netlist, options.cycles_per_run, rng);
       ScheduledStrike strike;
@@ -98,7 +107,7 @@ CoverageReport run_scenario_sweep(const Netlist& netlist,
       // only the protected run matters here.
       UnprotectedRunResult no_ref;
       no_ref.corrupted_cycles = 0;
-      accumulate(report, protected_r, no_ref, 1);
+      accumulate(report, protected_r, no_ref, 1, name);
     }
   }
   return report;

@@ -5,10 +5,25 @@
 // unprotected design (shows the harness has teeth).
 
 #include <cstdint>
+#include <string>
 
 #include "cwsp/protection_sim.hpp"
 
 namespace cwsp::core {
+
+/// Per-scenario slice of a campaign (one entry per strike class or §3.2
+/// scenario swept), so a report can show where escapes and inconclusive
+/// runs concentrate rather than a single blended number.
+struct ScenarioStats {
+  std::string name;
+  std::size_t strikes = 0;
+  std::size_t escapes = 0;
+  std::size_t unprotected_failures = 0;
+  std::size_t timeouts = 0;
+  /// Strikes that produced no verdict (timeouts plus isolated simulator
+  /// exceptions); never counted as covered.
+  std::size_t inconclusive = 0;
+};
 
 struct CoverageReport {
   std::size_t runs = 0;
@@ -20,16 +35,41 @@ struct CoverageReport {
   std::size_t bubbles = 0;
   std::size_t detected_errors = 0;
   std::size_t spurious_recomputes = 0;
+  /// Strikes without a verdict (exception or timeout). A campaign with
+  /// inconclusive strikes cannot certify 100% coverage.
+  std::size_t inconclusive = 0;
+  /// Subset of `inconclusive` that hit the per-strike wall-clock budget.
+  std::size_t timeouts = 0;
+  std::vector<ScenarioStats> scenarios;
 
+  /// A campaign that injected nothing proves nothing: zero-strike reports
+  /// are invalid (a misconfigured plan), never vacuously 100% covered.
+  [[nodiscard]] bool valid() const { return strikes_injected > 0; }
+
+  /// Find-or-append the breakdown slice for `name`.
+  ScenarioStats& scenario(const std::string& name) {
+    for (auto& s : scenarios) {
+      if (s.name == name) return s;
+    }
+    scenarios.push_back(ScenarioStats{name, 0, 0, 0, 0, 0});
+    return scenarios.back();
+  }
+
+  [[nodiscard]] std::size_t conclusive_strikes() const {
+    return strikes_injected - inconclusive;
+  }
+
+  /// Coverage over conclusive strikes; 0 for invalid (zero-strike)
+  /// campaigns — see valid().
   [[nodiscard]] double protected_coverage_pct() const {
-    if (strikes_injected == 0) return 100.0;
+    if (conclusive_strikes() == 0) return 0.0;
     return 100.0 * (1.0 - static_cast<double>(protected_failures) /
-                              static_cast<double>(strikes_injected));
+                              static_cast<double>(conclusive_strikes()));
   }
   [[nodiscard]] double unprotected_failure_pct() const {
-    if (strikes_injected == 0) return 0.0;
+    if (conclusive_strikes() == 0) return 0.0;
     return 100.0 * static_cast<double>(unprotected_failures) /
-           static_cast<double>(strikes_injected);
+           static_cast<double>(conclusive_strikes());
   }
 };
 

@@ -67,6 +67,7 @@ ProtectionRunResult ProtectionSim::run(
   const std::size_t cycle_budget = inputs.size() * 4 + 100;
 
   while (pi < inputs.size()) {
+    check_cancelled();
     if (global_cycle >= cycle_budget) {
       // Forward progress lost. With EQGLBF modelled this is a library bug;
       // without it, it is the §3.2 failure mode the flip-flop prevents.
@@ -198,6 +199,7 @@ UnprotectedRunResult ProtectionSim::run_unprotected(
 
   std::vector<bool> q(nl.num_flip_flops(), false);
   for (std::size_t cycle = 0; cycle < inputs.size(); ++cycle) {
+    check_cancelled();
     const ScheduledStrike* scheduled = strike_at(strikes, cycle);
     std::optional<set::Strike> functional_strike;
     if (scheduled != nullptr &&

@@ -99,7 +99,21 @@ class ProtectionSim {
   [[nodiscard]] const ProtectionParams& params() const { return params_; }
   [[nodiscard]] Picoseconds clock_period() const { return clock_period_; }
 
+  /// Cooperative cancellation (nullptr detaches): run()/run_unprotected()
+  /// poll the token once per cycle (and per gate inside the event
+  /// simulator) and throw sim::CancelledError once cancelled.
+  void set_cancel_token(const sim::CancelToken* token) {
+    cancel_ = token;
+    event_sim_.set_cancel_token(token);
+  }
+
  private:
+  void check_cancelled() const {
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      throw sim::CancelledError("protection simulation cancelled");
+    }
+  }
+
   [[nodiscard]] std::vector<std::vector<bool>> golden_run(
       const std::vector<std::vector<bool>>& inputs) const;
 
@@ -108,6 +122,7 @@ class ProtectionSim {
   Picoseconds clock_period_;
   ProtectionSimOptions options_;
   sim::EventSim event_sim_;
+  const sim::CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace cwsp::core

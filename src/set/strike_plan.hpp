@@ -44,4 +44,84 @@ struct Strike {
     const Netlist& netlist, std::size_t count, Picoseconds width,
     Picoseconds window_start, Picoseconds window_end, Rng& rng);
 
+// ------------------------------------------------------------------ plans
+// Materialised campaign plans: every strike of a campaign is enumerated
+// up front with a stable index, so execution order (thread count, shard
+// assignment, resume) cannot change what gets injected.
+
+/// Adversarial strike classes a campaign plan draws from.
+enum class StrikeClass : std::uint8_t {
+  /// Random site/time inside the functional logic, width within the
+  /// protection envelope (the paper's headline 100%-coverage claim).
+  kFunctional,
+  /// Strike inside the protection circuitry itself (§3.2 case analysis).
+  kProtectionPath,
+  /// Functional strike whose pulse spans the capture edge — the
+  /// latching-window corner where detection/recovery must engage.
+  kClockEdge,
+  /// Functional strike wider than the designed δ: outside the guarantee,
+  /// escapes are expected and validate that the harness has teeth.
+  kOutOfEnvelope,
+};
+
+[[nodiscard]] const char* to_string(StrikeClass klass);
+
+/// Which protection-circuit structure a kProtectionPath strike hits;
+/// mirrors the paper's §3.2 bullets.
+enum class ProtectionSite : std::uint8_t {
+  kEqChecker,
+  kEqglbfDff,
+  kCwStarDff,
+  kCwspOutput,
+};
+
+struct PlannedStrike {
+  /// Stable identity within the plan; journal entries, RNG streams and
+  /// repro artifacts are all keyed by it.
+  std::size_t index = 0;
+  StrikeClass klass = StrikeClass::kFunctional;
+  /// Only meaningful for kProtectionPath.
+  ProtectionSite site = ProtectionSite::kEqChecker;
+  /// Cycle (within the run's input sequence) the strike lands in.
+  std::size_t cycle = 0;
+  /// Protected FF whose circuitry is hit (kProtectionPath only).
+  std::size_t ff_index = 0;
+  Strike strike;
+};
+
+struct StrikePlan {
+  std::vector<PlannedStrike> strikes;
+  [[nodiscard]] std::size_t size() const { return strikes.size(); }
+  [[nodiscard]] bool empty() const { return strikes.empty(); }
+};
+
+struct StrikePlanOptions {
+  std::size_t functional_strikes = 50;
+  std::size_t protection_path_strikes = 0;
+  std::size_t clock_edge_strikes = 0;
+  std::size_t out_of_envelope_strikes = 0;
+  /// Length of the input sequence each strike is injected into.
+  std::size_t cycles_per_run = 20;
+  /// Width for in-envelope classes.
+  Picoseconds glitch_width{400.0};
+  /// Width for kOutOfEnvelope (must exceed the design's δ to be "out").
+  Picoseconds out_of_envelope_width{900.0};
+  Picoseconds clock_period{2000.0};
+  bool area_weighted_sites = false;
+};
+
+/// Deterministically materialises a campaign plan: same (netlist, options,
+/// seed) → identical plan, independent of thread count or sharding.
+/// Functional-class strikes require a non-empty strike-site set;
+/// protection-path strikes require at least one flip-flop.
+[[nodiscard]] StrikePlan build_strike_plan(const Netlist& netlist,
+                                           const StrikePlanOptions& options,
+                                           std::uint64_t seed);
+
+/// Splits a plan into `num_shards` contiguous sub-plans whose
+/// concatenation reproduces the input exactly (no duplication, no loss;
+/// original indices preserved). Shard sizes differ by at most one.
+[[nodiscard]] std::vector<StrikePlan> shard_plan(const StrikePlan& plan,
+                                                 std::size_t num_shards);
+
 }  // namespace cwsp::set

@@ -1,0 +1,34 @@
+#pragma once
+// Cooperative cancellation for long-running simulations.
+//
+// A campaign watchdog flips a CancelToken from another thread; the
+// simulators poll it at cheap, frequent checkpoints (per gate in the
+// event simulator, per cycle in the protection protocol) and abort by
+// throwing CancelledError. The campaign engine catches the exception and
+// degrades the strike to `inconclusive` instead of killing the run.
+
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace cwsp::sim {
+
+class CancelToken {
+ public:
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Thrown from a simulator checkpoint once its token is cancelled.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace cwsp::sim

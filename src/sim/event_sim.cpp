@@ -54,6 +54,9 @@ std::vector<DigitalWaveform> EventSim::propagate(
   }
 
   for (GateId g : topo_order_) {
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      throw CancelledError("event simulation cancelled");
+    }
     const Gate& gate = nl.gate(g);
     const Cell& cell = nl.cell_of(g);
     const double delay = gate_delay_ps_[g.index()];

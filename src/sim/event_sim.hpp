@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "set/strike_plan.hpp"
+#include "sim/cancel.hpp"
 #include "sim/digital_waveform.hpp"
 #include "sta/sta.hpp"
 
@@ -69,6 +70,11 @@ class EventSim {
 
   [[nodiscard]] const Netlist& netlist() const { return *netlist_; }
 
+  /// Installs a cooperative cancellation token (nullptr detaches). While
+  /// set, propagate() polls it per gate and throws CancelledError once it
+  /// is cancelled — the hook campaign timeouts use to interrupt a run.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+
  private:
   [[nodiscard]] std::vector<DigitalWaveform> propagate(
       const std::vector<bool>& pi_values, const std::vector<bool>& ff_q_values,
@@ -77,6 +83,7 @@ class EventSim {
   const Netlist* netlist_;
   std::vector<GateId> topo_order_;
   std::vector<double> gate_delay_ps_;
+  const CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace cwsp::sim

@@ -93,6 +93,58 @@ TEST_F(CoverageTest, AreaWeightedCampaignAlsoFullyProtected) {
   EXPECT_GT(report.unprotected_failures, 0u);
 }
 
+TEST_F(CoverageTest, ZeroStrikeCampaignIsInvalidNotFullyCovered) {
+  // A campaign that injected nothing used to report 100% coverage — a
+  // vacuous claim. It must now be flagged invalid with 0% coverage.
+  CoverageReport empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_DOUBLE_EQ(empty.protected_coverage_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.unprotected_failure_pct(), 0.0);
+
+  CampaignOptions options;
+  options.runs = 0;
+  const auto report =
+      run_functional_campaign(netlist_, params_, period_, options);
+  EXPECT_FALSE(report.valid());
+  EXPECT_DOUBLE_EQ(report.protected_coverage_pct(), 0.0);
+}
+
+TEST_F(CoverageTest, AllInconclusiveCampaignIsNotCovered) {
+  CoverageReport report;
+  report.strikes_injected = 10;
+  report.inconclusive = 10;
+  report.timeouts = 4;
+  EXPECT_TRUE(report.valid());
+  EXPECT_EQ(report.conclusive_strikes(), 0u);
+  // No verdicts → no coverage claim, even though strikes were injected.
+  EXPECT_DOUBLE_EQ(report.protected_coverage_pct(), 0.0);
+}
+
+TEST_F(CoverageTest, ScenarioSweepReportsPerScenarioBreakdown) {
+  CampaignOptions options;
+  options.runs = 10;
+  options.cycles_per_run = 8;
+  options.seed = 9;
+  const auto report = run_scenario_sweep(netlist_, params_, period_, options);
+  ASSERT_EQ(report.scenarios.size(), 4u);
+  EXPECT_EQ(report.scenarios[0].name, "eq-checker");
+  EXPECT_EQ(report.scenarios[1].name, "eqglbf-dff");
+  EXPECT_EQ(report.scenarios[2].name, "cwstar-dff");
+  EXPECT_EQ(report.scenarios[3].name, "cwsp-output");
+  std::size_t total = 0;
+  for (const auto& s : report.scenarios) total += s.strikes;
+  EXPECT_EQ(total, report.strikes_injected);
+}
+
+TEST_F(CoverageTest, ScenarioFindOrAppendAccumulates) {
+  CoverageReport report;
+  report.scenario("functional").strikes = 3;
+  report.scenario("functional").escapes = 1;
+  ASSERT_EQ(report.scenarios.size(), 1u);
+  EXPECT_EQ(report.scenarios[0].strikes, 3u);
+  EXPECT_EQ(report.scenarios[0].escapes, 1u);
+}
+
 TEST_F(CoverageTest, DeterministicForSeed) {
   CampaignOptions options;
   options.runs = 20;

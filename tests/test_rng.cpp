@@ -75,5 +75,43 @@ TEST(Rng, ZeroBoundRejected) {
   EXPECT_THROW(rng.next_below(0), Error);
 }
 
+TEST(Rng, StreamDeterministicForSeedAndId) {
+  Rng a = Rng::stream(42, 7);
+  Rng b = Rng::stream(42, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, StreamsWithDifferentIdsDiverge) {
+  Rng a = Rng::stream(42, 0);
+  Rng b = Rng::stream(42, 1);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, StreamsWithDifferentSeedsDiverge) {
+  Rng a = Rng::stream(1, 5);
+  Rng b = Rng::stream(2, 5);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, StreamZeroDiffersFromPlainSeed) {
+  // stream(seed, 0) must NOT alias the sequential Rng(seed) chain — a
+  // campaign's per-strike streams stay independent of planner draws.
+  Rng plain(42);
+  Rng stream = Rng::stream(42, 0);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (plain.next_u64() != stream.next_u64()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
 }  // namespace
 }  // namespace cwsp

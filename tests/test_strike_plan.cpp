@@ -71,5 +71,135 @@ TEST_F(StrikePlanTest, EmptyWindowRejected) {
                Error);
 }
 
+// ----------------------------------------------------------- plan edges
+
+TEST_F(StrikePlanTest, EmptyNetlistHasNoSitesAndRejectsStrikes) {
+  const Netlist empty = parse_bench_string("INPUT(a)\nOUTPUT(a)\n", lib_);
+  EXPECT_TRUE(strike_sites(empty).empty());
+  Rng rng(1);
+  EXPECT_THROW(random_strikes(empty, 1, Picoseconds(100.0), Picoseconds(0.0),
+                              Picoseconds(500.0), rng),
+               Error);
+  // A zero-count plan over an empty netlist is fine (and empty)...
+  StrikePlanOptions zero;
+  zero.functional_strikes = 0;
+  EXPECT_TRUE(build_strike_plan(empty, zero, 1).empty());
+  // ...but asking for strikes with nowhere to put them is a config error.
+  StrikePlanOptions some;
+  some.functional_strikes = 5;
+  EXPECT_THROW((void)build_strike_plan(empty, some, 1), Error);
+}
+
+TEST_F(StrikePlanTest, ProtectionPathStrikesRequireFlipFlops) {
+  const Netlist comb = parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n", lib_);
+  StrikePlanOptions options;
+  options.functional_strikes = 0;
+  options.protection_path_strikes = 3;
+  EXPECT_THROW((void)build_strike_plan(comb, options, 1), Error);
+}
+
+TEST_F(StrikePlanTest, SingleFfDesignPlansEveryClass) {
+  // Minimal sequential design: one gate, one flip-flop.
+  const Netlist single = parse_bench_string(
+      "INPUT(a)\nOUTPUT(q)\nt1 = NOT(a)\nq = DFF(t1)\n", lib_);
+  StrikePlanOptions options;
+  options.functional_strikes = 4;
+  options.protection_path_strikes = 4;
+  options.clock_edge_strikes = 2;
+  options.out_of_envelope_strikes = 2;
+  options.cycles_per_run = 6;
+  const auto plan = build_strike_plan(single, options, 11);
+  ASSERT_EQ(plan.size(), 12u);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const PlannedStrike& p = plan.strikes[i];
+    EXPECT_EQ(p.index, i);
+    EXPECT_LT(p.cycle, options.cycles_per_run);
+    if (p.klass == StrikeClass::kProtectionPath) {
+      EXPECT_EQ(p.ff_index, 0u);  // the only FF
+    } else {
+      EXPECT_TRUE(p.strike.node.valid());
+    }
+    if (p.klass == StrikeClass::kOutOfEnvelope) {
+      EXPECT_DOUBLE_EQ(p.strike.width.value(),
+                       options.out_of_envelope_width.value());
+    }
+  }
+}
+
+TEST_F(StrikePlanTest, ClockEdgeStrikesSpanTheCaptureEdge) {
+  StrikePlanOptions options;
+  options.functional_strikes = 0;
+  options.clock_edge_strikes = 20;
+  options.clock_period = Picoseconds(2000.0);
+  options.glitch_width = Picoseconds(400.0);
+  const auto plan = build_strike_plan(netlist_, options, 4);
+  ASSERT_EQ(plan.size(), 20u);
+  for (const PlannedStrike& p : plan.strikes) {
+    EXPECT_EQ(p.klass, StrikeClass::kClockEdge);
+    // Pulse [start, start+width) must contain the capture edge at the
+    // period boundary.
+    EXPECT_LT(p.strike.start.value(), options.clock_period.value());
+    EXPECT_GT(p.strike.start.value() + p.strike.width.value(),
+              options.clock_period.value());
+  }
+}
+
+TEST_F(StrikePlanTest, PlanDeterministicPerSeed) {
+  StrikePlanOptions options;
+  options.functional_strikes = 10;
+  options.clock_edge_strikes = 5;
+  const auto a = build_strike_plan(netlist_, options, 19);
+  const auto b = build_strike_plan(netlist_, options, 19);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.strikes[i].strike.node, b.strikes[i].strike.node);
+    EXPECT_DOUBLE_EQ(a.strikes[i].strike.start.value(),
+                     b.strikes[i].strike.start.value());
+    EXPECT_EQ(a.strikes[i].cycle, b.strikes[i].cycle);
+  }
+}
+
+TEST_F(StrikePlanTest, ShardRoundTripIsAnExactPartition) {
+  StrikePlanOptions options;
+  options.functional_strikes = 13;  // not divisible by 4
+  const auto plan = build_strike_plan(netlist_, options, 2);
+  const auto shards = shard_plan(plan, 4);
+  ASSERT_EQ(shards.size(), 4u);
+  std::vector<PlannedStrike> merged;
+  for (const StrikePlan& shard : shards) {
+    // Balanced: sizes differ by at most one.
+    EXPECT_GE(shard.size(), 3u);
+    EXPECT_LE(shard.size(), 4u);
+    merged.insert(merged.end(), shard.strikes.begin(), shard.strikes.end());
+  }
+  // Concatenation reproduces the plan exactly: no duplication, no loss,
+  // original indices preserved.
+  ASSERT_EQ(merged.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(merged[i].index, i);
+    EXPECT_EQ(merged[i].strike.node, plan.strikes[i].strike.node);
+    EXPECT_DOUBLE_EQ(merged[i].strike.start.value(),
+                     plan.strikes[i].strike.start.value());
+  }
+}
+
+TEST_F(StrikePlanTest, ShardDegenerateCounts) {
+  StrikePlanOptions options;
+  options.functional_strikes = 3;
+  const auto plan = build_strike_plan(netlist_, options, 2);
+  // One shard: identity.
+  const auto one = shard_plan(plan, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].size(), plan.size());
+  // More shards than strikes: trailing shards are empty, nothing lost.
+  const auto many = shard_plan(plan, 5);
+  ASSERT_EQ(many.size(), 5u);
+  std::size_t total = 0;
+  for (const auto& shard : many) total += shard.size();
+  EXPECT_EQ(total, plan.size());
+  EXPECT_THROW((void)shard_plan(plan, 0), Error);
+}
+
 }  // namespace
 }  // namespace cwsp::set

@@ -17,6 +17,19 @@
 //                         protection configuration under --hardened
 //   cwsp_tool campaign <design.bench> [options] fault-injection campaign
 //       --runs <n> --cycles <n> --width <ps> --seed <n>
+//       --jobs <n>        worker threads (reports are identical for any n)
+//       --timeout-ms <v>  per-strike wall-clock budget (hang → inconclusive)
+//       --journal <path>  checkpoint file, one line per finished strike
+//       --resume <path>   resume an interrupted campaign from its journal
+//       --adversarial     add protection-path / clock-edge / out-of-envelope
+//                         strike classes to the plan
+//       --minimize        shrink escapes to minimal repros
+//       --artifacts <dir> write repro .bench + .strike files there
+//       --shard <i>/<n>   run only shard i (1-based) of an n-way split
+//       --stop-after <n>  stop after n fresh strikes (exit 3; for testing
+//                         interruption/resume)
+//       --json            machine-readable report (docs/campaign.md schema)
+//   cwsp_tool replay <repro.strike>            replay a minimized escape
 //   cwsp_tool glitch [--q <fC>]                struck-inverter waveform
 //   cwsp_tool elaborate <n_ffs> [--dot]        checker netlist (.bench/.dot)
 //   cwsp_tool ser <design.bench> [--fail <frac>] soft-error-rate estimate
@@ -27,6 +40,9 @@
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hpp"
+#include "campaign/minimize.hpp"
+#include "campaign/report.hpp"
 #include "common/cli_args.hpp"
 #include "common/table.hpp"
 #include "cwsp/area_report.hpp"
@@ -51,8 +67,8 @@ using namespace cwsp;
 using Args = cwsp::CliArgs;
 
 int usage() {
-  std::cerr << "usage: cwsp_tool <sta|harden|lint|campaign|glitch|elaborate|"
-               "ser|verilog|optimize|stats> ...\n"
+  std::cerr << "usage: cwsp_tool <sta|harden|lint|campaign|replay|glitch|"
+               "elaborate|ser|verilog|optimize|stats> ...\n"
                "see the header of tools/cwsp_tool.cpp for option details\n";
   return 2;
 }
@@ -174,24 +190,81 @@ int cmd_campaign(const Args& args, const CellLibrary& lib) {
       std::max(core::hardened_clock_period(sta.dmax, lib),
                core::min_clock_period_for_delta(params));
 
-  core::CampaignOptions options;
-  options.runs = static_cast<std::size_t>(args.number("runs", 50));
-  options.cycles_per_run =
+  const auto runs = static_cast<std::size_t>(args.number("runs", 50));
+  set::StrikePlanOptions plan_options;
+  plan_options.functional_strikes = runs;
+  plan_options.cycles_per_run =
       static_cast<std::size_t>(args.number("cycles", 16));
-  options.glitch_width = Picoseconds(args.number("width", 400.0));
-  options.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  plan_options.glitch_width = Picoseconds(args.number("width", 400.0));
+  plan_options.clock_period = period;
+  if (args.has("adversarial")) {
+    const std::size_t extra = std::max<std::size_t>(1, runs / 4);
+    plan_options.protection_path_strikes = extra;
+    plan_options.clock_edge_strikes = extra;
+    plan_options.out_of_envelope_strikes = extra;
+    plan_options.out_of_envelope_width =
+        params.delta + Picoseconds(400.0);
+  }
 
-  const auto report =
-      core::run_functional_campaign(netlist, params, period, options);
-  std::cout << "runs                 : " << report.runs << "\n";
-  std::cout << "protected coverage   : " << report.protected_coverage_pct()
-            << " %\n";
-  std::cout << "unprotected failures : " << report.unprotected_failure_pct()
-            << " %\n";
-  std::cout << "bubbles (detected/spurious): " << report.bubbles << " ("
-            << report.detected_errors << "/" << report.spurious_recomputes
-            << ")\n";
-  return report.protected_failures == 0 ? 0 : 1;
+  campaign::EngineOptions engine_options;
+  engine_options.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  engine_options.cycles_per_run = plan_options.cycles_per_run;
+  engine_options.jobs =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   args.number("jobs", 1)));
+  engine_options.timeout_ms = args.number("timeout-ms", 0.0);
+  engine_options.journal_path = args.text("journal", "");
+  if (args.has("resume")) {
+    engine_options.journal_path = args.text("resume", "");
+    engine_options.resume = true;
+  }
+  engine_options.minimize_escapes = args.has("minimize");
+  engine_options.artifact_dir = args.text("artifacts", "");
+  engine_options.stop_after =
+      static_cast<std::size_t>(args.number("stop-after", 0));
+
+  set::StrikePlan plan =
+      set::build_strike_plan(netlist, plan_options, engine_options.seed);
+  if (args.has("shard")) {
+    const std::string spec = args.text("shard", "");
+    const auto slash = spec.find('/');
+    CWSP_REQUIRE_MSG(slash != std::string::npos,
+                     "--shard expects <i>/<n>, got '" << spec << "'");
+    const std::size_t index = std::stoull(spec.substr(0, slash));
+    const std::size_t total = std::stoull(spec.substr(slash + 1));
+    CWSP_REQUIRE_MSG(index >= 1 && index <= total,
+                     "--shard index out of range in '" << spec << "'");
+    plan = set::shard_plan(plan, total)[index - 1];
+  }
+
+  const campaign::CampaignEngine engine(netlist, params, period);
+  const auto result = engine.run(plan, engine_options);
+
+  if (args.has("json")) {
+    std::cout << campaign::format_campaign_json(result, plan, netlist,
+                                                engine_options, period);
+  } else {
+    std::cout << campaign::format_campaign_text(result, plan, netlist);
+  }
+
+  switch (campaign::campaign_status(result)) {
+    case campaign::CampaignStatus::kOk:
+      return 0;
+    case campaign::CampaignStatus::kEscapes:
+    case campaign::CampaignStatus::kInvalid:
+      return 1;
+    case campaign::CampaignStatus::kInterrupted:
+      return 3;
+  }
+  return 1;
+}
+
+int cmd_replay(const Args& args, const CellLibrary& lib) {
+  if (args.positional.empty()) return usage();
+  const bool reproduced = campaign::replay_repro(args.positional[0], lib);
+  std::cout << (reproduced ? "escape reproduced\n"
+                           : "escape did NOT reproduce\n");
+  return reproduced ? 0 : 1;
 }
 
 int cmd_glitch(const Args& args, const CellLibrary&) {
@@ -303,6 +376,7 @@ int main(int argc, char** argv) {
     if (command == "harden") return cmd_harden(args, lib);
     if (command == "lint") return cmd_lint(args, lib);
     if (command == "campaign") return cmd_campaign(args, lib);
+    if (command == "replay") return cmd_replay(args, lib);
     if (command == "glitch") return cmd_glitch(args, lib);
     if (command == "elaborate") return cmd_elaborate(args, lib);
     if (command == "ser") return cmd_ser(args, lib);
