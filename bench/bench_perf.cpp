@@ -8,6 +8,7 @@
 #include "bencharness/generator.hpp"
 #include "cwsp/harden.hpp"
 #include "cwsp/protection_sim.hpp"
+#include "sim/compiled_kernel.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/logic_sim.hpp"
 #include "spice/subckt.hpp"
@@ -52,6 +53,38 @@ void BM_EventSimCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_EventSimCycle);
 
+void BM_CompiledEventSimCycle(benchmark::State& state) {
+  // Same strike scenario as BM_EventSimCycle, on the compiled kernel:
+  // cone-restricted propagation + golden-cycle caching.
+  const Netlist& netlist = alu2();
+  const sim::CompiledEventSim esim(netlist);
+  std::vector<bool> pis(netlist.primary_inputs().size(), true);
+  set::Strike strike;
+  strike.node = netlist.gate(GateId{0}).output;
+  strike.start = Picoseconds(800.0);
+  strike.width = Picoseconds(400.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        esim.simulate_cycle(pis, {}, Picoseconds(1800.0), strike)
+            .struck_po.size());
+  }
+}
+BENCHMARK(BM_CompiledEventSimCycle);
+
+void BM_CompiledGoldenCycleCached(benchmark::State& state) {
+  // The no-strike cycle every campaign pays per stimulus: a golden-cache
+  // hit after the first iteration.
+  const Netlist& netlist = alu2();
+  const sim::CompiledEventSim esim(netlist);
+  std::vector<bool> pis(netlist.primary_inputs().size(), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        esim.simulate_cycle(pis, {}, Picoseconds(1800.0), std::nullopt)
+            .golden_po.size());
+  }
+}
+BENCHMARK(BM_CompiledGoldenCycleCached);
+
 void BM_SpiceStrike(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -91,6 +124,34 @@ void BM_LogicSimCycle(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LogicSimCycle);
+
+void BM_LogicSim64Cycle(benchmark::State& state) {
+  // One bit-parallel pass settles 64 stimulus patterns; counters report
+  // per-pattern throughput for comparison against BM_LogicSimCycle.
+  const Netlist& netlist = alu2();
+  sim::LogicSim64 sim(netlist);
+  std::uint64_t pattern = 0x5555555555555555ull;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < netlist.primary_inputs().size(); ++i) {
+      sim.set_input_word(i, pattern + i);
+    }
+    sim.evaluate();
+    sim.clock();
+    benchmark::DoNotOptimize(sim.output_word(0));
+    pattern = pattern * 6364136223846793005ull + 1442695040888963407ull;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_LogicSim64Cycle);
+
+void BM_TopologicalOrderMemoized(benchmark::State& state) {
+  // Memoized after the first call — this measures the cached lookup.
+  const Netlist& netlist = alu2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netlist.topological_order().size());
+  }
+}
+BENCHMARK(BM_TopologicalOrderMemoized);
 
 void BM_ProtectionSimRun(benchmark::State& state) {
   // Protocol execution incl. one detection/repair on a small FSM.

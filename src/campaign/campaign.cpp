@@ -122,7 +122,10 @@ const char* to_string(StrikeStatus status) {
 CampaignEngine::CampaignEngine(const Netlist& netlist,
                                const core::ProtectionParams& params,
                                Picoseconds clock_period)
-    : netlist_(&netlist), params_(params), clock_period_(clock_period) {}
+    : netlist_(&netlist),
+      params_(params),
+      clock_period_(clock_period),
+      kernel_context_(sim::CompiledKernelContext::build(netlist)) {}
 
 std::vector<std::vector<bool>> CampaignEngine::strike_inputs(
     const Netlist& netlist, std::size_t cycles, std::uint64_t seed,
@@ -177,8 +180,12 @@ CampaignResult CampaignEngine::run(const set::StrikePlan& plan,
       std::max<std::size_t>(1, std::min(options.jobs, plan.size()));
   Watchdog watchdog(jobs);
 
+  core::ProtectionSimOptions sim_options;
+  sim_options.use_compiled_kernel = !options.use_legacy_kernel;
+
   auto worker = [&](std::size_t worker_id) {
-    core::ProtectionSim sim(*netlist_, params_, clock_period_);
+    core::ProtectionSim sim(*netlist_, params_, clock_period_, sim_options,
+                            kernel_context_);
     sim::CancelToken token;
     sim.set_cancel_token(&token);
 
@@ -297,7 +304,8 @@ CampaignResult CampaignEngine::run(const set::StrikePlan& plan,
 
   // ---- escape minimization ------------------------------------------
   if (options.minimize_escapes) {
-    core::ProtectionSim sim(*netlist_, params_, clock_period_);
+    core::ProtectionSim sim(*netlist_, params_, clock_period_, sim_options,
+                            kernel_context_);
     for (std::size_t i = 0; i < plan.size(); ++i) {
       const StrikeResult& r = result.strikes[i];
       if (!r.completed() || r.status != StrikeStatus::kEscape) continue;

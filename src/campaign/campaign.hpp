@@ -90,6 +90,10 @@ struct EngineOptions {
   /// Simulates an interruption deterministically; the journal keeps the
   /// finished work, so `resume` completes the campaign.
   std::size_t stop_after = 0;
+  /// Run strikes on the legacy (full-netlist, allocation-heavy) EventSim
+  /// instead of the compiled kernel. Reports are byte-identical either
+  /// way; this exists for differential tests and the speedup benchmark.
+  bool use_legacy_kernel = false;
   /// Test hook run before each strike's simulation on the worker thread
   /// (e.g. to inject a hang that only the watchdog can break). Must throw
   /// sim::CancelledError to emulate a cancelled hang.
@@ -143,6 +147,9 @@ class CampaignEngine {
   const Netlist* netlist_;
   core::ProtectionParams params_;
   Picoseconds clock_period_;
+  /// Flat view + STA delays, built once and shared read-only by every
+  /// worker's ProtectionSim (each worker keeps private scratch/caches).
+  std::shared_ptr<const sim::CompiledKernelContext> kernel_context_;
 };
 
 }  // namespace cwsp::campaign

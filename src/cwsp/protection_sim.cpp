@@ -15,15 +15,22 @@ const ScheduledStrike* strike_at(const std::vector<ScheduledStrike>& strikes,
 
 }  // namespace
 
-ProtectionSim::ProtectionSim(const Netlist& netlist,
-                             const ProtectionParams& params,
-                             Picoseconds clock_period,
-                             ProtectionSimOptions options)
+ProtectionSim::ProtectionSim(
+    const Netlist& netlist, const ProtectionParams& params,
+    Picoseconds clock_period, ProtectionSimOptions options,
+    std::shared_ptr<const sim::CompiledKernelContext> context)
     : netlist_(&netlist),
       params_(params),
       clock_period_(clock_period),
-      options_(options),
-      event_sim_(netlist) {
+      options_(options) {
+  if (options_.use_compiled_kernel) {
+    compiled_sim_ = context != nullptr
+                        ? std::make_unique<sim::CompiledEventSim>(
+                              netlist, std::move(context))
+                        : std::make_unique<sim::CompiledEventSim>(netlist);
+  } else {
+    legacy_sim_ = std::make_unique<sim::EventSim>(netlist);
+  }
   params_.validate();
   CWSP_REQUIRE_MSG(netlist.num_flip_flops() > 0,
                    "protection protocol requires flip-flops");
@@ -36,9 +43,21 @@ ProtectionSim::ProtectionSim(const Netlist& netlist,
 
 std::vector<std::vector<bool>> ProtectionSim::golden_run(
     const std::vector<std::vector<bool>>& inputs) const {
-  sim::LogicSim golden(*netlist_);
   std::vector<std::vector<bool>> outputs;
   outputs.reserve(inputs.size());
+  if (compiled_sim_ != nullptr) {
+    // Clean runs are pure boolean steps — serve them from the kernel's
+    // golden cache (one table-driven pass per distinct stimulus). The
+    // protected/unprotected run pair then shares every cycle's entry.
+    std::vector<bool> q(netlist_->num_flip_flops(), false);
+    for (const auto& x : inputs) {
+      const sim::GoldenCycle& g = compiled_sim_->golden_eval(x, q);
+      outputs.push_back(g.po);
+      q = g.ff_d;
+    }
+    return outputs;
+  }
+  sim::LogicSim golden(*netlist_);
   for (const auto& x : inputs) {
     golden.set_inputs(x);
     golden.evaluate();
@@ -151,8 +170,7 @@ ProtectionRunResult ProtectionSim::run(
         scheduled->target == StrikeTarget::kFunctional) {
       functional_strike = scheduled->strike;
     }
-    const sim::CycleResult cr = event_sim_.simulate_cycle(
-        x, q, clock_period_, functional_strike);
+    const sim::CycleResult cr = simulate_cycle(x, q, functional_strike);
 
     // CW for the next cycle: the CWSP element reconstructs the settled D
     // whenever the glitch is no wider than the delay element δ; beyond δ
@@ -206,8 +224,8 @@ UnprotectedRunResult ProtectionSim::run_unprotected(
         scheduled->target == StrikeTarget::kFunctional) {
       functional_strike = scheduled->strike;
     }
-    const sim::CycleResult cr = event_sim_.simulate_cycle(
-        inputs[cycle], q, clock_period_, functional_strike);
+    const sim::CycleResult cr =
+        simulate_cycle(inputs[cycle], q, functional_strike);
 
     result.outputs.push_back(cr.golden_po);
     bool corrupted = cr.golden_po != result.golden_outputs[cycle];

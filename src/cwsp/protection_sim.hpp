@@ -9,11 +9,13 @@
 // inside the protection circuitry itself are modelled behaviourally,
 // one scenario class per bullet of the paper's §3.2 case analysis.
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "cwsp/protection_params.hpp"
 #include "cwsp/timing.hpp"
+#include "sim/compiled_kernel.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/logic_sim.hpp"
 
@@ -47,6 +49,11 @@ struct ProtectionSimOptions {
   /// a recomputation). Disabling it reproduces the failure mode the paper
   /// explains in §3.2: EQ stays low forever and the pipeline livelocks.
   bool eqglbf_suppression = true;
+  /// Run functional-logic cycles on the compiled kernel (cone-restricted
+  /// event propagation + golden-waveform caching). The legacy EventSim
+  /// path produces bit-identical results and is kept as the differential
+  /// reference for tests and benchmarks.
+  bool use_compiled_kernel = true;
 };
 
 struct ProtectionRunResult {
@@ -82,9 +89,13 @@ class ProtectionSim {
  public:
   /// The clock period must satisfy both the functional constraint
   /// (hardened period for the design's D_max) and Eq. 6 for the params' δ.
+  /// `context` optionally shares a prebuilt compiled-kernel context (flat
+  /// view + STA) so campaign workers skip the per-instance rebuild; pass
+  /// nullptr to build privately.
   ProtectionSim(const Netlist& netlist, const ProtectionParams& params,
-                Picoseconds clock_period,
-                ProtectionSimOptions options = {});
+                Picoseconds clock_period, ProtectionSimOptions options = {},
+                std::shared_ptr<const sim::CompiledKernelContext> context =
+                    nullptr);
 
   [[nodiscard]] ProtectionRunResult run(
       const std::vector<std::vector<bool>>& inputs,
@@ -104,7 +115,8 @@ class ProtectionSim {
   /// simulator) and throw sim::CancelledError once cancelled.
   void set_cancel_token(const sim::CancelToken* token) {
     cancel_ = token;
-    event_sim_.set_cancel_token(token);
+    if (legacy_sim_ != nullptr) legacy_sim_->set_cancel_token(token);
+    if (compiled_sim_ != nullptr) compiled_sim_->set_cancel_token(token);
   }
 
  private:
@@ -114,6 +126,17 @@ class ProtectionSim {
     }
   }
 
+  /// Dispatches one functional cycle to the active kernel.
+  [[nodiscard]] sim::CycleResult simulate_cycle(
+      const std::vector<bool>& pi_values, const std::vector<bool>& ff_q_values,
+      const std::optional<set::Strike>& strike) const {
+    return compiled_sim_ != nullptr
+               ? compiled_sim_->simulate_cycle(pi_values, ff_q_values,
+                                               clock_period_, strike)
+               : legacy_sim_->simulate_cycle(pi_values, ff_q_values,
+                                             clock_period_, strike);
+  }
+
   [[nodiscard]] std::vector<std::vector<bool>> golden_run(
       const std::vector<std::vector<bool>>& inputs) const;
 
@@ -121,7 +144,9 @@ class ProtectionSim {
   ProtectionParams params_;
   Picoseconds clock_period_;
   ProtectionSimOptions options_;
-  sim::EventSim event_sim_;
+  /// Exactly one of the two kernels is instantiated (options_ selects).
+  std::unique_ptr<sim::EventSim> legacy_sim_;
+  std::unique_ptr<sim::CompiledEventSim> compiled_sim_;
   const sim::CancelToken* cancel_ = nullptr;
 };
 

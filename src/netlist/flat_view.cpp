@@ -1,0 +1,138 @@
+#include "netlist/flat_view.hpp"
+
+#include <algorithm>
+
+namespace cwsp {
+
+FlatNetlistView::FlatNetlistView(const Netlist& netlist) : netlist_(&netlist) {
+  const std::size_t num_nets = netlist.num_nets();
+  const std::size_t num_gates = netlist.num_gates();
+  num_pis_ = netlist.primary_inputs().size();
+
+  // ---- gate CSR + cell data -----------------------------------------
+  gate_input_offsets_.reserve(num_gates + 1);
+  gate_input_offsets_.push_back(0);
+  gate_truth_.reserve(num_gates);
+  gate_output_.reserve(num_gates);
+  gate_inertial_ps_.reserve(num_gates);
+  for (std::size_t g = 0; g < num_gates; ++g) {
+    const Gate& gate = netlist.gate(GateId{g});
+    for (NetId in : gate.inputs) {
+      gate_input_nets_.push_back(in.value());
+    }
+    gate_input_offsets_.push_back(
+        static_cast<std::uint32_t>(gate_input_nets_.size()));
+    const Cell& cell = netlist.cell_of(GateId{g});
+    gate_truth_.push_back(cell.truth_table());
+    gate_output_.push_back(gate.output.value());
+    gate_inertial_ps_.push_back(cell.inertial_delay().value());
+  }
+
+  // ---- net source descriptors + fanout CSR --------------------------
+  source_kind_.resize(num_nets, SourceKind::kNone);
+  source_index_.resize(num_nets, 0);
+  net_fanout_offsets_.reserve(num_nets + 1);
+  net_fanout_offsets_.push_back(0);
+  for (std::size_t n = 0; n < num_nets; ++n) {
+    const Net& net = netlist.net(NetId{n});
+    switch (net.driver_kind) {
+      case DriverKind::kPrimaryInput:
+        source_kind_[n] = SourceKind::kPrimaryInput;
+        source_index_[n] = net.driver_index;
+        break;
+      case DriverKind::kFlipFlop:
+        source_kind_[n] = SourceKind::kFlipFlop;
+        source_index_[n] = net.driver_index;
+        break;
+      case DriverKind::kConstant:
+        source_kind_[n] = SourceKind::kConstant;
+        source_index_[n] = net.constant_value ? 1 : 0;
+        break;
+      case DriverKind::kGate:
+        source_kind_[n] = SourceKind::kGate;
+        source_index_[n] = net.driver_index;
+        break;
+      case DriverKind::kNone:
+        break;
+    }
+    for (GateId fan : net.fanout_gates) {
+      net_fanout_gates_.push_back(fan.value());
+    }
+    net_fanout_offsets_.push_back(
+        static_cast<std::uint32_t>(net_fanout_gates_.size()));
+  }
+
+  // ---- topological order, positions and levels ----------------------
+  const std::vector<GateId>& order = netlist.topological_order();
+  topo_order_.reserve(num_gates);
+  topo_position_.resize(num_gates, 0);
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    topo_order_.push_back(order[pos].value());
+    topo_position_[order[pos].index()] = static_cast<std::uint32_t>(pos);
+  }
+  level_.resize(num_gates, 0);
+  for (std::uint32_t g : topo_order_) {
+    std::uint32_t lvl = 0;
+    const std::uint32_t* in = gate_inputs_begin(g);
+    const std::uint32_t arity = gate_num_inputs(g);
+    for (std::uint32_t i = 0; i < arity; ++i) {
+      if (source_kind_[in[i]] == SourceKind::kGate) {
+        lvl = std::max(lvl, level_[source_index_[in[i]]] + 1);
+      }
+    }
+    level_[g] = lvl;
+    num_levels_ = std::max(num_levels_, lvl + 1);
+  }
+
+  // ---- endpoints ----------------------------------------------------
+  ff_d_net_.reserve(netlist.num_flip_flops());
+  for (std::size_t f = 0; f < netlist.num_flip_flops(); ++f) {
+    ff_d_net_.push_back(netlist.flip_flop(FlipFlopId{f}).d.value());
+  }
+  po_nets_.reserve(netlist.primary_outputs().size());
+  for (NetId po : netlist.primary_outputs()) {
+    po_nets_.push_back(po.value());
+  }
+
+  cone_ready_.assign(num_nets, 0);
+  cones_.resize(num_nets);
+}
+
+const std::vector<std::uint32_t>& FlatNetlistView::cone_of(NetId net) const {
+  CWSP_REQUIRE(net.valid() && net.index() < num_nets());
+  const std::size_t n = net.index();
+  std::lock_guard<std::mutex> lock(cone_mutex_);
+  if (cone_ready_[n] != 0) return cones_[n];
+
+  // Forward BFS over the fanout adjacency; `in_cone` doubles as the
+  // visited set. The result is sorted by topo position so a kernel can
+  // replay just these gates in dependency order.
+  std::vector<char> in_cone(num_gates(), 0);
+  std::vector<std::uint32_t> frontier;
+  auto push_fanout = [&](std::uint32_t from_net) {
+    const std::uint32_t* fan = net_fanout_begin(from_net);
+    const std::uint32_t count = net_fanout_size(from_net);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (in_cone[fan[i]] == 0) {
+        in_cone[fan[i]] = 1;
+        frontier.push_back(fan[i]);
+      }
+    }
+  };
+  push_fanout(static_cast<std::uint32_t>(n));
+  std::vector<std::uint32_t>& cone = cones_[n];
+  while (!frontier.empty()) {
+    const std::uint32_t g = frontier.back();
+    frontier.pop_back();
+    cone.push_back(g);
+    push_fanout(gate_output_[g]);
+  }
+  std::sort(cone.begin(), cone.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return topo_position_[a] < topo_position_[b];
+            });
+  cone_ready_[n] = 1;
+  return cone;
+}
+
+}  // namespace cwsp

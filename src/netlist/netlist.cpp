@@ -26,6 +26,11 @@ void Netlist::attach_driver(NetId net, DriverKind kind, std::uint32_t index) {
                    "net " << n.name << " already driven");
   n.driver_kind = kind;
   n.driver_index = index;
+  // Every structural append flows through here (gate/FF/PI/constant
+  // creation), so this is the single invalidation point for the memoized
+  // topological order.
+  std::lock_guard<std::mutex> lock(topo_->mutex);
+  topo_->valid = false;
 }
 
 NetId Netlist::add_primary_input(const std::string& name) {
@@ -138,7 +143,16 @@ std::vector<GateId> Netlist::gate_ids() const {
   return ids;
 }
 
-std::vector<GateId> Netlist::topological_order() const {
+const std::vector<GateId>& Netlist::topological_order() const {
+  std::lock_guard<std::mutex> lock(topo_->mutex);
+  if (!topo_->valid) {
+    topo_->order = compute_topological_order();
+    topo_->valid = true;
+  }
+  return topo_->order;
+}
+
+std::vector<GateId> Netlist::compute_topological_order() const {
   // Kahn's algorithm over gates only: a gate becomes ready once all of its
   // gate-driven inputs are placed. PI/FF/constant-driven inputs are
   // boundary sources.

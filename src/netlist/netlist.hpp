@@ -5,6 +5,8 @@
 // hardening transforms build new netlists instead).
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -112,7 +114,12 @@ class Netlist {
   // ---------------------------------------------------------- analysis
   /// Gates in topological order (FF Q outputs and PIs are sources; FF D
   /// inputs and POs are sinks). Throws if the combinational core is cyclic.
-  [[nodiscard]] std::vector<GateId> topological_order() const;
+  ///
+  /// Memoized: Kahn's algorithm runs once per structural revision and the
+  /// cached order is invalidated whenever a driver is attached (gate or
+  /// flip-flop append). The returned reference stays valid until the next
+  /// mutation. Safe to call from concurrent readers of a fixed netlist.
+  [[nodiscard]] const std::vector<GateId>& topological_order() const;
 
   /// Capacitive load seen by the driver of `net` (pin caps + wire cap).
   [[nodiscard]] Femtofarads load_of(NetId net) const;
@@ -128,6 +135,16 @@ class Netlist {
  private:
   NetId add_net_internal(const std::string& name);
   void attach_driver(NetId net, DriverKind kind, std::uint32_t index);
+  [[nodiscard]] std::vector<GateId> compute_topological_order() const;
+
+  /// Lazily-filled topological-order cache. Heap-allocated so the netlist
+  /// stays movable (std::mutex is not); the mutex makes concurrent
+  /// first-computation from reader threads safe.
+  struct TopoCache {
+    std::mutex mutex;
+    bool valid = false;
+    std::vector<GateId> order;
+  };
 
   const CellLibrary* library_;
   std::string name_;
@@ -137,6 +154,7 @@ class Netlist {
   std::vector<NetId> primary_inputs_;
   std::vector<NetId> primary_outputs_;
   std::unordered_map<std::string, NetId> net_by_name_;
+  std::unique_ptr<TopoCache> topo_ = std::make_unique<TopoCache>();
 };
 
 }  // namespace cwsp

@@ -30,11 +30,25 @@ class DigitalWaveform {
     return (transitions_.size() % 2 == 0) ? initial_ : !initial_;
   }
 
-  /// Inverts the waveform during [t0, t1). Coincident toggles cancel.
+  /// Inverts the waveform during [t0, t1). Coincident toggles cancel; a
+  /// degenerate zero-width pulse (t0 == t1) is a no-op.
   void xor_pulse(double t0_ps, double t1_ps);
 
   /// Replaces the transition list; must be sorted ascending.
   void set_transitions(std::vector<double> transitions);
+
+  /// Re-initialises to a constant waveform, keeping the transition
+  /// buffer's capacity (for allocation-free reuse in scratch pools).
+  void reset(bool initial) {
+    initial_ = initial;
+    transitions_.clear();
+  }
+
+  /// Appends one toggle; must not precede the current last transition.
+  void push_transition(double t_ps) {
+    CWSP_REQUIRE(transitions_.empty() || t_ps >= transitions_.back());
+    transitions_.push_back(t_ps);
+  }
 
   /// Removes pulses narrower than min_width (inertial / electrical
   /// masking): repeatedly collapses adjacent toggle pairs closer than

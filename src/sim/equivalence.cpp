@@ -1,7 +1,7 @@
 #include "sim/equivalence.hpp"
 
 #include "common/rng.hpp"
-#include "sim/logic_sim.hpp"
+#include "sim/compiled_kernel.hpp"
 
 namespace cwsp {
 namespace {
@@ -39,60 +39,103 @@ EquivalenceResult check_equivalence(const Netlist& a, const Netlist& b,
 
   const std::size_t n_in = a.primary_inputs().size();
   const std::size_t n_ff = a.num_flip_flops();
+  const std::size_t n_out = a.primary_outputs().size();
   const std::size_t space_bits = n_in + n_ff;
   const auto ff_map = match_ffs(a, b);
 
-  sim::LogicSim sim_a(a);
-  sim::LogicSim sim_b(b);
+  // Bit-parallel sweep: 64 (input, state) vectors settle per topological
+  // pass. Lanes are filled in enumeration order, so the counterexample —
+  // lowest lane of the first failing batch, lowest output index — is the
+  // same vector the scalar reference implementation would report.
+  sim::LogicSim64 sim_a(a);
+  sim::LogicSim64 sim_b(b);
 
   EquivalenceResult result;
   result.exhaustive =
       space_bits < 63 && (1ull << space_bits) <= options.exhaustive_limit;
 
-  auto run_vector = [&](const std::vector<bool>& inputs,
-                        const std::vector<bool>& state) -> bool {
-    std::vector<bool> state_b(b.num_flip_flops());
-    for (std::size_t j = 0; j < state_b.size(); ++j) {
-      state_b[j] = state[ff_map[j]];
-    }
-    sim_a.set_ff_state(state);
-    sim_b.set_ff_state(state_b);
-    sim_a.set_inputs(inputs);
-    sim_b.set_inputs(inputs);
-    sim_a.evaluate();
-    sim_b.evaluate();
-    ++result.vectors_checked;
-    const auto out_a = sim_a.output_values();
-    const auto out_b = sim_b.output_values();
-    for (std::size_t k = 0; k < out_a.size(); ++k) {
-      if (out_a[k] != out_b[k]) {
-        result.counterexample =
-            Counterexample{inputs, state, k, out_a[k], out_b[k]};
-        return false;
+  // Per-lane copies of the current batch (for counterexample reporting).
+  std::vector<std::vector<bool>> lane_inputs(64);
+  std::vector<std::vector<bool>> lane_states(64);
+
+  auto run_batch = [&](std::size_t lanes) -> bool {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      for (std::size_t i = 0; i < n_in; ++i) {
+        sim_a.set_input_lane(i, l, lane_inputs[l][i]);
+        sim_b.set_input_lane(i, l, lane_inputs[l][i]);
+      }
+      for (std::size_t i = 0; i < n_ff; ++i) {
+        sim_a.set_ff_lane(i, l, lane_states[l][i]);
+      }
+      for (std::size_t j = 0; j < b.num_flip_flops(); ++j) {
+        sim_b.set_ff_lane(j, l, lane_states[l][ff_map[j]]);
       }
     }
+    sim_a.evaluate();
+    sim_b.evaluate();
+    const std::uint64_t lane_mask =
+        lanes == 64 ? ~0ull : (1ull << lanes) - 1;
+    std::uint64_t any_diff = 0;
+    for (std::size_t k = 0; k < n_out; ++k) {
+      any_diff |= (sim_a.output_word(k) ^ sim_b.output_word(k)) & lane_mask;
+      if (any_diff != 0) break;
+    }
+    if (any_diff == 0) {
+      result.vectors_checked += lanes;
+      return true;
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+      for (std::size_t k = 0; k < n_out; ++k) {
+        const bool va = (sim_a.output_word(k) >> l) & 1u;
+        const bool vb = (sim_b.output_word(k) >> l) & 1u;
+        if (va != vb) {
+          result.vectors_checked += l + 1;
+          result.counterexample =
+              Counterexample{lane_inputs[l], lane_states[l], k, va, vb};
+          return false;
+        }
+      }
+    }
+    // Unreachable: any_diff != 0 implies some lane/output differs.
+    result.vectors_checked += lanes;
     return true;
   };
 
   if (result.exhaustive) {
     const std::uint64_t combos = 1ull << space_bits;
-    for (std::uint64_t v = 0; v < combos; ++v) {
-      std::vector<bool> inputs(n_in);
-      std::vector<bool> state(n_ff);
-      for (std::size_t i = 0; i < n_in; ++i) inputs[i] = (v >> i) & 1u;
-      for (std::size_t i = 0; i < n_ff; ++i) {
-        state[i] = (v >> (n_in + i)) & 1u;
+    for (std::uint64_t base = 0; base < combos; base += 64) {
+      const std::size_t lanes =
+          static_cast<std::size_t>(std::min<std::uint64_t>(64, combos - base));
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const std::uint64_t v = base + l;
+        lane_inputs[l].assign(n_in, false);
+        lane_states[l].assign(n_ff, false);
+        for (std::size_t i = 0; i < n_in; ++i) {
+          lane_inputs[l][i] = (v >> i) & 1u;
+        }
+        for (std::size_t i = 0; i < n_ff; ++i) {
+          lane_states[l][i] = (v >> (n_in + i)) & 1u;
+        }
       }
-      if (!run_vector(inputs, state)) return result;
+      if (!run_batch(lanes)) return result;
     }
   } else {
     Rng rng(options.seed);
-    for (std::size_t v = 0; v < options.random_vectors; ++v) {
-      std::vector<bool> inputs(n_in);
-      std::vector<bool> state(n_ff);
-      for (auto&& bit : inputs) bit = rng.next_bool();
-      for (auto&& bit : state) bit = rng.next_bool();
-      if (!run_vector(inputs, state)) return result;
+    std::size_t remaining = options.random_vectors;
+    while (remaining > 0) {
+      const std::size_t lanes = std::min<std::size_t>(64, remaining);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        lane_inputs[l].assign(n_in, false);
+        lane_states[l].assign(n_ff, false);
+        for (std::size_t i = 0; i < n_in; ++i) {
+          lane_inputs[l][i] = rng.next_bool();
+        }
+        for (std::size_t i = 0; i < n_ff; ++i) {
+          lane_states[l][i] = rng.next_bool();
+        }
+      }
+      if (!run_batch(lanes)) return result;
+      remaining -= lanes;
     }
   }
   result.equivalent = true;

@@ -46,6 +46,23 @@ TEST(DigitalWaveform, ZeroWidthPulseIsNoop) {
   EXPECT_TRUE(w.is_constant());
 }
 
+TEST(DigitalWaveform, ZeroWidthPulseLeavesExistingTransitionsIntact) {
+  // Regression: a degenerate t0 == t1 pulse must not perturb a waveform
+  // that already toggles — including when it lands exactly on an existing
+  // transition time (where a naive insert-two-toggles implementation
+  // would cancel the real edge).
+  DigitalWaveform w(false);
+  w.xor_pulse(100.0, 200.0);
+  const std::vector<double> before = w.transitions();
+  w.xor_pulse(150.0, 150.0);  // inside the pulse
+  EXPECT_EQ(w.transitions(), before);
+  w.xor_pulse(100.0, 100.0);  // exactly on an edge
+  EXPECT_EQ(w.transitions(), before);
+  w.xor_pulse(300.0, 300.0);  // after the last edge
+  EXPECT_EQ(w.transitions(), before);
+  EXPECT_FALSE(w.initial());
+}
+
 TEST(DigitalWaveform, InertialFilterKillsNarrowPulse) {
   DigitalWaveform w(false);
   w.xor_pulse(100.0, 108.0);  // 8 ps pulse

@@ -110,6 +110,26 @@ TEST_F(NetlistTest, TopologicalOrderRespectsDependencies) {
   }
 }
 
+TEST_F(NetlistTest, TopologicalOrderIsMemoizedAndInvalidatedOnAppend) {
+  Netlist n(lib_, "memo");
+  const NetId a = n.add_primary_input("a");
+  const GateId g1 = n.add_gate(lib_.cell_for(CellKind::kInv), {a}, "y1");
+
+  const std::vector<GateId>& first = n.topological_order();
+  ASSERT_EQ(first.size(), 1u);
+  // Memoized: repeat queries return the same cached vector.
+  EXPECT_EQ(&first, &n.topological_order());
+
+  // Structural append invalidates the cache; the new order contains the
+  // new gate, after its producer.
+  const GateId g2 = n.add_gate(lib_.cell_for(CellKind::kInv),
+                               {n.gate(g1).output}, "y2");
+  const std::vector<GateId>& second = n.topological_order();
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0], g1);
+  EXPECT_EQ(second[1], g2);
+}
+
 TEST_F(NetlistTest, LoadAccountsPinsAndWire) {
   Netlist n(lib_, "load");
   const NetId a = n.add_primary_input("a");
