@@ -1,0 +1,116 @@
+// MiniSpice solver throughput and robustness baseline. Emits one JSON
+// object (stdout) with:
+//   - points_per_s: accepted integration points per wall-clock second on
+//     a representative strike-transient workload,
+//   - retry_rate: rejected / attempted steps across a pathological
+//     workload that exercises the recovery ladder,
+//   - fallback_rate: calibrated-fallback arcs / total arcs when the
+//     characterization is run with a starved Newton budget (1.0 means the
+//     degradation path triggers for every arc — the expected value; the
+//     healthy-budget rate is asserted to be 0 separately).
+// CI's perf-smoke job redirects this to BENCH_spice.json and uploads it
+// so regressions in solver speed or recovery behavior are visible per-PR.
+
+#include <chrono>
+#include <iostream>
+
+#include "cell/characterize.hpp"
+#include "spice/subckt.hpp"
+#include "spice/transient.hpp"
+
+namespace {
+
+using namespace cwsp;
+
+/// The diode-inrush circuit from the recovery test-suite: overshoots into
+/// exp() overflow at the nominal dt, forcing rejected steps and dt
+/// subdivision.
+spice::Circuit make_inrush_circuit() {
+  spice::Circuit c;
+  const int d = c.node("d");
+  c.add_current_source(
+      "I1", spice::kGround, d,
+      spice::SourceFunction::pulse(0.0, 2.0, 5.0, 1.0, 1e6, 1.0));
+  c.add_resistor("R1", d, spice::kGround, Kiloohms(100.0));
+  c.add_capacitor("C1", d, spice::kGround, Femtofarads(0.05));
+  spice::DiodeParams params;
+  params.n_vt = 0.005;
+  params.v_linear = 10.0;
+  c.add_diode("D1", d, spice::kGround, params);
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  using Clock = std::chrono::steady_clock;
+
+  // --- Throughput: repeated strike transients on the inverter harness.
+  constexpr int kStrikeRuns = 8;
+  spice::SolverDiagnostics throughput;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kStrikeRuns; ++i) {
+    const double q = 80.0 + 10.0 * i;
+    spice::SolverDiagnostics diag;
+    (void)spice::strike_waveform(Femtocoulombs(q), {}, 1500.0, &diag);
+    throughput.merge(diag);
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  const double points_per_s =
+      seconds > 0.0 ? static_cast<double>(throughput.steps) / seconds : 0.0;
+
+  // --- Retry rate: pathological inrush circuit, recovery ladder active.
+  spice::TransientOptions stress;
+  stress.t_stop_ps = 20.0;
+  stress.dt_ps = 1.0;
+  stress.v_step_limit = 50.0;
+  spice::Circuit inrush = make_inrush_circuit();
+  const int d = inrush.node("d");
+  const auto stressed = spice::try_run_transient(inrush, stress, {d});
+  const auto attempted =
+      stressed.diagnostics.steps + stressed.diagnostics.rejected_steps;
+  const double retry_rate =
+      attempted > 0
+          ? static_cast<double>(stressed.diagnostics.rejected_steps) /
+                static_cast<double>(attempted)
+          : 0.0;
+
+  // --- Fallback rate: characterization with a starved Newton budget.
+  CharacterizeOptions starved;
+  starved.include_cwsp = false;
+  starved.transient.max_newton_iterations = 1;
+  starved.transient.enable_recovery = false;  // no ladder: honest fallback
+  const auto report = characterize_library(make_default_library(), starved);
+  const double fallback_rate =
+      report.arcs.empty()
+          ? 0.0
+          : static_cast<double>(report.fallback_count()) /
+                static_cast<double>(report.arcs.size());
+
+  std::cout << "{\n"
+            << "  \"benchmark\": \"bench_spice\",\n"
+            << "  \"strike_runs\": " << kStrikeRuns << ",\n"
+            << "  \"accepted_points\": " << throughput.steps << ",\n"
+            << "  \"elapsed_s\": " << seconds << ",\n"
+            << "  \"points_per_s\": " << points_per_s << ",\n"
+            << "  \"stress_attempted_steps\": " << attempted << ",\n"
+            << "  \"stress_rejected_steps\": "
+            << stressed.diagnostics.rejected_steps << ",\n"
+            << "  \"retry_rate\": " << retry_rate << ",\n"
+            << "  \"starved_arcs\": " << report.arcs.size() << ",\n"
+            << "  \"starved_fallbacks\": " << report.fallback_count() << ",\n"
+            << "  \"fallback_rate\": " << fallback_rate << "\n"
+            << "}\n";
+
+  // Sanity: the workload must behave as designed, or the numbers above
+  // measure nothing. Converging strike runs, recovering stress runs, and
+  // a fully-degraded starved characterization.
+  if (!throughput.converged || !stressed.diagnostics.converged ||
+      stressed.diagnostics.rejected_steps == 0 ||
+      report.fallback_count() != report.arcs.size()) {
+    std::cerr << "bench_spice: workload invariants violated\n";
+    return 1;
+  }
+  return 0;
+}

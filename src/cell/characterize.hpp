@@ -1,0 +1,79 @@
+#pragma once
+// Electrical characterization of the cell library against MiniSpice, with
+// graceful degradation: every delay arc is measured on a one-gate
+// transistor-level circuit; when the solver's recovery ladder is
+// exhausted the arc falls back to the library's calibrated analytical
+// model (docs/calibration.md) and is tagged with its provenance. Exact
+// and fallback numbers are never silently mixed — the report carries a
+// provenance tag and the full SolverDiagnostics per arc, and lint flags
+// designs whose timing rests on fallback arcs.
+
+#include <string>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "spice/netlist_bridge.hpp"
+#include "spice/subckt.hpp"
+
+namespace cwsp {
+
+/// Where a characterized delay number came from.
+enum class ArcProvenance : std::uint8_t {
+  /// Direct MiniSpice measurement, no recovery rung fired.
+  kSpiceExact,
+  /// MiniSpice measurement that needed the recovery ladder (gmin/source
+  /// stepping or step subdivision) — trustworthy but not bit-reproducible
+  /// against the direct path.
+  kSpiceRecovered,
+  /// Solver exhausted the ladder; the value is the calibrated analytical
+  /// model from docs/calibration.md, not a measurement.
+  kCalibratedFallback,
+};
+
+[[nodiscard]] const char* to_string(ArcProvenance provenance);
+
+/// One characterized delay arc (input rise → output switch, 50%→50%).
+struct CharacterizedArc {
+  std::string cell;
+  /// Measured delay; equals `model_delay_ps` for fallback arcs.
+  double delay_ps = 0.0;
+  /// The library's analytical linear-RC prediction at the same load.
+  double model_delay_ps = 0.0;
+  ArcProvenance provenance = ArcProvenance::kSpiceExact;
+  spice::SolverDiagnostics diagnostics;
+};
+
+struct CharacterizationReport {
+  double load_ff = 0.0;
+  std::vector<CharacterizedArc> arcs;
+
+  [[nodiscard]] std::size_t fallback_count() const;
+  [[nodiscard]] bool any_fallback() const;
+  /// Cell names of every fallback arc (input to the lint rule).
+  [[nodiscard]] std::vector<std::string> fallback_cells() const;
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_text() const;
+};
+
+struct CharacterizeOptions {
+  /// External load on the measured output, fF.
+  Femtofarads load{2.0};
+  spice::SpiceTech tech;
+  /// Solver configuration, including the recovery-ladder knobs. Tests and
+  /// the tool's --max-newton flag shrink the iteration budget to provoke
+  /// honest fallbacks.
+  spice::TransientOptions transient;
+  /// Also characterize the paper's CWSP element sizings (30/12, 40/16)
+  /// against the calibrated D_CWSP constants.
+  bool include_cwsp = true;
+};
+
+/// Characterizes every electrically supported library cell (INV, BUF,
+/// NAND2, NOR2, AND2, OR2) plus, optionally, the CWSP element arcs.
+/// Never throws on solver failure — failed arcs degrade to the
+/// calibrated model with provenance kCalibratedFallback.
+[[nodiscard]] CharacterizationReport characterize_library(
+    const CellLibrary& library, const CharacterizeOptions& options = {});
+
+}  // namespace cwsp

@@ -11,9 +11,11 @@ double CliArgs::number(const std::string& key, double fallback) const {
   if (it == options.end()) return fallback;
   char* end = nullptr;
   const double value = std::strtod(it->second.c_str(), &end);
-  CWSP_REQUIRE_MSG(end != it->second.c_str() && *end == '\0',
-                   "option --" << key << " expects a number, got '"
-                               << it->second << "'");
+  if (end == it->second.c_str() || *end != '\0') {
+    // Typed as ParseError so the CLI maps it to the usage exit code (2).
+    throw ParseError("option --" + key + " expects a number, got '" +
+                     it->second + "'");
+  }
   return value;
 }
 

@@ -15,6 +15,21 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Input that could not be parsed: netlist files, library files, CLI
+/// argument payloads. cwsp_tool maps this to exit code 2.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A numerical solve that failed after every recovery path was exhausted
+/// (MiniSpice ladder, see docs/minispice.md). cwsp_tool maps this to exit
+/// code 3.
+class SolveError : public Error {
+ public:
+  explicit SolveError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void raise(const char* kind, const char* expr,
                                const char* file, int line,

@@ -59,11 +59,13 @@ LintReport run_lint(const Netlist& netlist, const LintOptions& options,
 
   // The STA-backed rules need a well-formed netlist with combinational
   // logic: skip them (rather than crash in STA) when the structure pass
-  // already found errors.
+  // already found errors. Provenance auditing (fallback_cells) needs the
+  // same STA pass even without ProtectionParams; the parameter-dependent
+  // rules skip themselves in that case.
   TimingResult sta;
-  if (options.params.has_value() && netlist.num_gates() > 0 &&
-      !report.fails_at(Severity::kError)) {
-    options.params->validate();
+  if ((options.params.has_value() || !options.fallback_cells.empty()) &&
+      netlist.num_gates() > 0 && !report.fails_at(Severity::kError)) {
+    if (options.params.has_value()) options.params->validate();
     sta = run_sta(netlist);
     ctx.sta = &sta;
     run_category(RuleCategory::kTiming);

@@ -50,6 +50,11 @@ struct LintOptions {
   /// Claimed EQGLB reduction model to cross-check against the protected
   /// flip-flop count.
   std::optional<core::EqglbTree> tree;
+  /// Cells whose electrical characterization degraded to the calibrated
+  /// analytical model (CharacterizationReport::fallback_cells). Non-empty
+  /// enables the `timing-fallback-arc` rule, which warns when the
+  /// critical path rests on such arcs.
+  std::vector<std::string> fallback_cells;
 };
 
 struct LintContext {

@@ -36,6 +36,7 @@ Picoseconds effective_period(const LintContext& ctx) {
 // tolerate any glitch — an error.
 
 void rule_delta_envelope(const LintContext& ctx, LintReport& report) {
+  if (!ctx.options.params.has_value()) return;
   const ProtectionParams& params = *ctx.options.params;
   const DesignTiming timing = timing_of(ctx);
   const Picoseconds max_glitch =
@@ -57,6 +58,7 @@ void rule_delta_envelope(const LintContext& ctx, LintReport& report) {
 }
 
 void rule_delta_unprotectable(const LintContext& ctx, LintReport& report) {
+  if (!ctx.options.params.has_value()) return;
   const ProtectionParams& params = *ctx.options.params;
   const DesignTiming timing = timing_of(ctx);
   const Picoseconds max_glitch =
@@ -76,6 +78,7 @@ void rule_delta_unprotectable(const LintContext& ctx, LintReport& report) {
 }
 
 void rule_clk_del_period(const LintContext& ctx, LintReport& report) {
+  if (!ctx.options.params.has_value()) return;
   const ProtectionParams& params = *ctx.options.params;
   const Picoseconds period = effective_period(ctx);
   const Picoseconds clk_del = params.clk_del_delay();
@@ -89,6 +92,7 @@ void rule_clk_del_period(const LintContext& ctx, LintReport& report) {
 }
 
 void rule_period_too_short(const LintContext& ctx, LintReport& report) {
+  if (!ctx.options.params.has_value()) return;
   if (!ctx.options.clock_period.has_value()) return;
   const ProtectionParams& params = *ctx.options.params;
   const Picoseconds period = *ctx.options.clock_period;
@@ -101,6 +105,32 @@ void rule_period_too_short(const LintContext& ctx, LintReport& report) {
               ps(admissible) + " (Eq. 6), below the designed " +
               ps(params.delta) + "; need at least " +
               ps(core::min_clock_period_for_delta(params));
+  report.add(std::move(d));
+}
+
+// Designs whose reported D_max depends on a delay arc that could not be
+// electrically characterized (the solver degraded it to the calibrated
+// analytical model) carry extra timing uncertainty: the number is a
+// model prediction, not a measurement.
+
+void rule_timing_fallback_arc(const LintContext& ctx, LintReport& report) {
+  if (ctx.options.fallback_cells.empty()) return;
+  const TimingProvenanceAudit audit = audit_timing_provenance(
+      *ctx.netlist, *ctx.sta, ctx.options.fallback_cells);
+  if (!audit.critical_path_tainted) return;
+  Diagnostic d;
+  d.rule_id = "timing-fallback-arc";
+  d.severity = Severity::kWarning;
+  d.nets.push_back(ctx.sta->dmax_endpoint);
+  d.gates = audit.tainted_critical_gates;
+  std::ostringstream os;
+  os << "critical path (Dmax " << ps(ctx.sta->dmax) << ") rests on "
+     << audit.tainted_critical_gates.size()
+     << " gate(s) with calibrated-fallback delay arcs ("
+     << audit.fallback_gates.size()
+     << " such gate(s) in the design); the reported timing is a model "
+        "prediction, not an electrical measurement";
+  d.message = os.str();
   report.add(std::move(d));
 }
 
@@ -123,6 +153,11 @@ void register_timing_rules(RuleRegistry& registry) {
                     Severity::kError,
                     "the clock period must admit the designed delta (Eq. 6)",
                     rule_period_too_short});
+  registry.add(Rule{"timing-fallback-arc", RuleCategory::kTiming,
+                    Severity::kWarning,
+                    "the critical path must not rest on calibrated-fallback "
+                    "delay arcs",
+                    rule_timing_fallback_arc});
 }
 
 }  // namespace cwsp::lint

@@ -216,20 +216,30 @@ Netlist parse_bench_string(const std::string& text, const CellLibrary& library,
                            const std::string& name,
                            const BenchParseOptions& options) {
   std::istringstream in(text);
-  return parse_bench(in, library, name, options);
+  try {
+    return parse_bench(in, library, name, options);
+  } catch (const Error& e) {
+    // Re-type every parse failure (the REQUIRE macros throw plain Error)
+    // so callers can map it to the parse exit code.
+    throw ParseError(e.what());
+  }
 }
 
 Netlist parse_bench_file(const std::string& path, const CellLibrary& library,
                          const BenchParseOptions& options) {
   std::ifstream in(path);
-  CWSP_REQUIRE_MSG(in.good(), "cannot open bench file " << path);
+  if (!in.good()) throw ParseError("cannot open bench file " + path);
   // Derive the netlist name from the file name, sans directory/extension.
   auto slash = path.find_last_of('/');
   std::string base =
       slash == std::string::npos ? path : path.substr(slash + 1);
   const auto dot = base.find_last_of('.');
   if (dot != std::string::npos) base = base.substr(0, dot);
-  return parse_bench(in, library, base, options);
+  try {
+    return parse_bench(in, library, base, options);
+  } catch (const Error& e) {
+    throw ParseError(e.what());
+  }
 }
 
 }  // namespace cwsp

@@ -213,13 +213,21 @@ Netlist parse_blif(std::istream& in, const CellLibrary& library) {
 Netlist parse_blif_string(const std::string& text,
                           const CellLibrary& library) {
   std::istringstream in(text);
-  return parse_blif(in, library);
+  try {
+    return parse_blif(in, library);
+  } catch (const Error& e) {
+    throw ParseError(e.what());
+  }
 }
 
 Netlist parse_blif_file(const std::string& path, const CellLibrary& library) {
   std::ifstream in(path);
-  CWSP_REQUIRE_MSG(in.good(), "cannot open blif file " << path);
-  return parse_blif(in, library);
+  if (!in.good()) throw ParseError("cannot open blif file " + path);
+  try {
+    return parse_blif(in, library);
+  } catch (const Error& e) {
+    throw ParseError(e.what());
+  }
 }
 
 }  // namespace cwsp

@@ -24,7 +24,8 @@ void add_delay_line(Circuit& circuit, const std::string& prefix, int in,
 }
 
 Picoseconds measure_delay_line(int segments, Kiloohms r_poly,
-                               const SpiceTech& tech) {
+                               const SpiceTech& tech,
+                               SolverDiagnostics* diagnostics) {
   Circuit c;
   const int vdd = add_vdd(c, tech);
   const int in = c.node("in");
@@ -38,6 +39,7 @@ Picoseconds measure_delay_line(int segments, Kiloohms r_poly,
   options.t_stop_ps = 200.0 + 400.0 * segments * (1.0 + r_poly.value());
   options.dt_ps = 1.0;
   const auto result = run_transient(c, options, {in, out});
+  if (diagnostics != nullptr) diagnostics->merge(result.diagnostics);
 
   const auto t_in =
       result.probe(in).first_crossing(tech.vdd / 2.0, /*rising=*/true);
@@ -55,19 +57,23 @@ Picoseconds measure_delay_line(int segments, Kiloohms r_poly,
 }
 
 DelayLineDesign calibrate_delay_line(int segments, Picoseconds target,
-                                     const SpiceTech& tech) {
+                                     const SpiceTech& tech,
+                                     SolverDiagnostics* diagnostics) {
   CWSP_REQUIRE(target.value() > 0.0);
   double lo = 0.1;     // kΩ
   double hi = 400.0;   // kΩ — beyond this the segment no longer swings
-  const double d_lo = measure_delay_line(segments, Kiloohms(lo), tech).value();
-  const double d_hi = measure_delay_line(segments, Kiloohms(hi), tech).value();
+  const double d_lo =
+      measure_delay_line(segments, Kiloohms(lo), tech, diagnostics).value();
+  const double d_hi =
+      measure_delay_line(segments, Kiloohms(hi), tech, diagnostics).value();
   CWSP_REQUIRE_MSG(target.value() >= d_lo && target.value() <= d_hi,
                    "target delay " << target.value()
                        << " ps outside the tunable range [" << d_lo << ", "
                        << d_hi << "] for " << segments << " segments");
   for (int iter = 0; iter < 30; ++iter) {
     const double mid = 0.5 * (lo + hi);
-    const double d = measure_delay_line(segments, Kiloohms(mid), tech).value();
+    const double d =
+        measure_delay_line(segments, Kiloohms(mid), tech, diagnostics).value();
     if (d < target.value()) {
       lo = mid;
     } else {
@@ -77,7 +83,8 @@ DelayLineDesign calibrate_delay_line(int segments, Picoseconds target,
   DelayLineDesign design;
   design.segments = segments;
   design.r_poly = Kiloohms(0.5 * (lo + hi));
-  design.achieved = measure_delay_line(segments, design.r_poly, tech);
+  design.achieved =
+      measure_delay_line(segments, design.r_poly, tech, diagnostics);
   return design;
 }
 

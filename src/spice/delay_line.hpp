@@ -19,8 +19,11 @@ void add_delay_line(Circuit& circuit, const std::string& prefix, int in,
 
 /// Measures the propagation delay (rising-input 50% → final-output 50%)
 /// of a delay line with the given segment count and POLY2 resistance.
-[[nodiscard]] Picoseconds measure_delay_line(int segments, Kiloohms r_poly,
-                                             const SpiceTech& tech = {});
+/// When `diagnostics` is non-null the transient's SolverDiagnostics is
+/// merge()d into it.
+[[nodiscard]] Picoseconds measure_delay_line(
+    int segments, Kiloohms r_poly, const SpiceTech& tech = {},
+    SolverDiagnostics* diagnostics = nullptr);
 
 struct DelayLineDesign {
   int segments = 0;
@@ -32,6 +35,7 @@ struct DelayLineDesign {
 /// `target` (bisection against MiniSpice). Throws if the target is
 /// outside the line's tunable range.
 [[nodiscard]] DelayLineDesign calibrate_delay_line(
-    int segments, Picoseconds target, const SpiceTech& tech = {});
+    int segments, Picoseconds target, const SpiceTech& tech = {},
+    SolverDiagnostics* diagnostics = nullptr);
 
 }  // namespace cwsp::spice

@@ -23,7 +23,8 @@ class StampContext {
   StampContext(std::vector<double>& matrix, std::vector<double>& rhs,
                const std::vector<double>& v_iter,
                const std::vector<double>& v_prev, std::size_t dim,
-               int num_nodes, double time_ps, double dt_ps, bool transient)
+               int num_nodes, double time_ps, double dt_ps, bool transient,
+               double source_scale = 1.0)
       : matrix_(matrix),
         rhs_(rhs),
         v_iter_(v_iter),
@@ -32,7 +33,8 @@ class StampContext {
         num_nodes_(num_nodes),
         time_ps_(time_ps),
         dt_ps_(dt_ps),
-        transient_(transient) {}
+        transient_(transient),
+        source_scale_(source_scale) {}
 
   /// Candidate node voltages for this Newton iteration (index = node).
   [[nodiscard]] double v(int node) const {
@@ -47,6 +49,10 @@ class StampContext {
   [[nodiscard]] double dt_ps() const { return dt_ps_; }
   /// False during the DC operating-point solve (capacitors open).
   [[nodiscard]] bool transient() const { return transient_; }
+  /// Multiplier on every independent source value (1.0 except during the
+  /// recovery ladder's source-stepping rung, which ramps supplies and
+  /// stimuli from 0 to 100%).
+  [[nodiscard]] double source_scale() const { return source_scale_; }
 
   /// Adds conductance g between matrix rows of nodes i and j (ground rows
   /// are dropped).
@@ -105,6 +111,7 @@ class StampContext {
   double time_ps_;
   double dt_ps_;
   bool transient_;
+  double source_scale_;
 };
 
 class Device {

@@ -137,7 +137,7 @@ class VoltageSource final : public Device {
     // Branch equation: v_p − v_n = E(t).
     ctx.add_matrix(brow, StampContext::row(p_), 1.0);
     ctx.add_matrix(brow, StampContext::row(n_), -1.0);
-    ctx.add_rhs(brow, fn_.at(ctx.time_ps()));
+    ctx.add_rhs(brow, ctx.source_scale() * fn_.at(ctx.time_ps()));
     // KCL: branch current i flows p → n inside the external circuit view.
     ctx.add_matrix(StampContext::row(p_), brow, 1.0);
     ctx.add_matrix(StampContext::row(n_), brow, -1.0);
@@ -159,7 +159,7 @@ class CurrentSource final : public Device {
       : Device(std::move(name)), from_(from), into_(into), fn_(fn) {}
 
   void stamp(StampContext& ctx) const override {
-    ctx.stamp_current(from_, into_, fn_.at(ctx.time_ps()));
+    ctx.stamp_current(from_, into_, ctx.source_scale() * fn_.at(ctx.time_ps()));
   }
 
  private:

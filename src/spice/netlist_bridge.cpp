@@ -135,4 +135,22 @@ SpiceElaboration elaborate_to_spice(
   return result;
 }
 
+NetlistTransient run_netlist_transient(
+    const Netlist& netlist,
+    const std::map<std::string, SourceFunction>& pi_drives,
+    const std::vector<std::string>& probe_nets,
+    const TransientOptions& options, const SpiceTech& tech) {
+  NetlistTransient out;
+  out.elaboration = elaborate_to_spice(netlist, pi_drives, tech);
+  std::vector<int> probes;
+  probes.reserve(probe_nets.size());
+  for (const std::string& name : probe_nets) {
+    const auto net = netlist.find_net(name);
+    CWSP_REQUIRE_MSG(net.has_value(), "probe net '" << name << "' not found");
+    probes.push_back(out.elaboration.node(*net));
+  }
+  out.result = try_run_transient(out.elaboration.circuit, options, probes);
+  return out;
+}
+
 }  // namespace cwsp::spice

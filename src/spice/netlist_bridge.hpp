@@ -37,4 +37,22 @@ struct SpiceElaboration {
     const std::map<std::string, SourceFunction>& pi_drives,
     const SpiceTech& tech = {});
 
+/// Elaborates and runs a transient in one call, probing the named nets.
+/// Never throws on convergence failure: the ladder's verdict is in
+/// result.diagnostics (waveforms hold whatever was accepted before it
+/// gave up). Probe names must be elaborated nets.
+struct NetlistTransient {
+  SpiceElaboration elaboration;
+  TransientResult result;
+
+  [[nodiscard]] const Waveform& probe(NetId net) const {
+    return result.probe(elaboration.node(net));
+  }
+};
+[[nodiscard]] NetlistTransient run_netlist_transient(
+    const Netlist& netlist,
+    const std::map<std::string, SourceFunction>& pi_drives,
+    const std::vector<std::string>& probe_nets,
+    const TransientOptions& options = {}, const SpiceTech& tech = {});
+
 }  // namespace cwsp::spice

@@ -1,10 +1,13 @@
 #include "spice/solver.hpp"
 
 #include <cmath>
+#include <limits>
+#include <sstream>
 
 namespace cwsp::spice {
 
-std::vector<double> solve_linear_system(DenseMatrix a, std::vector<double> b) {
+bool try_solve_linear_system(DenseMatrix a, std::vector<double> b,
+                             std::vector<double>& x, LinearSolveInfo* info) {
   const std::size_t n = a.size();
   CWSP_REQUIRE(b.size() == n);
   constexpr double kPivotTol = 1e-16;
@@ -34,6 +37,8 @@ std::vector<double> solve_linear_system(DenseMatrix a, std::vector<double> b) {
     for (std::size_t r = 0; r < n; ++r) a.at(r, c) *= col_scale[c];
   }
 
+  double min_pivot = std::numeric_limits<double>::infinity();
+  double max_pivot = 0.0;
   for (std::size_t col = 0; col < n; ++col) {
     std::size_t pivot = col;
     double best = std::fabs(a.at(col, col));
@@ -50,15 +55,25 @@ std::vector<double> solve_linear_system(DenseMatrix a, std::vector<double> b) {
     // take the incidence entry).
     if (best >= kDiagThreshold * col_max) pivot = col;
 
-    CWSP_REQUIRE_MSG(col_max > kPivotTol,
-                     "singular MNA matrix at column " << col
-                         << " (floating node or redundant source?)");
+    if (!(col_max > kPivotTol)) {
+      if (info != nullptr) {
+        info->singular = true;
+        info->singular_column = col;
+        info->pivot_ratio =
+            min_pivot > 0.0 ? max_pivot / min_pivot : max_pivot;
+      }
+      return false;
+    }
     if (pivot != col) {
       for (std::size_t k = 0; k < n; ++k) {
         std::swap(a.at(col, k), a.at(pivot, k));
       }
       std::swap(b[col], b[pivot]);
     }
+
+    const double pivot_mag = std::fabs(a.at(col, col));
+    min_pivot = std::min(min_pivot, pivot_mag);
+    max_pivot = std::max(max_pivot, pivot_mag);
 
     const double inv_pivot = 1.0 / a.at(col, col);
     for (std::size_t row = col + 1; row < n; ++row) {
@@ -72,7 +87,7 @@ std::vector<double> solve_linear_system(DenseMatrix a, std::vector<double> b) {
     }
   }
 
-  std::vector<double> x(n, 0.0);
+  x.assign(n, 0.0);
   for (std::size_t i = n; i-- > 0;) {
     double acc = b[i];
     for (std::size_t k = i + 1; k < n; ++k) acc -= a.at(i, k) * x[k];
@@ -80,6 +95,22 @@ std::vector<double> solve_linear_system(DenseMatrix a, std::vector<double> b) {
   }
   // Undo the column scaling (row scaling only rescaled the equations).
   for (std::size_t i = 0; i < n; ++i) x[i] *= col_scale[i];
+  if (info != nullptr) {
+    info->singular = false;
+    info->pivot_ratio = min_pivot > 0.0 ? max_pivot / min_pivot : max_pivot;
+  }
+  return true;
+}
+
+std::vector<double> solve_linear_system(DenseMatrix a, std::vector<double> b) {
+  std::vector<double> x;
+  LinearSolveInfo info;
+  if (!try_solve_linear_system(std::move(a), std::move(b), x, &info)) {
+    std::ostringstream os;
+    os << "singular MNA matrix at column " << info.singular_column
+       << " (floating node or redundant source?)";
+    throw SolveError(os.str());
+  }
   return x;
 }
 

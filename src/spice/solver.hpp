@@ -33,9 +33,26 @@ class DenseMatrix {
   std::vector<double> data_;
 };
 
-/// Solves A·x = b in place via LU with partial pivoting. Throws
-/// cwsp::Error if A is singular (pivot below tolerance). A and b are
-/// destroyed; the solution is returned.
+/// Outcome of one factorisation, for the recovery ladder's diagnostics:
+/// whether (and where) a pivot broke down, plus a cheap conditioning
+/// proxy (max/min |pivot| of the equilibrated factors).
+struct LinearSolveInfo {
+  bool singular = false;
+  std::size_t singular_column = 0;
+  double pivot_ratio = 0.0;
+};
+
+/// Solves A·x = b in place via LU with partial pivoting. Returns false
+/// (leaving x untouched) instead of throwing when A is singular, so the
+/// Newton loop can escalate through its recovery ladder. A and b are
+/// destroyed.
+[[nodiscard]] bool try_solve_linear_system(DenseMatrix a,
+                                           std::vector<double> b,
+                                           std::vector<double>& x,
+                                           LinearSolveInfo* info = nullptr);
+
+/// Throwing wrapper: raises cwsp::SolveError if A is singular (pivot
+/// below tolerance). A and b are destroyed; the solution is returned.
 [[nodiscard]] std::vector<double> solve_linear_system(DenseMatrix a,
                                                       std::vector<double> b);
 

@@ -1,6 +1,13 @@
 #include "spice/subckt.hpp"
 
 namespace cwsp::spice {
+namespace {
+
+void merge_into(SolverDiagnostics* sink, const SolverDiagnostics& run) {
+  if (sink != nullptr) sink->merge(run);
+}
+
+}  // namespace
 
 int add_vdd(Circuit& circuit, const SpiceTech& tech) {
   const int vdd = circuit.node("vdd");
@@ -91,7 +98,8 @@ StrikeHarness make_struck_inverter(Femtocoulombs q, Picoseconds tau_alpha,
 Picoseconds measure_strike_glitch_width(Femtocoulombs q,
                                         const SpiceTech& tech,
                                         Picoseconds tau_alpha,
-                                        Picoseconds tau_beta) {
+                                        Picoseconds tau_beta,
+                                        SolverDiagnostics* diagnostics) {
   auto harness =
       make_struck_inverter(q, tau_alpha, tau_beta, Picoseconds(100.0), tech);
   TransientOptions options;
@@ -99,13 +107,15 @@ Picoseconds measure_strike_glitch_width(Femtocoulombs q,
   options.dt_ps = 1.0;
   const auto result =
       run_transient(harness.circuit, options, {harness.out});
+  merge_into(diagnostics, result.diagnostics);
   const auto width =
       result.probe(harness.out).pulse_width_above(tech.vdd / 2.0);
   return Picoseconds(width.value_or(0.0));
 }
 
 Picoseconds measure_cwsp_delay(double wp_mult, double wn_mult,
-                               Femtofarads load_ff, const SpiceTech& tech) {
+                               Femtofarads load_ff, const SpiceTech& tech,
+                               SolverDiagnostics* diagnostics) {
   Circuit c;
   const int vdd = add_vdd(c, tech);
   const int a = c.node("a");
@@ -121,6 +131,7 @@ Picoseconds measure_cwsp_delay(double wp_mult, double wn_mult,
   TransientOptions options;
   options.t_stop_ps = 1500.0;
   const auto result = run_transient(c, options, {a, out});
+  merge_into(diagnostics, result.diagnostics);
   const auto t_in =
       result.probe(a).first_crossing(tech.vdd / 2.0, /*rising=*/true);
   const auto t_out = result.probe(out).first_crossing(
@@ -129,7 +140,8 @@ Picoseconds measure_cwsp_delay(double wp_mult, double wn_mult,
   return Picoseconds(*t_out - *t_in);
 }
 
-Femtocoulombs measure_critical_charge(const SpiceTech& tech) {
+Femtocoulombs measure_critical_charge(const SpiceTech& tech,
+                                      SolverDiagnostics* diagnostics) {
   double lo = 0.0;
   double hi = 200.0;
   for (int iter = 0; iter < 40; ++iter) {
@@ -141,6 +153,7 @@ Femtocoulombs measure_critical_charge(const SpiceTech& tech) {
     options.t_stop_ps = 1500.0;
     const auto result =
         run_transient(harness.circuit, options, {harness.out});
+    merge_into(diagnostics, result.diagnostics);
     if (result.probe(harness.out).peak() >= tech.vdd / 2.0) {
       hi = mid;
     } else {
@@ -151,7 +164,8 @@ Femtocoulombs measure_critical_charge(const SpiceTech& tech) {
 }
 
 NoiseMargins measure_noise_margins(double wp_mult, double wn_mult,
-                                   const SpiceTech& tech) {
+                                   const SpiceTech& tech,
+                                   SolverDiagnostics* diagnostics) {
   // DC sweep of the VTC; NM_L = V_IL − 0, NM_H = VDD − V_IH where
   // V_IL/V_IH are the unity-gain (|dVout/dVin| = 1) points.
   auto vtc = [&](double vin) {
@@ -161,7 +175,11 @@ NoiseMargins measure_noise_margins(double wp_mult, double wn_mult,
     const int out = c.node("out");
     c.add_voltage_source("Vin", in, kGround, SourceFunction::dc(vin));
     add_inverter(c, "x", in, out, vdd, wp_mult, wn_mult, tech);
-    return solve_dc(c)[static_cast<std::size_t>(out)];
+    SolverDiagnostics run;
+    const auto v = try_solve_dc(c, TransientOptions{}, run);
+    merge_into(diagnostics, run);
+    if (!run.converged) throw SolveError("noise-margin VTC: " + run.failure);
+    return v[static_cast<std::size_t>(out)];
   };
 
   const double step = 0.002;
@@ -194,7 +212,7 @@ NoiseMargins measure_noise_margins(double wp_mult, double wn_mult,
 }
 
 Waveform strike_waveform(Femtocoulombs q, const SpiceTech& tech,
-                         double t_stop_ps) {
+                         double t_stop_ps, SolverDiagnostics* diagnostics) {
   auto harness = make_struck_inverter(q, cal::kTauAlpha, cal::kTauBeta,
                                       Picoseconds(100.0), tech);
   TransientOptions options;
@@ -202,6 +220,7 @@ Waveform strike_waveform(Femtocoulombs q, const SpiceTech& tech,
   options.dt_ps = 1.0;
   const auto result =
       run_transient(harness.circuit, options, {harness.out});
+  merge_into(diagnostics, result.diagnostics);
   return result.probe(harness.out);
 }
 

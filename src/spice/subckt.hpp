@@ -66,27 +66,34 @@ struct StrikeHarness {
                                                  const SpiceTech& tech = {});
 
 /// Runs the Fig-6 experiment and returns the glitch width: the time the
-/// struck output (nominal 0 V) spends above VDD/2.
+/// struck output (nominal 0 V) spends above VDD/2. Every measurement
+/// helper below takes an optional diagnostics sink: when non-null, the
+/// SolverDiagnostics of every analysis the measurement launches is
+/// merge()d into it (a bisection sweep aggregates dozens of transients).
 [[nodiscard]] Picoseconds measure_strike_glitch_width(
     Femtocoulombs q, const SpiceTech& tech = {},
     Picoseconds tau_alpha = cal::kTauAlpha,
-    Picoseconds tau_beta = cal::kTauBeta);
+    Picoseconds tau_beta = cal::kTauBeta,
+    SolverDiagnostics* diagnostics = nullptr);
 
 /// Full waveform of the Fig-6 experiment (for the bench binary).
 [[nodiscard]] Waveform strike_waveform(Femtocoulombs q,
                                        const SpiceTech& tech = {},
-                                       double t_stop_ps = 1500.0);
+                                       double t_stop_ps = 1500.0,
+                                       SolverDiagnostics* diagnostics = nullptr);
 
 /// Propagation delay of a CWSP element (both inputs stepping together,
 /// 50%→50%) at the given device sizing, driving `load_ff`. Used to
 /// cross-check the calibrated D_CWSP constants.
 [[nodiscard]] Picoseconds measure_cwsp_delay(double wp_mult, double wn_mult,
                                              Femtofarads load_ff,
-                                             const SpiceTech& tech = {});
+                                             const SpiceTech& tech = {},
+                                             SolverDiagnostics* diagnostics = nullptr);
 
 /// Critical charge of a min-sized inverter output: the smallest Q whose
 /// strike crosses VDD/2 (bisection against the strike harness).
-[[nodiscard]] Femtocoulombs measure_critical_charge(const SpiceTech& tech = {});
+[[nodiscard]] Femtocoulombs measure_critical_charge(
+    const SpiceTech& tech = {}, SolverDiagnostics* diagnostics = nullptr);
 
 struct NoiseMargins {
   /// Input-low / input-high noise margins from the VTC unity-gain points.
@@ -99,8 +106,8 @@ struct NoiseMargins {
 /// Static noise margins of an inverter at the given P/N width multipliers
 /// (DC sweep of the voltage transfer curve). The paper notes a 66 mV NM
 /// reduction from the protection logic's equal-width sizing (§3.3).
-[[nodiscard]] NoiseMargins measure_noise_margins(double wp_mult,
-                                                 double wn_mult,
-                                                 const SpiceTech& tech = {});
+[[nodiscard]] NoiseMargins measure_noise_margins(
+    double wp_mult, double wn_mult, const SpiceTech& tech = {},
+    SolverDiagnostics* diagnostics = nullptr);
 
 }  // namespace cwsp::spice

@@ -1,7 +1,17 @@
 #pragma once
-// Transient analysis: DC operating point followed by fixed-step
-// backward-Euler integration with Newton–Raphson per step.
+// Transient analysis: DC operating point followed by backward-Euler
+// integration with Newton–Raphson per step.
+//
+// Convergence hardening (docs/minispice.md § "Recovery ladder"): when the
+// direct solve fails, the engine escalates through bounded retries —
+// tighter Newton step clamp → gmin stepping → source stepping for the
+// operating point, and rejected-step dt halving with an LTE-style
+// accept/reject test for the transient — recording every attempt in a
+// SolverDiagnostics that callers thread up to JSON reports. The recovery
+// path only engages after a direct failure, so circuits that converge
+// without it produce byte-identical waveforms.
 
+#include <array>
 #include <map>
 #include <string>
 #include <vector>
@@ -22,15 +32,81 @@ struct TransientOptions {
   /// Leak conductance from every node to ground (mS); keeps otherwise
   /// floating nodes (e.g. a CWSP output in its hold state) well-posed.
   double gmin = 1e-7;
+
+  // ------------------------------------------------- recovery ladder
+  /// Master switch. Off, the solver behaves like the historical
+  /// single-shot engine: any failure surfaces immediately. (Differential
+  /// tests use this to prove recovery never perturbs converging runs.)
+  bool enable_recovery = true;
+  /// Adaptive-stepping floor: a rejected step is retried with halved dt
+  /// until dt falls below this, at which point the run is abandoned.
+  double dt_floor_ps = 1e-3;
+  /// LTE-style accept threshold (V) applied to substeps while recovering:
+  /// a converged substep whose forward-Euler predictor misses by more
+  /// than this is rejected anyway and retried with halved dt.
+  double lte_tolerance_v = 0.2;
+  /// Bound on solve attempts (accepted + rejected) while subdividing one
+  /// nominal step.
+  int max_step_retries = 64;
+};
+
+/// Rungs of the DC recovery ladder, in escalation order.
+enum class RecoveryRung : std::uint8_t {
+  kDirect = 0,
+  kTightClamp = 1,
+  kGminStep = 2,
+  kSourceStep = 3,
+};
+
+[[nodiscard]] const char* to_string(RecoveryRung rung);
+
+/// Structured outcome of one analysis run (DC or transient): what it
+/// cost, which recovery rungs fired, and — when `converged` is false —
+/// why the ladder gave up. Threaded through every measurement helper and
+/// serialized by cwsp_tool (docs/minispice.md § "Diagnostics schema").
+struct SolverDiagnostics {
+  /// False when the ladder was exhausted without a converged solution.
+  bool converged = true;
+  /// True while the result came from the direct path alone; false once
+  /// any ladder rung or step subdivision produced it. Exact results are
+  /// bit-identical to the pre-recovery engine's.
+  bool exact = true;
+  std::size_t newton_iterations = 0;
+  /// Accepted integration steps, including recovery substeps.
+  std::size_t steps = 0;
+  /// Solve attempts rejected during adaptive stepping (non-convergence,
+  /// NaN/Inf, or LTE test failure).
+  std::size_t rejected_steps = 0;
+  /// Nominal steps that needed subdivision to complete.
+  std::size_t subdivided_steps = 0;
+  /// Solve attempts per DC ladder rung (index = RecoveryRung).
+  std::array<std::size_t, 4> rung_attempts{};
+  RecoveryRung deepest_rung = RecoveryRung::kDirect;
+  /// Smallest accepted dt (ps); equals the nominal dt when no step was
+  /// ever subdivided. Zero for DC-only runs.
+  double min_dt_ps = 0.0;
+  /// Max |Δv| of the last Newton iteration (V).
+  double final_residual_v = 0.0;
+  /// Human-readable reason when `converged` is false; empty otherwise.
+  std::string failure;
+
+  /// Folds another run's counters in (measurement sweeps aggregate the
+  /// diagnostics of every transient they launch).
+  void merge(const SolverDiagnostics& other);
+
+  /// JSON object on one line, docs/minispice.md schema.
+  [[nodiscard]] std::string to_json() const;
 };
 
 struct TransientResult {
   /// Probed node waveforms keyed by node index.
   std::map<int, Waveform> probes;
-  /// Final converged node voltages (index = node).
+  /// Final converged node voltages (index = node). When the run did not
+  /// converge these hold the last accepted step's solution.
   std::vector<double> final_voltages;
   std::size_t total_newton_iterations = 0;
   std::size_t steps = 0;
+  SolverDiagnostics diagnostics;
 
   [[nodiscard]] const Waveform& probe(int node) const {
     const auto it = probes.find(node);
@@ -40,13 +116,28 @@ struct TransientResult {
 };
 
 /// Runs the transient analysis recording the given nodes. Throws
-/// cwsp::Error if Newton fails to converge or the MNA matrix is singular.
+/// cwsp::SolveError if the run still fails after the recovery ladder.
 [[nodiscard]] TransientResult run_transient(const Circuit& circuit,
                                             const TransientOptions& options,
                                             const std::vector<int>& probe_nodes);
 
-/// DC operating point only (capacitors open, t = 0).
+/// As run_transient, but convergence failure is reported in
+/// result.diagnostics (converged = false, failure set) instead of thrown;
+/// waveforms hold every step accepted before the ladder gave up. Callers
+/// that can degrade gracefully (characterization fallback) use this.
+[[nodiscard]] TransientResult try_run_transient(
+    const Circuit& circuit, const TransientOptions& options,
+    const std::vector<int>& probe_nodes);
+
+/// DC operating point only (capacitors open, t = 0). Throws
+/// cwsp::SolveError when the ladder is exhausted.
 [[nodiscard]] std::vector<double> solve_dc(const Circuit& circuit,
                                            const TransientOptions& options = {});
+
+/// Non-throwing DC solve; reports failure through `diagnostics`
+/// (never null) and returns the best available voltages.
+[[nodiscard]] std::vector<double> try_solve_dc(const Circuit& circuit,
+                                               const TransientOptions& options,
+                                               SolverDiagnostics& diagnostics);
 
 }  // namespace cwsp::spice

@@ -1,6 +1,8 @@
 #include "spice/waveform.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 
 namespace cwsp::spice {
 namespace {
@@ -12,10 +14,37 @@ double interp_cross(const Sample& a, const Sample& b, double level) {
   return a.t_ps + frac * (b.t_ps - a.t_ps);
 }
 
+/// Measurement arguments (levels, time bounds) must be finite; a NaN
+/// level silently fails every comparison and reads as "no crossing".
+void require_finite_arg(double value, const char* what) {
+  if (!std::isfinite(value)) {
+    std::ostringstream os;
+    os << "waveform measurement: non-finite " << what << " (" << value << ")";
+    throw SolveError(os.str());
+  }
+}
+
 }  // namespace
+
+void Waveform::append(double t_ps, double v) {
+  if (!std::isfinite(t_ps) || !std::isfinite(v)) {
+    std::ostringstream os;
+    os << "waveform sample " << samples_.size() << " is non-finite (t="
+       << t_ps << " ps, v=" << v << " V)";
+    throw SolveError(os.str());
+  }
+  if (!samples_.empty() && t_ps < samples_.back().t_ps) {
+    std::ostringstream os;
+    os << "waveform time axis not monotone: sample " << samples_.size()
+       << " at t=" << t_ps << " ps after t=" << samples_.back().t_ps << " ps";
+    throw SolveError(os.str());
+  }
+  samples_.push_back({t_ps, v});
+}
 
 double Waveform::value_at(double t_ps) const {
   CWSP_REQUIRE(!samples_.empty());
+  require_finite_arg(t_ps, "query time");
   if (t_ps <= samples_.front().t_ps) return samples_.front().v;
   if (t_ps >= samples_.back().t_ps) return samples_.back().v;
   const auto it = std::lower_bound(
@@ -48,6 +77,8 @@ double Waveform::trough() const {
 
 std::optional<double> Waveform::first_crossing(double level, bool rising,
                                                double after_ps) const {
+  require_finite_arg(level, "crossing level");
+  require_finite_arg(after_ps, "start time");
   for (std::size_t i = 1; i < samples_.size(); ++i) {
     const Sample& a = samples_[i - 1];
     const Sample& b = samples_[i];
@@ -62,6 +93,7 @@ std::optional<double> Waveform::first_crossing(double level, bool rising,
 }
 
 double Waveform::time_above(double level) const {
+  require_finite_arg(level, "threshold level");
   double total = 0.0;
   for (std::size_t i = 1; i < samples_.size(); ++i) {
     const Sample& a = samples_[i - 1];

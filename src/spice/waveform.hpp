@@ -3,6 +3,7 @@
 // threshold crossings, pulse widths, peak values — the MiniSpice analogue
 // of SPICE .MEASURE.
 
+#include <cmath>
 #include <optional>
 #include <vector>
 
@@ -18,11 +19,10 @@ struct Sample {
 
 class Waveform {
  public:
-  void append(double t_ps, double v) {
-    CWSP_REQUIRE_MSG(samples_.empty() || t_ps >= samples_.back().t_ps,
-                     "waveform samples must be time-ordered");
-    samples_.push_back({t_ps, v});
-  }
+  /// Appends a sample. Throws cwsp::SolveError on a NaN/Inf time or value
+  /// (a diverged solver must never poison downstream measurements) and on
+  /// a non-monotone time axis.
+  void append(double t_ps, double v);
 
   [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
   [[nodiscard]] bool empty() const { return samples_.empty(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_set>
 
 namespace cwsp {
 namespace {
@@ -178,6 +179,29 @@ std::string timing_report(const Netlist& netlist, const TimingResult& result) {
   }
   os << '\n';
   return os.str();
+}
+
+TimingProvenanceAudit audit_timing_provenance(
+    const Netlist& netlist, const TimingResult& result,
+    const std::vector<std::string>& fallback_cells) {
+  TimingProvenanceAudit audit;
+  if (fallback_cells.empty()) return audit;
+  const std::unordered_set<std::string> fallback(fallback_cells.begin(),
+                                                 fallback_cells.end());
+  auto is_fallback_gate = [&](GateId g) {
+    return fallback.count(netlist.cell_of(g).name()) != 0;
+  };
+  for (std::size_t i = 0; i < netlist.num_gates(); ++i) {
+    if (is_fallback_gate(GateId{i})) audit.fallback_gates.push_back(GateId{i});
+  }
+  for (NetId net_id : result.critical_path) {
+    const Net& net = netlist.net(net_id);
+    if (net.driver_kind != DriverKind::kGate) continue;
+    const GateId g{net.driver_index};
+    if (is_fallback_gate(g)) audit.tainted_critical_gates.push_back(g);
+  }
+  audit.critical_path_tainted = !audit.tainted_critical_gates.empty();
+  return audit;
 }
 
 }  // namespace cwsp

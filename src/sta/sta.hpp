@@ -69,4 +69,23 @@ struct TimingPath {
                                                    const TimingResult& result,
                                                    NetId endpoint);
 
+/// Which parts of a timing result rest on calibrated-fallback delay arcs
+/// (cells whose electrical characterization degraded to the analytical
+/// model — see cell/characterize.hpp). The lint rule `timing-fallback-arc`
+/// flags designs where `critical_path_tainted` is true.
+struct TimingProvenanceAudit {
+  /// Gates (by GateId) instantiating a fallback-characterized cell.
+  std::vector<GateId> fallback_gates;
+  /// True when any gate on the critical (D_max) path is a fallback gate.
+  bool critical_path_tainted = false;
+  /// Fallback gates on the critical path, in path order.
+  std::vector<GateId> tainted_critical_gates;
+};
+
+/// Audits `result` against a list of fallback cell names (as produced by
+/// CharacterizationReport::fallback_cells). Unknown names are ignored.
+[[nodiscard]] TimingProvenanceAudit audit_timing_provenance(
+    const Netlist& netlist, const TimingResult& result,
+    const std::vector<std::string>& fallback_cells);
+
 }  // namespace cwsp

@@ -423,6 +423,48 @@ y = AND(a, phantom)
   EXPECT_NE(json.find("\"nets\": [\"phantom\"]"), std::string::npos) << json;
 }
 
+TEST_F(LintTest, FallbackArcOnCriticalPathWarns) {
+  // The critical path of this chain runs through NAND2 gates; when
+  // characterization degraded NAND2 to its calibrated model, the timing
+  // verdict rests on a prediction and lint must say so.
+  const std::string text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+t1 = NAND(a, b)
+t2 = NAND(t1, b)
+y = NAND(t2, a)
+)";
+  LintOptions options;
+  options.fallback_cells = {"NAND2"};
+  const auto report = lint_text(text, options);
+  ASSERT_TRUE(report.has_rule("timing-fallback-arc")) << format_text(report);
+  const auto diags = report.by_rule("timing-fallback-arc");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kWarning);
+  EXPECT_NE(diags[0].message.find("calibrated-fallback"), std::string::npos);
+  EXPECT_FALSE(diags[0].gate_names.empty());
+}
+
+TEST_F(LintTest, FallbackArcOffCriticalPathStaysQuiet) {
+  // INV was degraded but the critical path is pure NAND2: the timing
+  // verdict does not rest on a fallback arc, so no warning.
+  const std::string text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+OUTPUT(z)
+t1 = NAND(a, b)
+t2 = NAND(t1, b)
+y = NAND(t2, a)
+z = INV(a)
+)";
+  LintOptions options;
+  options.fallback_cells = {"INV"};
+  const auto report = lint_text(text, options);
+  EXPECT_FALSE(report.has_rule("timing-fallback-arc")) << format_text(report);
+}
+
 TEST_F(LintTest, JsonEscapesSpecialCharacters) {
   LintReport report;
   report.design = "d";

@@ -1,0 +1,393 @@
+// Pathological-circuit suite for the solver recovery ladder, adaptive
+// stepping and graceful degradation (docs/minispice.md § "Recovery
+// ladder"). Every case must complete without aborting the process:
+// either the ladder recovers a solution (diagnostics say which rung) or
+// the run degrades with converged=false and a populated failure reason.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cell/characterize.hpp"
+#include "spice/circuit.hpp"
+#include "spice/transient.hpp"
+#include "spice/waveform.hpp"
+
+namespace cwsp::spice {
+namespace {
+
+TEST(RecoveryLadder, FloatingNodeWithZeroGminRecoversViaGminStepping) {
+  // A node reachable only through a capacitor has an all-zero DC row when
+  // gmin = 0: structurally singular for the direct solve. The gmin rung
+  // ramps a leak down over decades and accepts the 1e-12 mS floor.
+  Circuit c;
+  const int a = c.node("a");
+  const int b = c.node("b");
+  c.add_voltage_source("V1", a, kGround, SourceFunction::dc(1.0));
+  c.add_capacitor("C1", a, b, Femtofarads(1.0));
+  c.add_capacitor("C2", b, kGround, Femtofarads(1.0));
+
+  TransientOptions options;
+  options.gmin = 0.0;
+  SolverDiagnostics diag;
+  const auto v = try_solve_dc(c, options, diag);
+  EXPECT_TRUE(diag.converged);
+  EXPECT_FALSE(diag.exact);
+  EXPECT_EQ(diag.deepest_rung, RecoveryRung::kGminStep);
+  EXPECT_GE(diag.rung_attempts[static_cast<std::size_t>(
+                RecoveryRung::kGminStep)],
+            2u);
+  EXPECT_TRUE(std::isfinite(v[static_cast<std::size_t>(b)]));
+
+  // The transient itself is well-posed (capacitors conduct): the run
+  // completes and every recorded sample is finite.
+  options.t_stop_ps = 20.0;
+  options.dt_ps = 1.0;
+  const auto result = try_run_transient(c, options, {b});
+  EXPECT_TRUE(result.diagnostics.converged);
+  for (const auto& s : result.probe(b).samples()) {
+    EXPECT_TRUE(std::isfinite(s.v));
+  }
+}
+
+TEST(RecoveryLadder, ZeroCapacitanceResistorLoopRecovers) {
+  // A resistor loop with no capacitance and no conductive path to ground
+  // or any source: with gmin = 0 its MNA block is singular at DC and
+  // stays singular in the transient (no capacitor companion conductance
+  // ever appears). The gmin rung must carry both the DC point and every
+  // step, and the recovered loop potentials settle to 0.
+  Circuit c;
+  const int a = c.node("a");
+  const int b = c.node("b");
+  const int s = c.node("s");
+  c.add_voltage_source("V1", s, kGround, SourceFunction::dc(1.0));
+  c.add_resistor("Rload", s, kGround, Kiloohms(1.0));
+  c.add_resistor("R1", a, b, Kiloohms(1.0));
+  c.add_resistor("R2", b, a, Kiloohms(2.0));
+
+  TransientOptions options;
+  options.gmin = 0.0;
+  options.t_stop_ps = 5.0;
+  SolverDiagnostics diag;
+  const auto v = try_solve_dc(c, options, diag);
+  ASSERT_TRUE(diag.converged) << diag.failure;
+  EXPECT_FALSE(diag.exact);
+  EXPECT_EQ(diag.deepest_rung, RecoveryRung::kGminStep);
+  EXPECT_NEAR(v[static_cast<std::size_t>(a)], 0.0, 1e-6);
+  EXPECT_NEAR(v[static_cast<std::size_t>(b)], 0.0, 1e-6);
+
+  const auto result = try_run_transient(c, options, {a, s});
+  ASSERT_TRUE(result.diagnostics.converged) << result.diagnostics.failure;
+  EXPECT_NEAR(result.final_voltages[static_cast<std::size_t>(s)], 1.0, 1e-6);
+}
+
+TEST(RecoveryLadder, RedundantParallelSourcesExhaustLadderGracefully) {
+  // Two voltage sources forcing different values across the same node
+  // pair are singular at every gmin and every source scale: the whole
+  // ladder must run, fail, and report — never abort.
+  Circuit c;
+  const int n = c.node("n");
+  c.add_voltage_source("V1", n, kGround, SourceFunction::dc(1.0));
+  c.add_voltage_source("V2", n, kGround, SourceFunction::dc(0.5));
+  c.add_resistor("R1", n, kGround, Kiloohms(1.0));
+
+  TransientOptions options;
+  options.t_stop_ps = 10.0;
+  SolverDiagnostics diag;
+  (void)try_solve_dc(c, options, diag);
+  EXPECT_FALSE(diag.converged);
+  EXPECT_FALSE(diag.failure.empty());
+  for (std::size_t rung = 0; rung < diag.rung_attempts.size(); ++rung) {
+    EXPECT_GE(diag.rung_attempts[rung], 1u) << "rung " << rung << " not tried";
+  }
+
+  // The throwing API surfaces the same verdict as a typed SolveError.
+  EXPECT_THROW((void)run_transient(c, options, {n}), SolveError);
+  // And the non-throwing transient reports instead of throwing.
+  const auto result = try_run_transient(c, options, {n});
+  EXPECT_FALSE(result.diagnostics.converged);
+  EXPECT_FALSE(result.diagnostics.failure.empty());
+}
+
+TEST(RecoveryLadder, StiffRcCompletesDirectly) {
+  // τ = R·C = 1e-3 ps with dt = 1 ps: three decades stiffer than the
+  // step. Backward Euler is A-stable, so this must complete on the
+  // direct path — no recovery, no rejected steps.
+  Circuit c;
+  const int in = c.node("in");
+  const int m = c.node("m");
+  c.add_voltage_source("V1", in, kGround,
+                       SourceFunction::pulse(0.0, 1.0, 2.0, 1.0, 1e6, 1.0));
+  c.add_resistor("R1", in, m, Kiloohms(0.01));
+  c.add_capacitor("C1", m, kGround, Femtofarads(0.1));
+
+  TransientOptions options;
+  options.t_stop_ps = 20.0;
+  options.dt_ps = 1.0;
+  const auto result = run_transient(c, options, {m});
+  EXPECT_TRUE(result.diagnostics.converged);
+  EXPECT_TRUE(result.diagnostics.exact);
+  EXPECT_EQ(result.diagnostics.rejected_steps, 0u);
+  EXPECT_EQ(result.diagnostics.subdivided_steps, 0u);
+  EXPECT_NEAR(result.final_voltages[static_cast<std::size_t>(m)], 1.0, 1e-6);
+}
+
+TEST(RecoveryLadder, DiodeOverflowRescuedByTighterClamp) {
+  // A diode with a 5 mV emission slope and no linear extension overflows
+  // exp() the moment Newton lands past ~0.71 V. With the damping clamp
+  // opened to 10 V the direct solve jumps straight to the 5 V rail and
+  // dies on Inf; the tight-clamp rung (limit/8) walks in safely.
+  Circuit c;
+  const int s = c.node("s");
+  const int d = c.node("d");
+  c.add_voltage_source("V1", s, kGround, SourceFunction::dc(5.0));
+  c.add_resistor("R1", s, d, Kiloohms(1.0));
+  DiodeParams params;
+  params.n_vt = 0.005;
+  params.v_linear = 10.0;  // defeat the linear extension
+  c.add_diode("D1", d, kGround, params);
+
+  TransientOptions options;
+  options.v_step_limit = 10.0;
+  SolverDiagnostics diag;
+  const auto v = try_solve_dc(c, options, diag);
+  ASSERT_TRUE(diag.converged) << diag.failure;
+  EXPECT_FALSE(diag.exact);
+  EXPECT_EQ(diag.deepest_rung, RecoveryRung::kTightClamp);
+  // Forward drop of is=1e-12 mA, n·VT=5 mV at ~4.9 mA: ~0.146 V.
+  EXPECT_NEAR(v[static_cast<std::size_t>(d)], 0.146, 0.02);
+}
+
+TEST(RecoveryLadder, DivergingTransientStepSubdivides) {
+  // A current-source inrush into a weakly-held diode node: at the
+  // nominal dt the undamped Newton iterate overshoots into exp()
+  // overflow; halving dt strengthens the capacitor's companion
+  // conductance until the step converges, then dt regrows.
+  Circuit c;
+  const int d = c.node("d");
+  c.add_current_source("I1", kGround, d,
+                       SourceFunction::pulse(0.0, 2.0, 5.0, 1.0, 1e6, 1.0));
+  c.add_resistor("R1", d, kGround, Kiloohms(100.0));
+  c.add_capacitor("C1", d, kGround, Femtofarads(0.05));
+  DiodeParams params;
+  params.n_vt = 0.005;
+  params.v_linear = 10.0;
+  c.add_diode("D1", d, kGround, params);
+
+  TransientOptions options;
+  options.t_stop_ps = 20.0;
+  options.dt_ps = 1.0;
+  options.v_step_limit = 50.0;  // defeat damping: force the overflow
+  const auto result = try_run_transient(c, options, {d});
+  ASSERT_TRUE(result.diagnostics.converged) << result.diagnostics.failure;
+  EXPECT_FALSE(result.diagnostics.exact);
+  EXPECT_GE(result.diagnostics.subdivided_steps, 1u);
+  EXPECT_GE(result.diagnostics.rejected_steps, 1u);
+  EXPECT_LT(result.diagnostics.min_dt_ps, options.dt_ps);
+  // Samples stay on the nominal grid and finite.
+  EXPECT_EQ(result.probe(d).size(), 21u);
+  for (const auto& sample : result.probe(d).samples()) {
+    EXPECT_TRUE(std::isfinite(sample.v));
+  }
+  // Final value: diode clamps the 2 mA at a ~0.14 V forward drop.
+  EXPECT_NEAR(result.final_voltages[static_cast<std::size_t>(d)], 0.14, 0.05);
+}
+
+TEST(RecoveryLadder, SingleIterationBudgetRecoveredByGminContinuation) {
+  // Even a one-iteration Newton budget is recoverable for this diode
+  // circuit: gmin stepping carries the guess down the decades, acting as
+  // a continuation method, so each attempt only needs one refinement.
+  Circuit c;
+  const int d = c.node("d");
+  c.add_voltage_source("V1", d, kGround, SourceFunction::dc(1.0));
+  const int m = c.node("m");
+  c.add_resistor("R1", d, m, Kiloohms(1.0));
+  c.add_diode("D1", m, kGround, DiodeParams{});
+
+  TransientOptions options;
+  options.max_newton_iterations = 1;
+  SolverDiagnostics diag;
+  const auto v = try_solve_dc(c, options, diag);
+  ASSERT_TRUE(diag.converged) << diag.failure;
+  EXPECT_FALSE(diag.exact);
+  EXPECT_GE(diag.deepest_rung, RecoveryRung::kGminStep);
+  EXPECT_TRUE(std::isfinite(v[static_cast<std::size_t>(m)]));
+}
+
+TEST(RecoveryLadder, PerpetualLteRejectionHitsDtFloorAndReports) {
+  // With the LTE tolerance squeezed to (near) zero, every recovery
+  // substep is rejected no matter how small dt gets: subdivision must
+  // walk down to the dt floor and give up with a recorded reason — never
+  // spin forever.
+  Circuit c;
+  const int d = c.node("d");
+  c.add_current_source("I1", kGround, d,
+                       SourceFunction::pulse(0.0, 2.0, 5.0, 1.0, 1e6, 1.0));
+  c.add_resistor("R1", d, kGround, Kiloohms(100.0));
+  c.add_capacitor("C1", d, kGround, Femtofarads(0.05));
+  DiodeParams params;
+  params.n_vt = 0.005;
+  params.v_linear = 10.0;
+  c.add_diode("D1", d, kGround, params);
+
+  TransientOptions options;
+  options.t_stop_ps = 20.0;
+  options.dt_ps = 1.0;
+  options.v_step_limit = 50.0;  // force the first rejection (Inf overshoot)
+  options.lte_tolerance_v = 1e-15;  // then reject every substep
+  const auto result = try_run_transient(c, options, {d});
+  EXPECT_FALSE(result.diagnostics.converged);
+  EXPECT_FALSE(result.diagnostics.failure.empty());
+  EXPECT_GE(result.diagnostics.rejected_steps, 1u);
+  // The reason names the mechanism that gave up.
+  const bool names_floor =
+      result.diagnostics.failure.find("dt floor") != std::string::npos ||
+      result.diagnostics.failure.find("retry budget") != std::string::npos;
+  EXPECT_TRUE(names_floor) << result.diagnostics.failure;
+}
+
+TEST(RecoveryDifferential, RecoveryNeverPerturbsConvergingRuns) {
+  // Byte-identical waveforms: a circuit that converges on the direct
+  // path must produce bit-for-bit the same samples whether the recovery
+  // ladder is armed or not.
+  auto build = [] {
+    Circuit c;
+    const int in = c.node("in");
+    const int out = c.node("out");
+    c.add_voltage_source(
+        "V1", in, kGround,
+        SourceFunction::pulse(0.0, 1.0, 10.0, 5.0, 40.0, 5.0));
+    c.add_resistor("R1", in, out, Kiloohms(10.0));
+    c.add_capacitor("C1", out, kGround, Femtofarads(5.0));
+    DiodeParams clamp;
+    c.add_diode("D1", out, kGround, clamp);
+    return c;
+  };
+
+  TransientOptions with_recovery;
+  with_recovery.t_stop_ps = 100.0;
+  TransientOptions without_recovery = with_recovery;
+  without_recovery.enable_recovery = false;
+
+  Circuit c1 = build();
+  Circuit c2 = build();
+  const int out1 = c1.node("out");
+  const int out2 = c2.node("out");
+  const auto r1 = run_transient(c1, with_recovery, {out1});
+  const auto r2 = run_transient(c2, without_recovery, {out2});
+
+  EXPECT_TRUE(r1.diagnostics.exact);
+  EXPECT_TRUE(r2.diagnostics.exact);
+  const auto& s1 = r1.probe(out1).samples();
+  const auto& s2 = r2.probe(out2).samples();
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    // operator== on doubles: byte-identity, not tolerance.
+    EXPECT_EQ(s1[i].t_ps, s2[i].t_ps) << "sample " << i;
+    EXPECT_EQ(s1[i].v, s2[i].v) << "sample " << i;
+  }
+  EXPECT_EQ(r1.total_newton_iterations, r2.total_newton_iterations);
+}
+
+TEST(WaveformGuards, RejectsNonFiniteSamples) {
+  Waveform w;
+  w.append(0.0, 0.5);
+  EXPECT_THROW(w.append(1.0, std::nan("")), SolveError);
+  EXPECT_THROW(w.append(1.0, std::numeric_limits<double>::infinity()),
+               SolveError);
+  EXPECT_THROW(w.append(std::nan(""), 0.0), SolveError);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(WaveformGuards, RejectsNonMonotoneTimeAxis) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 0.5);
+  w.append(1.0, 0.6);  // equal timestamps are allowed (step records)
+  EXPECT_THROW(w.append(0.5, 0.7), SolveError);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(WaveformGuards, RejectsNonFiniteMeasurementArguments) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(10.0, 1.0);
+  EXPECT_THROW((void)w.value_at(std::nan("")), SolveError);
+  EXPECT_THROW((void)w.first_crossing(std::nan(""), true), SolveError);
+  EXPECT_THROW((void)w.time_above(std::numeric_limits<double>::infinity()),
+               SolveError);
+  EXPECT_THROW((void)w.pulse_width_above(std::nan("")), SolveError);
+}
+
+TEST(DiagnosticsJson, SerializesSchemaFields) {
+  SolverDiagnostics diag;
+  diag.converged = false;
+  diag.exact = false;
+  diag.rung_attempts[2] = 13;
+  diag.deepest_rung = RecoveryRung::kGminStep;
+  diag.failure = "singular \"MNA\" matrix";
+  const std::string json = diag.to_json();
+  EXPECT_NE(json.find("\"converged\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"gmin-step\": 13"), std::string::npos);
+  EXPECT_NE(json.find("\"deepest_rung\": \"gmin-step\""), std::string::npos);
+  EXPECT_NE(json.find("singular \\\"MNA\\\" matrix"), std::string::npos);
+}
+
+TEST(DiagnosticsMerge, AggregatesCountersAndDeepestRung) {
+  SolverDiagnostics a;
+  a.newton_iterations = 10;
+  a.steps = 5;
+  a.min_dt_ps = 1.0;
+  SolverDiagnostics b;
+  b.newton_iterations = 7;
+  b.exact = false;
+  b.deepest_rung = RecoveryRung::kSourceStep;
+  b.min_dt_ps = 0.25;
+  b.rejected_steps = 3;
+  a.merge(b);
+  EXPECT_EQ(a.newton_iterations, 17u);
+  EXPECT_EQ(a.steps, 5u);
+  EXPECT_EQ(a.rejected_steps, 3u);
+  EXPECT_FALSE(a.exact);
+  EXPECT_TRUE(a.converged);
+  EXPECT_EQ(a.deepest_rung, RecoveryRung::kSourceStep);
+  EXPECT_DOUBLE_EQ(a.min_dt_ps, 0.25);
+}
+
+TEST(Characterization, DefaultLibraryMeasuresExactly) {
+  CharacterizeOptions options;
+  options.include_cwsp = false;  // keep the test fast
+  const auto report = characterize_library(make_default_library(), options);
+  ASSERT_EQ(report.arcs.size(), 6u);
+  EXPECT_FALSE(report.any_fallback());
+  for (const auto& arc : report.arcs) {
+    EXPECT_EQ(arc.provenance, ArcProvenance::kSpiceExact) << arc.cell;
+    EXPECT_GT(arc.delay_ps, 0.0) << arc.cell;
+    EXPECT_TRUE(arc.diagnostics.converged) << arc.cell;
+  }
+}
+
+TEST(Characterization, ExhaustedLadderDegradesToCalibratedModel) {
+  CharacterizeOptions options;
+  options.include_cwsp = false;
+  // One Newton iteration can never converge the nonlinear one-gate
+  // circuits: every arc must fall back — visibly, never silently.
+  options.transient.max_newton_iterations = 1;
+  const auto report = characterize_library(make_default_library(), options);
+  ASSERT_EQ(report.arcs.size(), 6u);
+  EXPECT_EQ(report.fallback_count(), 6u);
+  EXPECT_EQ(report.fallback_cells().size(), 6u);
+  for (const auto& arc : report.arcs) {
+    EXPECT_EQ(arc.provenance, ArcProvenance::kCalibratedFallback) << arc.cell;
+    // Fallback value equals the calibrated analytical model exactly.
+    EXPECT_DOUBLE_EQ(arc.delay_ps, arc.model_delay_ps) << arc.cell;
+    EXPECT_FALSE(arc.diagnostics.converged) << arc.cell;
+  }
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("calibrated-fallback"), std::string::npos);
+  EXPECT_NE(json.find("\"fallback_count\": 6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cwsp::spice

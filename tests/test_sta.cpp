@@ -182,5 +182,41 @@ y = NOT(a)
   EXPECT_NE(report.find('y'), std::string::npos);
 }
 
+TEST_F(StaTest, ProvenanceAuditFlagsCriticalPathFallbacks) {
+  const auto n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+OUTPUT(z)
+t1 = NAND(a, b)
+t2 = NAND(t1, b)
+y = NAND(t2, a)
+z = NOT(a)
+)",
+                                    lib_);
+  const auto r = run_sta(n);
+
+  // No fallback cells: clean audit.
+  const auto clean = audit_timing_provenance(n, r, {});
+  EXPECT_TRUE(clean.fallback_gates.empty());
+  EXPECT_FALSE(clean.critical_path_tainted);
+
+  // The INV is in the design but off the critical (NAND chain) path.
+  const auto off_path = audit_timing_provenance(n, r, {"INV"});
+  EXPECT_EQ(off_path.fallback_gates.size(), 1u);
+  EXPECT_FALSE(off_path.critical_path_tainted);
+  EXPECT_TRUE(off_path.tainted_critical_gates.empty());
+
+  // NAND2 fallback taints every gate on the critical path.
+  const auto tainted = audit_timing_provenance(n, r, {"NAND2"});
+  EXPECT_EQ(tainted.fallback_gates.size(), 3u);
+  EXPECT_TRUE(tainted.critical_path_tainted);
+  EXPECT_FALSE(tainted.tainted_critical_gates.empty());
+
+  // Unknown cell names are ignored, not an error.
+  const auto unknown = audit_timing_provenance(n, r, {"NO_SUCH_CELL"});
+  EXPECT_TRUE(unknown.fallback_gates.empty());
+}
+
 }  // namespace
 }  // namespace cwsp

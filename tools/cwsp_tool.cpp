@@ -12,6 +12,9 @@
 //                         (for sequential designs) the elaborated
 //                         hardened system's per-FF structure
 //       --json            machine-readable report (docs/lint.md schema)
+//       --fallback-cells <a,b,...>  cells with calibrated-fallback delay
+//                         arcs (from `characterize --json`); enables the
+//                         timing-fallback-arc rule
 //       --fail-on <warn|error>  exit-1 threshold (default error)
 //       --q150 / --delta <ps> / --skew <ps> / --period <ps>
 //                         protection configuration under --hardened
@@ -30,10 +33,24 @@
 //                         interruption/resume)
 //       --json            machine-readable report (docs/campaign.md schema)
 //   cwsp_tool replay <repro.strike>            replay a minimized escape
-//   cwsp_tool glitch [--q <fC>]                struck-inverter waveform
+//   cwsp_tool glitch [--q <fC>] [--json]       struck-inverter waveform
+//       --json            waveform summary + solver diagnostics
+//                         (docs/minispice.md schema)
+//   cwsp_tool characterize [options]           electrical cell characterization
+//       --json            machine-readable report with per-arc provenance
+//       --load <fF>       output load (default 2 fF)
+//       --max-newton <n>  Newton iteration budget (small values provoke
+//                         calibrated-fallback arcs — for testing the
+//                         degradation path)
+//       --no-cwsp         skip the CWSP element arcs
 //   cwsp_tool elaborate <n_ffs> [--dot]        checker netlist (.bench/.dot)
 //   cwsp_tool ser <design.bench> [--fail <frac>] soft-error-rate estimate
 //   cwsp_tool suite <table1|table2|table3>     reproduce a paper table row set
+//
+// Exit codes: 0 success, 1 findings (lint failures, campaign escapes,
+// failed replay), 2 usage/parse errors, 3 solver failures (also: campaign
+// interrupted via --stop-after), 4 internal errors. Errors print to
+// stderr, never stdout.
 
 #include <cstring>
 #include <iostream>
@@ -43,6 +60,7 @@
 #include "campaign/campaign.hpp"
 #include "campaign/minimize.hpp"
 #include "campaign/report.hpp"
+#include "cell/characterize.hpp"
 #include "common/cli_args.hpp"
 #include "common/table.hpp"
 #include "cwsp/area_report.hpp"
@@ -92,6 +110,20 @@ int cmd_lint(const Args& args, const CellLibrary& lib) {
     options.clock_skew = Picoseconds(args.number("skew", 0.0));
     if (args.has("period")) {
       options.clock_period = Picoseconds(args.number("period", 0.0));
+    }
+  }
+  if (args.has("fallback-cells")) {
+    // Comma-separated cell names whose characterization fell back to the
+    // calibrated model (from `characterize --json`).
+    std::string list = args.text("fallback-cells", "");
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      const std::size_t comma = list.find(',', pos);
+      const std::string cell = list.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      if (!cell.empty()) options.fallback_cells.push_back(cell);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
     }
   }
 
@@ -269,7 +301,15 @@ int cmd_replay(const Args& args, const CellLibrary& lib) {
 
 int cmd_glitch(const Args& args, const CellLibrary&) {
   const Femtocoulombs q{args.number("q", 100.0)};
-  const auto wave = spice::strike_waveform(q);
+  spice::SolverDiagnostics diagnostics;
+  const auto wave = spice::strike_waveform(q, {}, 1500.0, &diagnostics);
+  if (args.has("json")) {
+    std::cout << "{\"q_fc\": " << q.value() << ", \"peak_v\": " << wave.peak()
+              << ", \"width_ps\": "
+              << wave.pulse_width_above(0.5).value_or(0.0)
+              << ", \"diagnostics\": " << diagnostics.to_json() << "}\n";
+    return 0;
+  }
   std::cout << "Q = " << q.value() << " fC: peak "
             << TextTable::num(wave.peak(), 3) << " V, width above VDD/2 = "
             << TextTable::num(wave.pulse_width_above(0.5).value_or(0.0), 1)
@@ -280,6 +320,23 @@ int cmd_glitch(const Args& args, const CellLibrary&) {
     t.add_row({TextTable::num(ts, 0), TextTable::num(wave.value_at(ts), 4)});
   }
   t.print(std::cout);
+  return 0;
+}
+
+int cmd_characterize(const Args& args, const CellLibrary& lib) {
+  CharacterizeOptions options;
+  options.load = Femtofarads(args.number("load", 2.0));
+  if (args.has("max-newton")) {
+    options.transient.max_newton_iterations =
+        static_cast<int>(args.number("max-newton", 200.0));
+  }
+  options.include_cwsp = !args.has("no-cwsp");
+  const auto report = characterize_library(lib, options);
+  std::cout << (args.has("json") ? report.to_json() : report.to_text());
+  if (report.any_fallback()) {
+    std::cerr << "characterize: " << report.fallback_count()
+              << " arc(s) degraded to the calibrated model\n";
+  }
   return 0;
 }
 
@@ -378,14 +435,24 @@ int main(int argc, char** argv) {
     if (command == "campaign") return cmd_campaign(args, lib);
     if (command == "replay") return cmd_replay(args, lib);
     if (command == "glitch") return cmd_glitch(args, lib);
+    if (command == "characterize") return cmd_characterize(args, lib);
     if (command == "elaborate") return cmd_elaborate(args, lib);
     if (command == "ser") return cmd_ser(args, lib);
     if (command == "verilog") return cmd_verilog(args, lib);
     if (command == "optimize") return cmd_optimize(args, lib);
     if (command == "stats") return cmd_stats(args, lib);
+  } catch (const cwsp::ParseError& e) {
+    std::cerr << "parse error: " << e.what() << '\n';
+    return 2;
+  } catch (const cwsp::SolveError& e) {
+    std::cerr << "solver error: " << e.what() << '\n';
+    return 3;
   } catch (const cwsp::Error& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 1;
+    return 4;
+  } catch (const std::exception& e) {
+    std::cerr << "internal error: " << e.what() << '\n';
+    return 4;
   }
   return usage();
 }
