@@ -1,0 +1,240 @@
+// Analysis-service throughput: warm-cache requests through the resident
+// server vs cold per-request state rebuild (the cost a fresh `cwsp_tool`
+// process pays before it can answer anything). Three tiers on the alu2
+// ISCAS design:
+//
+//   cold          fresh DesignSession::build + campaign per request —
+//                 the one-shot CLI's work, minus even its exec/link
+//                 overhead, so the comparison favors cold
+//   warm_session  distinct requests (new seed each) against a warm
+//                 session: parse/STA/kernel-context amortized away
+//   warm          repeated identical requests: the result cache answers
+//
+// Reports requests/s and p50/p99 latency per tier, verifies the service
+// payload is byte-identical to direct execution, and fails unless the
+// warm tier clears a 5x throughput floor over cold. Stdout is the JSON
+// document CI captures as BENCH_service.json; the human-readable summary
+// goes to stderr.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bencharness/generator.hpp"
+#include "common/stopwatch.hpp"
+#include "netlist/writer.hpp"
+#include "service/client.hpp"
+#include "service/handlers.hpp"
+#include "service/json.hpp"
+#include "service/server.hpp"
+#include "service/session.hpp"
+
+namespace {
+
+using namespace cwsp;
+
+constexpr std::size_t kRuns = 12;
+constexpr std::size_t kCycles = 10;
+constexpr std::uint64_t kSeed = 2026;
+
+std::string campaign_request(const std::string& id, const std::string& design,
+                             std::uint64_t seed) {
+  std::ostringstream os;
+  os << "{\"id\":\"" << id << "\",\"op\":\"campaign\",\"design\":\""
+     << service::json::escape(design)
+     << "\",\"design_name\":\"alu2\",\"runs\":" << kRuns
+     << ",\"cycles\":" << kCycles << ",\"width\":400,\"seed\":" << seed
+     << ",\"adversarial\":true}";
+  return os.str();
+}
+
+/// One request/response round trip; returns the unescaped payload and
+/// dies loudly on anything but an ok response.
+std::string round_trip(service::Client& client, const std::string& line) {
+  client.send_line(line);
+  std::string response;
+  if (!client.read_line(response)) {
+    std::cerr << "FATAL: server closed the connection\n";
+    std::exit(1);
+  }
+  const auto value = service::json::parse(response);
+  if (!value.boolean("ok", false)) {
+    std::cerr << "FATAL: request failed: " << response << "\n";
+    std::exit(1);
+  }
+  return value.text("payload", "");
+}
+
+struct Tier {
+  std::size_t requests = 0;
+  double requests_per_s = 0.0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+};
+
+Tier summarize(std::vector<std::uint64_t> samples_us, double total_ms) {
+  Tier tier;
+  tier.requests = samples_us.size();
+  tier.requests_per_s =
+      static_cast<double>(samples_us.size()) / (total_ms / 1000.0);
+  std::sort(samples_us.begin(), samples_us.end());
+  const auto rank = [&](double q) {
+    const std::size_t n = samples_us.size();
+    std::size_t i = static_cast<std::size_t>(q * static_cast<double>(n));
+    return samples_us[std::min(i, n - 1)];
+  };
+  tier.p50_us = rank(0.50);
+  tier.p99_us = rank(0.99);
+  return tier;
+}
+
+void emit_tier(std::ostream& os, const char* name, const Tier& tier) {
+  os << "  \"" << name << "\": {\"requests\": " << tier.requests
+     << ", \"requests_per_s\": " << tier.requests_per_s
+     << ", \"p50_us\": " << tier.p50_us << ", \"p99_us\": " << tier.p99_us
+     << "}";
+}
+
+}  // namespace
+
+int main() {
+  const CellLibrary library = make_default_library();
+
+  // The same alu2 setup bench_campaign uses, serialized back to .bench
+  // text so it can ride inline in service requests.
+  const auto gen =
+      bench::generate_benchmark(bench::find_benchmark("alu2"), library);
+  const auto seq = bench::clone_with_output_flip_flops(gen.netlist);
+  const std::string design = to_bench_string(seq);
+
+  service::CampaignSpec spec;
+  spec.runs = kRuns;
+  spec.cycles = kCycles;
+  spec.width_ps = 400.0;
+  spec.seed = kSeed;
+  spec.adversarial = true;
+
+  // ---- cold: rebuild every amortizable artifact per request ----------
+  constexpr std::size_t kColdRequests = 6;
+  std::string cold_output;
+  std::vector<std::uint64_t> cold_us;
+  Stopwatch cold_total;
+  for (std::size_t i = 0; i < kColdRequests; ++i) {
+    Stopwatch watch;
+    const auto session = service::DesignSession::build("alu2", design, library);
+    const auto outcome = service::run_campaign(*session, spec);
+    cold_us.push_back(static_cast<std::uint64_t>(watch.elapsed_ms() * 1000.0));
+    if (cold_output.empty()) cold_output = outcome.output;
+    if (outcome.output != cold_output) {
+      std::cerr << "FATAL: cold runs diverged\n";
+      return 1;
+    }
+  }
+  const double cold_total_ms = cold_total.elapsed_ms();
+
+  // ---- resident server ----------------------------------------------
+  service::ServerOptions options;
+  options.socket_path =
+      "/tmp/cwsp_bench_service_" + std::to_string(::getpid()) + ".sock";
+  options.workers = 2;
+  service::Server server(options, library);
+  std::thread server_thread([&server] { server.run(); });
+
+  std::unique_ptr<service::Client> client;
+  for (int attempt = 0; attempt < 400 && !client; ++attempt) {
+    try {
+      client = std::make_unique<service::Client>(options.socket_path);
+    } catch (const Error&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  if (!client) {
+    std::cerr << "FATAL: server never came up on " << options.socket_path
+              << "\n";
+    return 1;
+  }
+
+  // Warm-up request: populates the session + result caches and pins down
+  // the byte-identity contract against the direct execution above.
+  const std::string warm_payload =
+      round_trip(*client, campaign_request("warmup", design, kSeed));
+  if (warm_payload != cold_output) {
+    std::cerr << "FATAL: service payload diverged from direct execution\n";
+    return 1;
+  }
+
+  // ---- warm_session: distinct seeds, warm per-design state -----------
+  constexpr std::size_t kSessionRequests = 12;
+  std::vector<std::uint64_t> session_us;
+  Stopwatch session_total;
+  for (std::size_t i = 0; i < kSessionRequests; ++i) {
+    std::string id = "s";
+    id += std::to_string(i);
+    Stopwatch watch;
+    (void)round_trip(*client, campaign_request(id, design, 3000 + i));
+    session_us.push_back(
+        static_cast<std::uint64_t>(watch.elapsed_ms() * 1000.0));
+  }
+  const double session_total_ms = session_total.elapsed_ms();
+
+  // ---- warm: repeated identical requests, result cache hot -----------
+  constexpr std::size_t kWarmRequests = 48;
+  std::vector<std::uint64_t> warm_us;
+  Stopwatch warm_total;
+  for (std::size_t i = 0; i < kWarmRequests; ++i) {
+    std::string id = "w";
+    id += std::to_string(i);
+    Stopwatch watch;
+    const std::string payload =
+        round_trip(*client, campaign_request(id, design, kSeed));
+    warm_us.push_back(static_cast<std::uint64_t>(watch.elapsed_ms() * 1000.0));
+    if (payload != cold_output) {
+      std::cerr << "FATAL: cached payload diverged from direct execution\n";
+      return 1;
+    }
+  }
+  const double warm_total_ms = warm_total.elapsed_ms();
+
+  client.reset();
+  server.request_shutdown();
+  server_thread.join();
+
+  const Tier cold = summarize(cold_us, cold_total_ms);
+  const Tier warm_session = summarize(session_us, session_total_ms);
+  const Tier warm = summarize(warm_us, warm_total_ms);
+  const double speedup = warm.requests_per_s / cold.requests_per_s;
+  const double session_speedup =
+      warm_session.requests_per_s / cold.requests_per_s;
+
+  std::cout << "{\n  \"schema\": \"cwsp-bench-service-v1\",\n"
+            << "  \"design\": \"alu2\",\n"
+            << "  \"campaign\": {\"runs\": " << kRuns
+            << ", \"cycles\": " << kCycles << ", \"seed\": " << kSeed
+            << ", \"adversarial\": true},\n";
+  emit_tier(std::cout, "cold", cold);
+  std::cout << ",\n";
+  emit_tier(std::cout, "warm_session", warm_session);
+  std::cout << ",\n";
+  emit_tier(std::cout, "warm", warm);
+  std::cout << ",\n  \"speedup_warm_vs_cold\": " << speedup
+            << ",\n  \"speedup_warm_session_vs_cold\": " << session_speedup
+            << ",\n  \"byte_identical\": true\n}\n";
+
+  std::cerr << "alu2 service throughput: cold " << cold.requests_per_s
+            << " req/s, warm-session " << warm_session.requests_per_s
+            << " req/s, warm " << warm.requests_per_s << " req/s ("
+            << speedup << "x vs cold; payloads byte-identical)\n";
+
+  if (speedup < 5.0) {
+    std::cerr << "FATAL: warm/cold speedup " << speedup
+              << "x is below the 5x floor\n";
+    return 1;
+  }
+  return 0;
+}

@@ -28,3 +28,4 @@ cwsp_add_bench(bench_scaling cwsp::set)
 cwsp_add_bench(bench_tuning cwsp::set cwsp::bencharness cwsp::core)
 cwsp_add_bench(bench_campaign cwsp::campaign cwsp::bencharness)
 cwsp_add_bench(bench_spice cwsp::characterize cwsp::spice)
+cwsp_add_bench(bench_service cwsp::service cwsp::bencharness)

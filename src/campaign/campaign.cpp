@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "campaign/journal.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 
@@ -122,10 +123,19 @@ const char* to_string(StrikeStatus status) {
 CampaignEngine::CampaignEngine(const Netlist& netlist,
                                const core::ProtectionParams& params,
                                Picoseconds clock_period)
+    : CampaignEngine(netlist, params, clock_period,
+                     sim::CompiledKernelContext::build(netlist)) {}
+
+CampaignEngine::CampaignEngine(
+    const Netlist& netlist, const core::ProtectionParams& params,
+    Picoseconds clock_period,
+    std::shared_ptr<const sim::CompiledKernelContext> context)
     : netlist_(&netlist),
       params_(params),
       clock_period_(clock_period),
-      kernel_context_(sim::CompiledKernelContext::build(netlist)) {}
+      kernel_context_(std::move(context)) {
+  CWSP_REQUIRE(kernel_context_ != nullptr);
+}
 
 std::vector<std::vector<bool>> CampaignEngine::strike_inputs(
     const Netlist& netlist, std::size_t cycles, std::uint64_t seed,
@@ -190,6 +200,7 @@ CampaignResult CampaignEngine::run(const set::StrikePlan& plan,
     sim.set_cancel_token(&token);
 
     for (;;) {
+      if (options.cancel != nullptr && options.cancel->cancelled()) break;
       const std::size_t i = cursor.fetch_add(1);
       if (i >= plan.size()) break;
       if (done[i] != 0) continue;
@@ -301,6 +312,15 @@ CampaignResult CampaignEngine::run(const set::StrikePlan& plan,
   result.executed = result.report.runs > result.resumed
                         ? result.report.runs - result.resumed
                         : 0;
+
+  // Observability only: the metrics registry never feeds the report, so
+  // determinism is untouched.
+  auto& registry = metrics::Registry::global();
+  registry.counter("campaign.runs").add();
+  registry.counter("campaign.strikes_executed").add(result.executed);
+  registry.counter("campaign.strikes_resumed").add(result.resumed);
+  registry.counter("campaign.escapes").add(result.report.protected_failures);
+  registry.counter("campaign.inconclusive").add(result.report.inconclusive);
 
   // ---- escape minimization ------------------------------------------
   if (options.minimize_escapes) {

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -98,6 +99,11 @@ struct EngineOptions {
   /// (e.g. to inject a hang that only the watchdog can break). Must throw
   /// sim::CancelledError to emulate a cancelled hang.
   std::function<void(std::size_t, const sim::CancelToken&)> test_hook;
+  /// Cooperative whole-campaign abort (the analysis service's job
+  /// cancellation): workers stop claiming strikes once the token is
+  /// cancelled, and the result reports `interrupted`. Already-claimed
+  /// strikes finish normally, so a journaled campaign stays resumable.
+  const sim::CancelToken* cancel = nullptr;
 };
 
 struct CampaignResult {
@@ -124,6 +130,12 @@ class CampaignEngine {
   /// The netlist and library must outlive the engine.
   CampaignEngine(const Netlist& netlist, const core::ProtectionParams& params,
                  Picoseconds clock_period);
+  /// Shares a prebuilt kernel context (the analysis service's warm-cache
+  /// path) instead of rebuilding flat view + STA per engine. `context`
+  /// must have been built from `netlist`.
+  CampaignEngine(const Netlist& netlist, const core::ProtectionParams& params,
+                 Picoseconds clock_period,
+                 std::shared_ptr<const sim::CompiledKernelContext> context);
 
   /// Executes `plan`. Throws cwsp::Error for configuration errors
   /// (mismatched resume journal, zero jobs); per-strike failures never

@@ -1,6 +1,10 @@
 #include "campaign/journal.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <bit>
+#include <cstdio>
 #include <sstream>
 
 namespace cwsp::campaign {
@@ -169,18 +173,44 @@ Journal read_journal(const std::string& path) {
   return journal;
 }
 
+namespace {
+
+/// Flushes a file's data to stable storage (best effort: an fsync failure
+/// is not a journal-corrupting event, the rename below still is atomic).
+void sync_to_disk(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
 JournalWriter::JournalWriter(const std::string& path,
                              std::uint64_t fingerprint,
                              std::size_t total_strikes, bool append) {
-  out_.open(path, append ? std::ios::app : std::ios::trunc);
-  CWSP_REQUIRE_MSG(out_.good(), "cannot open journal '" << path << "'");
   if (!append) {
-    std::ostringstream os;
-    os << kHeaderLine << "\nplan fp=" << std::hex << fingerprint << std::dec
-       << " strikes=" << total_strikes << "\n";
-    out_ << os.str();
-    out_.flush();
+    // Stage the header in a temp file, flush + fsync it, and atomically
+    // rename it over the target. Truncating in place would destroy a
+    // previous (possibly still resumable) journal the instant the new
+    // campaign starts, and a crash before the first flush would leave an
+    // empty file behind; with the rename, every observable state of
+    // `path` is either the old journal or a new one with a valid header.
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream header(tmp, std::ios::trunc);
+      CWSP_REQUIRE_MSG(header.good(), "cannot open journal '" << tmp << "'");
+      header << kHeaderLine << "\nplan fp=" << std::hex << fingerprint
+             << std::dec << " strikes=" << total_strikes << "\n";
+      header.flush();
+      CWSP_REQUIRE_MSG(header.good(), "cannot write journal '" << tmp << "'");
+    }
+    sync_to_disk(tmp);
+    CWSP_REQUIRE_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                     "cannot move journal '" << tmp << "' into place");
   }
+  out_.open(path, std::ios::app);
+  CWSP_REQUIRE_MSG(out_.good(), "cannot open journal '" << path << "'");
 }
 
 void JournalWriter::append(const StrikeResult& result) {

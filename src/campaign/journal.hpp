@@ -48,8 +48,10 @@ struct Journal {
 class JournalWriter {
  public:
   /// Creates (append == false) or appends to (append == true) `path`.
-  /// The header is written only for fresh journals. Throws cwsp::Error
-  /// when the file cannot be opened.
+  /// A fresh journal is staged in `path`.tmp (header, flush, fsync) and
+  /// atomically renamed into place, so a crash during initialisation
+  /// never leaves a truncated journal where a resumable one was. Throws
+  /// cwsp::Error when the file cannot be opened.
   JournalWriter(const std::string& path, std::uint64_t fingerprint,
                 std::size_t total_strikes, bool append);
 

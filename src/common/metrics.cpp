@@ -1,0 +1,115 @@
+#include "common/metrics.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace cwsp::metrics {
+namespace {
+
+std::size_t bucket_of(std::uint64_t us) {
+  if (us == 0) return 0;
+  const std::size_t b = static_cast<std::size_t>(std::bit_width(us)) - 1;
+  return b < Histogram::kBuckets ? b : Histogram::kBuckets - 1;
+}
+
+void fetch_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t seen = slot.load(std::memory_order_relaxed);
+  while (seen < v && !slot.compare_exchange_weak(seen, v,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::observe_us(std::uint64_t us) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(us, std::memory_order_relaxed);
+  fetch_max(max_us_, us);
+  buckets_[bucket_of(us)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::quantile_us(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th observation (1-based, ceil), walked over buckets.
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen > rank || (seen == rank && rank == total)) {
+      // Upper edge of bucket b, capped by the observed maximum.
+      const std::uint64_t edge =
+          b + 1 >= 64 ? max_us() : (std::uint64_t{1} << (b + 1)) - 1;
+      return edge < max_us() ? edge : max_us();
+    }
+  }
+  return max_us();
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"schema\": \"cwsp-metrics-v1\", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"' << name << "\": " << c->value();
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"' << name << "\": " << g->value();
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"' << name << "\": {\"count\": " << h->count()
+       << ", \"sum_us\": " << h->sum_us() << ", \"max_us\": " << h->max_us()
+       << ", \"p50_us\": " << h->quantile_us(0.5)
+       << ", \"p99_us\": " << h->quantile_us(0.99) << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+void Registry::reset_for_test() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace cwsp::metrics

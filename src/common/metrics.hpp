@@ -1,0 +1,113 @@
+#pragma once
+// Process-wide metrics registry: counters, gauges and latency histograms.
+//
+// Instrumentation for the long-running analysis service and the
+// subsystems it drives (campaign engine, compiled kernel, caches). The
+// registry is designed around two constraints:
+//
+//   * it is updated from hot, multi-threaded paths — every instrument is
+//     a bag of relaxed atomics, registration hands out stable references
+//     that stay valid for the registry's lifetime, and the fast path
+//     (add/observe on an already-registered instrument) takes no lock;
+//   * it must never perturb experiment determinism — metrics are
+//     observability only; no simulation report ever reads them back.
+//
+// Histograms bucket by power-of-two microseconds (1 us .. ~1 hour), which
+// is plenty for p50/p99 service-latency estimates without unbounded
+// memory. `to_json()` emits a deterministic document (instruments sorted
+// by name) — the payload of the service's `metrics` request and of the
+// `--metrics-json` shutdown dump; docs/service.md lists the catalog.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace cwsp::metrics {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Log2-bucketed latency histogram. Bucket b counts observations with
+/// us in [2^b, 2^(b+1)); bucket 0 also absorbs sub-microsecond samples.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void observe_us(std::uint64_t us);
+  void observe_ms(double ms) {
+    observe_us(ms <= 0.0 ? 0 : static_cast<std::uint64_t>(ms * 1000.0));
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum_us() const {
+    return sum_us_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max_us() const {
+    return max_us_.load(std::memory_order_relaxed);
+  }
+  /// Quantile estimate (q in [0,1]): upper edge of the bucket holding the
+  /// q-th observation. Returns 0 for an empty histogram.
+  [[nodiscard]] std::uint64_t quantile_us(double q) const;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+  std::atomic<std::uint64_t> max_us_{0};
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+/// Named instrument registry. counter()/gauge()/histogram() find-or-create
+/// and return a reference that remains valid (and lock-free to update)
+/// for the registry's lifetime.
+class Registry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  /// Deterministic JSON document: one object per instrument kind, keys
+  /// sorted by name. Histograms expand to
+  /// {count, sum_us, max_us, p50_us, p99_us}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Drops every instrument (outstanding references dangle — test-only).
+  void reset_for_test();
+
+  /// The process-wide registry used by all built-in instrumentation.
+  [[nodiscard]] static Registry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace cwsp::metrics

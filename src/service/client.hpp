@@ -1,0 +1,36 @@
+#pragma once
+// Thin blocking client for the analysis server's NDJSON socket protocol.
+//
+// The transport is deliberately dumb — send one line, read one line —
+// because all protocol intelligence (ids, batching, caching) lives on the
+// server side. The `cwsp_tool client` subcommand builds on this to submit
+// request lines from stdin/argv and demux responses by id.
+
+#include <string>
+
+namespace cwsp::service {
+
+class Client {
+ public:
+  /// Connects to the server's Unix socket. Throws cwsp::Error when the
+  /// socket cannot be reached.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request line (a trailing newline is appended when missing).
+  /// Throws cwsp::Error on a broken connection.
+  void send_line(const std::string& line);
+
+  /// Blocks for the next response line (newline stripped). Returns false
+  /// on server EOF.
+  [[nodiscard]] bool read_line(std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace cwsp::service

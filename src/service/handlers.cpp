@@ -1,0 +1,268 @@
+#include "service/handlers.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+#include "campaign/campaign.hpp"
+#include "cwsp/coverage.hpp"
+#include "cwsp/elaborate_system.hpp"
+#include "cwsp/eqglb_tree.hpp"
+#include "cwsp/harden.hpp"
+#include "netlist/analysis.hpp"
+#include "netlist/bench_parser.hpp"
+#include "set/strike_plan.hpp"
+
+namespace cwsp::service {
+namespace {
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (8 * byte)) & 0xffULL;
+    h *= 1099511628211ULL;
+  }
+}
+
+std::string num(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", v);
+  return buffer;
+}
+
+core::ProtectionParams lint_params(const LintSpec& spec) {
+  if (spec.delta_ps.has_value()) {
+    return core::ProtectionParams::for_glitch_width(
+        Picoseconds(*spec.delta_ps));
+  }
+  return spec.q150 ? core::ProtectionParams::q150()
+                   : core::ProtectionParams::q100();
+}
+
+}  // namespace
+
+std::uint64_t campaign_spec_fingerprint(const CampaignSpec& spec,
+                                        std::uint64_t design_key) {
+  std::uint64_t h = 1469598103934665603ULL;
+  fnv_mix(h, design_key);
+  fnv_mix(h, 0xca3b);  // op tag: campaign
+  fnv_mix(h, spec.runs);
+  fnv_mix(h, spec.cycles);
+  fnv_mix(h, std::bit_cast<std::uint64_t>(spec.width_ps));
+  fnv_mix(h, spec.seed);
+  fnv_mix(h, std::bit_cast<std::uint64_t>(spec.timeout_ms));
+  fnv_mix(h, spec.adversarial ? 1 : 0);
+  fnv_mix(h, spec.use_legacy_kernel ? 1 : 0);
+  fnv_mix(h, spec.shard_index);
+  fnv_mix(h, spec.shard_total);
+  fnv_mix(h, spec.json ? 1 : 0);
+  // jobs is deliberately excluded: reports are byte-identical for any
+  // worker count, so requests differing only in jobs coalesce.
+  return h;
+}
+
+CampaignOutcome run_campaign(const DesignSession& session,
+                             const CampaignSpec& spec,
+                             const sim::CancelToken* cancel) {
+  const Netlist& netlist = *session.netlist;
+  CWSP_REQUIRE_MSG(netlist.num_flip_flops() > 0,
+                   "campaign requires a sequential design");
+  const auto params = core::ProtectionParams::q100();
+  const Picoseconds period = session.period_q100;
+
+  set::StrikePlanOptions plan_options;
+  plan_options.functional_strikes = spec.runs;
+  plan_options.cycles_per_run = spec.cycles;
+  plan_options.glitch_width = Picoseconds(spec.width_ps);
+  plan_options.clock_period = period;
+  if (spec.adversarial) {
+    const std::size_t extra = std::max<std::size_t>(1, spec.runs / 4);
+    plan_options.protection_path_strikes = extra;
+    plan_options.clock_edge_strikes = extra;
+    plan_options.out_of_envelope_strikes = extra;
+    plan_options.out_of_envelope_width = params.delta + Picoseconds(400.0);
+  }
+
+  campaign::EngineOptions engine_options;
+  engine_options.seed = spec.seed;
+  engine_options.cycles_per_run = spec.cycles;
+  engine_options.jobs = std::max<std::size_t>(1, spec.jobs);
+  engine_options.timeout_ms = spec.timeout_ms;
+  engine_options.journal_path = spec.journal_path;
+  engine_options.resume = spec.resume;
+  engine_options.minimize_escapes = spec.minimize_escapes;
+  engine_options.artifact_dir = spec.artifact_dir;
+  engine_options.stop_after = spec.stop_after;
+  engine_options.use_legacy_kernel = spec.use_legacy_kernel;
+  engine_options.cancel = cancel;
+
+  set::StrikePlan plan =
+      set::build_strike_plan(netlist, plan_options, engine_options.seed);
+  if (spec.shard_total > 0) {
+    CWSP_REQUIRE_MSG(spec.shard_index >= 1 &&
+                         spec.shard_index <= spec.shard_total,
+                     "shard index " << spec.shard_index
+                                    << " out of range for "
+                                    << spec.shard_total << " shards");
+    plan = set::shard_plan(plan, spec.shard_total)[spec.shard_index - 1];
+  }
+
+  const campaign::CampaignEngine engine(netlist, params, period,
+                                        session.kernel_context);
+  const auto result = engine.run(plan, engine_options);
+
+  CampaignOutcome outcome;
+  outcome.status = campaign::campaign_status(result);
+  outcome.output =
+      spec.json ? campaign::format_campaign_json(result, plan, netlist,
+                                                 engine_options, period)
+                : campaign::format_campaign_text(result, plan, netlist);
+  return outcome;
+}
+
+std::string run_sta_report(const DesignSession& session) {
+  const Netlist& netlist = *session.netlist;
+  std::ostringstream os;
+  os << timing_report(netlist, session.sta);
+  const auto stats = netlist.stats();
+  os << "gates " << stats.num_gates << ", flip-flops "
+     << stats.num_flip_flops << ", area " << stats.total_area.value()
+     << " um^2\n";
+  return os.str();
+}
+
+std::uint64_t coverage_spec_fingerprint(const CoverageSpec& spec,
+                                        std::uint64_t design_key) {
+  std::uint64_t h = 1469598103934665603ULL;
+  fnv_mix(h, design_key);
+  fnv_mix(h, 0xc0fe);  // op tag: coverage
+  fnv_mix(h, spec.runs);
+  fnv_mix(h, spec.cycles);
+  fnv_mix(h, std::bit_cast<std::uint64_t>(spec.width_ps));
+  fnv_mix(h, spec.seed);
+  fnv_mix(h, spec.scenarios ? 1 : 0);
+  fnv_mix(h, spec.json ? 1 : 0);
+  return h;
+}
+
+CoverageOutcome run_coverage(const DesignSession& session,
+                             const CoverageSpec& spec) {
+  const Netlist& netlist = *session.netlist;
+  CWSP_REQUIRE_MSG(netlist.num_flip_flops() > 0,
+                   "coverage requires a sequential design");
+  const auto params = core::ProtectionParams::q100();
+
+  core::CampaignOptions options;
+  options.runs = spec.runs;
+  options.cycles_per_run = spec.cycles;
+  options.glitch_width = Picoseconds(spec.width_ps);
+  options.seed = spec.seed;
+
+  const core::CoverageReport report =
+      spec.scenarios
+          ? core::run_scenario_sweep(netlist, params, session.period_q100,
+                                     options)
+          : core::run_functional_campaign(netlist, params,
+                                          session.period_q100, options);
+
+  CoverageOutcome outcome;
+  outcome.valid = report.valid();
+  std::ostringstream os;
+  if (spec.json) {
+    os << "{\n  \"schema\": \"cwsp-coverage-report-v1\",\n  \"design\": \""
+       << netlist.name() << "\",\n  \"mode\": \""
+       << (spec.scenarios ? "scenarios" : "functional")
+       << "\",\n  \"seed\": " << spec.seed
+       << ",\n  \"strikes\": " << report.strikes_injected
+       << ",\n  \"escapes\": " << report.protected_failures
+       << ",\n  \"unprotected_failures\": " << report.unprotected_failures
+       << ",\n  \"inconclusive\": " << report.inconclusive
+       << ",\n  \"coverage_pct\": " << num(report.protected_coverage_pct())
+       << ",\n  \"scenarios\": [";
+    for (std::size_t i = 0; i < report.scenarios.size(); ++i) {
+      const core::ScenarioStats& s = report.scenarios[i];
+      if (i > 0) os << ", ";
+      os << "{\"name\": \"" << s.name << "\", \"strikes\": " << s.strikes
+         << ", \"escapes\": " << s.escapes << "}";
+    }
+    os << "]\n}\n";
+  } else {
+    os << "coverage              : " << netlist.name() << " ("
+       << (spec.scenarios ? "scenario sweep" : "functional strikes")
+       << ")\n";
+    os << "strikes / escapes     : " << report.strikes_injected << " / "
+       << report.protected_failures << "\n";
+    os << "protected coverage    : " << num(report.protected_coverage_pct())
+       << " %\n";
+    os << "unprotected failures  : " << num(report.unprotected_failure_pct())
+       << " %\n";
+    for (const core::ScenarioStats& s : report.scenarios) {
+      os << "  " << s.name << ": " << s.strikes << " strikes, " << s.escapes
+         << " escape(s)\n";
+    }
+  }
+  outcome.output = os.str();
+  return outcome;
+}
+
+LintOutcome run_lint(const LintSpec& spec, const CellLibrary& library) {
+  lint::LintOptions options;
+  if (spec.hardened) {
+    options.params = lint_params(spec);
+    options.clock_skew = Picoseconds(spec.skew_ps);
+    if (spec.period_ps.has_value()) {
+      options.clock_period = Picoseconds(*spec.period_ps);
+    }
+  }
+  options.fallback_cells = spec.fallback_cells;
+
+  const std::string& design_label =
+      spec.path.empty() ? spec.name : spec.path;
+
+  lint::LintReport report;
+  std::vector<BenchParseIssue> issues;
+  BenchParseOptions parse_options;
+  parse_options.lenient = true;
+  parse_options.issues = &issues;
+  try {
+    const Netlist netlist =
+        spec.path.empty()
+            ? parse_bench_string(spec.text, library, spec.name,
+                                 parse_options)
+            : parse_bench_file(spec.path, library, parse_options);
+    if (options.params.has_value()) {
+      const int protected_ffs = core::protected_ff_count(netlist);
+      if (protected_ffs >= 1) {
+        options.tree = core::build_eqglb_tree(protected_ffs);
+      }
+    }
+    report = lint::run_lint(netlist, options);
+    lint::add_parse_issue_diagnostics(issues, report);
+
+    // Under hardened checks, additionally elaborate the full protected
+    // system and check its per-FF protection structure (self-check of
+    // the hardening transform's output).
+    if (spec.hardened && netlist.num_flip_flops() > 0 &&
+        !report.fails_at(lint::Severity::kError)) {
+      const auto system = core::elaborate_hardened_system(netlist);
+      lint::LintOptions system_options;
+      system_options.hardened_structure = true;
+      report.merge(lint::run_lint(system.netlist, system_options));
+    }
+  } catch (const Error& e) {
+    report.design = design_label;
+    lint::Diagnostic d;
+    d.rule_id = "parse-error";
+    d.severity = lint::Severity::kError;
+    d.message = e.what();
+    report.add(std::move(d));
+  }
+
+  LintOutcome outcome;
+  outcome.output = spec.json ? lint::format_json(report)
+                             : lint::format_text(report);
+  outcome.failed = report.fails_at(spec.fail_threshold);
+  return outcome;
+}
+
+}  // namespace cwsp::service

@@ -1,0 +1,125 @@
+#pragma once
+// Request execution shared by the one-shot CLI and the resident server.
+//
+// Byte-identical output between `cwsp_tool campaign --json` and a service
+// `campaign` request is a hard contract (it is what lets the service
+// batch and cache results at all), so there is exactly ONE code path that
+// turns a validated request spec into a report: the CLI front end maps
+// argv onto these specs and the server maps JSON requests onto them, and
+// both call the same run_* functions below. Anything execution-dependent
+// (worker counts, cache state, wall-clock) never reaches the output.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/report.hpp"
+#include "lint/lint.hpp"
+#include "service/session.hpp"
+#include "sim/cancel.hpp"
+
+namespace cwsp::service {
+
+// ---- campaign -------------------------------------------------------
+
+struct CampaignSpec {
+  std::size_t runs = 50;
+  std::size_t cycles = 16;
+  double width_ps = 400.0;
+  std::uint64_t seed = 1;
+  std::size_t jobs = 1;
+  double timeout_ms = 0.0;
+  bool adversarial = false;
+  bool use_legacy_kernel = false;
+  /// 1-based shard selection; shard_total == 0 disables sharding.
+  std::size_t shard_index = 0;
+  std::size_t shard_total = 0;
+  /// Machine-readable (docs/campaign.md schema) vs human-readable output.
+  bool json = true;
+
+  // One-shot-only extras (never set by the server; a request carrying
+  // them is rejected because they name local files of the *client*).
+  std::string journal_path;
+  bool resume = false;
+  bool minimize_escapes = false;
+  std::string artifact_dir;
+  std::size_t stop_after = 0;
+};
+
+/// Digest of every spec field that influences the report, plus the design
+/// key — the coalescing/result-cache identity of a campaign request.
+[[nodiscard]] std::uint64_t campaign_spec_fingerprint(
+    const CampaignSpec& spec, std::uint64_t design_key);
+
+struct CampaignOutcome {
+  campaign::CampaignStatus status = campaign::CampaignStatus::kInvalid;
+  std::string output;
+};
+
+/// Runs the campaign exactly as the one-shot CLI does. `cancel`, when
+/// non-null, cooperatively aborts between strikes (the service's job
+/// cancellation); an aborted campaign reports status kInterrupted.
+/// Throws cwsp::Error for configuration errors (e.g. a combinational
+/// design or an out-of-range shard).
+[[nodiscard]] CampaignOutcome run_campaign(
+    const DesignSession& session, const CampaignSpec& spec,
+    const sim::CancelToken* cancel = nullptr);
+
+// ---- sta ------------------------------------------------------------
+
+/// The `sta` subcommand's stdout: timing report plus the stats line.
+[[nodiscard]] std::string run_sta_report(const DesignSession& session);
+
+// ---- coverage -------------------------------------------------------
+
+struct CoverageSpec {
+  std::size_t runs = 50;
+  std::size_t cycles = 20;
+  double width_ps = 400.0;
+  std::uint64_t seed = 1;
+  /// Sweep the §3.2 scenario classes instead of random functional strikes.
+  bool scenarios = false;
+  bool json = true;
+};
+
+[[nodiscard]] std::uint64_t coverage_spec_fingerprint(
+    const CoverageSpec& spec, std::uint64_t design_key);
+
+struct CoverageOutcome {
+  bool valid = false;
+  std::string output;
+};
+
+[[nodiscard]] CoverageOutcome run_coverage(const DesignSession& session,
+                                           const CoverageSpec& spec);
+
+// ---- lint -----------------------------------------------------------
+
+struct LintSpec {
+  /// Exactly one of path/text names the design source. With `path` the
+  /// design is read from disk (the CLI case — diagnostics carry the
+  /// path); with `text` it is parsed in memory under `name`.
+  std::string path;
+  std::string text;
+  std::string name = "bench";
+  bool hardened = false;
+  bool q150 = false;
+  std::optional<double> delta_ps;
+  double skew_ps = 0.0;
+  std::optional<double> period_ps;
+  std::vector<std::string> fallback_cells;
+  bool json = true;
+  /// Findings at or above this severity make the outcome "failed".
+  lint::Severity fail_threshold = lint::Severity::kError;
+};
+
+struct LintOutcome {
+  bool failed = false;
+  std::string output;
+};
+
+[[nodiscard]] LintOutcome run_lint(const LintSpec& spec,
+                                   const CellLibrary& library);
+
+}  // namespace cwsp::service

@@ -1,0 +1,124 @@
+#include "service/job_queue.hpp"
+
+#include "common/metrics.hpp"
+
+namespace cwsp::service {
+namespace {
+
+void set_depth_gauge(std::size_t depth) {
+  metrics::Registry::global()
+      .gauge("service.queue.depth")
+      .set(static_cast<std::int64_t>(depth));
+}
+
+}  // namespace
+
+JobQueue::JobQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool JobQueue::try_push(Job job) {
+  if (job.priority < 0) job.priority = 0;
+  if (job.priority >= kBands) job.priority = kBands - 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return false;
+    std::size_t total = 0;
+    for (const auto& band : bands_) total += band.size();
+    if (total >= capacity_) {
+      metrics::Registry::global().counter("service.queue.rejected").add();
+      return false;
+    }
+    bands_[job.priority].push_back(std::move(job));
+    set_depth_gauge(total + 1);
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::vector<Job> JobQueue::pop_batch() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    for (auto& band : bands_) {
+      if (band.empty()) continue;
+      std::vector<Job> batch;
+      batch.push_back(std::move(band.front()));
+      band.pop_front();
+      const std::uint64_t key = batch.front().batch_key;
+      if (key != 0) {
+        // Sweep every band: a duplicate may be queued at any priority.
+        for (auto& sweep : bands_) {
+          for (auto it = sweep.begin(); it != sweep.end();) {
+            if (it->batch_key == key) {
+              batch.push_back(std::move(*it));
+              it = sweep.erase(it);
+            } else {
+              ++it;
+            }
+          }
+        }
+        if (batch.size() > 1) {
+          metrics::Registry::global()
+              .counter("service.batch.coalesced")
+              .add(batch.size() - 1);
+        }
+      }
+      std::size_t total = 0;
+      for (const auto& b : bands_) total += b.size();
+      set_depth_gauge(total);
+      return batch;
+    }
+    if (shutdown_) return {};
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Job> JobQueue::cancel(std::uint64_t conn_id,
+                                    const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& band : bands_) {
+    for (auto it = band.begin(); it != band.end(); ++it) {
+      if (it->conn_id == conn_id && it->id == id) {
+        Job job = std::move(*it);
+        band.erase(it);
+        return job;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void JobQueue::drop_connection(std::uint64_t conn_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& band : bands_) {
+    for (auto it = band.begin(); it != band.end();) {
+      it = it->conn_id == conn_id ? band.erase(it) : ++it;
+    }
+  }
+}
+
+void JobQueue::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::vector<Job> JobQueue::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Job> out;
+  for (auto& band : bands_) {
+    for (auto& job : band) out.push_back(std::move(job));
+    band.clear();
+  }
+  return out;
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& band : bands_) total += band.size();
+  return total;
+}
+
+}  // namespace cwsp::service

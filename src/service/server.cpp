@@ -1,0 +1,591 @@
+#include "service/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/stopwatch.hpp"
+#include "service/handlers.hpp"
+
+namespace cwsp::service {
+namespace {
+
+std::string inflight_key(std::uint64_t conn_id, const std::string& id) {
+  return std::to_string(conn_id) + "/" + id;
+}
+
+int priority_of(const json::Value& request) {
+  const std::string p = request.text("priority", "normal");
+  if (p == "high") return 0;
+  if (p == "low") return 2;
+  if (p == "normal") return 1;
+  throw ParseError("unknown priority '" + p + "'");
+}
+
+bool wants_json(const json::Value& request) {
+  const std::string format = request.text("format", "json");
+  if (format == "json") return true;
+  if (format == "text") return false;
+  throw ParseError("unknown format '" + format + "' (json|text)");
+}
+
+/// Fills the job's design fields from `design_path` / `design` (+
+/// optional `design_name`). Throws ParseError when absent or unreadable.
+void resolve_design(const json::Value& request, Job& job,
+                    std::string& design_path) {
+  if (const json::Value* path = request.find("design_path")) {
+    design_path = path->as_string();
+    job.design_name = design_name_from_path(design_path);
+    job.design_text = read_design_file(design_path);
+    return;
+  }
+  if (const json::Value* text = request.find("design")) {
+    job.design_name = request.text("design_name", "bench");
+    job.design_text = text->as_string();
+    return;
+  }
+  throw ParseError("request needs 'design_path' or inline 'design' text");
+}
+
+CampaignSpec parse_campaign_spec(const json::Value& request) {
+  for (const char* forbidden :
+       {"journal", "resume", "minimize", "artifacts", "stop_after"}) {
+    if (request.find(forbidden) != nullptr) {
+      throw ParseError(std::string("'") + forbidden +
+                       "' is a one-shot CLI option, not a service field");
+    }
+  }
+  CampaignSpec spec;
+  spec.runs = static_cast<std::size_t>(request.number("runs", 50));
+  spec.cycles = static_cast<std::size_t>(request.number("cycles", 16));
+  spec.width_ps = request.number("width", 400.0);
+  spec.seed = static_cast<std::uint64_t>(request.number("seed", 1));
+  spec.jobs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(request.number("jobs", 1)));
+  spec.timeout_ms = request.number("timeout_ms", 0.0);
+  spec.adversarial = request.boolean("adversarial", false);
+  spec.use_legacy_kernel = request.boolean("legacy_kernel", false);
+  spec.shard_index = static_cast<std::size_t>(request.number("shard_index", 0));
+  spec.shard_total = static_cast<std::size_t>(request.number("shard_total", 0));
+  if ((spec.shard_index == 0) != (spec.shard_total == 0)) {
+    throw ParseError("shard_index and shard_total must be given together");
+  }
+  spec.json = wants_json(request);
+  return spec;
+}
+
+CoverageSpec parse_coverage_spec(const json::Value& request) {
+  CoverageSpec spec;
+  spec.runs = static_cast<std::size_t>(request.number("runs", 50));
+  spec.cycles = static_cast<std::size_t>(request.number("cycles", 20));
+  spec.width_ps = request.number("width", 400.0);
+  spec.seed = static_cast<std::uint64_t>(request.number("seed", 1));
+  spec.scenarios = request.boolean("scenarios", false);
+  spec.json = wants_json(request);
+  return spec;
+}
+
+LintSpec parse_lint_spec(const Job& job, const std::string& design_path,
+                         const json::Value& request) {
+  LintSpec spec;
+  if (!design_path.empty()) {
+    spec.path = design_path;
+  } else {
+    spec.text = job.design_text;
+    spec.name = job.design_name;
+  }
+  spec.hardened = request.boolean("hardened", false);
+  spec.q150 = request.boolean("q150", false);
+  if (const json::Value* delta = request.find("delta")) {
+    spec.delta_ps = delta->as_number();
+  }
+  spec.skew_ps = request.number("skew", 0.0);
+  if (const json::Value* period = request.find("period")) {
+    spec.period_ps = period->as_number();
+  }
+  if (const json::Value* cells = request.find("fallback_cells")) {
+    for (const json::Value& cell : cells->as_array()) {
+      spec.fallback_cells.push_back(cell.as_string());
+    }
+  }
+  spec.json = wants_json(request);
+  const std::string fail_on = request.text("fail_on", "error");
+  if (fail_on == "warn") {
+    spec.fail_threshold = lint::Severity::kWarning;
+  } else if (fail_on == "error") {
+    spec.fail_threshold = lint::Severity::kError;
+  } else {
+    throw ParseError("fail_on expects 'warn' or 'error'");
+  }
+  return spec;
+}
+
+std::uint64_t sta_fingerprint(std::uint64_t design_key_v) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::uint64_t v : {design_key_v, std::uint64_t{0x57a}}) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+// ---- response envelopes --------------------------------------------
+// A response is one line: {"id":"<id>"<tail>}\n. The tail is id-free so
+// batched requests and the result cache can share it verbatim.
+
+std::string ok_tail(const std::string& op, const char* payload_kind,
+                    const std::string& payload, const std::string& extra) {
+  std::ostringstream os;
+  os << ",\"ok\":true,\"op\":\"" << json::escape(op) << '"' << extra
+     << ",\"payload_kind\":\"" << payload_kind << "\",\"payload\":\""
+     << json::escape(payload) << "\"}";
+  return os.str();
+}
+
+std::string error_tail(const std::string& op, const char* code,
+                       const std::string& message) {
+  std::ostringstream os;
+  os << ",\"ok\":false,\"op\":\"" << json::escape(op) << "\",\"code\":\""
+     << code << "\",\"error\":\"" << json::escape(message) << "\"}";
+  return os.str();
+}
+
+bool tail_is_ok(const std::string& tail) {
+  return tail.rfind(",\"ok\":true", 0) == 0;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options, const CellLibrary& library)
+    : options_(std::move(options)),
+      library_(&library),
+      queue_(options_.queue_capacity),
+      sessions_(options_.cache) {
+  CWSP_REQUIRE_MSG(!options_.socket_path.empty(),
+                   "server needs a socket path");
+  if (options_.workers == 0) options_.workers = 1;
+}
+
+Server::~Server() {
+  if (shutdown_pipe_[0] >= 0) ::close(shutdown_pipe_[0]);
+  if (shutdown_pipe_[1] >= 0) ::close(shutdown_pipe_[1]);
+}
+
+void Server::request_shutdown() {
+  if (shutting_down_.exchange(true)) return;
+  if (shutdown_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const auto n = ::write(shutdown_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::run() {
+  CWSP_REQUIRE_MSG(::pipe(shutdown_pipe_) == 0, "cannot create pipe");
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  CWSP_REQUIRE_MSG(listen_fd >= 0, "cannot create unix socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  CWSP_REQUIRE_MSG(options_.socket_path.size() < sizeof(addr.sun_path),
+                   "socket path too long: " << options_.socket_path);
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd);
+    throw Error("cannot bind '" + options_.socket_path +
+                "': " + std::strerror(err));
+  }
+  CWSP_REQUIRE_MSG(::listen(listen_fd, 16) == 0, "listen failed");
+
+  std::vector<std::thread> workers;
+  workers.reserve(options_.workers);
+  for (std::size_t w = 0; w < options_.workers; ++w) {
+    workers.emplace_back([this] { worker_loop(); });
+  }
+
+  accept_loop(listen_fd);
+
+  // ---- teardown ------------------------------------------------------
+  ::close(listen_fd);
+  ::unlink(options_.socket_path.c_str());
+
+  // Workers drain every accepted job before exiting (graceful stop), so
+  // every admitted request gets exactly one response.
+  queue_.shutdown();
+  for (auto& t : workers) t.join();
+  for (const Job& job : queue_.drain()) {
+    respond(job.conn_id, job.id,
+            error_tail(job.op, "shutdown", "server is shutting down"));
+  }
+
+  // Unblock and retire connection readers.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& [id, conn] : connections_) conns.push_back(conn);
+  }
+  for (const auto& conn : conns) {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    // Wakes the blocked reader; the reader itself closes the fd.
+    if (conn->open.exchange(false)) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> readers;
+  {
+    // Join outside the lock: readers take connections_mutex_ on exit.
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    readers.swap(reader_threads_);
+  }
+  for (auto& t : readers) t.join();
+
+  if (!options_.metrics_json_path.empty()) {
+    std::ofstream out(options_.metrics_json_path);
+    out << metrics::Registry::global().to_json() << "\n";
+  }
+}
+
+void Server::accept_loop(int listen_fd) {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {shutdown_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      conn->id = next_conn_id_++;
+      connections_[conn->id] = conn;
+      reader_threads_.emplace_back([this, conn] { reader_loop(conn); });
+    }
+    metrics::Registry::global().counter("service.connections").add();
+  }
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      handle_line(conn, line);
+    }
+  }
+  // Connection is gone: stop queued work addressed to it and retire the
+  // socket. The fd is closed under the write mutex so a worker can never
+  // write into a recycled descriptor.
+  queue_.drop_connection(conn->id);
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    conn->open.store(false);
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  connections_.erase(conn->id);
+}
+
+void Server::handle_line(const std::shared_ptr<Connection>& conn,
+                         const std::string& line) {
+  auto& registry = metrics::Registry::global();
+  registry.counter("service.requests.total").add();
+
+  std::string id;
+  std::string op;
+  try {
+    const json::Value request = json::parse(line);
+    if (!request.is_object()) throw ParseError("request must be an object");
+    id = request.text("id", "");
+    op = request.text("op", "");
+    if (op.empty()) throw ParseError("request needs an 'op' field");
+    registry.counter("service.requests." + op).add();
+
+    // ---- control ops: answered inline, never queued -----------------
+    if (op == "ping") {
+      send_line(conn, "{\"id\":\"" + json::escape(id) + '"' +
+                          ok_tail(op, "text", "pong", "") + "\n");
+      return;
+    }
+    if (op == "metrics") {
+      send_line(conn,
+                "{\"id\":\"" + json::escape(id) + '"' +
+                    ok_tail(op, "json", registry.to_json() + "\n", "") +
+                    "\n");
+      return;
+    }
+    if (op == "shutdown") {
+      send_line(conn, "{\"id\":\"" + json::escape(id) + '"' +
+                          ok_tail(op, "text", "shutting down", "") + "\n");
+      request_shutdown();
+      return;
+    }
+    if (op == "cancel") {
+      handle_cancel(conn, id, request);
+      return;
+    }
+
+    // ---- work ops: admission + enqueue ------------------------------
+    if (op != "campaign" && op != "lint" && op != "sta" &&
+        op != "coverage" && op != "sleep") {
+      throw ParseError("unknown op '" + op + "'");
+    }
+
+    Job job;
+    job.id = id;
+    job.conn_id = conn->id;
+    job.priority = priority_of(request);
+    job.op = op;
+    job.request = request;
+    if (op != "sleep") {
+      resolve_design(request, job, job.design_path);
+      const std::uint64_t dkey = design_key(job.design_name, job.design_text);
+      if (op == "campaign") {
+        job.batch_key =
+            campaign_spec_fingerprint(parse_campaign_spec(request), dkey);
+      } else if (op == "coverage") {
+        job.batch_key =
+            coverage_spec_fingerprint(parse_coverage_spec(request), dkey);
+      } else if (op == "sta") {
+        job.batch_key = sta_fingerprint(dkey);
+      } else {
+        parse_lint_spec(job, job.design_path, request);  // validate only
+      }
+    }
+    if (!queue_.try_push(std::move(job))) {
+      if (shutting_down_.load()) {
+        send_line(conn, "{\"id\":\"" + json::escape(id) + '"' +
+                            error_tail(op, "shutdown",
+                                       "server is shutting down") +
+                            "\n");
+      } else {
+        send_line(conn, "{\"id\":\"" + json::escape(id) + '"' +
+                            error_tail(op, "queue_full",
+                                       "job queue is at capacity; retry "
+                                       "later or lower the request rate") +
+                            "\n");
+      }
+    }
+  } catch (const ParseError& e) {
+    send_line(conn, "{\"id\":\"" + json::escape(id) + '"' +
+                        error_tail(op, "bad_request", e.what()) + "\n");
+  } catch (const std::exception& e) {
+    send_line(conn, "{\"id\":\"" + json::escape(id) + '"' +
+                        error_tail(op, "internal", e.what()) + "\n");
+  }
+}
+
+void Server::handle_cancel(const std::shared_ptr<Connection>& conn,
+                           const std::string& id,
+                           const json::Value& request) {
+  const std::string target = request.text("target", "");
+  if (target.empty()) throw ParseError("cancel needs a 'target' request id");
+
+  if (std::optional<Job> job = queue_.cancel(conn->id, target)) {
+    // The queued job never ran; answer it, then acknowledge.
+    respond(job->conn_id, job->id,
+            error_tail(job->op, "cancelled", "cancelled while queued"));
+    send_line(conn, "{\"id\":\"" + json::escape(id) + '"' +
+                        ok_tail("cancel", "text", "cancelled-queued", "") +
+                        "\n");
+    metrics::Registry::global().counter("service.cancelled.queued").add();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    const auto it = inflight_.find(inflight_key(conn->id, target));
+    if (it != inflight_.end()) {
+      it->second->cancel();
+      send_line(conn,
+                "{\"id\":\"" + json::escape(id) + '"' +
+                    ok_tail("cancel", "text", "cancelling-inflight", "") +
+                    "\n");
+      metrics::Registry::global().counter("service.cancelled.inflight").add();
+      return;
+    }
+  }
+  send_line(conn, "{\"id\":\"" + json::escape(id) + '"' +
+                      error_tail("cancel", "not_found",
+                                 "no queued or in-flight request '" +
+                                     target + "'") +
+                      "\n");
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    std::vector<Job> batch = queue_.pop_batch();
+    if (batch.empty()) return;
+    execute_batch(std::move(batch));
+  }
+}
+
+void Server::execute_batch(std::vector<Job> batch) {
+  auto& registry = metrics::Registry::global();
+  const Job& front = batch.front();
+  Stopwatch watch;
+
+  // Repeat of an already-answered deterministic request? Serve the
+  // memoized envelope.
+  if (front.batch_key != 0) {
+    std::lock_guard<std::mutex> lock(results_mutex_);
+    for (auto it = results_.begin(); it != results_.end(); ++it) {
+      if (it->key == front.batch_key) {
+        results_.splice(results_.begin(), results_, it);
+        registry.counter("service.result_cache.hits").add(batch.size());
+        for (const Job& job : batch) {
+          respond(job.conn_id, job.id, results_.front().envelope_tail);
+        }
+        registry.histogram("service.latency_us." + front.op)
+            .observe_ms(watch.elapsed_ms());
+        return;
+      }
+    }
+    registry.counter("service.result_cache.misses").add();
+  }
+
+  auto token = std::make_shared<sim::CancelToken>();
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    for (const Job& job : batch) {
+      inflight_[inflight_key(job.conn_id, job.id)] = token;
+    }
+  }
+  const std::string tail = execute_job(front, token.get());
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    for (const Job& job : batch) {
+      inflight_.erase(inflight_key(job.conn_id, job.id));
+    }
+  }
+
+  if (front.batch_key != 0 && tail_is_ok(tail)) {
+    std::lock_guard<std::mutex> lock(results_mutex_);
+    results_.push_front(CachedResult{front.batch_key, tail});
+    while (results_.size() > options_.result_cache_entries) {
+      results_.pop_back();
+    }
+  }
+
+  registry.counter(tail_is_ok(tail) ? "service.responses.ok"
+                                    : "service.responses.error")
+      .add(batch.size());
+  for (const Job& job : batch) respond(job.conn_id, job.id, tail);
+  registry.histogram("service.latency_us." + front.op)
+      .observe_ms(watch.elapsed_ms());
+}
+
+std::string Server::execute_job(const Job& job, sim::CancelToken* cancel) {
+  try {
+    if (job.op == "sleep") {
+      // Diagnostic op: occupies a worker for a bounded time so tests can
+      // fill the queue / exercise cancellation deterministically.
+      const double ms = job.request.number("ms", 10.0);
+      Stopwatch watch;
+      while (watch.elapsed_ms() < ms) {
+        if (cancel != nullptr && cancel->cancelled()) {
+          return error_tail(job.op, "cancelled", "cancelled while sleeping");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return ok_tail(job.op, "text", "slept", "");
+    }
+
+    if (job.op == "lint") {
+      const LintSpec spec =
+          parse_lint_spec(job, job.design_path, job.request);
+      const LintOutcome outcome = run_lint(spec, *library_);
+      return ok_tail(job.op, spec.json ? "json" : "text", outcome.output,
+                     outcome.failed ? ",\"failed\":true"
+                                    : ",\"failed\":false");
+    }
+
+    const std::shared_ptr<const DesignSession> session =
+        sessions_.get_or_build(job.design_name, job.design_text, *library_);
+
+    if (job.op == "sta") {
+      return ok_tail(job.op, "text", run_sta_report(*session), "");
+    }
+    if (job.op == "coverage") {
+      const CoverageSpec spec = parse_coverage_spec(job.request);
+      const CoverageOutcome outcome = run_coverage(*session, spec);
+      return ok_tail(job.op, spec.json ? "json" : "text", outcome.output,
+                     outcome.valid ? ",\"valid\":true" : ",\"valid\":false");
+    }
+    // campaign
+    const CampaignSpec spec = parse_campaign_spec(job.request);
+    const CampaignOutcome outcome = run_campaign(*session, spec, cancel);
+    if (cancel != nullptr && cancel->cancelled() &&
+        outcome.status == campaign::CampaignStatus::kInterrupted) {
+      return error_tail(job.op, "cancelled", "campaign cancelled in flight");
+    }
+    return ok_tail(job.op, spec.json ? "json" : "text", outcome.output,
+                   std::string(",\"status\":\"") +
+                       campaign::to_string(outcome.status) + '"');
+  } catch (const sim::CancelledError& e) {
+    return error_tail(job.op, "cancelled", e.what());
+  } catch (const ParseError& e) {
+    return error_tail(job.op, "bad_request", e.what());
+  } catch (const Error& e) {
+    return error_tail(job.op, "error", e.what());
+  } catch (const std::exception& e) {
+    return error_tail(job.op, "internal", e.what());
+  }
+}
+
+void Server::respond(std::uint64_t conn_id, const std::string& id,
+                     const std::string& envelope_tail) {
+  const std::shared_ptr<Connection> conn = find_connection(conn_id);
+  if (conn == nullptr) return;
+  send_line(conn, "{\"id\":\"" + json::escape(id) + '"' + envelope_tail +
+                      "\n");
+}
+
+void Server::send_line(const std::shared_ptr<Connection>& conn,
+                       const std::string& line) {
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (!conn->open.load()) return;
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::send(conn->fd, line.data() + sent,
+                             line.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      conn->open.store(false);
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::shared_ptr<Server::Connection> Server::find_connection(
+    std::uint64_t conn_id) {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  const auto it = connections_.find(conn_id);
+  return it == connections_.end() ? nullptr : it->second;
+}
+
+}  // namespace cwsp::service

@@ -1,0 +1,138 @@
+#pragma once
+// Persistent analysis server: a Unix-domain-socket daemon speaking
+// newline-delimited JSON (docs/service.md has the protocol schema).
+//
+// Architecture (one box per thread kind):
+//
+//   accept loop ──> reader thread per connection ──> JobQueue (bounded,
+//        │             (parse + admission)            prioritized)
+//        │                                               │
+//        │          control ops answered inline          ▼
+//        │          (ping/metrics/cancel/shutdown)   worker pool
+//        │                                               │
+//        └── shutdown pipe                 SessionCache + result cache
+//                                                        │
+//                                            response on the request's
+//                                            connection (id-matched)
+//
+// Work ops (campaign / lint / sta / coverage) run on the worker pool
+// against warm per-design sessions; identical deterministic requests
+// coalesce into one execution (JobQueue::pop_batch) and repeat requests
+// are answered from a bounded result cache — both are sound because
+// reports are byte-identical by contract, and both are observable in the
+// metrics registry rather than in the payload.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "service/job_queue.hpp"
+#include "service/session.hpp"
+#include "sim/cancel.hpp"
+
+namespace cwsp::service {
+
+struct ServerOptions {
+  std::string socket_path;
+  /// Worker threads executing queued jobs (campaign jobs may additionally
+  /// parallelize internally via their own `jobs` field).
+  std::size_t workers = 2;
+  /// Queue bound; a full queue answers `queue_full` (backpressure).
+  std::size_t queue_capacity = 64;
+  SessionCacheOptions cache;
+  /// Bound on memoized responses for repeated deterministic requests.
+  std::size_t result_cache_entries = 64;
+  /// When non-empty, the final metrics registry dump is written here on
+  /// shutdown (the `--metrics-json` flag).
+  std::string metrics_json_path;
+};
+
+class Server {
+ public:
+  /// The library must outlive the server.
+  Server(ServerOptions options, const CellLibrary& library);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and serves until request_shutdown() (or a
+  /// `shutdown` request) — then drains, joins every thread, unlinks the
+  /// socket and writes the metrics dump. Throws cwsp::Error when the
+  /// socket cannot be bound.
+  void run();
+
+  /// Thread-safe asynchronous stop (also wired to SIGINT/SIGTERM by the
+  /// serve subcommand).
+  void request_shutdown();
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return options_.socket_path;
+  }
+
+ private:
+  struct Connection {
+    std::uint64_t id = 0;
+    int fd = -1;
+    std::mutex write_mutex;
+    std::atomic<bool> open{true};
+  };
+
+  struct CachedResult {
+    std::uint64_t key = 0;
+    std::string envelope_tail;  // everything after the "id" field
+  };
+
+  void accept_loop(int listen_fd);
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void worker_loop();
+
+  /// One request line: parse, answer control ops inline, enqueue work
+  /// ops (admission errors answered immediately).
+  void handle_line(const std::shared_ptr<Connection>& conn,
+                   const std::string& line);
+  void handle_cancel(const std::shared_ptr<Connection>& conn,
+                     const std::string& id, const json::Value& request);
+
+  /// Executes the front job of `batch` and answers every member.
+  void execute_batch(std::vector<Job> batch);
+  /// Runs one work op; returns the envelope tail (shared by the batch).
+  [[nodiscard]] std::string execute_job(const Job& job,
+                                        sim::CancelToken* cancel);
+
+  void respond(std::uint64_t conn_id, const std::string& id,
+               const std::string& envelope_tail);
+  void send_line(const std::shared_ptr<Connection>& conn,
+                 const std::string& line);
+
+  [[nodiscard]] std::shared_ptr<Connection> find_connection(
+      std::uint64_t conn_id);
+
+  ServerOptions options_;
+  const CellLibrary* library_;
+  JobQueue queue_;
+  SessionCache sessions_;
+
+  std::mutex connections_mutex_;
+  std::map<std::uint64_t, std::shared_ptr<Connection>> connections_;
+  std::uint64_t next_conn_id_ = 1;
+  std::vector<std::thread> reader_threads_;
+
+  std::mutex inflight_mutex_;
+  std::map<std::string, std::shared_ptr<sim::CancelToken>> inflight_;
+
+  std::mutex results_mutex_;
+  std::list<CachedResult> results_;  // front = most recent
+
+  int shutdown_pipe_[2] = {-1, -1};
+  std::atomic<bool> shutting_down_{false};
+};
+
+}  // namespace cwsp::service

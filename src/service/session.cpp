@@ -1,0 +1,153 @@
+#include "service/session.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/metrics.hpp"
+#include "cwsp/timing.hpp"
+#include "netlist/bench_parser.hpp"
+
+namespace cwsp::service {
+namespace {
+
+void fnv_mix(std::uint64_t& h, const std::string& text) {
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+}
+
+/// Rough per-session footprint: the dominant arrays all scale with net
+/// and gate counts (netlist records, CSR adjacency, arrival windows,
+/// truth tables). The constants are deliberately generous — the bound
+/// exists to stop unbounded growth, not to account bytes exactly.
+std::size_t estimate_bytes(const Netlist& netlist, const std::string& text) {
+  return text.size() + netlist.num_nets() * 256 + netlist.num_gates() * 128 +
+         64 * 1024;
+}
+
+}  // namespace
+
+std::uint64_t design_key(const std::string& name, const std::string& text) {
+  std::uint64_t h = 1469598103934665603ULL;
+  fnv_mix(h, name);
+  h ^= 0xff;
+  h *= 1099511628211ULL;
+  fnv_mix(h, text);
+  return h;
+}
+
+std::string design_name_from_path(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const auto dot = base.find_last_of('.');
+  if (dot != std::string::npos) base = base.substr(0, dot);
+  return base;
+}
+
+std::string read_design_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw ParseError("cannot open bench file " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::shared_ptr<const DesignSession> load_design_session(
+    const std::string& path, const CellLibrary& library) {
+  return DesignSession::build(design_name_from_path(path),
+                              read_design_file(path), library);
+}
+
+std::shared_ptr<const DesignSession> DesignSession::build(
+    const std::string& design_name, const std::string& text,
+    const CellLibrary& library) {
+  auto session = std::make_shared<DesignSession>();
+  session->key = design_key(design_name, text);
+  session->name = design_name;
+  try {
+    session->netlist = std::make_unique<const Netlist>(
+        parse_bench_string(text, library, design_name));
+  } catch (const ParseError&) {
+    throw;
+  } catch (const Error& e) {
+    // Match parse_bench_file: structural problems surface as parse
+    // errors (CLI exit code 2), whatever layer raised them.
+    throw ParseError(e.what());
+  }
+  session->sta = run_sta(*session->netlist);
+  const auto params = core::ProtectionParams::q100();
+  session->period_q100 =
+      std::max(core::hardened_clock_period(session->sta.dmax, library),
+               core::min_clock_period_for_delta(params));
+  session->kernel_context =
+      sim::CompiledKernelContext::build(*session->netlist);
+  session->approx_bytes = estimate_bytes(*session->netlist, text);
+  return session;
+}
+
+SessionCache::SessionCache(const SessionCacheOptions& options)
+    : options_(options) {}
+
+std::shared_ptr<const DesignSession> SessionCache::get_or_build(
+    const std::string& name, const std::string& text,
+    const CellLibrary& library) {
+  auto& registry = metrics::Registry::global();
+  const std::uint64_t key = design_key(name, text);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      if ((*it)->key == key) {
+        lru_.splice(lru_.begin(), lru_, it);
+        registry.counter("service.sessions.hits").add();
+        return lru_.front();
+      }
+    }
+  }
+  registry.counter("service.sessions.misses").add();
+  // Build outside the lock: parsing + STA + kernel context is the
+  // expensive part, and concurrent misses on different designs must not
+  // serialize on each other.
+  std::shared_ptr<const DesignSession> session =
+      DesignSession::build(name, text, library);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    if ((*it)->key == key) {  // lost a build race; keep the first insert
+      lru_.splice(lru_.begin(), lru_, it);
+      return lru_.front();
+    }
+  }
+  lru_.push_front(session);
+  resident_bytes_ += session->approx_bytes;
+  evict_locked();
+  registry.gauge("service.sessions.entries")
+      .set(static_cast<std::int64_t>(lru_.size()));
+  registry.gauge("service.sessions.resident_bytes")
+      .set(static_cast<std::int64_t>(resident_bytes_));
+  return session;
+}
+
+std::size_t SessionCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::size_t SessionCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_;
+}
+
+void SessionCache::evict_locked() {
+  auto& evictions = metrics::Registry::global().counter(
+      "service.sessions.evictions");
+  while (lru_.size() > 1 && (lru_.size() > options_.max_entries ||
+                             resident_bytes_ > options_.max_bytes)) {
+    resident_bytes_ -= lru_.back()->approx_bytes;
+    lru_.pop_back();
+    evictions.add();
+  }
+}
+
+}  // namespace cwsp::service

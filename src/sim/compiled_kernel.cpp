@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/metrics.hpp"
 #include "sta/sta.hpp"
 
 namespace cwsp::sim {
@@ -12,7 +13,15 @@ std::shared_ptr<const CompiledKernelContext> CompiledKernelContext::build(
   context->view = FlatNetlistView::build(netlist);
   context->gate_delay_ps = std::make_shared<const std::vector<double>>(
       run_sta(netlist).gate_delay_ps);
+  metrics::Registry::global().counter("kernel.context_builds").add();
   return context;
+}
+
+CompiledEventSim::~CompiledEventSim() {
+  if (cache_hits_ == 0 && cache_misses_ == 0) return;
+  auto& registry = metrics::Registry::global();
+  registry.counter("kernel.golden_cache_hits").add(cache_hits_);
+  registry.counter("kernel.golden_cache_misses").add(cache_misses_);
 }
 
 CompiledEventSim::CompiledEventSim(const Netlist& netlist)

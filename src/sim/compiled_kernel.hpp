@@ -63,6 +63,9 @@ class CompiledEventSim {
   /// Shares a prebuilt context (the campaign worker path).
   CompiledEventSim(const Netlist& netlist,
                    std::shared_ptr<const CompiledKernelContext> context);
+  /// Flushes this instance's golden-cache hit/miss totals into the global
+  /// metrics registry (kernel.golden_cache_*) — zero hot-path overhead.
+  ~CompiledEventSim();
 
   /// Same contract as EventSim::simulate_cycle, same results to the bit.
   [[nodiscard]] CycleResult simulate_cycle(

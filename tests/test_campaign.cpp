@@ -268,6 +268,85 @@ TEST_F(CampaignTest, JournalReaderSkipsTruncatedFinalLine) {
   fs::remove_all(dir);
 }
 
+TEST_F(CampaignTest, FreshJournalIsCreatedAtomically) {
+  const auto dir = scratch_dir("journal_atomic");
+  const std::string path = (dir / "atomic.journal").string();
+
+  // A previous (resumable) journal with strike lines.
+  {
+    JournalWriter writer(path, 0x1111u, 3, /*append=*/false);
+    StrikeResult r;
+    r.index = 0;
+    writer.append(r);
+  }
+  // Starting a fresh campaign replaces it with a new valid header and
+  // leaves no staging file behind — at no point does `path` hold a
+  // truncated journal.
+  {
+    JournalWriter writer(path, 0x2222u, 7, /*append=*/false);
+  }
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  const Journal journal = read_journal(path);
+  EXPECT_EQ(journal.fingerprint, 0x2222u);
+  EXPECT_EQ(journal.total_strikes, 7u);
+  EXPECT_TRUE(journal.results.empty());
+  fs::remove_all(dir);
+}
+
+TEST_F(CampaignTest, AppendModePreservesExistingJournal) {
+  const auto dir = scratch_dir("journal_append");
+  const std::string path = (dir / "resume.journal").string();
+  {
+    JournalWriter writer(path, 0x3333u, 4, /*append=*/false);
+    StrikeResult r;
+    r.index = 0;
+    writer.append(r);
+  }
+  {
+    // The resume path must append, never restage: the header and prior
+    // strikes survive.
+    JournalWriter writer(path, 0x3333u, 4, /*append=*/true);
+    StrikeResult r;
+    r.index = 1;
+    writer.append(r);
+  }
+  const Journal journal = read_journal(path);
+  EXPECT_EQ(journal.fingerprint, 0x3333u);
+  ASSERT_EQ(journal.results.size(), 2u);
+  EXPECT_EQ(journal.results[0].index, 0u);
+  EXPECT_EQ(journal.results[1].index, 1u);
+  fs::remove_all(dir);
+}
+
+TEST_F(CampaignTest, CancelTokenInterruptsBetweenStrikes) {
+  sim::CancelToken cancel;
+  cancel.cancel();  // cancelled before the first claim
+  EngineOptions opts;
+  opts.cycles_per_run = 10;
+  opts.cancel = &cancel;
+  const CampaignEngine engine(netlist_, params_, period_);
+  const auto result = engine.run(mixed_plan(5), opts);
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_EQ(result.executed, 0u);
+  EXPECT_EQ(campaign_status(result), CampaignStatus::kInterrupted);
+}
+
+TEST_F(CampaignTest, SharedKernelContextMatchesPrivateBuild) {
+  const auto context = sim::CompiledKernelContext::build(netlist_);
+  EngineOptions opts;
+  opts.cycles_per_run = 10;
+  const CampaignEngine private_engine(netlist_, params_, period_);
+  const CampaignEngine shared_engine(netlist_, params_, period_, context);
+  const auto plan = mixed_plan(9);
+  const auto a = private_engine.run(plan, opts);
+  const auto b = shared_engine.run(plan, opts);
+  ASSERT_EQ(a.strikes.size(), b.strikes.size());
+  for (std::size_t i = 0; i < a.strikes.size(); ++i) {
+    EXPECT_EQ(a.strikes[i].status, b.strikes[i].status) << "strike " << i;
+    EXPECT_EQ(a.strikes[i].bubbles, b.strikes[i].bubbles) << "strike " << i;
+  }
+}
+
 TEST_F(CampaignTest, StrikeInputsAreDeterministicPerIndex) {
   const auto a = CampaignEngine::strike_inputs(netlist_, 10, 42, 3);
   const auto b = CampaignEngine::strike_inputs(netlist_, 10, 42, 3);

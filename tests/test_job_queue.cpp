@@ -1,0 +1,129 @@
+// Bounded priority job queue: backpressure, band ordering, batch
+// extraction of coalescible duplicates, cancellation and shutdown
+// draining — the admission-control core of the analysis service.
+
+#include "service/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace cwsp::service {
+namespace {
+
+Job make_job(const std::string& id, int priority = 1,
+             std::uint64_t batch_key = 0, std::uint64_t conn_id = 1) {
+  Job job;
+  job.id = id;
+  job.conn_id = conn_id;
+  job.priority = priority;
+  job.batch_key = batch_key;
+  job.op = "sleep";
+  return job;
+}
+
+TEST(JobQueue, FifoWithinBand) {
+  JobQueue queue(8);
+  ASSERT_TRUE(queue.try_push(make_job("a")));
+  ASSERT_TRUE(queue.try_push(make_job("b")));
+  EXPECT_EQ(queue.pop_batch().front().id, "a");
+  EXPECT_EQ(queue.pop_batch().front().id, "b");
+}
+
+TEST(JobQueue, HighPriorityOvertakesNormalAndLow) {
+  JobQueue queue(8);
+  ASSERT_TRUE(queue.try_push(make_job("low", 2)));
+  ASSERT_TRUE(queue.try_push(make_job("normal", 1)));
+  ASSERT_TRUE(queue.try_push(make_job("high", 0)));
+  EXPECT_EQ(queue.pop_batch().front().id, "high");
+  EXPECT_EQ(queue.pop_batch().front().id, "normal");
+  EXPECT_EQ(queue.pop_batch().front().id, "low");
+}
+
+TEST(JobQueue, RefusesWhenFull) {
+  JobQueue queue(2);
+  EXPECT_TRUE(queue.try_push(make_job("a")));
+  EXPECT_TRUE(queue.try_push(make_job("b")));
+  EXPECT_FALSE(queue.try_push(make_job("c")));  // backpressure
+  (void)queue.pop_batch();
+  EXPECT_TRUE(queue.try_push(make_job("c")));  // slot freed
+}
+
+TEST(JobQueue, BatchesEqualKeysAcrossBands) {
+  JobQueue queue(8);
+  ASSERT_TRUE(queue.try_push(make_job("a", 1, 42)));
+  ASSERT_TRUE(queue.try_push(make_job("other", 1, 7)));
+  ASSERT_TRUE(queue.try_push(make_job("b", 2, 42)));
+  ASSERT_TRUE(queue.try_push(make_job("c", 0, 42)));
+
+  // Front of the highest band is "c"; its duplicates ride along from
+  // every band, front first.
+  const std::vector<Job> batch = queue.pop_batch();
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].id, "c");
+  EXPECT_EQ(batch[1].id, "a");
+  EXPECT_EQ(batch[2].id, "b");
+  EXPECT_EQ(queue.pop_batch().front().id, "other");
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(JobQueue, KeyZeroNeverCoalesces) {
+  JobQueue queue(8);
+  ASSERT_TRUE(queue.try_push(make_job("a", 1, 0)));
+  ASSERT_TRUE(queue.try_push(make_job("b", 1, 0)));
+  EXPECT_EQ(queue.pop_batch().size(), 1u);
+  EXPECT_EQ(queue.pop_batch().size(), 1u);
+}
+
+TEST(JobQueue, CancelRemovesQueuedJob) {
+  JobQueue queue(8);
+  ASSERT_TRUE(queue.try_push(make_job("a", 1, 0, 3)));
+  ASSERT_TRUE(queue.try_push(make_job("b", 1, 0, 3)));
+
+  const auto cancelled = queue.cancel(3, "a");
+  ASSERT_TRUE(cancelled.has_value());
+  EXPECT_EQ(cancelled->id, "a");
+  EXPECT_FALSE(queue.cancel(3, "a").has_value());   // already gone
+  EXPECT_FALSE(queue.cancel(99, "b").has_value());  // wrong connection
+  EXPECT_EQ(queue.pop_batch().front().id, "b");
+}
+
+TEST(JobQueue, DropConnectionDiscardsItsJobs) {
+  JobQueue queue(8);
+  ASSERT_TRUE(queue.try_push(make_job("a", 1, 0, 1)));
+  ASSERT_TRUE(queue.try_push(make_job("b", 1, 0, 2)));
+  ASSERT_TRUE(queue.try_push(make_job("c", 2, 0, 1)));
+  queue.drop_connection(1);
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.pop_batch().front().id, "b");
+}
+
+TEST(JobQueue, ShutdownDrainsThenReleasesWorkers) {
+  JobQueue queue(8);
+  ASSERT_TRUE(queue.try_push(make_job("a")));
+  queue.shutdown();
+  EXPECT_FALSE(queue.try_push(make_job("late")));
+  // Queued work is still handed out after shutdown (graceful drain)...
+  EXPECT_EQ(queue.pop_batch().front().id, "a");
+  // ...and only an empty queue returns the sentinel that stops workers.
+  EXPECT_TRUE(queue.pop_batch().empty());
+}
+
+TEST(JobQueue, PopBlocksUntilPush) {
+  JobQueue queue(8);
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    const auto batch = queue.pop_batch();
+    got.store(!batch.empty() && batch.front().id == "x");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  ASSERT_TRUE(queue.try_push(make_job("x")));
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+}  // namespace
+}  // namespace cwsp::service

@@ -1,0 +1,115 @@
+// Thread-safety of the compiled kernel's shared state: many workers
+// share one immutable CompiledKernelContext (whose FlatNetlistView
+// memoizes fanout cones lazily, under a mutex) while each owns a private
+// CompiledEventSim with its own golden cache. Concurrent strike
+// simulation across every net must (a) not race — this test runs in the
+// ASan/UBSan CI jobs — and (b) produce results identical to a
+// single-threaded reference, per the determinism contract.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "netlist_fuzz.hpp"
+#include "set/strike_plan.hpp"
+#include "sim/compiled_kernel.hpp"
+
+namespace cwsp {
+namespace {
+
+std::vector<bool> bits_for(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<bool> bits(n);
+  for (std::size_t i = 0; i < n; ++i) bits[i] = rng.next_bool();
+  return bits;
+}
+
+set::Strike strike_for(NetId net, std::uint64_t seed) {
+  Rng rng(seed);
+  set::Strike strike;
+  strike.node = net;
+  strike.start = Picoseconds(rng.next_double_in(0.0, 1200.0));
+  strike.width = Picoseconds(rng.next_double_in(50.0, 600.0));
+  return strike;
+}
+
+TEST(KernelThreads, ConcurrentWorkersMatchSingleThreadedReference) {
+  const CellLibrary lib = make_default_library();
+  const auto netlist = testing::make_random_netlist(lib, 0xc0ffee);
+  const auto context = sim::CompiledKernelContext::build(netlist);
+  const Picoseconds capture(1400.0);
+
+  // Reference results, computed sequentially on a private simulator.
+  const sim::CompiledEventSim reference(netlist);
+  std::vector<sim::CycleResult> expected;
+  expected.reserve(netlist.num_nets());
+  for (std::size_t n = 0; n < netlist.num_nets(); ++n) {
+    expected.push_back(reference.simulate_cycle(
+        bits_for(netlist.primary_inputs().size(), n),
+        bits_for(netlist.num_flip_flops(), ~n), capture,
+        strike_for(NetId{n}, n * 7919)));
+  }
+
+  // Workers share the context and race over cone memoization: each
+  // starts at a different net so first-touch of every cone is contended.
+  constexpr std::size_t kWorkers = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      const sim::CompiledEventSim compiled(netlist, context);
+      for (std::size_t step = 0; step < netlist.num_nets(); ++step) {
+        const std::size_t n = (w * 13 + step) % netlist.num_nets();
+        const auto result = compiled.simulate_cycle(
+            bits_for(netlist.primary_inputs().size(), n),
+            bits_for(netlist.num_flip_flops(), ~n), capture,
+            strike_for(NetId{n}, n * 7919));
+        if (result.latched_d != expected[n].latched_d ||
+            result.golden_d != expected[n].golden_d ||
+            result.struck_po != expected[n].struck_po ||
+            result.aperture_violation != expected[n].aperture_violation) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(KernelThreads, GoldenCacheIsPrivatePerSimulator) {
+  const CellLibrary lib = make_default_library();
+  const auto netlist = testing::make_random_netlist(lib, 0xfeed);
+  const auto context = sim::CompiledKernelContext::build(netlist);
+
+  // Concurrent golden evaluation with per-thread caches: hammering the
+  // same stimuli from many threads must not cross-pollinate cache state.
+  constexpr std::size_t kWorkers = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&] {
+      const sim::CompiledEventSim compiled(netlist, context);
+      for (int round = 0; round < 64; ++round) {
+        const auto pis =
+            bits_for(netlist.primary_inputs().size(), round % 4);
+        const auto ffs = bits_for(netlist.num_flip_flops(), round % 4);
+        (void)compiled.golden_eval(pis, ffs);
+      }
+      // 4 distinct stimuli, 64 lookups: the private cache must have
+      // misses exactly on first sight and hits everywhere else.
+      if (compiled.golden_cache_misses() != 4 ||
+          compiled.golden_cache_hits() != 60) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace cwsp

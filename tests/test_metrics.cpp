@@ -1,0 +1,103 @@
+// Metrics registry: lock-free instruments with stable references, log2
+// latency histograms, and a deterministic JSON dump. The registry feeds
+// the analysis service's `metrics` request and `--metrics-json` shutdown
+// dump, so the JSON shape is part of the protocol (docs/service.md).
+
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace cwsp::metrics {
+namespace {
+
+TEST(Metrics, CounterAddsAndReads) {
+  Registry registry;
+  Counter& c = registry.counter("requests");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // find-or-create returns the same instrument.
+  EXPECT_EQ(&registry.counter("requests"), &c);
+  EXPECT_NE(&registry.counter("other"), &c);
+}
+
+TEST(Metrics, GaugeSetsAndAdjusts) {
+  Registry registry;
+  Gauge& g = registry.gauge("depth");
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(-9);
+  EXPECT_EQ(g.value(), -2);
+}
+
+TEST(Metrics, HistogramAggregates) {
+  Registry registry;
+  Histogram& h = registry.histogram("latency");
+  EXPECT_EQ(h.quantile_us(0.5), 0u);  // empty
+
+  h.observe_us(1);
+  h.observe_us(100);
+  h.observe_us(10000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum_us(), 10101u);
+  EXPECT_EQ(h.max_us(), 10000u);
+  // Bucket-edge estimates: quantiles are monotone and bracket the data.
+  EXPECT_GE(h.quantile_us(0.99), h.quantile_us(0.5));
+  EXPECT_GE(h.quantile_us(0.5), 100u);
+  EXPECT_LE(h.quantile_us(0.99), 2u * 10000u);
+}
+
+TEST(Metrics, HistogramObserveMsConvertsAndClamps) {
+  Registry registry;
+  Histogram& h = registry.histogram("latency");
+  h.observe_ms(1.5);
+  h.observe_ms(-3.0);  // negative wall-clock never underflows
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.sum_us(), 1500u);
+}
+
+TEST(Metrics, CountersAreThreadSafe) {
+  Registry registry;
+  Counter& c = registry.counter("hits");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 80000u);
+}
+
+TEST(Metrics, JsonIsDeterministicAndSorted) {
+  Registry a;
+  a.counter("zeta").add(1);
+  a.counter("alpha").add(2);
+  a.gauge("depth").set(3);
+  a.histogram("lat").observe_us(10);
+
+  Registry b;
+  b.histogram("lat").observe_us(10);
+  b.gauge("depth").set(3);
+  b.counter("alpha").add(2);
+  b.counter("zeta").add(1);
+
+  // Same instruments in any registration order -> identical document.
+  EXPECT_EQ(a.to_json(), b.to_json());
+  const std::string json = a.to_json();
+  EXPECT_NE(json.find("\"schema\": \"cwsp-metrics-v1\""), std::string::npos);
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+  EXPECT_NE(json.find("\"p50_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\""), std::string::npos);
+}
+
+TEST(Metrics, GlobalRegistryIsAProcessSingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace cwsp::metrics

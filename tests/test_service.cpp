@@ -1,0 +1,224 @@
+// End-to-end tests of the analysis server over a real Unix socket:
+// protocol envelope, CLI/service byte-identity, backpressure, request
+// coalescing + result caching, cancellation, and the shutdown metrics
+// dump (docs/service.md).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "cell/library.hpp"
+#include "common/metrics.hpp"
+#include "service/client.hpp"
+#include "service/handlers.hpp"
+#include "service/json.hpp"
+#include "service/server.hpp"
+#include "service/session.hpp"
+
+namespace cwsp::service {
+namespace {
+
+constexpr char kDesign[] =
+    "INPUT(a)\nINPUT(b)\nOUTPUT(q)\n"
+    "t1 = NAND(a, b)\nt2 = XOR(t1, q)\nq = DFF(t2)\n";
+
+std::string json_design_field() {
+  return "\"design\":\"" + json::escape(kDesign) +
+         "\",\"design_name\":\"demo\"";
+}
+
+/// Runs a server on a fresh socket in a temp dir for the test's lifetime.
+class ServiceTest : public ::testing::Test {
+ protected:
+  void start(std::size_t workers, std::size_t queue_capacity) {
+    char tmpl[] = "/tmp/cwsp_svc_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    ServerOptions options;
+    options.socket_path = dir_ + "/s";
+    options.workers = workers;
+    options.queue_capacity = queue_capacity;
+    options.metrics_json_path = dir_ + "/metrics.json";
+    server_ = std::make_unique<Server>(std::move(options), lib_);
+    thread_ = std::thread([this] { server_->run(); });
+    // The listener binds asynchronously; wait until it accepts.
+    for (int i = 0; i < 200; ++i) {
+      try {
+        Client probe(server_->socket_path());
+        return;
+      } catch (const Error&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+    FAIL() << "server never came up";
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->request_shutdown();
+      thread_.join();
+    }
+  }
+
+  /// One-request round trip on a fresh connection.
+  json::Value call(const std::string& line) {
+    Client client(server_->socket_path());
+    client.send_line(line);
+    std::string response;
+    EXPECT_TRUE(client.read_line(response));
+    return json::parse(response);
+  }
+
+  CellLibrary lib_ = make_default_library();
+  std::string dir_;
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+};
+
+TEST_F(ServiceTest, PingEchoesIdAndPong) {
+  start(1, 8);
+  const auto response = call(R"({"id":"p1","op":"ping"})");
+  EXPECT_EQ(response.text("id", ""), "p1");
+  EXPECT_TRUE(response.boolean("ok", false));
+  EXPECT_EQ(response.text("payload", ""), "pong");
+}
+
+TEST_F(ServiceTest, MalformedAndUnknownRequestsAreBadRequests) {
+  start(1, 8);
+  EXPECT_EQ(call("{not json").text("code", ""), "bad_request");
+  EXPECT_EQ(call(R"({"id":"x","op":"frobnicate"})").text("code", ""),
+            "bad_request");
+  EXPECT_EQ(call(R"({"id":"x","op":"campaign"})").text("code", ""),
+            "bad_request");  // no design
+  // One-shot-only fields are rejected, not silently ignored.
+  EXPECT_EQ(call(R"({"op":"campaign",)" + json_design_field() +
+                 R"(,"journal":"/tmp/j"})")
+                .text("code", ""),
+            "bad_request");
+}
+
+TEST_F(ServiceTest, CampaignPayloadIsByteIdenticalToDirectExecution) {
+  start(2, 8);
+  const auto response =
+      call(R"({"id":"c","op":"campaign","runs":6,"seed":3,)" +
+           json_design_field() + "}");
+  ASSERT_TRUE(response.boolean("ok", false)) << response.text("error", "");
+
+  const auto session = DesignSession::build("demo", kDesign, lib_);
+  CampaignSpec spec;
+  spec.runs = 6;
+  spec.seed = 3;
+  const CampaignOutcome direct = run_campaign(*session, spec);
+  EXPECT_EQ(response.text("payload", ""), direct.output);
+  EXPECT_EQ(response.text("status", ""),
+            campaign::to_string(direct.status));
+}
+
+TEST_F(ServiceTest, StaLintCoverageMatchDirectExecution) {
+  start(2, 8);
+  const auto session = DesignSession::build("demo", kDesign, lib_);
+
+  const auto sta = call(R"({"op":"sta",)" + json_design_field() + "}");
+  EXPECT_EQ(sta.text("payload", ""), run_sta_report(*session));
+
+  LintSpec lint_spec;
+  lint_spec.text = kDesign;
+  lint_spec.name = "demo";
+  const auto lint = call(R"({"op":"lint",)" + json_design_field() + "}");
+  EXPECT_EQ(lint.text("payload", ""), run_lint(lint_spec, lib_).output);
+
+  CoverageSpec coverage_spec;
+  coverage_spec.runs = 5;
+  const auto coverage = call(R"({"op":"coverage","runs":5,)" +
+                             json_design_field() + "}");
+  EXPECT_EQ(coverage.text("payload", ""),
+            run_coverage(*session, coverage_spec).output);
+}
+
+TEST_F(ServiceTest, RepeatRequestsHitTheResultCache) {
+  start(1, 8);
+  const std::string request =
+      R"({"op":"campaign","runs":4,)" + json_design_field() + "}";
+  const auto first = call(request);
+  const std::uint64_t hits_before =
+      metrics::Registry::global().counter("service.result_cache.hits").value();
+  const auto second = call(request);
+  EXPECT_EQ(first.text("payload", ""), second.text("payload", ""));
+  EXPECT_GT(
+      metrics::Registry::global().counter("service.result_cache.hits").value(),
+      hits_before);
+}
+
+TEST_F(ServiceTest, FullQueueAnswersQueueFullAndQueuedJobsCancel) {
+  start(1, 1);  // one worker, one queue slot
+  Client client(server_->socket_path());
+  // j1 occupies the worker; j2 takes the single queue slot.
+  client.send_line(R"({"id":"j1","op":"sleep","ms":400})");
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  client.send_line(R"({"id":"j2","op":"sleep","ms":400})");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // j3 finds the queue full -> immediate backpressure answer.
+  client.send_line(R"({"id":"j3","op":"sleep","ms":1})");
+  std::string line;
+  ASSERT_TRUE(client.read_line(line));
+  auto response = json::parse(line);
+  EXPECT_EQ(response.text("id", ""), "j3");
+  EXPECT_EQ(response.text("code", ""), "queue_full");
+
+  // Cancel queued j2: its own response reports `cancelled`, and the
+  // canceller is acknowledged.
+  client.send_line(R"({"id":"k1","op":"cancel","target":"j2"})");
+  // Cancel in-flight j1: the worker aborts the sleep cooperatively.
+  client.send_line(R"({"id":"k2","op":"cancel","target":"j1"})");
+  // Cancelling something unknown is an error, not a hang.
+  client.send_line(R"({"id":"k3","op":"cancel","target":"nope"})");
+
+  std::map<std::string, json::Value> responses;
+  while (responses.size() < 5 && client.read_line(line)) {
+    auto r = json::parse(line);
+    responses.emplace(r.text("id", ""), std::move(r));
+  }
+  ASSERT_EQ(responses.size(), 5u);
+  EXPECT_EQ(responses.at("j2").text("code", ""), "cancelled");
+  EXPECT_EQ(responses.at("j1").text("code", ""), "cancelled");
+  EXPECT_TRUE(responses.at("k1").boolean("ok", false));
+  EXPECT_TRUE(responses.at("k2").boolean("ok", false));
+  EXPECT_EQ(responses.at("k3").text("code", ""), "not_found");
+}
+
+TEST_F(ServiceTest, MetricsRequestAndShutdownDumpShareTheDocument) {
+  start(1, 8);
+  (void)call(R"({"op":"ping"})");
+  const auto metrics = call(R"({"op":"metrics"})");
+  ASSERT_TRUE(metrics.boolean("ok", false));
+  const json::Value document = json::parse(metrics.text("payload", "{}"));
+  EXPECT_EQ(document.text("schema", ""), "cwsp-metrics-v1");
+
+  const std::string dump_path = dir_ + "/metrics.json";
+  server_->request_shutdown();
+  thread_.join();
+  server_.reset();
+
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const json::Value dumped = json::parse(buffer.str());
+  EXPECT_EQ(dumped.text("schema", ""), "cwsp-metrics-v1");
+}
+
+TEST_F(ServiceTest, ShutdownRequestStopsTheServer) {
+  start(2, 8);
+  const auto response = call(R"({"id":"s","op":"shutdown"})");
+  EXPECT_TRUE(response.boolean("ok", false));
+  thread_.join();
+  server_.reset();
+  EXPECT_THROW(Client{dir_ + "/s"}, Error);
+}
+
+}  // namespace
+}  // namespace cwsp::service

@@ -1,0 +1,118 @@
+// Design sessions and the LRU session cache: warm per-design state
+// (netlist + STA + compiled-kernel context) shared across service
+// requests, bounded by entry count and resident bytes.
+
+#include "service/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cell/library.hpp"
+#include "common/error.hpp"
+
+namespace cwsp::service {
+namespace {
+
+constexpr char kDesignA[] =
+    "INPUT(a)\nINPUT(b)\nOUTPUT(q)\n"
+    "t1 = NAND(a, b)\nt2 = XOR(t1, q)\nq = DFF(t2)\n";
+constexpr char kDesignB[] =
+    "INPUT(a)\nOUTPUT(q)\n"
+    "t1 = NOT(a)\nq = DFF(t1)\n";
+constexpr char kDesignC[] =
+    "INPUT(a)\nINPUT(b)\nOUTPUT(q)\n"
+    "t1 = OR(a, b)\nq = DFF(t1)\n";
+
+class SessionCacheTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+};
+
+TEST_F(SessionCacheTest, DesignKeyCoversNameAndText) {
+  EXPECT_EQ(design_key("d", kDesignA), design_key("d", kDesignA));
+  EXPECT_NE(design_key("d", kDesignA), design_key("d", kDesignB));
+  EXPECT_NE(design_key("d", kDesignA), design_key("e", kDesignA));
+}
+
+TEST_F(SessionCacheTest, DesignNameFromPathMatchesCliDerivation) {
+  EXPECT_EQ(design_name_from_path("/a/b/c10.bench"), "c10");
+  EXPECT_EQ(design_name_from_path("x.blif"), "x");
+  EXPECT_EQ(design_name_from_path("noext"), "noext");
+  EXPECT_EQ(design_name_from_path("dir.d/leaf.bench"), "leaf");
+}
+
+TEST_F(SessionCacheTest, BuildProducesWarmArtifacts) {
+  const auto session = DesignSession::build("demo", kDesignA, lib_);
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(session->name, "demo");
+  ASSERT_NE(session->netlist, nullptr);
+  EXPECT_EQ(session->netlist->num_flip_flops(), 1u);
+  EXPECT_GT(session->sta.dmax.value(), 0.0);
+  EXPECT_GT(session->period_q100.value(), 0.0);
+  ASSERT_NE(session->kernel_context, nullptr);
+  EXPECT_GT(session->approx_bytes, 0u);
+}
+
+TEST_F(SessionCacheTest, BuildRejectsMalformedDesigns) {
+  EXPECT_THROW(
+      (void)DesignSession::build("bad", "INPUT(a)\nq = AND(a, ghost)\n",
+                                 lib_),
+      ParseError);
+}
+
+TEST_F(SessionCacheTest, ReadDesignFileThrowsLikeTheParser) {
+  EXPECT_THROW((void)read_design_file("/nonexistent/x.bench"), ParseError);
+}
+
+TEST_F(SessionCacheTest, CacheHitsReturnTheSameSession) {
+  SessionCache cache;
+  const auto first = cache.get_or_build("a", kDesignA, lib_);
+  const auto second = cache.get_or_build("a", kDesignA, lib_);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.entries(), 1u);
+
+  const auto other = cache.get_or_build("b", kDesignB, lib_);
+  EXPECT_NE(other.get(), first.get());
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST_F(SessionCacheTest, EvictsLeastRecentlyUsedByEntryBound) {
+  SessionCacheOptions options;
+  options.max_entries = 2;
+  SessionCache cache(options);
+  const auto a = cache.get_or_build("a", kDesignA, lib_);
+  (void)cache.get_or_build("b", kDesignB, lib_);
+  (void)cache.get_or_build("a", kDesignA, lib_);  // refresh a
+  (void)cache.get_or_build("c", kDesignC, lib_);  // evicts b
+  EXPECT_EQ(cache.entries(), 2u);
+  // "a" survived (refreshed); rebuilding it is still a hit.
+  EXPECT_EQ(cache.get_or_build("a", kDesignA, lib_).get(), a.get());
+  // "b" was evicted: a rebuild produces a fresh session.
+  const auto b2 = cache.get_or_build("b", kDesignB, lib_);
+  ASSERT_NE(b2, nullptr);
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST_F(SessionCacheTest, MemoryBoundAlwaysKeepsTheMostRecentSession) {
+  SessionCacheOptions options;
+  options.max_bytes = 1;  // everything oversized
+  SessionCache cache(options);
+  (void)cache.get_or_build("a", kDesignA, lib_);
+  EXPECT_EQ(cache.entries(), 1u);  // most recent survives the bound
+  const auto b = cache.get_or_build("b", kDesignB, lib_);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.get_or_build("b", kDesignB, lib_).get(), b.get());
+}
+
+TEST_F(SessionCacheTest, EvictedSessionsStayUsable) {
+  SessionCacheOptions options;
+  options.max_entries = 1;
+  SessionCache cache(options);
+  const auto a = cache.get_or_build("a", kDesignA, lib_);
+  (void)cache.get_or_build("b", kDesignB, lib_);  // evicts a
+  // The shared_ptr keeps the evicted session alive for in-flight work.
+  EXPECT_EQ(a->netlist->num_flip_flops(), 1u);
+  EXPECT_NE(a->kernel_context, nullptr);
+}
+
+}  // namespace
+}  // namespace cwsp::service

@@ -1,57 +1,21 @@
 // cwsp_tool — command-line front end to the library.
 //
-//   cwsp_tool sta <design.bench>               static timing report
-//   cwsp_tool harden <design.bench> [options]  hardening report
-//       --q150            use the Q=150 fC envelope (default Q=100 fC)
-//       --delta <ps>      custom glitch width (Table-3 mode)
-//       --skew <ps>       clock skew derating
-//       --areas           itemised protection-area breakdown
-//   cwsp_tool lint <design.bench> [options]    design-rule check
-//       --hardened        also check the protection invariants: Eq. 5
-//                         envelope, CLK_DEL fit, EQGLB-tree bounds, and
-//                         (for sequential designs) the elaborated
-//                         hardened system's per-FF structure
-//       --json            machine-readable report (docs/lint.md schema)
-//       --fallback-cells <a,b,...>  cells with calibrated-fallback delay
-//                         arcs (from `characterize --json`); enables the
-//                         timing-fallback-arc rule
-//       --fail-on <warn|error>  exit-1 threshold (default error)
-//       --q150 / --delta <ps> / --skew <ps> / --period <ps>
-//                         protection configuration under --hardened
-//   cwsp_tool campaign <design.bench> [options] fault-injection campaign
-//       --runs <n> --cycles <n> --width <ps> --seed <n>
-//       --jobs <n>        worker threads (reports are identical for any n)
-//       --timeout-ms <v>  per-strike wall-clock budget (hang → inconclusive)
-//       --journal <path>  checkpoint file, one line per finished strike
-//       --resume <path>   resume an interrupted campaign from its journal
-//       --adversarial     add protection-path / clock-edge / out-of-envelope
-//                         strike classes to the plan
-//       --minimize        shrink escapes to minimal repros
-//       --artifacts <dir> write repro .bench + .strike files there
-//       --shard <i>/<n>   run only shard i (1-based) of an n-way split
-//       --stop-after <n>  stop after n fresh strikes (exit 3; for testing
-//                         interruption/resume)
-//       --json            machine-readable report (docs/campaign.md schema)
-//   cwsp_tool replay <repro.strike>            replay a minimized escape
-//   cwsp_tool glitch [--q <fC>] [--json]       struck-inverter waveform
-//       --json            waveform summary + solver diagnostics
-//                         (docs/minispice.md schema)
-//   cwsp_tool characterize [options]           electrical cell characterization
-//       --json            machine-readable report with per-arc provenance
-//       --load <fF>       output load (default 2 fF)
-//       --max-newton <n>  Newton iteration budget (small values provoke
-//                         calibrated-fallback arcs — for testing the
-//                         degradation path)
-//       --no-cwsp         skip the CWSP element arcs
-//   cwsp_tool elaborate <n_ffs> [--dot]        checker netlist (.bench/.dot)
-//   cwsp_tool ser <design.bench> [--fail <frac>] soft-error-rate estimate
-//   cwsp_tool suite <table1|table2|table3>     reproduce a paper table row set
+// Run `cwsp_tool help` for the subcommand list and `cwsp_tool help <cmd>`
+// for per-command options; both are generated from the kSubcommands table
+// below, which is the single registry of (name, one-line help, option
+// help, handler).
+//
+// `sta`, `lint`, `campaign` and `coverage` execute through the same
+// src/service handlers the resident analysis server uses, so one-shot
+// stdout and a service response payload are byte-identical by
+// construction (docs/service.md).
 //
 // Exit codes: 0 success, 1 findings (lint failures, campaign escapes,
 // failed replay), 2 usage/parse errors, 3 solver failures (also: campaign
 // interrupted via --stop-after), 4 internal errors. Errors print to
 // stderr, never stdout.
 
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -66,7 +30,6 @@
 #include "cwsp/area_report.hpp"
 #include "cwsp/coverage.hpp"
 #include "cwsp/elaborate.hpp"
-#include "cwsp/elaborate_system.hpp"
 #include "cwsp/harden.hpp"
 #include "cwsp/timing.hpp"
 #include "lint/lint.hpp"
@@ -75,6 +38,11 @@
 #include "netlist/transform.hpp"
 #include "netlist/verilog_writer.hpp"
 #include "netlist/writer.hpp"
+#include "service/client.hpp"
+#include "service/handlers.hpp"
+#include "service/json.hpp"
+#include "service/server.hpp"
+#include "service/session.hpp"
 #include "set/ser.hpp"
 #include "spice/subckt.hpp"
 #include "sta/sta.hpp"
@@ -84,10 +52,27 @@ namespace {
 using namespace cwsp;
 using Args = cwsp::CliArgs;
 
+struct Subcommand {
+  const char* name;
+  /// One positional-arguments hint for the usage line, e.g. "<design.bench>".
+  const char* operands;
+  /// One-line summary shown in the generated usage listing.
+  const char* brief;
+  /// Option details shown by `cwsp_tool help <name>` (may be empty).
+  const char* options;
+  int (*handler)(const Args&, const CellLibrary&);
+};
+
+const std::vector<Subcommand>& subcommands();
+
 int usage() {
-  std::cerr << "usage: cwsp_tool <sta|harden|lint|campaign|replay|glitch|"
-               "elaborate|ser|verilog|optimize|stats> ...\n"
-               "see the header of tools/cwsp_tool.cpp for option details\n";
+  std::cerr << "usage: cwsp_tool <subcommand> [options]\n\nsubcommands:\n";
+  for (const Subcommand& cmd : subcommands()) {
+    std::cerr << "  " << cmd.name;
+    if (cmd.operands[0] != '\0') std::cerr << ' ' << cmd.operands;
+    std::cerr << "\n      " << cmd.brief << '\n';
+  }
+  std::cerr << "\nrun `cwsp_tool help <subcommand>` for options\n";
   return 2;
 }
 
@@ -102,16 +87,20 @@ core::ProtectionParams params_from(const Args& args) {
 
 int cmd_lint(const Args& args, const CellLibrary& lib) {
   if (args.positional.empty()) return usage();
-  const std::string& path = args.positional[0];
 
-  lint::LintOptions options;
-  if (args.has("hardened")) {
-    options.params = params_from(args);
-    options.clock_skew = Picoseconds(args.number("skew", 0.0));
-    if (args.has("period")) {
-      options.clock_period = Picoseconds(args.number("period", 0.0));
-    }
+  const std::string fail_on = args.text("fail-on", "error");
+  if (fail_on != "error" && fail_on != "warn") {
+    std::cerr << "lint: --fail-on expects 'warn' or 'error'\n";
+    return 2;
   }
+
+  service::LintSpec spec;
+  spec.path = args.positional[0];
+  spec.hardened = args.has("hardened");
+  spec.q150 = args.has("q150");
+  if (args.has("delta")) spec.delta_ps = args.number("delta", 500.0);
+  spec.skew_ps = args.number("skew", 0.0);
+  if (args.has("period")) spec.period_ps = args.number("period", 0.0);
   if (args.has("fallback-cells")) {
     // Comma-separated cell names whose characterization fell back to the
     // calibrated model (from `characterize --json`).
@@ -121,70 +110,24 @@ int cmd_lint(const Args& args, const CellLibrary& lib) {
       const std::size_t comma = list.find(',', pos);
       const std::string cell = list.substr(
           pos, comma == std::string::npos ? std::string::npos : comma - pos);
-      if (!cell.empty()) options.fallback_cells.push_back(cell);
+      if (!cell.empty()) spec.fallback_cells.push_back(cell);
       if (comma == std::string::npos) break;
       pos = comma + 1;
     }
   }
+  spec.json = args.has("json");
+  spec.fail_threshold = fail_on == "warn" ? lint::Severity::kWarning
+                                          : lint::Severity::kError;
 
-  lint::LintReport report;
-  std::vector<BenchParseIssue> issues;
-  BenchParseOptions parse_options;
-  parse_options.lenient = true;
-  parse_options.issues = &issues;
-  try {
-    const Netlist netlist = parse_bench_file(path, lib, parse_options);
-    if (options.params.has_value()) {
-      const int protected_ffs = core::protected_ff_count(netlist);
-      if (protected_ffs >= 1) {
-        options.tree = core::build_eqglb_tree(protected_ffs);
-      }
-    }
-    report = lint::run_lint(netlist, options);
-    lint::add_parse_issue_diagnostics(issues, report);
-
-    // Under --hardened, additionally elaborate the full protected system
-    // and check its per-FF protection structure (self-check of the
-    // hardening transform's output).
-    if (args.has("hardened") && netlist.num_flip_flops() > 0 &&
-        !report.fails_at(lint::Severity::kError)) {
-      const auto system = core::elaborate_hardened_system(netlist);
-      lint::LintOptions system_options;
-      system_options.hardened_structure = true;
-      report.merge(lint::run_lint(system.netlist, system_options));
-    }
-  } catch (const Error& e) {
-    report.design = path;
-    lint::Diagnostic d;
-    d.rule_id = "parse-error";
-    d.severity = lint::Severity::kError;
-    d.message = e.what();
-    report.add(std::move(d));
-  }
-
-  std::cout << (args.has("json") ? lint::format_json(report)
-                                 : lint::format_text(report));
-
-  const std::string fail_on = args.text("fail-on", "error");
-  if (fail_on != "error" && fail_on != "warn") {
-    std::cerr << "lint: --fail-on expects 'warn' or 'error'\n";
-    return 2;
-  }
-  const lint::Severity threshold = fail_on == "warn"
-                                       ? lint::Severity::kWarning
-                                       : lint::Severity::kError;
-  return report.fails_at(threshold) ? 1 : 0;
+  const service::LintOutcome outcome = service::run_lint(spec, lib);
+  std::cout << outcome.output;
+  return outcome.failed ? 1 : 0;
 }
 
 int cmd_sta(const Args& args, const CellLibrary& lib) {
   if (args.positional.empty()) return usage();
-  const auto netlist = parse_bench_file(args.positional[0], lib);
-  const auto result = run_sta(netlist);
-  std::cout << timing_report(netlist, result);
-  const auto stats = netlist.stats();
-  std::cout << "gates " << stats.num_gates << ", flip-flops "
-            << stats.num_flip_flops << ", area "
-            << stats.total_area.value() << " um^2\n";
+  const auto session = service::load_design_session(args.positional[0], lib);
+  std::cout << service::run_sta_report(*session);
   return 0;
 }
 
@@ -211,75 +154,49 @@ int cmd_harden(const Args& args, const CellLibrary& lib) {
 
 int cmd_campaign(const Args& args, const CellLibrary& lib) {
   if (args.positional.empty()) return usage();
-  const auto netlist = parse_bench_file(args.positional[0], lib);
-  if (netlist.num_flip_flops() == 0) {
+  const auto session = service::load_design_session(args.positional[0], lib);
+  if (session->netlist->num_flip_flops() == 0) {
     std::cerr << "campaign requires a sequential design\n";
     return 1;
   }
-  const auto params = core::ProtectionParams::q100();
-  const auto sta = run_sta(netlist);
-  const Picoseconds period =
-      std::max(core::hardened_clock_period(sta.dmax, lib),
-               core::min_clock_period_for_delta(params));
 
-  const auto runs = static_cast<std::size_t>(args.number("runs", 50));
-  set::StrikePlanOptions plan_options;
-  plan_options.functional_strikes = runs;
-  plan_options.cycles_per_run =
-      static_cast<std::size_t>(args.number("cycles", 16));
-  plan_options.glitch_width = Picoseconds(args.number("width", 400.0));
-  plan_options.clock_period = period;
-  if (args.has("adversarial")) {
-    const std::size_t extra = std::max<std::size_t>(1, runs / 4);
-    plan_options.protection_path_strikes = extra;
-    plan_options.clock_edge_strikes = extra;
-    plan_options.out_of_envelope_strikes = extra;
-    plan_options.out_of_envelope_width =
-        params.delta + Picoseconds(400.0);
-  }
-
-  campaign::EngineOptions engine_options;
-  engine_options.seed = static_cast<std::uint64_t>(args.number("seed", 1));
-  engine_options.cycles_per_run = plan_options.cycles_per_run;
-  engine_options.jobs =
+  service::CampaignSpec spec;
+  spec.runs = static_cast<std::size_t>(args.number("runs", 50));
+  spec.cycles = static_cast<std::size_t>(args.number("cycles", 16));
+  spec.width_ps = args.number("width", 400.0);
+  spec.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  spec.jobs =
       std::max<std::size_t>(1, static_cast<std::size_t>(
                                    args.number("jobs", 1)));
-  engine_options.timeout_ms = args.number("timeout-ms", 0.0);
-  engine_options.journal_path = args.text("journal", "");
+  spec.timeout_ms = args.number("timeout-ms", 0.0);
+  spec.adversarial = args.has("adversarial");
+  spec.json = args.has("json");
+  spec.journal_path = args.text("journal", "");
   if (args.has("resume")) {
-    engine_options.journal_path = args.text("resume", "");
-    engine_options.resume = true;
+    spec.journal_path = args.text("resume", "");
+    spec.resume = true;
   }
-  engine_options.minimize_escapes = args.has("minimize");
-  engine_options.artifact_dir = args.text("artifacts", "");
-  engine_options.stop_after =
+  spec.minimize_escapes = args.has("minimize");
+  spec.artifact_dir = args.text("artifacts", "");
+  spec.stop_after =
       static_cast<std::size_t>(args.number("stop-after", 0));
-
-  set::StrikePlan plan =
-      set::build_strike_plan(netlist, plan_options, engine_options.seed);
   if (args.has("shard")) {
-    const std::string spec = args.text("shard", "");
-    const auto slash = spec.find('/');
+    const std::string shard = args.text("shard", "");
+    const auto slash = shard.find('/');
     CWSP_REQUIRE_MSG(slash != std::string::npos,
-                     "--shard expects <i>/<n>, got '" << spec << "'");
-    const std::size_t index = std::stoull(spec.substr(0, slash));
-    const std::size_t total = std::stoull(spec.substr(slash + 1));
-    CWSP_REQUIRE_MSG(index >= 1 && index <= total,
-                     "--shard index out of range in '" << spec << "'");
-    plan = set::shard_plan(plan, total)[index - 1];
+                     "--shard expects <i>/<n>, got '" << shard << "'");
+    spec.shard_index = std::stoull(shard.substr(0, slash));
+    spec.shard_total = std::stoull(shard.substr(slash + 1));
+    CWSP_REQUIRE_MSG(
+        spec.shard_index >= 1 && spec.shard_index <= spec.shard_total,
+        "--shard index out of range in '" << shard << "'");
   }
 
-  const campaign::CampaignEngine engine(netlist, params, period);
-  const auto result = engine.run(plan, engine_options);
+  const service::CampaignOutcome outcome =
+      service::run_campaign(*session, spec);
+  std::cout << outcome.output;
 
-  if (args.has("json")) {
-    std::cout << campaign::format_campaign_json(result, plan, netlist,
-                                                engine_options, period);
-  } else {
-    std::cout << campaign::format_campaign_text(result, plan, netlist);
-  }
-
-  switch (campaign::campaign_status(result)) {
+  switch (outcome.status) {
     case campaign::CampaignStatus::kOk:
       return 0;
     case campaign::CampaignStatus::kEscapes:
@@ -289,6 +206,147 @@ int cmd_campaign(const Args& args, const CellLibrary& lib) {
       return 3;
   }
   return 1;
+}
+
+int cmd_coverage(const Args& args, const CellLibrary& lib) {
+  if (args.positional.empty()) return usage();
+  const auto session = service::load_design_session(args.positional[0], lib);
+
+  service::CoverageSpec spec;
+  spec.runs = static_cast<std::size_t>(args.number("runs", 50));
+  spec.cycles = static_cast<std::size_t>(args.number("cycles", 20));
+  spec.width_ps = args.number("width", 400.0);
+  spec.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  spec.scenarios = args.has("scenarios");
+  spec.json = args.has("json");
+
+  const service::CoverageOutcome outcome =
+      service::run_coverage(*session, spec);
+  std::cout << outcome.output;
+  return outcome.valid ? 0 : 1;
+}
+
+// The resident server, reachable by the signal handler (signal() only
+// takes a plain function pointer).
+cwsp::service::Server* g_server = nullptr;
+
+void handle_stop_signal(int) {
+  // request_shutdown only swaps an atomic and write()s a pipe byte — both
+  // async-signal-safe.
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+int cmd_serve(const Args& args, const CellLibrary& lib) {
+  service::ServerOptions options;
+  options.socket_path = args.text("socket", "");
+  if (options.socket_path.empty()) {
+    std::cerr << "serve: --socket <path> is required\n";
+    return 2;
+  }
+  options.workers = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.number("workers", 2)));
+  options.queue_capacity = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.number("queue-capacity", 64)));
+  options.cache.max_entries = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.number("cache-entries", 8)));
+  options.cache.max_bytes =
+      static_cast<std::size_t>(args.number("cache-mb", 256.0) * 1024.0 *
+                               1024.0);
+  options.result_cache_entries =
+      static_cast<std::size_t>(args.number("result-cache", 64));
+  options.metrics_json_path = args.text("metrics-json", "");
+
+  service::Server server(std::move(options), lib);
+  g_server = &server;
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::cerr << "serving on " << server.socket_path() << '\n';
+  server.run();
+  g_server = nullptr;
+  return 0;
+}
+
+int cmd_client(const Args& args, const CellLibrary&) {
+  const std::string socket_path = args.text("socket", "");
+  if (socket_path.empty()) {
+    std::cerr << "client: --socket <path> is required\n";
+    return 2;
+  }
+  const bool payloads_only = args.has("payloads");
+
+  std::vector<std::string> lines = args.positional;
+  // `--payloads` is a flag, but the generic parser hands it the next
+  // token as a value; when that token is a request line, reclaim it.
+  const std::string reclaimed = args.text("payloads", "");
+  if (!reclaimed.empty() && reclaimed.front() == '{') {
+    lines.insert(lines.begin(), reclaimed);
+  }
+  if (lines.empty()) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+  }
+  if (lines.empty()) {
+    std::cerr << "client: no request lines (argv or stdin)\n";
+    return 2;
+  }
+
+  // Assign ids c1..cN to requests that lack one, so responses (which may
+  // arrive out of order — batching, priorities) can be demuxed back into
+  // request order.
+  std::vector<std::string> ids;
+  ids.reserve(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const service::json::Value request = service::json::parse(lines[i]);
+    if (!request.is_object()) {
+      throw ParseError("request " + std::to_string(i + 1) +
+                       " is not a JSON object");
+    }
+    std::string id = request.text("id", "");
+    if (id.empty()) {
+      std::string generated("c");
+      generated += std::to_string(i + 1);
+      std::string field("\"id\":\"");
+      field += generated;
+      field += '"';
+      if (!request.as_object().empty()) field += ',';
+      const std::size_t brace = lines[i].find('{');
+      if (brace != std::string::npos) lines[i].insert(brace + 1, field);
+      id = std::move(generated);
+    }
+    ids.push_back(std::move(id));
+  }
+
+  service::Client client(socket_path);
+  for (const std::string& line : lines) client.send_line(line);
+
+  std::map<std::string, std::string> responses;
+  std::string line;
+  while (responses.size() < ids.size() && client.read_line(line)) {
+    const service::json::Value response = service::json::parse(line);
+    responses[response.text("id", "")] = line;
+  }
+
+  bool all_ok = true;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto it = responses.find(ids[i]);
+    if (it == responses.end()) {
+      std::cerr << "client: no response for request " << ids[i]
+                << " (server closed the connection)\n";
+      return 4;
+    }
+    const service::json::Value response = service::json::parse(it->second);
+    if (!response.boolean("ok", false)) all_ok = false;
+    if (payloads_only) {
+      if (const auto* payload = response.find("payload")) {
+        std::cout << payload->as_string();
+      }
+    } else {
+      std::cout << it->second << '\n';
+    }
+  }
+  return all_ok ? 0 : 1;
 }
 
 int cmd_replay(const Args& args, const CellLibrary& lib) {
@@ -420,27 +478,125 @@ int cmd_ser(const Args& args, const CellLibrary& lib) {
   return 0;
 }
 
+const std::vector<Subcommand>& subcommands() {
+  static const std::vector<Subcommand> kSubcommands = {
+      {"sta", "<design.bench>", "static timing report", "", cmd_sta},
+      {"harden", "<design.bench>", "hardening report (Table-2/3 numbers)",
+       "  --q150            use the Q=150 fC envelope (default Q=100 fC)\n"
+       "  --delta <ps>      custom glitch width (Table-3 mode)\n"
+       "  --skew <ps>       clock skew derating\n"
+       "  --areas           itemised protection-area breakdown\n",
+       cmd_harden},
+      {"lint", "<design.bench>", "design-rule check",
+       "  --hardened        also check the protection invariants: Eq. 5\n"
+       "                    envelope, CLK_DEL fit, EQGLB-tree bounds, and\n"
+       "                    (for sequential designs) the elaborated\n"
+       "                    hardened system's per-FF structure\n"
+       "  --json            machine-readable report (docs/lint.md schema)\n"
+       "  --fallback-cells <a,b,...>  cells with calibrated-fallback delay\n"
+       "                    arcs (from `characterize --json`)\n"
+       "  --fail-on <warn|error>  exit-1 threshold (default error)\n"
+       "  --q150 / --delta <ps> / --skew <ps> / --period <ps>\n"
+       "                    protection configuration under --hardened\n",
+       cmd_lint},
+      {"campaign", "<design.bench>", "fault-injection campaign",
+       "  --runs <n> --cycles <n> --width <ps> --seed <n>\n"
+       "  --jobs <n>        worker threads (reports identical for any n)\n"
+       "  --timeout-ms <v>  per-strike budget (hang -> inconclusive)\n"
+       "  --journal <path>  checkpoint file, one line per finished strike\n"
+       "  --resume <path>   resume an interrupted campaign from its journal\n"
+       "  --adversarial     add protection-path / clock-edge /\n"
+       "                    out-of-envelope strike classes to the plan\n"
+       "  --minimize        shrink escapes to minimal repros\n"
+       "  --artifacts <dir> write repro .bench + .strike files there\n"
+       "  --shard <i>/<n>   run only shard i (1-based) of an n-way split\n"
+       "  --stop-after <n>  stop after n fresh strikes (exit 3)\n"
+       "  --json            machine-readable report (docs/campaign.md)\n",
+       cmd_campaign},
+      {"coverage", "<design.bench>", "functional/scenario coverage sweep",
+       "  --runs <n> --cycles <n> --width <ps> --seed <n>\n"
+       "  --scenarios       sweep the scenario classes instead of random\n"
+       "                    functional strikes\n"
+       "  --json            machine-readable report\n",
+       cmd_coverage},
+      {"serve", "--socket <path>", "resident analysis server (NDJSON)",
+       "  --socket <path>   Unix domain socket to listen on (required)\n"
+       "  --workers <n>     job worker threads (default 2)\n"
+       "  --queue-capacity <n>  job queue bound (default 64)\n"
+       "  --cache-entries <n>   design session cache entries (default 8)\n"
+       "  --cache-mb <n>    design session cache memory bound (default 256)\n"
+       "  --result-cache <n>    memoized responses kept (default 64)\n"
+       "  --metrics-json <path> write the metrics dump here on shutdown\n",
+       cmd_serve},
+      {"client", "--socket <path> [request...]",
+       "submit NDJSON requests to a running server",
+       "  --socket <path>   server socket (required)\n"
+       "  --payloads        print unescaped payloads only (byte-identical\n"
+       "                    to the one-shot subcommand's stdout)\n"
+       "  request lines come from argv or, when absent, stdin\n",
+       cmd_client},
+      {"replay", "<repro.strike>", "replay a minimized escape", "",
+       cmd_replay},
+      {"glitch", "", "struck-inverter waveform",
+       "  --q <fC>          deposited charge (default 100)\n"
+       "  --json            waveform summary + solver diagnostics\n"
+       "                    (docs/minispice.md schema)\n",
+       cmd_glitch},
+      {"characterize", "", "electrical cell characterization",
+       "  --json            machine-readable report with per-arc provenance\n"
+       "  --load <fF>       output load (default 2 fF)\n"
+       "  --max-newton <n>  Newton iteration budget (small values provoke\n"
+       "                    calibrated-fallback arcs)\n"
+       "  --no-cwsp         skip the CWSP element arcs\n",
+       cmd_characterize},
+      {"elaborate", "<n_ffs>", "checker netlist (.bench/.dot)",
+       "  --dot             emit graphviz instead of .bench\n", cmd_elaborate},
+      {"ser", "<design.bench>", "soft-error-rate estimate",
+       "  --fail <frac>     fraction of strikes that corrupt state\n",
+       cmd_ser},
+      {"verilog", "<design.bench>", "emit structural Verilog", "",
+       cmd_verilog},
+      {"optimize", "<design.bench>", "constant-fold + dead-gate removal", "",
+       cmd_optimize},
+      {"stats", "<design.bench>", "netlist statistics", "", cmd_stats},
+  };
+  return kSubcommands;
+}
+
+int cmd_help(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+    return 0;  // asked-for help is not a usage error
+  }
+  const std::string name = argv[2];
+  for (const Subcommand& cmd : subcommands()) {
+    if (name != cmd.name) continue;
+    std::cerr << "usage: cwsp_tool " << cmd.name;
+    if (cmd.operands[0] != '\0') std::cerr << ' ' << cmd.operands;
+    std::cerr << "\n  " << cmd.brief << '\n';
+    if (cmd.options[0] != '\0') std::cerr << '\n' << cmd.options;
+    return 0;
+  }
+  std::cerr << "unknown subcommand '" << name << "'\n";
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    return cmd_help(argc, argv);
+  }
+
   const Args args = parse_cli_args(argc, argv);
   const CellLibrary lib = make_default_library();
 
   try {
-    if (command == "sta") return cmd_sta(args, lib);
-    if (command == "harden") return cmd_harden(args, lib);
-    if (command == "lint") return cmd_lint(args, lib);
-    if (command == "campaign") return cmd_campaign(args, lib);
-    if (command == "replay") return cmd_replay(args, lib);
-    if (command == "glitch") return cmd_glitch(args, lib);
-    if (command == "characterize") return cmd_characterize(args, lib);
-    if (command == "elaborate") return cmd_elaborate(args, lib);
-    if (command == "ser") return cmd_ser(args, lib);
-    if (command == "verilog") return cmd_verilog(args, lib);
-    if (command == "optimize") return cmd_optimize(args, lib);
-    if (command == "stats") return cmd_stats(args, lib);
+    for (const Subcommand& cmd : subcommands()) {
+      if (command == cmd.name) return cmd.handler(args, lib);
+    }
   } catch (const cwsp::ParseError& e) {
     std::cerr << "parse error: " << e.what() << '\n';
     return 2;
