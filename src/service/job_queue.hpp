@@ -18,7 +18,8 @@
 //
 // Cancellation of *queued* jobs happens here (cancel() removes the job
 // and hands it back so the server can answer `cancelled`); cancellation
-// of in-flight jobs is the server's job — see Server::cancel_inflight.
+// of in-flight jobs is the server's job — see Server::handle_cancel and
+// the per-member InflightBatch state in server.hpp.
 
 #include <condition_variable>
 #include <cstdint>

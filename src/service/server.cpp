@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -38,6 +39,47 @@ bool wants_json(const json::Value& request) {
   throw ParseError("unknown format '" + format + "' (json|text)");
 }
 
+// ---- numeric admission ---------------------------------------------
+// Request numbers arrive as untrusted doubles; casting them straight to
+// unsigned types makes {"runs":-1} or NaN undefined behavior and huge
+// values a trivial resource-exhaustion vector. Every numeric field is
+// therefore bounds-checked here, at admission, before any cast.
+
+/// Caps generous enough for real workloads, tight enough that one
+/// request cannot pin the daemon.
+constexpr std::uint64_t kMaxRuns = 10'000'000;
+constexpr std::uint64_t kMaxCycles = 1'000'000;
+constexpr std::uint64_t kMaxJobs = 64;
+constexpr std::uint64_t kMaxShardTotal = 1'000'000;
+constexpr std::uint64_t kMaxSeed = 1ULL << 53;  // exact in a double
+constexpr double kMaxPs = 1e9;                  // width / skew horizon
+constexpr double kMaxTimeoutMs = 1e9;
+constexpr double kMaxSleepMs = 60'000.0;
+
+double finite_field(const json::Value& request, const char* name,
+                    double fallback, double lo, double hi) {
+  const double v = request.number(name, fallback);
+  if (!std::isfinite(v) || v < lo || v > hi) {
+    std::ostringstream os;
+    os << "'" << name << "' must be a finite number in [" << lo << ", "
+       << hi << "]";
+    throw ParseError(os.str());
+  }
+  return v;
+}
+
+std::uint64_t uint_field(const json::Value& request, const char* name,
+                         std::uint64_t fallback, std::uint64_t max) {
+  const double v = request.number(name, static_cast<double>(fallback));
+  if (!std::isfinite(v) || v < 0.0 || v != std::floor(v) ||
+      v > static_cast<double>(max)) {
+    throw ParseError(std::string("'") + name +
+                     "' must be a non-negative integer <= " +
+                     std::to_string(max));
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
 /// Fills the job's design fields from `design_path` / `design` (+
 /// optional `design_name`). Throws ParseError when absent or unreadable.
 void resolve_design(const json::Value& request, Job& job,
@@ -65,17 +107,20 @@ CampaignSpec parse_campaign_spec(const json::Value& request) {
     }
   }
   CampaignSpec spec;
-  spec.runs = static_cast<std::size_t>(request.number("runs", 50));
-  spec.cycles = static_cast<std::size_t>(request.number("cycles", 16));
-  spec.width_ps = request.number("width", 400.0);
-  spec.seed = static_cast<std::uint64_t>(request.number("seed", 1));
+  spec.runs = static_cast<std::size_t>(uint_field(request, "runs", 50, kMaxRuns));
+  spec.cycles =
+      static_cast<std::size_t>(uint_field(request, "cycles", 16, kMaxCycles));
+  spec.width_ps = finite_field(request, "width", 400.0, 0.0, kMaxPs);
+  spec.seed = uint_field(request, "seed", 1, kMaxSeed);
   spec.jobs = std::max<std::size_t>(
-      1, static_cast<std::size_t>(request.number("jobs", 1)));
-  spec.timeout_ms = request.number("timeout_ms", 0.0);
+      1, static_cast<std::size_t>(uint_field(request, "jobs", 1, kMaxJobs)));
+  spec.timeout_ms = finite_field(request, "timeout_ms", 0.0, 0.0, kMaxTimeoutMs);
   spec.adversarial = request.boolean("adversarial", false);
   spec.use_legacy_kernel = request.boolean("legacy_kernel", false);
-  spec.shard_index = static_cast<std::size_t>(request.number("shard_index", 0));
-  spec.shard_total = static_cast<std::size_t>(request.number("shard_total", 0));
+  spec.shard_index = static_cast<std::size_t>(
+      uint_field(request, "shard_index", 0, kMaxShardTotal));
+  spec.shard_total = static_cast<std::size_t>(
+      uint_field(request, "shard_total", 0, kMaxShardTotal));
   if ((spec.shard_index == 0) != (spec.shard_total == 0)) {
     throw ParseError("shard_index and shard_total must be given together");
   }
@@ -85,10 +130,11 @@ CampaignSpec parse_campaign_spec(const json::Value& request) {
 
 CoverageSpec parse_coverage_spec(const json::Value& request) {
   CoverageSpec spec;
-  spec.runs = static_cast<std::size_t>(request.number("runs", 50));
-  spec.cycles = static_cast<std::size_t>(request.number("cycles", 20));
-  spec.width_ps = request.number("width", 400.0);
-  spec.seed = static_cast<std::uint64_t>(request.number("seed", 1));
+  spec.runs = static_cast<std::size_t>(uint_field(request, "runs", 50, kMaxRuns));
+  spec.cycles =
+      static_cast<std::size_t>(uint_field(request, "cycles", 20, kMaxCycles));
+  spec.width_ps = finite_field(request, "width", 400.0, 0.0, kMaxPs);
+  spec.seed = uint_field(request, "seed", 1, kMaxSeed);
   spec.scenarios = request.boolean("scenarios", false);
   spec.json = wants_json(request);
   return spec;
@@ -105,12 +151,12 @@ LintSpec parse_lint_spec(const Job& job, const std::string& design_path,
   }
   spec.hardened = request.boolean("hardened", false);
   spec.q150 = request.boolean("q150", false);
-  if (const json::Value* delta = request.find("delta")) {
-    spec.delta_ps = delta->as_number();
+  if (request.find("delta") != nullptr) {
+    spec.delta_ps = finite_field(request, "delta", 0.0, 0.0, kMaxPs);
   }
-  spec.skew_ps = request.number("skew", 0.0);
-  if (const json::Value* period = request.find("period")) {
-    spec.period_ps = period->as_number();
+  spec.skew_ps = finite_field(request, "skew", 0.0, 0.0, kMaxPs);
+  if (request.find("period") != nullptr) {
+    spec.period_ps = finite_field(request, "period", 0.0, 0.0, kMaxPs);
   }
   if (const json::Value* cells = request.find("fallback_cells")) {
     for (const json::Value& cell : cells->as_array()) {
@@ -247,7 +293,9 @@ void Server::run() {
   {
     // Join outside the lock: readers take connections_mutex_ on exit.
     std::lock_guard<std::mutex> lock(connections_mutex_);
-    readers.swap(reader_threads_);
+    for (auto& [id, t] : reader_threads_) readers.push_back(std::move(t));
+    reader_threads_.clear();
+    finished_readers_.clear();
   }
   for (auto& t : readers) t.join();
 
@@ -266,6 +314,7 @@ void Server::accept_loop(int listen_fd) {
       break;
     }
     if ((fds[1].revents & POLLIN) != 0) break;
+    reap_finished_readers();
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) continue;
@@ -275,10 +324,28 @@ void Server::accept_loop(int listen_fd) {
       std::lock_guard<std::mutex> lock(connections_mutex_);
       conn->id = next_conn_id_++;
       connections_[conn->id] = conn;
-      reader_threads_.emplace_back([this, conn] { reader_loop(conn); });
+      reader_threads_.emplace(conn->id,
+                              std::thread([this, conn] { reader_loop(conn); }));
     }
     metrics::Registry::global().counter("service.connections").add();
   }
+}
+
+void Server::reap_finished_readers() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const std::uint64_t id : finished_readers_) {
+      const auto it = reader_threads_.find(id);
+      if (it == reader_threads_.end()) continue;
+      done.push_back(std::move(it->second));
+      reader_threads_.erase(it);
+    }
+    finished_readers_.clear();
+  }
+  // The announcing thread is in its function epilogue at worst, so these
+  // joins return promptly.
+  for (auto& t : done) t.join();
 }
 
 void Server::reader_loop(std::shared_ptr<Connection> conn) {
@@ -309,6 +376,8 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
   }
   std::lock_guard<std::mutex> lock(connections_mutex_);
   connections_.erase(conn->id);
+  // Announce for reaping (accept loop joins us on its next wake-up).
+  finished_readers_.push_back(conn->id);
 }
 
 void Server::handle_line(const std::shared_ptr<Connection>& conn,
@@ -366,8 +435,14 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
       resolve_design(request, job, job.design_path);
       const std::uint64_t dkey = design_key(job.design_name, job.design_text);
       if (op == "campaign") {
-        job.batch_key =
-            campaign_spec_fingerprint(parse_campaign_spec(request), dkey);
+        const CampaignSpec spec = parse_campaign_spec(request);
+        // A timed campaign may legitimately stop early ("interrupted"),
+        // which makes its report wall-clock dependent — it is not a
+        // deterministic function of the spec, so it must be neither
+        // coalesced nor memoized (batch_key 0).
+        job.batch_key = spec.timeout_ms > 0.0
+                            ? 0
+                            : campaign_spec_fingerprint(spec, dkey);
       } else if (op == "coverage") {
         job.batch_key =
             coverage_spec_fingerprint(parse_coverage_spec(request), dkey);
@@ -416,18 +491,34 @@ void Server::handle_cancel(const std::shared_ptr<Connection>& conn,
     metrics::Registry::global().counter("service.cancelled.queued").add();
     return;
   }
+  // In flight: answer only the canceller's own batch member. The
+  // execution itself — possibly shared with other connections' coalesced
+  // requests — is aborted only when every member has been cancelled.
+  bool found = false;
+  std::string op;
+  std::shared_ptr<sim::CancelToken> abort;
   {
     std::lock_guard<std::mutex> lock(inflight_mutex_);
     const auto it = inflight_.find(inflight_key(conn->id, target));
     if (it != inflight_.end()) {
-      it->second->cancel();
-      send_line(conn,
-                "{\"id\":\"" + json::escape(id) + '"' +
-                    ok_tail("cancel", "text", "cancelling-inflight", "") +
-                    "\n");
-      metrics::Registry::global().counter("service.cancelled.inflight").add();
-      return;
+      found = true;
+      op = it->second.op;
+      InflightBatch& batch = *it->second.batch;
+      batch.cancelled.insert(it->first);
+      if (--batch.active == 0) abort = batch.token;
+      inflight_.erase(it);
     }
+  }
+  if (found) {
+    if (abort != nullptr) abort->cancel();
+    respond(conn->id, target,
+            error_tail(op, "cancelled", "cancelled in flight"));
+    send_line(conn,
+              "{\"id\":\"" + json::escape(id) + '"' +
+                  ok_tail("cancel", "text", "cancelling-inflight", "") +
+                  "\n");
+    metrics::Registry::global().counter("service.cancelled.inflight").add();
+    return;
   }
   send_line(conn, "{\"id\":\"" + json::escape(id) + '"' +
                       error_tail("cancel", "not_found",
@@ -450,37 +541,51 @@ void Server::execute_batch(std::vector<Job> batch) {
   Stopwatch watch;
 
   // Repeat of an already-answered deterministic request? Serve the
-  // memoized envelope.
+  // memoized envelope. The tail is copied out under the lock and sent
+  // after release so a slow client cannot stall other workers on
+  // results_mutex_.
   if (front.batch_key != 0) {
-    std::lock_guard<std::mutex> lock(results_mutex_);
-    for (auto it = results_.begin(); it != results_.end(); ++it) {
-      if (it->key == front.batch_key) {
-        results_.splice(results_.begin(), results_, it);
-        registry.counter("service.result_cache.hits").add(batch.size());
-        for (const Job& job : batch) {
-          respond(job.conn_id, job.id, results_.front().envelope_tail);
+    std::string cached;
+    {
+      std::lock_guard<std::mutex> lock(results_mutex_);
+      for (auto it = results_.begin(); it != results_.end(); ++it) {
+        if (it->key == front.batch_key) {
+          results_.splice(results_.begin(), results_, it);
+          cached = results_.front().envelope_tail;
+          break;
         }
-        registry.histogram("service.latency_us." + front.op)
-            .observe_ms(watch.elapsed_ms());
-        return;
       }
+    }
+    if (!cached.empty()) {
+      registry.counter("service.result_cache.hits").add(batch.size());
+      for (const Job& job : batch) respond(job.conn_id, job.id, cached);
+      registry.histogram("service.latency_us." + front.op)
+          .observe_ms(watch.elapsed_ms());
+      return;
     }
     registry.counter("service.result_cache.misses").add();
   }
 
-  auto token = std::make_shared<sim::CancelToken>();
+  auto state = std::make_shared<InflightBatch>();
+  state->token = std::make_shared<sim::CancelToken>();
   {
     std::lock_guard<std::mutex> lock(inflight_mutex_);
+    state->active = batch.size();
     for (const Job& job : batch) {
-      inflight_[inflight_key(job.conn_id, job.id)] = token;
+      inflight_[inflight_key(job.conn_id, job.id)] =
+          InflightMember{state, job.op};
     }
   }
-  const std::string tail = execute_job(front, token.get());
+  const std::string tail = execute_job(front, state->token.get());
+  // Members cancelled mid-flight were already answered `cancelled` by
+  // handle_cancel and must not receive a second response.
+  std::set<std::string> cancelled;
   {
     std::lock_guard<std::mutex> lock(inflight_mutex_);
     for (const Job& job : batch) {
       inflight_.erase(inflight_key(job.conn_id, job.id));
     }
+    cancelled.swap(state->cancelled);
   }
 
   if (front.batch_key != 0 && tail_is_ok(tail)) {
@@ -491,10 +596,17 @@ void Server::execute_batch(std::vector<Job> batch) {
     }
   }
 
-  registry.counter(tail_is_ok(tail) ? "service.responses.ok"
-                                    : "service.responses.error")
-      .add(batch.size());
-  for (const Job& job : batch) respond(job.conn_id, job.id, tail);
+  std::size_t answered = 0;
+  for (const Job& job : batch) {
+    if (cancelled.count(inflight_key(job.conn_id, job.id)) != 0) continue;
+    respond(job.conn_id, job.id, tail);
+    ++answered;
+  }
+  if (answered != 0) {
+    registry.counter(tail_is_ok(tail) ? "service.responses.ok"
+                                      : "service.responses.error")
+        .add(answered);
+  }
   registry.histogram("service.latency_us." + front.op)
       .observe_ms(watch.elapsed_ms());
 }
@@ -504,7 +616,7 @@ std::string Server::execute_job(const Job& job, sim::CancelToken* cancel) {
     if (job.op == "sleep") {
       // Diagnostic op: occupies a worker for a bounded time so tests can
       // fill the queue / exercise cancellation deterministically.
-      const double ms = job.request.number("ms", 10.0);
+      const double ms = finite_field(job.request, "ms", 10.0, 0.0, kMaxSleepMs);
       Stopwatch watch;
       while (watch.elapsed_ms() < ms) {
         if (cancel != nullptr && cancel->cancelled()) {

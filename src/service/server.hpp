@@ -28,6 +28,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -90,9 +91,30 @@ class Server {
     std::string envelope_tail;  // everything after the "id" field
   };
 
+  /// Cancellation state shared by every member of one executing batch.
+  /// A cancel answers only the canceller's own member; the execution is
+  /// aborted only once every member has been cancelled, so one client
+  /// can never fail another client's coalesced request. Fields are
+  /// guarded by inflight_mutex_ (the token itself is atomic).
+  struct InflightBatch {
+    std::shared_ptr<sim::CancelToken> token;
+    std::size_t active = 0;           // members not yet cancelled
+    std::set<std::string> cancelled;  // member keys already answered
+  };
+
+  struct InflightMember {
+    std::shared_ptr<InflightBatch> batch;
+    std::string op;  // for the member's `cancelled` error envelope
+  };
+
   void accept_loop(int listen_fd);
   void reader_loop(std::shared_ptr<Connection> conn);
   void worker_loop();
+
+  /// Joins reader threads whose connections have exited (called from the
+  /// accept loop so a long-running daemon does not accumulate one
+  /// zombie thread per closed connection).
+  void reap_finished_readers();
 
   /// One request line: parse, answer control ops inline, enqueue work
   /// ops (admission errors answered immediately).
@@ -123,10 +145,11 @@ class Server {
   std::mutex connections_mutex_;
   std::map<std::uint64_t, std::shared_ptr<Connection>> connections_;
   std::uint64_t next_conn_id_ = 1;
-  std::vector<std::thread> reader_threads_;
+  std::map<std::uint64_t, std::thread> reader_threads_;
+  std::vector<std::uint64_t> finished_readers_;  // awaiting join
 
   std::mutex inflight_mutex_;
-  std::map<std::string, std::shared_ptr<sim::CancelToken>> inflight_;
+  std::map<std::string, InflightMember> inflight_;
 
   std::mutex results_mutex_;
   std::list<CachedResult> results_;  // front = most recent

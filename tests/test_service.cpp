@@ -190,6 +190,93 @@ TEST_F(ServiceTest, FullQueueAnswersQueueFullAndQueuedJobsCancel) {
   EXPECT_EQ(responses.at("k3").text("code", ""), "not_found");
 }
 
+TEST_F(ServiceTest, InvalidNumericFieldsAreBadRequests) {
+  start(1, 8);
+  // Negative / fractional / huge numerics must be rejected at admission,
+  // not cast to unsigned (UB) or allowed to exhaust the daemon.
+  for (const char* field : {"\"runs\":-1", "\"runs\":1e18", "\"seed\":1.5",
+                            "\"jobs\":4096", "\"cycles\":-3",
+                            "\"width\":1e300", "\"timeout_ms\":-5"}) {
+    const auto response = call(R"({"id":"n","op":"campaign",)" +
+                               std::string(field) + "," +
+                               json_design_field() + "}");
+    EXPECT_EQ(response.text("code", ""), "bad_request") << field;
+  }
+  EXPECT_EQ(call(R"({"id":"n","op":"coverage","runs":-1,)" +
+                 json_design_field() + "}")
+                .text("code", ""),
+            "bad_request");
+  // In-range values still work.
+  EXPECT_TRUE(call(R"({"op":"campaign","runs":3,"seed":2,)" +
+                   json_design_field() + "}")
+                  .boolean("ok", false));
+}
+
+TEST_F(ServiceTest, TimedCampaignsBypassBatchingAndResultCache) {
+  start(1, 8);
+  // timeout_ms makes the report wall-clock dependent ("interrupted"
+  // status), so such requests must never be coalesced or memoized.
+  const std::string request =
+      R"({"op":"campaign","runs":4,"timeout_ms":60000,)" +
+      json_design_field() + "}";
+  auto& registry = metrics::Registry::global();
+  const std::uint64_t hits_before =
+      registry.counter("service.result_cache.hits").value();
+  const std::uint64_t misses_before =
+      registry.counter("service.result_cache.misses").value();
+  const auto first = call(request);
+  const auto second = call(request);
+  ASSERT_TRUE(first.boolean("ok", false)) << first.text("error", "");
+  // Both executions ran the engine; neither consulted the cache.
+  EXPECT_EQ(registry.counter("service.result_cache.hits").value(),
+            hits_before);
+  EXPECT_EQ(registry.counter("service.result_cache.misses").value(),
+            misses_before);
+  // A generous timeout never fires, so the reports still agree.
+  EXPECT_EQ(first.text("payload", ""), second.text("payload", ""));
+}
+
+TEST_F(ServiceTest, BatchMemberCancelDoesNotAffectOtherConnections) {
+  start(1, 8);  // one worker so both campaigns queue and coalesce
+  Client a(server_->socket_path());
+  Client b(server_->socket_path());
+
+  // Occupy the worker, then queue two identical long campaigns from two
+  // connections — they coalesce into one batch when the worker frees up.
+  a.send_line(R"({"id":"s","op":"sleep","ms":150})");
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const std::string campaign =
+      R"({"op":"campaign","runs":100000,)" + json_design_field() + "}";
+  a.send_line(R"({"id":"a1",)" + campaign.substr(1));
+  b.send_line(R"({"id":"b1",)" + campaign.substr(1));
+
+  // The sleep response marks the worker picking up the campaign batch.
+  std::string line;
+  ASSERT_TRUE(a.read_line(line));
+  ASSERT_EQ(json::parse(line).text("id", ""), "s");
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // A cancels its member mid-flight: only a1 is answered `cancelled`;
+  // the shared execution continues and b1 still gets the real report.
+  a.send_line(R"({"id":"k","op":"cancel","target":"a1"})");
+  std::map<std::string, json::Value> from_a;
+  while (from_a.size() < 2 && a.read_line(line)) {
+    auto r = json::parse(line);
+    from_a.emplace(r.text("id", ""), std::move(r));
+  }
+  ASSERT_EQ(from_a.size(), 2u);
+  EXPECT_TRUE(from_a.at("k").boolean("ok", false));
+  EXPECT_EQ(from_a.at("a1").text("code", ""), "cancelled");
+
+  ASSERT_TRUE(b.read_line(line));
+  const auto b1 = json::parse(line);
+  EXPECT_EQ(b1.text("id", ""), "b1");
+  EXPECT_TRUE(b1.boolean("ok", false)) << b1.text("error", "");
+  EXPECT_FALSE(b1.text("payload", "").empty());
+  // The shared execution ran to completion despite A's cancel.
+  EXPECT_NE(b1.text("status", ""), "interrupted");
+}
+
 TEST_F(ServiceTest, MetricsRequestAndShutdownDumpShareTheDocument) {
   start(1, 8);
   (void)call(R"({"op":"ping"})");
