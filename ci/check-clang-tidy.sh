@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Ratcheted clang-tidy gate over src/: fails only on findings that are
+# not recorded in ci/clang-tidy-baseline.txt, so the tree can never get
+# worse while pre-existing debt is paid down incrementally.
+#
+#   ci/check-clang-tidy.sh <build-dir>          # gate (CI)
+#   ci/check-clang-tidy.sh <build-dir> update   # refresh the baseline
+#
+# The build dir must have been configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON. Findings are normalized to
+# "<repo-relative file> [check]" lines (no line numbers — they move with
+# every unrelated edit and would churn the baseline).
+set -euo pipefail
+
+build_dir=${1:-build}
+mode=${2:-check}
+baseline=ci/clang-tidy-baseline.txt
+
+command -v clang-tidy >/dev/null || {
+  echo "error: clang-tidy not found in PATH" >&2
+  exit 1
+}
+test -f "$build_dir/compile_commands.json" || {
+  echo "error: $build_dir/compile_commands.json missing — configure with" \
+       "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 1
+}
+
+mapfile -t sources < <(git ls-files 'src/*.cpp' 'src/**/*.cpp')
+
+current=$(mktemp)
+trap 'rm -f "$current"' EXIT
+clang-tidy -p "$build_dir" --quiet "${sources[@]}" 2>/dev/null |
+  grep -E '^[^ ]+:[0-9]+:[0-9]+: warning: ' |
+  sed -E "s|^$(pwd)/||" |
+  sed -E 's|^([^:]+):[0-9]+:[0-9]+: warning: .* (\[[A-Za-z0-9.,-]+\])$|\1 \2|' |
+  sort -u > "$current"
+
+if [ "$mode" = update ]; then
+  cp "$current" "$baseline"
+  echo "baseline refreshed: $(wc -l < "$baseline") finding(s)"
+  exit 0
+fi
+
+new_findings=$(comm -13 <(sort -u "$baseline") "$current")
+if [ -n "$new_findings" ]; then
+  echo "new clang-tidy findings (not in $baseline):"
+  echo "$new_findings"
+  echo
+  echo "fix them, or accept deliberately with:" \
+       "ci/check-clang-tidy.sh $build_dir update"
+  exit 1
+fi
+echo "clang-tidy: clean against baseline" \
+     "($(wc -l < "$current") known finding(s))"

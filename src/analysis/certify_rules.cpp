@@ -1,0 +1,167 @@
+#include "analysis/certify_rules.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "analysis/certify.hpp"
+#include "cwsp/timing.hpp"
+
+namespace cwsp::analysis {
+namespace {
+
+std::string ps(double value) {
+  std::ostringstream os;
+  os << value << " ps";
+  return os.str();
+}
+
+/// Same period selection as the timing rules: the explicit period when
+/// given, otherwise the design's own hardened period floored at Eq. 6.
+Picoseconds effective_period(const lint::LintContext& ctx) {
+  if (ctx.options.clock_period.has_value()) return *ctx.options.clock_period;
+  const core::ProtectionParams& params = *ctx.options.params;
+  return std::max(
+      core::hardened_clock_period(ctx.sta->dmax, ctx.netlist->library()),
+      core::min_clock_period_for_delta(params));
+}
+
+struct CertifyCacheKey {
+  const Netlist* netlist = nullptr;
+  double delta = 0.0;
+  double d_cwsp = 0.0;
+  double envelope = 0.0;
+  double period = 0.0;
+  double skew = 0.0;
+  std::uint64_t seed = 0;
+
+  bool operator==(const CertifyCacheKey& other) const {
+    return netlist == other.netlist && delta == other.delta &&
+           d_cwsp == other.d_cwsp && envelope == other.envelope &&
+           period == other.period && skew == other.skew &&
+           seed == other.seed;
+  }
+};
+
+/// The three rules run back-to-back inside one run_lint pass; memoizing
+/// the last result keeps that pass at one certification. Thread-local so
+/// concurrent service workers never share (or race on) an entry.
+const CertifyResult& cached_certify(const lint::LintContext& ctx) {
+  thread_local CertifyCacheKey t_key;
+  thread_local std::unique_ptr<CertifyResult> t_result;
+
+  const Picoseconds period = effective_period(ctx);
+  CertifyCacheKey key;
+  key.netlist = ctx.netlist;
+  key.delta = ctx.options.params->delta.value();
+  key.d_cwsp = ctx.options.params->d_cwsp.value();
+  key.envelope = ctx.options.certify_envelope_ps;
+  key.period = period.value();
+  key.skew = ctx.options.clock_skew.value();
+  key.seed = ctx.options.certify_seed;
+
+  if (t_result == nullptr || !(t_key == key)) {
+    CertifyOptions options;
+    options.envelope_ps = ctx.options.certify_envelope_ps;
+    options.clock_skew_ps = ctx.options.clock_skew.value();
+    options.seed = ctx.options.certify_seed;
+    t_result = std::make_unique<CertifyResult>(
+        certify_design(*ctx.netlist, *ctx.options.params, period, options));
+    t_key = key;
+  }
+  return *t_result;
+}
+
+void rule_certify_escape(const lint::LintContext& ctx,
+                         lint::LintReport& report) {
+  const CertifyResult& result = cached_certify(ctx);
+  for (const SiteCertificate& cert : result.sites) {
+    if (cert.verdict != SiteVerdict::kProvedEscape) continue;
+    lint::Diagnostic d;
+    d.rule_id = "certify-escape";
+    d.severity = lint::Severity::kError;
+    d.nets.push_back(cert.site);
+    if (cert.limiting_ff >= 0) {
+      d.ffs.push_back(
+          FlipFlopId{static_cast<std::uint64_t>(cert.limiting_ff)});
+    }
+    std::ostringstream os;
+    os << "confirmed SET escape: a " << ps(cert.witness_width_ps)
+       << " pulse at cycle " << cert.witness_cycle << ", start "
+       << ps(cert.witness_start_ps)
+       << " silently corrupts committed outputs";
+    if (!cert.repro_spec_path.empty()) {
+      os << " (repro " << cert.repro_spec_path << ")";
+    }
+    d.message = os.str();
+    report.add(std::move(d));
+  }
+}
+
+void rule_certify_unknown(const lint::LintContext& ctx,
+                          lint::LintReport& report) {
+  const CertifyResult& result = cached_certify(ctx);
+  for (const SiteCertificate& cert : result.sites) {
+    if (cert.verdict != SiteVerdict::kUnknown) continue;
+    lint::Diagnostic d;
+    d.rule_id = "certify-unknown";
+    d.severity = lint::Severity::kWarning;
+    d.nets.push_back(cert.site);
+    if (cert.blocking_gate != GlitchWindow::kNone) {
+      d.gates.push_back(GateId{cert.blocking_gate});
+    }
+    d.message = "coverage not proved: " + cert.note;
+    report.add(std::move(d));
+  }
+}
+
+void rule_certify_summary(const lint::LintContext& ctx,
+                          lint::LintReport& report) {
+  const CertifyResult& result = cached_certify(ctx);
+  lint::Diagnostic d;
+  d.rule_id = "certify-summary";
+  d.severity = lint::Severity::kInfo;
+  std::ostringstream os;
+  os << result.sites.size() << " strike sites: " << result.covered_count()
+     << " proved-covered, " << result.escape_count() << " proved-escape, "
+     << result.unknown_count() << " unknown; envelope "
+     << ps(result.envelope_ps) << ", physical envelope "
+     << ps(result.physical_envelope_ps);
+  if (result.physical_envelope_ps + 1e-9 <
+      result.params.delta.value()) {
+    os << " (below the designed delta: Eq. 2/5 caps the guarantee)";
+  }
+  d.message = os.str();
+  report.add(std::move(d));
+}
+
+}  // namespace
+
+void register_certify_rules(lint::RuleRegistry& registry) {
+  registry.add({"certify-escape", lint::RuleCategory::kCertify,
+                lint::Severity::kError,
+                "a confirmed, replayable SET escape exists at this site",
+                rule_certify_escape});
+  registry.add({"certify-unknown", lint::RuleCategory::kCertify,
+                lint::Severity::kWarning,
+                "static coverage proof left this site open",
+                rule_certify_unknown});
+  registry.add({"certify-summary", lint::RuleCategory::kCertify,
+                lint::Severity::kInfo,
+                "per-design certification verdict counts",
+                rule_certify_summary});
+}
+
+const lint::RuleRegistry& certify_registry() {
+  static const lint::RuleRegistry registry = [] {
+    lint::RuleRegistry r;
+    lint::register_structure_rules(r);
+    lint::register_timing_rules(r);
+    lint::register_hardening_rules(r);
+    register_certify_rules(r);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace cwsp::analysis

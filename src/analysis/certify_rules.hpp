@@ -1,0 +1,30 @@
+#pragma once
+// The `certify` lint rule family: surfaces static SET-coverage verdicts
+// through the existing diagnostic/severity/reporter machinery.
+//
+// The rules live here (not in src/lint) because they drive the full
+// certifier — which needs the protection-protocol simulator — and core
+// depends on lint, so lint cannot link back. Instead the lint registry is
+// extensible: callers that want certification build a registry with
+// register_certify_rules and set LintOptions::certify.
+//
+// Rules (all category kCertify; docs/lint.md has the catalogue entry):
+//   * certify-escape  (error)   — one diagnostic per confirmed escape
+//   * certify-unknown (warning) — one per site the proof left open
+//   * certify-summary (info)    — one per design with the verdict counts
+//
+// The three rules share one certifier run per (netlist, configuration):
+// the result is memoized thread-locally so a run_lint pass costs a single
+// certification.
+
+#include "lint/rules.hpp"
+
+namespace cwsp::analysis {
+
+void register_certify_rules(lint::RuleRegistry& registry);
+
+/// The built-in lint rules plus the certify family — what `cwsp_tool
+/// certify` and the service certify handler run with.
+[[nodiscard]] const lint::RuleRegistry& certify_registry();
+
+}  // namespace cwsp::analysis

@@ -1,0 +1,144 @@
+#include "analysis/glitch_window.hpp"
+
+#include <algorithm>
+
+namespace cwsp::analysis {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+bool pin_sensitizable(std::uint16_t truth, unsigned arity, unsigned pin,
+                      unsigned const_mask, unsigned const_vals) {
+  const unsigned combos = 1u << arity;
+  const unsigned pin_bit = 1u << pin;
+  const unsigned fixed = const_mask & ~pin_bit;
+  for (unsigned a = 0; a < combos; ++a) {
+    if ((a & pin_bit) != 0) continue;
+    if ((a & fixed) != (const_vals & fixed)) continue;
+    const bool out0 = ((truth >> a) & 1u) != 0;
+    const bool out1 = ((truth >> (a | pin_bit)) & 1u) != 0;
+    if (out0 != out1) return true;
+  }
+  return false;
+}
+
+SiteWindows propagate_windows(const FlatNetlistView& view,
+                              const std::vector<double>& gate_delay_ps,
+                              NetId site) {
+  SiteWindows result;
+  result.site = site;
+  result.windows.assign(view.num_nets(), GlitchWindow{});
+
+  GlitchWindow& base = result.windows[site.index()];
+  base.reachable = true;
+
+  for (std::uint32_t g : view.cone_of(site)) {
+    const std::uint32_t* inputs = view.gate_inputs_begin(g);
+    const std::uint32_t arity = view.gate_num_inputs(g);
+    const std::uint16_t truth = view.gate_truth(g);
+
+    // Constant side inputs restrict the sensitization check; everything
+    // else (static-but-unknown side inputs, co-disturbed inputs) is free.
+    unsigned const_mask = 0;
+    unsigned const_vals = 0;
+    for (std::uint32_t i = 0; i < arity; ++i) {
+      if (view.source_kind(inputs[i]) ==
+          FlatNetlistView::SourceKind::kConstant) {
+        const_mask |= 1u << i;
+        if (view.source_index(inputs[i]) != 0) const_vals |= 1u << i;
+      }
+    }
+
+    // Reachable inputs whose pin can actually steer the output.
+    std::uint32_t reach_pins[4];
+    std::uint32_t reach_count = 0;
+    for (std::uint32_t i = 0; i < arity; ++i) {
+      const GlitchWindow& in = result.windows[inputs[i]];
+      if (!in.reachable) continue;
+      if (!pin_sensitizable(truth, arity, i, const_mask, const_vals)) {
+        continue;
+      }
+      reach_pins[reach_count++] = i;
+    }
+    if (reach_count == 0) continue;
+
+    const double delay = gate_delay_ps[g];
+    const double inertial = view.gate_inertial_delay_ps(g);
+
+    GlitchWindow out;
+    out.reachable = true;
+    out.earliest_ps = kInf;
+    out.latest_ps = -kInf;
+    for (std::uint32_t k = 0; k < reach_count; ++k) {
+      const GlitchWindow& in = result.windows[inputs[reach_pins[k]]];
+      out.earliest_ps = std::min(out.earliest_ps, in.earliest_ps + delay);
+      out.latest_ps = std::max(out.latest_ps, in.latest_ps + delay);
+      if (in.ambiguous && out.merge_gate == GlitchWindow::kNone) {
+        out.merge_gate = in.merge_gate;
+      }
+      out.ambiguous = out.ambiguous || in.ambiguous;
+    }
+    if (reach_count >= 2) {
+      out.ambiguous = true;
+      out.merge_gate = g;
+    }
+
+    // Electrical-masking threshold: a disturbance reaches the output only
+    // if some nonempty subset S of the reachable inputs is disturbed
+    // (each needs width >= its own threshold) and the merged pulse train
+    // of S — at most width + slack(S) wide — survives this gate's
+    // inertial filter. Minimize over subsets for the tightest sound
+    // bound; arity is at most 4, so at most 15 subsets.
+    double best = kInf;
+    for (std::uint32_t s = 1; s < (1u << reach_count); ++s) {
+      double th = 0.0;
+      double lo = kInf;
+      double hi = -kInf;
+      for (std::uint32_t k = 0; k < reach_count; ++k) {
+        if (((s >> k) & 1u) == 0) continue;
+        const GlitchWindow& in = result.windows[inputs[reach_pins[k]]];
+        th = std::max(th, in.width_threshold_ps);
+        lo = std::min(lo, in.earliest_ps);
+        hi = std::max(hi, in.latest_ps);
+      }
+      best = std::min(best, std::max(th, inertial - (hi - lo)));
+    }
+    out.width_threshold_ps = best;
+
+    // Witness-path predecessor: the reachable input with the smallest own
+    // threshold (ties break towards the lowest pin for determinism).
+    std::uint32_t pred = inputs[reach_pins[0]];
+    double pred_th = result.windows[pred].width_threshold_ps;
+    for (std::uint32_t k = 1; k < reach_count; ++k) {
+      const std::uint32_t net = inputs[reach_pins[k]];
+      if (result.windows[net].width_threshold_ps < pred_th) {
+        pred = net;
+        pred_th = result.windows[net].width_threshold_ps;
+      }
+    }
+    out.pred_net = pred;
+
+    result.windows[view.gate_output(g)] = out;
+  }
+  return result;
+}
+
+std::vector<NetId> witness_path(const SiteWindows& site_windows,
+                                NetId endpoint) {
+  std::vector<NetId> path;
+  if (!site_windows.windows[endpoint.index()].reachable) return path;
+  std::uint32_t net = endpoint.index();
+  while (true) {
+    path.push_back(NetId{net});
+    if (NetId{net} == site_windows.site) break;
+    const std::uint32_t pred = site_windows.windows[net].pred_net;
+    if (pred == GlitchWindow::kNone) break;  // defensive: broken chain
+    net = pred;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace cwsp::analysis

@@ -37,6 +37,18 @@ struct DesignTiming {
   return std::max(glitch, Picoseconds(0.0));
 }
 
+/// The glitch width the placed design actually guarantees: the designed δ
+/// capped by the Eq. 2/5 envelope the timing admits. This is the physical
+/// SET envelope the static certifier reports alongside its verdicts — when
+/// it is below δ, the protocol repairs δ-wide pulses but the electrical
+/// assumptions behind that repair no longer hold for the widest of them.
+[[nodiscard]] inline Picoseconds effective_protected_glitch(
+    const DesignTiming& timing, const ProtectionParams& params,
+    Picoseconds clock_skew = Picoseconds(0.0)) {
+  return std::min(params.delta,
+                  max_protected_glitch(timing, params, clock_skew));
+}
+
 /// True if the design's D_max and D_min admit the params' full designed δ.
 [[nodiscard]] inline bool supports_full_protection(
     const DesignTiming& timing, const ProtectionParams& params,

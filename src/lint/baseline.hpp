@@ -1,0 +1,50 @@
+#pragma once
+// Lint baselines: freeze today's diagnostics so future runs fail only on
+// *new* findings. This is what lets a strict rule family (e.g. certify)
+// land as warnings on benches that legitimately fail it today.
+//
+// A baseline entry is a stable diagnostic identity — design, rule id and
+// the sorted entity names it anchors to — with a count. Messages and
+// ordering are deliberately excluded (they carry margins, line numbers
+// and other values that shift with unrelated edits). Parse failures
+// (rule id "parse-error") are never recorded or suppressed: a design that
+// stops parsing must always fail.
+//
+// Workflow (docs/lint.md):
+//   cwsp_tool lint --baseline base.json design.bench   # absent: record
+//   cwsp_tool lint --baseline base.json design.bench   # present: apply
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+
+namespace cwsp::lint {
+
+struct Baseline {
+  struct Entry {
+    std::string key;
+    std::size_t count = 0;
+  };
+  /// Sorted by key; unique keys.
+  std::vector<Entry> entries;
+};
+
+/// Stable identity of one diagnostic within a design.
+[[nodiscard]] std::string baseline_key(const std::string& design,
+                                       const Diagnostic& diagnostic);
+
+/// Serializes the report's baselinable diagnostics (schema
+/// cwsp-lint-baseline-v1, keys sorted); ends with '\n'.
+[[nodiscard]] std::string format_baseline(const LintReport& report);
+
+/// Parses a baseline document; throws cwsp::Error on malformed input or
+/// an unknown schema.
+[[nodiscard]] Baseline parse_baseline(const std::string& text);
+
+/// Removes diagnostics covered by the baseline (up to each entry's count,
+/// in report order) in place. Returns the number suppressed.
+std::size_t apply_baseline(LintReport& report, const Baseline& baseline);
+
+}  // namespace cwsp::lint

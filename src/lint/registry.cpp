@@ -13,6 +13,8 @@ const char* to_string(RuleCategory category) {
       return "timing";
     case RuleCategory::kHardening:
       return "hardening";
+    case RuleCategory::kCertify:
+      return "certify";
   }
   return "unknown";
 }
@@ -69,6 +71,12 @@ LintReport run_lint(const Netlist& netlist, const LintOptions& options,
     sta = run_sta(netlist);
     ctx.sta = &sta;
     run_category(RuleCategory::kTiming);
+    // The certify rules need the same preconditions as the timing rules
+    // plus explicit opt-in (a whole-design certification run is orders of
+    // magnitude heavier than the envelope checks).
+    if (options.certify && options.params.has_value()) {
+      run_category(RuleCategory::kCertify);
+    }
     ctx.sta = nullptr;
   }
 

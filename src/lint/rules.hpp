@@ -10,6 +10,10 @@
 //                 when the context carries ProtectionParams
 //   * hardening — structural invariants of an elaborated hardened system
 //                 and EQGLB-tree model consistency; run on request
+//   * certify   — static SET-coverage certification (src/analysis); the
+//                 rules are registered by the analysis library via
+//                 register_certify_rules (this library cannot link it),
+//                 and run when options.certify is set with params
 //
 // The checker lives below cwsp::core on purpose: core's harden() calls
 // the structure rules as a precondition, so this library must not link
@@ -29,7 +33,12 @@
 
 namespace cwsp::lint {
 
-enum class RuleCategory : std::uint8_t { kStructure, kTiming, kHardening };
+enum class RuleCategory : std::uint8_t {
+  kStructure,
+  kTiming,
+  kHardening,
+  kCertify,
+};
 
 [[nodiscard]] const char* to_string(RuleCategory category);
 
@@ -55,6 +64,13 @@ struct LintOptions {
   /// enables the `timing-fallback-arc` rule, which warns when the
   /// critical path rests on such arcs.
   std::vector<std::string> fallback_cells;
+  /// Run the certify rule family (requires `params` and a registry the
+  /// analysis library registered its rules into; a no-op otherwise).
+  bool certify = false;
+  /// Envelope width for the certifier, ps (0 → the params' designed δ).
+  double certify_envelope_ps = 0.0;
+  /// Seed for the certifier's fallback sweeps.
+  std::uint64_t certify_seed = 1;
 };
 
 struct LintContext {

@@ -3,13 +3,18 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
+#include "analysis/certify.hpp"
+#include "analysis/certify_rules.hpp"
 #include "campaign/campaign.hpp"
 #include "cwsp/coverage.hpp"
 #include "cwsp/elaborate_system.hpp"
 #include "cwsp/eqglb_tree.hpp"
 #include "cwsp/harden.hpp"
+#include "cwsp/timing.hpp"
+#include "lint/baseline.hpp"
 #include "netlist/analysis.hpp"
 #include "netlist/bench_parser.hpp"
 #include "set/strike_plan.hpp"
@@ -205,6 +210,55 @@ CoverageOutcome run_coverage(const DesignSession& session,
   return outcome;
 }
 
+std::uint64_t certify_spec_fingerprint(const CertifySpec& spec,
+                                       std::uint64_t design_key) {
+  std::uint64_t h = 1469598103934665603ULL;
+  fnv_mix(h, design_key);
+  fnv_mix(h, 0xce47);  // op tag: certify
+  fnv_mix(h, spec.q150 ? 1 : 0);
+  fnv_mix(h, spec.delta_ps.has_value() ? 1 : 0);
+  fnv_mix(h, std::bit_cast<std::uint64_t>(spec.delta_ps.value_or(0.0)));
+  fnv_mix(h, std::bit_cast<std::uint64_t>(spec.skew_ps));
+  fnv_mix(h, std::bit_cast<std::uint64_t>(spec.envelope_ps));
+  fnv_mix(h, spec.seed);
+  fnv_mix(h, spec.json ? 1 : 0);
+  return h;
+}
+
+CertifyOutcome run_certify(const DesignSession& session,
+                           const CertifySpec& spec) {
+  const Netlist& netlist = *session.netlist;
+  core::ProtectionParams params;
+  if (spec.delta_ps.has_value()) {
+    params = core::ProtectionParams::for_glitch_width(
+        Picoseconds(*spec.delta_ps));
+  } else {
+    params = spec.q150 ? core::ProtectionParams::q150()
+                       : core::ProtectionParams::q100();
+  }
+  // Same period the campaign driver would run this configuration at:
+  // the design's hardened period floored at Eq. 6's minimum.
+  const Picoseconds period = std::max(
+      core::hardened_clock_period(session.sta.dmax, netlist.library()),
+      core::min_clock_period_for_delta(params));
+
+  analysis::CertifyOptions options;
+  options.envelope_ps = spec.envelope_ps;
+  options.clock_skew_ps = spec.skew_ps;
+  options.seed = spec.seed;
+  options.artifact_dir = spec.artifact_dir;
+  const analysis::CertifyResult result = analysis::certify_design(
+      netlist, params, period, options, session.kernel_context);
+
+  CertifyOutcome outcome;
+  outcome.escapes = result.escape_count();
+  outcome.unknowns = result.unknown_count();
+  outcome.output = spec.json
+                       ? analysis::format_certify_json(result, netlist) + "\n"
+                       : analysis::format_certify_text(result, netlist);
+  return outcome;
+}
+
 LintOutcome run_lint(const LintSpec& spec, const CellLibrary& library) {
   lint::LintOptions options;
   if (spec.hardened) {
@@ -213,13 +267,23 @@ LintOutcome run_lint(const LintSpec& spec, const CellLibrary& library) {
     if (spec.period_ps.has_value()) {
       options.clock_period = Picoseconds(*spec.period_ps);
     }
+    options.certify = spec.certify;
+    options.certify_envelope_ps = spec.certify_envelope_ps;
+    options.certify_seed = spec.certify_seed;
   }
   options.fallback_cells = spec.fallback_cells;
 
   const std::string& design_label =
       spec.path.empty() ? spec.name : spec.path;
 
+  // The certify rules live in the analysis library; a registry carrying
+  // them is only needed (and only paid for) when the spec asks.
+  const lint::RuleRegistry& registry = spec.certify
+                                           ? analysis::certify_registry()
+                                           : lint::default_registry();
+
   lint::LintReport report;
+  bool parse_failed = false;
   std::vector<BenchParseIssue> issues;
   BenchParseOptions parse_options;
   parse_options.lenient = true;
@@ -236,7 +300,7 @@ LintOutcome run_lint(const LintSpec& spec, const CellLibrary& library) {
         options.tree = core::build_eqglb_tree(protected_ffs);
       }
     }
-    report = lint::run_lint(netlist, options);
+    report = lint::run_lint(netlist, options, registry);
     lint::add_parse_issue_diagnostics(issues, report);
 
     // Under hardened checks, additionally elaborate the full protected
@@ -250,6 +314,7 @@ LintOutcome run_lint(const LintSpec& spec, const CellLibrary& library) {
       report.merge(lint::run_lint(system.netlist, system_options));
     }
   } catch (const Error& e) {
+    parse_failed = true;
     report.design = design_label;
     lint::Diagnostic d;
     d.rule_id = "parse-error";
@@ -259,9 +324,44 @@ LintOutcome run_lint(const LintSpec& spec, const CellLibrary& library) {
   }
 
   LintOutcome outcome;
+  outcome.parse_failed = parse_failed;
+
+  // Baseline handling happens before formatting so suppressed findings
+  // disappear from the report itself; a design that fails to parse
+  // bypasses it entirely (parse failures are never baselinable).
+  bool recorded = false;
+  if (!spec.baseline_path.empty() && !parse_failed) {
+    std::ifstream in(spec.baseline_path, std::ios::binary);
+    if (in.good()) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const lint::Baseline baseline = lint::parse_baseline(buf.str());
+      const std::size_t suppressed = lint::apply_baseline(report, baseline);
+      outcome.baseline_note =
+          "baseline: " + std::to_string(suppressed) +
+          " diagnostic(s) suppressed by " + spec.baseline_path;
+    } else {
+      const std::string text = lint::format_baseline(report);
+      std::ofstream out(spec.baseline_path, std::ios::binary);
+      CWSP_REQUIRE_MSG(out.good(), "cannot write baseline file '"
+                                       << spec.baseline_path << "'");
+      out << text;
+      std::size_t baselinable = 0;
+      for (const lint::Diagnostic& d : report.diagnostics) {
+        if (d.rule_id != "parse-error") ++baselinable;
+      }
+      outcome.baseline_note = "baseline: recorded " +
+                              std::to_string(baselinable) +
+                              " diagnostic(s) to " + spec.baseline_path;
+      recorded = true;
+    }
+  }
+
   outcome.output = spec.json ? lint::format_json(report)
                              : lint::format_text(report);
-  outcome.failed = report.fails_at(spec.fail_threshold);
+  // A recording run accepts the current findings by definition; it fails
+  // only if the design itself is broken (which skips recording above).
+  outcome.failed = !recorded && report.fails_at(spec.fail_threshold);
   return outcome;
 }
 

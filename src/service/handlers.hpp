@@ -94,6 +94,37 @@ struct CoverageOutcome {
 [[nodiscard]] CoverageOutcome run_coverage(const DesignSession& session,
                                            const CoverageSpec& spec);
 
+// ---- certify --------------------------------------------------------
+
+struct CertifySpec {
+  bool q150 = false;
+  std::optional<double> delta_ps;
+  double skew_ps = 0.0;
+  /// Envelope to certify against, ps; 0 selects the params' designed δ.
+  double envelope_ps = 0.0;
+  std::uint64_t seed = 1;
+  bool json = true;
+
+  // One-shot-only extra (client-local output directory; rejected by the
+  // server for the same reason as campaign artifact dirs).
+  std::string artifact_dir;
+};
+
+[[nodiscard]] std::uint64_t certify_spec_fingerprint(
+    const CertifySpec& spec, std::uint64_t design_key);
+
+struct CertifyOutcome {
+  std::size_t escapes = 0;
+  std::size_t unknowns = 0;
+  std::string output;
+};
+
+/// Certifies every strike site of the session's design — the single code
+/// path behind `cwsp_tool certify` and the service `certify` op, so both
+/// produce byte-identical reports.
+[[nodiscard]] CertifyOutcome run_certify(const DesignSession& session,
+                                         const CertifySpec& spec);
+
 // ---- lint -----------------------------------------------------------
 
 struct LintSpec {
@@ -112,11 +143,27 @@ struct LintSpec {
   bool json = true;
   /// Findings at or above this severity make the outcome "failed".
   lint::Severity fail_threshold = lint::Severity::kError;
+  /// Run the certify rule family alongside the standard rules (requires
+  /// `hardened` so protection params are configured).
+  bool certify = false;
+  double certify_envelope_ps = 0.0;
+  std::uint64_t certify_seed = 1;
+
+  // One-shot-only extra: baseline file (client-local). Absent file →
+  // record the current diagnostics; present → suppress matches and fail
+  // only on new ones (docs/lint.md).
+  std::string baseline_path;
 };
 
 struct LintOutcome {
   bool failed = false;
+  /// The design failed to parse at all (typed exit code 2 for the CLI).
+  bool parse_failed = false;
   std::string output;
+  /// Human-readable baseline activity ("recorded N" / "suppressed N"),
+  /// empty when no baseline is in play. Printed to stderr by the CLI so
+  /// JSON output stays parseable.
+  std::string baseline_note;
 };
 
 [[nodiscard]] LintOutcome run_lint(const LintSpec& spec,

@@ -140,8 +140,29 @@ CoverageSpec parse_coverage_spec(const json::Value& request) {
   return spec;
 }
 
+CertifySpec parse_certify_spec(const json::Value& request) {
+  if (request.find("artifacts") != nullptr) {
+    throw ParseError(
+        "'artifacts' is a one-shot CLI option, not a service field");
+  }
+  CertifySpec spec;
+  spec.q150 = request.boolean("q150", false);
+  if (request.find("delta") != nullptr) {
+    spec.delta_ps = finite_field(request, "delta", 0.0, 0.0, kMaxPs);
+  }
+  spec.skew_ps = finite_field(request, "skew", 0.0, 0.0, kMaxPs);
+  spec.envelope_ps = finite_field(request, "env_width", 0.0, 0.0, kMaxPs);
+  spec.seed = uint_field(request, "seed", 1, kMaxSeed);
+  spec.json = wants_json(request);
+  return spec;
+}
+
 LintSpec parse_lint_spec(const Job& job, const std::string& design_path,
                          const json::Value& request) {
+  if (request.find("baseline") != nullptr) {
+    throw ParseError(
+        "'baseline' is a one-shot CLI option, not a service field");
+  }
   LintSpec spec;
   if (!design_path.empty()) {
     spec.path = design_path;
@@ -172,6 +193,13 @@ LintSpec parse_lint_spec(const Job& job, const std::string& design_path,
   } else {
     throw ParseError("fail_on expects 'warn' or 'error'");
   }
+  spec.certify = request.boolean("certify", false);
+  if (spec.certify && !spec.hardened) {
+    throw ParseError("'certify' requires 'hardened'");
+  }
+  spec.certify_envelope_ps =
+      finite_field(request, "env_width", 0.0, 0.0, kMaxPs);
+  spec.certify_seed = uint_field(request, "certify_seed", 1, kMaxSeed);
   return spec;
 }
 
@@ -421,7 +449,7 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
 
     // ---- work ops: admission + enqueue ------------------------------
     if (op != "campaign" && op != "lint" && op != "sta" &&
-        op != "coverage" && op != "sleep") {
+        op != "coverage" && op != "certify" && op != "sleep") {
       throw ParseError("unknown op '" + op + "'");
     }
 
@@ -448,6 +476,9 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
             coverage_spec_fingerprint(parse_coverage_spec(request), dkey);
       } else if (op == "sta") {
         job.batch_key = sta_fingerprint(dkey);
+      } else if (op == "certify") {
+        job.batch_key =
+            certify_spec_fingerprint(parse_certify_spec(request), dkey);
       } else {
         parse_lint_spec(job, job.design_path, request);  // validate only
       }
@@ -647,6 +678,13 @@ std::string Server::execute_job(const Job& job, sim::CancelToken* cancel) {
       const CoverageOutcome outcome = run_coverage(*session, spec);
       return ok_tail(job.op, spec.json ? "json" : "text", outcome.output,
                      outcome.valid ? ",\"valid\":true" : ",\"valid\":false");
+    }
+    if (job.op == "certify") {
+      const CertifySpec spec = parse_certify_spec(job.request);
+      const CertifyOutcome outcome = run_certify(*session, spec);
+      return ok_tail(job.op, spec.json ? "json" : "text", outcome.output,
+                     ",\"escapes\":" + std::to_string(outcome.escapes) +
+                         ",\"unknowns\":" + std::to_string(outcome.unknowns));
     }
     // campaign
     const CampaignSpec spec = parse_campaign_spec(job.request);

@@ -338,6 +338,54 @@ void LogicSim64::evaluate() {
     }
     net_words_[view.gate_output(g)] = out;
   }
+  for (std::uint32_t n : overlay_nets_) overlay_valid_[n] = 0;
+  overlay_nets_.clear();
+}
+
+void LogicSim64::evaluate_with_flip(NetId site) {
+  const FlatNetlistView& view = *view_;
+  CWSP_REQUIRE(site.valid() && site.index() < net_words_.size());
+  if (overlay_words_.size() != net_words_.size()) {
+    overlay_words_.assign(net_words_.size(), 0);
+    overlay_valid_.assign(net_words_.size(), 0);
+  }
+  for (std::uint32_t n : overlay_nets_) overlay_valid_[n] = 0;
+  overlay_nets_.clear();
+
+  const std::uint32_t s = static_cast<std::uint32_t>(site.index());
+  overlay_words_[s] = ~net_words_[s];
+  overlay_valid_[s] = 1;
+  overlay_nets_.push_back(s);
+
+  for (std::uint32_t g : view.cone_of(site)) {
+    const std::uint32_t* in = view.gate_inputs_begin(g);
+    const std::uint32_t arity = view.gate_num_inputs(g);
+    const std::uint16_t truth = view.gate_truth(g);
+    std::uint64_t out = 0;
+    const unsigned combos = 1u << arity;
+    for (unsigned a = 0; a < combos; ++a) {
+      if (((truth >> a) & 1u) == 0) continue;
+      std::uint64_t term = ~0ull;
+      for (std::uint32_t i = 0; i < arity; ++i) {
+        const std::uint32_t n = in[i];
+        const std::uint64_t w =
+            overlay_valid_[n] != 0 ? overlay_words_[n] : net_words_[n];
+        term &= ((a >> i) & 1u) != 0 ? w : ~w;
+      }
+      out |= term;
+    }
+    const std::uint32_t out_net = view.gate_output(g);
+    overlay_words_[out_net] = out;
+    overlay_valid_[out_net] = 1;
+    overlay_nets_.push_back(out_net);
+  }
+}
+
+std::uint64_t LogicSim64::flip_diff(NetId net) const {
+  CWSP_REQUIRE(net.valid() && net.index() < net_words_.size());
+  const std::size_t n = net.index();
+  if (n >= overlay_valid_.size() || overlay_valid_[n] == 0) return 0;
+  return overlay_words_[n] ^ net_words_[n];
 }
 
 void LogicSim64::clock() {

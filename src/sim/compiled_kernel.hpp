@@ -168,6 +168,17 @@ class LogicSim64 {
   /// Latches every flip-flop in every lane (Q ← D).
   void clock();
 
+  /// Re-evaluates only `site`'s fanout cone with the site word inverted
+  /// in every lane, against the values of the last evaluate(). The base
+  /// words are untouched; compare via flip_diff. O(|cone|), so sweeping
+  /// many sites against one stimulus batch costs one full pass plus one
+  /// cone pass per site instead of a full pass per site.
+  void evaluate_with_flip(NetId site);
+  /// Per-lane XOR between the flipped overlay and the base evaluation of
+  /// `net` (zero for nets outside the flipped site's cone). Only valid
+  /// after evaluate_with_flip; cleared by the next evaluate().
+  [[nodiscard]] std::uint64_t flip_diff(NetId net) const;
+
   [[nodiscard]] std::uint64_t value_word(NetId net) const;
   [[nodiscard]] bool value(NetId net, std::size_t lane) const;
   [[nodiscard]] std::uint64_t output_word(std::size_t po_index) const;
@@ -180,6 +191,12 @@ class LogicSim64 {
   std::vector<std::uint64_t> net_words_;
   std::vector<std::uint64_t> pi_words_;
   std::vector<std::uint64_t> ff_words_;
+
+  // Flip-overlay scratch (evaluate_with_flip / flip_diff). Sparse: only
+  // the nets in overlay_nets_ carry overlay values; reset is O(touched).
+  std::vector<std::uint64_t> overlay_words_;
+  std::vector<char> overlay_valid_;
+  std::vector<std::uint32_t> overlay_nets_;
 };
 
 }  // namespace cwsp::sim

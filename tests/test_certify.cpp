@@ -1,0 +1,282 @@
+// Static SET-coverage certifier: window-dataflow units on hand-built
+// reconvergent netlists, full-classification checks on s27, and the two
+// soundness cross-checks against the protection-protocol oracle —
+// proved-covered sites survive an exhaustive in-envelope strike sweep,
+// and every proved-escape witness replays to a real escape.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/certify.hpp"
+#include "analysis/glitch_window.hpp"
+#include "campaign/minimize.hpp"
+#include "cwsp/protection_sim.hpp"
+#include "cwsp/timing.hpp"
+#include "iscas_data.hpp"
+#include "netlist/bench_parser.hpp"
+#include "set/strike_plan.hpp"
+#include "sta/sta.hpp"
+
+namespace cwsp {
+namespace {
+
+using analysis::CoveredReason;
+using analysis::GlitchWindow;
+using analysis::SiteVerdict;
+
+// ---- pin_sensitizable ----------------------------------------------
+// Truth tables are FlatNetlistView-encoded: bit i of the table is the
+// output under input assignment i (input pin p contributes bit p of i).
+constexpr std::uint16_t kAnd2 = 0x8;
+constexpr std::uint16_t kXor2 = 0x6;
+
+TEST(PinSensitizable, AndGateNeedsTheOtherInputHigh) {
+  // With pin 1 free, some assignment (pin1=1) sensitizes pin 0.
+  EXPECT_TRUE(analysis::pin_sensitizable(kAnd2, 2, 0, 0b00, 0b00));
+  // Pin 1 pinned to constant 0 masks pin 0 entirely.
+  EXPECT_FALSE(analysis::pin_sensitizable(kAnd2, 2, 0, 0b10, 0b00));
+  // Pin 1 pinned to constant 1 sensitizes it again.
+  EXPECT_TRUE(analysis::pin_sensitizable(kAnd2, 2, 0, 0b10, 0b10));
+}
+
+TEST(PinSensitizable, ConstantFunctionsNeverSensitize) {
+  EXPECT_FALSE(analysis::pin_sensitizable(0x0, 2, 0, 0b00, 0b00));
+  EXPECT_FALSE(analysis::pin_sensitizable(0xF, 2, 1, 0b00, 0b00));
+}
+
+TEST(PinSensitizable, XorSensitizesUnderEveryConstant) {
+  EXPECT_TRUE(analysis::pin_sensitizable(kXor2, 2, 0, 0b10, 0b00));
+  EXPECT_TRUE(analysis::pin_sensitizable(kXor2, 2, 0, 0b10, 0b10));
+  EXPECT_TRUE(analysis::pin_sensitizable(kXor2, 2, 1, 0b01, 0b01));
+}
+
+// ---- window dataflow ------------------------------------------------
+
+// Reconvergent fanout with unequal path delays: s forks into a 3-NOT
+// chain and a single NOT, remerging at m.
+constexpr const char* kReconvergent = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(q)
+s = AND(a, b)
+x1 = NOT(s)
+x2 = NOT(x1)
+x3 = NOT(x2)
+y = NOT(s)
+m = AND(x3, y)
+q = DFF(m)
+)";
+
+class WindowDataflowTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+};
+
+TEST_F(WindowDataflowTest, ReconvergenceMarksTheMergeAmbiguous) {
+  const auto netlist = parse_bench_string(kReconvergent, lib_, "reconv");
+  const FlatNetlistView view(netlist);
+  const auto sta = run_sta(netlist);
+  const NetId site = *netlist.find_net("s");
+
+  const auto sw = analysis::propagate_windows(view, sta.gate_delay_ps, site);
+
+  // The site itself: the strike window, untouched.
+  const GlitchWindow& at_site = sw.at(site);
+  EXPECT_TRUE(at_site.reachable);
+  EXPECT_FALSE(at_site.ambiguous);
+  EXPECT_DOUBLE_EQ(at_site.earliest_ps, 0.0);
+  EXPECT_DOUBLE_EQ(at_site.latest_ps, 0.0);
+
+  // Single-path nets stay unambiguous and accumulate delay.
+  const GlitchWindow& at_x1 = sw.at(*netlist.find_net("x1"));
+  EXPECT_TRUE(at_x1.reachable);
+  EXPECT_FALSE(at_x1.ambiguous);
+  EXPECT_GT(at_x1.earliest_ps, 0.0);
+  EXPECT_DOUBLE_EQ(at_x1.earliest_ps, at_x1.latest_ps);
+
+  // The merge: both paths arrive, with the path-delay spread as slack.
+  const GlitchWindow& at_m = sw.at(*netlist.find_net("m"));
+  EXPECT_TRUE(at_m.reachable);
+  EXPECT_TRUE(at_m.ambiguous);
+  EXPECT_NE(at_m.merge_gate, GlitchWindow::kNone);
+  EXPECT_GT(at_m.slack_ps(), 0.0);
+  // Earliest via the short path (y), latest via the three-NOT chain.
+  const GlitchWindow& at_y = sw.at(*netlist.find_net("y"));
+  const GlitchWindow& at_x3 = sw.at(*netlist.find_net("x3"));
+  EXPECT_LE(at_y.earliest_ps, at_m.earliest_ps);
+  EXPECT_GE(at_m.latest_ps, at_x3.latest_ps);
+
+  // Nets outside the cone are unreachable.
+  EXPECT_FALSE(sw.at(*netlist.find_net("a")).reachable);
+}
+
+TEST_F(WindowDataflowTest, WitnessPathBacktracksToTheSite) {
+  const auto netlist = parse_bench_string(kReconvergent, lib_, "reconv");
+  const FlatNetlistView view(netlist);
+  const auto sta = run_sta(netlist);
+  const NetId site = *netlist.find_net("s");
+  const auto sw = analysis::propagate_windows(view, sta.gate_delay_ps, site);
+
+  const NetId x3 = *netlist.find_net("x3");
+  const auto path = analysis::witness_path(sw, x3);
+  ASSERT_EQ(path.size(), 4u);  // s > x1 > x2 > x3
+  EXPECT_EQ(path.front(), site);
+  EXPECT_EQ(path[1], *netlist.find_net("x1"));
+  EXPECT_EQ(path[2], *netlist.find_net("x2"));
+  EXPECT_EQ(path.back(), x3);
+
+  // Unreachable endpoint: empty path.
+  EXPECT_TRUE(analysis::witness_path(sw, *netlist.find_net("a")).empty());
+}
+
+// ---- certify on s27 -------------------------------------------------
+
+class CertifyS27Test : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_default_library();
+  Netlist netlist_ = parse_bench_string(testdata::kS27, lib_, "s27");
+  core::ProtectionParams params_ = core::ProtectionParams::q100();
+
+  [[nodiscard]] Picoseconds period() const {
+    const auto sta = run_sta(netlist_);
+    return std::max(core::hardened_clock_period(sta.dmax, lib_),
+                    core::min_clock_period_for_delta(params_));
+  }
+};
+
+TEST_F(CertifyS27Test, DefaultEnvelopeClassifiesEverySiteCovered) {
+  const auto result =
+      analysis::certify_design(netlist_, params_, period());
+
+  const auto sites = set::strike_sites(netlist_);
+  ASSERT_EQ(result.sites.size(), sites.size());
+  EXPECT_EQ(result.covered_count(), sites.size());
+  EXPECT_EQ(result.escape_count(), 0u);
+  EXPECT_EQ(result.unknown_count(), 0u);
+  for (const auto& cert : result.sites) {
+    EXPECT_EQ(cert.verdict, SiteVerdict::kProvedCovered);
+    // W == δ: the protocol repairs the whole envelope, except for sites
+    // with no path to state at all.
+    EXPECT_TRUE(cert.reason == CoveredReason::kCwspEnvelope ||
+                cert.reason == CoveredReason::kNoPath);
+    if (!cert.margin_unbounded) {
+      EXPECT_GE(cert.margin_ps, 0.0);
+    }
+  }
+}
+
+TEST_F(CertifyS27Test, ReportsAreDeterministic) {
+  analysis::CertifyOptions options;
+  options.envelope_ps = 900.0;
+  const auto a = analysis::certify_design(netlist_, params_, period(),
+                                          options);
+  const auto b = analysis::certify_design(netlist_, params_, period(),
+                                          options);
+  EXPECT_EQ(analysis::format_certify_json(a, netlist_),
+            analysis::format_certify_json(b, netlist_));
+}
+
+TEST_F(CertifyS27Test, ProvedCoveredAgreesWithExhaustiveInEnvelopeSweep) {
+  // Certifier claim: at the default envelope (W = δ) every site is
+  // proved-covered. Oracle: protocol replay of in-envelope strikes at
+  // every site across the cycle must never silently corrupt an output.
+  const auto result =
+      analysis::certify_design(netlist_, params_, period());
+  ASSERT_EQ(result.covered_count(), result.sites.size());
+
+  const core::ProtectionSim psim(netlist_, params_, period());
+  const std::vector<std::vector<bool>> inputs = {
+      {false, false, false, false}, {true, false, true, false},
+      {false, true, true, true},    {true, true, false, true},
+      {true, true, true, true},     {false, true, false, false},
+  };
+  const double period_ps = period().value();
+  for (const NetId site : set::strike_sites(netlist_)) {
+    for (const double frac : {0.0, 0.3, 0.6, 0.9}) {
+      core::ScheduledStrike strike;
+      strike.cycle = 1;
+      strike.target = core::StrikeTarget::kFunctional;
+      strike.strike.node = site;
+      strike.strike.start = Picoseconds(frac * period_ps);
+      strike.strike.width = params_.delta;
+      const auto run = psim.run(inputs, {strike});
+      EXPECT_TRUE(run.recovered())
+          << "in-envelope strike escaped at site " << site.value()
+          << " start-fraction " << frac
+          << " — contradicts proved-covered";
+    }
+  }
+}
+
+TEST_F(CertifyS27Test, EscapeWitnessesReplayThroughTheCampaignEngine) {
+  analysis::CertifyOptions options;
+  options.envelope_ps = 900.0;  // beyond δ: escapes must exist on s27
+  options.artifact_dir =
+      ::testing::TempDir() + "cwsp_certify_repro";
+  const auto result = analysis::certify_design(netlist_, params_,
+                                               period(), options);
+
+  EXPECT_GE(result.escape_count(), 1u);
+  for (const auto& cert : result.sites) {
+    if (cert.verdict == SiteVerdict::kProvedEscape) {
+      // An escape needs width > δ (everything narrower is repaired).
+      EXPECT_GT(cert.witness_width_ps, params_.delta.value());
+      EXPECT_FALSE(cert.path.empty());
+      ASSERT_FALSE(cert.repro_spec_path.empty());
+      EXPECT_TRUE(campaign::replay_repro(cert.repro_spec_path, lib_))
+          << "witness at site " << cert.site.value()
+          << " did not replay to a real escape";
+    } else if (cert.verdict == SiteVerdict::kUnknown) {
+      // Unknown verdicts always identify their cause.
+      EXPECT_FALSE(cert.note.empty());
+    }
+  }
+}
+
+TEST_F(CertifyS27Test, SubEqSixPeriodDegradesToUnknownInsteadOfThrowing) {
+  analysis::CertifyOptions options;
+  options.envelope_ps = 900.0;
+  const Picoseconds short_period(
+      core::min_clock_period_for_delta(params_).value() - 100.0);
+  const auto result = analysis::certify_design(netlist_, params_,
+                                               short_period, options);
+  // Dangerous sites cannot be confirmed (ProtectionSim would reject the
+  // period), so they degrade to unknown with an Eq. 6 note.
+  EXPECT_EQ(result.escape_count(), 0u);
+  EXPECT_GE(result.unknown_count(), 1u);
+  bool saw_eq6_note = false;
+  for (const auto& cert : result.sites) {
+    if (cert.verdict == SiteVerdict::kUnknown &&
+        cert.note.find("Eq. 6") != std::string::npos) {
+      saw_eq6_note = true;
+    }
+  }
+  EXPECT_TRUE(saw_eq6_note);
+}
+
+// c17 is purely combinational: no state, nothing to certify — every site
+// is no-path covered.
+TEST(CertifyC17Test, CombinationalDesignIsTriviallyCovered) {
+  const CellLibrary lib = make_default_library();
+  const auto netlist = parse_bench_string(testdata::kC17, lib, "c17");
+  const auto params = core::ProtectionParams::q100();
+  const auto sta = run_sta(netlist);
+  const Picoseconds period =
+      std::max(core::hardened_clock_period(sta.dmax, lib),
+               core::min_clock_period_for_delta(params));
+
+  analysis::CertifyOptions options;
+  options.envelope_ps = 2000.0;  // far beyond δ — still nothing to hit
+  const auto result =
+      analysis::certify_design(netlist, params, period, options);
+  ASSERT_EQ(result.sites.size(), set::strike_sites(netlist).size());
+  EXPECT_EQ(result.covered_count(), result.sites.size());
+  for (const auto& cert : result.sites) {
+    EXPECT_EQ(cert.reason, CoveredReason::kNoPath);
+    EXPECT_TRUE(cert.margin_unbounded);
+  }
+}
+
+}  // namespace
+}  // namespace cwsp

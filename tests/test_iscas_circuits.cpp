@@ -9,50 +9,15 @@
 #include "cwsp/elaborate_system.hpp"
 #include "cwsp/harden.hpp"
 #include "netlist/bench_parser.hpp"
+#include "iscas_data.hpp"
 #include "sim/logic_sim.hpp"
 #include "sta/sta.hpp"
 
 namespace cwsp {
 namespace {
 
-constexpr const char* kC17 = R"(
-# c17 — ISCAS85
-INPUT(1)
-INPUT(2)
-INPUT(3)
-INPUT(6)
-INPUT(7)
-OUTPUT(22)
-OUTPUT(23)
-10 = NAND(1, 3)
-11 = NAND(3, 6)
-16 = NAND(2, 11)
-19 = NAND(11, 7)
-22 = NAND(10, 16)
-23 = NAND(16, 19)
-)";
-
-constexpr const char* kS27 = R"(
-# s27 — ISCAS89
-INPUT(G0)
-INPUT(G1)
-INPUT(G2)
-INPUT(G3)
-OUTPUT(G17)
-G5 = DFF(G10)
-G6 = DFF(G11)
-G7 = DFF(G13)
-G14 = NOT(G0)
-G17 = NOT(G11)
-G8 = AND(G14, G6)
-G15 = OR(G12, G8)
-G16 = OR(G3, G8)
-G9 = NAND(G16, G15)
-G10 = NOR(G14, G11)
-G11 = NOR(G5, G9)
-G12 = NOR(G1, G7)
-G13 = NAND(G2, G12)
-)";
+using testdata::kC17;
+using testdata::kS27;
 
 class IscasTest : public ::testing::Test {
  protected:

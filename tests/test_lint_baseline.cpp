@@ -1,0 +1,129 @@
+// Lint baseline files: record/parse round-trips, suppression semantics
+// (count budgets, key stability), the parse-error exclusion, and
+// malformed-input rejection.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "lint/baseline.hpp"
+#include "lint/report.hpp"
+
+namespace cwsp::lint {
+namespace {
+
+Diagnostic make_diag(const std::string& rule, Severity severity,
+                     std::vector<std::string> nets = {}) {
+  Diagnostic d;
+  d.rule_id = rule;
+  d.severity = severity;
+  d.net_names = std::move(nets);
+  d.message = "message text is excluded from the key";
+  return d;
+}
+
+LintReport make_report() {
+  LintReport report;
+  report.design = "demo";
+  report.add(make_diag("rule-a", Severity::kError, {"n1"}));
+  report.add(make_diag("rule-a", Severity::kError, {"n1"}));
+  report.add(make_diag("rule-b", Severity::kWarning, {"n2", "n3"}));
+  return report;
+}
+
+TEST(LintBaseline, FormatParseRoundTrip) {
+  const LintReport report = make_report();
+  const std::string text = format_baseline(report);
+  const Baseline baseline = parse_baseline(text);
+
+  ASSERT_EQ(baseline.entries.size(), 2u);
+  // Entries are key-sorted; duplicate diagnostics fold into a count.
+  EXPECT_EQ(baseline.entries[0].key, "demo|rule-a|n1");
+  EXPECT_EQ(baseline.entries[0].count, 2u);
+  EXPECT_EQ(baseline.entries[1].key, "demo|rule-b|n2,n3");
+  EXPECT_EQ(baseline.entries[1].count, 1u);
+}
+
+TEST(LintBaseline, KeyIgnoresMessageAndNameOrder) {
+  Diagnostic a = make_diag("rule-x", Severity::kError, {"p", "q"});
+  Diagnostic b = make_diag("rule-x", Severity::kError, {"q", "p"});
+  b.message = "a completely different message";
+  EXPECT_EQ(baseline_key("d", a), baseline_key("d", b));
+}
+
+TEST(LintBaseline, ApplySuppressesUpToTheRecordedCount) {
+  LintReport report = make_report();
+  Baseline baseline = parse_baseline(format_baseline(report));
+
+  // A fresh run with one MORE rule-a finding than the baseline holds.
+  report.add(make_diag("rule-a", Severity::kError, {"n1"}));
+  const std::size_t suppressed = apply_baseline(report, baseline);
+  EXPECT_EQ(suppressed, 3u);
+  ASSERT_EQ(report.diagnostics.size(), 1u);  // the new, unbaselined one
+  EXPECT_EQ(report.diagnostics[0].rule_id, "rule-a");
+}
+
+TEST(LintBaseline, NewRuleIsNeverSuppressed) {
+  LintReport report = make_report();
+  const Baseline baseline = parse_baseline(format_baseline(report));
+
+  LintReport fresh;
+  fresh.design = "demo";
+  fresh.add(make_diag("rule-new", Severity::kError, {"n1"}));
+  EXPECT_EQ(apply_baseline(fresh, baseline), 0u);
+  EXPECT_EQ(fresh.diagnostics.size(), 1u);
+}
+
+TEST(LintBaseline, ParseErrorsAreNeverRecordedOrSuppressed) {
+  LintReport report;
+  report.design = "demo";
+  report.add(make_diag("parse-error", Severity::kError));
+  const Baseline recorded = parse_baseline(format_baseline(report));
+  EXPECT_TRUE(recorded.entries.size() == 0u);
+
+  // Even a hand-forged entry must not suppress a parse failure.
+  Baseline forged;
+  forged.entries.push_back({baseline_key("demo", report.diagnostics[0]), 1});
+  EXPECT_EQ(apply_baseline(report, forged), 0u);
+  EXPECT_EQ(report.diagnostics.size(), 1u);
+}
+
+TEST(LintBaseline, EmptyReportRoundTrips) {
+  LintReport report;
+  report.design = "demo";
+  const Baseline baseline = parse_baseline(format_baseline(report));
+  EXPECT_TRUE(baseline.entries.empty());
+}
+
+TEST(LintBaseline, EscapedKeysRoundTrip) {
+  LintReport report;
+  report.design = "de\"mo\\path";
+  report.add(make_diag("rule-a", Severity::kError, {"n\t1"}));
+  const Baseline baseline = parse_baseline(format_baseline(report));
+  ASSERT_EQ(baseline.entries.size(), 1u);
+  EXPECT_EQ(baseline.entries[0].key, "de\"mo\\path|rule-a|n\t1");
+}
+
+TEST(LintBaseline, MalformedInputThrows) {
+  EXPECT_THROW((void)parse_baseline(""), Error);
+  EXPECT_THROW((void)parse_baseline("{}"), Error);  // missing schema
+  EXPECT_THROW(
+      (void)parse_baseline(R"({"schema": "other-schema", "entries": []})"),
+      Error);
+  EXPECT_THROW((void)parse_baseline(
+                   R"({"schema": "cwsp-lint-baseline-v1", "bogus": 1})"),
+               Error);
+  EXPECT_THROW(
+      (void)parse_baseline(
+          R"({"schema": "cwsp-lint-baseline-v1", "entries": [{"key": "k"]})"),
+      Error);
+  // Duplicate keys are a corrupt baseline, not a larger budget.
+  EXPECT_THROW((void)parse_baseline(
+                   R"({"schema": "cwsp-lint-baseline-v1", "entries": [)"
+                   R"({"key": "k", "count": 1}, {"key": "k", "count": 2}]})"),
+               Error);
+}
+
+}  // namespace
+}  // namespace cwsp::lint

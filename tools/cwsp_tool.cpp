@@ -5,9 +5,9 @@
 // below, which is the single registry of (name, one-line help, option
 // help, handler).
 //
-// `sta`, `lint`, `campaign` and `coverage` execute through the same
-// src/service handlers the resident analysis server uses, so one-shot
-// stdout and a service response payload are byte-identical by
+// `sta`, `lint`, `campaign`, `coverage` and `certify` execute through
+// the same src/service handlers the resident analysis server uses, so
+// one-shot stdout and a service response payload are byte-identical by
 // construction (docs/service.md).
 //
 // Exit codes: 0 success, 1 findings (lint failures, campaign escapes,
@@ -118,9 +118,23 @@ int cmd_lint(const Args& args, const CellLibrary& lib) {
   spec.json = args.has("json");
   spec.fail_threshold = fail_on == "warn" ? lint::Severity::kWarning
                                           : lint::Severity::kError;
+  spec.certify = args.has("certify");
+  if (spec.certify && !spec.hardened) {
+    std::cerr << "lint: --certify requires --hardened\n";
+    return 2;
+  }
+  spec.certify_envelope_ps = args.number("env-width", 0.0);
+  spec.certify_seed =
+      static_cast<std::uint64_t>(args.number("certify-seed", 1));
+  spec.baseline_path = args.text("baseline", "");
 
   const service::LintOutcome outcome = service::run_lint(spec, lib);
+  // The note goes to stderr so --json stdout stays parseable.
+  if (!outcome.baseline_note.empty()) {
+    std::cerr << outcome.baseline_note << '\n';
+  }
   std::cout << outcome.output;
+  if (outcome.parse_failed) return 2;
   return outcome.failed ? 1 : 0;
 }
 
@@ -224,6 +238,27 @@ int cmd_coverage(const Args& args, const CellLibrary& lib) {
       service::run_coverage(*session, spec);
   std::cout << outcome.output;
   return outcome.valid ? 0 : 1;
+}
+
+int cmd_certify(const Args& args, const CellLibrary& lib) {
+  if (args.positional.empty()) return usage();
+  const auto session = service::load_design_session(args.positional[0], lib);
+
+  service::CertifySpec spec;
+  spec.q150 = args.has("q150");
+  if (args.has("delta")) spec.delta_ps = args.number("delta", 500.0);
+  spec.skew_ps = args.number("skew", 0.0);
+  spec.envelope_ps = args.number("env-width", 0.0);
+  spec.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  spec.json = args.has("json");
+  spec.artifact_dir = args.text("artifacts", "");
+
+  const service::CertifyOutcome outcome =
+      service::run_certify(*session, spec);
+  std::cout << outcome.output;
+  if (outcome.escapes > 0) return 1;
+  if (args.has("strict") && outcome.unknowns > 0) return 1;
+  return 0;
 }
 
 // The resident server, reachable by the signal handler (signal() only
@@ -496,6 +531,11 @@ const std::vector<Subcommand>& subcommands() {
        "  --fallback-cells <a,b,...>  cells with calibrated-fallback delay\n"
        "                    arcs (from `characterize --json`)\n"
        "  --fail-on <warn|error>  exit-1 threshold (default error)\n"
+       "  --certify         also run the certify rule family (requires\n"
+       "                    --hardened; see `cwsp_tool certify`)\n"
+       "  --env-width <ps> / --certify-seed <n>  certify configuration\n"
+       "  --baseline <path> absent: record current findings there;\n"
+       "                    present: fail only on findings not in it\n"
        "  --q150 / --delta <ps> / --skew <ps> / --period <ps>\n"
        "                    protection configuration under --hardened\n",
        cmd_lint},
@@ -519,6 +559,19 @@ const std::vector<Subcommand>& subcommands() {
        "                    functional strikes\n"
        "  --json            machine-readable report\n",
        cmd_coverage},
+      {"certify", "<design.bench>",
+       "static SET-coverage certificate per strike site",
+       "  --q150            use the Q=150 fC envelope (default Q=100 fC)\n"
+       "  --delta <ps>      custom designed glitch width\n"
+       "  --skew <ps>       clock skew derating\n"
+       "  --env-width <ps>  glitch width to certify against (default: the\n"
+       "                    configured delta)\n"
+       "  --seed <n>        stimulus seed for the simulation fallback\n"
+       "  --artifacts <dir> write escape repro .bench + .strike files there\n"
+       "  --strict          unknown verdicts also exit 1 (default: only\n"
+       "                    proved escapes do)\n"
+       "  --json            machine-readable report (docs/certify.md)\n",
+       cmd_certify},
       {"serve", "--socket <path>", "resident analysis server (NDJSON)",
        "  --socket <path>   Unix domain socket to listen on (required)\n"
        "  --workers <n>     job worker threads (default 2)\n"
