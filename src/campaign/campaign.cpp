@@ -7,6 +7,7 @@
 #include <optional>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
 
 #include "campaign/journal.hpp"
 #include "common/metrics.hpp"
@@ -106,6 +107,55 @@ std::string escape_diagnostic(const core::ProtectionRunResult& r) {
 
 }  // namespace
 
+void aggregate_results(const set::StrikePlan& plan, CampaignResult& result) {
+  CWSP_REQUIRE(result.strikes.size() == plan.size());
+  result.report = core::CoverageReport{};
+  result.unexpected_escapes = 0;
+  result.interrupted = false;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const StrikeResult& r = result.strikes[i];
+    if (!r.completed()) {
+      result.interrupted = true;
+      continue;
+    }
+    const set::PlannedStrike& planned = plan.strikes[i];
+    core::CoverageReport& report = result.report;
+    core::ScenarioStats& slice =
+        report.scenario(set::to_string(planned.klass));
+    ++report.runs;
+    ++report.strikes_injected;
+    ++slice.strikes;
+    switch (r.status) {
+      case StrikeStatus::kCovered:
+        break;
+      case StrikeStatus::kEscape:
+        ++report.protected_failures;
+        ++slice.escapes;
+        if (planned.klass != set::StrikeClass::kOutOfEnvelope) {
+          ++result.unexpected_escapes;
+        }
+        break;
+      case StrikeStatus::kTimeout:
+        ++report.timeouts;
+        ++slice.timeouts;
+        [[fallthrough]];
+      case StrikeStatus::kError:
+        ++report.inconclusive;
+        ++slice.inconclusive;
+        break;
+    }
+    if (r.conclusive()) {
+      report.bubbles += r.bubbles;
+      report.detected_errors += r.detected_errors;
+      report.spurious_recomputes += r.spurious_recomputes;
+      if (r.unprotected_failed) {
+        ++report.unprotected_failures;
+        ++slice.unprotected_failures;
+      }
+    }
+  }
+}
+
 const char* to_string(StrikeStatus status) {
   switch (status) {
     case StrikeStatus::kCovered:
@@ -160,6 +210,16 @@ CampaignResult CampaignEngine::run(const set::StrikePlan& plan,
   result.strikes.assign(plan.size(), StrikeResult{});
   std::vector<char> done(plan.size(), 0);
 
+  // Plan positions keyed by the stable strike index. For a full plan the
+  // two coincide; for a shard sub-plan (distributed execution) journal
+  // entries and RNG streams must follow the index, not the position, so
+  // the shard reproduces exactly the strikes of the full run.
+  std::unordered_map<std::size_t, std::size_t> position_of;
+  position_of.reserve(plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    position_of.emplace(plan.strikes[i].index, i);
+  }
+
   std::optional<JournalWriter> writer;
   if (!options.journal_path.empty()) {
     if (options.resume) {
@@ -169,9 +229,10 @@ CampaignResult CampaignEngine::run(const set::StrikePlan& plan,
                                    << "' does not match this campaign "
                                       "(plan/seed/cycles/period differ)");
       for (const StrikeResult& r : journal.results) {
-        if (r.index < plan.size() && done[r.index] == 0) {
-          result.strikes[r.index] = r;
-          done[r.index] = 1;
+        const auto it = position_of.find(r.index);
+        if (it != position_of.end() && done[it->second] == 0) {
+          result.strikes[it->second] = r;
+          done[it->second] = 1;
           ++result.resumed;
         }
       }
@@ -211,15 +272,15 @@ CampaignResult CampaignEngine::run(const set::StrikePlan& plan,
 
       const set::PlannedStrike& planned = plan.strikes[i];
       StrikeResult r;
-      r.index = i;
+      r.index = planned.index;
       token.reset();
       if (options.timeout_ms > 0.0) {
         watchdog.arm(worker_id, &token, options.timeout_ms);
       }
       try {
-        if (options.test_hook) options.test_hook(i, token);
+        if (options.test_hook) options.test_hook(planned.index, token);
         const auto inputs = strike_inputs(*netlist_, options.cycles_per_run,
-                                          options.seed, i);
+                                          options.seed, planned.index);
         const core::ScheduledStrike scheduled = to_scheduled(planned);
         const auto protected_r = sim.run(inputs, {scheduled});
         r.bubbles = protected_r.bubbles;
@@ -237,7 +298,7 @@ CampaignResult CampaignEngine::run(const set::StrikePlan& plan,
         }
       } catch (const sim::CancelledError&) {
         r = StrikeResult{};
-        r.index = i;
+        r.index = planned.index;
         r.status = StrikeStatus::kTimeout;
         std::ostringstream os;
         os << "per-strike budget of " << options.timeout_ms
@@ -245,7 +306,7 @@ CampaignResult CampaignEngine::run(const set::StrikePlan& plan,
         r.diagnostic = os.str();
       } catch (const std::exception& e) {
         r = StrikeResult{};
-        r.index = i;
+        r.index = planned.index;
         r.status = StrikeStatus::kError;
         r.diagnostic = e.what();
       }
@@ -266,49 +327,8 @@ CampaignResult CampaignEngine::run(const set::StrikePlan& plan,
     for (auto& t : threads) t.join();
   }
 
-  // ---- aggregation (sequential, index order → deterministic) ---------
-  for (std::size_t i = 0; i < plan.size(); ++i) {
-    const StrikeResult& r = result.strikes[i];
-    if (!r.completed()) {
-      result.interrupted = true;
-      continue;
-    }
-    const set::PlannedStrike& planned = plan.strikes[i];
-    core::CoverageReport& report = result.report;
-    core::ScenarioStats& slice =
-        report.scenario(set::to_string(planned.klass));
-    ++report.runs;
-    ++report.strikes_injected;
-    ++slice.strikes;
-    switch (r.status) {
-      case StrikeStatus::kCovered:
-        break;
-      case StrikeStatus::kEscape:
-        ++report.protected_failures;
-        ++slice.escapes;
-        if (planned.klass != set::StrikeClass::kOutOfEnvelope) {
-          ++result.unexpected_escapes;
-        }
-        break;
-      case StrikeStatus::kTimeout:
-        ++report.timeouts;
-        ++slice.timeouts;
-        [[fallthrough]];
-      case StrikeStatus::kError:
-        ++report.inconclusive;
-        ++slice.inconclusive;
-        break;
-    }
-    if (r.conclusive()) {
-      report.bubbles += r.bubbles;
-      report.detected_errors += r.detected_errors;
-      report.spurious_recomputes += r.spurious_recomputes;
-      if (r.unprotected_failed) {
-        ++report.unprotected_failures;
-        ++slice.unprotected_failures;
-      }
-    }
-  }
+  // ---- aggregation (sequential, plan order → deterministic) ----------
+  aggregate_results(plan, result);
   result.executed = result.report.runs > result.resumed
                         ? result.report.runs - result.resumed
                         : 0;
@@ -334,7 +354,8 @@ CampaignResult CampaignEngine::run(const set::StrikePlan& plan,
       if (planned.klass == set::StrikeClass::kProtectionPath) continue;
       EscapeRepro repro = minimize_escape(
           sim, planned,
-          strike_inputs(*netlist_, options.cycles_per_run, options.seed, i));
+          strike_inputs(*netlist_, options.cycles_per_run, options.seed,
+                        planned.index));
       if (!options.artifact_dir.empty()) {
         write_repro(repro, *netlist_, options.artifact_dir);
       }

@@ -125,6 +125,14 @@ struct CampaignResult {
   bool interrupted = false;
 };
 
+/// Recomputes result.report, result.unexpected_escapes and
+/// result.interrupted from result.strikes (one slot per plan position,
+/// sequential plan order → deterministic). The engine calls this after
+/// its workers finish; the distributed fabric calls it after merging
+/// shard results into a full-plan slot vector, which is what makes a
+/// merged report byte-identical to a single-host run.
+void aggregate_results(const set::StrikePlan& plan, CampaignResult& result);
+
 class CampaignEngine {
  public:
   /// The netlist and library must outlive the engine.

@@ -88,9 +88,11 @@ bool parse_status(const std::string& text, StrikeStatus& status) {
   return true;
 }
 
-/// Parses one `strike ...` line; returns false for malformed (e.g.
-/// truncated by a crash) lines, which the reader skips.
-bool parse_strike_line(const std::string& line, StrikeResult& result) {
+}  // namespace
+
+bool parse_strike_line(const std::string& line_in, StrikeResult& result) {
+  std::string line = line_in;
+  if (!line.empty() && line.back() == '\n') line.pop_back();
   // diag="..." runs to the closing quote at end of line; a line truncated
   // inside the quotes is rejected. Fixed fields are only extracted from
   // the prefix, so diagnostic text can never shadow them.
@@ -123,7 +125,45 @@ bool parse_strike_line(const std::string& line, StrikeResult& result) {
   return true;
 }
 
-}  // namespace
+std::string format_strike_line(const StrikeResult& result) {
+  std::ostringstream os;
+  os << "strike idx=" << result.index << " status="
+     << to_string(result.status) << " uf="
+     << (result.unprotected_failed ? 1 : 0) << " bub=" << result.bubbles
+     << " det=" << result.detected_errors << " spur="
+     << result.spurious_recomputes << " diag=\""
+     << escape_text(result.diagnostic) << "\"\n";
+  return os.str();
+}
+
+std::string format_shard_line(const ShardRecord& record) {
+  std::ostringstream os;
+  os << "shard idx=" << record.index << " total=" << record.total
+     << " fp=" << std::hex << record.fingerprint << std::dec
+     << " begin=" << record.begin << " count=" << record.count << "\n";
+  return os.str();
+}
+
+bool parse_shard_line(const std::string& line_in, ShardRecord& record) {
+  std::string line = line_in;
+  if (!line.empty() && line.back() == '\n') line.pop_back();
+  std::string value;
+  try {
+    if (!field(line, "idx", value)) return false;
+    record.index = std::stoull(value);
+    if (!field(line, "total", value)) return false;
+    record.total = std::stoull(value);
+    if (!field(line, "fp", value)) return false;
+    record.fingerprint = std::stoull(value, nullptr, 16);
+    if (!field(line, "begin", value)) return false;
+    record.begin = std::stoull(value);
+    if (!field(line, "count", value)) return false;
+    record.count = std::stoull(value);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
 
 std::uint64_t campaign_fingerprint(const set::StrikePlan& plan,
                                    std::uint64_t seed,
@@ -133,18 +173,7 @@ std::uint64_t campaign_fingerprint(const set::StrikePlan& plan,
   fnv_mix(h, seed);
   fnv_mix(h, cycles_per_run);
   fnv_mix(h, std::bit_cast<std::uint64_t>(clock_period.value()));
-  fnv_mix(h, plan.size());
-  for (const set::PlannedStrike& p : plan.strikes) {
-    fnv_mix(h, p.index);
-    fnv_mix(h, static_cast<std::uint64_t>(p.klass));
-    fnv_mix(h, static_cast<std::uint64_t>(p.site));
-    fnv_mix(h, p.cycle);
-    fnv_mix(h, p.ff_index);
-    fnv_mix(h, p.strike.node.valid() ? p.strike.node.index()
-                                     : static_cast<std::size_t>(-1));
-    fnv_mix(h, std::bit_cast<std::uint64_t>(p.strike.start.value()));
-    fnv_mix(h, std::bit_cast<std::uint64_t>(p.strike.width.value()));
-  }
+  fnv_mix(h, set::plan_fingerprint(plan));
   return h;
 }
 
@@ -161,6 +190,13 @@ Journal read_journal(const std::string& path) {
       }
       if (field(line, "strikes", value)) {
         journal.total_strikes = std::stoull(value);
+      }
+      continue;
+    }
+    if (line.rfind("shard ", 0) == 0) {
+      ShardRecord record;
+      if (parse_shard_line(line, record)) {
+        journal.shards.push_back(record);
       }
       continue;
     }
@@ -214,15 +250,19 @@ JournalWriter::JournalWriter(const std::string& path,
 }
 
 void JournalWriter::append(const StrikeResult& result) {
-  std::ostringstream os;
-  os << "strike idx=" << result.index << " status="
-     << to_string(result.status) << " uf=" << (result.unprotected_failed ? 1 : 0)
-     << " bub=" << result.bubbles << " det=" << result.detected_errors
-     << " spur=" << result.spurious_recomputes << " diag=\""
-     << escape_text(result.diagnostic) << "\"\n";
-  const std::string line = os.str();
+  const std::string line = format_strike_line(result);
   std::lock_guard<std::mutex> lock(mutex_);
   out_ << line;
+  out_.flush();
+}
+
+void JournalWriter::append_shard(const ShardRecord& record,
+                                 const std::vector<StrikeResult>& results) {
+  std::string block;
+  for (const StrikeResult& r : results) block += format_strike_line(r);
+  block += format_shard_line(record);
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << block;
   out_.flush();
 }
 

@@ -13,6 +13,14 @@
 //   plan fp=<16-hex-digit fingerprint> strikes=<total>
 //   strike idx=<n> status=<covered|escape|timeout|error> uf=<0|1>
 //          bub=<n> det=<n> spur=<n> diag="<escaped>"
+//   shard idx=<n> total=<n> fp=<16-hex shard fingerprint>
+//          begin=<first strike index> count=<strikes>
+//
+// `shard` lines are completion markers written by the distributed fabric
+// coordinator after all of a shard's strike lines; a resuming coordinator
+// only trusts a marker whose fingerprint matches the shard it re-derives
+// from the plan. Readers that predate them skip the lines (unknown record
+// kinds are ignored), so the format stays at v1.
 
 #include <cstdint>
 #include <fstream>
@@ -34,16 +42,46 @@ namespace cwsp::campaign {
                                                  std::size_t cycles_per_run,
                                                  Picoseconds clock_period);
 
+/// A shard-completion marker: shard `index` of `total` (fingerprinted by
+/// set::plan_fingerprint over the shard sub-plan mixed with the stimulus
+/// config) finished all `count` strikes starting at plan index `begin`.
+struct ShardRecord {
+  std::size_t index = 0;
+  std::size_t total = 0;
+  std::uint64_t fingerprint = 0;
+  std::size_t begin = 0;
+  std::size_t count = 0;
+};
+
 struct Journal {
   std::uint64_t fingerprint = 0;
   std::size_t total_strikes = 0;
   /// Completed strikes, in file order (not necessarily index order).
   std::vector<StrikeResult> results;
+  /// Shard-completion markers, in file order (duplicates preserved).
+  std::vector<ShardRecord> shards;
 };
 
 /// Parses a journal file. Unknown and truncated lines are skipped; a
 /// missing or unreadable file throws cwsp::Error.
 [[nodiscard]] Journal read_journal(const std::string& path);
+
+/// One `strike ...` journal line (with trailing newline). This is also
+/// the fabric's shard-result wire format: workers ship journal lines and
+/// the coordinator replays them through parse_strike_line.
+[[nodiscard]] std::string format_strike_line(const StrikeResult& result);
+
+/// Parses one `strike ...` line (trailing newline optional); returns
+/// false for malformed (e.g. truncated by a crash) lines.
+[[nodiscard]] bool parse_strike_line(const std::string& line,
+                                     StrikeResult& result);
+
+/// One `shard ...` completion-marker line (with trailing newline).
+[[nodiscard]] std::string format_shard_line(const ShardRecord& record);
+
+/// Parses one `shard ...` line; returns false for malformed lines.
+[[nodiscard]] bool parse_shard_line(const std::string& line,
+                                    ShardRecord& record);
 
 class JournalWriter {
  public:
@@ -57,6 +95,13 @@ class JournalWriter {
 
   /// Appends one strike line and flushes. Thread-safe.
   void append(const StrikeResult& result);
+
+  /// Appends a shard's strike lines followed by its completion marker in
+  /// one flush. The marker goes last so a crash mid-write leaves strike
+  /// lines (individually recoverable) but never a marker that promises
+  /// strikes the file does not contain. Thread-safe.
+  void append_shard(const ShardRecord& record,
+                    const std::vector<StrikeResult>& results);
 
  private:
   std::mutex mutex_;

@@ -181,9 +181,13 @@ std::string format_campaign_json(const CampaignResult& result,
   os << "  \"escapes\": [";
   {
     bool first = true;
-    for (const StrikeResult& s : result.strikes) {
+    // result.strikes[i] is the outcome of plan.strikes[i]; pairing by
+    // position (not by s.index) keeps this correct for shard sub-plans,
+    // whose stable indices are offsets into the full plan.
+    for (std::size_t i = 0; i < result.strikes.size(); ++i) {
+      const StrikeResult& s = result.strikes[i];
       if (!s.completed() || s.status != StrikeStatus::kEscape) continue;
-      const set::PlannedStrike& p = plan.strikes[s.index];
+      const set::PlannedStrike& p = plan.strikes[i];
       if (!first) os << ", ";
       first = false;
       os << "{\"index\": " << s.index << ", \"class\": \""

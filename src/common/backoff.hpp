@@ -1,0 +1,51 @@
+#pragma once
+// Capped exponential backoff with deterministic jitter.
+//
+// Shared by the service client's connect retry and the fabric
+// coordinator's re-dispatch loop. The jitter source is the repo's
+// deterministic Rng (seeded by the caller), so retry schedules are
+// reproducible in tests while still decorrelating real fleets: two
+// workers hammering a coordinator that just restarted spread their
+// reconnects instead of synchronizing ("equal jitter": half the delay is
+// fixed, half uniform).
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace cwsp {
+
+class Backoff {
+ public:
+  Backoff(double base_ms, double cap_ms, std::uint64_t jitter_seed)
+      : base_ms_(std::max(0.0, base_ms)),
+        cap_ms_(std::max(base_ms_, cap_ms)),
+        rng_(Rng::stream(jitter_seed, 0xb0ff)) {}
+
+  /// Delay before the next attempt: min(cap, base * 2^n), half fixed and
+  /// half jittered. Successive calls advance the exponent.
+  [[nodiscard]] double next_delay_ms() {
+    double full = base_ms_;
+    for (std::uint32_t i = 0; i < exponent_ && full < cap_ms_; ++i) {
+      full *= 2.0;
+    }
+    full = std::min(full, cap_ms_);
+    ++exponent_;
+    const double half = full / 2.0;
+    return half + rng_.next_double_in(0.0, half);
+  }
+
+  /// Back to the initial delay (after a successful attempt).
+  void reset() { exponent_ = 0; }
+
+  [[nodiscard]] std::uint32_t attempts() const { return exponent_; }
+
+ private:
+  double base_ms_;
+  double cap_ms_;
+  Rng rng_;
+  std::uint32_t exponent_ = 0;
+};
+
+}  // namespace cwsp

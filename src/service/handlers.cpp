@@ -9,6 +9,7 @@
 #include "analysis/certify.hpp"
 #include "analysis/certify_rules.hpp"
 #include "campaign/campaign.hpp"
+#include "campaign/journal.hpp"
 #include "cwsp/coverage.hpp"
 #include "cwsp/elaborate_system.hpp"
 #include "cwsp/eqglb_tree.hpp"
@@ -66,6 +67,24 @@ std::uint64_t campaign_spec_fingerprint(const CampaignSpec& spec,
   return h;
 }
 
+set::StrikePlanOptions campaign_plan_options(
+    const CampaignSpec& spec, const core::ProtectionParams& params,
+    Picoseconds clock_period) {
+  set::StrikePlanOptions plan_options;
+  plan_options.functional_strikes = spec.runs;
+  plan_options.cycles_per_run = spec.cycles;
+  plan_options.glitch_width = Picoseconds(spec.width_ps);
+  plan_options.clock_period = clock_period;
+  if (spec.adversarial) {
+    const std::size_t extra = std::max<std::size_t>(1, spec.runs / 4);
+    plan_options.protection_path_strikes = extra;
+    plan_options.clock_edge_strikes = extra;
+    plan_options.out_of_envelope_strikes = extra;
+    plan_options.out_of_envelope_width = params.delta + Picoseconds(400.0);
+  }
+  return plan_options;
+}
+
 CampaignOutcome run_campaign(const DesignSession& session,
                              const CampaignSpec& spec,
                              const sim::CancelToken* cancel) {
@@ -75,18 +94,8 @@ CampaignOutcome run_campaign(const DesignSession& session,
   const auto params = core::ProtectionParams::q100();
   const Picoseconds period = session.period_q100;
 
-  set::StrikePlanOptions plan_options;
-  plan_options.functional_strikes = spec.runs;
-  plan_options.cycles_per_run = spec.cycles;
-  plan_options.glitch_width = Picoseconds(spec.width_ps);
-  plan_options.clock_period = period;
-  if (spec.adversarial) {
-    const std::size_t extra = std::max<std::size_t>(1, spec.runs / 4);
-    plan_options.protection_path_strikes = extra;
-    plan_options.clock_edge_strikes = extra;
-    plan_options.out_of_envelope_strikes = extra;
-    plan_options.out_of_envelope_width = params.delta + Picoseconds(400.0);
-  }
+  const set::StrikePlanOptions plan_options =
+      campaign_plan_options(spec, params, period);
 
   campaign::EngineOptions engine_options;
   engine_options.seed = spec.seed;
@@ -122,6 +131,59 @@ CampaignOutcome run_campaign(const DesignSession& session,
       spec.json ? campaign::format_campaign_json(result, plan, netlist,
                                                  engine_options, period)
                 : campaign::format_campaign_text(result, plan, netlist);
+  return outcome;
+}
+
+ShardExecOutcome run_shard_exec(const DesignSession& session,
+                                const CampaignSpec& spec,
+                                std::optional<std::uint64_t> expect_fp,
+                                const sim::CancelToken* cancel) {
+  const Netlist& netlist = *session.netlist;
+  CWSP_REQUIRE_MSG(netlist.num_flip_flops() > 0,
+                   "campaign requires a sequential design");
+  CWSP_REQUIRE_MSG(spec.shard_total >= 1 && spec.shard_index >= 1 &&
+                       spec.shard_index <= spec.shard_total,
+                   "shard_exec needs shard_index in [1, shard_total]");
+  // A per-strike timeout makes results wall-clock dependent; a shard that
+  // raced a slow machine would merge differently than a fast one, which
+  // breaks the byte-identity contract the fabric is built on.
+  CWSP_REQUIRE_MSG(spec.timeout_ms == 0.0,
+                   "shard_exec does not accept timeout_ms");
+  const auto params = core::ProtectionParams::q100();
+  const Picoseconds period = session.period_q100;
+
+  const set::StrikePlan full_plan = set::build_strike_plan(
+      netlist, campaign_plan_options(spec, params, period), spec.seed);
+  const set::StrikePlan shard =
+      set::shard_plan(full_plan, spec.shard_total)[spec.shard_index - 1];
+  const std::uint64_t shard_fp = campaign::campaign_fingerprint(
+      shard, spec.seed, spec.cycles, period);
+  if (expect_fp.has_value() && *expect_fp != shard_fp) {
+    std::ostringstream os;
+    os << "shard " << spec.shard_index << "/" << spec.shard_total
+       << " fingerprint mismatch: coordinator expects " << std::hex
+       << *expect_fp << ", worker derived " << shard_fp;
+    throw ShardMismatchError(os.str());
+  }
+
+  campaign::EngineOptions engine_options;
+  engine_options.seed = spec.seed;
+  engine_options.cycles_per_run = spec.cycles;
+  engine_options.jobs = std::max<std::size_t>(1, spec.jobs);
+  engine_options.use_legacy_kernel = spec.use_legacy_kernel;
+  engine_options.cancel = cancel;
+
+  const campaign::CampaignEngine engine(netlist, params, period,
+                                        session.kernel_context);
+  const campaign::CampaignResult result = engine.run(shard, engine_options);
+
+  ShardExecOutcome outcome;
+  outcome.shard_fingerprint = shard_fp;
+  outcome.strikes = shard.size();
+  for (const campaign::StrikeResult& r : result.strikes) {
+    CWSP_REQUIRE_MSG(r.completed(), "shard execution was interrupted");
+    outcome.payload += campaign::format_strike_line(r);
+  }
   return outcome;
 }
 

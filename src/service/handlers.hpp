@@ -17,6 +17,7 @@
 #include "campaign/report.hpp"
 #include "lint/lint.hpp"
 #include "service/session.hpp"
+#include "set/strike_plan.hpp"
 #include "sim/cancel.hpp"
 
 namespace cwsp::service {
@@ -37,6 +38,12 @@ struct CampaignSpec {
   std::size_t shard_total = 0;
   /// Machine-readable (docs/campaign.md schema) vs human-readable output.
   bool json = true;
+  /// Fan the campaign out across registered fabric workers (server-side
+  /// only; ignored — i.e. executed locally — when the serving process has
+  /// no fabric hook or no live workers). Deliberately excluded from the
+  /// fingerprint: the distributed report is byte-identical to the local
+  /// one, so the two coalesce.
+  bool distribute = false;
 
   // One-shot-only extras (never set by the server; a request carrying
   // them is rejected because they name local files of the *client*).
@@ -64,6 +71,41 @@ struct CampaignOutcome {
 /// design or an out-of-range shard).
 [[nodiscard]] CampaignOutcome run_campaign(
     const DesignSession& session, const CampaignSpec& spec,
+    const sim::CancelToken* cancel = nullptr);
+
+/// The exact plan configuration a campaign spec denotes. Every execution
+/// path — local run, fabric coordinator, remote shard_exec worker — MUST
+/// derive its plan through this one function, or sharded results stop
+/// matching the single-host report.
+[[nodiscard]] set::StrikePlanOptions campaign_plan_options(
+    const CampaignSpec& spec, const core::ProtectionParams& params,
+    Picoseconds clock_period);
+
+/// A shard_exec request whose rebuilt shard does not match the
+/// coordinator's expected fingerprint — configuration divergence between
+/// coordinator and worker (different binary, library, or spec mapping).
+class ShardMismatchError : public Error {
+ public:
+  using Error::Error;
+};
+
+struct ShardExecOutcome {
+  /// campaign_fingerprint over the executed shard sub-plan.
+  std::uint64_t shard_fingerprint = 0;
+  std::size_t strikes = 0;
+  /// One journal-format `strike` line per result, global plan indices,
+  /// shard order — the fabric's wire format for shard results.
+  std::string payload;
+};
+
+/// Executes one shard of a campaign for the fabric: rebuilds the full
+/// plan from the spec, cuts shard `spec.shard_index` of
+/// `spec.shard_total`, validates it against `expect_fp` when provided
+/// (throwing ShardMismatchError on divergence) and runs it. The spec
+/// must carry shard fields and no wall-clock-dependent options.
+[[nodiscard]] ShardExecOutcome run_shard_exec(
+    const DesignSession& session, const CampaignSpec& spec,
+    std::optional<std::uint64_t> expect_fp,
     const sim::CancelToken* cancel = nullptr);
 
 // ---- sta ------------------------------------------------------------

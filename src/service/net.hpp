@@ -1,0 +1,37 @@
+#pragma once
+// TCP endpoint plumbing for the analysis service and the campaign
+// fabric: endpoint parsing, connect-with-timeout and listener setup.
+//
+// The NDJSON protocol is transport-agnostic (one request line, one
+// response line); these helpers only produce connected/listening file
+// descriptors, which Server and Client then treat exactly like the Unix
+// socket ones.
+
+#include <cstdint>
+#include <string>
+
+namespace cwsp::service::net {
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port" (or ":port", defaulting the host to 127.0.0.1).
+/// Returns false for anything else — notably strings without a colon or
+/// with a non-numeric port, which callers treat as Unix socket paths.
+[[nodiscard]] bool parse_tcp_endpoint(const std::string& text, Endpoint& out);
+
+[[nodiscard]] std::string to_string(const Endpoint& endpoint);
+
+/// Connects to `endpoint` (IPv4, numeric or resolvable host) with a
+/// bounded wall-clock budget; 0 means the OS default. Returns the
+/// connected blocking fd, or -1 with errno describing the failure.
+[[nodiscard]] int tcp_connect(const Endpoint& endpoint, double timeout_ms);
+
+/// Binds + listens on `endpoint` (port 0 picks an ephemeral port, written
+/// to `bound_port`). Throws cwsp::Error when the address cannot be bound.
+[[nodiscard]] int tcp_listen(const Endpoint& endpoint,
+                             std::uint16_t* bound_port);
+
+}  // namespace cwsp::service::net

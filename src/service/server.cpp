@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -15,7 +16,9 @@
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/stopwatch.hpp"
+#include "service/client.hpp"
 #include "service/handlers.hpp"
+#include "service/net.hpp"
 
 namespace cwsp::service {
 namespace {
@@ -124,8 +127,33 @@ CampaignSpec parse_campaign_spec(const json::Value& request) {
   if ((spec.shard_index == 0) != (spec.shard_total == 0)) {
     throw ParseError("shard_index and shard_total must be given together");
   }
+  spec.distribute = request.boolean("distribute", false);
   spec.json = wants_json(request);
   return spec;
+}
+
+/// shard_exec's optional `expect_fp`: a 16-hex-digit shard fingerprint.
+std::optional<std::uint64_t> parse_expect_fp(const json::Value& request) {
+  const std::string text = request.text("expect_fp", "");
+  if (text.empty()) return std::nullopt;
+  try {
+    std::size_t used = 0;
+    const std::uint64_t fp = std::stoull(text, &used, 16);
+    if (used != text.size()) throw ParseError("");
+    return fp;
+  } catch (const std::exception&) {
+    throw ParseError("'expect_fp' must be a hex fingerprint");
+  }
+}
+
+std::uint64_t shard_exec_fingerprint(const CampaignSpec& spec,
+                                     std::uint64_t design_key_v) {
+  std::uint64_t h = campaign_spec_fingerprint(spec, design_key_v);
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (std::uint64_t{0x5a4d} >> (8 * byte)) & 0xffULL;  // op tag
+    h *= 1099511628211ULL;
+  }
+  return h;
 }
 
 CoverageSpec parse_coverage_spec(const json::Value& request) {
@@ -285,17 +313,43 @@ void Server::run() {
   }
   CWSP_REQUIRE_MSG(::listen(listen_fd, 16) == 0, "listen failed");
 
+  int tcp_fd = -1;
+  if (!options_.tcp_endpoint.empty()) {
+    net::Endpoint endpoint;
+    if (!net::parse_tcp_endpoint(options_.tcp_endpoint, endpoint)) {
+      ::close(listen_fd);
+      throw Error("bad tcp endpoint '" + options_.tcp_endpoint +
+                  "' (expected host:port)");
+    }
+    std::uint16_t bound = 0;
+    try {
+      tcp_fd = net::tcp_listen(endpoint, &bound);
+    } catch (...) {
+      ::close(listen_fd);
+      throw;
+    }
+    tcp_port_.store(bound, std::memory_order_release);
+  }
+
   std::vector<std::thread> workers;
   workers.reserve(options_.workers);
   for (std::size_t w = 0; w < options_.workers; ++w) {
     workers.emplace_back([this] { worker_loop(); });
   }
+  std::thread registration;
+  if (!options_.register_with.empty()) {
+    registration = std::thread([this] { registration_loop(); });
+  }
 
-  accept_loop(listen_fd);
+  std::vector<int> listen_fds{listen_fd};
+  if (tcp_fd >= 0) listen_fds.push_back(tcp_fd);
+  accept_loop(listen_fds);
 
   // ---- teardown ------------------------------------------------------
   ::close(listen_fd);
+  if (tcp_fd >= 0) ::close(tcp_fd);
   ::unlink(options_.socket_path.c_str());
+  if (registration.joinable()) registration.join();
 
   // Workers drain every accepted job before exiting (graceful stop), so
   // every admitted request gets exactly one response.
@@ -333,29 +387,72 @@ void Server::run() {
   }
 }
 
-void Server::accept_loop(int listen_fd) {
+void Server::accept_loop(const std::vector<int>& listen_fds) {
+  std::vector<pollfd> fds(listen_fds.size() + 1);
   for (;;) {
-    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {shutdown_pipe_[0], POLLIN, 0}};
-    const int rc = ::poll(fds, 2, -1);
+    for (std::size_t i = 0; i < listen_fds.size(); ++i) {
+      fds[i] = {listen_fds[i], POLLIN, 0};
+    }
+    fds.back() = {shutdown_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds.data(), fds.size(), -1);
     if (rc < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    if ((fds[1].revents & POLLIN) != 0) break;
+    if ((fds.back().revents & POLLIN) != 0) break;
     reap_finished_readers();
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) continue;
-    auto conn = std::make_shared<Connection>();
-    conn->fd = fd;
-    {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
-      conn->id = next_conn_id_++;
-      connections_[conn->id] = conn;
-      reader_threads_.emplace(conn->id,
-                              std::thread([this, conn] { reader_loop(conn); }));
+    for (std::size_t i = 0; i < listen_fds.size(); ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int fd = ::accept(listen_fds[i], nullptr, nullptr);
+      if (fd < 0) continue;
+      auto conn = std::make_shared<Connection>();
+      conn->fd = fd;
+      {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        conn->id = next_conn_id_++;
+        connections_[conn->id] = conn;
+        reader_threads_.emplace(
+            conn->id, std::thread([this, conn] { reader_loop(conn); }));
+      }
+      metrics::Registry::global().counter("service.connections").add();
     }
-    metrics::Registry::global().counter("service.connections").add();
+  }
+}
+
+void Server::registration_loop() {
+  auto& registry = metrics::Registry::global();
+  while (!shutting_down_.load()) {
+    // Bind order makes a startup race possible (registration thread
+    // starts with the listeners); wait for the advertised port.
+    const std::uint16_t port = tcp_port();
+    if (port != 0 || !options_.advertise_endpoint.empty()) {
+      const std::string advertised =
+          options_.advertise_endpoint.empty()
+              ? "127.0.0.1:" + std::to_string(port)
+              : options_.advertise_endpoint;
+      try {
+        DialOptions dial;
+        dial.attempts = 1;  // the loop itself is the retry schedule
+        dial.connect_timeout_ms = options_.register_interval_ms;
+        const std::unique_ptr<Client> client =
+            Client::dial(options_.register_with, dial);
+        client->send_line("{\"id\":\"reg\",\"op\":\"worker_register\","
+                          "\"endpoint\":\"" +
+                          json::escape(advertised) + "\"}");
+        std::string response;
+        (void)client->read_line_for(response,
+                                    options_.register_interval_ms);
+        registry.counter("service.register.sent").add();
+      } catch (const std::exception&) {
+        registry.counter("service.register.failed").add();
+      }
+    }
+    // Interruptible sleep: slice the interval so shutdown is prompt.
+    Stopwatch watch;
+    while (!shutting_down_.load() &&
+           watch.elapsed_ms() < options_.register_interval_ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
   }
 }
 
@@ -390,6 +487,22 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
       handle_line(conn, line);
+    }
+    // A line still unterminated past the frame bound will never be
+    // admitted; answer once with a typed error and drop the connection
+    // instead of buffering an unbounded (possibly adversarial) frame.
+    if (buffer.size() > options_.max_frame_bytes) {
+      metrics::Registry::global()
+          .counter("service.requests.oversized_frame")
+          .add();
+      send_line(conn,
+                std::string("{\"id\":\"\"") +
+                    error_tail("", "bad_request",
+                               "request line exceeds the " +
+                                   std::to_string(options_.max_frame_bytes) +
+                                   "-byte frame limit") +
+                    "\n");
+      break;
     }
   }
   // Connection is gone: stop queued work addressed to it and retire the
@@ -446,10 +559,34 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
       handle_cancel(conn, id, request);
       return;
     }
+    if (op == "worker_register") {
+      // Inline so registrations land even while every job worker is busy
+      // with shards — liveness must not queue behind work.
+      const std::string endpoint = request.text("endpoint", "");
+      if (endpoint.empty()) {
+        throw ParseError("worker_register needs an 'endpoint'");
+      }
+      const std::size_t count = registry_.upsert(endpoint);
+      send_line(conn, "{\"id\":\"" + json::escape(id) + '"' +
+                          ok_tail(op, "text", "registered",
+                                  ",\"workers\":" + std::to_string(count)) +
+                          "\n");
+      return;
+    }
+    if (op == "workers") {
+      send_line(conn,
+                "{\"id\":\"" + json::escape(id) + '"' +
+                    ok_tail(op, "json",
+                            registry_.to_json(options_.worker_ttl_ms) + "\n",
+                            "") +
+                    "\n");
+      return;
+    }
 
     // ---- work ops: admission + enqueue ------------------------------
     if (op != "campaign" && op != "lint" && op != "sta" &&
-        op != "coverage" && op != "certify" && op != "sleep") {
+        op != "coverage" && op != "certify" && op != "sleep" &&
+        op != "shard_exec") {
       throw ParseError("unknown op '" + op + "'");
     }
 
@@ -471,6 +608,16 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
         job.batch_key = spec.timeout_ms > 0.0
                             ? 0
                             : campaign_spec_fingerprint(spec, dkey);
+      } else if (op == "shard_exec") {
+        const CampaignSpec spec = parse_campaign_spec(request);
+        if (spec.shard_total == 0) {
+          throw ParseError("shard_exec needs shard_index and shard_total");
+        }
+        if (spec.timeout_ms > 0.0) {
+          throw ParseError("shard_exec does not accept timeout_ms");
+        }
+        parse_expect_fp(request);  // validate format at admission
+        job.batch_key = shard_exec_fingerprint(spec, dkey);
       } else if (op == "coverage") {
         job.batch_key =
             coverage_spec_fingerprint(parse_coverage_spec(request), dkey);
@@ -686,9 +833,30 @@ std::string Server::execute_job(const Job& job, sim::CancelToken* cancel) {
                      ",\"escapes\":" + std::to_string(outcome.escapes) +
                          ",\"unknowns\":" + std::to_string(outcome.unknowns));
     }
+    if (job.op == "shard_exec") {
+      const CampaignSpec spec = parse_campaign_spec(job.request);
+      const ShardExecOutcome outcome = run_shard_exec(
+          *session, spec, parse_expect_fp(job.request), cancel);
+      char fp_hex[24];
+      std::snprintf(fp_hex, sizeof(fp_hex), "%llx",
+                    static_cast<unsigned long long>(
+                        outcome.shard_fingerprint));
+      return ok_tail(job.op, "strike-lines", outcome.payload,
+                     std::string(",\"shard_fp\":\"") + fp_hex +
+                         "\",\"strikes\":" +
+                         std::to_string(outcome.strikes));
+    }
     // campaign
     const CampaignSpec spec = parse_campaign_spec(job.request);
-    const CampaignOutcome outcome = run_campaign(*session, spec, cancel);
+    CampaignOutcome outcome;
+    if (spec.distribute && options_.distributed_campaign) {
+      const std::vector<std::string> workers =
+          registry_.live(options_.worker_ttl_ms);
+      outcome = options_.distributed_campaign(*session, job.design_text,
+                                              spec, workers);
+    } else {
+      outcome = run_campaign(*session, spec, cancel);
+    }
     if (cancel != nullptr && cancel->cancelled() &&
         outcome.status == campaign::CampaignStatus::kInterrupted) {
       return error_tail(job.op, "cancelled", "campaign cancelled in flight");
@@ -698,6 +866,8 @@ std::string Server::execute_job(const Job& job, sim::CancelToken* cancel) {
                        campaign::to_string(outcome.status) + '"');
   } catch (const sim::CancelledError& e) {
     return error_tail(job.op, "cancelled", e.what());
+  } catch (const ShardMismatchError& e) {
+    return error_tail(job.op, "fp_mismatch", e.what());
   } catch (const ParseError& e) {
     return error_tail(job.op, "bad_request", e.what());
   } catch (const Error& e) {

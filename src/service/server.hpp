@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -34,8 +35,10 @@
 #include <vector>
 
 #include "cell/library.hpp"
+#include "service/handlers.hpp"
 #include "service/job_queue.hpp"
 #include "service/session.hpp"
+#include "service/worker_registry.hpp"
 #include "sim/cancel.hpp"
 
 namespace cwsp::service {
@@ -53,6 +56,32 @@ struct ServerOptions {
   /// When non-empty, the final metrics registry dump is written here on
   /// shutdown (the `--metrics-json` flag).
   std::string metrics_json_path;
+  /// When non-empty, additionally listen on this TCP endpoint
+  /// ("host:port"; port 0 picks an ephemeral port, readable via
+  /// tcp_port()) — the fabric's worker/coordinator transport.
+  std::string tcp_endpoint;
+  /// Largest accepted NDJSON request line; a connection that exceeds it
+  /// without a newline gets a `bad_request` and is closed instead of
+  /// growing the buffer without bound.
+  std::size_t max_frame_bytes = 8ull * 1024 * 1024;
+  /// Registry eviction deadline: a worker that has not re-registered
+  /// within this window is dropped from `live()` snapshots.
+  double worker_ttl_ms = 15'000.0;
+  /// When non-empty, periodically self-register with the coordinator at
+  /// this endpoint (the `serve --register` worker mode).
+  std::string register_with;
+  double register_interval_ms = 2'000.0;
+  /// Endpoint advertised in registrations; defaults to
+  /// "127.0.0.1:<tcp_port>" when empty.
+  std::string advertise_endpoint;
+  /// Distributed-campaign executor, wired by `cwsp_tool serve` to
+  /// fabric::run_distributed_campaign. Injected as a hook so the fabric
+  /// library can sit on top of the service library without a dependency
+  /// cycle. Arguments: session, design text, spec, live worker endpoints.
+  std::function<CampaignOutcome(const DesignSession&, const std::string&,
+                                const CampaignSpec&,
+                                const std::vector<std::string>&)>
+      distributed_campaign;
 };
 
 class Server {
@@ -77,6 +106,15 @@ class Server {
   [[nodiscard]] const std::string& socket_path() const {
     return options_.socket_path;
   }
+
+  /// Actual TCP listen port once run() has bound it (0 before, and when
+  /// no tcp_endpoint is configured). Thread-safe — tests and the
+  /// registration thread poll it.
+  [[nodiscard]] std::uint16_t tcp_port() const {
+    return tcp_port_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] WorkerRegistry& registry() { return registry_; }
 
  private:
   struct Connection {
@@ -107,9 +145,13 @@ class Server {
     std::string op;  // for the member's `cancelled` error envelope
   };
 
-  void accept_loop(int listen_fd);
+  void accept_loop(const std::vector<int>& listen_fds);
   void reader_loop(std::shared_ptr<Connection> conn);
   void worker_loop();
+  /// Periodically announces this worker to options_.register_with until
+  /// shutdown (best effort; unreachable coordinators are retried on the
+  /// next tick).
+  void registration_loop();
 
   /// Joins reader threads whose connections have exited (called from the
   /// accept loop so a long-running daemon does not accumulate one
@@ -156,6 +198,8 @@ class Server {
 
   int shutdown_pipe_[2] = {-1, -1};
   std::atomic<bool> shutting_down_{false};
+  std::atomic<std::uint16_t> tcp_port_{0};
+  WorkerRegistry registry_;
 };
 
 }  // namespace cwsp::service

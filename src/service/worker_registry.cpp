@@ -1,0 +1,65 @@
+#include "service/worker_registry.hpp"
+
+#include <sstream>
+
+#include "common/metrics.hpp"
+#include "service/json.hpp"
+
+namespace cwsp::service {
+namespace {
+
+bool expired(std::chrono::steady_clock::time_point seen,
+             std::chrono::steady_clock::time_point now, double ttl_ms) {
+  return std::chrono::duration<double, std::milli>(now - seen).count() >
+         ttl_ms;
+}
+
+}  // namespace
+
+std::size_t WorkerRegistry::upsert(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_seen_[endpoint] = Clock::now();
+  return last_seen_.size();
+}
+
+std::vector<std::string> WorkerRegistry::live(double ttl_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto now = Clock::now();
+  std::vector<std::string> endpoints;
+  for (auto it = last_seen_.begin(); it != last_seen_.end();) {
+    if (ttl_ms > 0.0 && expired(it->second, now, ttl_ms)) {
+      metrics::Registry::global().counter("fabric.worker_evicted").add();
+      it = last_seen_.erase(it);
+    } else {
+      endpoints.push_back(it->first);
+      ++it;
+    }
+  }
+  return endpoints;
+}
+
+std::string WorkerRegistry::to_json(double ttl_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto now = Clock::now();
+  std::ostringstream os;
+  os << "{\"schema\":\"cwsp-workers-v1\",\"workers\":[";
+  bool first = true;
+  for (const auto& [endpoint, seen] : last_seen_) {
+    if (ttl_ms > 0.0 && expired(seen, now, ttl_ms)) continue;
+    if (!first) os << ",";
+    first = false;
+    const auto age =
+        std::chrono::duration<double, std::milli>(now - seen).count();
+    os << "{\"endpoint\":\"" << json::escape(endpoint)
+       << "\",\"age_ms\":" << static_cast<long long>(age) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::size_t WorkerRegistry::size() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_seen_.size();
+}
+
+}  // namespace cwsp::service

@@ -1,0 +1,41 @@
+#pragma once
+// Registry of campaign-fabric worker daemons known to a coordinator.
+//
+// Workers announce themselves with the `worker_register` op (typically on
+// a periodic timer — `cwsp_tool serve --register`), which doubles as the
+// liveness signal: an entry that has not re-registered within the TTL is
+// evicted on the next snapshot. Deadline-based eviction here complements
+// the fabric's per-connection heartbeats — the registry culls workers
+// that vanished between campaigns, the heartbeats catch workers that die
+// mid-shard.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cwsp::service {
+
+class WorkerRegistry {
+ public:
+  /// Adds or refreshes a worker endpoint; returns the registry size.
+  std::size_t upsert(const std::string& endpoint);
+
+  /// Endpoints seen within `ttl_ms`; stale entries are evicted (counted
+  /// in `fabric.worker_evicted`). Deterministic order (lexicographic).
+  [[nodiscard]] std::vector<std::string> live(double ttl_ms);
+
+  /// Diagnostic snapshot for the `workers` op (cwsp-workers-v1 schema).
+  [[nodiscard]] std::string to_json(double ttl_ms);
+
+  [[nodiscard]] std::size_t size();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::mutex mutex_;
+  std::map<std::string, Clock::time_point> last_seen_;
+};
+
+}  // namespace cwsp::service

@@ -1,5 +1,6 @@
 #include "set/strike_plan.hpp"
 #include <algorithm>
+#include <bit>
 
 namespace cwsp::set {
 
@@ -178,6 +179,29 @@ std::vector<StrikePlan> shard_plan(const StrikePlan& plan,
                              plan.strikes.begin() + end);
   }
   return shards;
+}
+
+std::uint64_t plan_fingerprint(const StrikePlan& plan) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(plan.size());
+  for (const PlannedStrike& p : plan.strikes) {
+    mix(p.index);
+    mix(static_cast<std::uint64_t>(p.klass));
+    mix(static_cast<std::uint64_t>(p.site));
+    mix(p.cycle);
+    mix(p.ff_index);
+    mix(p.strike.node.valid() ? p.strike.node.index()
+                              : static_cast<std::size_t>(-1));
+    mix(std::bit_cast<std::uint64_t>(p.strike.start.value()));
+    mix(std::bit_cast<std::uint64_t>(p.strike.width.value()));
+  }
+  return h;
 }
 
 std::vector<Strike> exhaustive_strikes(

@@ -124,4 +124,10 @@ struct StrikePlanOptions {
 [[nodiscard]] std::vector<StrikePlan> shard_plan(const StrikePlan& plan,
                                                  std::size_t num_shards);
 
+/// Order-sensitive FNV-1a digest of every field of every planned strike.
+/// Two plans with equal fingerprints inject the same strikes — this is
+/// what the distributed fabric uses to validate that a worker executed
+/// exactly the shard the coordinator asked for.
+[[nodiscard]] std::uint64_t plan_fingerprint(const StrikePlan& plan);
+
 }  // namespace cwsp::set

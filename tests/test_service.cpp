@@ -34,7 +34,8 @@ std::string json_design_field() {
 /// Runs a server on a fresh socket in a temp dir for the test's lifetime.
 class ServiceTest : public ::testing::Test {
  protected:
-  void start(std::size_t workers, std::size_t queue_capacity) {
+  void start(std::size_t workers, std::size_t queue_capacity,
+             const std::function<void(ServerOptions&)>& tweak = {}) {
     char tmpl[] = "/tmp/cwsp_svc_XXXXXX";
     ASSERT_NE(::mkdtemp(tmpl), nullptr);
     dir_ = tmpl;
@@ -43,6 +44,7 @@ class ServiceTest : public ::testing::Test {
     options.workers = workers;
     options.queue_capacity = queue_capacity;
     options.metrics_json_path = dir_ + "/metrics.json";
+    if (tweak) tweak(options);
     server_ = std::make_unique<Server>(std::move(options), lib_);
     thread_ = std::thread([this] { server_->run(); });
     // The listener binds asynchronously; wait until it accepts.
@@ -305,6 +307,89 @@ TEST_F(ServiceTest, ShutdownRequestStopsTheServer) {
   thread_.join();
   server_.reset();
   EXPECT_THROW(Client{dir_ + "/s"}, Error);
+}
+
+TEST_F(ServiceTest, OversizedFrameIsRejectedAndConnectionClosed) {
+  start(1, 8, [](ServerOptions& options) {
+    options.max_frame_bytes = 1024;
+  });
+  Client client(server_->socket_path());
+  // A newline-free request longer than the frame limit: the reader must
+  // answer bad_request and drop the connection instead of buffering it.
+  client.send_line(R"({"id":"big","op":"ping","pad":")" +
+                   std::string(4096, 'x') + "\"}");
+  std::string line;
+  ASSERT_TRUE(client.read_line(line));
+  const json::Value response = json::parse(line);
+  EXPECT_FALSE(response.boolean("ok", true));
+  EXPECT_EQ(response.text("code", ""), "bad_request");
+  EXPECT_NE(response.text("error", "").find("frame limit"),
+            std::string::npos);
+  EXPECT_FALSE(client.read_line(line));  // connection torn down
+}
+
+TEST_F(ServiceTest, TcpListenerSpeaksTheSameProtocol) {
+  start(1, 8, [](ServerOptions& options) {
+    options.tcp_endpoint = "127.0.0.1:0";  // ephemeral port
+  });
+  for (int i = 0; i < 400 && server_->tcp_port() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_NE(server_->tcp_port(), 0);
+
+  Client client("127.0.0.1", server_->tcp_port());
+  client.send_line(R"({"id":"t","op":"ping"})");
+  std::string line;
+  ASSERT_TRUE(client.read_line(line));
+  const json::Value response = json::parse(line);
+  EXPECT_TRUE(response.boolean("ok", false));
+  EXPECT_EQ(response.text("payload", ""), "pong");
+}
+
+TEST_F(ServiceTest, WorkerRegistryTracksRegistrationsInline) {
+  start(1, 8);
+  // Registration is a control op: answered inline even though the only
+  // job worker is free to be busy.
+  const auto ack = call(
+      R"({"id":"r","op":"worker_register","endpoint":"127.0.0.1:9999"})");
+  EXPECT_TRUE(ack.boolean("ok", false));
+
+  const auto listing = call(R"({"id":"w","op":"workers"})");
+  ASSERT_TRUE(listing.boolean("ok", false));
+  const json::Value document = json::parse(listing.text("payload", "{}"));
+  EXPECT_EQ(document.text("schema", ""), "cwsp-workers-v1");
+  EXPECT_NE(listing.text("payload", "").find("127.0.0.1:9999"),
+            std::string::npos);
+
+  EXPECT_EQ(call(R"({"id":"r2","op":"worker_register"})").text("code", ""),
+            "bad_request");  // endpoint is required
+}
+
+TEST_F(ServiceTest, ClientDialRetriesWithCappedBackoff) {
+  // Nothing listens on port 1: every attempt fails, with one backoff
+  // sleep between consecutive attempts.
+  DialOptions dial;
+  dial.attempts = 3;
+  dial.backoff_base_ms = 1.0;
+  dial.backoff_cap_ms = 2.0;
+  dial.connect_timeout_ms = 200.0;
+  std::vector<double> delays;
+  dial.on_backoff = [&delays](double ms) { delays.push_back(ms); };
+  EXPECT_THROW((void)Client::dial("127.0.0.1:1", dial), Error);
+  ASSERT_EQ(delays.size(), 2u);
+  for (const double ms : delays) {
+    EXPECT_GT(ms, 0.0);
+    EXPECT_LE(ms, 2.0);
+  }
+
+  // A reachable endpoint connects on the first attempt: no backoff.
+  start(1, 8);
+  delays.clear();
+  const auto client = Client::dial(server_->socket_path(), dial);
+  client->send_line(R"({"id":"p","op":"ping"})");
+  std::string line;
+  EXPECT_TRUE(client->read_line(line));
+  EXPECT_TRUE(delays.empty());
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 
 #include <csignal>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -26,7 +27,9 @@
 #include "campaign/report.hpp"
 #include "cell/characterize.hpp"
 #include "common/cli_args.hpp"
+#include "common/metrics.hpp"
 #include "common/table.hpp"
+#include "fabric/coordinator.hpp"
 #include "cwsp/area_report.hpp"
 #include "cwsp/coverage.hpp"
 #include "cwsp/elaborate.hpp"
@@ -166,6 +169,44 @@ int cmd_harden(const Args& args, const CellLibrary& lib) {
   return 0;
 }
 
+std::vector<std::string> split_list(const std::string& list) {
+  std::vector<std::string> items;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string item = list.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!item.empty()) items.push_back(item);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return items;
+}
+
+void maybe_dump_metrics(const Args& args) {
+  const std::string path = args.text("metrics-json", "");
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "cannot write metrics dump to '" << path << "'\n";
+    return;
+  }
+  out << metrics::Registry::global().to_json();
+}
+
+int campaign_exit_code(campaign::CampaignStatus status) {
+  switch (status) {
+    case campaign::CampaignStatus::kOk:
+      return 0;
+    case campaign::CampaignStatus::kEscapes:
+    case campaign::CampaignStatus::kInvalid:
+      return 1;
+    case campaign::CampaignStatus::kInterrupted:
+      return 3;
+  }
+  return 1;
+}
+
 int cmd_campaign(const Args& args, const CellLibrary& lib) {
   if (args.positional.empty()) return usage();
   const auto session = service::load_design_session(args.positional[0], lib);
@@ -206,20 +247,44 @@ int cmd_campaign(const Args& args, const CellLibrary& lib) {
         "--shard index out of range in '" << shard << "'");
   }
 
+  // Distributed mode: fan shards out to worker daemons (and/or recover a
+  // crashed coordinator from its fabric journal). The merged report is
+  // byte-identical to the local path below, so both share the exit map.
+  if (args.has("workers") || args.has("fabric-journal") ||
+      args.has("fabric-resume")) {
+    fabric::FabricOptions fabric_options;
+    fabric_options.workers = split_list(args.text("workers", ""));
+    fabric_options.shards =
+        static_cast<std::size_t>(args.number("fabric-shards", 0));
+    fabric_options.lease_ms = args.number("lease-ms", 60'000.0);
+    fabric_options.journal_path = args.text("fabric-journal", "");
+    if (args.has("fabric-resume")) {
+      fabric_options.journal_path = args.text("fabric-resume", "");
+      fabric_options.resume = true;
+    }
+    fabric_options.stop_after_shards =
+        static_cast<std::size_t>(args.number("stop-after-shards", 0));
+    fabric_options.log = &std::cerr;
+
+    const fabric::FabricOutcome outcome = fabric::run_distributed_campaign(
+        *session, service::read_design_file(args.positional[0]), spec,
+        fabric_options);
+    const fabric::FabricStats& stats = outcome.stats;
+    std::cerr << "fabric: " << stats.shards_total << " shard(s): "
+              << stats.shards_resumed << " resumed, " << stats.shards_remote
+              << " remote, " << stats.shards_local << " local; "
+              << stats.redispatched << " re-dispatched, " << stats.rejected
+              << " rejected, " << stats.workers_evicted << " evicted\n";
+    maybe_dump_metrics(args);
+    std::cout << outcome.outcome.output;
+    return campaign_exit_code(outcome.outcome.status);
+  }
+
   const service::CampaignOutcome outcome =
       service::run_campaign(*session, spec);
+  maybe_dump_metrics(args);
   std::cout << outcome.output;
-
-  switch (outcome.status) {
-    case campaign::CampaignStatus::kOk:
-      return 0;
-    case campaign::CampaignStatus::kEscapes:
-    case campaign::CampaignStatus::kInvalid:
-      return 1;
-    case campaign::CampaignStatus::kInterrupted:
-      return 3;
-  }
-  return 1;
+  return campaign_exit_code(outcome.status);
 }
 
 int cmd_coverage(const Args& args, const CellLibrary& lib) {
@@ -290,12 +355,35 @@ int cmd_serve(const Args& args, const CellLibrary& lib) {
   options.result_cache_entries =
       static_cast<std::size_t>(args.number("result-cache", 64));
   options.metrics_json_path = args.text("metrics-json", "");
+  options.tcp_endpoint = args.text("tcp", "");
+  options.max_frame_bytes = static_cast<std::size_t>(
+      args.number("max-frame-mb", 8.0) * 1024.0 * 1024.0);
+  options.worker_ttl_ms = args.number("worker-ttl-ms", 15'000.0);
+  options.register_with = args.text("register", "");
+  options.advertise_endpoint = args.text("advertise", "");
+  // Campaigns with "distribute":true fan out to the workers registered
+  // with this coordinator; everything else runs in-process as before.
+  const double lease_ms = args.number("lease-ms", 60'000.0);
+  options.distributed_campaign =
+      [lease_ms](const service::DesignSession& session,
+                 const std::string& design_text,
+                 const service::CampaignSpec& spec,
+                 const std::vector<std::string>& workers) {
+        fabric::FabricOptions fabric_options;
+        fabric_options.workers = workers;
+        fabric_options.lease_ms = lease_ms;
+        return fabric::run_distributed_campaign(session, design_text, spec,
+                                                fabric_options)
+            .outcome;
+      };
+  const std::string tcp_note =
+      options.tcp_endpoint.empty() ? "" : " and tcp " + options.tcp_endpoint;
 
   service::Server server(std::move(options), lib);
   g_server = &server;
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
-  std::cerr << "serving on " << server.socket_path() << '\n';
+  std::cerr << "serving on " << server.socket_path() << tcp_note << '\n';
   server.run();
   g_server = nullptr;
   return 0;
@@ -551,7 +639,15 @@ const std::vector<Subcommand>& subcommands() {
        "  --artifacts <dir> write repro .bench + .strike files there\n"
        "  --shard <i>/<n>   run only shard i (1-based) of an n-way split\n"
        "  --stop-after <n>  stop after n fresh strikes (exit 3)\n"
-       "  --json            machine-readable report (docs/campaign.md)\n",
+       "  --json            machine-readable report (docs/campaign.md)\n"
+       "  distributed fabric (docs/fabric.md; report byte-identical):\n"
+       "  --workers <a,b,...>    worker endpoints (host:port or socket)\n"
+       "  --fabric-shards <n>    shard count (default 4 x workers)\n"
+       "  --lease-ms <v>         per-shard lease before re-dispatch\n"
+       "  --fabric-journal <path>   coordinator crash-recovery journal\n"
+       "  --fabric-resume <path>    resume a crashed coordinator from it\n"
+       "  --stop-after-shards <n>   stop after n fresh shards (exit 3)\n"
+       "  --metrics-json <path>     write the fabric metrics dump here\n",
        cmd_campaign},
       {"coverage", "<design.bench>", "functional/scenario coverage sweep",
        "  --runs <n> --cycles <n> --width <ps> --seed <n>\n"
@@ -579,7 +675,16 @@ const std::vector<Subcommand>& subcommands() {
        "  --cache-entries <n>   design session cache entries (default 8)\n"
        "  --cache-mb <n>    design session cache memory bound (default 256)\n"
        "  --result-cache <n>    memoized responses kept (default 64)\n"
-       "  --metrics-json <path> write the metrics dump here on shutdown\n",
+       "  --metrics-json <path> write the metrics dump here on shutdown\n"
+       "  --tcp <host:port> also listen on TCP (port 0 = ephemeral) --\n"
+       "                    the campaign-fabric transport (docs/fabric.md)\n"
+       "  --max-frame-mb <n>    request frame size limit (default 8)\n"
+       "  --register <endpoint> announce this daemon to a coordinator's\n"
+       "                    worker registry (implies worker role)\n"
+       "  --advertise <endpoint> endpoint to announce (default\n"
+       "                    127.0.0.1:<tcp port>)\n"
+       "  --worker-ttl-ms <v>   registry liveness window (default 15000)\n"
+       "  --lease-ms <v>    per-shard lease for distributed campaigns\n",
        cmd_serve},
       {"client", "--socket <path> [request...]",
        "submit NDJSON requests to a running server",
