@@ -1,32 +1,112 @@
-// Campaign-engine throughput, kernel speedup and determinism check: runs
-// the same adversarial strike plan on the legacy full-netlist EventSim
-// and on the compiled kernel (cone-restricted propagation + golden
-// caching) at increasing worker counts. Reports strikes/second and the
-// compiled/legacy speedup, and verifies the JSON report stays
-// byte-identical across kernels AND job counts — the engine's core
-// guarantee (neither parallelism nor the fast path may change results).
+// Campaign-engine throughput, kernel speedup and determinism check.
+//
+// Part A (identity): runs one adversarial strike plan on alu2 through the
+// legacy full-netlist EventSim, the scalar compiled kernel and the
+// strike-lane kernel at every supported lane width and several worker
+// counts, and verifies the JSON report stays byte-identical — the
+// engine's core guarantee (neither parallelism, the fast path nor lane
+// batching may change results).
+//
+// Part B (throughput): runs a large functional-heavy plan on an ISCAS85
+// design (C880) with the scalar compiled kernel vs the strike-lane
+// kernel, reporting strikes/second, lane occupancy (filled slots over
+// offered slots, from the engine's metrics counters) and the lane/scalar
+// speedup. Results are emitted to BENCH_campaign.json (path overridable
+// via argv[1]) for ci/check-perf.sh's regression ratchet.
 
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bencharness/generator.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/report.hpp"
+#include "common/metrics.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "cwsp/timing.hpp"
+#include "sim/strike_lanes.hpp"
 
-int main() {
-  using namespace cwsp;
+namespace {
+
+using namespace cwsp;
+
+struct RunStats {
+  double seconds = 0.0;
+  double strikes_per_second = 0.0;
+  /// Filled lane slots over offered lane slots; -1 off the lane path.
+  double lane_occupancy = -1.0;
+  std::string json;
+};
+
+RunStats run_once(const campaign::CampaignEngine& engine,
+                  const set::StrikePlan& plan, const Netlist& netlist,
+                  Picoseconds period, const campaign::EngineOptions& options) {
+  auto& registry = metrics::Registry::global();
+  const std::uint64_t filled0 =
+      registry.counter("campaign.lane_slots_filled").value();
+  const std::uint64_t total0 =
+      registry.counter("campaign.lane_slots_total").value();
+  Stopwatch watch;
+  const auto result = engine.run(plan, options);
+  RunStats stats;
+  stats.seconds = watch.elapsed_ms() / 1000.0;
+  stats.strikes_per_second = static_cast<double>(plan.size()) / stats.seconds;
+  const std::uint64_t filled =
+      registry.counter("campaign.lane_slots_filled").value() - filled0;
+  const std::uint64_t total =
+      registry.counter("campaign.lane_slots_total").value() - total0;
+  if (total > 0) {
+    stats.lane_occupancy =
+        static_cast<double>(filled) / static_cast<double>(total);
+  }
+  stats.json =
+      campaign::format_campaign_json(result, plan, netlist, options, period);
+  return stats;
+}
+
+struct Config {
+  std::string kernel;  // "legacy", "scalar" or "lane-<width>"
+  bool legacy = false;
+  bool lanes = false;
+  std::size_t lane_width = 0;  // 0 = ISA auto
+  std::size_t jobs = 1;
+};
+
+campaign::EngineOptions options_for(const Config& config, std::uint64_t seed,
+                                    std::size_t cycles) {
+  campaign::EngineOptions options;
+  options.seed = seed;
+  options.cycles_per_run = cycles;
+  options.jobs = config.jobs;
+  options.use_legacy_kernel = config.legacy;
+  options.use_lane_kernel = config.lanes;
+  options.lane_width = config.lane_width;
+  return options;
+}
+
+std::string occupancy_cell(double occupancy) {
+  if (occupancy < 0.0) return "-";
+  return TextTable::num(occupancy * 100.0, 1) + "%";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   const CellLibrary library = make_default_library();
   const auto params = core::ProtectionParams::q100();
+  const sim::LaneIsa isa = sim::WideLogicSim::dispatched_isa();
 
-  const auto gen =
+  // ---- Part A: report identity across kernels, widths and job counts.
+  const auto alu2_gen =
       bench::generate_benchmark(bench::find_benchmark("alu2"), library);
-  const auto seq = bench::clone_with_output_flip_flops(gen.netlist);
-  const Picoseconds period =
-      std::max(core::hardened_clock_period(gen.measured_dmax, library),
+  const auto alu2 = bench::clone_with_output_flip_flops(alu2_gen.netlist);
+  const Picoseconds alu2_period =
+      std::max(core::hardened_clock_period(alu2_gen.measured_dmax, library),
                core::min_clock_period_for_delta(params));
 
   set::StrikePlanOptions plan_options;
@@ -35,63 +115,161 @@ int main() {
   plan_options.clock_edge_strikes = 8;
   plan_options.out_of_envelope_strikes = 8;
   plan_options.cycles_per_run = 10;
-  plan_options.clock_period = period;
+  plan_options.clock_period = alu2_period;
   plan_options.out_of_envelope_width = params.delta + Picoseconds(400.0);
-  const auto plan = set::build_strike_plan(seq, plan_options, 2026);
+  const auto alu2_plan = set::build_strike_plan(alu2, plan_options, 2026);
 
-  const campaign::CampaignEngine engine(seq, params, period);
+  const campaign::CampaignEngine alu2_engine(alu2, params, alu2_period);
 
-  TextTable table;
-  table.set_header({"Kernel", "Jobs", "Strikes", "Wall s", "Strikes/s",
-                    "Speedup", "Coverage %", "Report"});
-
-  struct Config {
-    const char* kernel;
-    bool legacy;
-    std::size_t jobs;
+  std::vector<Config> identity_configs = {
+      {"legacy", true, false, 0, 1},
+      {"scalar", false, false, 0, 1},
+      {"scalar", false, false, 0, 4},
   };
-  const Config configs[] = {
-      {"legacy", true, 1},    {"compiled", false, 1}, {"compiled", false, 2},
-      {"compiled", false, 4}, {"compiled", false, 8},
-  };
+  for (const std::size_t width : sim::WideLogicSim::supported_lane_widths()) {
+    identity_configs.push_back(
+        {"lane-" + std::to_string(width), false, true, width, 1});
+  }
+  identity_configs.push_back({"lane-auto", false, true, 0, 8});
 
+  TextTable identity_table;
+  identity_table.set_header({"Kernel", "Jobs", "Wall s", "Strikes/s",
+                             "Speedup", "Occupancy", "Report"});
   std::string baseline;
   double legacy_rate = 0.0;
-  double compiled_j1_rate = 0.0;
-  for (const Config& config : configs) {
-    campaign::EngineOptions options;
-    options.seed = 2026;
-    options.cycles_per_run = 10;
-    options.jobs = config.jobs;
-    options.use_legacy_kernel = config.legacy;
-    Stopwatch watch;
-    const auto result = engine.run(plan, options);
-    const double seconds = watch.elapsed_ms() / 1000.0;
-    const double rate = static_cast<double>(plan.size()) / seconds;
-    if (config.legacy) legacy_rate = rate;
-    if (!config.legacy && config.jobs == 1) compiled_j1_rate = rate;
-    const std::string json =
-        campaign::format_campaign_json(result, plan, seq, options, period);
-    if (baseline.empty()) baseline = json;
-    table.add_row({config.kernel, std::to_string(config.jobs),
-                   std::to_string(plan.size()), TextTable::num(seconds, 2),
-                   TextTable::num(rate, 1),
-                   TextTable::num(rate / legacy_rate, 1) + "x",
-                   TextTable::num(result.report.protected_coverage_pct(), 1),
-                   json == baseline ? "identical" : "DIVERGED"});
-    if (json != baseline) {
+  bool identical = true;
+  for (const Config& config : identity_configs) {
+    const auto stats = run_once(alu2_engine, alu2_plan, alu2, alu2_period,
+                                options_for(config, 2026, 10));
+    if (config.legacy) legacy_rate = stats.strikes_per_second;
+    if (baseline.empty()) baseline = stats.json;
+    const bool same = stats.json == baseline;
+    identical = identical && same;
+    identity_table.add_row(
+        {config.kernel, std::to_string(config.jobs),
+         TextTable::num(stats.seconds, 2),
+         TextTable::num(stats.strikes_per_second, 1),
+         TextTable::num(stats.strikes_per_second / legacy_rate, 1) + "x",
+         occupancy_cell(stats.lane_occupancy),
+         same ? "identical" : "DIVERGED"});
+    if (!same) {
       std::cerr << "FATAL: report changed with kernel=" << config.kernel
                 << " jobs=" << config.jobs << "\n";
       return 1;
     }
   }
 
-  std::cout << "Campaign engine scaling on alu2 (plan: 48 functional + 8 "
-               "protection-path + 8 clock-edge + 8 out-of-envelope):\n\n";
-  table.print(std::cout);
-  std::cout << "\nSingle-job kernel speedup (compiled vs legacy): "
-            << TextTable::num(compiled_j1_rate / legacy_rate, 1) << "x\n";
-  std::cout << "Reports are byte-identical across kernels and job counts; "
-               "wall-clock never feeds the report.\n";
+  std::cout << "Part A — report identity on alu2 (plan: 48 functional + 8 "
+               "protection-path + 8 clock-edge + 8 out-of-envelope, ISA "
+            << isa.name << "):\n\n";
+  identity_table.print(std::cout);
+  std::cout << "\nReports are byte-identical across kernels, lane widths and "
+               "job counts; wall-clock never feeds the report.\n\n";
+
+  // ---- Part B: lane-kernel throughput on an ISCAS85 design.
+  const auto c880_gen =
+      bench::generate_benchmark(bench::find_benchmark("C880"), library);
+  const auto c880 = bench::clone_with_output_flip_flops(c880_gen.netlist);
+  const Picoseconds c880_period =
+      std::max(core::hardened_clock_period(c880_gen.measured_dmax, library),
+               core::min_clock_period_for_delta(params));
+
+  set::StrikePlanOptions big_options;
+  big_options.functional_strikes = 1920;
+  big_options.protection_path_strikes = 0;
+  big_options.clock_edge_strikes = 0;
+  big_options.out_of_envelope_strikes = 128;
+  big_options.cycles_per_run = 10;
+  big_options.clock_period = c880_period;
+  big_options.out_of_envelope_width = params.delta + Picoseconds(400.0);
+  const auto c880_plan = set::build_strike_plan(c880, big_options, 2026);
+
+  const campaign::CampaignEngine c880_engine(c880, params, c880_period);
+
+  const std::vector<Config> throughput_configs = {
+      {"scalar", false, false, 0, 1},
+      {"lane-auto", false, true, 0, 1},
+      {"lane-auto", false, true, 0, 8},
+  };
+
+  TextTable throughput_table;
+  throughput_table.set_header({"Kernel", "Jobs", "Strikes", "Wall s",
+                               "Strikes/s", "Speedup", "Occupancy", "Report"});
+  std::string big_baseline;
+  double scalar_rate = 0.0;
+  double lane_j1_rate = 0.0;
+  double lane_j1_occupancy = -1.0;
+  std::ostringstream rows_json;
+  bool first_row = true;
+  for (const Config& config : throughput_configs) {
+    const auto stats = run_once(c880_engine, c880_plan, c880, c880_period,
+                                options_for(config, 2026, 10));
+    if (!config.lanes) scalar_rate = stats.strikes_per_second;
+    if (config.lanes && config.jobs == 1) {
+      lane_j1_rate = stats.strikes_per_second;
+      lane_j1_occupancy = stats.lane_occupancy;
+    }
+    if (big_baseline.empty()) big_baseline = stats.json;
+    const bool same = stats.json == big_baseline;
+    throughput_table.add_row(
+        {config.kernel, std::to_string(config.jobs),
+         std::to_string(c880_plan.size()), TextTable::num(stats.seconds, 2),
+         TextTable::num(stats.strikes_per_second, 1),
+         TextTable::num(stats.strikes_per_second / scalar_rate, 1) + "x",
+         occupancy_cell(stats.lane_occupancy),
+         same ? "identical" : "DIVERGED"});
+    if (!same) {
+      std::cerr << "FATAL: C880 report changed with kernel=" << config.kernel
+                << " jobs=" << config.jobs << "\n";
+      return 1;
+    }
+    if (!first_row) rows_json << ",\n";
+    first_row = false;
+    rows_json << "    {\"kernel\": \"" << config.kernel
+              << "\", \"jobs\": " << config.jobs
+              << ", \"strikes_per_second\": "
+              << TextTable::num(stats.strikes_per_second, 1)
+              << ", \"wall_s\": " << TextTable::num(stats.seconds, 3)
+              << ", \"lane_occupancy\": "
+              << (stats.lane_occupancy < 0.0
+                      ? std::string("null")
+                      : TextTable::num(stats.lane_occupancy, 4))
+              << "}";
+  }
+
+  const double speedup = lane_j1_rate / scalar_rate;
+  std::cout << "Part B — strike-lane throughput on C880 (ISCAS85, "
+            << c880_plan.size() << " strikes, 1920 functional + 128 "
+               "out-of-envelope):\n\n";
+  throughput_table.print(std::cout);
+  std::cout << "\nSingle-job lane speedup (lane-auto vs scalar compiled): "
+            << TextTable::num(speedup, 1) << "x at "
+            << occupancy_cell(lane_j1_occupancy) << " lane occupancy ("
+            << isa.name << ", " << isa.lanes << " lanes).\n";
+
+  // Machine-readable result for the CI perf ratchet (ci/check-perf.sh).
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_campaign.json";
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"schema\": \"cwsp-bench-campaign-v1\",\n"
+      << "  \"identity\": {\"design\": \"alu2\", \"configs\": "
+      << identity_configs.size() << ", \"byte_identical\": "
+      << (identical ? "true" : "false") << "},\n"
+      << "  \"throughput\": {\n"
+      << "    \"design\": \"C880\",\n"
+      << "    \"suite\": \"ISCAS85\",\n"
+      << "    \"strikes\": " << c880_plan.size() << ",\n"
+      << "    \"kernel_isa\": \"" << isa.name << "\",\n"
+      << "    \"kernel_lanes\": " << isa.lanes << ",\n"
+      << "    \"rows\": [\n"
+      << rows_json.str() << "\n    ],\n"
+      << "    \"speedup_lane_vs_scalar\": " << TextTable::num(speedup, 2)
+      << ",\n"
+      << "    \"lane_occupancy\": "
+      << (lane_j1_occupancy < 0.0 ? std::string("null")
+                                  : TextTable::num(lane_j1_occupancy, 4))
+      << "\n  }\n}\n";
+  out.close();
+  std::cout << "Wrote " << out_path << "\n";
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "sim/compiled_kernel.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/logic_sim.hpp"
+#include "sim/strike_lanes.hpp"
 #include "spice/subckt.hpp"
 #include "sta/sta.hpp"
 
@@ -143,6 +144,86 @@ void BM_LogicSim64Cycle(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_LogicSim64Cycle);
+
+void BM_WideLogicSimCycle(benchmark::State& state) {
+  // One SoA topo sweep settles `width` stimulus patterns; the
+  // strikes_per_second counter reports per-pattern throughput so the
+  // 64/256/512 rows compare directly against BM_LogicSim64Cycle.
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  const Netlist& netlist = alu2();
+  static const auto context = sim::CompiledKernelContext::build(netlist);
+  sim::WideLogicSim sim(context->view, width);
+  const std::size_t words = sim.words_per_net();
+  std::uint64_t pattern = 0x5555555555555555ull;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < netlist.primary_inputs().size(); ++i) {
+      for (std::size_t w = 0; w < words; ++w) {
+        sim.set_input_word(i, w, pattern + i + w);
+      }
+    }
+    sim.evaluate();
+    sim.clock();
+    benchmark::DoNotOptimize(sim.value_word(netlist.primary_outputs()[0], 0));
+    pattern = pattern * 6364136223846793005ull + 1442695040888963407ull;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(width));
+  state.SetLabel(sim.isa_name());
+}
+BENCHMARK(BM_WideLogicSimCycle)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_StrikeLaneBatch(benchmark::State& state) {
+  // Full strike-lane batch resolution: up to `width` faulty variants of a
+  // 10-cycle run classified per pass. Counters land in BENCH_perf.json
+  // for the CI perf ratchet: strikes_per_second (classified strikes per
+  // wall second) and lane_occupancy (filled slots over offered slots).
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  static const Netlist netlist = [] {
+    return bench::clone_with_output_flip_flops(alu2());
+  }();
+  const auto params = core::ProtectionParams::q100();
+  const Picoseconds period = core::min_clock_period_for_delta(params);
+  sim::StrikeLaneSim lanes(sim::CompiledKernelContext::build(netlist), period,
+                           params.delta, width);
+
+  constexpr std::size_t kCycles = 10;
+  std::vector<std::vector<bool>> inputs(
+      kCycles, std::vector<bool>(netlist.primary_inputs().size()));
+  std::uint64_t bits = 0x9e3779b97f4a7c15ull;
+  for (auto& cycle : inputs) {
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      bits = bits * 6364136223846793005ull + 1442695040888963407ull;
+      cycle[i] = (bits >> 37) & 1;
+    }
+  }
+  std::vector<sim::LaneScenario> batch(lanes.lanes());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    sim::LaneScenario& scenario = batch[i];
+    scenario.strike.node = netlist.gate(GateId{i % netlist.num_gates()}).output;
+    scenario.strike.start = Picoseconds(0.25 * period.value() +
+                                        static_cast<double>(i % 7) * 40.0);
+    scenario.strike.width = (i % 3 == 0)
+                                ? params.delta + Picoseconds(400.0)
+                                : params.delta * 0.5;
+    scenario.cycle = i % kCycles;
+    scenario.inputs = &inputs;
+  }
+  std::vector<sim::LaneOutcome> outcomes;
+  for (auto _ : state) {
+    lanes.run_batch(batch, outcomes);
+    benchmark::DoNotOptimize(outcomes.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+  state.counters["strikes_per_second"] = benchmark::Counter(
+      static_cast<double>(batch.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["lane_occupancy"] =
+      static_cast<double>(lanes.lanes_filled()) /
+      static_cast<double>(lanes.lane_slots());
+  state.SetLabel(lanes.isa_name());
+}
+BENCHMARK(BM_StrikeLaneBatch)->Arg(64)->Arg(256)->Arg(512);
 
 void BM_TopologicalOrderMemoized(benchmark::State& state) {
   // Memoized after the first call — this measures the cached lookup.

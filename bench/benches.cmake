@@ -21,11 +21,11 @@ cwsp_add_bench(bench_fig6 cwsp::spice)
 cwsp_add_bench(bench_coverage cwsp::bencharness cwsp::core)
 cwsp_add_bench(bench_timing cwsp::core)
 cwsp_add_bench(bench_baselines cwsp::baselines cwsp::bencharness)
-cwsp_add_bench(bench_perf cwsp::baselines cwsp::bencharness benchmark::benchmark)
+cwsp_add_bench(bench_perf cwsp::baselines cwsp::bencharness cwsp::sim benchmark::benchmark)
 cwsp_add_bench(bench_ser cwsp::set cwsp::core cwsp::bencharness)
 cwsp_add_bench(bench_ablation cwsp::baselines cwsp::bencharness cwsp::spice)
 cwsp_add_bench(bench_scaling cwsp::set)
 cwsp_add_bench(bench_tuning cwsp::set cwsp::bencharness cwsp::core)
-cwsp_add_bench(bench_campaign cwsp::campaign cwsp::bencharness)
+cwsp_add_bench(bench_campaign cwsp::campaign cwsp::bencharness cwsp::sim)
 cwsp_add_bench(bench_spice cwsp::characterize cwsp::spice)
 cwsp_add_bench(bench_service cwsp::service cwsp::bencharness)

@@ -16,6 +16,7 @@
 #include "cwsp/timing.hpp"
 #include "lint/report.hpp"
 #include "set/strike_plan.hpp"
+#include "sim/strike_lanes.hpp"
 #include "sta/sta.hpp"
 
 namespace cwsp::analysis {
@@ -108,28 +109,38 @@ std::vector<std::vector<bool>> stimulus_vectors(std::size_t npi,
   return out;
 }
 
-/// Loads one FF state (same in every lane) and up to 64 input vectors.
-void load_batch(sim::LogicSim64& sim, const FlatNetlistView& view,
+/// Loads one FF state (same in every lane) and up to lanes() input
+/// vectors into a wide batch.
+void load_batch(sim::WideLogicSim& sim, const FlatNetlistView& view,
                 const std::vector<bool>& state,
                 const std::vector<std::vector<bool>>& vecs, std::size_t base,
                 std::size_t count) {
   for (std::size_t f = 0; f < view.num_flip_flops(); ++f) {
-    sim.set_ff_word(f, state[f] ? ~0ull : 0ull);
+    sim.fill_ff(f, state[f]);
   }
+  const std::size_t words = sim.words_per_net();
   for (std::size_t p = 0; p < view.num_primary_inputs(); ++p) {
-    std::uint64_t w = 0;
-    for (std::size_t l = 0; l < count; ++l) {
-      if (vecs[base + l][p]) w |= 1ull << l;
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::size_t lo = w * 64;
+      const std::size_t n =
+          count > lo ? std::min<std::size_t>(64, count - lo) : 0;
+      std::uint64_t bits = 0;
+      for (std::size_t l = 0; l < n; ++l) {
+        if (vecs[base + lo + l][p]) bits |= 1ull << l;
+      }
+      sim.set_input_word(p, w, bits);
     }
-    sim.set_input_word(p, w);
   }
 }
 
-StateSpace enumerate_states(sim::LogicSim64& sim, const FlatNetlistView& view,
+StateSpace enumerate_states(sim::WideLogicSim& sim,
+                            const FlatNetlistView& view,
                             const CertifyOptions& options, std::size_t npi,
                             bool exhaustive, std::size_t vectors_per_state) {
   StateSpace space;
   const std::size_t nff = view.num_flip_flops();
+  const std::size_t lanes = sim.lanes();
+  const std::size_t words = sim.words_per_net();
   space.states.emplace_back(nff, false);
   space.parent.push_back(kNoIndex);
   space.via.emplace_back();
@@ -139,18 +150,26 @@ StateSpace enumerate_states(sim::LogicSim64& sim, const FlatNetlistView& view,
   for (std::size_t i = 0; i < space.states.size(); ++i) {
     const auto vecs = stimulus_vectors(npi, exhaustive, vectors_per_state,
                                        options.seed, i);
-    for (std::size_t base = 0; base < vecs.size(); base += 64) {
-      const std::size_t count = std::min<std::size_t>(64, vecs.size() - base);
+    for (std::size_t base = 0; base < vecs.size(); base += lanes) {
+      const std::size_t count =
+          std::min<std::size_t>(lanes, vecs.size() - base);
       load_batch(sim, view, space.states[i], vecs, base, count);
       sim.evaluate();
-      std::vector<std::uint64_t> d_words(nff);
+      std::vector<std::uint64_t> d_words(nff * words);
       for (std::size_t f = 0; f < nff; ++f) {
-        d_words[f] = sim.value_word(NetId{view.ff_d_net(f)});
+        for (std::size_t w = 0; w < words; ++w) {
+          d_words[f * words + w] =
+              sim.value_word(NetId{view.ff_d_net(f)}, w);
+        }
       }
+      // Lane order == vector order, so discovery order (and therefore
+      // state indices, parents and the overflow point) is identical at
+      // every lane width.
       for (std::size_t l = 0; l < count; ++l) {
         std::vector<bool> next(nff);
         for (std::size_t f = 0; f < nff; ++f) {
-          next[f] = ((d_words[f] >> l) & 1u) != 0;
+          next[f] =
+              ((d_words[f * words + l / 64] >> (l % 64)) & 1u) != 0;
         }
         if (seen.find(next) != seen.end()) continue;
         if (space.states.size() >= options.max_states) {
@@ -187,12 +206,14 @@ std::vector<std::vector<bool>> prefix_to(const StateSpace& space,
 /// to the confirm horizon; returns the input vectors to append after the
 /// strike cycle, or nullopt if the pair space never splits at a PO.
 std::optional<std::vector<std::vector<bool>>> distinguish(
-    sim::LogicSim64& sim, const FlatNetlistView& view,
+    sim::WideLogicSim& sim, const FlatNetlistView& view,
     const std::vector<bool>& golden, const std::vector<bool>& corrupt,
     const CertifyOptions& options, std::size_t npi, bool exhaustive,
     std::size_t vectors_per_state) {
   if (golden == corrupt) return std::nullopt;
   const std::size_t nff = view.num_flip_flops();
+  const std::size_t lanes = sim.lanes();
+  const std::size_t words = sim.words_per_net();
   const auto& po_nets = view.po_nets();
 
   struct PairNode {
@@ -220,60 +241,82 @@ std::optional<std::vector<std::vector<bool>>> distinguish(
     const auto vecs =
         stimulus_vectors(npi, exhaustive, vectors_per_state,
                          options.seed ^ 0xd15717c400000000ull, i);
-    for (std::size_t base = 0; base < vecs.size(); base += 64) {
-      const std::size_t count = std::min<std::size_t>(64, vecs.size() - base);
-      const std::uint64_t mask =
-          count == 64 ? ~0ull : ((1ull << count) - 1ull);
+    for (std::size_t base = 0; base < vecs.size(); base += lanes) {
+      const std::size_t count =
+          std::min<std::size_t>(lanes, vecs.size() - base);
 
       load_batch(sim, view, nodes[i].g, vecs, base, count);
       sim.evaluate();
-      std::vector<std::uint64_t> g_po(po_nets.size());
+      std::vector<std::uint64_t> g_po(po_nets.size() * words);
       for (std::size_t o = 0; o < po_nets.size(); ++o) {
-        g_po[o] = sim.value_word(NetId{po_nets[o]});
+        for (std::size_t w = 0; w < words; ++w) {
+          g_po[o * words + w] = sim.value_word(NetId{po_nets[o]}, w);
+        }
       }
-      std::vector<std::uint64_t> g_d(nff);
+      std::vector<std::uint64_t> g_d(nff * words);
       for (std::size_t f = 0; f < nff; ++f) {
-        g_d[f] = sim.value_word(NetId{view.ff_d_net(f)});
+        for (std::size_t w = 0; w < words; ++w) {
+          g_d[f * words + w] = sim.value_word(NetId{view.ff_d_net(f)}, w);
+        }
       }
 
       load_batch(sim, view, nodes[i].c, vecs, base, count);
       sim.evaluate();
-      std::uint64_t po_diff = 0;
+      std::vector<std::uint64_t> c_po(po_nets.size() * words);
       for (std::size_t o = 0; o < po_nets.size(); ++o) {
-        po_diff |= sim.value_word(NetId{po_nets[o]}) ^ g_po[o];
-      }
-      po_diff &= mask;
-      if (po_diff != 0) {
-        const auto lane =
-            static_cast<std::size_t>(std::countr_zero(po_diff));
-        std::vector<std::vector<bool>> chain;
-        chain.push_back(vecs[base + lane]);
-        std::size_t n = i;
-        while (nodes[n].parent != kNoIndex) {
-          chain.push_back(nodes[n].via);
-          n = nodes[n].parent;
+        for (std::size_t w = 0; w < words; ++w) {
+          c_po[o * words + w] = sim.value_word(NetId{po_nets[o]}, w);
         }
-        std::reverse(chain.begin(), chain.end());
-        return chain;
+      }
+      std::vector<std::uint64_t> c_d(nff * words);
+      for (std::size_t f = 0; f < nff; ++f) {
+        for (std::size_t w = 0; w < words; ++w) {
+          c_d[f * words + w] = sim.value_word(NetId{view.ff_d_net(f)}, w);
+        }
       }
 
-      if (nodes[i].depth + 1 >= options.confirm_horizon) continue;
-      std::vector<std::uint64_t> c_d(nff);
-      for (std::size_t f = 0; f < nff; ++f) {
-        c_d[f] = sim.value_word(NetId{view.ff_d_net(f)});
-      }
-      for (std::size_t l = 0;
-           l < count && nodes.size() < kMaxDistinguishPairs; ++l) {
-        std::vector<bool> ng(nff);
-        std::vector<bool> nc(nff);
-        for (std::size_t f = 0; f < nff; ++f) {
-          ng[f] = ((g_d[f] >> l) & 1u) != 0;
-          nc[f] = ((c_d[f] >> l) & 1u) != 0;
+      // Consume the wide batch per 64-lane subword in ascending order:
+      // the split point and the expansion sequence reproduce the
+      // 64-wide search exactly, so the returned chain is byte-identical
+      // at every lane width.
+      for (std::size_t w = 0; w * 64 < count; ++w) {
+        const std::size_t sub = std::min<std::size_t>(64, count - w * 64);
+        const std::uint64_t mask =
+            sub == 64 ? ~0ull : ((1ull << sub) - 1ull);
+        std::uint64_t po_diff = 0;
+        for (std::size_t o = 0; o < po_nets.size(); ++o) {
+          po_diff |= c_po[o * words + w] ^ g_po[o * words + w];
         }
-        if (ng == nc) continue;  // converged: permanently silent
-        if (!visited.insert(key_of(ng, nc)).second) continue;
-        nodes.push_back(PairNode{std::move(ng), std::move(nc),
-                                 nodes[i].depth + 1, i, vecs[base + l]});
+        po_diff &= mask;
+        if (po_diff != 0) {
+          const auto lane =
+              w * 64 + static_cast<std::size_t>(std::countr_zero(po_diff));
+          std::vector<std::vector<bool>> chain;
+          chain.push_back(vecs[base + lane]);
+          std::size_t n = i;
+          while (nodes[n].parent != kNoIndex) {
+            chain.push_back(nodes[n].via);
+            n = nodes[n].parent;
+          }
+          std::reverse(chain.begin(), chain.end());
+          return chain;
+        }
+
+        if (nodes[i].depth + 1 >= options.confirm_horizon) continue;
+        for (std::size_t l = 0;
+             l < sub && nodes.size() < kMaxDistinguishPairs; ++l) {
+          std::vector<bool> ng(nff);
+          std::vector<bool> nc(nff);
+          for (std::size_t f = 0; f < nff; ++f) {
+            ng[f] = ((g_d[f * words + w] >> l) & 1u) != 0;
+            nc[f] = ((c_d[f * words + w] >> l) & 1u) != 0;
+          }
+          if (ng == nc) continue;  // converged: permanently silent
+          if (!visited.insert(key_of(ng, nc)).second) continue;
+          nodes.push_back(PairNode{std::move(ng), std::move(nc),
+                                   nodes[i].depth + 1, i,
+                                   vecs[base + w * 64 + l]});
+        }
       }
     }
   }
@@ -500,13 +543,29 @@ CertifyResult certify_design(
   const std::size_t vectors_per_state =
       exhaustive ? (std::size_t{1} << npi) : options.vectors_per_state;
 
-  sim::LogicSim64 logic(context->view);
+  // Lane width of the sweep kernel. Auto (0) caps the dispatched width
+  // at the per-state vector count: lanes the stimulus cannot fill only
+  // widen every topo sweep without resolving more vectors.
+  std::size_t lane_width = options.lane_width;
+  if (lane_width == 0) {
+    const std::size_t dispatched = sim::WideLogicSim::dispatched_isa().lanes;
+    lane_width = 64;
+    for (std::size_t w : sim::WideLogicSim::supported_lane_widths()) {
+      if (w <= dispatched && w <= vectors_per_state) {
+        lane_width = std::max(lane_width, w);
+      }
+    }
+  }
+
+  sim::WideLogicSim logic(context->view, lane_width);
   StateSpace space = enumerate_states(logic, view, options, npi, exhaustive,
                                       vectors_per_state);
   result.swept_states = space.states.size();
   result.vectors_exhaustive = exhaustive;
   result.states_complete = exhaustive && !space.overflowed;
 
+  const std::size_t lanes = logic.lanes();
+  const std::size_t words = logic.words_per_net();
   std::vector<DangerSite*> active;
   active.reserve(danger.size());
   for (DangerSite& ds : danger) active.push_back(&ds);
@@ -514,29 +573,40 @@ CertifyResult certify_design(
     const auto vecs = stimulus_vectors(npi, exhaustive, vectors_per_state,
                                        options.seed, i);
     for (std::size_t base = 0; base < vecs.size() && !active.empty();
-         base += 64) {
-      const std::size_t count = std::min<std::size_t>(64, vecs.size() - base);
-      const std::uint64_t mask =
-          count == 64 ? ~0ull : ((1ull << count) - 1ull);
+         base += lanes) {
+      const std::size_t count =
+          std::min<std::size_t>(lanes, vecs.size() - base);
       load_batch(logic, view, space.states[i], vecs, base, count);
       logic.evaluate();
       for (auto it = active.begin(); it != active.end();) {
         DangerSite& ds = **it;
         logic.evaluate_with_flip(ds.site);
-        std::size_t added = 0;
-        for (const DangerFF& df : ds.ffs) {
-          std::uint64_t diff =
-              logic.flip_diff(NetId{view.ff_d_net(df.ff)}) & mask;
-          if (diff == 0) continue;
-          ds.any_sensitized = true;
-          while (diff != 0 && !ds.candidates_full() &&
-                 added < kMaxCandidatesPerBatch) {
-            const auto l = static_cast<std::size_t>(std::countr_zero(diff));
-            diff &= diff - 1;
-            ds.candidates.push_back(Candidate{i, vecs[base + l], df.ff});
-            ++added;
+        // One wide evaluation, consumed per 64-lane subword with the
+        // per-batch caps of the 64-wide sweep: candidate identity and
+        // order are byte-identical at every lane width.
+        for (std::size_t w = 0; w * 64 < count && !ds.candidates_full();
+             ++w) {
+          const std::size_t sub = std::min<std::size_t>(64, count - w * 64);
+          const std::uint64_t mask =
+              sub == 64 ? ~0ull : ((1ull << sub) - 1ull);
+          std::size_t added = 0;
+          for (const DangerFF& df : ds.ffs) {
+            std::uint64_t diff =
+                logic.flip_diff_word(NetId{view.ff_d_net(df.ff)}, w) & mask;
+            if (diff == 0) continue;
+            ds.any_sensitized = true;
+            while (diff != 0 && !ds.candidates_full() &&
+                   added < kMaxCandidatesPerBatch) {
+              const auto l = static_cast<std::size_t>(std::countr_zero(diff));
+              diff &= diff - 1;
+              ds.candidates.push_back(
+                  Candidate{i, vecs[base + w * 64 + l], df.ff});
+              ++added;
+            }
+            if (ds.candidates_full() || added >= kMaxCandidatesPerBatch) {
+              break;
+            }
           }
-          if (ds.candidates_full() || added >= kMaxCandidatesPerBatch) break;
         }
         if (ds.candidates_full()) {
           it = active.erase(it);

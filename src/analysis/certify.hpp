@@ -81,6 +81,14 @@ struct CertifyOptions {
   std::size_t confirm_horizon = 4;
   /// Timed-simulation budget per dangerous site during confirmation.
   std::size_t max_confirm_attempts = 24;
+  /// Lane width of the bit-parallel sweep kernel (64, 256 or 512).
+  /// 0 auto-selects: the widest ISA-dispatched width that the per-state
+  /// vector count can actually fill (a sweep never pays for lanes its
+  /// stimulus cannot occupy). Certificates are byte-identical at every
+  /// width — wide batches are consumed in ascending 64-lane subwords
+  /// with the same candidate caps, so the discovery order is exactly
+  /// the 64-wide order.
+  std::size_t lane_width = 0;
   /// Shrink confirmed witnesses with the campaign minimizer.
   bool minimize_witnesses = true;
   /// When non-empty, write each confirmed escape as a replayable repro

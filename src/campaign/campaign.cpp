@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <thread>
@@ -13,6 +14,8 @@
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
+#include "cwsp/timing.hpp"
+#include "sim/strike_lanes.hpp"
 
 namespace cwsp::campaign {
 namespace {
@@ -103,6 +106,95 @@ std::string escape_diagnostic(const core::ProtectionRunResult& r) {
   std::ostringstream os;
   os << r.silent_corruptions << " corrupted commit(s)";
   return os.str();
+}
+
+// ---- strike-lane fast path helpers ----------------------------------
+//
+// The §3.2 protocol has no internal timing once the strike cycle itself
+// is resolved: a single scheduled strike perturbs exactly one cycle, the
+// pre-strike trajectory is golden, and the post-strike divergence (if
+// any) is pure boolean evolution. The protocol verdict is therefore a
+// closed-form function of four per-lane facts (fired, latched_diff,
+// aperture, silent commits) plus two static ones (spurious EQ sample,
+// width vs δ). The scalar ProtectionSim remains the executable
+// specification; differential tests pin these mappings against it.
+
+/// A functional strike on a FF Q net whose pulse spans the CLK_DEL
+/// sampling moment flips the equivalence comparison spuriously —
+/// ProtectionSim's kFunctional spurious-EQ condition, decidable without
+/// simulation.
+bool spurious_eq_at_strike(const Netlist& netlist,
+                           const core::ProtectionParams& params,
+                           const set::PlannedStrike& p) {
+  const Net& net = netlist.net(p.strike.node);
+  if (net.driver_kind != DriverKind::kFlipFlop) return false;
+  const double t0 = p.strike.start.value();
+  const double t1 = t0 + p.strike.width.value();
+  const double t_sample = params.clk_del_delay().value();
+  return t0 <= t_sample && t1 >= t_sample;
+}
+
+/// Protection-path strikes never corrupt architectural state (that is
+/// the paper's §3.2 case analysis): only an EQ-checker glitch still
+/// present at the next clock edge costs anything — one spurious
+/// recomputation bubble. EQGLBF/CW*/CWSP-output hits are benign.
+StrikeResult resolve_protection_path(const set::PlannedStrike& p,
+                                     std::size_t cycles_per_run,
+                                     Picoseconds clock_period) {
+  StrikeResult r;
+  r.index = p.index;
+  r.status = StrikeStatus::kCovered;
+  if (p.cycle < cycles_per_run &&
+      p.site == set::ProtectionSite::kEqChecker) {
+    const double t1 = p.strike.start.value() + p.strike.width.value();
+    if (t1 >= clock_period.value()) {
+      r.bubbles = 1;
+      r.spurious_recomputes = 1;
+    }
+  }
+  return r;
+}
+
+/// Maps one lane's facts to the scalar ProtectionSim verdict:
+///  * spurious EQ → the strike cycle is squashed and its capture
+///    discarded: one bubble, one spurious recompute, covered;
+///  * width <= δ capture diff → the check word carries the true next
+///    state, so the next cycle's check detects and repairs it (one
+///    bubble, one detected error) — unless the strike hit the final
+///    cycle, whose capture is never checked;
+///  * width > δ capture diff → the check word tracks the corrupted
+///    trajectory (no detection); the strike escapes iff some later
+///    commit differs from golden.
+/// The unprotected reference fails iff the capture differed or an
+/// aperture was violated — corrupted state (even output-invisible) and
+/// metastable captures both count, matching run_unprotected.
+StrikeResult resolve_functional(const set::PlannedStrike& p,
+                                const sim::LaneOutcome& o, bool spurious_eq,
+                                std::size_t cycles_per_run,
+                                const core::ProtectionParams& params) {
+  StrikeResult r;
+  r.index = p.index;
+  r.status = StrikeStatus::kCovered;
+  r.unprotected_failed = o.latched_diff || o.aperture;
+  if (!o.fired) return r;
+  if (spurious_eq) {
+    r.bubbles = 1;
+    r.spurious_recomputes = 1;
+    return r;
+  }
+  if (!o.latched_diff) return r;
+  if (p.strike.width > params.delta) {
+    if (o.silent_corruptions > 0) {
+      r.status = StrikeStatus::kEscape;
+      std::ostringstream os;
+      os << o.silent_corruptions << " corrupted commit(s)";
+      r.diagnostic = os.str();
+    }
+  } else if (p.cycle + 1 < cycles_per_run) {
+    r.bubbles = 1;
+    r.detected_errors = 1;
+  }
+  return r;
 }
 
 }  // namespace
@@ -241,6 +333,17 @@ CampaignResult CampaignEngine::run(const set::StrikePlan& plan,
                    options.resume);
   }
 
+  core::ProtectionSimOptions sim_options;
+  sim_options.use_compiled_kernel = !options.use_legacy_kernel;
+
+  // The lane path answers batches of strikes at once, so per-strike
+  // wall-clock budgets and per-strike test hooks need the scalar pool.
+  const bool lane_path = options.use_lane_kernel && !options.use_legacy_kernel &&
+                         options.timeout_ms <= 0.0 && !options.test_hook;
+  if (lane_path) {
+    run_lane_strikes(plan, options, done,
+                     writer.has_value() ? &*writer : nullptr, result);
+  } else {
   // ---- worker pool ---------------------------------------------------
   // Workers claim strike indices from an atomic cursor; each result lands
   // in its own pre-sized slot, so aggregation (below, sequential and in
@@ -250,9 +353,6 @@ CampaignResult CampaignEngine::run(const set::StrikePlan& plan,
   const std::size_t jobs =
       std::max<std::size_t>(1, std::min(options.jobs, plan.size()));
   Watchdog watchdog(jobs);
-
-  core::ProtectionSimOptions sim_options;
-  sim_options.use_compiled_kernel = !options.use_legacy_kernel;
 
   auto worker = [&](std::size_t worker_id) {
     core::ProtectionSim sim(*netlist_, params_, clock_period_, sim_options,
@@ -326,6 +426,7 @@ CampaignResult CampaignEngine::run(const set::StrikePlan& plan,
     }
     for (auto& t : threads) t.join();
   }
+  }  // lane_path / worker pool
 
   // ---- aggregation (sequential, plan order → deterministic) ----------
   aggregate_results(plan, result);
@@ -363,6 +464,183 @@ CampaignResult CampaignEngine::run(const set::StrikePlan& plan,
     }
   }
   return result;
+}
+
+void CampaignEngine::run_lane_strikes(const set::StrikePlan& plan,
+                                      const EngineOptions& options,
+                                      const std::vector<char>& done,
+                                      JournalWriter* writer,
+                                      CampaignResult& result) const {
+  // Replicate the scalar path's constructor-time validation with
+  // identical messages: the lane path never builds a ProtectionSim, but
+  // a misconfigured campaign must fail the same way on either path.
+  params_.validate();
+  CWSP_REQUIRE_MSG(netlist_->num_flip_flops() > 0,
+                   "protection protocol requires flip-flops");
+  CWSP_REQUIRE_MSG(clock_period_ >= core::min_clock_period_for_delta(params_),
+                   "clock period " << clock_period_.value()
+                       << " ps violates Eq. 6 minimum "
+                       << core::min_clock_period_for_delta(params_).value()
+                       << " ps for delta " << params_.delta.value() << " ps");
+
+  // The work list: the first stop_after (or all) undone strikes in plan
+  // order — exactly what the scalar pool executes at jobs == 1, which is
+  // the documented stop_after semantics every jobs value must reproduce.
+  std::vector<std::size_t> todo;
+  todo.reserve(plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (done[i] != 0) continue;
+    if (options.stop_after != 0 && todo.size() >= options.stop_after) break;
+    todo.push_back(i);
+  }
+
+  // Protection-path strikes are closed-form (§3.2 case analysis) —
+  // resolve them inline; only functional strikes need lane simulation.
+  std::vector<std::size_t> functional;
+  functional.reserve(todo.size());
+  std::uint64_t analytic = 0;
+  bool cancelled = false;
+  for (std::size_t pos : todo) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      cancelled = true;
+      break;
+    }
+    const set::PlannedStrike& planned = plan.strikes[pos];
+    if (planned.klass != set::StrikeClass::kProtectionPath) {
+      functional.push_back(pos);
+      continue;
+    }
+    StrikeResult r =
+        resolve_protection_path(planned, options.cycles_per_run, clock_period_);
+    if (writer != nullptr) writer->append(r);
+    result.strikes[pos] = r;
+    ++analytic;
+  }
+
+  // ---- lane batches --------------------------------------------------
+  // Workers claim whole batches from an atomic cursor; batch boundaries
+  // are fixed by plan order (batch b = functional[b*L .. b*L+L)), so the
+  // per-strike outcomes — and therefore the report — are independent of
+  // which worker runs which batch.
+  const std::size_t lane_count =
+      sim::WideLogicSim::isa_for(options.lane_width).lanes;
+  const std::size_t num_batches =
+      (functional.size() + lane_count - 1) / lane_count;
+  std::atomic<std::size_t> batch_cursor{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> lanes_filled{0};
+  std::atomic<std::uint64_t> lane_slots{0};
+  std::atomic<std::uint64_t> timed{0};
+
+  auto lane_worker = [&] {
+    sim::StrikeLaneSim lane_sim(kernel_context_, clock_period_, params_.delta,
+                                options.lane_width);
+    // Scalar fallback simulator, built only if a batch throws.
+    std::unique_ptr<core::ProtectionSim> scalar;
+    std::vector<std::vector<std::vector<bool>>> stimuli;
+    std::vector<sim::LaneScenario> batch;
+    std::vector<sim::LaneOutcome> out;
+    for (;;) {
+      if (cancelled ||
+          (options.cancel != nullptr && options.cancel->cancelled())) {
+        break;
+      }
+      const std::size_t b = batch_cursor.fetch_add(1);
+      if (b >= num_batches) break;
+      const std::size_t begin = b * lane_count;
+      const std::size_t end =
+          std::min(begin + lane_count, functional.size());
+      stimuli.clear();
+      // Reserve before filling: LaneScenario::inputs points at
+      // stimuli elements, so the vector must never reallocate.
+      stimuli.reserve(end - begin);
+      batch.clear();
+      batch.reserve(end - begin);
+      for (std::size_t k = begin; k < end; ++k) {
+        const set::PlannedStrike& planned = plan.strikes[functional[k]];
+        stimuli.push_back(strike_inputs(*netlist_, options.cycles_per_run,
+                                        options.seed, planned.index));
+        sim::LaneScenario sc;
+        sc.strike = planned.strike;
+        sc.cycle = planned.cycle;
+        sc.squash_at_strike = spurious_eq_at_strike(*netlist_, params_, planned);
+        sc.inputs = &stimuli.back();
+        batch.push_back(sc);
+      }
+      try {
+        lane_sim.run_batch(batch, out);
+        for (std::size_t k = begin; k < end; ++k) {
+          const set::PlannedStrike& planned = plan.strikes[functional[k]];
+          StrikeResult r = resolve_functional(
+              planned, out[k - begin], batch[k - begin].squash_at_strike,
+              options.cycles_per_run, params_);
+          if (writer != nullptr) writer->append(r);
+          result.strikes[functional[k]] = r;
+        }
+      } catch (const std::exception&) {
+        // Degrade the batch to the scalar per-strike path with the same
+        // exception isolation as the worker pool: one bad strike costs
+        // one inconclusive result, never the campaign.
+        if (scalar == nullptr) {
+          scalar = std::make_unique<core::ProtectionSim>(
+              *netlist_, params_, clock_period_, core::ProtectionSimOptions{},
+              kernel_context_);
+        }
+        for (std::size_t k = begin; k < end; ++k) {
+          const set::PlannedStrike& planned = plan.strikes[functional[k]];
+          StrikeResult r;
+          r.index = planned.index;
+          try {
+            const core::ScheduledStrike scheduled = to_scheduled(planned);
+            const auto protected_r =
+                scalar->run(stimuli[k - begin], {scheduled});
+            r.bubbles = protected_r.bubbles;
+            r.detected_errors = protected_r.detected_errors;
+            r.spurious_recomputes = protected_r.spurious_recomputes;
+            if (protected_r.recovered()) {
+              r.status = StrikeStatus::kCovered;
+            } else {
+              r.status = StrikeStatus::kEscape;
+              r.diagnostic = escape_diagnostic(protected_r);
+            }
+            const auto unprotected_r =
+                scalar->run_unprotected(stimuli[k - begin], {scheduled});
+            r.unprotected_failed = unprotected_r.corrupted_cycles > 0;
+          } catch (const std::exception& e) {
+            r = StrikeResult{};
+            r.index = planned.index;
+            r.status = StrikeStatus::kError;
+            r.diagnostic = e.what();
+          }
+          if (writer != nullptr) writer->append(r);
+          result.strikes[functional[k]] = r;
+        }
+      }
+    }
+    batches.fetch_add(lane_sim.batches_run());
+    lanes_filled.fetch_add(lane_sim.lanes_filled());
+    lane_slots.fetch_add(lane_sim.lane_slots());
+    timed.fetch_add(lane_sim.timed_resolutions());
+  };
+
+  const std::size_t jobs = std::max<std::size_t>(
+      1, std::min(options.jobs, std::max<std::size_t>(num_batches, 1)));
+  if (jobs <= 1) {
+    lane_worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    for (std::size_t w = 0; w < jobs; ++w) threads.emplace_back(lane_worker);
+    for (auto& t : threads) t.join();
+  }
+
+  // Observability only (never feeds the report).
+  auto& registry = metrics::Registry::global();
+  registry.counter("campaign.lane_batches").add(batches.load());
+  registry.counter("campaign.lane_slots_filled").add(lanes_filled.load());
+  registry.counter("campaign.lane_slots_total").add(lane_slots.load());
+  registry.counter("campaign.lane_timed_resolutions").add(timed.load());
+  registry.counter("campaign.lane_analytic_strikes").add(analytic);
 }
 
 }  // namespace cwsp::campaign

@@ -33,6 +33,8 @@
 
 namespace cwsp::campaign {
 
+class JournalWriter;
+
 enum class StrikeStatus : std::uint8_t {
   /// Protected design recovered (no corrupted commit, no livelock).
   kCovered,
@@ -95,6 +97,18 @@ struct EngineOptions {
   /// instead of the compiled kernel. Reports are byte-identical either
   /// way; this exists for differential tests and the speedup benchmark.
   bool use_legacy_kernel = false;
+  /// Resolve strikes on the fault-parallel strike-lane kernel
+  /// (sim::StrikeLaneSim): functional strikes are packed lanes() at a
+  /// time into bit-parallel sweeps and protection-path strikes are
+  /// answered from the closed-form §3.2 case analysis. Reports are
+  /// byte-identical to the scalar ProtectionSim path at any lane width
+  /// and any `jobs`; the engine falls back to the scalar path whenever a
+  /// feature needs full per-strike timed simulation plumbing
+  /// (use_legacy_kernel, per-strike timeouts, test hooks).
+  bool use_lane_kernel = true;
+  /// Lane width for the strike-lane kernel (64, 256 or 512); 0 picks the
+  /// widest ISA-accelerated width this CPU supports.
+  std::size_t lane_width = 0;
   /// Test hook run before each strike's simulation on the worker thread
   /// (e.g. to inject a hang that only the watchdog can break). Must throw
   /// sim::CancelledError to emulate a cancelled hang.
@@ -164,6 +178,16 @@ class CampaignEngine {
       std::size_t strike_index);
 
  private:
+  /// The strike-lane fast path of run(): resolves every undone strike of
+  /// `plan` (respecting stop_after/cancel) into result.strikes, batching
+  /// functional strikes lanes-at-a-time through sim::StrikeLaneSim and
+  /// answering protection-path strikes analytically. Byte-identical to
+  /// the scalar worker pool.
+  void run_lane_strikes(const set::StrikePlan& plan,
+                        const EngineOptions& options,
+                        const std::vector<char>& done, JournalWriter* writer,
+                        CampaignResult& result) const;
+
   const Netlist* netlist_;
   core::ProtectionParams params_;
   Picoseconds clock_period_;

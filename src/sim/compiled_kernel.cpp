@@ -197,21 +197,33 @@ CycleResult CompiledEventSim::simulate_cycle(
   const FlatNetlistView& view = *context_->view;
   const GoldenCycle& golden = golden_cycle(pi_values, ff_q_values);
 
-  CycleResult result;
-  result.golden_d = golden.ff_d;
-  result.golden_po = golden.po;
-
   if (!strike.has_value()) {
     // All sources are static, so the struck run degenerates to golden:
     // every waveform is constant, nothing toggles, nothing reaches an
     // endpoint.
+    CycleResult result;
+    result.golden_d = golden.ff_d;
+    result.golden_po = golden.po;
     result.latched_d = golden.ff_d;
     result.aperture_violation.assign(view.num_flip_flops(), false);
     result.struck_po = golden.po;
     return result;
   }
 
-  propagate_cone(golden, *strike);
+  return resolve_strike(golden, capture_time, *strike);
+}
+
+CycleResult CompiledEventSim::resolve_strike(const GoldenCycle& golden,
+                                             Picoseconds capture_time,
+                                             const set::Strike& strike) const {
+  const FlatNetlistView& view = *context_->view;
+  CWSP_REQUIRE(golden.net_values.size() == view.num_nets());
+
+  CycleResult result;
+  result.golden_d = golden.ff_d;
+  result.golden_po = golden.po;
+
+  propagate_cone(golden, strike);
 
   const Netlist& nl = view.netlist();
   const double t_capture = capture_time.value();

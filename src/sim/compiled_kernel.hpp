@@ -73,6 +73,15 @@ class CompiledEventSim {
       Picoseconds capture_time,
       const std::optional<set::Strike>& strike) const;
 
+  /// Timed strike resolution against a caller-provided golden cycle —
+  /// the strike-lane kernel's entry: the lane planes already settled the
+  /// cycle, so this skips the golden cache and goes straight to the
+  /// cone-restricted event propagation + endpoint sampling. Bit-identical
+  /// to simulate_cycle() on the stimulus that produced `golden`.
+  [[nodiscard]] CycleResult resolve_strike(const GoldenCycle& golden,
+                                           Picoseconds capture_time,
+                                           const set::Strike& strike) const;
+
   /// Same contract as EventSim::net_waveform.
   [[nodiscard]] DigitalWaveform net_waveform(
       const std::vector<bool>& pi_values, const std::vector<bool>& ff_q_values,

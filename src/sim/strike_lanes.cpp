@@ -1,0 +1,360 @@
+#include "sim/strike_lanes.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "sim/strike_lanes_impl.hpp"
+
+namespace cwsp::sim {
+namespace detail {
+// Defined in strike_lanes_avx2.cpp / strike_lanes_avx512.cpp when the
+// compiler supports the matching flags (CMake gates the sources and the
+// CWSP_LANES_HAVE_* defines together, so unguarded references below
+// never dangle).
+const LaneOps* lane_ops_avx2();
+const LaneOps* lane_ops_avx512();
+}  // namespace detail
+
+namespace {
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512f() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
+// Portable bodies — always compiled, so every width runs on every
+// machine (the vectorized bodies are bit-identical accelerations).
+const LaneOps kScalar64{"scalar-64", 1, &LaneKernelCore<1>::evaluate,
+                        &LaneKernelCore<1>::evaluate_with_flip};
+const LaneOps kPortable256{"portable-256", 4, &LaneKernelCore<4>::evaluate,
+                           &LaneKernelCore<4>::evaluate_with_flip};
+const LaneOps kPortable512{"portable-512", 8, &LaneKernelCore<8>::evaluate,
+                           &LaneKernelCore<8>::evaluate_with_flip};
+
+const LaneOps* resolve_ops(std::size_t lane_width) {
+  if (lane_width == 0) {
+#if defined(CWSP_LANES_HAVE_AVX512)
+    if (cpu_has_avx512f()) return detail::lane_ops_avx512();
+#endif
+#if defined(CWSP_LANES_HAVE_AVX2)
+    if (cpu_has_avx2()) return detail::lane_ops_avx2();
+#endif
+    return &kScalar64;
+  }
+  switch (lane_width) {
+    case 64:
+      return &kScalar64;
+    case 256:
+#if defined(CWSP_LANES_HAVE_AVX2)
+      if (cpu_has_avx2()) return detail::lane_ops_avx2();
+#endif
+      return &kPortable256;
+    case 512:
+#if defined(CWSP_LANES_HAVE_AVX512)
+      if (cpu_has_avx512f()) return detail::lane_ops_avx512();
+#endif
+      return &kPortable512;
+    default:
+      break;
+  }
+  CWSP_REQUIRE_MSG(false, "unsupported lane width " << lane_width
+                                                    << " (supported: 64, "
+                                                       "256, 512)");
+  return &kScalar64;  // unreachable
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------
+// WideLogicSim
+
+WideLogicSim::WideLogicSim(std::shared_ptr<const FlatNetlistView> view,
+                           std::size_t lane_width)
+    : view_(std::move(view)), ops_(resolve_ops(lane_width)) {
+  CWSP_REQUIRE(view_ != nullptr);
+  words_ = ops_->words;
+  net_words_.assign(view_->num_nets() * words_, 0);
+  pi_words_.assign(view_->num_primary_inputs() * words_, 0);
+  ff_words_.assign(view_->num_flip_flops() * words_, 0);
+  // Self-describing benchmark artifacts: record the width actually
+  // dispatched. Observability only — never read back by any report.
+  metrics::Registry::global()
+      .gauge("sim.kernel.width")
+      .set(static_cast<std::int64_t>(lanes()));
+}
+
+const std::vector<std::size_t>& WideLogicSim::supported_lane_widths() {
+  static const std::vector<std::size_t> kWidths{64, 256, 512};
+  return kWidths;
+}
+
+LaneIsa WideLogicSim::dispatched_isa() {
+  const LaneOps* ops = resolve_ops(0);
+  return LaneIsa{ops->words * 64, ops->name};
+}
+
+LaneIsa WideLogicSim::isa_for(std::size_t lane_width) {
+  const LaneOps* ops = resolve_ops(lane_width);
+  return LaneIsa{ops->words * 64, ops->name};
+}
+
+std::vector<std::size_t> WideLogicSim::accelerated_lane_widths() {
+  std::vector<std::size_t> out;
+#if defined(CWSP_LANES_HAVE_AVX2)
+  if (cpu_has_avx2()) out.push_back(256);
+#endif
+#if defined(CWSP_LANES_HAVE_AVX512)
+  if (cpu_has_avx512f()) out.push_back(512);
+#endif
+  return out;
+}
+
+void WideLogicSim::set_input_lane(std::size_t pi, std::size_t lane,
+                                  bool value) {
+  CWSP_REQUIRE(pi < view_->num_primary_inputs() && lane < lanes());
+  std::uint64_t& w = pi_words_[pi * words_ + lane / 64];
+  if (value) {
+    w |= 1ull << (lane % 64);
+  } else {
+    w &= ~(1ull << (lane % 64));
+  }
+}
+
+void WideLogicSim::set_ff_lane(std::size_t ff, std::size_t lane, bool value) {
+  CWSP_REQUIRE(ff < view_->num_flip_flops() && lane < lanes());
+  std::uint64_t& w = ff_words_[ff * words_ + lane / 64];
+  if (value) {
+    w |= 1ull << (lane % 64);
+  } else {
+    w &= ~(1ull << (lane % 64));
+  }
+}
+
+void WideLogicSim::set_input_word(std::size_t pi, std::size_t w,
+                                  std::uint64_t bits) {
+  CWSP_REQUIRE(pi < view_->num_primary_inputs() && w < words_);
+  pi_words_[pi * words_ + w] = bits;
+}
+
+void WideLogicSim::set_ff_word(std::size_t ff, std::size_t w,
+                               std::uint64_t bits) {
+  CWSP_REQUIRE(ff < view_->num_flip_flops() && w < words_);
+  ff_words_[ff * words_ + w] = bits;
+}
+
+void WideLogicSim::fill_ff(std::size_t ff, bool value) {
+  CWSP_REQUIRE(ff < view_->num_flip_flops());
+  const std::uint64_t fill = value ? ~0ull : 0ull;
+  for (std::size_t w = 0; w < words_; ++w) {
+    ff_words_[ff * words_ + w] = fill;
+  }
+}
+
+void WideLogicSim::evaluate() { ops_->evaluate(*this); }
+
+void WideLogicSim::evaluate_with_flip(NetId site) {
+  CWSP_REQUIRE(site.valid() && site.index() < view_->num_nets());
+  ops_->evaluate_with_flip(*this,
+                           static_cast<std::uint32_t>(site.index()));
+}
+
+void WideLogicSim::clock() {
+  for (std::size_t f = 0; f < view_->num_flip_flops(); ++f) {
+    const std::uint64_t* d = net_words_.data() + view_->ff_d_net(f) * words_;
+    std::uint64_t* q = ff_words_.data() + f * words_;
+    for (std::size_t w = 0; w < words_; ++w) q[w] = d[w];
+  }
+}
+
+std::uint64_t WideLogicSim::flip_diff_word(NetId net, std::size_t w) const {
+  CWSP_REQUIRE(net.valid() && net.index() < view_->num_nets() && w < words_);
+  const std::size_t n = net.index();
+  if (overlay_valid_.empty() || overlay_valid_[n] == 0) return 0;
+  return overlay_words_[n * words_ + w] ^ net_words_[n * words_ + w];
+}
+
+std::uint64_t WideLogicSim::value_word(NetId net, std::size_t w) const {
+  CWSP_REQUIRE(net.valid() && net.index() < view_->num_nets() && w < words_);
+  return net_words_[net.index() * words_ + w];
+}
+
+bool WideLogicSim::value(NetId net, std::size_t lane) const {
+  CWSP_REQUIRE(lane < lanes());
+  return ((value_word(net, lane / 64) >> (lane % 64)) & 1u) != 0;
+}
+
+std::uint64_t WideLogicSim::ff_word(std::size_t ff, std::size_t w) const {
+  CWSP_REQUIRE(ff < view_->num_flip_flops() && w < words_);
+  return ff_words_[ff * words_ + w];
+}
+
+// ------------------------------------------------------------------
+// StrikeLaneSim
+
+StrikeLaneSim::StrikeLaneSim(
+    std::shared_ptr<const CompiledKernelContext> context,
+    Picoseconds clock_period, Picoseconds delta, std::size_t lane_width)
+    : context_(std::move(context)),
+      clock_period_(clock_period),
+      delta_(delta),
+      golden_(context_ != nullptr ? context_->view : nullptr, lane_width),
+      faulty_(context_->view, lane_width),
+      event_(context_->view->netlist(), context_) {
+  CWSP_REQUIRE(context_ != nullptr);
+}
+
+void StrikeLaneSim::run_batch(const std::vector<LaneScenario>& batch,
+                              std::vector<LaneOutcome>& out) {
+  const FlatNetlistView& view = *context_->view;
+  const std::size_t B = batch.size();
+  out.assign(B, LaneOutcome{});
+  if (B == 0) return;
+  CWSP_REQUIRE_MSG(B <= lanes(), "batch of " << B << " scenarios exceeds "
+                                             << lanes() << " lanes");
+  const std::size_t T = batch[0].inputs->size();
+  for (const LaneScenario& s : batch) {
+    CWSP_REQUIRE_MSG(s.inputs != nullptr && s.inputs->size() == T,
+                     "every scenario of a lane batch needs the same run "
+                     "length");
+  }
+
+  const std::size_t npi = view.num_primary_inputs();
+  const std::size_t nff = view.num_flip_flops();
+  const std::size_t nets = view.num_nets();
+  const std::size_t words = golden_.words_per_net();
+
+  ++batches_;
+  lanes_filled_ += B;
+  lane_slots_ += lanes();
+
+  // Reset both planes to the all-zero state (ProtectionSim's reset).
+  for (std::size_t f = 0; f < nff; ++f) golden_.fill_ff(f, false);
+  bool divergent = false;
+
+  // Lanes whose capture escaped the envelope this cycle: the faulty
+  // plane picks up their corrupted latch at the clock edge below.
+  struct PendingDivergence {
+    std::size_t lane = 0;
+    std::vector<std::pair<std::size_t, bool>> flipped_ffs;
+  };
+  std::vector<PendingDivergence> pending;
+  std::vector<std::size_t> diverged_lanes;
+
+  for (std::size_t t = 0; t < T; ++t) {
+    // Pack this cycle's stimulus, lane-major within each 64-lane word.
+    for (std::size_t p = 0; p < npi; ++p) {
+      for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t bits = 0;
+        const std::size_t hi = std::min<std::size_t>(B, (w + 1) * 64);
+        for (std::size_t l = w * 64; l < hi; ++l) {
+          if ((*batch[l].inputs)[t][p]) bits |= 1ull << (l % 64);
+        }
+        golden_.set_input_word(p, w, bits);
+        if (divergent) faulty_.set_input_word(p, w, bits);
+      }
+    }
+    golden_.evaluate();
+
+    // Timed resolution for lanes striking this cycle: extract the
+    // lane's settled golden values and hand them to the event-driven
+    // resolver — latching-window and aperture questions are decided in
+    // continuous time exactly as the scalar kernel decides them.
+    for (std::size_t l = 0; l < B; ++l) {
+      if (batch[l].cycle != t) continue;
+      out[l].fired = true;
+      ++timed_resolutions_;
+
+      lane_golden_.net_values.assign(nets, 0);
+      const std::size_t wl = l / 64;
+      const std::uint64_t bit = 1ull << (l % 64);
+      for (std::size_t n = 0; n < nets; ++n) {
+        lane_golden_.net_values[n] =
+            (golden_.net_words(n)[wl] & bit) != 0 ? 1 : 0;
+      }
+      lane_golden_.ff_d.clear();
+      for (std::size_t f = 0; f < nff; ++f) {
+        lane_golden_.ff_d.push_back(
+            lane_golden_.net_values[view.ff_d_net(f)] != 0);
+      }
+      lane_golden_.po.clear();
+      for (std::uint32_t po : view.po_nets()) {
+        lane_golden_.po.push_back(lane_golden_.net_values[po] != 0);
+      }
+
+      const CycleResult cr =
+          event_.resolve_strike(lane_golden_, clock_period_, batch[l].strike);
+      PendingDivergence div;
+      div.lane = l;
+      for (std::size_t f = 0; f < nff; ++f) {
+        if (cr.latched_d[f] != cr.golden_d[f]) {
+          div.flipped_ffs.emplace_back(f, cr.latched_d[f]);
+        }
+        if (cr.aperture_violation[f]) out[l].aperture = true;
+      }
+      out[l].latched_diff = !div.flipped_ffs.empty();
+      // Only a non-squashed capture beyond the CWSP envelope survives
+      // into the architecture's state (width <= δ is repaired by the
+      // check word; a squashed cycle discards its capture entirely).
+      if (out[l].latched_diff && !batch[l].squash_at_strike &&
+          batch[l].strike.width > delta_) {
+        pending.push_back(std::move(div));
+      }
+    }
+
+    // Silent-corruption accounting: one count per committed cycle whose
+    // outputs differ from golden, for every already-diverged lane.
+    if (divergent) {
+      faulty_.evaluate();
+      for (std::size_t l : diverged_lanes) {
+        const std::size_t wl = l / 64;
+        const std::uint64_t bit = 1ull << (l % 64);
+        for (std::uint32_t po : view.po_nets()) {
+          const std::uint64_t diff =
+              golden_.net_words(po)[wl] ^ faulty_.net_words(po)[wl];
+          if ((diff & bit) != 0) {
+            ++out[l].silent_corruptions;
+            break;
+          }
+        }
+      }
+    }
+
+    golden_.clock();
+    if (divergent) faulty_.clock();
+
+    if (!pending.empty()) {
+      if (!divergent) {
+        // First divergence of the batch: fork the faulty plane from the
+        // (post-clock) golden state; every still-clean lane keeps
+        // tracking golden exactly, so its diff words stay zero.
+        for (std::size_t f = 0; f < nff; ++f) {
+          for (std::size_t w = 0; w < words; ++w) {
+            faulty_.set_ff_word(f, w, golden_.ff_word(f, w));
+          }
+        }
+        divergent = true;
+      }
+      for (const PendingDivergence& div : pending) {
+        for (const auto& [f, v] : div.flipped_ffs) {
+          faulty_.set_ff_lane(f, div.lane, v);
+        }
+        diverged_lanes.push_back(div.lane);
+      }
+      pending.clear();
+    }
+  }
+}
+
+}  // namespace cwsp::sim

@@ -1,0 +1,215 @@
+#pragma once
+// Fault-parallel strike-lane kernel: pack N strike scenarios into SIMD
+// lanes and advance them all with one structure-of-arrays topo sweep per
+// cycle.
+//
+// Two cooperating pieces:
+//
+//   * WideLogicSim — the width-generic generalization of LogicSim64:
+//     every net carries K consecutive 64-bit words (K = 1/4/8 → 64/256/
+//     512 lanes), and the topological sweep is instantiated once per K
+//     in separate translation units compiled for the matching ISA
+//     (portable baseline always; AVX2 for K=4 and AVX-512 for K=8 when
+//     the compiler supports the flags). Dispatch is resolved at runtime
+//     from CPUID, with an explicit width override for differential
+//     tests, so every width is runnable on every machine and results
+//     are bit-identical between the portable and vectorized bodies by
+//     construction (same scalar semantics, word-parallel).
+//
+//   * StrikeLaneSim — the campaign batch engine built on two
+//     WideLogicSim planes. Lane l of a batch carries one functional
+//     strike scenario: the golden plane advances the clean trajectory
+//     of every lane's stimulus; on each lane's strike cycle the settled
+//     golden values of that lane are extracted and handed to the timed
+//     CompiledEventSim for exact glitch-window resolution (latching /
+//     aperture masking are analog-time questions the boolean planes
+//     cannot answer); lanes whose capture escapes the CWSP envelope
+//     seed the faulty plane, whose lane-diff against the golden plane
+//     then counts silently-corrupted commits cycle by cycle. Everything
+//     else about the §3.2 protocol (bubbles, detected errors, spurious
+//     recomputes) is a deterministic function of these per-lane facts
+//     and is reconstructed analytically by the campaign layer — which
+//     is what keeps lane-kernel reports byte-identical to the scalar
+//     ProtectionSim at any lane width and any job count.
+//
+// A WideLogicSim / StrikeLaneSim instance is NOT thread-safe; create one
+// per worker and share the immutable context.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/compiled_kernel.hpp"
+
+namespace cwsp::sim {
+
+class WideLogicSim;
+
+/// One compiled sweep body: the function-pointer vtable the runtime
+/// dispatcher selects from. `words` is the per-net word count K.
+struct LaneOps {
+  const char* name = "";
+  std::size_t words = 1;
+  void (*evaluate)(WideLogicSim&) = nullptr;
+  void (*evaluate_with_flip)(WideLogicSim&, std::uint32_t site) = nullptr;
+};
+
+/// What the dispatcher resolved: lane count plus the sweep body's name
+/// ("scalar-64", "portable-256", "avx2-256", "avx512-512").
+struct LaneIsa {
+  std::size_t lanes = 64;
+  const char* name = "scalar-64";
+};
+
+/// Width-generic bit-parallel zero-delay logic simulator. Net n's lane
+/// words live at net_words()[n * words_per_net() .. +words_per_net()).
+class WideLogicSim {
+ public:
+  /// lane_width 0 picks the widest ISA-accelerated width this CPU
+  /// supports; otherwise it must be one of supported_lane_widths().
+  explicit WideLogicSim(std::shared_ptr<const FlatNetlistView> view,
+                        std::size_t lane_width = 0);
+
+  /// The widths every build can run (vectorized when the ISA allows,
+  /// portable otherwise): {64, 256, 512}.
+  [[nodiscard]] static const std::vector<std::size_t>& supported_lane_widths();
+  /// What lane_width == 0 resolves to on this machine.
+  [[nodiscard]] static LaneIsa dispatched_isa();
+  /// The body a specific width resolves to on this machine.
+  [[nodiscard]] static LaneIsa isa_for(std::size_t lane_width);
+  /// ISA-accelerated widths compiled into this binary (subset of
+  /// supported widths; informational, for `cwsp_tool version`).
+  [[nodiscard]] static std::vector<std::size_t> accelerated_lane_widths();
+
+  [[nodiscard]] std::size_t lanes() const { return words_ * 64; }
+  [[nodiscard]] std::size_t words_per_net() const { return words_; }
+  [[nodiscard]] const char* isa_name() const { return ops_->name; }
+
+  void set_input_lane(std::size_t pi, std::size_t lane, bool value);
+  void set_ff_lane(std::size_t ff, std::size_t lane, bool value);
+  /// Word `w` (64 lanes) of one primary input / flip-flop.
+  void set_input_word(std::size_t pi, std::size_t w, std::uint64_t bits);
+  void set_ff_word(std::size_t ff, std::size_t w, std::uint64_t bits);
+  /// Same value in every lane.
+  void fill_ff(std::size_t ff, bool value);
+
+  /// Settles combinational logic for all lanes in one topo pass.
+  void evaluate();
+  /// Latches every flip-flop in every lane (Q ← D).
+  void clock();
+  /// Re-evaluates only `site`'s fanout cone with the site inverted in
+  /// every lane (see LogicSim64::evaluate_with_flip).
+  void evaluate_with_flip(NetId site);
+  /// Word `w` of the per-lane XOR between the flip overlay and the base
+  /// evaluation of `net` (zero outside the flipped cone).
+  [[nodiscard]] std::uint64_t flip_diff_word(NetId net, std::size_t w) const;
+
+  [[nodiscard]] std::uint64_t value_word(NetId net, std::size_t w) const;
+  [[nodiscard]] bool value(NetId net, std::size_t lane) const;
+  [[nodiscard]] std::uint64_t ff_word(std::size_t ff, std::size_t w) const;
+
+  /// Raw lane words of one net (words_per_net() consecutive words) —
+  /// the extraction fast path for StrikeLaneSim.
+  [[nodiscard]] const std::uint64_t* net_words(std::size_t net) const {
+    return net_words_.data() + net * words_;
+  }
+
+  [[nodiscard]] const FlatNetlistView& view() const { return *view_; }
+  [[nodiscard]] const Netlist& netlist() const { return view_->netlist(); }
+
+ private:
+  template <std::size_t K>
+  friend struct LaneKernelCore;
+
+  std::shared_ptr<const FlatNetlistView> view_;
+  const LaneOps* ops_;
+  std::size_t words_;
+  // SoA lane state: element i*words_ + w is word w of entity i.
+  std::vector<std::uint64_t> net_words_;
+  std::vector<std::uint64_t> pi_words_;
+  std::vector<std::uint64_t> ff_words_;
+
+  // Flip-overlay scratch (sparse; see LogicSim64).
+  std::vector<std::uint64_t> overlay_words_;
+  std::vector<char> overlay_valid_;
+  std::vector<std::uint32_t> overlay_nets_;
+};
+
+/// One functional-strike scenario occupying one lane of a batch.
+struct LaneScenario {
+  set::Strike strike;
+  /// Cycle (within `inputs`) the strike fires on; >= inputs->size()
+  /// means the strike never fires.
+  std::size_t cycle = 0;
+  /// The equivalence check of the strike cycle reads EQ low spuriously
+  /// (a FF Q-net glitch spanning the CLK_DEL sample — computed
+  /// statically by the caller), so the protocol squashes the cycle and
+  /// discards its capture.
+  bool squash_at_strike = false;
+  /// Per-cycle primary-input stimulus; every scenario of a batch must
+  /// have the same length. Must outlive run_batch.
+  const std::vector<std::vector<bool>>* inputs = nullptr;
+};
+
+/// The per-lane facts a batch resolves to. The protocol verdict
+/// (covered/escape, bubbles, detected errors, spurious recomputes) is a
+/// pure function of these — see campaign::CampaignEngine's lane path.
+struct LaneOutcome {
+  /// strike cycle < run length (a never-firing strike is a clean run).
+  bool fired = false;
+  /// Timed resolution latched a non-golden value into some flip-flop.
+  bool latched_diff = false;
+  /// Some flip-flop saw a transition inside its setup/hold aperture.
+  bool aperture = false;
+  /// Commits after an undetected (width > δ, non-squashed) capture whose
+  /// outputs differ from golden — the protocol's silent corruptions.
+  std::uint64_t silent_corruptions = 0;
+};
+
+/// Batch engine: resolves up to lanes() strike scenarios per pass. See
+/// the file comment for the golden/faulty two-plane algorithm.
+class StrikeLaneSim {
+ public:
+  /// `delta` is the CWSP protection envelope (ProtectionParams::delta);
+  /// `clock_period` is both the cycle length and the capture time the
+  /// timed resolver samples at (matching ProtectionSim).
+  StrikeLaneSim(std::shared_ptr<const CompiledKernelContext> context,
+                Picoseconds clock_period, Picoseconds delta,
+                std::size_t lane_width = 0);
+
+  [[nodiscard]] std::size_t lanes() const { return golden_.lanes(); }
+  [[nodiscard]] const char* isa_name() const { return golden_.isa_name(); }
+
+  /// Resolves batch.size() <= lanes() scenarios. `out` is resized to the
+  /// batch size. Outcomes are independent of batch composition and lane
+  /// width: each lane computes exactly what a scalar run would.
+  void run_batch(const std::vector<LaneScenario>& batch,
+                 std::vector<LaneOutcome>& out);
+
+  /// Occupancy telemetry (for the campaign's metrics and benchmarks).
+  [[nodiscard]] std::uint64_t batches_run() const { return batches_; }
+  [[nodiscard]] std::uint64_t lanes_filled() const { return lanes_filled_; }
+  [[nodiscard]] std::uint64_t lane_slots() const { return lane_slots_; }
+  [[nodiscard]] std::uint64_t timed_resolutions() const {
+    return timed_resolutions_;
+  }
+
+ private:
+  std::shared_ptr<const CompiledKernelContext> context_;
+  Picoseconds clock_period_;
+  Picoseconds delta_;
+  WideLogicSim golden_;
+  WideLogicSim faulty_;
+  /// Timed strike-cycle resolver (golden cache unused on this path: the
+  /// golden plane already settled the cycle; see resolve_strike).
+  CompiledEventSim event_;
+  /// Scratch for per-lane golden extraction.
+  GoldenCycle lane_golden_;
+
+  std::uint64_t batches_ = 0;
+  std::uint64_t lanes_filled_ = 0;
+  std::uint64_t lane_slots_ = 0;
+  std::uint64_t timed_resolutions_ = 0;
+};
+
+}  // namespace cwsp::sim

@@ -1,0 +1,14 @@
+// AVX2 instantiation of the K=4 (256-lane) sweep bodies. This TU is the
+// only code compiled with -mavx2, so the binary stays runnable on older
+// CPUs: the dispatcher calls in here only after CPUID reports avx2.
+#include "sim/strike_lanes_impl.hpp"
+
+namespace cwsp::sim::detail {
+
+const LaneOps* lane_ops_avx2() {
+  static const LaneOps kOps{"avx2-256", 4, &LaneKernelCore<4>::evaluate,
+                            &LaneKernelCore<4>::evaluate_with_flip};
+  return &kOps;
+}
+
+}  // namespace cwsp::sim::detail

@@ -1,0 +1,14 @@
+// AVX-512F instantiation of the K=8 (512-lane) sweep bodies. This TU is
+// the only code compiled with -mavx512f; the dispatcher calls in here
+// only after CPUID reports avx512f.
+#include "sim/strike_lanes_impl.hpp"
+
+namespace cwsp::sim::detail {
+
+const LaneOps* lane_ops_avx512() {
+  static const LaneOps kOps{"avx512-512", 8, &LaneKernelCore<8>::evaluate,
+                            &LaneKernelCore<8>::evaluate_with_flip};
+  return &kOps;
+}
+
+}  // namespace cwsp::sim::detail

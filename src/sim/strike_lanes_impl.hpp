@@ -1,0 +1,121 @@
+#pragma once
+// Templated sweep bodies of WideLogicSim, instantiated once per lane
+// width K (words per net) and per ISA translation unit. The code is
+// plain word-parallel C++ — no intrinsics — so the portable and
+// vectorized instantiations share one definition and differ only in the
+// compiler flags of the including TU (-mavx2 / -mavx512f let the
+// auto-vectorizer turn the constexpr-length word loops into one or two
+// vector ops per gate input). Identical scalar semantics at every width
+// is therefore structural, not something tests merely hope for.
+
+#include "netlist/flat_view.hpp"
+#include "sim/strike_lanes.hpp"
+
+namespace cwsp::sim {
+
+template <std::size_t K>
+struct LaneKernelCore {
+  static void evaluate(WideLogicSim& s) {
+    const FlatNetlistView& view = *s.view_;
+    std::uint64_t* net = s.net_words_.data();
+    const std::uint64_t* pi = s.pi_words_.data();
+    const std::uint64_t* ff = s.ff_words_.data();
+
+    for (std::size_t n = 0; n < view.num_nets(); ++n) {
+      std::uint64_t* dst = net + n * K;
+      switch (view.source_kind(n)) {
+        case FlatNetlistView::SourceKind::kPrimaryInput: {
+          const std::uint64_t* src = pi + view.source_index(n) * K;
+          for (std::size_t w = 0; w < K; ++w) dst[w] = src[w];
+          break;
+        }
+        case FlatNetlistView::SourceKind::kFlipFlop: {
+          const std::uint64_t* src = ff + view.source_index(n) * K;
+          for (std::size_t w = 0; w < K; ++w) dst[w] = src[w];
+          break;
+        }
+        case FlatNetlistView::SourceKind::kConstant: {
+          const std::uint64_t fill = view.source_index(n) != 0 ? ~0ull : 0ull;
+          for (std::size_t w = 0; w < K; ++w) dst[w] = fill;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    for (std::uint32_t g : view.topo_order()) {
+      const std::uint32_t* in = view.gate_inputs_begin(g);
+      const std::uint32_t arity = view.gate_num_inputs(g);
+      const std::uint16_t truth = view.gate_truth(g);
+      // Sum-of-products over the truth table, lane-parallel per word.
+      std::uint64_t out[K] = {};
+      const unsigned combos = 1u << arity;
+      for (unsigned a = 0; a < combos; ++a) {
+        if (((truth >> a) & 1u) == 0) continue;
+        std::uint64_t term[K];
+        for (std::size_t w = 0; w < K; ++w) term[w] = ~0ull;
+        for (std::uint32_t i = 0; i < arity; ++i) {
+          const std::uint64_t* iw = net + in[i] * K;
+          if (((a >> i) & 1u) != 0) {
+            for (std::size_t w = 0; w < K; ++w) term[w] &= iw[w];
+          } else {
+            for (std::size_t w = 0; w < K; ++w) term[w] &= ~iw[w];
+          }
+        }
+        for (std::size_t w = 0; w < K; ++w) out[w] |= term[w];
+      }
+      std::uint64_t* dst = net + view.gate_output(g) * K;
+      for (std::size_t w = 0; w < K; ++w) dst[w] = out[w];
+    }
+    for (std::uint32_t n : s.overlay_nets_) s.overlay_valid_[n] = 0;
+    s.overlay_nets_.clear();
+  }
+
+  static void evaluate_with_flip(WideLogicSim& s, std::uint32_t site) {
+    const FlatNetlistView& view = *s.view_;
+    const std::uint64_t* net = s.net_words_.data();
+    if (s.overlay_words_.size() != s.net_words_.size()) {
+      s.overlay_words_.assign(s.net_words_.size(), 0);
+      s.overlay_valid_.assign(view.num_nets(), 0);
+    }
+    std::uint64_t* overlay = s.overlay_words_.data();
+    for (std::uint32_t n : s.overlay_nets_) s.overlay_valid_[n] = 0;
+    s.overlay_nets_.clear();
+
+    for (std::size_t w = 0; w < K; ++w) {
+      overlay[site * K + w] = ~net[site * K + w];
+    }
+    s.overlay_valid_[site] = 1;
+    s.overlay_nets_.push_back(site);
+
+    for (std::uint32_t g : view.cone_of(NetId{site})) {
+      const std::uint32_t* in = view.gate_inputs_begin(g);
+      const std::uint32_t arity = view.gate_num_inputs(g);
+      const std::uint16_t truth = view.gate_truth(g);
+      std::uint64_t out[K] = {};
+      const unsigned combos = 1u << arity;
+      for (unsigned a = 0; a < combos; ++a) {
+        if (((truth >> a) & 1u) == 0) continue;
+        std::uint64_t term[K];
+        for (std::size_t w = 0; w < K; ++w) term[w] = ~0ull;
+        for (std::uint32_t i = 0; i < arity; ++i) {
+          const std::uint32_t n = in[i];
+          const std::uint64_t* iw =
+              (s.overlay_valid_[n] != 0 ? overlay : net) + n * K;
+          if (((a >> i) & 1u) != 0) {
+            for (std::size_t w = 0; w < K; ++w) term[w] &= iw[w];
+          } else {
+            for (std::size_t w = 0; w < K; ++w) term[w] &= ~iw[w];
+          }
+        }
+        for (std::size_t w = 0; w < K; ++w) out[w] |= term[w];
+      }
+      const std::uint32_t out_net = view.gate_output(g);
+      for (std::size_t w = 0; w < K; ++w) overlay[out_net * K + w] = out[w];
+      s.overlay_valid_[out_net] = 1;
+      s.overlay_nets_.push_back(out_net);
+    }
+  }
+};
+
+}  // namespace cwsp::sim

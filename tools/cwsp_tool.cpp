@@ -42,6 +42,7 @@
 #include "netlist/verilog_writer.hpp"
 #include "netlist/writer.hpp"
 #include "service/client.hpp"
+#include "sim/strike_lanes.hpp"
 #include "service/handlers.hpp"
 #include "service/json.hpp"
 #include "service/server.hpp"
@@ -601,6 +602,42 @@ int cmd_ser(const Args& args, const CellLibrary& lib) {
   return 0;
 }
 
+int cmd_version(const Args& args, const CellLibrary&) {
+  const sim::LaneIsa isa = sim::WideLogicSim::dispatched_isa();
+  auto& width_gauge = metrics::Registry::global().gauge("sim.kernel.width");
+  width_gauge.set(static_cast<std::int64_t>(isa.lanes));
+  const auto& supported = sim::WideLogicSim::supported_lane_widths();
+  const auto accelerated = sim::WideLogicSim::accelerated_lane_widths();
+  if (args.has("json")) {
+    std::cout << "{\"schema\":\"cwsp-version-v1\",\"tool\":\"cwsp_tool\","
+              << "\"project\":\"cwsp_rad_hard\",\"kernel\":{\"isa\":\""
+              << isa.name << "\",\"lanes\":" << isa.lanes
+              << ",\"supported_widths\":[";
+    for (std::size_t i = 0; i < supported.size(); ++i) {
+      if (i != 0) std::cout << ',';
+      std::cout << supported[i];
+    }
+    std::cout << "],\"accelerated_widths\":[";
+    for (std::size_t i = 0; i < accelerated.size(); ++i) {
+      if (i != 0) std::cout << ',';
+      std::cout << accelerated[i];
+    }
+    std::cout << "]},\"metrics\":{\"sim.kernel.width\":"
+              << width_gauge.value() << "}}\n";
+    return 0;
+  }
+  std::cout << "cwsp_tool (cwsp_rad_hard)\n";
+  std::cout << "strike-lane kernel : " << isa.name << " (" << isa.lanes
+            << " lanes)\n";
+  std::cout << "supported widths   :";
+  for (std::size_t w : supported) std::cout << ' ' << w;
+  std::cout << "\naccelerated widths :";
+  if (accelerated.empty()) std::cout << " none (portable sweeps only)";
+  for (std::size_t w : accelerated) std::cout << ' ' << w;
+  std::cout << "\nsim.kernel.width   : " << width_gauge.value() << "\n";
+  return 0;
+}
+
 const std::vector<Subcommand>& subcommands() {
   static const std::vector<Subcommand> kSubcommands = {
       {"sta", "<design.bench>", "static timing report", "", cmd_sta},
@@ -717,6 +754,9 @@ const std::vector<Subcommand>& subcommands() {
       {"optimize", "<design.bench>", "constant-fold + dead-gate removal", "",
        cmd_optimize},
       {"stats", "<design.bench>", "netlist statistics", "", cmd_stats},
+      {"version", "", "build + strike-lane kernel dispatch info",
+       "  --json            machine-readable version report\n",
+       cmd_version},
   };
   return kSubcommands;
 }
