@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bencharness/generator.hpp"
+#include "common/failpoint.hpp"
 #include "cwsp/harden.hpp"
 #include "cwsp/protection_sim.hpp"
 #include "sim/compiled_kernel.hpp"
@@ -260,6 +261,21 @@ void BM_ProtectionSimRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ProtectionSimRun);
+
+void BM_FailpointInactive(benchmark::State& state) {
+  // The disarmed failpoint gate (docs/chaos.md): with nothing configured
+  // the hot-path check is one relaxed atomic load, so instrumented seams
+  // (journal writes, dispatch, enqueue) pay ~nothing in production. The
+  // per-iteration time here must stay in the low single-digit ns —
+  // anything resembling a lock or map lookup is a regression.
+  failpoint::Registry::global().clear();
+  for (auto _ : state) {
+    CWSP_FAILPOINT("bench.inactive.site");
+    bool armed = failpoint::armed();
+    benchmark::DoNotOptimize(armed);
+  }
+}
+BENCHMARK(BM_FailpointInactive);
 
 }  // namespace
 

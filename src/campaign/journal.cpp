@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/failpoint.hpp"
+
 namespace cwsp::campaign {
 namespace {
 
@@ -236,8 +238,12 @@ JournalWriter::JournalWriter(const std::string& path,
     {
       std::ofstream header(tmp, std::ios::trunc);
       CWSP_REQUIRE_MSG(header.good(), "cannot open journal '" << tmp << "'");
-      header << kHeaderLine << "\nplan fp=" << std::hex << fingerprint
-             << std::dec << " strikes=" << total_strikes << "\n";
+      std::ostringstream header_os;
+      header_os << kHeaderLine << "\nplan fp=" << std::hex << fingerprint
+                << std::dec << " strikes=" << total_strikes << "\n";
+      std::string header_text = header_os.str();
+      failpoint::mutate("campaign.journal.header", header_text);
+      header << header_text;
       header.flush();
       CWSP_REQUIRE_MSG(header.good(), "cannot write journal '" << tmp << "'");
     }
@@ -250,7 +256,10 @@ JournalWriter::JournalWriter(const std::string& path,
 }
 
 void JournalWriter::append(const StrikeResult& result) {
-  const std::string line = format_strike_line(result);
+  std::string line = format_strike_line(result);
+  // Chaos: a torn append models a crash mid-write — the damaged strike
+  // line must be skipped by read_journal and re-executed on resume.
+  failpoint::mutate("campaign.journal.append", line);
   std::lock_guard<std::mutex> lock(mutex_);
   out_ << line;
   out_.flush();
@@ -261,6 +270,9 @@ void JournalWriter::append_shard(const ShardRecord& record,
   std::string block;
   for (const StrikeResult& r : results) block += format_strike_line(r);
   block += format_shard_line(record);
+  // Chaos: the marker is the last line of the block, so a torn shard
+  // write damages it first and resume must re-execute the whole shard.
+  failpoint::mutate("campaign.journal.shard_marker", block);
   std::lock_guard<std::mutex> lock(mutex_);
   out_ << block;
   out_.flush();

@@ -1,0 +1,139 @@
+#pragma once
+
+// Deterministic failpoint registry. A failpoint is a named site in the
+// code that, when the registry arms a matching entry, injects a failure
+// there: a typed error, a fixed delay, a torn (truncated) write, a
+// garbled byte, or an abort(). Trigger policies (`once`, `every=N`,
+// `prob=P`) are evaluated off a seeded `Rng::stream`, so a chaos
+// schedule replays byte-for-byte from its seed.
+//
+// The inactive path is a single relaxed atomic load — `armed()` — so
+// production binaries pay nothing for the instrumentation (guarded by
+// the BM_FailpointInactive bench in bench_perf).
+//
+// Spec grammar (see docs/chaos.md):
+//   spec   := entry (';' entry)*
+//   entry  := name '=' kind [':' arg] ['@' policy]
+//   kind   := err | delay | torn | garble | abort
+//   arg    := message text (err) | number (delay ms, torn bytes
+//             dropped from the tail, garble byte offset)
+//   policy := once | always | every=N | prob=P      (default: always)
+//
+// Example: "campaign.journal.append=torn:17@once;fabric.heartbeat=err@prob=0.5"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cwsp::failpoint {
+
+// Thrown by `err`-action failpoints. Derives from Error so existing
+// recovery ladders (worker-pool strike isolation, fabric dispatch
+// retry, service internal-error responses) treat it like a real fault.
+class InjectedFault : public Error {
+ public:
+  using Error::Error;
+};
+
+enum class ActionKind : std::uint8_t { kErr, kDelay, kTorn, kGarble, kAbort };
+
+struct Action {
+  ActionKind kind = ActionKind::kErr;
+  // delay: milliseconds; torn: bytes dropped from the end of the write;
+  // garble: byte offset (mod size) whose bits get flipped.
+  double value = 0.0;
+  std::string message;  // err payload
+};
+
+enum class PolicyKind : std::uint8_t { kAlways, kOnce, kEvery, kProb };
+
+class Registry {
+ public:
+  static Registry& global();
+
+  // Parses `spec` and arms the named points (additive: points from a
+  // previous configure stay armed unless re-specified). Policies draw
+  // from Rng::stream(seed, fnv(name)), so two registries configured
+  // with the same spec+seed fire identically. Throws ParseError on a
+  // malformed spec.
+  void configure(const std::string& spec, std::uint64_t seed = 1);
+
+  // Disarms every point and drops their trigger state.
+  void clear();
+
+  // Number of armed points.
+  std::size_t size() const;
+
+  // Policy evaluation for the named site. Returns the action when the
+  // point is armed and its policy fires this time; increments the
+  // `failpoint.<name>.fired` metric on fire.
+  std::optional<Action> fire(const std::string& name);
+
+  // cwsp-failpoints-v1: armed points with hit/fired counts, sorted by
+  // name — the payload of the service `failpoints` op.
+  std::string to_json() const;
+
+ private:
+  struct Point {
+    Action action;
+    PolicyKind policy = PolicyKind::kAlways;
+    std::uint64_t every_n = 1;
+    double prob = 1.0;
+    Rng rng{1};
+    std::uint64_t hits = 0;
+    std::uint64_t fired = 0;
+    bool once_done = false;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Point> points_;
+};
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+std::optional<Action> inject_slow(const char* name);
+void mutate_slow(const char* name, std::string& data);
+bool fires_slow(const char* name);
+}  // namespace detail
+
+// The zero-cost gate: false unless some registry entry is armed.
+inline bool armed() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+// Evaluates the failpoint and applies self-contained actions inline:
+// `err` throws InjectedFault, `delay` sleeps, `abort` calls abort().
+// `torn`/`garble` are returned for the site to apply to its payload
+// (prefer mutate() for that).
+inline std::optional<Action> inject(const char* name) {
+  if (!armed()) return std::nullopt;
+  return detail::inject_slow(name);
+}
+
+// inject() specialised for write/frame sites: applies `torn` (drop N
+// tail bytes) or `garble` (flip a byte) to `data` in place; other
+// actions behave as in inject().
+inline void mutate(const char* name, std::string& data) {
+  if (armed()) detail::mutate_slow(name, data);
+}
+
+// Pure policy check for sites with site-defined failure semantics
+// (forced cache eviction, solver singularity): true when the point
+// fires, whatever its action kind. `delay` still sleeps first.
+inline bool fires(const char* name) {
+  return armed() && detail::fires_slow(name);
+}
+
+// Statement form of inject() for sites that only need err/delay/abort.
+#define CWSP_FAILPOINT(name)                                        \
+  do {                                                              \
+    if (::cwsp::failpoint::armed()) ::cwsp::failpoint::inject(name); \
+  } while (false)
+
+}  // namespace cwsp::failpoint

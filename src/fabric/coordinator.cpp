@@ -16,9 +16,11 @@
 #include "campaign/journal.hpp"
 #include "common/backoff.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/metrics.hpp"
 #include "common/stopwatch.hpp"
 #include "service/json.hpp"
+#include "sim/cancel.hpp"
 
 namespace cwsp::fabric {
 namespace {
@@ -67,7 +69,23 @@ struct Dispatch {
   bool stop = false;
   FabricStats stats;
   double accumulated_backoff_ms = 0.0;
+  /// Campaign-wide deadline (time_point::max() = none); dispatches carry
+  /// the remaining budget and the monitor stops the remote phase when it
+  /// expires.
+  Stopwatch::Clock::time_point deadline = Stopwatch::Clock::time_point::max();
 };
+
+/// Remaining wall-clock budget in ms, floored at 1 so an expiring
+/// deadline still round-trips as an armed (and instantly expiring)
+/// deadline on the worker instead of silently dropping off the request.
+double remaining_deadline_ms(const Dispatch& dispatch) {
+  if (dispatch.deadline == Stopwatch::Clock::time_point::max()) return 0.0;
+  const double remaining =
+      std::chrono::duration<double, std::milli>(dispatch.deadline -
+                                                Stopwatch::Clock::now())
+          .count();
+  return std::max(1.0, remaining);
+}
 
 struct PlanContext {
   const set::StrikePlan* full_plan = nullptr;
@@ -89,7 +107,8 @@ std::string shard_request(const service::DesignSession& session,
                           const std::string& design_text,
                           const service::CampaignSpec& spec,
                           const FabricOptions& options,
-                          const PlanContext& ctx, std::size_t s) {
+                          const PlanContext& ctx, std::size_t s,
+                          double deadline_ms) {
   namespace json = service::json;
   const std::size_t jobs =
       options.worker_jobs != 0 ? options.worker_jobs : spec.jobs;
@@ -101,8 +120,14 @@ std::string shard_request(const service::DesignSession& session,
      << ",\"width\":" << num17(spec.width_ps) << ",\"seed\":" << spec.seed
      << ",\"jobs\":" << std::max<std::size_t>(1, jobs)
      << (spec.adversarial ? ",\"adversarial\":true" : "")
-     << (spec.use_legacy_kernel ? ",\"legacy_kernel\":true" : "")
-     << ",\"shard_index\":" << (s + 1)
+     << (spec.use_legacy_kernel ? ",\"legacy_kernel\":true" : "");
+  if (!options.auth_token.empty()) {
+    os << ",\"auth\":\"" << json::escape(options.auth_token) << '"';
+  }
+  if (deadline_ms > 0.0) {
+    os << ",\"deadline_ms\":" << num17(deadline_ms);
+  }
+  os << ",\"shard_index\":" << (s + 1)
      << ",\"shard_total\":" << ctx.shards.size() << ",\"expect_fp\":\""
      << hex64(ctx.shard_fp[s]) << "\"}";
   return os.str();
@@ -153,6 +178,9 @@ bool commit_shard(Dispatch& dispatch, const PlanContext& ctx, std::size_t s,
                   const std::vector<StrikeResult>& results, bool remote,
                   double latency_ms, campaign::JournalWriter* writer,
                   const FabricOptions& options) {
+  // Chaos: a `delay` here widens the window in which a straggler's
+  // duplicate completion races the winner's commit.
+  failpoint::fires("fabric.commit");
   std::unique_lock<std::mutex> lock(dispatch.mutex);
   if (dispatch.state[s] == ShardState::kDone) {
     ++dispatch.stats.duplicates;
@@ -276,8 +304,11 @@ void agent_loop(const service::DesignSession& session,
 
     std::string response_line;
     try {
-      conn->send_line(
-          shard_request(session, design_text, spec, options, ctx, s));
+      // Chaos: a dispatch-side transport fault — the shard must return
+      // to the pending queue and count toward this worker's eviction.
+      CWSP_FAILPOINT("fabric.dispatch.send");
+      conn->send_line(shard_request(session, design_text, spec, options, ctx,
+                                    s, remaining_deadline_ms(dispatch)));
       // Wait past the lease: the monitor re-dispatches the shard at lease
       // expiry, and the grace window lets a late result still land (as a
       // counted duplicate) instead of tearing the connection down at the
@@ -320,6 +351,9 @@ void agent_loop(const service::DesignSession& session,
     // a worker-quality failure, not a transport hiccup, but both count
     // toward the same eviction limit.
     std::optional<std::vector<StrikeResult>> results;
+    // Chaos: a garbled response frame must be rejected by validation and
+    // the shard re-dispatched — never merged.
+    failpoint::mutate("fabric.dispatch.response", response_line);
     try {
       const json::Value response = json::parse(response_line);
       if (response.boolean("ok", false)) {
@@ -367,6 +401,13 @@ void monitor_loop(const FabricOptions& options, Dispatch& dispatch,
       dispatch.cv.wait_for(lock, std::chrono::milliseconds(25));
       if (dispatch.stop || dispatch.done == dispatch.state.size()) return;
       const auto now = Stopwatch::Clock::now();
+      if (now >= dispatch.deadline) {
+        // Campaign budget exhausted: end the remote phase; the local
+        // fallback's expired token turns what's left into `interrupted`.
+        dispatch.stop = true;
+        dispatch.cv.notify_all();
+        return;
+      }
       for (std::size_t s = 0; s < dispatch.state.size(); ++s) {
         if (dispatch.state[s] != ShardState::kLeased) continue;
         if (now < dispatch.lease_deadline[s]) continue;
@@ -392,6 +433,9 @@ void monitor_loop(const FabricOptions& options, Dispatch& dispatch,
       if (worker->evicted.load()) continue;
       bool alive = false;
       try {
+        // Chaos: a dropped probe counts as one heartbeat miss; enough
+        // consecutive ones evict the worker.
+        CWSP_FAILPOINT("fabric.heartbeat");
         service::DialOptions dial;
         dial.attempts = 1;
         dial.connect_timeout_ms = options.heartbeat_interval_ms;
@@ -478,6 +522,9 @@ FabricOutcome run_distributed_campaign(const service::DesignSession& session,
   dispatch.state.assign(shard_count, ShardState::kPending);
   dispatch.lease_deadline.assign(shard_count, Stopwatch::Clock::now());
   dispatch.stats.shards_total = shard_count;
+  if (options.deadline_ms > 0.0) {
+    dispatch.deadline = Stopwatch::deadline_after(options.deadline_ms);
+  }
 
   // ---- journal recovery ---------------------------------------------
   std::size_t resumed_strikes = 0;
@@ -621,6 +668,11 @@ FabricOutcome run_distributed_campaign(const service::DesignSession& session,
     engine_options.cycles_per_run = spec.cycles;
     engine_options.jobs = std::max<std::size_t>(1, spec.jobs);
     engine_options.use_legacy_kernel = spec.use_legacy_kernel;
+    sim::CancelToken budget_token;
+    if (dispatch.deadline != Stopwatch::Clock::time_point::max()) {
+      budget_token.set_deadline(dispatch.deadline);
+      engine_options.cancel = &budget_token;
+    }
     for (std::size_t s = 0; s < shard_count; ++s) {
       bool claim = false;
       {

@@ -74,6 +74,16 @@ struct FabricOptions {
   std::size_t stop_after_shards = 0;
   /// `jobs` forwarded to each worker's shard execution (0 = the spec's).
   std::size_t worker_jobs = 0;
+  /// Shared secret sent as the `auth` field of every worker request
+  /// (shard_exec dispatches). Empty sends nothing. Workers listening
+  /// with `--auth-token` reject unauthenticated work requests.
+  std::string auth_token;
+  /// Campaign-wide wall-clock budget, ms (0 = none). The remaining
+  /// budget rides each shard dispatch as `deadline_ms`, arming the
+  /// worker's CancelToken; the local fallback arms its own token, so an
+  /// exhausted budget degrades to an `interrupted` report instead of
+  /// running long.
+  double deadline_ms = 0.0;
   /// Progress/diagnostic log sink (nullptr = silent).
   std::ostream* log = nullptr;
 };

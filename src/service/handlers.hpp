@@ -44,6 +44,12 @@ struct CampaignSpec {
   /// fingerprint: the distributed report is byte-identical to the local
   /// one, so the two coalesce.
   bool distribute = false;
+  /// Wall-clock budget admitted at the service boundary, ms (0 = none).
+  /// Execution control, not report content: excluded from the
+  /// fingerprint (deadline-carrying jobs never coalesce anyway — the
+  /// server zeroes their batch key) and forwarded to the fabric so
+  /// shard dispatches carry the remaining budget.
+  double deadline_ms = 0.0;
 
   // One-shot-only extras (never set by the server; a request carrying
   // them is rejected because they name local files of the *client*).

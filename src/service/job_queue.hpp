@@ -21,6 +21,7 @@
 // of in-flight jobs is the server's job — see Server::handle_cancel and
 // the per-member InflightBatch state in server.hpp.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -50,6 +51,16 @@ struct Job {
   std::string design_name;
   std::string design_text;
   std::string design_path;  // empty for inline designs
+  /// Client deadline budget, ms (0 = none). Deadline-carrying jobs never
+  /// coalesce (their outcome is wall-clock dependent).
+  double deadline_ms = 0.0;
+  /// Absolute deadline derived at admission (max() = none); arms the
+  /// executing batch's CancelToken.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// Admission timestamp, feeding the service.queue_wait_us histogram.
+  std::chrono::steady_clock::time_point enqueued_at =
+      std::chrono::steady_clock::time_point::min();
 };
 
 class JobQueue {

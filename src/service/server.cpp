@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/metrics.hpp"
 #include "common/stopwatch.hpp"
 #include "service/client.hpp"
@@ -128,8 +129,25 @@ CampaignSpec parse_campaign_spec(const json::Value& request) {
     throw ParseError("shard_index and shard_total must be given together");
   }
   spec.distribute = request.boolean("distribute", false);
+  spec.deadline_ms =
+      finite_field(request, "deadline_ms", 0.0, 0.0, kMaxTimeoutMs);
   spec.json = wants_json(request);
   return spec;
+}
+
+/// Shared-secret comparison that does not leak the mismatch position
+/// through timing: scans max(len) bytes whatever the inputs.
+bool constant_time_equal(const std::string& a, const std::string& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  unsigned char diff = a.size() == b.size() ? 0 : 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned char ca =
+        i < a.size() ? static_cast<unsigned char>(a[i]) : 0;
+    const unsigned char cb =
+        i < b.size() ? static_cast<unsigned char>(b[i]) : 0;
+    diff = static_cast<unsigned char>(diff | (ca ^ cb));
+  }
+  return diff == 0;
 }
 
 /// shard_exec's optional `expect_fp`: a 16-hex-digit shard fingerprint.
@@ -352,9 +370,38 @@ void Server::run() {
   if (registration.joinable()) registration.join();
 
   // Workers drain every accepted job before exiting (graceful stop), so
-  // every admitted request gets exactly one response.
+  // every admitted request gets exactly one response. The watchdog bounds
+  // that drain: past the grace window it flips the cancel token of every
+  // batch as it executes, so long campaigns answer `cancelled` promptly
+  // and a SIGTERM always exits in bounded time.
   queue_.shutdown();
+  std::atomic<bool> drained{false};
+  std::thread drain_watchdog([this, &drained] {
+    const auto grace = Stopwatch::deadline_after(options_.drain_grace_ms);
+    auto& cancelled_counter =
+        metrics::Registry::global().counter("service.drain.cancelled");
+    while (!drained.load()) {
+      if (Stopwatch::Clock::now() >= grace) {
+        std::vector<std::shared_ptr<sim::CancelToken>> tokens;
+        {
+          std::lock_guard<std::mutex> lock(inflight_mutex_);
+          for (auto& [key, member] : inflight_) {
+            tokens.push_back(member.batch->token);
+          }
+        }
+        for (const auto& token : tokens) {
+          if (token != nullptr && !token->cancelled()) {
+            token->cancel();
+            cancelled_counter.add();
+          }
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
   for (auto& t : workers) t.join();
+  drained.store(true);
+  drain_watchdog.join();
   for (const Job& job : queue_.drain()) {
     respond(job.conn_id, job.id,
             error_tail(job.op, "shutdown", "server is shutting down"));
@@ -405,8 +452,17 @@ void Server::accept_loop(const std::vector<int>& listen_fds) {
       if ((fds[i].revents & POLLIN) == 0) continue;
       const int fd = ::accept(listen_fds[i], nullptr, nullptr);
       if (fd < 0) continue;
+      // Chaos: a connection dropped at accept — the client sees EOF and
+      // retries; no partial state may leak into the server.
+      if (failpoint::fires("service.accept")) {
+        ::close(fd);
+        continue;
+      }
       auto conn = std::make_shared<Connection>();
       conn->fd = fd;
+      // listen_fds[0] is the local Unix socket; anything else is the TCP
+      // listener, whose peers must present the auth token (if set).
+      conn->untrusted = i != 0;
       {
         std::lock_guard<std::mutex> lock(connections_mutex_);
         conn->id = next_conn_id_++;
@@ -436,9 +492,13 @@ void Server::registration_loop() {
         dial.connect_timeout_ms = options_.register_interval_ms;
         const std::unique_ptr<Client> client =
             Client::dial(options_.register_with, dial);
-        client->send_line("{\"id\":\"reg\",\"op\":\"worker_register\","
+        std::string reg = "{\"id\":\"reg\",\"op\":\"worker_register\","
                           "\"endpoint\":\"" +
-                          json::escape(advertised) + "\"}");
+                          json::escape(advertised) + "\"";
+        if (!options_.auth_token.empty()) {
+          reg += ",\"auth\":\"" + json::escape(options_.auth_token) + "\"";
+        }
+        client->send_line(reg + "}");
         std::string response;
         (void)client->read_line_for(response,
                                     options_.register_interval_ms);
@@ -486,6 +546,9 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
       buffer.erase(0, newline + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
+      // Chaos: a garbled inbound frame must surface as a typed
+      // bad_request, never crash a reader or corrupt admission.
+      failpoint::mutate("service.read_line", line);
       handle_line(conn, line);
     }
     // A line still unterminated past the frame bound will never be
@@ -538,8 +601,36 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
 
     // ---- control ops: answered inline, never queued -----------------
     if (op == "ping") {
+      // Deliberately exempt from auth: liveness probes (fabric
+      // heartbeats) must work without distributing the secret.
       send_line(conn, "{\"id\":\"" + json::escape(id) + '"' +
                           ok_tail(op, "text", "pong", "") + "\n");
+      return;
+    }
+    if (conn->untrusted && !options_.auth_token.empty() &&
+        !constant_time_equal(request.text("auth", ""),
+                             options_.auth_token)) {
+      registry.counter("service.requests.unauthorized").add();
+      send_line(conn, "{\"id\":\"" + json::escape(id) + '"' +
+                          error_tail(op, "unauthorized",
+                                     "missing or invalid 'auth' token") +
+                          "\n");
+      return;
+    }
+    if (op == "failpoints") {
+      // Chaos-harness control surface: configure/inspect/clear the
+      // failpoint registry (docs/chaos.md has the spec grammar). Behind
+      // the auth gate on TCP like every non-ping op.
+      auto& failpoints = failpoint::Registry::global();
+      if (request.boolean("clear", false)) failpoints.clear();
+      const std::string spec = request.text("spec", "");
+      if (!spec.empty()) {
+        failpoints.configure(spec, uint_field(request, "seed", 1, kMaxSeed));
+      }
+      send_line(conn, "{\"id\":\"" + json::escape(id) + '"' +
+                          ok_tail(op, "json", failpoints.to_json() + "\n",
+                                  "") +
+                          "\n");
       return;
     }
     if (op == "metrics") {
@@ -630,6 +721,46 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
         parse_lint_spec(job, job.design_path, request);  // validate only
       }
     }
+
+    // ---- deadline admission -----------------------------------------
+    // A deadline-carrying job is wall-clock dependent: it must not
+    // coalesce with (or be memoized for) an unbounded twin. When the
+    // queue's own p99 history says the deadline cannot be met, shed at
+    // admission with a typed `overloaded` instead of burning a worker on
+    // a response the client has already written off.
+    const double deadline_ms =
+        finite_field(request, "deadline_ms", 0.0, 0.0, kMaxTimeoutMs);
+    if (deadline_ms > 0.0) {
+      constexpr std::uint64_t kMinShedSamples = 16;
+      double estimate_us = 0.0;
+      const auto& wait_hist = registry.histogram("service.queue_wait_us");
+      if (wait_hist.count() >= kMinShedSamples) {
+        estimate_us += static_cast<double>(wait_hist.quantile_us(0.99));
+      }
+      const auto& op_hist = registry.histogram("service.latency_us." + op);
+      if (op_hist.count() >= kMinShedSamples) {
+        estimate_us += static_cast<double>(op_hist.quantile_us(0.99));
+      }
+      if (estimate_us > deadline_ms * 1000.0) {
+        registry.counter("service.deadline.shed").add();
+        send_line(conn,
+                  "{\"id\":\"" + json::escape(id) + '"' +
+                      error_tail(op, "overloaded",
+                                 "p99 queue wait + execution latency "
+                                 "exceed the deadline; shed at admission") +
+                      "\n");
+        return;
+      }
+      registry.counter("service.deadline.admitted").add();
+      job.deadline_ms = deadline_ms;
+      job.deadline = Stopwatch::deadline_after(deadline_ms);
+      job.batch_key = 0;
+    }
+    job.enqueued_at = Stopwatch::Clock::now();
+
+    // Chaos: an admission-side fault after parsing — the request must
+    // get exactly one typed `injected_fault` response.
+    CWSP_FAILPOINT("service.enqueue");
     if (!queue_.try_push(std::move(job))) {
       if (shutting_down_.load()) {
         send_line(conn, "{\"id\":\"" + json::escape(id) + '"' +
@@ -647,6 +778,9 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
   } catch (const ParseError& e) {
     send_line(conn, "{\"id\":\"" + json::escape(id) + '"' +
                         error_tail(op, "bad_request", e.what()) + "\n");
+  } catch (const failpoint::InjectedFault& e) {
+    send_line(conn, "{\"id\":\"" + json::escape(id) + '"' +
+                        error_tail(op, "injected_fault", e.what()) + "\n");
   } catch (const std::exception& e) {
     send_line(conn, "{\"id\":\"" + json::escape(id) + '"' +
                         error_tail(op, "internal", e.what()) + "\n");
@@ -718,6 +852,20 @@ void Server::execute_batch(std::vector<Job> batch) {
   const Job& front = batch.front();
   Stopwatch watch;
 
+  // Queue-wait telemetry: the admission-time shed decision reads this
+  // histogram's p99 back.
+  {
+    const auto now = Stopwatch::Clock::now();
+    auto& wait_hist = registry.histogram("service.queue_wait_us");
+    for (const Job& job : batch) {
+      if (job.enqueued_at == Stopwatch::Clock::time_point::min()) continue;
+      const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+          now - job.enqueued_at);
+      wait_hist.observe_us(
+          waited.count() > 0 ? static_cast<std::uint64_t>(waited.count()) : 0);
+    }
+  }
+
   // Repeat of an already-answered deterministic request? Serve the
   // memoized envelope. The tail is copied out under the lock and sent
   // after release so a slow client cannot stall other workers on
@@ -746,6 +894,12 @@ void Server::execute_batch(std::vector<Job> batch) {
 
   auto state = std::make_shared<InflightBatch>();
   state->token = std::make_shared<sim::CancelToken>();
+  // A deadline-carrying job never coalesces (batch_key 0 at admission),
+  // so arming the front job's deadline governs exactly one request. The
+  // token's deadline is what EngineOptions::cancel polls downstream.
+  if (front.deadline != Stopwatch::Clock::time_point::max()) {
+    state->token->set_deadline(front.deadline);
+  }
   {
     std::lock_guard<std::mutex> lock(inflight_mutex_);
     state->active = batch.size();
@@ -754,7 +908,17 @@ void Server::execute_batch(std::vector<Job> batch) {
           InflightMember{state, job.op};
     }
   }
-  const std::string tail = execute_job(front, state->token.get());
+  std::string tail = execute_job(front, state->token.get());
+  if (front.deadline != Stopwatch::Clock::time_point::max() &&
+      Stopwatch::Clock::now() >= front.deadline) {
+    // Whatever execute_job produced, the client's budget is gone — the
+    // typed answer keeps late success and cancellation distinguishable
+    // from an ordinary failure.
+    registry.counter("service.deadline.exceeded").add();
+    tail = error_tail(front.op, "deadline_exceeded",
+                      "deadline of " + std::to_string(front.deadline_ms) +
+                          " ms exceeded");
+  }
   // Members cancelled mid-flight were already answered `cancelled` by
   // handle_cancel and must not receive a second response.
   std::set<std::string> cancelled;

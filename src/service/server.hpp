@@ -74,6 +74,16 @@ struct ServerOptions {
   /// Endpoint advertised in registrations; defaults to
   /// "127.0.0.1:<tcp_port>" when empty.
   std::string advertise_endpoint;
+  /// Shared secret for the TCP listener. When non-empty, every request
+  /// arriving over TCP (except `ping`, kept open for liveness probes)
+  /// must carry a matching "auth" field or gets a typed `unauthorized`
+  /// response. Compared constant-time. Unix-socket clients are local and
+  /// exempt. Also sent with outbound registrations (`--register`).
+  std::string auth_token;
+  /// Shutdown drain budget, ms: after this grace, still-running jobs
+  /// have their cancel tokens flipped so a SIGTERM exits in bounded time
+  /// with every admitted request answered.
+  double drain_grace_ms = 5'000.0;
   /// Distributed-campaign executor, wired by `cwsp_tool serve` to
   /// fabric::run_distributed_campaign. Injected as a hook so the fabric
   /// library can sit on top of the service library without a dependency
@@ -122,6 +132,8 @@ class Server {
     int fd = -1;
     std::mutex write_mutex;
     std::atomic<bool> open{true};
+    /// Accepted on the TCP listener — subject to --auth-token.
+    bool untrusted = false;
   };
 
   struct CachedResult {

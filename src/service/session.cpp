@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.hpp"
 #include "common/metrics.hpp"
 #include "cwsp/timing.hpp"
 #include "netlist/bench_parser.hpp"
@@ -95,6 +96,14 @@ std::shared_ptr<const DesignSession> SessionCache::get_or_build(
     const CellLibrary& library) {
   auto& registry = metrics::Registry::global();
   const std::uint64_t key = design_key(name, text);
+  // Chaos: forced full eviction — every lookup becomes a cold rebuild,
+  // which must change latency but never any response byte.
+  if (failpoint::fires("service.session.evict")) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    registry.counter("service.sessions.evictions").add(lru_.size());
+    lru_.clear();
+    resident_bytes_ = 0;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto it = lru_.begin(); it != lru_.end(); ++it) {

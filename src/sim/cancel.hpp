@@ -6,8 +6,17 @@
 // event simulator, per cycle in the protection protocol) and abort by
 // throwing CancelledError. The campaign engine catches the exception and
 // degrades the strike to `inconclusive` instead of killing the run.
+//
+// A token can also carry an absolute deadline (steady-clock). Once the
+// deadline passes, cancelled() reports true without anyone calling
+// cancel() — this is how a `deadline_ms` admitted at the service
+// boundary propagates coordinator → worker → EngineOptions::cancel
+// without a reaper thread. The clock is only read when a deadline is
+// armed, so deadline-free polling stays a single relaxed load.
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 
 #include "common/error.hpp"
 
@@ -15,14 +24,40 @@ namespace cwsp::sim {
 
 class CancelToken {
  public:
+  using Clock = std::chrono::steady_clock;
+
   void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
-  void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+  void reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    deadline_ns_.store(0, std::memory_order_relaxed);
+  }
   [[nodiscard]] bool cancelled() const {
-    return cancelled_.load(std::memory_order_relaxed);
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return deadline_expired();
+  }
+
+  /// Arms an absolute deadline; Clock::time_point::max() (or re-arming
+  /// with 0 ns) disarms it.
+  void set_deadline(Clock::time_point deadline) {
+    if (deadline == Clock::time_point::max()) {
+      deadline_ns_.store(0, std::memory_order_relaxed);
+      return;
+    }
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  /// True when a deadline is armed and has passed — lets callers tell a
+  /// blown deadline apart from an explicit cancel().
+  [[nodiscard]] bool deadline_expired() const {
+    const auto ns = deadline_ns_.load(std::memory_order_relaxed);
+    if (ns == 0) return false;
+    return Clock::now().time_since_epoch().count() >= ns;
   }
 
  private:
   std::atomic<bool> cancelled_{false};
+  std::atomic<Clock::rep> deadline_ns_{0};
 };
 
 /// Thrown from a simulator checkpoint once its token is cancelled.

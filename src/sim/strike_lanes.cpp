@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/metrics.hpp"
 #include "sim/strike_lanes_impl.hpp"
 
@@ -217,6 +218,9 @@ StrikeLaneSim::StrikeLaneSim(
 
 void StrikeLaneSim::run_batch(const std::vector<LaneScenario>& batch,
                               std::vector<LaneOutcome>& out) {
+  // Chaos: an injected batch failure must degrade the campaign's lane
+  // path to its scalar fallback without changing the report.
+  CWSP_FAILPOINT("sim.lane.run_batch");
   const FlatNetlistView& view = *context_->view;
   const std::size_t B = batch.size();
   out.assign(B, LaneOutcome{});

@@ -4,12 +4,24 @@
 #include <limits>
 #include <sstream>
 
+#include "common/failpoint.hpp"
+
 namespace cwsp::spice {
 
 bool try_solve_linear_system(DenseMatrix a, std::vector<double> b,
                              std::vector<double>& x, LinearSolveInfo* info) {
   const std::size_t n = a.size();
   CWSP_REQUIRE(b.size() == n);
+  // Chaos: report the matrix as singular so the Newton loop has to climb
+  // its recovery ladder (gmin stepping, source stepping).
+  if (failpoint::fires("spice.solver.linear")) {
+    if (info != nullptr) {
+      info->singular = true;
+      info->singular_column = 0;
+      info->pivot_ratio = 0.0;
+    }
+    return false;
+  }
   constexpr double kPivotTol = 1e-16;
   // Threshold partial pivoting with diagonal preference — the standard
   // choice for MNA systems. Node rows carry their gmin on the diagonal;

@@ -16,6 +16,7 @@
 // stderr, never stdout.
 
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -27,7 +28,9 @@
 #include "campaign/report.hpp"
 #include "cell/characterize.hpp"
 #include "common/cli_args.hpp"
+#include "common/failpoint.hpp"
 #include "common/metrics.hpp"
+#include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "fabric/coordinator.hpp"
 #include "cwsp/area_report.hpp"
@@ -236,6 +239,7 @@ int cmd_campaign(const Args& args, const CellLibrary& lib) {
   spec.artifact_dir = args.text("artifacts", "");
   spec.stop_after =
       static_cast<std::size_t>(args.number("stop-after", 0));
+  spec.deadline_ms = args.number("deadline-ms", 0.0);
   if (args.has("shard")) {
     const std::string shard = args.text("shard", "");
     const auto slash = shard.find('/');
@@ -265,6 +269,8 @@ int cmd_campaign(const Args& args, const CellLibrary& lib) {
     }
     fabric_options.stop_after_shards =
         static_cast<std::size_t>(args.number("stop-after-shards", 0));
+    fabric_options.auth_token = args.text("auth-token", "");
+    fabric_options.deadline_ms = spec.deadline_ms;
     fabric_options.log = &std::cerr;
 
     const fabric::FabricOutcome outcome = fabric::run_distributed_campaign(
@@ -281,8 +287,17 @@ int cmd_campaign(const Args& args, const CellLibrary& lib) {
     return campaign_exit_code(outcome.outcome.status);
   }
 
+  // A local --deadline-ms rides the same CancelToken path the service
+  // uses: the engine polls between strikes and reports kInterrupted once
+  // the budget expires.
+  sim::CancelToken budget_token;
+  const sim::CancelToken* cancel = nullptr;
+  if (spec.deadline_ms > 0.0) {
+    budget_token.set_deadline(Stopwatch::deadline_after(spec.deadline_ms));
+    cancel = &budget_token;
+  }
   const service::CampaignOutcome outcome =
-      service::run_campaign(*session, spec);
+      service::run_campaign(*session, spec, cancel);
   maybe_dump_metrics(args);
   std::cout << outcome.output;
   return campaign_exit_code(outcome.status);
@@ -362,17 +377,29 @@ int cmd_serve(const Args& args, const CellLibrary& lib) {
   options.worker_ttl_ms = args.number("worker-ttl-ms", 15'000.0);
   options.register_with = args.text("register", "");
   options.advertise_endpoint = args.text("advertise", "");
+  options.auth_token = args.text("auth-token", "");
+  options.drain_grace_ms = args.number("drain-grace-ms", 5'000.0);
+  if (args.has("failpoints")) {
+    failpoint::Registry::global().configure(
+        args.text("failpoints", ""),
+        static_cast<std::uint64_t>(args.number("failpoints-seed", 1)));
+  }
   // Campaigns with "distribute":true fan out to the workers registered
   // with this coordinator; everything else runs in-process as before.
+  // The fabric inherits the serve auth token (one shared secret across
+  // the topology) and the request's deadline budget.
   const double lease_ms = args.number("lease-ms", 60'000.0);
+  const std::string fabric_auth = options.auth_token;
   options.distributed_campaign =
-      [lease_ms](const service::DesignSession& session,
-                 const std::string& design_text,
-                 const service::CampaignSpec& spec,
-                 const std::vector<std::string>& workers) {
+      [lease_ms, fabric_auth](const service::DesignSession& session,
+                              const std::string& design_text,
+                              const service::CampaignSpec& spec,
+                              const std::vector<std::string>& workers) {
         fabric::FabricOptions fabric_options;
         fabric_options.workers = workers;
         fabric_options.lease_ms = lease_ms;
+        fabric_options.auth_token = fabric_auth;
+        fabric_options.deadline_ms = spec.deadline_ms;
         return fabric::run_distributed_campaign(session, design_text, spec,
                                                 fabric_options)
             .outcome;
@@ -419,6 +446,7 @@ int cmd_client(const Args& args, const CellLibrary&) {
   // Assign ids c1..cN to requests that lack one, so responses (which may
   // arrive out of order — batching, priorities) can be demuxed back into
   // request order.
+  const std::string auth_token = args.text("auth-token", "");
   std::vector<std::string> ids;
   ids.reserve(lines.size());
   for (std::size_t i = 0; i < lines.size(); ++i) {
@@ -426,6 +454,14 @@ int cmd_client(const Args& args, const CellLibrary&) {
     if (!request.is_object()) {
       throw ParseError("request " + std::to_string(i + 1) +
                        " is not a JSON object");
+    }
+    if (!auth_token.empty() && request.text("auth", "").empty()) {
+      std::string field("\"auth\":\"");
+      field += service::json::escape(auth_token);
+      field += '"';
+      if (!request.as_object().empty()) field += ',';
+      const std::size_t brace = lines[i].find('{');
+      if (brace != std::string::npos) lines[i].insert(brace + 1, field);
     }
     std::string id = request.text("id", "");
     if (id.empty()) {
@@ -676,6 +712,8 @@ const std::vector<Subcommand>& subcommands() {
        "  --artifacts <dir> write repro .bench + .strike files there\n"
        "  --shard <i>/<n>   run only shard i (1-based) of an n-way split\n"
        "  --stop-after <n>  stop after n fresh strikes (exit 3)\n"
+       "  --deadline-ms <v> wall-clock budget; an exceeded budget reports\n"
+       "                    kInterrupted (exit 3), local or distributed\n"
        "  --json            machine-readable report (docs/campaign.md)\n"
        "  distributed fabric (docs/fabric.md; report byte-identical):\n"
        "  --workers <a,b,...>    worker endpoints (host:port or socket)\n"
@@ -684,6 +722,7 @@ const std::vector<Subcommand>& subcommands() {
        "  --fabric-journal <path>   coordinator crash-recovery journal\n"
        "  --fabric-resume <path>    resume a crashed coordinator from it\n"
        "  --stop-after-shards <n>   stop after n fresh shards (exit 3)\n"
+       "  --auth-token <tok>        shared secret sent to fabric workers\n"
        "  --metrics-json <path>     write the fabric metrics dump here\n",
        cmd_campaign},
       {"coverage", "<design.bench>", "functional/scenario coverage sweep",
@@ -721,13 +760,21 @@ const std::vector<Subcommand>& subcommands() {
        "  --advertise <endpoint> endpoint to announce (default\n"
        "                    127.0.0.1:<tcp port>)\n"
        "  --worker-ttl-ms <v>   registry liveness window (default 15000)\n"
-       "  --lease-ms <v>    per-shard lease for distributed campaigns\n",
+       "  --lease-ms <v>    per-shard lease for distributed campaigns\n"
+       "  --auth-token <tok>    shared secret required of TCP clients\n"
+       "                    (ping exempt; also sent with --register)\n"
+       "  --drain-grace-ms <v>  SIGTERM drain budget before in-flight\n"
+       "                    jobs are cancelled (default 5000; <=0 waits)\n"
+       "  --failpoints <spec>   arm deterministic failpoints\n"
+       "                    (docs/chaos.md grammar; also CWSP_FAILPOINTS)\n"
+       "  --failpoints-seed <n> seed for prob= trigger policies\n",
        cmd_serve},
       {"client", "--socket <path> [request...]",
        "submit NDJSON requests to a running server",
        "  --socket <path>   server socket (required)\n"
        "  --payloads        print unescaped payloads only (byte-identical\n"
        "                    to the one-shot subcommand's stdout)\n"
+       "  --auth-token <tok>  add an \"auth\" field to requests lacking one\n"
        "  request lines come from argv or, when absent, stdin\n",
        cmd_client},
       {"replay", "<repro.strike>", "replay a minimized escape", "",
@@ -792,6 +839,18 @@ int main(int argc, char** argv) {
   const CellLibrary lib = make_default_library();
 
   try {
+    // Deterministic fault injection (docs/chaos.md): CWSP_FAILPOINTS
+    // holds a spec like "campaign.journal.append=torn:4@every=3";
+    // CWSP_FAILPOINTS_SEED seeds the prob= policies (default 1).
+    if (const char* spec = std::getenv("CWSP_FAILPOINTS");
+        spec != nullptr && spec[0] != '\0') {
+      std::uint64_t seed = 1;
+      if (const char* seed_text = std::getenv("CWSP_FAILPOINTS_SEED");
+          seed_text != nullptr && seed_text[0] != '\0') {
+        seed = std::strtoull(seed_text, nullptr, 10);
+      }
+      cwsp::failpoint::Registry::global().configure(spec, seed);
+    }
     for (const Subcommand& cmd : subcommands()) {
       if (command == cmd.name) return cmd.handler(args, lib);
     }
