@@ -13,6 +13,12 @@
 // offered slots, from the engine's metrics counters) and the lane/scalar
 // speedup. Results are emitted to BENCH_campaign.json (path overridable
 // via argv[1]) for ci/check-perf.sh's regression ratchet.
+//
+// Part C (schemes): runs the same C880 plan once per registered
+// ProtectionScheme (cwsp, tmr, loco) on the lane kernel, checking each
+// scheme's report stays byte-identical at jobs 1 vs 8 and reporting the
+// scheme's throughput relative to CWSP — the cost of evaluating an
+// alternative hardening technique through the registry.
 
 #include <cstddef>
 #include <cstdint>
@@ -29,6 +35,7 @@
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "cwsp/timing.hpp"
+#include "scheme/scheme.hpp"
 #include "sim/strike_lanes.hpp"
 
 namespace {
@@ -247,6 +254,54 @@ int main(int argc, char** argv) {
             << occupancy_cell(lane_j1_occupancy) << " lane occupancy ("
             << isa.name << ", " << isa.lanes << " lanes).\n";
 
+  // ---- Part C: per-scheme throughput through the registry.
+  TextTable scheme_table;
+  scheme_table.set_header({"Scheme", "Strikes/s (j8)", "vs cwsp",
+                           "Deterministic"});
+  std::ostringstream scheme_rows_json;
+  bool scheme_first = true;
+  bool schemes_identical = true;
+  double cwsp_rate = 0.0;
+  for (const scheme::ProtectionScheme* s : scheme::registered_schemes()) {
+    campaign::EngineOptions j1 = options_for({"lane-auto", false, true, 0, 1},
+                                             2026, 10);
+    j1.scheme = s;
+    campaign::EngineOptions j8 = j1;
+    j8.jobs = 8;
+    const auto one = run_once(c880_engine, c880_plan, c880, c880_period, j1);
+    const auto eight = run_once(c880_engine, c880_plan, c880, c880_period, j8);
+    const bool same = one.json == eight.json;
+    schemes_identical = schemes_identical && same;
+    if (std::string(s->name()) == "cwsp") {
+      cwsp_rate = eight.strikes_per_second;
+    }
+    scheme_table.add_row(
+        {s->name(), TextTable::num(eight.strikes_per_second, 1),
+         TextTable::num(eight.strikes_per_second / cwsp_rate, 2) + "x",
+         same ? "identical" : "DIVERGED"});
+    if (!same) {
+      std::cerr << "FATAL: scheme " << s->name()
+                << " report changed between jobs=1 and jobs=8\n";
+      return 1;
+    }
+    if (!scheme_first) scheme_rows_json << ",\n";
+    scheme_first = false;
+    scheme_rows_json << "    {\"scheme\": \"" << s->name()
+                     << "\", \"strikes_per_second\": "
+                     << TextTable::num(eight.strikes_per_second, 1)
+                     << ", \"relative_to_cwsp\": "
+                     << TextTable::num(
+                            eight.strikes_per_second / cwsp_rate, 3)
+                     << "}";
+  }
+
+  std::cout << "\nPart C — per-scheme throughput on C880 (lane-auto, jobs 8, "
+               "single-set plan):\n\n";
+  scheme_table.print(std::cout);
+  std::cout << "\nEvery registered scheme keeps the jobs-independence "
+               "invariant; relative cost is the verdict-resolution "
+               "overhead.\n";
+
   // Machine-readable result for the CI perf ratchet (ci/check-perf.sh).
   const char* out_path = argc > 1 ? argv[1] : "BENCH_campaign.json";
   std::ofstream out(out_path);
@@ -268,7 +323,13 @@ int main(int argc, char** argv) {
       << "    \"lane_occupancy\": "
       << (lane_j1_occupancy < 0.0 ? std::string("null")
                                   : TextTable::num(lane_j1_occupancy, 4))
-      << "\n  }\n}\n";
+      << "\n  },\n"
+      << "  \"schemes\": {\n"
+      << "    \"design\": \"C880\",\n"
+      << "    \"byte_identical\": " << (schemes_identical ? "true" : "false")
+      << ",\n"
+      << "    \"rows\": [\n"
+      << scheme_rows_json.str() << "\n    ]\n  }\n}\n";
   out.close();
   std::cout << "Wrote " << out_path << "\n";
   return 0;

@@ -35,6 +35,7 @@ result, baseline = sys.argv[1], sys.argv[2]
 with open(result) as f:
     doc = json.load(f)
 t = doc["throughput"]
+doc_schemes = doc.get("schemes", {})
 with open(baseline, "w") as f:
     json.dump({
         "schema": "cwsp-perf-baseline-v1",
@@ -45,6 +46,12 @@ with open(baseline, "w") as f:
         "info_strikes_per_second": {
             r["kernel"] + "-j" + str(r["jobs"]): r["strikes_per_second"]
             for r in t["rows"]
+        },
+        # Per-scheme throughput relative to CWSP (machine-normalized:
+        # both rates come from the same process on the same machine).
+        "scheme_relative_throughput": {
+            r["scheme"]: r["relative_to_cwsp"]
+            for r in doc_schemes.get("rows", [])
         },
     }, f, indent=2)
     f.write("\n")
@@ -93,6 +100,26 @@ if base_occ is not None and occ is not None:
             f"lane occupancy regressed: {occ:.4f} < {occ_floor:.4f} floor "
             f"(baseline {base_occ:.4f} - {floor_pct}%)")
 
+# Per-scheme gates (absent from results produced by older bench builds
+# and from baselines seeded before the scheme registry — both skip).
+schemes = doc.get("schemes")
+if schemes is not None:
+    if not schemes.get("byte_identical", True):
+        failures.append("scheme determinism broken: a registered scheme's "
+                        "report diverged between jobs=1 and jobs=8 "
+                        "(hard invariant, see bench_campaign Part C)")
+    base_rel = base.get("scheme_relative_throughput", {})
+    for row in schemes.get("rows", []):
+        name = row["scheme"]
+        if name == "cwsp" or name not in base_rel:
+            continue
+        rel_floor = base_rel[name] * (1 - floor_pct / 100.0)
+        if row["relative_to_cwsp"] < rel_floor:
+            failures.append(
+                f"scheme '{name}' throughput regressed vs cwsp: "
+                f"{row['relative_to_cwsp']:.3f} < {rel_floor:.3f} floor "
+                f"(baseline {base_rel[name]:.3f} - {floor_pct}%)")
+
 if failures:
     print("perf ratchet FAILED:")
     for f_ in failures:
@@ -101,7 +128,12 @@ if failures:
           f"  ci/check-perf.sh {result} update")
     sys.exit(1)
 
+scheme_note = ""
+if schemes is not None:
+    rels = ", ".join(f"{r['scheme']} {r['relative_to_cwsp']:.2f}x"
+                     for r in schemes.get("rows", []))
+    scheme_note = f", schemes [{rels}]"
 print(f"perf ratchet: ok — {t['design']} lane speedup {got:.2f}x "
       f"(floor {floor:.2f}x), occupancy {occ}, "
-      f"isa {t['kernel_isa']}")
+      f"isa {t['kernel_isa']}{scheme_note}")
 EOF

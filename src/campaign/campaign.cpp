@@ -7,6 +7,7 @@
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 
@@ -15,6 +16,7 @@
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "cwsp/timing.hpp"
+#include "scheme/scheme.hpp"
 #include "sim/strike_lanes.hpp"
 
 namespace cwsp::campaign {
@@ -108,93 +110,26 @@ std::string escape_diagnostic(const core::ProtectionRunResult& r) {
   return os.str();
 }
 
-// ---- strike-lane fast path helpers ----------------------------------
+// ---- strike-lane fast path -------------------------------------------
 //
-// The §3.2 protocol has no internal timing once the strike cycle itself
-// is resolved: a single scheduled strike perturbs exactly one cycle, the
+// A protocol has no internal timing once the strike cycle itself is
+// resolved: a single scheduled strike perturbs exactly one cycle, the
 // pre-strike trajectory is golden, and the post-strike divergence (if
-// any) is pure boolean evolution. The protocol verdict is therefore a
-// closed-form function of four per-lane facts (fired, latched_diff,
-// aperture, silent commits) plus two static ones (spurious EQ sample,
-// width vs δ). The scalar ProtectionSim remains the executable
-// specification; differential tests pin these mappings against it.
+// any) is pure boolean evolution. The verdict is therefore a closed-form
+// function of four per-lane facts (fired, latched_diff, aperture, silent
+// commits) plus two static ones (squash-at-strike, width vs δ). That
+// mapping lives in the ProtectionScheme registry (src/scheme): the CWSP
+// scheme carries the §3.2 mappings lifted verbatim from here, with the
+// scalar ProtectionSim as its executable specification pinned by
+// differential tests; TMR and LOCO supply their own.
 
-/// A functional strike on a FF Q net whose pulse spans the CLK_DEL
-/// sampling moment flips the equivalence comparison spuriously —
-/// ProtectionSim's kFunctional spurious-EQ condition, decidable without
-/// simulation.
-bool spurious_eq_at_strike(const Netlist& netlist,
-                           const core::ProtectionParams& params,
-                           const set::PlannedStrike& p) {
-  const Net& net = netlist.net(p.strike.node);
-  if (net.driver_kind != DriverKind::kFlipFlop) return false;
-  const double t0 = p.strike.start.value();
-  const double t1 = t0 + p.strike.width.value();
-  const double t_sample = params.clk_del_delay().value();
-  return t0 <= t_sample && t1 >= t_sample;
+const scheme::ProtectionScheme& scheme_of(const EngineOptions& options) {
+  return options.scheme != nullptr ? *options.scheme
+                                   : scheme::default_scheme();
 }
 
-/// Protection-path strikes never corrupt architectural state (that is
-/// the paper's §3.2 case analysis): only an EQ-checker glitch still
-/// present at the next clock edge costs anything — one spurious
-/// recomputation bubble. EQGLBF/CW*/CWSP-output hits are benign.
-StrikeResult resolve_protection_path(const set::PlannedStrike& p,
-                                     std::size_t cycles_per_run,
-                                     Picoseconds clock_period) {
-  StrikeResult r;
-  r.index = p.index;
-  r.status = StrikeStatus::kCovered;
-  if (p.cycle < cycles_per_run &&
-      p.site == set::ProtectionSite::kEqChecker) {
-    const double t1 = p.strike.start.value() + p.strike.width.value();
-    if (t1 >= clock_period.value()) {
-      r.bubbles = 1;
-      r.spurious_recomputes = 1;
-    }
-  }
-  return r;
-}
-
-/// Maps one lane's facts to the scalar ProtectionSim verdict:
-///  * spurious EQ → the strike cycle is squashed and its capture
-///    discarded: one bubble, one spurious recompute, covered;
-///  * width <= δ capture diff → the check word carries the true next
-///    state, so the next cycle's check detects and repairs it (one
-///    bubble, one detected error) — unless the strike hit the final
-///    cycle, whose capture is never checked;
-///  * width > δ capture diff → the check word tracks the corrupted
-///    trajectory (no detection); the strike escapes iff some later
-///    commit differs from golden.
-/// The unprotected reference fails iff the capture differed or an
-/// aperture was violated — corrupted state (even output-invisible) and
-/// metastable captures both count, matching run_unprotected.
-StrikeResult resolve_functional(const set::PlannedStrike& p,
-                                const sim::LaneOutcome& o, bool spurious_eq,
-                                std::size_t cycles_per_run,
-                                const core::ProtectionParams& params) {
-  StrikeResult r;
-  r.index = p.index;
-  r.status = StrikeStatus::kCovered;
-  r.unprotected_failed = o.latched_diff || o.aperture;
-  if (!o.fired) return r;
-  if (spurious_eq) {
-    r.bubbles = 1;
-    r.spurious_recomputes = 1;
-    return r;
-  }
-  if (!o.latched_diff) return r;
-  if (p.strike.width > params.delta) {
-    if (o.silent_corruptions > 0) {
-      r.status = StrikeStatus::kEscape;
-      std::ostringstream os;
-      os << o.silent_corruptions << " corrupted commit(s)";
-      r.diagnostic = os.str();
-    }
-  } else if (p.cycle + 1 < cycles_per_run) {
-    r.bubbles = 1;
-    r.detected_errors = 1;
-  }
-  return r;
+bool is_cwsp(const scheme::ProtectionScheme& sch) {
+  return std::string_view(sch.name()) == "cwsp";
 }
 
 }  // namespace
@@ -212,8 +147,8 @@ void aggregate_results(const set::StrikePlan& plan, CampaignResult& result) {
     }
     const set::PlannedStrike& planned = plan.strikes[i];
     core::CoverageReport& report = result.report;
-    core::ScenarioStats& slice =
-        report.scenario(set::to_string(planned.klass));
+    core::ScenarioStats& slice = report.scenario(
+        set::to_string(planned.klass), result.scheme, result.fault_model);
     ++report.runs;
     ++report.strikes_injected;
     ++slice.strikes;
@@ -295,10 +230,40 @@ CampaignResult CampaignEngine::run(const set::StrikePlan& plan,
                                    const EngineOptions& options) const {
   CWSP_REQUIRE(options.jobs > 0);
   CWSP_REQUIRE(options.cycles_per_run > 0);
+  const scheme::ProtectionScheme& sch = scheme_of(options);
+  const bool cwsp_semantics = is_cwsp(sch);
+  bool multi_node = false;
+  for (const set::PlannedStrike& p : plan.strikes) {
+    if (p.node2.valid()) {
+      multi_node = true;
+      break;
+    }
+  }
+  // Non-CWSP verdicts and multi-node strikes exist only as closed-form
+  // functions of lane facts; the scalar ProtectionSim speaks the CWSP
+  // protocol over single-node strikes and nothing else.
+  const bool needs_scalar = options.use_legacy_kernel ||
+                            !options.use_lane_kernel ||
+                            options.timeout_ms > 0.0 ||
+                            static_cast<bool>(options.test_hook);
+  CWSP_REQUIRE_MSG(cwsp_semantics || !needs_scalar,
+                   "scheme '" << sch.name()
+                              << "' resolves verdicts on the strike-lane "
+                                 "kernel only; drop --legacy-kernel and "
+                                 "per-strike timeouts");
+  CWSP_REQUIRE_MSG(!multi_node || !needs_scalar,
+                   "multi-node strike plans require the strike-lane kernel; "
+                   "drop --legacy-kernel and per-strike timeouts");
+  CWSP_REQUIRE_MSG(!options.minimize_escapes || cwsp_semantics,
+                   "escape minimization replays the CWSP protocol; not "
+                   "available for scheme '"
+                       << sch.name() << "'");
   const std::uint64_t fingerprint = campaign_fingerprint(
       plan, options.seed, options.cycles_per_run, clock_period_);
 
   CampaignResult result;
+  result.scheme = sch.name();
+  result.fault_model = options.fault_model;
   result.strikes.assign(plan.size(), StrikeResult{});
   std::vector<char> done(plan.size(), 0);
 
@@ -442,6 +407,12 @@ CampaignResult CampaignEngine::run(const set::StrikePlan& plan,
   registry.counter("campaign.strikes_resumed").add(result.resumed);
   registry.counter("campaign.escapes").add(result.report.protected_failures);
   registry.counter("campaign.inconclusive").add(result.report.inconclusive);
+  const std::string scheme_prefix = "scheme." + result.scheme;
+  registry.counter(scheme_prefix + ".campaigns").add();
+  registry.counter(scheme_prefix + ".strikes")
+      .add(result.report.strikes_injected);
+  registry.counter(scheme_prefix + ".escapes")
+      .add(result.report.protected_failures);
 
   // ---- escape minimization ------------------------------------------
   if (options.minimize_escapes) {
@@ -451,8 +422,10 @@ CampaignResult CampaignEngine::run(const set::StrikePlan& plan,
       const StrikeResult& r = result.strikes[i];
       if (!r.completed() || r.status != StrikeStatus::kEscape) continue;
       const set::PlannedStrike& planned = plan.strikes[i];
-      // Protection-path strikes have no functional net to shrink.
+      // Protection-path strikes have no functional net to shrink, and a
+      // charge-sharing pair has no single-strike scalar replay.
       if (planned.klass == set::StrikeClass::kProtectionPath) continue;
+      if (planned.node2.valid()) continue;
       EscapeRepro repro = minimize_escape(
           sim, planned,
           strike_inputs(*netlist_, options.cycles_per_run, options.seed,
@@ -471,6 +444,8 @@ void CampaignEngine::run_lane_strikes(const set::StrikePlan& plan,
                                       const std::vector<char>& done,
                                       JournalWriter* writer,
                                       CampaignResult& result) const {
+  const scheme::ProtectionScheme& sch = scheme_of(options);
+  const bool cwsp_semantics = is_cwsp(sch);
   // Replicate the scalar path's constructor-time validation with
   // identical messages: the lane path never builds a ProtectionSim, but
   // a misconfigured campaign must fail the same way on either path.
@@ -510,8 +485,8 @@ void CampaignEngine::run_lane_strikes(const set::StrikePlan& plan,
       functional.push_back(pos);
       continue;
     }
-    StrikeResult r =
-        resolve_protection_path(planned, options.cycles_per_run, clock_period_);
+    StrikeResult r = sch.resolve_protection_path(
+        planned, options.cycles_per_run, clock_period_);
     if (writer != nullptr) writer->append(r);
     result.strikes[pos] = r;
     ++analytic;
@@ -562,8 +537,9 @@ void CampaignEngine::run_lane_strikes(const set::StrikePlan& plan,
                                         options.seed, planned.index));
         sim::LaneScenario sc;
         sc.strike = planned.strike;
+        sc.node2 = planned.node2;
         sc.cycle = planned.cycle;
-        sc.squash_at_strike = spurious_eq_at_strike(*netlist_, params_, planned);
+        sc.squash_at_strike = sch.squash_at_strike(*netlist_, params_, planned);
         sc.inputs = &stimuli.back();
         batch.push_back(sc);
       }
@@ -571,13 +547,13 @@ void CampaignEngine::run_lane_strikes(const set::StrikePlan& plan,
         lane_sim.run_batch(batch, out);
         for (std::size_t k = begin; k < end; ++k) {
           const set::PlannedStrike& planned = plan.strikes[functional[k]];
-          StrikeResult r = resolve_functional(
+          StrikeResult r = sch.resolve_functional(
               planned, out[k - begin], batch[k - begin].squash_at_strike,
               options.cycles_per_run, params_);
           if (writer != nullptr) writer->append(r);
           result.strikes[functional[k]] = r;
         }
-      } catch (const std::exception&) {
+      } catch (const std::exception& batch_error) {
         // Degrade the batch to the scalar per-strike path with the same
         // exception isolation as the worker pool: one bad strike costs
         // one inconclusive result, never the campaign.
@@ -590,6 +566,16 @@ void CampaignEngine::run_lane_strikes(const set::StrikePlan& plan,
           const set::PlannedStrike& planned = plan.strikes[functional[k]];
           StrikeResult r;
           r.index = planned.index;
+          if (!cwsp_semantics || planned.node2.valid()) {
+            // The scalar simulator speaks only the CWSP protocol over
+            // single-node strikes; an inexpressible strike degrades to
+            // inconclusive instead of a wrong verdict.
+            r.status = StrikeStatus::kError;
+            r.diagnostic = batch_error.what();
+            if (writer != nullptr) writer->append(r);
+            result.strikes[functional[k]] = r;
+            continue;
+          }
           try {
             const core::ScheduledStrike scheduled = to_scheduled(planned);
             const auto protected_r =

@@ -27,48 +27,18 @@
 #include <vector>
 
 #include "campaign/minimize.hpp"
+#include "campaign/strike_result.hpp"
 #include "cwsp/coverage.hpp"
 #include "set/strike_plan.hpp"
 #include "sim/cancel.hpp"
 
+namespace cwsp::scheme {
+class ProtectionScheme;
+}  // namespace cwsp::scheme
+
 namespace cwsp::campaign {
 
 class JournalWriter;
-
-enum class StrikeStatus : std::uint8_t {
-  /// Protected design recovered (no corrupted commit, no livelock).
-  kCovered,
-  /// Protected design committed a wrong output or livelocked.
-  kEscape,
-  /// Strike exceeded its wall-clock budget; verdict unknown.
-  kTimeout,
-  /// Simulator raised an exception; verdict unknown.
-  kError,
-};
-
-[[nodiscard]] const char* to_string(StrikeStatus status);
-
-struct StrikeResult {
-  static constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
-
-  std::size_t index = kNoIndex;
-  StrikeStatus status = StrikeStatus::kCovered;
-  /// Whether the same strike corrupted the unprotected reference design
-  /// (functional-class strikes only).
-  bool unprotected_failed = false;
-  std::uint64_t bubbles = 0;
-  std::uint64_t detected_errors = 0;
-  std::uint64_t spurious_recomputes = 0;
-  /// Human-readable cause for escapes and inconclusive strikes. Always
-  /// deterministic (never contains wall-clock measurements).
-  std::string diagnostic;
-
-  [[nodiscard]] bool completed() const { return index != kNoIndex; }
-  [[nodiscard]] bool conclusive() const {
-    return status == StrikeStatus::kCovered ||
-           status == StrikeStatus::kEscape;
-  }
-};
 
 struct EngineOptions {
   /// Seed of the per-strike stimulus streams (Rng::stream(seed, index)).
@@ -118,6 +88,16 @@ struct EngineOptions {
   /// cancelled, and the result reports `interrupted`. Already-claimed
   /// strikes finish normally, so a journaled campaign stays resumable.
   const sim::CancelToken* cancel = nullptr;
+  /// Protection scheme supplying the per-strike verdict semantics;
+  /// nullptr selects the registry's default (the paper's CWSP protocol,
+  /// byte-identical to the pre-registry engine). Non-CWSP schemes resolve
+  /// verdicts on the strike-lane kernel only (no legacy kernel, per-strike
+  /// timeouts, test hooks or escape minimization).
+  const scheme::ProtectionScheme* scheme = nullptr;
+  /// Name of the fault model that built the plan; recorded in the report
+  /// and in per-scenario accounting so merged fabric reports never alias
+  /// two (scheme, model) cells into one bucket.
+  std::string fault_model = "single-set";
 };
 
 struct CampaignResult {
@@ -137,6 +117,11 @@ struct CampaignResult {
   std::size_t executed = 0;
   /// True when the campaign stopped before completing every strike.
   bool interrupted = false;
+  /// The (scheme, fault-model) cell this result was produced under; set
+  /// by the engine (and by the fabric merge) before aggregation so
+  /// scenario buckets are keyed per cell.
+  std::string scheme = "cwsp";
+  std::string fault_model = "single-set";
 };
 
 /// Recomputes result.report, result.unexpected_escapes and

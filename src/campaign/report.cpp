@@ -73,6 +73,12 @@ std::string format_campaign_text(const CampaignResult& result,
   const core::CoverageReport& r = result.report;
   std::ostringstream os;
   os << "campaign              : " << netlist.name() << "\n";
+  // Emitted only off the default (scheme=cwsp, fault-model=single-set) so
+  // plain CWSP reports stay byte-identical to pre-scheme-registry output.
+  if (result.scheme != "cwsp" || result.fault_model != "single-set") {
+    os << "scheme / fault model  : " << result.scheme << " / "
+       << result.fault_model << "\n";
+  }
   os << "status                : " << to_string(campaign_status(result))
      << "\n";
   os << "strikes (plan/done)   : " << plan.size() << " / "
@@ -126,6 +132,13 @@ std::string format_campaign_json(const CampaignResult& result,
   os << "{\n";
   os << "  \"schema\": \"cwsp-campaign-report-v1\",\n";
   os << "  \"design\": \"" << json_escape(netlist.name()) << "\",\n";
+  // Emitted only off the default (scheme=cwsp, fault-model=single-set) so
+  // plain CWSP reports stay byte-identical to pre-scheme-registry output.
+  if (result.scheme != "cwsp" || result.fault_model != "single-set") {
+    os << "  \"scheme\": \"" << json_escape(result.scheme) << "\",\n";
+    os << "  \"fault_model\": \"" << json_escape(result.fault_model)
+       << "\",\n";
+  }
   os << "  \"status\": \"" << to_string(campaign_status(result)) << "\",\n";
   os << "  \"seed\": " << options.seed << ",\n";
   os << "  \"cycles_per_run\": " << options.cycles_per_run << ",\n";

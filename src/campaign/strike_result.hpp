@@ -1,0 +1,48 @@
+#pragma once
+// Per-strike campaign verdict, shared between the campaign engine and the
+// protection-scheme registry (src/scheme): a scheme maps lane-simulation
+// facts to a StrikeResult, the engine aggregates StrikeResults into the
+// coverage report. Header-only so src/scheme can speak the verdict
+// vocabulary without linking the engine.
+
+#include <cstdint>
+#include <string>
+
+namespace cwsp::campaign {
+
+enum class StrikeStatus : std::uint8_t {
+  /// Protected design recovered (no corrupted commit, no livelock).
+  kCovered,
+  /// Protected design committed a wrong output or livelocked.
+  kEscape,
+  /// Strike exceeded its wall-clock budget; verdict unknown.
+  kTimeout,
+  /// Simulator raised an exception; verdict unknown.
+  kError,
+};
+
+[[nodiscard]] const char* to_string(StrikeStatus status);
+
+struct StrikeResult {
+  static constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+  std::size_t index = kNoIndex;
+  StrikeStatus status = StrikeStatus::kCovered;
+  /// Whether the same strike corrupted the unprotected reference design
+  /// (functional-class strikes only).
+  bool unprotected_failed = false;
+  std::uint64_t bubbles = 0;
+  std::uint64_t detected_errors = 0;
+  std::uint64_t spurious_recomputes = 0;
+  /// Human-readable cause for escapes and inconclusive strikes. Always
+  /// deterministic (never contains wall-clock measurements).
+  std::string diagnostic;
+
+  [[nodiscard]] bool completed() const { return index != kNoIndex; }
+  [[nodiscard]] bool conclusive() const {
+    return status == StrikeStatus::kCovered ||
+           status == StrikeStatus::kEscape;
+  }
+};
+
+}  // namespace cwsp::campaign

@@ -16,6 +16,12 @@ namespace cwsp::core {
 /// runs concentrate rather than a single blended number.
 struct ScenarioStats {
   std::string name;
+  /// The (protection scheme, fault model) cell this slice was measured
+  /// under. Part of the bucket key: a merged multi-scheme report must
+  /// never alias two schemes' counters into one scenario bucket. Empty
+  /// for the single-scheme coverage sweeps that predate the registry.
+  std::string scheme;
+  std::string model;
   std::size_t strikes = 0;
   std::size_t escapes = 0;
   std::size_t unprotected_failures = 0;
@@ -46,13 +52,18 @@ struct CoverageReport {
   /// are invalid (a misconfigured plan), never vacuously 100% covered.
   [[nodiscard]] bool valid() const { return strikes_injected > 0; }
 
-  /// Find-or-append the breakdown slice for `name`.
-  ScenarioStats& scenario(const std::string& name) {
+  /// Find-or-append the breakdown slice for the full (name, scheme,
+  /// model) bucket key.
+  ScenarioStats& scenario(const std::string& name, const std::string& scheme,
+                          const std::string& model) {
     for (auto& s : scenarios) {
-      if (s.name == name) return s;
+      if (s.name == name && s.scheme == scheme && s.model == model) return s;
     }
-    scenarios.push_back(ScenarioStats{name, 0, 0, 0, 0, 0});
+    scenarios.push_back(ScenarioStats{name, scheme, model, 0, 0, 0, 0, 0});
     return scenarios.back();
+  }
+  ScenarioStats& scenario(const std::string& name) {
+    return scenario(name, std::string(), std::string());
   }
 
   [[nodiscard]] std::size_t conclusive_strikes() const {

@@ -121,6 +121,16 @@ std::string shard_request(const service::DesignSession& session,
      << ",\"jobs\":" << std::max<std::size_t>(1, jobs)
      << (spec.adversarial ? ",\"adversarial\":true" : "")
      << (spec.use_legacy_kernel ? ",\"legacy_kernel\":true" : "");
+  // Scheme/model travel only off the defaults, mirroring the flag-style
+  // fields above (a default-cell request is byte-identical to one from a
+  // pre-registry coordinator).
+  if (!spec.schemes.empty() && spec.schemes.front() != "cwsp") {
+    os << ",\"scheme\":\"" << json::escape(spec.schemes.front()) << '"';
+  }
+  if (!spec.fault_models.empty() && spec.fault_models.front() != "single-set") {
+    os << ",\"fault_model\":\"" << json::escape(spec.fault_models.front())
+       << '"';
+  }
   if (!options.auth_token.empty()) {
     os << ",\"auth\":\"" << json::escape(options.auth_token) << '"';
   }
@@ -484,13 +494,20 @@ FabricOutcome run_distributed_campaign(const service::DesignSession& session,
                    "one-shot campaign extras are not supported with "
                    "--workers; use the fabric journal options");
 
+  const std::vector<service::CampaignCell> cells =
+      service::campaign_cells(spec);
+  CWSP_REQUIRE_MSG(cells.size() == 1,
+                   "a distributed campaign runs one (scheme, fault-model) "
+                   "cell; fan sweeps out cell by cell");
+  const service::CampaignCell& cell = cells.front();
+
   const auto params = core::ProtectionParams::q100();
   const Picoseconds period = session.period_q100;
 
   // The one plan everyone derives: coordinator, workers and the
   // single-host reference all call the same construction.
   PlanContext ctx;
-  const set::StrikePlan full_plan = set::build_strike_plan(
+  const set::StrikePlan full_plan = cell.model->build_plan(
       netlist, service::campaign_plan_options(spec, params, period),
       spec.seed);
   ctx.full_plan = &full_plan;
@@ -668,6 +685,8 @@ FabricOutcome run_distributed_campaign(const service::DesignSession& session,
     engine_options.cycles_per_run = spec.cycles;
     engine_options.jobs = std::max<std::size_t>(1, spec.jobs);
     engine_options.use_legacy_kernel = spec.use_legacy_kernel;
+    engine_options.scheme = cell.scheme;
+    engine_options.fault_model = cell.model->name();
     sim::CancelToken budget_token;
     if (dispatch.deadline != Stopwatch::Clock::time_point::max()) {
       budget_token.set_deadline(dispatch.deadline);
@@ -700,6 +719,8 @@ FabricOutcome run_distributed_campaign(const service::DesignSession& session,
   // ---- merge ----------------------------------------------------------
   campaign::CampaignResult merged;
   merged.strikes = std::move(slots);
+  merged.scheme = cell.scheme->name();
+  merged.fault_model = cell.model->name();
   campaign::aggregate_results(full_plan, merged);
   merged.resumed = resumed_strikes;
   merged.executed = merged.report.runs > resumed_strikes

@@ -1,0 +1,90 @@
+#pragma once
+// Comparative Tables 1–4 across the registered protection schemes ×
+// fault models: design characteristics (Table 1), area (Table 2), delay
+// (Table 3), and measured coverage + soft-error rate (Table 4), in text
+// or deterministic JSON ("cwsp-compare-v1").
+//
+// Every number is a deterministic function of (design, options): the
+// coverage rows come from campaign runs whose reports are byte-identical
+// at any jobs value, and the SER rows fold each scheme's characterized
+// glitch envelope and the campaign's measured unprotected-failure
+// fraction through set::SerAnalyzer.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "cwsp/protection_params.hpp"
+#include "netlist/netlist.hpp"
+#include "scheme/scheme.hpp"
+#include "sim/compiled_kernel.hpp"
+
+namespace cwsp::scheme {
+
+struct CompareOptions {
+  /// Functional strikes per (scheme, model) campaign; each adversarial
+  /// class adds max(1, runs/4) more.
+  std::size_t runs = 50;
+  std::size_t cycles = 16;
+  /// In-envelope glitch width.
+  Picoseconds glitch_width{400.0};
+  std::uint64_t seed = 1;
+  std::size_t jobs = 1;
+  /// Scheme / fault-model names to compare; empty = every registered one.
+  std::vector<std::string> schemes;
+  std::vector<std::string> fault_models;
+};
+
+struct CompareReport {
+  // ---- Table 1: design characteristics -----------------------------
+  std::string design;
+  std::size_t gates = 0;
+  std::size_t flip_flops = 0;
+  std::size_t protected_ffs = 0;
+  SquareMicrons area{0.0};
+  Picoseconds dmax{0.0};
+  Picoseconds regular_period{0.0};
+
+  std::size_t runs = 0;
+  std::size_t cycles = 0;
+  std::uint64_t seed = 0;
+
+  // ---- Tables 2 + 3: per-scheme area / delay -----------------------
+  std::vector<Characterization> characterizations;
+
+  // ---- Table 4: per (scheme, model) coverage + SER -----------------
+  struct CoverageRow {
+    std::string scheme;
+    std::string model;
+    std::size_t strikes = 0;
+    std::size_t escapes = 0;
+    std::size_t unexpected_escapes = 0;
+    std::size_t inconclusive = 0;
+    double coverage_pct = 0.0;
+    double unprotected_failure_pct = 0.0;
+    double hardened_errors_per_year = 0.0;
+    double unprotected_errors_per_year = 0.0;
+    double improvement_factor = 0.0;
+  };
+  std::vector<CoverageRow> coverage;
+  /// Combinational designs have no campaign substrate (the engine
+  /// injects against flip-flop state); Table 4 is omitted, never faked.
+  bool coverage_skipped_combinational = false;
+};
+
+/// Characterizes and campaigns every requested (scheme, model) cell.
+/// `context` may be null (one is built); when given it must have been
+/// built from `netlist`. Throws cwsp::Error for unknown scheme/model
+/// names. Observes scheme.harden_latency_us per characterization.
+[[nodiscard]] CompareReport run_compare(
+    const Netlist& netlist, const core::ProtectionParams& params,
+    Picoseconds clock_period,
+    std::shared_ptr<const sim::CompiledKernelContext> context,
+    const CompareOptions& options);
+
+[[nodiscard]] std::string format_compare_text(const CompareReport& report);
+[[nodiscard]] std::string format_compare_json(const CompareReport& report);
+
+}  // namespace cwsp::scheme

@@ -1,0 +1,137 @@
+#include "scheme/fault_model.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace cwsp::scheme {
+namespace {
+
+/// Salt separating the double-set partner streams from the stimulus
+/// streams (Rng::stream(seed, index)), so adding a partner never
+/// perturbs the inputs a strike is injected into.
+constexpr std::uint64_t kPartnerStreamSalt = 0x9e3779b97f4a7c15ULL;
+
+class SingleSetModel final : public FaultModel {
+ public:
+  const char* name() const override { return "single-set"; }
+  const char* description() const override {
+    return "one single-event transient per run (the paper's model)";
+  }
+  set::StrikePlan build_plan(const Netlist& netlist,
+                             const set::StrikePlanOptions& options,
+                             std::uint64_t seed) const override {
+    return set::build_strike_plan(netlist, options, seed);
+  }
+};
+
+class DoubleSetModel final : public FaultModel {
+ public:
+  const char* name() const override { return "double-set"; }
+  const char* description() const override {
+    return "charge-sharing double SET: each functional strike hits an "
+           "adjacency-derived partner node simultaneously";
+  }
+  /// Extends the single-set plan in place: every functional-class strike
+  /// draws a partner from its node's adjacency candidates through a
+  /// per-strike RNG stream keyed by the plan index — deterministic at
+  /// any jobs value, and shard-stable because shard_plan preserves the
+  /// planned strikes verbatim. Nodes without neighbours stay
+  /// single-node (nothing shares charge with an isolated site).
+  set::StrikePlan build_plan(const Netlist& netlist,
+                             const set::StrikePlanOptions& options,
+                             std::uint64_t seed) const override {
+    set::StrikePlan plan = set::build_strike_plan(netlist, options, seed);
+    for (set::PlannedStrike& p : plan.strikes) {
+      if (p.klass == set::StrikeClass::kProtectionPath) continue;
+      const std::vector<NetId> candidates =
+          adjacent_strike_sites(netlist, p.strike.node);
+      if (candidates.empty()) continue;
+      Rng rng = Rng::stream(seed ^ kPartnerStreamSalt, p.index);
+      p.node2 = candidates[rng.next_below(candidates.size())];
+    }
+    return plan;
+  }
+};
+
+class ProtectionSeuModel final : public FaultModel {
+ public:
+  const char* name() const override { return "protection-seu"; }
+  const char* description() const override {
+    return "state upsets inside the protection circuitry itself (the "
+           "multi-SEU view of arXiv 2103.05106)";
+  }
+  /// Spends the plan's whole strike budget on kProtectionPath strikes
+  /// across the §3.2 sites; the class mix of the incoming options
+  /// determines only the total count, keeping `runs` comparable across
+  /// models.
+  set::StrikePlan build_plan(const Netlist& netlist,
+                             const set::StrikePlanOptions& options,
+                             std::uint64_t seed) const override {
+    set::StrikePlanOptions seu = options;
+    seu.protection_path_strikes =
+        options.functional_strikes + options.protection_path_strikes +
+        options.clock_edge_strikes + options.out_of_envelope_strikes;
+    seu.functional_strikes = 0;
+    seu.clock_edge_strikes = 0;
+    seu.out_of_envelope_strikes = 0;
+    return set::build_strike_plan(netlist, seu, seed);
+  }
+};
+
+}  // namespace
+
+std::vector<NetId> adjacent_strike_sites(const Netlist& netlist, NetId node) {
+  std::vector<NetId> out;
+  if (!node.valid()) return out;
+  const Net& net = netlist.net(node);
+  for (GateId gid : net.fanout_gates) {
+    const NetId partner = netlist.gate(gid).output;
+    if (partner != node) out.push_back(partner);
+  }
+  // The driving gate's other internally-driven fanins share its layout
+  // neighbourhood; primary inputs are excluded (driven off-die).
+  if (net.driver_kind == DriverKind::kGate) {
+    for (NetId in : netlist.gate(GateId{net.driver_index}).inputs) {
+      const DriverKind kind = netlist.net(in).driver_kind;
+      if ((kind == DriverKind::kGate || kind == DriverKind::kFlipFlop) &&
+          in != node) {
+        out.push_back(in);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+const std::vector<const FaultModel*>& registered_fault_models() {
+  static const SingleSetModel single;
+  static const DoubleSetModel double_set;
+  static const ProtectionSeuModel seu;
+  static const std::vector<const FaultModel*> models = {&single, &double_set,
+                                                        &seu};
+  return models;
+}
+
+const FaultModel* find_fault_model(std::string_view name) {
+  for (const FaultModel* m : registered_fault_models()) {
+    if (name == m->name()) return m;
+  }
+  return nullptr;
+}
+
+const FaultModel& default_fault_model() {
+  return *registered_fault_models().front();
+}
+
+std::string known_fault_model_names() {
+  std::string names;
+  for (const FaultModel* m : registered_fault_models()) {
+    if (!names.empty()) names += ", ";
+    names += m->name();
+  }
+  return names;
+}
+
+}  // namespace cwsp::scheme

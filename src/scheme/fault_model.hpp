@@ -1,0 +1,68 @@
+#pragma once
+// FaultModel registry: how strikes are generated, behind one interface.
+//
+// A fault model materialises the campaign plan — every strike enumerated
+// up front with a stable index — so execution order (thread count, shard
+// assignment, resume) cannot change what gets injected, whatever the
+// model. Registered models:
+//
+//   * "single-set"     — one SET per run, as the paper evaluates;
+//     delegates to set::build_strike_plan verbatim (plans and their
+//     fingerprints are unchanged from the pre-registry planner).
+//   * "double-set"     — charge-sharing double SETs: each functional
+//     strike gains a simultaneous partner node drawn from the struck
+//     net's layout-adjacency candidates (fanout gate outputs and fanin
+//     siblings), per-strike deterministic via a partner RNG stream
+//     decorrelated from the stimulus streams.
+//   * "protection-seu" — SEUs inside the protection logic itself: the
+//     plan's whole budget is spent on kProtectionPath strikes across
+//     the §3.2 sites (per arXiv 2103.05106's SET→multi-SEU view, state
+//     upsets in the hardening cells are first-class faults).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "set/strike_plan.hpp"
+
+namespace cwsp::scheme {
+
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  /// Registry key; stable, lower-case, appears in reports/fingerprints.
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual const char* description() const = 0;
+
+  /// Deterministically materialises the campaign plan: same (netlist,
+  /// options, seed) → identical plan at any jobs value and across
+  /// shards.
+  [[nodiscard]] virtual set::StrikePlan build_plan(
+      const Netlist& netlist, const set::StrikePlanOptions& options,
+      std::uint64_t seed) const = 0;
+};
+
+/// All registered fault models, in stable registration order
+/// (single-set first).
+[[nodiscard]] const std::vector<const FaultModel*>& registered_fault_models();
+
+/// Lookup by name(); nullptr when unknown.
+[[nodiscard]] const FaultModel* find_fault_model(std::string_view name);
+
+/// The registry default: one SET per run.
+[[nodiscard]] const FaultModel& default_fault_model();
+
+/// "single-set, double-set, protection-seu" — for error messages.
+[[nodiscard]] std::string known_fault_model_names();
+
+/// Charge-sharing partner candidates of `node`: outputs of the gates the
+/// net fans out to, plus the driving gate's other internally-driven
+/// fanins — sorted and deduplicated, so partner choice is deterministic.
+/// Exposed for the double-set model's tests.
+[[nodiscard]] std::vector<NetId> adjacent_strike_sites(const Netlist& netlist,
+                                                       NetId node);
+
+}  // namespace cwsp::scheme

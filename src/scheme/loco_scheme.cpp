@@ -1,0 +1,128 @@
+// LOCO-style C-element self-resilient latch as a registered scheme
+// (after arXiv 2512.19292): each flip-flop is replaced by a latch pair
+// sampling D at t and t+δ into a 2-input Muller C-element keeper. While
+// the two samples agree the keeper is transparent; a SET narrower than δ
+// can corrupt at most one sample, so the keeper holds the previous state
+// and the glitch is filtered inline — no detection event, no recompute
+// bubble, but also no recovery once a pulse wider than δ corrupts both
+// samples.
+//
+// ProtectionSite mapping for kProtectionPath strikes: kCwStarDff ≙ the
+// C-element keeper state node (the scheme's single point of failure — an
+// upset there IS the stored bit flipping); every other site ≙ one of the
+// two sampling latches or the delay line, whose disagreement the keeper
+// rides out.
+
+#include <sstream>
+
+#include "cell/calibration.hpp"
+#include "cwsp/harden.hpp"
+#include "cwsp/timing.hpp"
+#include "scheme/scheme.hpp"
+#include "sta/sta.hpp"
+
+namespace cwsp::scheme {
+namespace {
+
+/// 2-input Muller C-element with keeper: 8 stack + 4 keeper devices.
+constexpr double kCElementUnits = 12.0;
+/// Active area per delay-line segment (POLY2 resistor + min inverter),
+/// matching the CWSP calibration's 2 units per segment.
+constexpr double kUnitsPerDelaySegment = 2.0;
+/// C-element propagation once both samples agree.
+constexpr double kCElementDelayPs = 30.0;
+
+class LocoScheme final : public ProtectionScheme {
+ public:
+  const char* name() const override { return "loco"; }
+  const char* description() const override {
+    return "LOCO-style C-element self-resilient latch: dual time-offset "
+           "sampling into a Muller C-element keeper (arXiv 2512.19292)";
+  }
+
+  /// Per protected FF: one shadow sampling latch, the C-element keeper
+  /// and a δ delay line (same POLY2 ladder the CWSP δ element uses).
+  /// The cycle stretches by δ (the late sample) plus the C-element.
+  Characterization characterize(
+      const Netlist& netlist,
+      const core::ProtectionParams& params) const override {
+    const auto sta = run_sta(netlist);
+    const CellLibrary& lib = netlist.library();
+    const double num_ffs =
+        static_cast<double>(core::protected_ff_count(netlist));
+    Characterization c;
+    c.scheme = name();
+    c.area_regular = netlist.total_area();
+    const SquareMicrons per_ff =
+        lib.regular_ff().area +
+        cal::kUnitActiveArea *
+            (kCElementUnits +
+             kUnitsPerDelaySegment * static_cast<double>(params.segments_delta));
+    c.area_hardened = c.area_regular + per_ff * num_ffs;
+    c.period_regular = core::regular_clock_period(sta.dmax, lib);
+    c.period_hardened =
+        c.period_regular + params.delta + Picoseconds(kCElementDelayPs);
+    c.max_glitch = params.delta;
+    c.feasible = true;
+    return c;
+  }
+
+  /// The keeper filters inline; no cycle is ever squashed.
+  bool squash_at_strike(const Netlist& /*netlist*/,
+                        const core::ProtectionParams& /*params*/,
+                        const set::PlannedStrike& /*planned*/) const override {
+    return false;
+  }
+
+  /// Sampling-latch and delay-line upsets produce disagreeing samples,
+  /// which the keeper rides out. An upset of the keeper state itself is
+  /// unrecoverable: the stored bit flips with no disagreement to detect.
+  campaign::StrikeResult resolve_protection_path(
+      const set::PlannedStrike& p, std::size_t cycles_per_run,
+      Picoseconds /*clock_period*/) const override {
+    campaign::StrikeResult r;
+    r.index = p.index;
+    r.status = campaign::StrikeStatus::kCovered;
+    if (p.cycle < cycles_per_run &&
+        p.site == set::ProtectionSite::kCwStarDff) {
+      r.status = campaign::StrikeStatus::kEscape;
+      r.diagnostic =
+          "C-element keeper state flipped (no sample disagreement to hold "
+          "on)";
+    }
+    return r;
+  }
+
+  /// Width <= δ: the two samples disagree only transiently, the keeper
+  /// holds golden state — covered silently, zero timing penalty. Width
+  /// > δ: both samples see the corrupted value, the keeper latches it;
+  /// the strike escapes iff the corruption becomes architecturally
+  /// visible in a later commit.
+  campaign::StrikeResult resolve_functional(
+      const set::PlannedStrike& p, const sim::LaneOutcome& o,
+      bool /*squashed*/, std::size_t /*cycles_per_run*/,
+      const core::ProtectionParams& params) const override {
+    campaign::StrikeResult r;
+    r.index = p.index;
+    r.status = campaign::StrikeStatus::kCovered;
+    r.unprotected_failed = o.latched_diff || o.aperture;
+    if (!o.fired || !o.latched_diff) return r;
+    if (p.strike.width > params.delta && o.silent_corruptions > 0) {
+      r.status = campaign::StrikeStatus::kEscape;
+      std::ostringstream os;
+      os << o.silent_corruptions
+         << " corrupted commit(s) outlived the C-element filter";
+      r.diagnostic = os.str();
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+const ProtectionScheme& detail::loco_scheme() {
+  static const LocoScheme scheme;
+  return scheme;
+}
+
+}  // namespace cwsp::scheme

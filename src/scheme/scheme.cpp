@@ -1,0 +1,31 @@
+#include "scheme/scheme.hpp"
+
+namespace cwsp::scheme {
+
+const std::vector<const ProtectionScheme*>& registered_schemes() {
+  static const std::vector<const ProtectionScheme*> schemes = {
+      &detail::cwsp_scheme(), &detail::tmr_scheme(), &detail::loco_scheme()};
+  return schemes;
+}
+
+const ProtectionScheme* find_scheme(std::string_view name) {
+  for (const ProtectionScheme* s : registered_schemes()) {
+    if (name == s->name()) return s;
+  }
+  return nullptr;
+}
+
+const ProtectionScheme& default_scheme() {
+  return *registered_schemes().front();
+}
+
+std::string known_scheme_names() {
+  std::string names;
+  for (const ProtectionScheme* s : registered_schemes()) {
+    if (!names.empty()) names += ", ";
+    names += s->name();
+  }
+  return names;
+}
+
+}  // namespace cwsp::scheme

@@ -1,0 +1,121 @@
+#pragma once
+// ProtectionScheme registry: the hardening techniques the platform can
+// evaluate, behind one interface.
+//
+// A scheme owns (a) its area/delay characterization through the src/cell
+// calibration data and (b) its per-strike verdict semantics — the mapping
+// from strike-lane simulation facts (sim::LaneOutcome) and closed-form
+// protection-path case analysis to a campaign::StrikeResult. The campaign
+// engine is scheme-agnostic: it batches strikes onto the lane kernel and
+// asks the scheme for the verdict, which is what lets one campaign sweep
+// schemes × fault models with byte-identical determinism per cell.
+//
+// Registered schemes:
+//   * "cwsp" — the paper's CWSP watchdog (§3.2/§3.3), refactored out of
+//     the campaign engine verbatim; the registry default. The only
+//     scheme whose protection predicate the static certifier can
+//     express (certifiable() == true).
+//   * "tmr"  — spatial triple-modular redundancy with a per-FF majority
+//     voter (baselines::harden_spatial_tmr characterization).
+//   * "loco" — a LOCO-style C-element self-resilient latch
+//     (arXiv 2512.19292): two time-offset samples feed a Muller
+//     C-element keeper that holds state while the samples disagree.
+//
+// See docs/schemes.md for the interface contract, the verdict semantics
+// of each scheme, and how to add one.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/strike_result.hpp"
+#include "cwsp/protection_params.hpp"
+#include "netlist/netlist.hpp"
+#include "set/strike_plan.hpp"
+#include "sim/strike_lanes.hpp"
+
+namespace cwsp::scheme {
+
+/// Area/delay/envelope figures of one hardening technique applied to one
+/// design — the per-scheme rows of the comparative Tables 2–4.
+struct Characterization {
+  std::string scheme;
+  SquareMicrons area_regular{0.0};
+  SquareMicrons area_hardened{0.0};
+  Picoseconds period_regular{0.0};
+  Picoseconds period_hardened{0.0};
+  /// Widest glitch the scheme tolerates on this design.
+  Picoseconds max_glitch{0.0};
+  bool feasible = true;
+
+  [[nodiscard]] double area_overhead_pct() const {
+    return (area_hardened / area_regular - 1.0) * 100.0;
+  }
+  [[nodiscard]] double delay_overhead_pct() const {
+    return (period_hardened / period_regular - 1.0) * 100.0;
+  }
+};
+
+class ProtectionScheme {
+ public:
+  virtual ~ProtectionScheme() = default;
+
+  /// Registry key; stable, lower-case, appears in reports/fingerprints.
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual const char* description() const = 0;
+
+  /// Area/delay characterization of the hardened design through the
+  /// src/cell calibration data. Deterministic.
+  [[nodiscard]] virtual Characterization characterize(
+      const Netlist& netlist, const core::ProtectionParams& params) const = 0;
+
+  /// Whether the strike cycle's capture is squashed and discarded by the
+  /// scheme's own checking (decidable without simulation; evaluated once
+  /// per planned strike before lane batching).
+  [[nodiscard]] virtual bool squash_at_strike(
+      const Netlist& netlist, const core::ProtectionParams& params,
+      const set::PlannedStrike& planned) const = 0;
+
+  /// Closed-form verdict for a strike inside the scheme's own protection
+  /// circuitry (set::StrikeClass::kProtectionPath). The ProtectionSite
+  /// enum is interpreted per scheme — see docs/schemes.md for each
+  /// scheme's site mapping.
+  [[nodiscard]] virtual campaign::StrikeResult resolve_protection_path(
+      const set::PlannedStrike& planned, std::size_t cycles_per_run,
+      Picoseconds clock_period) const = 0;
+
+  /// Maps one lane's simulation facts to the scheme's verdict for a
+  /// functional-class strike. Must be a pure function of its arguments
+  /// (this is what keeps reports byte-identical at any jobs/lane width).
+  [[nodiscard]] virtual campaign::StrikeResult resolve_functional(
+      const set::PlannedStrike& planned, const sim::LaneOutcome& outcome,
+      bool squashed, std::size_t cycles_per_run,
+      const core::ProtectionParams& params) const = 0;
+
+  /// Whether analysis::certify_design can express this scheme's
+  /// protection predicate. Non-certifiable schemes degrade every site to
+  /// `unknown` — never silently pass.
+  [[nodiscard]] virtual bool certifiable() const { return false; }
+};
+
+/// All registered schemes, in stable registration order (cwsp first).
+[[nodiscard]] const std::vector<const ProtectionScheme*>& registered_schemes();
+
+/// Lookup by name(); nullptr when unknown.
+[[nodiscard]] const ProtectionScheme* find_scheme(std::string_view name);
+
+/// The registry default: the paper's CWSP protocol.
+[[nodiscard]] const ProtectionScheme& default_scheme();
+
+/// "cwsp, tmr, loco" — for error messages.
+[[nodiscard]] std::string known_scheme_names();
+
+namespace detail {
+// Singleton accessors defined in the per-scheme translation units; the
+// registry in scheme.cpp is built from these.
+const ProtectionScheme& cwsp_scheme();
+const ProtectionScheme& tmr_scheme();
+const ProtectionScheme& loco_scheme();
+}  // namespace detail
+
+}  // namespace cwsp::scheme

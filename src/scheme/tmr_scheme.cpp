@@ -1,0 +1,104 @@
+// Spatial TMR as a registered scheme: three copies of the combinational
+// logic and flip-flops feeding a per-FF majority voter
+// (baselines::harden_spatial_tmr supplies the calibrated area/delay
+// model). ProtectionSite mapping for kProtectionPath strikes:
+// kEqChecker ≙ the voter output (the single unreplicated node); every
+// other site ≙ circuitry inside one replica, which the other two
+// out-vote.
+
+#include <sstream>
+
+#include "baselines/tmr.hpp"
+#include "scheme/scheme.hpp"
+
+namespace cwsp::scheme {
+namespace {
+
+class TmrScheme final : public ProtectionScheme {
+ public:
+  const char* name() const override { return "tmr"; }
+  const char* description() const override {
+    return "Spatial triple-modular redundancy with per-FF majority "
+           "voters (baseline)";
+  }
+
+  Characterization characterize(
+      const Netlist& netlist,
+      const core::ProtectionParams& /*params*/) const override {
+    const baselines::BaselineReport report =
+        baselines::harden_spatial_tmr(netlist);
+    Characterization c;
+    c.scheme = name();
+    c.area_regular = report.area_regular;
+    c.area_hardened = report.area_hardened;
+    c.period_regular = report.period_regular;
+    c.period_hardened = report.period_hardened;
+    c.max_glitch = report.max_glitch;
+    c.feasible = report.feasible;
+    return c;
+  }
+
+  /// TMR never squashes a cycle: the voter masks inline with zero
+  /// recovery protocol.
+  bool squash_at_strike(const Netlist& /*netlist*/,
+                        const core::ProtectionParams& /*params*/,
+                        const set::PlannedStrike& /*planned*/) const override {
+    return false;
+  }
+
+  /// A strike inside one replica's circuitry is out-voted. The voter
+  /// output itself is the single point of failure: a glitch there that
+  /// is still present at the capture edge is latched identically into
+  /// all three downstream replicas — an escape the voter cannot see.
+  campaign::StrikeResult resolve_protection_path(
+      const set::PlannedStrike& p, std::size_t cycles_per_run,
+      Picoseconds clock_period) const override {
+    campaign::StrikeResult r;
+    r.index = p.index;
+    r.status = campaign::StrikeStatus::kCovered;
+    if (p.cycle < cycles_per_run &&
+        p.site == set::ProtectionSite::kEqChecker) {
+      const double t1 = p.strike.start.value() + p.strike.width.value();
+      if (t1 >= clock_period.value()) {
+        r.status = campaign::StrikeStatus::kEscape;
+        r.diagnostic =
+            "voter-output glitch latched into all replicas at the capture "
+            "edge";
+      }
+    }
+    return r;
+  }
+
+  /// A single-node functional strike corrupts at most one replica —
+  /// masked by the majority at every width (max_glitch is D_max), with
+  /// no bubble and no recompute. Only a charge-sharing double strike
+  /// (node2 set) can out-vote the majority: it escapes when the
+  /// corrupted state becomes architecturally visible.
+  campaign::StrikeResult resolve_functional(
+      const set::PlannedStrike& p, const sim::LaneOutcome& o,
+      bool /*squashed*/, std::size_t /*cycles_per_run*/,
+      const core::ProtectionParams& /*params*/) const override {
+    campaign::StrikeResult r;
+    r.index = p.index;
+    r.status = campaign::StrikeStatus::kCovered;
+    r.unprotected_failed = o.latched_diff || o.aperture;
+    if (!o.fired || !o.latched_diff) return r;
+    if (p.node2.valid() && o.silent_corruptions > 0) {
+      r.status = campaign::StrikeStatus::kEscape;
+      std::ostringstream os;
+      os << "charge-sharing pair defeated the majority voter: "
+         << o.silent_corruptions << " corrupted commit(s)";
+      r.diagnostic = os.str();
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+const ProtectionScheme& detail::tmr_scheme() {
+  static const TmrScheme scheme;
+  return scheme;
+}
+
+}  // namespace cwsp::scheme

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "analysis/certify.hpp"
 #include "analysis/certify_rules.hpp"
@@ -18,6 +19,7 @@
 #include "lint/baseline.hpp"
 #include "netlist/analysis.hpp"
 #include "netlist/bench_parser.hpp"
+#include "scheme/compare.hpp"
 #include "set/strike_plan.hpp"
 
 namespace cwsp::service {
@@ -28,6 +30,25 @@ void fnv_mix(std::uint64_t& h, std::uint64_t v) {
     h ^= (v >> (8 * byte)) & 0xffULL;
     h *= 1099511628211ULL;
   }
+}
+
+void fnv_mix_str(std::uint64_t& h, std::string_view s) {
+  fnv_mix(h, s.size());
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+}
+
+// A spec whose scheme/model lists denote the registry defaults must
+// fingerprint identically to a pre-registry spec (empty lists), so
+// cached/coalesced identities survive the upgrade.
+bool is_default_schemes(const std::vector<std::string>& names) {
+  return names.empty() || (names.size() == 1 && names.front() == "cwsp");
+}
+bool is_default_models(const std::vector<std::string>& names) {
+  return names.empty() ||
+         (names.size() == 1 && names.front() == "single-set");
 }
 
 std::string num(double v) {
@@ -62,9 +83,56 @@ std::uint64_t campaign_spec_fingerprint(const CampaignSpec& spec,
   fnv_mix(h, spec.shard_index);
   fnv_mix(h, spec.shard_total);
   fnv_mix(h, spec.json ? 1 : 0);
+  if (!is_default_schemes(spec.schemes)) {
+    fnv_mix(h, 0x5c4e);  // field tag: non-default scheme list
+    fnv_mix(h, spec.schemes.size());
+    for (const std::string& name : spec.schemes) fnv_mix_str(h, name);
+  }
+  if (!is_default_models(spec.fault_models)) {
+    fnv_mix(h, 0xfa07);  // field tag: non-default fault-model list
+    fnv_mix(h, spec.fault_models.size());
+    for (const std::string& name : spec.fault_models) fnv_mix_str(h, name);
+  }
   // jobs is deliberately excluded: reports are byte-identical for any
   // worker count, so requests differing only in jobs coalesce.
   return h;
+}
+
+std::vector<CampaignCell> campaign_cells(const CampaignSpec& spec) {
+  std::vector<const scheme::ProtectionScheme*> schemes;
+  if (spec.schemes.empty()) {
+    schemes.push_back(&scheme::default_scheme());
+  } else {
+    for (const std::string& name : spec.schemes) {
+      const scheme::ProtectionScheme* s = scheme::find_scheme(name);
+      CWSP_REQUIRE_MSG(s != nullptr, "unknown scheme '"
+                                         << name << "' (known: "
+                                         << scheme::known_scheme_names()
+                                         << ")");
+      schemes.push_back(s);
+    }
+  }
+  std::vector<const scheme::FaultModel*> models;
+  if (spec.fault_models.empty()) {
+    models.push_back(&scheme::default_fault_model());
+  } else {
+    for (const std::string& name : spec.fault_models) {
+      const scheme::FaultModel* m = scheme::find_fault_model(name);
+      CWSP_REQUIRE_MSG(m != nullptr,
+                       "unknown fault model '"
+                           << name << "' (known: "
+                           << scheme::known_fault_model_names() << ")");
+      models.push_back(m);
+    }
+  }
+  std::vector<CampaignCell> cells;
+  cells.reserve(schemes.size() * models.size());
+  for (const scheme::ProtectionScheme* s : schemes) {
+    for (const scheme::FaultModel* m : models) {
+      cells.push_back(CampaignCell{s, m});
+    }
+  }
+  return cells;
 }
 
 set::StrikePlanOptions campaign_plan_options(
@@ -85,9 +153,12 @@ set::StrikePlanOptions campaign_plan_options(
   return plan_options;
 }
 
-CampaignOutcome run_campaign(const DesignSession& session,
-                             const CampaignSpec& spec,
-                             const sim::CancelToken* cancel) {
+namespace {
+
+CampaignOutcome run_campaign_cell(const DesignSession& session,
+                                  const CampaignSpec& spec,
+                                  const CampaignCell& cell,
+                                  const sim::CancelToken* cancel) {
   const Netlist& netlist = *session.netlist;
   CWSP_REQUIRE_MSG(netlist.num_flip_flops() > 0,
                    "campaign requires a sequential design");
@@ -109,9 +180,11 @@ CampaignOutcome run_campaign(const DesignSession& session,
   engine_options.stop_after = spec.stop_after;
   engine_options.use_legacy_kernel = spec.use_legacy_kernel;
   engine_options.cancel = cancel;
+  engine_options.scheme = cell.scheme;
+  engine_options.fault_model = cell.model->name();
 
   set::StrikePlan plan =
-      set::build_strike_plan(netlist, plan_options, engine_options.seed);
+      cell.model->build_plan(netlist, plan_options, engine_options.seed);
   if (spec.shard_total > 0) {
     CWSP_REQUIRE_MSG(spec.shard_index >= 1 &&
                          spec.shard_index <= spec.shard_total,
@@ -134,6 +207,89 @@ CampaignOutcome run_campaign(const DesignSession& session,
   return outcome;
 }
 
+// Worst-first ordering for a sweep's overall status.
+int status_rank(campaign::CampaignStatus status) {
+  switch (status) {
+    case campaign::CampaignStatus::kInterrupted: return 3;
+    case campaign::CampaignStatus::kInvalid: return 2;
+    case campaign::CampaignStatus::kEscapes: return 1;
+    case campaign::CampaignStatus::kOk: return 0;
+  }
+  return 0;
+}
+
+std::string_view trim_trailing_newline(const std::string& s) {
+  std::string_view v = s;
+  while (!v.empty() && (v.back() == '\n' || v.back() == '\r')) {
+    v.remove_suffix(1);
+  }
+  return v;
+}
+
+}  // namespace
+
+CampaignOutcome run_campaign(const DesignSession& session,
+                             const CampaignSpec& spec,
+                             const sim::CancelToken* cancel) {
+  const std::vector<CampaignCell> cells = campaign_cells(spec);
+  if (cells.size() == 1) {
+    return run_campaign_cell(session, spec, cells.front(), cancel);
+  }
+
+  // Cross-product sweep: one campaign per (scheme, model) cell, each
+  // byte-identical to the same cell requested alone. Options that name
+  // client-local state or cut the plan apply to a single campaign only.
+  CWSP_REQUIRE_MSG(spec.journal_path.empty() && !spec.resume &&
+                       !spec.minimize_escapes && spec.artifact_dir.empty() &&
+                       spec.stop_after == 0,
+                   "journal/resume/minimize/artifact/stop-after options "
+                   "apply to a single campaign, not a scheme sweep");
+  CWSP_REQUIRE_MSG(spec.shard_total == 0,
+                   "sharding applies to a single campaign, not a scheme "
+                   "sweep");
+
+  const Netlist& netlist = *session.netlist;
+  CampaignOutcome outcome;
+  outcome.status = campaign::CampaignStatus::kOk;
+  std::ostringstream os;
+  if (spec.json) {
+    os << "{\n";
+    os << "  \"schema\": \"cwsp-campaign-sweep-v1\",\n";
+    os << "  \"design\": \"" << netlist.name() << "\",\n";
+  }
+  std::ostringstream cells_os;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CampaignCell& cell = cells[i];
+    const CampaignOutcome one =
+        run_campaign_cell(session, spec, cell, cancel);
+    if (status_rank(one.status) > status_rank(outcome.status)) {
+      outcome.status = one.status;
+    }
+    if (spec.json) {
+      if (i > 0) cells_os << ",\n";
+      cells_os << "    {\"scheme\": \"" << cell.scheme->name()
+               << "\", \"fault_model\": \"" << cell.model->name()
+               << "\", \"status\": \"" << campaign::to_string(one.status)
+               << "\",\n     \"report\": "
+               << trim_trailing_newline(one.output) << "}";
+    } else {
+      if (i > 0) cells_os << "\n";
+      cells_os << "=== scheme=" << cell.scheme->name()
+               << " fault-model=" << cell.model->name() << " ===\n"
+               << one.output;
+    }
+  }
+  if (spec.json) {
+    os << "  \"status\": \"" << campaign::to_string(outcome.status)
+       << "\",\n";
+    os << "  \"cells\": [\n" << cells_os.str() << "\n  ]\n}\n";
+  } else {
+    os << cells_os.str();
+  }
+  outcome.output = os.str();
+  return outcome;
+}
+
 ShardExecOutcome run_shard_exec(const DesignSession& session,
                                 const CampaignSpec& spec,
                                 std::optional<std::uint64_t> expect_fp,
@@ -149,10 +305,15 @@ ShardExecOutcome run_shard_exec(const DesignSession& session,
   // breaks the byte-identity contract the fabric is built on.
   CWSP_REQUIRE_MSG(spec.timeout_ms == 0.0,
                    "shard_exec does not accept timeout_ms");
+  const std::vector<CampaignCell> cells = campaign_cells(spec);
+  CWSP_REQUIRE_MSG(cells.size() == 1,
+                   "shard_exec executes exactly one (scheme, fault-model) "
+                   "cell — the coordinator fans sweeps out cell by cell");
+  const CampaignCell& cell = cells.front();
   const auto params = core::ProtectionParams::q100();
   const Picoseconds period = session.period_q100;
 
-  const set::StrikePlan full_plan = set::build_strike_plan(
+  const set::StrikePlan full_plan = cell.model->build_plan(
       netlist, campaign_plan_options(spec, params, period), spec.seed);
   const set::StrikePlan shard =
       set::shard_plan(full_plan, spec.shard_total)[spec.shard_index - 1];
@@ -172,6 +333,8 @@ ShardExecOutcome run_shard_exec(const DesignSession& session,
   engine_options.jobs = std::max<std::size_t>(1, spec.jobs);
   engine_options.use_legacy_kernel = spec.use_legacy_kernel;
   engine_options.cancel = cancel;
+  engine_options.scheme = cell.scheme;
+  engine_options.fault_model = cell.model->name();
 
   const campaign::CampaignEngine engine(netlist, params, period,
                                         session.kernel_context);
@@ -284,12 +447,23 @@ std::uint64_t certify_spec_fingerprint(const CertifySpec& spec,
   fnv_mix(h, std::bit_cast<std::uint64_t>(spec.envelope_ps));
   fnv_mix(h, spec.seed);
   fnv_mix(h, spec.json ? 1 : 0);
+  if (!spec.scheme.empty() && spec.scheme != "cwsp") {
+    fnv_mix(h, 0x5c4f);  // field tag: non-default certify scheme
+    fnv_mix_str(h, spec.scheme);
+  }
   return h;
 }
 
 CertifyOutcome run_certify(const DesignSession& session,
                            const CertifySpec& spec) {
   const Netlist& netlist = *session.netlist;
+  const scheme::ProtectionScheme* sch =
+      spec.scheme.empty() ? &scheme::default_scheme()
+                          : scheme::find_scheme(spec.scheme);
+  CWSP_REQUIRE_MSG(sch != nullptr, "unknown scheme '"
+                                       << spec.scheme << "' (known: "
+                                       << scheme::known_scheme_names()
+                                       << ")");
   core::ProtectionParams params;
   if (spec.delta_ps.has_value()) {
     params = core::ProtectionParams::for_glitch_width(
@@ -303,6 +477,38 @@ CertifyOutcome run_certify(const DesignSession& session,
   const Picoseconds period = std::max(
       core::hardened_clock_period(session.sta.dmax, netlist.library()),
       core::min_clock_period_for_delta(params));
+
+  if (!sch->certifiable()) {
+    // The static certifier's window-dataflow analysis expresses only the
+    // CWSP protection predicate. Every site degrades to `unknown` — the
+    // honest answer: a sampling campaign still has to cover them.
+    const scheme::Characterization ch = sch->characterize(netlist, params);
+    analysis::CertifyResult result;
+    result.design = netlist.name();
+    result.params = params;
+    result.clock_period = period;
+    result.envelope_ps = spec.envelope_ps > 0.0 ? spec.envelope_ps
+                                                : ch.max_glitch.value();
+    result.physical_envelope_ps = ch.max_glitch.value();
+    result.seed = spec.seed;
+    const std::string note =
+        std::string("protection predicate of scheme '") + sch->name() +
+        "' is not expressible by the static certifier";
+    for (NetId site : set::strike_sites(netlist)) {
+      analysis::SiteCertificate cert;
+      cert.site = site;
+      cert.verdict = analysis::SiteVerdict::kUnknown;
+      cert.note = note;
+      result.sites.push_back(std::move(cert));
+    }
+    CertifyOutcome outcome;
+    outcome.escapes = 0;
+    outcome.unknowns = result.sites.size();
+    outcome.output =
+        spec.json ? analysis::format_certify_json(result, netlist) + "\n"
+                  : analysis::format_certify_text(result, netlist);
+    return outcome;
+  }
 
   analysis::CertifyOptions options;
   options.envelope_ps = spec.envelope_ps;
@@ -321,9 +527,61 @@ CertifyOutcome run_certify(const DesignSession& session,
   return outcome;
 }
 
+std::uint64_t compare_spec_fingerprint(const CompareSpec& spec,
+                                       std::uint64_t design_key) {
+  std::uint64_t h = 1469598103934665603ULL;
+  fnv_mix(h, design_key);
+  fnv_mix(h, 0xc04a);  // op tag: compare
+  fnv_mix(h, spec.runs);
+  fnv_mix(h, spec.cycles);
+  fnv_mix(h, std::bit_cast<std::uint64_t>(spec.width_ps));
+  fnv_mix(h, spec.seed);
+  fnv_mix(h, spec.schemes.size());
+  for (const std::string& name : spec.schemes) fnv_mix_str(h, name);
+  fnv_mix(h, spec.fault_models.size());
+  for (const std::string& name : spec.fault_models) fnv_mix_str(h, name);
+  fnv_mix(h, spec.json ? 1 : 0);
+  // jobs excluded for the same reason as campaign specs.
+  return h;
+}
+
+CompareOutcome run_compare(const DesignSession& session,
+                           const CompareSpec& spec) {
+  const Netlist& netlist = *session.netlist;
+  const auto params = core::ProtectionParams::q100();
+
+  scheme::CompareOptions options;
+  options.runs = spec.runs;
+  options.cycles = spec.cycles;
+  options.glitch_width = Picoseconds(spec.width_ps);
+  options.seed = spec.seed;
+  options.jobs = std::max<std::size_t>(1, spec.jobs);
+  options.schemes = spec.schemes;
+  options.fault_models = spec.fault_models;
+
+  const scheme::CompareReport report = scheme::run_compare(
+      netlist, params, session.period_q100, session.kernel_context,
+      options);
+
+  CompareOutcome outcome;
+  for (const scheme::CompareReport::CoverageRow& row : report.coverage) {
+    outcome.unexpected_escapes += row.unexpected_escapes;
+  }
+  outcome.output = spec.json ? scheme::format_compare_json(report)
+                             : scheme::format_compare_text(report);
+  return outcome;
+}
+
 LintOutcome run_lint(const LintSpec& spec, const CellLibrary& library) {
+  const bool cwsp_lint = spec.scheme.empty() || spec.scheme == "cwsp";
+  if (!cwsp_lint) {
+    CWSP_REQUIRE_MSG(scheme::find_scheme(spec.scheme) != nullptr,
+                     "unknown scheme '" << spec.scheme << "' (known: "
+                                        << scheme::known_scheme_names()
+                                        << ")");
+  }
   lint::LintOptions options;
-  if (spec.hardened) {
+  if (spec.hardened && cwsp_lint) {
     options.params = lint_params(spec);
     options.clock_skew = Picoseconds(spec.skew_ps);
     if (spec.period_ps.has_value()) {
@@ -339,8 +597,10 @@ LintOutcome run_lint(const LintSpec& spec, const CellLibrary& library) {
       spec.path.empty() ? spec.name : spec.path;
 
   // The certify rules live in the analysis library; a registry carrying
-  // them is only needed (and only paid for) when the spec asks.
-  const lint::RuleRegistry& registry = spec.certify
+  // them is only needed (and only paid for) when the spec asks. The
+  // certify rule family is CWSP-only for the same reason as the
+  // structural invariants above.
+  const lint::RuleRegistry& registry = (spec.certify && cwsp_lint)
                                            ? analysis::certify_registry()
                                            : lint::default_registry();
 
@@ -365,10 +625,23 @@ LintOutcome run_lint(const LintSpec& spec, const CellLibrary& library) {
     report = lint::run_lint(netlist, options, registry);
     lint::add_parse_issue_diagnostics(issues, report);
 
+    // Hardened checks against a non-CWSP scheme: the structural
+    // invariants below encode the CWSP protection topology, so they are
+    // skipped — loudly, never as a silent pass.
+    if (spec.hardened && !cwsp_lint) {
+      lint::Diagnostic d;
+      d.rule_id = "scheme-unsupported";
+      d.severity = lint::Severity::kWarning;
+      d.message = "hardened structural checks encode the CWSP topology; "
+                  "skipped for scheme '" +
+                  spec.scheme + "' (coverage unverified by lint)";
+      report.add(std::move(d));
+    }
+
     // Under hardened checks, additionally elaborate the full protected
     // system and check its per-FF protection structure (self-check of
     // the hardening transform's output).
-    if (spec.hardened && netlist.num_flip_flops() > 0 &&
+    if (spec.hardened && cwsp_lint && netlist.num_flip_flops() > 0 &&
         !report.fails_at(lint::Severity::kError)) {
       const auto system = core::elaborate_hardened_system(netlist);
       lint::LintOptions system_options;

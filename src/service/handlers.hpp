@@ -16,6 +16,8 @@
 
 #include "campaign/report.hpp"
 #include "lint/lint.hpp"
+#include "scheme/fault_model.hpp"
+#include "scheme/scheme.hpp"
 #include "service/session.hpp"
 #include "set/strike_plan.hpp"
 #include "sim/cancel.hpp"
@@ -50,6 +52,12 @@ struct CampaignSpec {
   /// server zeroes their batch key) and forwarded to the fabric so
   /// shard dispatches carry the remaining budget.
   double deadline_ms = 0.0;
+  /// Protection schemes / fault models to campaign (registry names).
+  /// Empty means the defaults (cwsp, single-set). More than one name in
+  /// either list turns the request into a cross-product sweep whose
+  /// output wraps one report per (scheme, model) cell.
+  std::vector<std::string> schemes;
+  std::vector<std::string> fault_models;
 
   // One-shot-only extras (never set by the server; a request carrying
   // them is rejected because they name local files of the *client*).
@@ -64,6 +72,18 @@ struct CampaignSpec {
 /// key — the coalescing/result-cache identity of a campaign request.
 [[nodiscard]] std::uint64_t campaign_spec_fingerprint(
     const CampaignSpec& spec, std::uint64_t design_key);
+
+/// One (scheme, fault model) combination a campaign spec denotes.
+struct CampaignCell {
+  const scheme::ProtectionScheme* scheme = nullptr;
+  const scheme::FaultModel* model = nullptr;
+};
+
+/// Resolves `spec.schemes` × `spec.fault_models` against the registries,
+/// in request order (empty lists mean the defaults). Throws cwsp::Error
+/// naming the known entries for an unknown name.
+[[nodiscard]] std::vector<CampaignCell> campaign_cells(
+    const CampaignSpec& spec);
 
 struct CampaignOutcome {
   campaign::CampaignStatus status = campaign::CampaignStatus::kInvalid;
@@ -152,6 +172,10 @@ struct CertifySpec {
   double envelope_ps = 0.0;
   std::uint64_t seed = 1;
   bool json = true;
+  /// Protection scheme whose predicate the certificate is about (empty =
+  /// cwsp). A scheme the static certifier cannot express degrades every
+  /// site to `unknown` — never a silent pass.
+  std::string scheme;
 
   // One-shot-only extra (client-local output directory; rejected by the
   // server for the same reason as campaign artifact dirs).
@@ -172,6 +196,35 @@ struct CertifyOutcome {
 /// produce byte-identical reports.
 [[nodiscard]] CertifyOutcome run_certify(const DesignSession& session,
                                          const CertifySpec& spec);
+
+// ---- compare --------------------------------------------------------
+
+struct CompareSpec {
+  std::size_t runs = 50;
+  std::size_t cycles = 16;
+  double width_ps = 400.0;
+  std::uint64_t seed = 1;
+  std::size_t jobs = 1;
+  /// Scheme / fault-model names to compare; empty = every registered one.
+  std::vector<std::string> schemes;
+  std::vector<std::string> fault_models;
+  bool json = true;
+};
+
+[[nodiscard]] std::uint64_t compare_spec_fingerprint(
+    const CompareSpec& spec, std::uint64_t design_key);
+
+struct CompareOutcome {
+  /// Sum of unexpected escapes across every (scheme, model) cell — the
+  /// CLI's exit-status signal.
+  std::size_t unexpected_escapes = 0;
+  std::string output;
+};
+
+/// Comparative Tables 1–4 across schemes × fault models — the single
+/// code path behind `cwsp_tool compare` and the service `compare` op.
+[[nodiscard]] CompareOutcome run_compare(const DesignSession& session,
+                                         const CompareSpec& spec);
 
 // ---- lint -----------------------------------------------------------
 
@@ -196,6 +249,10 @@ struct LintSpec {
   bool certify = false;
   double certify_envelope_ps = 0.0;
   std::uint64_t certify_seed = 1;
+  /// Protection scheme the hardened checks target (empty = cwsp). A
+  /// non-CWSP scheme skips the CWSP structural invariants and reports a
+  /// warning diagnostic instead — never a silent pass.
+  std::string scheme;
 
   // One-shot-only extra: baseline file (client-local). Absent file →
   // record the current diagnostics; present → suppress matches and fail

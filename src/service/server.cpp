@@ -102,6 +102,20 @@ void resolve_design(const json::Value& request, Job& job,
   throw ParseError("request needs 'design_path' or inline 'design' text");
 }
 
+/// Splits a comma-separated name list ("tmr,loco" → {"tmr", "loco"});
+/// empty items are dropped, so "" yields the empty (default) list.
+std::vector<std::string> split_name_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    if (comma > start) out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
 CampaignSpec parse_campaign_spec(const json::Value& request) {
   for (const char* forbidden :
        {"journal", "resume", "minimize", "artifacts", "stop_after"}) {
@@ -131,6 +145,8 @@ CampaignSpec parse_campaign_spec(const json::Value& request) {
   spec.distribute = request.boolean("distribute", false);
   spec.deadline_ms =
       finite_field(request, "deadline_ms", 0.0, 0.0, kMaxTimeoutMs);
+  spec.schemes = split_name_list(request.text("scheme", ""));
+  spec.fault_models = split_name_list(request.text("fault_model", ""));
   spec.json = wants_json(request);
   return spec;
 }
@@ -199,6 +215,22 @@ CertifySpec parse_certify_spec(const json::Value& request) {
   spec.skew_ps = finite_field(request, "skew", 0.0, 0.0, kMaxPs);
   spec.envelope_ps = finite_field(request, "env_width", 0.0, 0.0, kMaxPs);
   spec.seed = uint_field(request, "seed", 1, kMaxSeed);
+  spec.scheme = request.text("scheme", "");
+  spec.json = wants_json(request);
+  return spec;
+}
+
+CompareSpec parse_compare_spec(const json::Value& request) {
+  CompareSpec spec;
+  spec.runs = static_cast<std::size_t>(uint_field(request, "runs", 50, kMaxRuns));
+  spec.cycles =
+      static_cast<std::size_t>(uint_field(request, "cycles", 16, kMaxCycles));
+  spec.width_ps = finite_field(request, "width", 400.0, 0.0, kMaxPs);
+  spec.seed = uint_field(request, "seed", 1, kMaxSeed);
+  spec.jobs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(uint_field(request, "jobs", 1, kMaxJobs)));
+  spec.schemes = split_name_list(request.text("scheme", ""));
+  spec.fault_models = split_name_list(request.text("fault_model", ""));
   spec.json = wants_json(request);
   return spec;
 }
@@ -246,6 +278,7 @@ LintSpec parse_lint_spec(const Job& job, const std::string& design_path,
   spec.certify_envelope_ps =
       finite_field(request, "env_width", 0.0, 0.0, kMaxPs);
   spec.certify_seed = uint_field(request, "certify_seed", 1, kMaxSeed);
+  spec.scheme = request.text("scheme", "");
   return spec;
 }
 
@@ -676,8 +709,8 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
 
     // ---- work ops: admission + enqueue ------------------------------
     if (op != "campaign" && op != "lint" && op != "sta" &&
-        op != "coverage" && op != "certify" && op != "sleep" &&
-        op != "shard_exec") {
+        op != "coverage" && op != "certify" && op != "compare" &&
+        op != "sleep" && op != "shard_exec") {
       throw ParseError("unknown op '" + op + "'");
     }
 
@@ -717,6 +750,9 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
       } else if (op == "certify") {
         job.batch_key =
             certify_spec_fingerprint(parse_certify_spec(request), dkey);
+      } else if (op == "compare") {
+        job.batch_key =
+            compare_spec_fingerprint(parse_compare_spec(request), dkey);
       } else {
         parse_lint_spec(job, job.design_path, request);  // validate only
       }
@@ -996,6 +1032,13 @@ std::string Server::execute_job(const Job& job, sim::CancelToken* cancel) {
       return ok_tail(job.op, spec.json ? "json" : "text", outcome.output,
                      ",\"escapes\":" + std::to_string(outcome.escapes) +
                          ",\"unknowns\":" + std::to_string(outcome.unknowns));
+    }
+    if (job.op == "compare") {
+      const CompareSpec spec = parse_compare_spec(job.request);
+      const CompareOutcome outcome = run_compare(*session, spec);
+      return ok_tail(job.op, spec.json ? "json" : "text", outcome.output,
+                     ",\"unexpected_escapes\":" +
+                         std::to_string(outcome.unexpected_escapes));
     }
     if (job.op == "shard_exec") {
       const CampaignSpec spec = parse_campaign_spec(job.request);

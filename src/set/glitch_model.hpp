@@ -29,6 +29,10 @@ class GlitchModel {
 
   [[nodiscard]] const spice::SpiceTech& tech() const { return tech_; }
 
+  /// Upper edge of the modelled charge grid; charge_for_width targets
+  /// wider than glitch_width(kMaxChargeFc) are outside the model.
+  static constexpr double kMaxChargeFc = 400.0;
+
  private:
   [[nodiscard]] double exact_width(double q_fc) const;
   [[nodiscard]] double cached_width(double q_fc) const;
@@ -38,7 +42,6 @@ class GlitchModel {
   mutable std::map<double, double> cache_;
 
   static constexpr double kGridFc = 10.0;
-  static constexpr double kMaxChargeFc = 400.0;
 };
 
 }  // namespace cwsp::set

@@ -200,6 +200,12 @@ std::uint64_t plan_fingerprint(const StrikePlan& plan) {
                               : static_cast<std::size_t>(-1));
     mix(std::bit_cast<std::uint64_t>(p.strike.start.value()));
     mix(std::bit_cast<std::uint64_t>(p.strike.width.value()));
+    if (p.node2.valid()) {
+      // Multi-node extension, mixed only when present: single-node plans
+      // keep their pre-registry fingerprints (journals stay resumable).
+      mix(0x2e7a);
+      mix(p.node2.index());
+    }
   }
   return h;
 }

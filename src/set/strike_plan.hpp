@@ -87,6 +87,11 @@ struct PlannedStrike {
   /// Protected FF whose circuitry is hit (kProtectionPath only).
   std::size_t ff_index = 0;
   Strike strike;
+  /// Second simultaneous strike node of a charge-sharing double SET
+  /// (multi-node fault models); shares `strike`'s start/width. Invalid
+  /// for single-node strikes, which keeps single-node plan fingerprints
+  /// unchanged.
+  NetId node2;
 };
 
 struct StrikePlan {

@@ -301,11 +301,33 @@ void StrikeLaneSim::run_batch(const std::vector<LaneScenario>& batch,
           event_.resolve_strike(lane_golden_, clock_period_, batch[l].strike);
       PendingDivergence div;
       div.lane = l;
-      for (std::size_t f = 0; f < nff; ++f) {
-        if (cr.latched_d[f] != cr.golden_d[f]) {
-          div.flipped_ffs.emplace_back(f, cr.latched_d[f]);
+      if (!batch[l].node2.valid()) {
+        for (std::size_t f = 0; f < nff; ++f) {
+          if (cr.latched_d[f] != cr.golden_d[f]) {
+            div.flipped_ffs.emplace_back(f, cr.latched_d[f]);
+          }
+          if (cr.aperture_violation[f]) out[l].aperture = true;
         }
-        if (cr.aperture_violation[f]) out[l].aperture = true;
+      } else {
+        // Charge-sharing double strike: resolve each node's SET against
+        // the same settled cycle and superpose — a capture both strikes
+        // flip re-latches the golden value (symmetric difference), and
+        // aperture violations accumulate.
+        ++timed_resolutions_;
+        const set::Strike second{batch[l].node2, batch[l].strike.start,
+                                 batch[l].strike.width};
+        const CycleResult cr2 =
+            event_.resolve_strike(lane_golden_, clock_period_, second);
+        for (std::size_t f = 0; f < nff; ++f) {
+          const bool flip1 = cr.latched_d[f] != cr.golden_d[f];
+          const bool flip2 = cr2.latched_d[f] != cr2.golden_d[f];
+          if (flip1 != flip2) {
+            div.flipped_ffs.emplace_back(f, !static_cast<bool>(cr.golden_d[f]));
+          }
+          if (cr.aperture_violation[f] || cr2.aperture_violation[f]) {
+            out[l].aperture = true;
+          }
+        }
       }
       out[l].latched_diff = !div.flipped_ffs.empty();
       // Only a non-squashed capture beyond the CWSP envelope survives

@@ -138,6 +138,9 @@ class WideLogicSim {
 /// One functional-strike scenario occupying one lane of a batch.
 struct LaneScenario {
   set::Strike strike;
+  /// Second simultaneous strike node (charge-sharing double-SET fault
+  /// models); shares `strike`'s start/width. Invalid = single-node.
+  NetId node2;
   /// Cycle (within `inputs`) the strike fires on; >= inputs->size()
   /// means the strike never fires.
   std::size_t cycle = 0;

@@ -133,6 +133,7 @@ int cmd_lint(const Args& args, const CellLibrary& lib) {
   spec.certify_envelope_ps = args.number("env-width", 0.0);
   spec.certify_seed =
       static_cast<std::uint64_t>(args.number("certify-seed", 1));
+  spec.scheme = args.text("scheme", "");
   spec.baseline_path = args.text("baseline", "");
 
   const service::LintOutcome outcome = service::run_lint(spec, lib);
@@ -240,6 +241,8 @@ int cmd_campaign(const Args& args, const CellLibrary& lib) {
   spec.stop_after =
       static_cast<std::size_t>(args.number("stop-after", 0));
   spec.deadline_ms = args.number("deadline-ms", 0.0);
+  spec.schemes = split_list(args.text("scheme", ""));
+  spec.fault_models = split_list(args.text("fault-model", ""));
   if (args.has("shard")) {
     const std::string shard = args.text("shard", "");
     const auto slash = shard.find('/');
@@ -332,6 +335,7 @@ int cmd_certify(const Args& args, const CellLibrary& lib) {
   spec.envelope_ps = args.number("env-width", 0.0);
   spec.seed = static_cast<std::uint64_t>(args.number("seed", 1));
   spec.json = args.has("json");
+  spec.scheme = args.text("scheme", "");
   spec.artifact_dir = args.text("artifacts", "");
 
   const service::CertifyOutcome outcome =
@@ -340,6 +344,29 @@ int cmd_certify(const Args& args, const CellLibrary& lib) {
   if (outcome.escapes > 0) return 1;
   if (args.has("strict") && outcome.unknowns > 0) return 1;
   return 0;
+}
+
+int cmd_compare(const Args& args, const CellLibrary& lib) {
+  if (args.positional.empty()) return usage();
+  const auto session = service::load_design_session(args.positional[0], lib);
+
+  service::CompareSpec spec;
+  spec.runs = static_cast<std::size_t>(args.number("runs", 50));
+  spec.cycles = static_cast<std::size_t>(args.number("cycles", 16));
+  spec.width_ps = args.number("width", 400.0);
+  spec.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  spec.jobs =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   args.number("jobs", 1)));
+  spec.schemes = split_list(args.text("scheme", ""));
+  spec.fault_models = split_list(args.text("fault-model", ""));
+  spec.json = args.has("json");
+
+  const service::CompareOutcome outcome =
+      service::run_compare(*session, spec);
+  maybe_dump_metrics(args);
+  std::cout << outcome.output;
+  return outcome.unexpected_escapes > 0 ? 1 : 0;
 }
 
 // The resident server, reachable by the signal handler (signal() only
@@ -697,6 +724,9 @@ const std::vector<Subcommand>& subcommands() {
        "  --env-width <ps> / --certify-seed <n>  certify configuration\n"
        "  --baseline <path> absent: record current findings there;\n"
        "                    present: fail only on findings not in it\n"
+       "  --scheme <name>   target scheme under --hardened (default cwsp);\n"
+       "                    non-CWSP schemes skip the CWSP structural\n"
+       "                    invariants and warn instead\n"
        "  --q150 / --delta <ps> / --skew <ps> / --period <ps>\n"
        "                    protection configuration under --hardened\n",
        cmd_lint},
@@ -714,6 +744,11 @@ const std::vector<Subcommand>& subcommands() {
        "  --stop-after <n>  stop after n fresh strikes (exit 3)\n"
        "  --deadline-ms <v> wall-clock budget; an exceeded budget reports\n"
        "                    kInterrupted (exit 3), local or distributed\n"
+       "  --scheme <a,b,...>      protection scheme(s) to campaign\n"
+       "                    (cwsp, tmr, loco; default cwsp); more than one\n"
+       "                    name sweeps the cross product\n"
+       "  --fault-model <a,b,...> strike generator(s) (single-set,\n"
+       "                    double-set, protection-seu; default single-set)\n"
        "  --json            machine-readable report (docs/campaign.md)\n"
        "  distributed fabric (docs/fabric.md; report byte-identical):\n"
        "  --workers <a,b,...>    worker endpoints (host:port or socket)\n"
@@ -742,8 +777,19 @@ const std::vector<Subcommand>& subcommands() {
        "  --artifacts <dir> write escape repro .bench + .strike files there\n"
        "  --strict          unknown verdicts also exit 1 (default: only\n"
        "                    proved escapes do)\n"
+       "  --scheme <name>   scheme whose predicate is certified (default\n"
+       "                    cwsp); non-certifiable schemes degrade every\n"
+       "                    site to `unknown`, never a silent pass\n"
        "  --json            machine-readable report (docs/certify.md)\n",
        cmd_certify},
+      {"compare", "<design.bench>",
+       "comparative Tables 1-4 across schemes x fault models",
+       "  --runs <n> --cycles <n> --width <ps> --seed <n> --jobs <n>\n"
+       "  --scheme <a,b,...>      schemes to compare (default: all)\n"
+       "  --fault-model <a,b,...> fault models to compare (default: all)\n"
+       "  --json            machine-readable report (cwsp-compare-v1,\n"
+       "                    docs/schemes.md)\n",
+       cmd_compare},
       {"serve", "--socket <path>", "resident analysis server (NDJSON)",
        "  --socket <path>   Unix domain socket to listen on (required)\n"
        "  --workers <n>     job worker threads (default 2)\n"
